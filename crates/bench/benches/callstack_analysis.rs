@@ -1,0 +1,22 @@
+//! Criterion benchmark: call-graph construction and divergence-point search
+//! over the mixed-method residue (Figure 5), plus surrogate generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use trackersift::{generate_surrogates, Study, StudyConfig};
+
+fn bench_callstack(c: &mut Criterion) {
+    let study = Study::run(StudyConfig::small().with_sites(300));
+
+    let mut group = c.benchmark_group("callstack_analysis");
+    group.sample_size(20);
+    group.bench_function("mixed_method_call_graphs", |b| {
+        b.iter(|| study.callstack_analysis().mixed_methods())
+    });
+    group.bench_function("surrogate_generation", |b| {
+        b.iter(|| generate_surrogates(&study.hierarchy, &study.requests).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_callstack);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmark: filter-list matching throughput, token index vs the
+//! linear-scan baseline (the ablation for the index design choice).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use filterlist::{FilterEngine, FilterRequest};
+use websim::{CorpusGenerator, CorpusProfile};
+
+fn requests_and_engine() -> (Vec<FilterRequest>, FilterEngine) {
+    let corpus = CorpusGenerator::generate(&CorpusProfile::small().with_sites(200), 7);
+    let engine = websim::filter_rules::engine_for(&corpus.ecosystem);
+    let mut requests = Vec::new();
+    for site in &corpus.websites {
+        let source = site.hostname.clone();
+        for script in &site.scripts {
+            for (_, planned) in script.planned_requests() {
+                if let Some(req) = FilterRequest::new(&planned.url, &source, planned.resource_type) {
+                    requests.push(req);
+                }
+            }
+        }
+    }
+    (requests, engine)
+}
+
+fn bench_filter_matching(c: &mut Criterion) {
+    let (requests, engine) = requests_and_engine();
+    let mut group = c.benchmark_group("filter_matching");
+    group.throughput(Throughput::Elements(requests.len() as u64));
+    group.sample_size(20);
+
+    group.bench_function("token_index", |b| {
+        b.iter_batched(
+            || requests.clone(),
+            |reqs| reqs.iter().filter(|r| engine.label(r).is_tracking()).count(),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("linear_scan_baseline", |b| {
+        b.iter_batched(
+            || requests.clone(),
+            |reqs| {
+                reqs.iter()
+                    .filter(|r| engine.evaluate_linear(r).label().is_tracking())
+                    .count()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter_matching);
+criterion_main!(benches);

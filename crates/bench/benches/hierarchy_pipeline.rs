@@ -1,0 +1,29 @@
+//! Criterion benchmark: the hierarchical classifier (Tables 1–2) and the
+//! threshold sweep (Figure 4) over a pre-labeled request set.
+
+use crawler::{ClusterConfig, CrawlCluster};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use trackersift::{HierarchicalClassifier, Labeler, SensitivitySweep, Thresholds};
+use websim::{CorpusGenerator, CorpusProfile};
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let corpus = CorpusGenerator::generate(&CorpusProfile::small().with_sites(400), 13);
+    let db = CrawlCluster::new(ClusterConfig::default()).crawl(&corpus);
+    let engine = websim::filter_rules::engine_for(&corpus.ecosystem);
+    let (requests, _) = Labeler::new(&engine).label_database(&db);
+
+    let mut group = c.benchmark_group("hierarchy_pipeline");
+    group.throughput(Throughput::Elements(requests.len() as u64));
+    group.sample_size(20);
+    group.bench_function("four_level_classification", |b| {
+        b.iter(|| HierarchicalClassifier::new(Thresholds::paper()).classify(&requests))
+    });
+    group.sample_size(10);
+    group.bench_function("figure4_threshold_sweep", |b| {
+        b.iter(|| SensitivitySweep::run(&requests, 1.0, 3.0, 0.5))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy);
+criterion_main!(benches);

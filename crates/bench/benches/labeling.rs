@@ -1,0 +1,26 @@
+//! Criterion benchmark: labeling a crawl database (the §3 pipeline stage).
+
+use crawler::{ClusterConfig, CrawlCluster};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use trackersift::Labeler;
+use websim::{CorpusGenerator, CorpusProfile};
+
+fn bench_labeling(c: &mut Criterion) {
+    let corpus = CorpusGenerator::generate(&CorpusProfile::small().with_sites(300), 5);
+    let db = CrawlCluster::new(ClusterConfig::default()).crawl(&corpus);
+    let engine = websim::filter_rules::engine_for(&corpus.ecosystem);
+
+    let mut group = c.benchmark_group("labeling");
+    group.throughput(Throughput::Elements(db.total_requests() as u64));
+    group.sample_size(20);
+    group.bench_function("label_database", |b| {
+        b.iter(|| {
+            let (requests, _) = Labeler::new(&engine).label_database(&db);
+            requests.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_labeling);
+criterion_main!(benches);

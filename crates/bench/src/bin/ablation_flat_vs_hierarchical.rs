@@ -1,0 +1,43 @@
+//! Ablation: flat single-granularity classification vs TrackerSift's
+//! progressive hierarchy.
+//!
+//! A natural question is whether the hierarchy matters at all — one could
+//! classify every request directly at, say, the method level. The ablation
+//! shows what the hierarchy buys: the flat method-level classifier must
+//! decide for *every* script on the web (hundreds of thousands of
+//! resources), whereas the hierarchy only descends into the mixed residue,
+//! and the flat classifier's separation is not meaningfully better.
+
+use trackersift::Granularity;
+
+fn main() {
+    let study = trackersift_bench::run_experiment_study("ablation_flat_vs_hierarchical");
+    println!(
+        "{:<28} {:>12} {:>14} {:>16}",
+        "classifier", "resources", "separation(%)", "requests attributed(%)"
+    );
+    for granularity in Granularity::ALL {
+        let flat = study.flat_classification(granularity);
+        println!(
+            "{:<28} {:>12} {:>14.1} {:>16.1}",
+            format!("flat {}", granularity.name().to_lowercase()),
+            flat.resource_counts.total(),
+            flat.resource_separation_factor(),
+            flat.request_separation_factor()
+        );
+    }
+    let hierarchy = &study.hierarchy;
+    let resources: u64 = hierarchy.levels.iter().map(|l| l.resource_counts.total()).sum();
+    println!(
+        "{:<28} {:>12} {:>14} {:>16.1}",
+        "hierarchical (paper)",
+        resources,
+        "-",
+        hierarchy.overall_attribution()
+    );
+    println!();
+    println!(
+        "The hierarchy attributes {:.1}% of requests while only ever classifying the mixed residue at each finer level.",
+        hierarchy.overall_attribution()
+    );
+}

@@ -1,0 +1,47 @@
+//! Ablation: attributing requests to the innermost stack frame (the paper's
+//! choice) versus the outermost frame (the root of the call chain).
+//!
+//! The paper keeps the whole call stack and labels ancestral scripts too;
+//! the initiator used for the script/method granularities is the innermost
+//! frame. Attributing to the outermost frame instead (e.g. the tag manager
+//! that injected everything) collapses many distinct initiators into a few
+//! root scripts and inflates mixing — this ablation quantifies that.
+
+use trackersift::{Granularity, HierarchicalClassifier, LabeledRequest};
+
+fn main() {
+    let study = trackersift_bench::run_experiment_study("ablation_stack_propagation");
+
+    // Innermost-frame attribution (the default).
+    let innermost = &study.hierarchy;
+
+    // Outermost-frame attribution: rewrite the initiator fields.
+    let rewritten: Vec<LabeledRequest> = study
+        .requests
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            if let Some(outer) = r.stack.last() {
+                r.initiator_script = outer.script_url.clone();
+                r.initiator_method = outer.method.clone();
+            }
+            r
+        })
+        .collect();
+    let outermost = HierarchicalClassifier::new(study.config.thresholds).classify(&rewritten);
+
+    println!(
+        "{:<26} {:>16} {:>16} {:>18}",
+        "attribution", "scripts observed", "mixed scripts", "requests attributed(%)"
+    );
+    for (name, result) in [("innermost frame (paper)", innermost), ("outermost frame", &outermost)] {
+        let level = result.level(Granularity::Script);
+        println!(
+            "{:<26} {:>16} {:>16} {:>18.1}",
+            name,
+            level.resource_counts.total(),
+            level.resource_counts.mixed,
+            result.overall_attribution()
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Runs every experiment (Tables 1–3, Figures 3–5 and the headline summary)
+//! from a single shared study and prints the paper-vs-measured comparison
+//! that `EXPERIMENTS.md` records. This is the one-shot reproduction driver.
+
+use trackersift::report::{
+    render_headline, render_sensitivity_csv, render_table1, render_table2,
+};
+use trackersift::{Granularity, RatioHistogram};
+
+fn main() {
+    let study = trackersift_bench::run_experiment_study("experiments");
+
+    println!("================================================================");
+    println!(" TrackerSift reproduction — full experiment run");
+    println!(" sites: {}   seed: {}   script-initiated requests: {}",
+        study.corpus.websites.len(), study.config.seed, study.requests.len());
+    println!("================================================================\n");
+
+    print!("{}", render_table1(&study.hierarchy));
+    println!();
+    print!("{}", render_table2(&study.hierarchy));
+    println!();
+    print!("{}", render_headline(&trackersift::headline(&study.hierarchy)));
+    println!();
+
+    println!("Figure 3 band masses (functional / mixed / tracking):");
+    for granularity in Granularity::ALL {
+        let histogram = RatioHistogram::paper_bins(study.hierarchy.level(granularity));
+        println!(
+            "  {:<10} {:>8} / {:>8} / {:>8}",
+            granularity.name(),
+            histogram.functional_mass(2.0),
+            histogram.mixed_mass(2.0),
+            histogram.tracking_mass(2.0)
+        );
+    }
+    println!();
+
+    println!("Figure 4 sweep:");
+    print!("{}", render_sensitivity_csv(&study.sensitivity_sweep()));
+    println!();
+
+    let analysis = study.callstack_analysis();
+    println!(
+        "Figure 5: {} mixed methods, {:.0}% separable by call-stack divergence",
+        analysis.mixed_methods(),
+        analysis.separable_share()
+    );
+    println!();
+
+    let breakage = study.breakage_study(10);
+    let (major, minor, none) = breakage.grade_counts();
+    println!(
+        "Table 3: {} sampled sites with mixed scripts -> {major} major, {minor} minor, {none} none",
+        breakage.rows.len()
+    );
+    println!();
+
+    let surrogates = study.surrogates();
+    let guarded: usize = surrogates.iter().map(|s| s.guarded()).sum();
+    let stubbed: usize = surrogates.iter().map(|s| s.stubbed()).sum();
+    println!(
+        "Surrogates: {} mixed scripts shimmed ({} methods stubbed, {} guarded)",
+        surrogates.len(),
+        stubbed,
+        guarded
+    );
+}

@@ -1,0 +1,19 @@
+//! Regenerates the paper's **Figure 4**: sensitivity of the classification
+//! to the log-ratio threshold, swept from 1.0 to 3.0 in steps of 0.1. The
+//! paper plots the percentage of *scripts* classified mixed and reports that
+//! the curve plateaus around the default threshold of 2.
+
+use trackersift::report::render_sensitivity_csv;
+use trackersift::Granularity;
+
+fn main() {
+    let study = trackersift_bench::run_experiment_study("figure4");
+    let sweep = study.sensitivity_sweep();
+    println!("Figure 4: % mixed scripts vs classification threshold");
+    print!("{}", render_sensitivity_csv(&sweep));
+    println!();
+    let plateau = sweep.max_step_change(Granularity::Script, 1.8, 2.2);
+    println!(
+        "Max step-to-step change in mixed-script share around the default threshold (1.8..2.2): {plateau:.3} percentage points"
+    );
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's **Table 1**: classification of *requests* at the
+//! domain, hostname, script and method granularities, with per-level and
+//! cumulative separation factors.
+
+use trackersift::report::{render_headline, render_table1};
+
+fn main() {
+    let study = trackersift_bench::run_experiment_study("table1");
+    print!("{}", render_table1(&study.hierarchy));
+    println!();
+    print!("{}", render_headline(&trackersift::headline(&study.hierarchy)));
+}

@@ -1,0 +1,16 @@
+//! Regenerates the paper's **Table 2**: classification of unique *resources*
+//! (domains, hostnames, scripts, methods) with per-level separation factors,
+//! plus the "notable resources" listing from the paper's prose.
+
+use trackersift::report::{render_notable, render_table2};
+use trackersift::Granularity;
+
+fn main() {
+    let study = trackersift_bench::run_experiment_study("table2");
+    print!("{}", render_table2(&study.hierarchy));
+    println!();
+    for granularity in [Granularity::Domain, Granularity::Hostname] {
+        print!("{}", render_notable(study.hierarchy.level(granularity), 5));
+        println!();
+    }
+}

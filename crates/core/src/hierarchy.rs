@@ -1,0 +1,531 @@
+//! The hierarchical classifier (paper §2): domain → hostname → script →
+//! method.
+//!
+//! At each granularity every resource accumulates the tracking / functional
+//! counts of the requests attributed to it and is classified with the
+//! log-ratio threshold. Requests attributed to *tracking* or *functional*
+//! resources are "separated" and set aside; requests attributed to *mixed*
+//! resources flow down to the next finer granularity:
+//!
+//! * **Domain** — all script-initiated requests, keyed by the request URL's
+//!   eTLD+1;
+//! * **Hostname** — only requests served by mixed domains, keyed by the
+//!   request hostname;
+//! * **Script** — only requests served by mixed hostnames, keyed by the URL
+//!   of the initiating script (innermost stack frame);
+//! * **Method** — only requests initiated by mixed scripts, keyed by
+//!   `(script URL, method name)`.
+//!
+//! The per-level separation factor and the cumulative separation reproduce
+//! the paper's Table 1; the per-level unique-resource class counts reproduce
+//! Table 2; the per-resource ratios feed the Figure 3 histograms.
+
+use crate::label::LabeledRequest;
+use crate::ratio::{Classification, Counts, Thresholds};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The four granularities of the hierarchy, coarsest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Granularity {
+    /// eTLD+1 of the request URL.
+    Domain,
+    /// Full hostname of the request URL.
+    Hostname,
+    /// URL of the initiating script.
+    Script,
+    /// `(script URL, method name)` of the initiating frame.
+    Method,
+}
+
+impl Granularity {
+    /// All four granularities, coarsest first.
+    pub const ALL: [Granularity; 4] = [
+        Granularity::Domain,
+        Granularity::Hostname,
+        Granularity::Script,
+        Granularity::Method,
+    ];
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Granularity::Domain => "Domain",
+            Granularity::Hostname => "Hostname",
+            Granularity::Script => "Script",
+            Granularity::Method => "Method",
+        }
+    }
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Counts split by classification outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassCounts {
+    /// Tracking-classified.
+    pub tracking: u64,
+    /// Functional-classified.
+    pub functional: u64,
+    /// Mixed-classified.
+    pub mixed: u64,
+}
+
+impl ClassCounts {
+    /// Total across the three classes.
+    pub fn total(&self) -> u64 {
+        self.tracking + self.functional + self.mixed
+    }
+
+    /// Add `n` to the bucket for `class`.
+    pub fn add(&mut self, class: Classification, n: u64) {
+        match class {
+            Classification::Tracking => self.tracking += n,
+            Classification::Functional => self.functional += n,
+            Classification::Mixed => self.mixed += n,
+        }
+    }
+
+    /// Fraction of the total that is *not* mixed (i.e. separated), in
+    /// percent. Returns 0 when empty.
+    pub fn separation_factor(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        100.0 * (self.tracking + self.functional) as f64 / total as f64
+    }
+
+    /// Fraction that is mixed, in percent.
+    pub fn mixed_share(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        100.0 * self.mixed as f64 / total as f64
+    }
+}
+
+/// One classified resource at some granularity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceEntry {
+    /// Attribution key: domain, hostname, script URL, or `script :: method`.
+    pub key: String,
+    /// Request counts attributed to this resource.
+    pub counts: Counts,
+    /// Classification under the thresholds in force.
+    pub classification: Classification,
+}
+
+impl ResourceEntry {
+    /// The log-ratio of the resource (always defined — resources only exist
+    /// because at least one request was attributed to them).
+    pub fn log_ratio(&self) -> f64 {
+        self.counts.log_ratio().expect("resources have at least one request")
+    }
+}
+
+/// The result of classifying one granularity level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelResult {
+    /// Which granularity this is.
+    pub granularity: Granularity,
+    /// Every resource observed at this level.
+    pub resources: Vec<ResourceEntry>,
+    /// Unique-resource counts per class (paper Table 2).
+    pub resource_counts: ClassCounts,
+    /// Request counts per class (paper Table 1).
+    pub request_counts: ClassCounts,
+    /// Number of requests that entered this level.
+    pub input_requests: u64,
+}
+
+impl LevelResult {
+    /// Separation factor over this level's input requests, in percent
+    /// (paper Table 1 "Separation Factor").
+    pub fn request_separation_factor(&self) -> f64 {
+        self.request_counts.separation_factor()
+    }
+
+    /// Separation factor over unique resources (paper Table 2).
+    pub fn resource_separation_factor(&self) -> f64 {
+        self.resource_counts.separation_factor()
+    }
+
+    /// The keys of the mixed resources at this level.
+    pub fn mixed_keys(&self) -> Vec<&str> {
+        self.resources
+            .iter()
+            .filter(|r| r.classification == Classification::Mixed)
+            .map(|r| r.key.as_str())
+            .collect()
+    }
+
+    /// Resources of a given class, sorted by total request volume
+    /// descending (useful for "notable domains" style reporting).
+    pub fn top_resources(&self, class: Classification, n: usize) -> Vec<&ResourceEntry> {
+        let mut out: Vec<&ResourceEntry> = self
+            .resources
+            .iter()
+            .filter(|r| r.classification == class)
+            .collect();
+        out.sort_by_key(|r| std::cmp::Reverse(r.counts.total()));
+        out.truncate(n);
+        out
+    }
+}
+
+/// The complete hierarchy result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyResult {
+    /// Thresholds used.
+    pub thresholds: Thresholds,
+    /// Per-level results, coarsest first (Domain, Hostname, Script, Method).
+    pub levels: Vec<LevelResult>,
+    /// Total script-initiated requests that entered the analysis.
+    pub total_requests: u64,
+    /// Requests that remain attributed to mixed methods after the finest
+    /// level (the <2% residue of the paper).
+    pub unattributed_requests: u64,
+}
+
+impl HierarchyResult {
+    /// The level result for a granularity.
+    pub fn level(&self, granularity: Granularity) -> &LevelResult {
+        self.levels
+            .iter()
+            .find(|l| l.granularity == granularity)
+            .expect("all four levels are always present")
+    }
+
+    /// Cumulative separation factor after each level, in percent of the
+    /// total script-initiated requests (paper Table 1, last column).
+    pub fn cumulative_separation(&self) -> Vec<(Granularity, f64)> {
+        let mut separated = 0u64;
+        let mut out = Vec::new();
+        for level in &self.levels {
+            separated += level.request_counts.tracking + level.request_counts.functional;
+            let pct = if self.total_requests == 0 {
+                0.0
+            } else {
+                100.0 * separated as f64 / self.total_requests as f64
+            };
+            out.push((level.granularity, pct));
+        }
+        out
+    }
+
+    /// The overall fraction of requests attributed to either tracking or
+    /// functional resources by the end of the hierarchy (the paper's
+    /// headline "98%").
+    pub fn overall_attribution(&self) -> f64 {
+        if self.total_requests == 0 {
+            return 0.0;
+        }
+        100.0 * (self.total_requests - self.unattributed_requests) as f64 / self.total_requests as f64
+    }
+}
+
+/// The hierarchical classifier.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HierarchicalClassifier {
+    /// Thresholds applied at every level.
+    pub thresholds: Thresholds,
+}
+
+impl HierarchicalClassifier {
+    /// A classifier with the paper's default threshold of 2.
+    pub fn new(thresholds: Thresholds) -> Self {
+        HierarchicalClassifier { thresholds }
+    }
+
+    /// Run the full four-level analysis over labeled requests.
+    pub fn classify(&self, requests: &[LabeledRequest]) -> HierarchyResult {
+        let all: Vec<&LabeledRequest> = requests.iter().collect();
+        let total_requests = all.len() as u64;
+
+        // Domain level over everything.
+        let (domain_level, to_hostname) =
+            self.classify_level(Granularity::Domain, &all, |r| r.domain.clone());
+        // Hostname level over requests from mixed domains.
+        let (hostname_level, to_script) =
+            self.classify_level(Granularity::Hostname, &to_hostname, |r| r.hostname.clone());
+        // Script level over requests from mixed hostnames.
+        let (script_level, to_method) =
+            self.classify_level(Granularity::Script, &to_script, |r| r.initiator_script.clone());
+        // Method level over requests from mixed scripts.
+        let (method_level, residue) = self.classify_level(Granularity::Method, &to_method, |r| {
+            format!("{} :: {}", r.initiator_script, r.initiator_method)
+        });
+
+        HierarchyResult {
+            thresholds: self.thresholds,
+            levels: vec![domain_level, hostname_level, script_level, method_level],
+            total_requests,
+            unattributed_requests: residue.len() as u64,
+        }
+    }
+
+    /// Classify one level: group `input` by `key`, count labels, classify
+    /// each resource, and return the level result plus the requests that
+    /// belong to mixed resources (the next level's input).
+    fn classify_level<'a>(
+        &self,
+        granularity: Granularity,
+        input: &[&'a LabeledRequest],
+        key: impl Fn(&LabeledRequest) -> String,
+    ) -> (LevelResult, Vec<&'a LabeledRequest>) {
+        let mut groups: HashMap<String, Counts> = HashMap::new();
+        for request in input {
+            groups
+                .entry(key(request))
+                .or_default()
+                .record(request.is_tracking());
+        }
+
+        let mut resources: Vec<ResourceEntry> = groups
+            .into_iter()
+            .map(|(key, counts)| {
+                let classification = self
+                    .thresholds
+                    .classify(&counts)
+                    .expect("grouped resources have requests");
+                ResourceEntry { key, counts, classification }
+            })
+            .collect();
+        // Deterministic output order: by descending volume, then key.
+        resources.sort_by(|a, b| {
+            b.counts
+                .total()
+                .cmp(&a.counts.total())
+                .then_with(|| a.key.cmp(&b.key))
+        });
+
+        let mut resource_counts = ClassCounts::default();
+        let mut request_counts = ClassCounts::default();
+        let mut class_by_key: HashMap<&str, Classification> = HashMap::new();
+        for resource in &resources {
+            resource_counts.add(resource.classification, 1);
+            request_counts.add(resource.classification, resource.counts.total());
+            class_by_key.insert(resource.key.as_str(), resource.classification);
+        }
+
+        let next: Vec<&LabeledRequest> = input
+            .iter()
+            .copied()
+            .filter(|r| class_by_key.get(key(r).as_str()) == Some(&Classification::Mixed))
+            .collect();
+
+        (
+            LevelResult {
+                granularity,
+                resources,
+                resource_counts,
+                request_counts,
+                input_requests: input.len() as u64,
+            },
+            next,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterlist::{RequestLabel, ResourceType};
+
+    /// Hand-built labeled request for unit tests.
+    fn req(
+        domain: &str,
+        hostname: &str,
+        script: &str,
+        method: &str,
+        tracking: bool,
+    ) -> LabeledRequest {
+        LabeledRequest {
+            request_id: 0,
+            top_level_url: "https://www.pub.com/".into(),
+            site_domain: "pub.com".into(),
+            url: format!("https://{hostname}/x"),
+            domain: domain.into(),
+            hostname: hostname.into(),
+            resource_type: ResourceType::Xhr,
+            initiator_script: script.into(),
+            initiator_method: method.into(),
+            stack: vec![crate::label::LabeledFrame {
+                script_url: script.into(),
+                method: method.into(),
+            }],
+            async_boundary: None,
+            label: if tracking { RequestLabel::Tracking } else { RequestLabel::Functional },
+        }
+    }
+
+    /// The paper's Figure 1 worked example: ads.com is pure tracking,
+    /// news.com pure functional, google.com mixed; within google.com the
+    /// hostnames split; within cdn.google.com the scripts split; within
+    /// clone.js the methods split.
+    fn figure1_requests() -> Vec<LabeledRequest> {
+        let mut v = Vec::new();
+        // Pure tracking / functional domains.
+        for _ in 0..5 {
+            v.push(req("ads.com", "px.ads.com", "https://pub.com/a.js", "t", true));
+            v.push(req("news.com", "cdn.news.com", "https://pub.com/n.js", "f", false));
+        }
+        // google.com: ad.google.com pure tracking, maps.google.com pure
+        // functional, cdn.google.com mixed.
+        for _ in 0..4 {
+            v.push(req("google.com", "ad.google.com", "https://pub.com/sdk.js", "send", true));
+            v.push(req("google.com", "maps.google.com", "https://pub.com/maps.js", "draw", false));
+        }
+        // cdn.google.com requests from three scripts: sdk.js (tracking),
+        // stack.js (functional), clone.js (mixed: m1 tracking, m3
+        // functional, m2 both).
+        for _ in 0..3 {
+            v.push(req("google.com", "cdn.google.com", "https://pub.com/sdk.js", "send", true));
+            v.push(req("google.com", "cdn.google.com", "https://pub.com/stack.js", "load", false));
+            v.push(req("google.com", "cdn.google.com", "https://pub.com/clone.js", "m1", true));
+            v.push(req("google.com", "cdn.google.com", "https://pub.com/clone.js", "m3", false));
+        }
+        v.push(req("google.com", "cdn.google.com", "https://pub.com/clone.js", "m2", true));
+        v.push(req("google.com", "cdn.google.com", "https://pub.com/clone.js", "m2", false));
+        v
+    }
+
+    #[test]
+    fn figure1_domains_classify_as_expected() {
+        let result = HierarchicalClassifier::default().classify(&figure1_requests());
+        let domains = result.level(Granularity::Domain);
+        let class_of = |key: &str| {
+            domains
+                .resources
+                .iter()
+                .find(|r| r.key == key)
+                .map(|r| r.classification)
+        };
+        assert_eq!(class_of("ads.com"), Some(Classification::Tracking));
+        assert_eq!(class_of("news.com"), Some(Classification::Functional));
+        assert_eq!(class_of("google.com"), Some(Classification::Mixed));
+        assert_eq!(domains.resource_counts.total(), 3);
+    }
+
+    #[test]
+    fn figure1_hostnames_only_cover_mixed_domains() {
+        let result = HierarchicalClassifier::default().classify(&figure1_requests());
+        let hostnames = result.level(Granularity::Hostname);
+        // Only google.com hostnames appear.
+        assert!(hostnames.resources.iter().all(|r| r.key.ends_with("google.com")));
+        let class_of = |key: &str| {
+            hostnames
+                .resources
+                .iter()
+                .find(|r| r.key == key)
+                .map(|r| r.classification)
+        };
+        assert_eq!(class_of("ad.google.com"), Some(Classification::Tracking));
+        assert_eq!(class_of("maps.google.com"), Some(Classification::Functional));
+        assert_eq!(class_of("cdn.google.com"), Some(Classification::Mixed));
+    }
+
+    #[test]
+    fn figure1_scripts_and_methods_untangle_clone_js() {
+        let result = HierarchicalClassifier::default().classify(&figure1_requests());
+        let scripts = result.level(Granularity::Script);
+        let class_of = |key: &str| {
+            scripts
+                .resources
+                .iter()
+                .find(|r| r.key == key)
+                .map(|r| r.classification)
+        };
+        assert_eq!(class_of("https://pub.com/sdk.js"), Some(Classification::Tracking));
+        assert_eq!(class_of("https://pub.com/stack.js"), Some(Classification::Functional));
+        assert_eq!(class_of("https://pub.com/clone.js"), Some(Classification::Mixed));
+
+        let methods = result.level(Granularity::Method);
+        let class_of = |key: &str| {
+            methods
+                .resources
+                .iter()
+                .find(|r| r.key == key)
+                .map(|r| r.classification)
+        };
+        assert_eq!(
+            class_of("https://pub.com/clone.js :: m1"),
+            Some(Classification::Tracking)
+        );
+        assert_eq!(
+            class_of("https://pub.com/clone.js :: m3"),
+            Some(Classification::Functional)
+        );
+        assert_eq!(class_of("https://pub.com/clone.js :: m2"), Some(Classification::Mixed));
+        assert_eq!(result.unattributed_requests, 2);
+    }
+
+    #[test]
+    fn request_flow_is_conserved_between_levels() {
+        let requests = figure1_requests();
+        let result = HierarchicalClassifier::default().classify(&requests);
+        assert_eq!(result.total_requests, requests.len() as u64);
+        // Each level's input equals the previous level's mixed request count.
+        for window in result.levels.windows(2) {
+            assert_eq!(window[1].input_requests, window[0].request_counts.mixed);
+        }
+        // Each level's input equals its own request-count total.
+        for level in &result.levels {
+            assert_eq!(level.input_requests, level.request_counts.total());
+        }
+        // Unattributed = mixed at the finest level.
+        assert_eq!(
+            result.unattributed_requests,
+            result.level(Granularity::Method).request_counts.mixed
+        );
+    }
+
+    #[test]
+    fn cumulative_separation_is_monotone_and_matches_overall() {
+        let result = HierarchicalClassifier::default().classify(&figure1_requests());
+        let cumulative = result.cumulative_separation();
+        assert_eq!(cumulative.len(), 4);
+        for window in cumulative.windows(2) {
+            assert!(window[1].1 >= window[0].1);
+        }
+        let last = cumulative.last().unwrap().1;
+        assert!((last - result.overall_attribution()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input_produces_empty_levels() {
+        let result = HierarchicalClassifier::default().classify(&[]);
+        assert_eq!(result.total_requests, 0);
+        assert_eq!(result.unattributed_requests, 0);
+        for level in &result.levels {
+            assert!(level.resources.is_empty());
+            assert_eq!(level.request_counts.total(), 0);
+        }
+        assert_eq!(result.overall_attribution(), 0.0);
+    }
+
+    #[test]
+    fn top_resources_ranks_by_volume() {
+        let result = HierarchicalClassifier::default().classify(&figure1_requests());
+        let domains = result.level(Granularity::Domain);
+        let top = domains.top_resources(Classification::Mixed, 5);
+        assert_eq!(top[0].key, "google.com");
+    }
+
+    #[test]
+    fn looser_threshold_increases_mixed_resources() {
+        let requests = figure1_requests();
+        let strict = HierarchicalClassifier::new(Thresholds::new(0.5)).classify(&requests);
+        let paper = HierarchicalClassifier::new(Thresholds::paper()).classify(&requests);
+        let strict_mixed = strict.level(Granularity::Domain).resource_counts.mixed;
+        let paper_mixed = paper.level(Granularity::Domain).resource_counts.mixed;
+        assert!(strict_mixed <= paper_mixed);
+    }
+}

@@ -1,0 +1,252 @@
+//! Request labeling (paper §3, "Labeling").
+//!
+//! Every *script-initiated* request captured by the crawler is matched
+//! against EasyList + EasyPrivacy: a match means **tracking**, otherwise
+//! **functional**. Requests that are not script-initiated (parser-initiated
+//! images, stylesheets, the document itself) are excluded from the analysis,
+//! exactly as the paper does. The call stack is preserved — the initiator
+//! script and method at the top of the stack drive the script- and
+//! method-level granularities, and the full ancestry feeds the call-stack
+//! analysis of Figure 5.
+
+use crawler::{CrawlDatabase, RequestWillBeSent};
+use filterlist::{
+    registrable_domain, FilterEngine, FilterRequest, ParsedUrl, RequestLabel, ResourceType,
+};
+use serde::{Deserialize, Serialize};
+
+/// One frame of the initiator stack, reduced to what the analysis needs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LabeledFrame {
+    /// Script URL of the frame.
+    pub script_url: String,
+    /// Method (function) name; may be empty for anonymous frames.
+    pub method: String,
+}
+
+/// A script-initiated request with its oracle label and attribution keys.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledRequest {
+    /// Unique request id from the crawl.
+    pub request_id: u64,
+    /// URL of the page that issued the request.
+    pub top_level_url: String,
+    /// Registrable domain of the page.
+    pub site_domain: String,
+    /// The request URL.
+    pub url: String,
+    /// Registrable domain (eTLD+1) of the request URL.
+    pub domain: String,
+    /// Hostname of the request URL.
+    pub hostname: String,
+    /// Resource type.
+    pub resource_type: ResourceType,
+    /// URL of the script that initiated the request (innermost stack frame).
+    pub initiator_script: String,
+    /// Name of the method that initiated the request (innermost frame).
+    pub initiator_method: String,
+    /// The full stack, innermost first.
+    pub stack: Vec<LabeledFrame>,
+    /// Index of the first asynchronous-parent frame, if any.
+    pub async_boundary: Option<usize>,
+    /// The oracle label.
+    pub label: RequestLabel,
+}
+
+impl LabeledRequest {
+    /// `true` when the oracle labeled this request tracking.
+    pub fn is_tracking(&self) -> bool {
+        self.label.is_tracking()
+    }
+
+    /// The `(script, method)` attribution key used at method granularity.
+    pub fn method_key(&self) -> (String, String) {
+        (self.initiator_script.clone(), self.initiator_method.clone())
+    }
+}
+
+/// Statistics from labeling a crawl.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelStats {
+    /// Requests seen in the crawl database (script-initiated or not).
+    pub total_requests: usize,
+    /// Requests excluded because no script initiated them.
+    pub excluded_non_script: usize,
+    /// Requests excluded because their URL could not be parsed.
+    pub excluded_unparseable: usize,
+    /// Script-initiated requests labeled tracking.
+    pub tracking: usize,
+    /// Script-initiated requests labeled functional.
+    pub functional: usize,
+}
+
+impl LabelStats {
+    /// Labeled (kept) requests.
+    pub fn labeled(&self) -> usize {
+        self.tracking + self.functional
+    }
+}
+
+/// The labeler: pairs a crawl database with a filter engine.
+#[derive(Debug)]
+pub struct Labeler<'a> {
+    engine: &'a FilterEngine,
+}
+
+impl<'a> Labeler<'a> {
+    /// Create a labeler over a filter engine.
+    pub fn new(engine: &'a FilterEngine) -> Self {
+        Labeler { engine }
+    }
+
+    /// Label one captured request. Returns `None` for requests the analysis
+    /// excludes (not script-initiated, or unparseable URL).
+    pub fn label_request(
+        &self,
+        site_domain: &str,
+        request: &RequestWillBeSent,
+    ) -> Option<LabeledRequest> {
+        let frame = request.call_stack.initiator_frame()?;
+        let parsed = ParsedUrl::parse(&request.url)?;
+        let page_host = ParsedUrl::parse(&request.top_level_url)
+            .map(|u| u.hostname)
+            .unwrap_or_default();
+        let filter_request = FilterRequest {
+            url: parsed.clone(),
+            source_hostname: page_host,
+            resource_type: request.resource_type,
+        };
+        let label = self.engine.label(&filter_request);
+        Some(LabeledRequest {
+            request_id: request.request_id,
+            top_level_url: request.top_level_url.clone(),
+            site_domain: site_domain.to_string(),
+            url: request.url.clone(),
+            domain: registrable_domain(&parsed.hostname),
+            hostname: parsed.hostname,
+            resource_type: request.resource_type,
+            initiator_script: frame.script_url.clone(),
+            initiator_method: frame.function_name.clone(),
+            stack: request
+                .call_stack
+                .frames
+                .iter()
+                .map(|f| LabeledFrame {
+                    script_url: f.script_url.clone(),
+                    method: f.function_name.clone(),
+                })
+                .collect(),
+            async_boundary: request.call_stack.async_boundary,
+            label,
+        })
+    }
+
+    /// Label every script-initiated request in a crawl database.
+    pub fn label_database(&self, db: &CrawlDatabase) -> (Vec<LabeledRequest>, LabelStats) {
+        let mut stats = LabelStats::default();
+        let mut out = Vec::with_capacity(db.script_initiated_requests());
+        for site in &db.sites {
+            for request in &site.requests {
+                stats.total_requests += 1;
+                if !request.is_script_initiated() {
+                    stats.excluded_non_script += 1;
+                    continue;
+                }
+                match self.label_request(&site.site_domain, request) {
+                    Some(labeled) => {
+                        if labeled.is_tracking() {
+                            stats.tracking += 1;
+                        } else {
+                            stats.functional += 1;
+                        }
+                        out.push(labeled);
+                    }
+                    None => stats.excluded_unparseable += 1,
+                }
+            }
+        }
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crawler::{ClusterConfig, CrawlCluster};
+    use websim::{filter_rules, CorpusGenerator, CorpusProfile, Purpose};
+
+    fn setup() -> (websim::WebCorpus, CrawlDatabase, FilterEngine) {
+        let corpus = CorpusGenerator::generate(&CorpusProfile::small().with_sites(60), 2021);
+        let db = CrawlCluster::new(ClusterConfig::default()).crawl(&corpus);
+        let engine = filter_rules::engine_for(&corpus.ecosystem);
+        (corpus, db, engine)
+    }
+
+    #[test]
+    fn non_script_requests_are_excluded() {
+        let (_corpus, db, engine) = setup();
+        let labeler = Labeler::new(&engine);
+        let (requests, stats) = labeler.label_database(&db);
+        assert_eq!(stats.labeled(), requests.len());
+        assert!(stats.excluded_non_script > 0, "document requests must be excluded");
+        assert_eq!(stats.total_requests, db.total_requests());
+        assert_eq!(stats.labeled() + stats.excluded_non_script + stats.excluded_unparseable, stats.total_requests);
+    }
+
+    #[test]
+    fn labels_mostly_agree_with_ground_truth_intent() {
+        // The oracle is the filter list, not the generator's intent, but the
+        // two must agree strongly or the corpus would be meaningless.
+        let (corpus, db, engine) = setup();
+        let labeler = Labeler::new(&engine);
+        let (requests, _) = labeler.label_database(&db);
+
+        // Map url -> intent from the corpus ground truth.
+        let mut intents = std::collections::HashMap::new();
+        for site in &corpus.websites {
+            for script in &site.scripts {
+                for (_, planned) in script.planned_requests() {
+                    intents.insert(planned.url.clone(), planned.intent);
+                }
+            }
+        }
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for request in &requests {
+            if let Some(intent) = intents.get(&request.url) {
+                total += 1;
+                let expected_tracking = *intent == Purpose::Tracking;
+                if expected_tracking == request.is_tracking() {
+                    agree += 1;
+                }
+            }
+        }
+        assert!(total > 500, "expected many script requests, got {total}");
+        let rate = agree as f64 / total as f64;
+        assert!(rate > 0.97, "oracle/intent agreement too low: {rate:.3}");
+    }
+
+    #[test]
+    fn attribution_keys_are_populated() {
+        let (_corpus, db, engine) = setup();
+        let labeler = Labeler::new(&engine);
+        let (requests, _) = labeler.label_database(&db);
+        for r in &requests {
+            assert!(!r.domain.is_empty(), "{}", r.url);
+            assert!(!r.hostname.is_empty(), "{}", r.url);
+            assert!(!r.initiator_script.is_empty());
+            assert!(!r.stack.is_empty());
+            assert_eq!(r.stack[0].script_url, r.initiator_script);
+            assert_eq!(r.stack[0].method, r.initiator_method);
+        }
+    }
+
+    #[test]
+    fn both_labels_are_present_in_volume() {
+        let (_corpus, db, engine) = setup();
+        let labeler = Labeler::new(&engine);
+        let (_, stats) = labeler.label_database(&db);
+        assert!(stats.tracking > 100, "{stats:?}");
+        assert!(stats.functional > 100, "{stats:?}");
+    }
+}

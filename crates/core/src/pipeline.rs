@@ -1,0 +1,278 @@
+//! End-to-end study pipeline.
+//!
+//! [`Study`] wires the whole reproduction together the way the paper's
+//! methodology section describes it: generate (stand-in for "crawl") the
+//! websites, capture every script-initiated request with its call stack,
+//! label the requests with EasyList + EasyPrivacy, run the hierarchical
+//! classifier, and derive the downstream analyses (sensitivity sweep,
+//! call-stack analysis of the residue, surrogate generation, breakage
+//! study). The bench binaries and the examples are thin wrappers over this
+//! type.
+
+use crate::breakage::{analyze_breakage, BreakageStudy};
+use crate::callstack::{analyze_mixed_methods, CallStackAnalysis};
+use crate::hierarchy::{Granularity, HierarchicalClassifier, HierarchyResult};
+use crate::label::{LabelStats, LabeledRequest, Labeler};
+use crate::ratio::{Classification, Thresholds};
+use crate::sensitivity::SensitivitySweep;
+use crate::surrogate::{generate_surrogates, SurrogateScript};
+use crawler::{ClusterConfig, CrawlCluster, CrawlDatabase, CrawlSummary};
+use filterlist::FilterEngine;
+use websim::{filter_rules, CorpusGenerator, CorpusProfile, WebCorpus};
+
+/// Configuration of a study run.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// Corpus profile (number of sites, ecosystem shape, mixing rates).
+    pub profile: CorpusProfile,
+    /// Corpus seed.
+    pub seed: u64,
+    /// Crawl cluster configuration.
+    pub cluster: ClusterConfig,
+    /// Classification thresholds.
+    pub thresholds: Thresholds,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            profile: CorpusProfile::paper(),
+            seed: 2021,
+            cluster: ClusterConfig::default(),
+            thresholds: Thresholds::paper(),
+        }
+    }
+}
+
+impl StudyConfig {
+    /// A small configuration for tests and the quickstart example.
+    pub fn small() -> Self {
+        StudyConfig {
+            profile: CorpusProfile::small(),
+            ..Default::default()
+        }
+    }
+
+    /// Override the number of sites.
+    pub fn with_sites(mut self, sites: usize) -> Self {
+        self.profile.sites = sites;
+        self
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A fully materialised study: corpus, crawl, labels and classification.
+#[derive(Debug)]
+pub struct Study {
+    /// The configuration the study was run with.
+    pub config: StudyConfig,
+    /// The generated corpus (the "100K websites").
+    pub corpus: WebCorpus,
+    /// The filter engine (curated EasyList/EasyPrivacy + ecosystem rules).
+    pub engine: FilterEngine,
+    /// The crawl database.
+    pub database: CrawlDatabase,
+    /// Crawl summary statistics.
+    pub crawl_summary: CrawlSummary,
+    /// The labeled script-initiated requests.
+    pub requests: Vec<LabeledRequest>,
+    /// Labeling statistics.
+    pub label_stats: LabelStats,
+    /// The hierarchical classification result.
+    pub hierarchy: HierarchyResult,
+}
+
+impl Study {
+    /// Run the full pipeline for a configuration.
+    pub fn run(config: StudyConfig) -> Self {
+        let corpus = CorpusGenerator::generate(&config.profile, config.seed);
+        let engine = filter_rules::engine_for(&corpus.ecosystem);
+        let cluster = CrawlCluster::new(config.cluster.clone());
+        let (database, crawl_summary) = cluster.crawl_with_summary(&corpus);
+        let (requests, label_stats) = Labeler::new(&engine).label_database(&database);
+        let hierarchy = HierarchicalClassifier::new(config.thresholds).classify(&requests);
+        Study {
+            config,
+            corpus,
+            engine,
+            database,
+            crawl_summary,
+            requests,
+            label_stats,
+            hierarchy,
+        }
+    }
+
+    /// Re-run only the classification with different thresholds (cheap).
+    pub fn reclassify(&self, thresholds: Thresholds) -> HierarchyResult {
+        HierarchicalClassifier::new(thresholds).classify(&self.requests)
+    }
+
+    /// The Figure 4 sensitivity sweep.
+    pub fn sensitivity_sweep(&self) -> SensitivitySweep {
+        SensitivitySweep::paper_sweep(&self.requests)
+    }
+
+    /// The Figure 5 call-stack analysis over the mixed-method residue.
+    pub fn callstack_analysis(&self) -> CallStackAnalysis {
+        let mixed_method_keys: std::collections::HashSet<&str> = self
+            .hierarchy
+            .level(Granularity::Method)
+            .resources
+            .iter()
+            .filter(|r| r.classification == Classification::Mixed)
+            .map(|r| r.key.as_str())
+            .collect();
+        let residue: Vec<&LabeledRequest> = self
+            .requests
+            .iter()
+            .filter(|r| {
+                let key = format!("{} :: {}", r.initiator_script, r.initiator_method);
+                mixed_method_keys.contains(key.as_str())
+            })
+            .collect();
+        analyze_mixed_methods(&residue)
+    }
+
+    /// Surrogate scripts for every mixed script.
+    pub fn surrogates(&self) -> Vec<SurrogateScript> {
+        generate_surrogates(&self.hierarchy, &self.requests)
+    }
+
+    /// The Table 3 breakage study over `sample_size` sites with mixed
+    /// scripts.
+    pub fn breakage_study(&self, sample_size: usize) -> BreakageStudy {
+        analyze_breakage(&self.corpus, &self.hierarchy, sample_size)
+    }
+
+    /// Flat (non-hierarchical) classification at a single granularity over
+    /// *all* script-initiated requests — the ablation baseline showing why
+    /// the progressive hierarchy matters.
+    pub fn flat_classification(&self, granularity: Granularity) -> crate::hierarchy::LevelResult {
+        let classifier = HierarchicalClassifier::new(self.config.thresholds);
+        // Reuse the hierarchy machinery by running a one-level pipeline.
+        let all: Vec<&LabeledRequest> = self.requests.iter().collect();
+        let key = |r: &LabeledRequest| match granularity {
+            Granularity::Domain => r.domain.clone(),
+            Granularity::Hostname => r.hostname.clone(),
+            Granularity::Script => r.initiator_script.clone(),
+            Granularity::Method => format!("{} :: {}", r.initiator_script, r.initiator_method),
+        };
+        classifier.classify_flat(granularity, &all, key)
+    }
+}
+
+impl HierarchicalClassifier {
+    /// Classify a single granularity over an arbitrary request set (used by
+    /// the flat-vs-hierarchical ablation).
+    pub fn classify_flat<'a>(
+        &self,
+        granularity: Granularity,
+        input: &[&'a LabeledRequest],
+        key: impl Fn(&LabeledRequest) -> String,
+    ) -> crate::hierarchy::LevelResult {
+        // Delegate to the private per-level routine via a tiny shim: rebuild
+        // the grouping logic here to keep the hierarchy internals private.
+        use crate::hierarchy::{ClassCounts, LevelResult, ResourceEntry};
+        use crate::ratio::Counts;
+        use std::collections::HashMap;
+
+        let mut groups: HashMap<String, Counts> = HashMap::new();
+        for request in input {
+            groups.entry(key(request)).or_default().record(request.is_tracking());
+        }
+        let mut resources: Vec<ResourceEntry> = groups
+            .into_iter()
+            .map(|(key, counts)| ResourceEntry {
+                classification: self.thresholds.classify(&counts).expect("non-empty"),
+                key,
+                counts,
+            })
+            .collect();
+        resources.sort_by(|a, b| {
+            b.counts
+                .total()
+                .cmp(&a.counts.total())
+                .then_with(|| a.key.cmp(&b.key))
+        });
+        let mut resource_counts = ClassCounts::default();
+        let mut request_counts = ClassCounts::default();
+        for r in &resources {
+            resource_counts.add(r.classification, 1);
+            request_counts.add(r.classification, r.counts.total());
+        }
+        LevelResult {
+            granularity,
+            resources,
+            resource_counts,
+            request_counts,
+            input_requests: input.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study() -> Study {
+        Study::run(StudyConfig::small().with_sites(100))
+    }
+
+    #[test]
+    fn pipeline_runs_end_to_end() {
+        let study = study();
+        assert_eq!(study.corpus.websites.len(), 100);
+        assert_eq!(study.crawl_summary.sites, 100);
+        assert!(study.label_stats.labeled() > 1_000);
+        assert_eq!(study.hierarchy.total_requests, study.requests.len() as u64);
+        // All four downstream analyses run.
+        assert_eq!(study.sensitivity_sweep().points.len(), 21);
+        let breakage = study.breakage_study(5);
+        assert!(breakage.rows.len() <= 5);
+        let _ = study.callstack_analysis();
+        let _ = study.surrogates();
+    }
+
+    #[test]
+    fn hierarchy_attributes_more_requests_than_domain_level_alone() {
+        let study = study();
+        let domain_only = study.hierarchy.level(Granularity::Domain).request_separation_factor();
+        let overall = study.hierarchy.overall_attribution();
+        assert!(
+            overall > domain_only,
+            "hierarchy ({overall:.1}%) should beat domain-only ({domain_only:.1}%)"
+        );
+        assert!(overall > 80.0, "overall attribution {overall:.1}% too low");
+    }
+
+    #[test]
+    fn flat_classification_matches_domain_level_at_domain_granularity() {
+        let study = study();
+        let flat = study.flat_classification(Granularity::Domain);
+        let hier = study.hierarchy.level(Granularity::Domain);
+        assert_eq!(flat.resource_counts, hier.resource_counts);
+        assert_eq!(flat.request_counts, hier.request_counts);
+    }
+
+    #[test]
+    fn flat_method_classification_sees_all_requests() {
+        let study = study();
+        let flat = study.flat_classification(Granularity::Method);
+        assert_eq!(flat.input_requests, study.requests.len() as u64);
+        // The hierarchy's method level only sees the mixed-script residue.
+        assert!(flat.input_requests >= study.hierarchy.level(Granularity::Method).input_requests);
+    }
+
+    #[test]
+    fn reclassify_with_same_threshold_is_identical() {
+        let study = study();
+        let again = study.reclassify(Thresholds::paper());
+        assert_eq!(again, study.hierarchy);
+    }
+}

@@ -1,0 +1,212 @@
+//! Parallel crawl orchestration.
+//!
+//! The paper's crawl ran on a 13-node cluster, each node crawling a disjoint
+//! subset of the 100K sites inside its own Docker container, statelessly
+//! (all browser state cleared between consecutive page loads). The
+//! [`CrawlCluster`] reproduces that shape in-process: a pool of worker
+//! threads pulls site indices from a shared queue, loads each page with its
+//! own [`PageLoadSimulator`] (fresh state per page), and sends the resulting
+//! [`SiteCrawl`] records back over a channel. Results are merged and sorted
+//! by rank, so the output is byte-identical regardless of worker count or
+//! scheduling — a property the tests assert.
+
+use crate::database::{CrawlDatabase, SiteCrawl};
+use crate::page_load::{LoadOptions, PageLoadSimulator};
+use crossbeam::channel;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use websim::WebCorpus;
+
+/// Configuration for a crawl.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of worker threads ("nodes"). Defaults to the number of
+    /// available CPUs, capped at 13 in homage to the paper's cluster.
+    pub workers: usize,
+    /// Base request id; each site's ids are offset deterministically from it.
+    pub base_request_id: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        ClusterConfig {
+            workers: cpus.min(13).max(1),
+            base_request_id: 0,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A single-threaded configuration (useful for debugging and as the
+    /// reference the parallel runs are compared against).
+    pub fn sequential() -> Self {
+        ClusterConfig { workers: 1, base_request_id: 0 }
+    }
+
+    /// Set the number of workers.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+}
+
+/// Summary statistics of a finished crawl.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CrawlSummary {
+    /// Sites crawled.
+    pub sites: usize,
+    /// Total requests captured.
+    pub total_requests: usize,
+    /// Script-initiated requests captured.
+    pub script_initiated_requests: usize,
+    /// Average simulated page load time (ms).
+    pub average_load_time_ms: f64,
+    /// Workers used.
+    pub workers: usize,
+}
+
+/// The parallel crawler.
+#[derive(Debug, Clone, Default)]
+pub struct CrawlCluster {
+    config: ClusterConfig,
+}
+
+impl CrawlCluster {
+    /// Create a cluster with the given configuration.
+    pub fn new(config: ClusterConfig) -> Self {
+        CrawlCluster { config }
+    }
+
+    /// Crawl every website in the corpus with no blocking.
+    pub fn crawl(&self, corpus: &WebCorpus) -> CrawlDatabase {
+        self.crawl_with(corpus, &LoadOptions::unblocked())
+    }
+
+    /// Crawl every website under the given blocking options.
+    ///
+    /// Each site's request ids are derived from its rank, so results do not
+    /// depend on scheduling.
+    pub fn crawl_with(&self, corpus: &WebCorpus, options: &LoadOptions) -> CrawlDatabase {
+        if corpus.websites.is_empty() {
+            return CrawlDatabase::new();
+        }
+        let workers = self.config.workers.min(corpus.websites.len()).max(1);
+        if workers == 1 {
+            return self.crawl_sequential(corpus, options);
+        }
+
+        let next_site = AtomicUsize::new(0);
+        let (tx, rx) = channel::unbounded::<SiteCrawl>();
+        let base = self.config.base_request_id;
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next_site = &next_site;
+                scope.spawn(move || loop {
+                    let idx = next_site.fetch_add(1, Ordering::Relaxed);
+                    if idx >= corpus.websites.len() {
+                        break;
+                    }
+                    let site = &corpus.websites[idx];
+                    // A fresh simulator per page load = stateless crawling.
+                    // Request-id space is partitioned by rank so ids are
+                    // globally unique and deterministic.
+                    let mut sim = PageLoadSimulator::new(base + (site.rank as u64) * 1_000_000);
+                    let result = sim.load_with(site, options);
+                    let record = SiteCrawl::from_load(site.rank, &site.url, &site.domain, &result);
+                    // The receiver outlives all senders inside the scope.
+                    let _ = tx.send(record);
+                });
+            }
+            drop(tx);
+            let mut db = CrawlDatabase::new();
+            for record in rx.iter() {
+                db.sites.push(record);
+            }
+            db.sites.sort_by_key(|s| s.rank);
+            db
+        })
+    }
+
+    fn crawl_sequential(&self, corpus: &WebCorpus, options: &LoadOptions) -> CrawlDatabase {
+        let mut db = CrawlDatabase::new();
+        for site in &corpus.websites {
+            let mut sim =
+                PageLoadSimulator::new(self.config.base_request_id + (site.rank as u64) * 1_000_000);
+            let result = sim.load_with(site, options);
+            db.sites.push(SiteCrawl::from_load(site.rank, &site.url, &site.domain, &result));
+        }
+        db.sites.sort_by_key(|s| s.rank);
+        db
+    }
+
+    /// Crawl and also compute summary statistics.
+    pub fn crawl_with_summary(&self, corpus: &WebCorpus) -> (CrawlDatabase, CrawlSummary) {
+        let db = self.crawl(corpus);
+        let summary = CrawlSummary {
+            sites: db.site_count(),
+            total_requests: db.total_requests(),
+            script_initiated_requests: db.script_initiated_requests(),
+            average_load_time_ms: db.average_load_time_ms(),
+            workers: self.config.workers,
+        };
+        (db, summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websim::{CorpusGenerator, CorpusProfile};
+
+    fn corpus(sites: usize) -> WebCorpus {
+        CorpusGenerator::generate(&CorpusProfile::small().with_sites(sites), 23)
+    }
+
+    #[test]
+    fn parallel_crawl_equals_sequential_crawl() {
+        let corpus = corpus(60);
+        let sequential = CrawlCluster::new(ClusterConfig::sequential()).crawl(&corpus);
+        let parallel = CrawlCluster::new(ClusterConfig::default().with_workers(8)).crawl(&corpus);
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn crawl_covers_every_site_exactly_once() {
+        let corpus = corpus(35);
+        let db = CrawlCluster::new(ClusterConfig::default()).crawl(&corpus);
+        assert_eq!(db.site_count(), 35);
+        let mut ranks: Vec<usize> = db.sites.iter().map(|s| s.rank).collect();
+        ranks.dedup();
+        assert_eq!(ranks, (0..35).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn request_ids_are_globally_unique() {
+        let corpus = corpus(30);
+        let db = CrawlCluster::new(ClusterConfig::default().with_workers(4)).crawl(&corpus);
+        let mut ids: Vec<u64> = db.requests().map(|(_, r)| r.request_id).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+
+    #[test]
+    fn summary_matches_database() {
+        let corpus = corpus(25);
+        let (db, summary) = CrawlCluster::new(ClusterConfig::default()).crawl_with_summary(&corpus);
+        assert_eq!(summary.sites, db.site_count());
+        assert_eq!(summary.total_requests, db.total_requests());
+        assert_eq!(summary.script_initiated_requests, db.script_initiated_requests());
+    }
+
+    #[test]
+    fn empty_corpus_yields_empty_database() {
+        let corpus = WebCorpus { websites: vec![], ecosystem: Default::default(), seed: 0 };
+        let db = CrawlCluster::new(ClusterConfig::default()).crawl(&corpus);
+        assert_eq!(db.site_count(), 0);
+    }
+}

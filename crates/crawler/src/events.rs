@@ -1,0 +1,206 @@
+//! DevTools-style network events.
+//!
+//! The paper's crawler is a purpose-built Chrome extension listening to two
+//! DevTools network events: `requestWillBeSent` (request metadata plus the
+//! initiator call stack) and `responseReceived` (response metadata). These
+//! types mirror the fields §3 enumerates: a unique `request_id`, the page's
+//! `top_level_url`, the `frame_url`, the `resource_type`, a timestamp, and a
+//! `call_stack` object with the initiator information and the stack trace
+//! for script-initiated requests.
+
+use filterlist::ResourceType;
+use serde::{Deserialize, Serialize};
+
+/// One frame of a JavaScript call stack.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StackFrame {
+    /// URL of the script the frame belongs to (for inline scripts this is
+    /// the document URL, exactly as DevTools reports it).
+    pub script_url: String,
+    /// Function (method) name; empty for anonymous frames.
+    pub function_name: String,
+    /// 1-based line number within the script (synthetic but stable).
+    pub line: u32,
+    /// 1-based column number within the script (synthetic but stable).
+    pub column: u32,
+}
+
+impl StackFrame {
+    /// Construct a frame.
+    pub fn new(script_url: impl Into<String>, function_name: impl Into<String>, line: u32, column: u32) -> Self {
+        StackFrame {
+            script_url: script_url.into(),
+            function_name: function_name.into(),
+            line,
+            column,
+        }
+    }
+}
+
+/// The initiator call stack attached to a script-initiated request.
+///
+/// `frames[0]` is the innermost frame — the method that actually issued the
+/// request — matching DevTools ordering. For asynchronous requests the stack
+/// that *preceded* the asynchronous hop is appended after the synchronous
+/// frames (the paper: "the stack trace that preceded the request is
+/// prepended" to the ancestry), with `async_boundary` recording where the
+/// synchronous portion ends.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CallStack {
+    /// Stack frames, innermost first.
+    pub frames: Vec<StackFrame>,
+    /// Index of the first frame that belongs to the asynchronous parent
+    /// stack, if the request was issued from an async continuation.
+    pub async_boundary: Option<usize>,
+}
+
+impl CallStack {
+    /// An empty stack (used for requests that are not script-initiated).
+    pub fn empty() -> Self {
+        CallStack::default()
+    }
+
+    /// `true` when there is at least one script frame.
+    pub fn is_script_initiated(&self) -> bool {
+        !self.frames.is_empty()
+    }
+
+    /// The innermost frame (the method that issued the request).
+    pub fn initiator_frame(&self) -> Option<&StackFrame> {
+        self.frames.first()
+    }
+
+    /// The URL of the script that issued the request (innermost frame).
+    pub fn initiator_script(&self) -> Option<&str> {
+        self.initiator_frame().map(|f| f.script_url.as_str())
+    }
+
+    /// All distinct script URLs appearing anywhere in the stack, innermost
+    /// first — the "ancestral scripts" the paper also labels.
+    pub fn ancestral_scripts(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for frame in &self.frames {
+            if !seen.contains(&frame.script_url.as_str()) {
+                seen.push(frame.script_url.as_str());
+            }
+        }
+        seen
+    }
+}
+
+/// The `requestWillBeSent` event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestWillBeSent {
+    /// Unique identifier of the request within the crawl.
+    pub request_id: u64,
+    /// URL of the page being crawled.
+    pub top_level_url: String,
+    /// URL of the document (frame) the request was issued from.
+    pub frame_url: String,
+    /// The request URL.
+    pub url: String,
+    /// Resource type reported by the browser.
+    pub resource_type: ResourceType,
+    /// Initiator call stack (empty for parser-initiated requests).
+    pub call_stack: CallStack,
+    /// Milliseconds since the start of the page load (simulated clock).
+    pub timestamp_ms: u64,
+}
+
+impl RequestWillBeSent {
+    /// `true` when a script initiated this request (the only requests the
+    /// paper's analysis keeps).
+    pub fn is_script_initiated(&self) -> bool {
+        self.call_stack.is_script_initiated()
+    }
+}
+
+/// The `responseReceived` event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResponseReceived {
+    /// Identifier matching the corresponding [`RequestWillBeSent`].
+    pub request_id: u64,
+    /// HTTP status code (the simulator answers 200 unless the resource was
+    /// blocked, in which case no response event is emitted at all).
+    pub status: u16,
+    /// Response MIME type.
+    pub mime_type: String,
+    /// Size of the response body in bytes (synthetic).
+    pub body_length: u64,
+    /// Milliseconds since the start of the page load.
+    pub timestamp_ms: u64,
+}
+
+/// A network event: either request or response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetworkEvent {
+    /// A request is about to be sent.
+    Request(RequestWillBeSent),
+    /// A response arrived.
+    Response(ResponseReceived),
+}
+
+impl NetworkEvent {
+    /// The request id the event refers to.
+    pub fn request_id(&self) -> u64 {
+        match self {
+            NetworkEvent::Request(r) => r.request_id,
+            NetworkEvent::Response(r) => r.request_id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack() -> CallStack {
+        CallStack {
+            frames: vec![
+                StackFrame::new("https://cdn.x.com/clone.js", "m2", 10, 4),
+                StackFrame::new("https://cdn.x.com/clone.js", "init", 2, 1),
+                StackFrame::new("https://tm.example/gtm.js?id=1", "bootstrap", 1, 1),
+            ],
+            async_boundary: None,
+        }
+    }
+
+    #[test]
+    fn initiator_is_innermost_frame() {
+        let s = stack();
+        assert_eq!(s.initiator_frame().unwrap().function_name, "m2");
+        assert_eq!(s.initiator_script().unwrap(), "https://cdn.x.com/clone.js");
+    }
+
+    #[test]
+    fn ancestral_scripts_deduplicate_in_order() {
+        let s = stack();
+        assert_eq!(
+            s.ancestral_scripts(),
+            vec!["https://cdn.x.com/clone.js", "https://tm.example/gtm.js?id=1"]
+        );
+    }
+
+    #[test]
+    fn empty_stack_is_not_script_initiated() {
+        assert!(!CallStack::empty().is_script_initiated());
+        assert!(stack().is_script_initiated());
+    }
+
+    #[test]
+    fn events_round_trip_through_serde() {
+        let ev = NetworkEvent::Request(RequestWillBeSent {
+            request_id: 7,
+            top_level_url: "https://site.com/".into(),
+            frame_url: "https://site.com/".into(),
+            url: "https://t.co/collect?v=1&x=1".into(),
+            resource_type: ResourceType::Xhr,
+            call_stack: stack(),
+            timestamp_ms: 120,
+        });
+        let json = serde_json::to_string(&ev).unwrap();
+        let back: NetworkEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(ev, back);
+        assert_eq!(back.request_id(), 7);
+    }
+}

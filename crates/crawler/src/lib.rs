@@ -1,0 +1,41 @@
+//! # crawler — an instrumented browser simulator for TrackerSift
+//!
+//! The paper collects its data with Selenium-driven Chrome plus a
+//! purpose-built extension that records `requestWillBeSent` /
+//! `responseReceived` DevTools events, including the initiator call stack of
+//! every script-initiated request, across a 13-node crawling cluster. This
+//! crate reproduces that measurement substrate against the synthetic corpus
+//! from `websim`:
+//!
+//! * [`events`] — the DevTools-style event types ([`RequestWillBeSent`],
+//!   [`ResponseReceived`], [`CallStack`], [`StackFrame`]);
+//! * [`page_load`] — the per-page simulator that turns a
+//!   [`websim::Website`] into an event stream (with tag-manager ancestry,
+//!   async-stack prepending, and optional script/request blocking for
+//!   breakage experiments);
+//! * [`cluster`] — the parallel, stateless crawl orchestrator;
+//! * [`database`] — the crawl database the offline analysis consumes, with
+//!   JSON persistence.
+//!
+//! ```
+//! use crawler::{ClusterConfig, CrawlCluster};
+//! use websim::{CorpusGenerator, CorpusProfile};
+//!
+//! let corpus = CorpusGenerator::generate(&CorpusProfile::small().with_sites(10), 1);
+//! let db = CrawlCluster::new(ClusterConfig::default()).crawl(&corpus);
+//! assert_eq!(db.site_count(), 10);
+//! assert!(db.script_initiated_requests() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod database;
+pub mod events;
+pub mod page_load;
+
+pub use cluster::{ClusterConfig, CrawlCluster, CrawlSummary};
+pub use database::{CrawlDatabase, SiteCrawl};
+pub use events::{CallStack, NetworkEvent, RequestWillBeSent, ResponseReceived, StackFrame};
+pub use page_load::{LoadOptions, PageLoadResult, PageLoadSimulator};

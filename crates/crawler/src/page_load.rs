@@ -1,0 +1,597 @@
+//! Simulated page loads.
+//!
+//! [`PageLoadSimulator`] plays the role of the instrumented Chrome instance:
+//! it walks a [`websim::Website`] description and produces the stream of
+//! network events that loading the page would generate — parser-initiated
+//! document requests without call stacks, dynamically injected script
+//! fetches, and every script-initiated request with its full initiator call
+//! stack (including tag-manager ancestry and async-stack prepending).
+//!
+//! Blocking is modelled the way a content blocker behaves at runtime: a
+//! blocked *script* never executes (none of its requests are issued and the
+//! features depending on it break); a blocked *request* is simply not sent.
+//! This is what the breakage analysis (paper Table 3) exercises.
+
+use crate::events::{CallStack, NetworkEvent, RequestWillBeSent, ResponseReceived, StackFrame};
+use filterlist::ResourceType;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use websim::{FeatureImportance, PageScript, ScriptMethodSpec, Website};
+
+/// Options controlling one page load.
+#[derive(Debug, Clone, Default)]
+pub struct LoadOptions {
+    /// Script URLs that are blocked (the script does not execute at all).
+    pub blocked_script_urls: HashSet<String>,
+    /// Exact request URLs that are blocked (the request is not sent).
+    pub blocked_request_urls: HashSet<String>,
+}
+
+impl LoadOptions {
+    /// No blocking: the control condition.
+    pub fn unblocked() -> Self {
+        LoadOptions::default()
+    }
+
+    /// Block the given script URLs: the treatment condition of the paper's
+    /// breakage analysis.
+    pub fn blocking_scripts<I, S>(urls: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        LoadOptions {
+            blocked_script_urls: urls.into_iter().map(Into::into).collect(),
+            blocked_request_urls: HashSet::new(),
+        }
+    }
+}
+
+/// The outcome of loading one page.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageLoadResult {
+    /// Every network event, in emission order.
+    pub events: Vec<NetworkEvent>,
+    /// Names of page features that worked during this load.
+    pub working_features: Vec<String>,
+    /// Names of features that broke (a required script did not execute),
+    /// with their importance.
+    pub broken_features: Vec<(String, FeatureImportance)>,
+    /// Simulated time until the `onLoad` event fired, in milliseconds.
+    pub load_time_ms: u64,
+}
+
+impl PageLoadResult {
+    /// Only the `requestWillBeSent` events.
+    pub fn requests(&self) -> impl Iterator<Item = &RequestWillBeSent> {
+        self.events.iter().filter_map(|e| match e {
+            NetworkEvent::Request(r) => Some(r),
+            NetworkEvent::Response(_) => None,
+        })
+    }
+
+    /// Count of script-initiated requests.
+    pub fn script_initiated_count(&self) -> usize {
+        self.requests().filter(|r| r.is_script_initiated()).count()
+    }
+}
+
+/// The page-load simulator. Stateless between loads (the paper's crawler
+/// clears all cookies and local state between consecutive crawls).
+#[derive(Debug, Clone, Default)]
+pub struct PageLoadSimulator {
+    next_request_id: u64,
+    clock_ms: u64,
+}
+
+impl PageLoadSimulator {
+    /// Create a simulator whose request ids start at `first_request_id`
+    /// (lets the cluster keep ids globally unique without coordination).
+    pub fn new(first_request_id: u64) -> Self {
+        PageLoadSimulator {
+            next_request_id: first_request_id,
+            clock_ms: 0,
+        }
+    }
+
+    /// Load a page without blocking anything.
+    pub fn load(&mut self, site: &Website) -> PageLoadResult {
+        self.load_with(site, &LoadOptions::unblocked())
+    }
+
+    /// Load a page under the given blocking options.
+    pub fn load_with(&mut self, site: &Website, options: &LoadOptions) -> PageLoadResult {
+        self.clock_ms = 0;
+        let mut result = PageLoadResult::default();
+
+        // 1. The document itself.
+        self.emit(
+            &mut result,
+            &site.url,
+            site,
+            ResourceType::Document,
+            CallStack::empty(),
+            "text/html",
+        );
+
+        // 2. Parser-initiated document requests (no call stack). TrackerSift
+        //    excludes these downstream; the browser still fetches them.
+        for req in &site.non_script_requests {
+            if options.blocked_request_urls.contains(&req.url) {
+                continue;
+            }
+            self.emit(
+                &mut result,
+                &req.url,
+                site,
+                req.resource_type,
+                CallStack::empty(),
+                mime_for(req.resource_type),
+            );
+        }
+
+        // 3. Which scripts execute? A blocked script never runs. A script
+        //    that is only injected by another (blocked) script never runs
+        //    either.
+        let executed = executed_scripts(site, options);
+
+        // 4. Dynamic script injection: a script listed in `loads_scripts`
+        //    of an executing script is fetched *by* that script, so the
+        //    fetch itself is a script-initiated request.
+        for (loader_idx, loader) in site.scripts.iter().enumerate() {
+            if !executed[loader_idx] {
+                continue;
+            }
+            for &loaded_idx in &loader.loads_scripts {
+                if !executed[loaded_idx] {
+                    continue;
+                }
+                let loaded_url = site.scripts[loaded_idx].origin.url().to_string();
+                if options.blocked_request_urls.contains(&loaded_url) {
+                    continue;
+                }
+                let stack = injection_stack(loader, loader_idx);
+                self.emit(&mut result, &loaded_url, site, ResourceType::Script, stack, "application/javascript");
+            }
+        }
+
+        // 5. Script execution: every method's planned requests, each with
+        //    its synthesized call stack.
+        for (idx, script) in site.scripts.iter().enumerate() {
+            if !executed[idx] {
+                continue;
+            }
+            let ancestor_frames = ancestor_stack(site, idx, &executed);
+            for (method_idx, method) in script.methods.iter().enumerate() {
+                let caller_chain = caller_chain(script, method_idx);
+                for request in &method.requests {
+                    if options.blocked_request_urls.contains(&request.url) {
+                        continue;
+                    }
+                    let stack = build_stack(
+                        script,
+                        method,
+                        &caller_chain,
+                        &ancestor_frames,
+                        request.is_async,
+                        request.via_caller.as_deref(),
+                    );
+                    self.emit(
+                        &mut result,
+                        &request.url,
+                        site,
+                        request.resource_type,
+                        stack,
+                        mime_for(request.resource_type),
+                    );
+                }
+            }
+        }
+
+        // 6. Feature outcome (used by the breakage analysis).
+        for feature in &site.features {
+            let works = feature.required_scripts.iter().all(|&i| executed[i]);
+            if works {
+                result.working_features.push(feature.name.clone());
+            } else {
+                result.broken_features.push((feature.name.clone(), feature.importance));
+            }
+        }
+
+        // The paper reports ~10s average page load; our simulated clock
+        // advances ~3ms per request which lands in the same order of
+        // magnitude for request-heavy pages without pretending to model
+        // real network latency.
+        result.load_time_ms = self.clock_ms;
+        result
+    }
+
+    fn emit(
+        &mut self,
+        result: &mut PageLoadResult,
+        url: &str,
+        site: &Website,
+        resource_type: ResourceType,
+        call_stack: CallStack,
+        mime: &str,
+    ) {
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        self.clock_ms += 3;
+        result.events.push(NetworkEvent::Request(RequestWillBeSent {
+            request_id,
+            top_level_url: site.url.clone(),
+            frame_url: site.url.clone(),
+            url: url.to_string(),
+            resource_type,
+            call_stack,
+            timestamp_ms: self.clock_ms,
+        }));
+        self.clock_ms += 2;
+        result.events.push(NetworkEvent::Response(ResponseReceived {
+            request_id,
+            status: 200,
+            mime_type: mime.to_string(),
+            body_length: 256 + (url.len() as u64) * 7,
+            timestamp_ms: self.clock_ms,
+        }));
+    }
+}
+
+/// Which scripts execute under the blocking options. A script executes when
+/// its own URL is not blocked AND (it is statically included, i.e. nothing
+/// loads it dynamically, OR at least one of its loaders executes).
+fn executed_scripts(site: &Website, options: &LoadOptions) -> Vec<bool> {
+    let n = site.scripts.len();
+    // loaded_by[i] = scripts that dynamically inject script i.
+    let mut loaded_by: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (loader, script) in site.scripts.iter().enumerate() {
+        for &loaded in &script.loads_scripts {
+            if loaded < n {
+                loaded_by[loaded].push(loader);
+            }
+        }
+    }
+    // Fixed-point: start by assuming statically-included, unblocked scripts
+    // run, then propagate through dynamic injection.
+    let mut executed = vec![false; n];
+    for (i, script) in site.scripts.iter().enumerate() {
+        if loaded_by[i].is_empty() && !options.blocked_script_urls.contains(script.origin.url()) {
+            executed[i] = true;
+        }
+    }
+    loop {
+        let mut changed = false;
+        for (i, script) in site.scripts.iter().enumerate() {
+            if executed[i] || loaded_by[i].is_empty() {
+                continue;
+            }
+            if options.blocked_script_urls.contains(script.origin.url()) {
+                continue;
+            }
+            if loaded_by[i].iter().any(|&l| executed[l]) {
+                executed[i] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    executed
+}
+
+/// Stack for the fetch of a dynamically injected script.
+fn injection_stack(loader: &PageScript, _loader_idx: usize) -> CallStack {
+    let url = loader.origin.url();
+    let mut frames = Vec::new();
+    // The injecting call comes from the loader's first method (bootstrap).
+    if let Some(method) = loader.methods.first() {
+        frames.push(StackFrame::new(url, method.name.clone(), 1, 1));
+    } else {
+        frames.push(StackFrame::new(url, "", 1, 1));
+    }
+    CallStack { frames, async_boundary: None }
+}
+
+/// Frames contributed by the scripts that (transitively) injected `idx`.
+fn ancestor_stack(site: &Website, idx: usize, executed: &[bool]) -> Vec<StackFrame> {
+    let mut frames = Vec::new();
+    let mut current = idx;
+    let mut guard = 0;
+    loop {
+        guard += 1;
+        if guard > site.scripts.len() {
+            break; // cycle guard; generator never creates cycles
+        }
+        let loader = site
+            .scripts
+            .iter()
+            .enumerate()
+            .find(|(l, s)| executed[*l] && s.loads_scripts.contains(&current))
+            .map(|(l, _)| l);
+        match loader {
+            Some(l) => {
+                let loader_script = &site.scripts[l];
+                let method_name = loader_script
+                    .methods
+                    .first()
+                    .map(|m| m.name.clone())
+                    .unwrap_or_default();
+                frames.push(StackFrame::new(loader_script.origin.url(), method_name, 1, 1));
+                current = l;
+            }
+            None => break,
+        }
+    }
+    frames
+}
+
+/// The chain of callers of `method_idx` within the same script (a method
+/// whose `callees` list contains `method_idx`), outermost last.
+fn caller_chain(script: &PageScript, method_idx: usize) -> Vec<usize> {
+    let mut chain = Vec::new();
+    let mut current = method_idx;
+    let mut guard = 0;
+    loop {
+        guard += 1;
+        if guard > script.methods.len() {
+            break;
+        }
+        match script
+            .methods
+            .iter()
+            .enumerate()
+            .find(|(_, m)| m.callees.contains(&current))
+        {
+            Some((caller, _)) => {
+                chain.push(caller);
+                current = caller;
+            }
+            None => break,
+        }
+    }
+    chain
+}
+
+/// Build the full call stack for one request.
+fn build_stack(
+    script: &PageScript,
+    method: &ScriptMethodSpec,
+    caller_chain: &[usize],
+    ancestor_frames: &[StackFrame],
+    is_async: bool,
+    via_caller: Option<&str>,
+) -> CallStack {
+    let url = script.origin.url();
+    let mut frames = Vec::new();
+    // Innermost: the method issuing the request. Line/column derive from the
+    // method's position so they are stable and distinct.
+    let method_pos = script
+        .methods
+        .iter()
+        .position(|m| std::ptr::eq(m, method))
+        .unwrap_or(0);
+    frames.push(StackFrame::new(url, method.name.clone(), (method_pos as u32 + 1) * 10, 1));
+    // Per-request calling context: the method that invoked this dispatcher
+    // for this particular request (shared-transport pattern).
+    if let Some(caller) = via_caller {
+        if let Some(pos) = script.methods.iter().position(|m| m.name == caller) {
+            frames.push(StackFrame::new(url, caller.to_string(), (pos as u32 + 1) * 10, 1));
+        } else {
+            frames.push(StackFrame::new(url, caller.to_string(), 1, 1));
+        }
+    }
+    for &caller in caller_chain {
+        let caller_method = &script.methods[caller];
+        frames.push(StackFrame::new(
+            url,
+            caller_method.name.clone(),
+            (caller as u32 + 1) * 10,
+            1,
+        ));
+    }
+    let sync_len = frames.len();
+    frames.extend(ancestor_frames.iter().cloned());
+    CallStack {
+        frames,
+        async_boundary: if is_async { Some(sync_len) } else { None },
+    }
+}
+
+fn mime_for(ty: ResourceType) -> &'static str {
+    match ty {
+        ResourceType::Script => "application/javascript",
+        ResourceType::Image => "image/png",
+        ResourceType::Stylesheet => "text/css",
+        ResourceType::Xhr => "application/json",
+        ResourceType::Subdocument | ResourceType::Document => "text/html",
+        ResourceType::Font => "font/woff2",
+        ResourceType::Media => "video/mp4",
+        ResourceType::Websocket => "application/octet-stream",
+        ResourceType::Ping => "text/plain",
+        ResourceType::Other => "application/octet-stream",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websim::{CorpusGenerator, CorpusProfile, ScriptArchetype};
+
+    fn small_corpus() -> websim::WebCorpus {
+        CorpusGenerator::generate(&CorpusProfile::small().with_sites(40), 11)
+    }
+
+    #[test]
+    fn every_planned_script_request_is_emitted_when_unblocked() {
+        let corpus = small_corpus();
+        let mut sim = PageLoadSimulator::new(0);
+        for site in &corpus.websites {
+            let result = sim.load(site);
+            assert_eq!(
+                result.script_initiated_count(),
+                site.script_initiated_request_count()
+                    + dynamic_injections(site),
+                "site {}",
+                site.domain
+            );
+        }
+    }
+
+    fn dynamic_injections(site: &Website) -> usize {
+        site.scripts.iter().map(|s| s.loads_scripts.len()).sum()
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_monotonic() {
+        let corpus = small_corpus();
+        let mut sim = PageLoadSimulator::new(0);
+        let mut last = None;
+        for site in &corpus.websites {
+            for req in sim.load(site).requests().map(|r| r.request_id).collect::<Vec<_>>() {
+                if let Some(prev) = last {
+                    assert!(req > prev);
+                }
+                last = Some(req);
+            }
+        }
+    }
+
+    #[test]
+    fn document_requests_have_no_call_stack() {
+        let corpus = small_corpus();
+        let mut sim = PageLoadSimulator::new(0);
+        let site = &corpus.websites[0];
+        let result = sim.load(site);
+        let doc_reqs: Vec<_> = result
+            .requests()
+            .filter(|r| site.non_script_requests.iter().any(|p| p.url == r.url))
+            .collect();
+        assert!(!doc_reqs.is_empty());
+        assert!(doc_reqs.iter().all(|r| !r.is_script_initiated()));
+    }
+
+    #[test]
+    fn injected_scripts_carry_their_loader_in_the_stack() {
+        let corpus = small_corpus();
+        let mut sim = PageLoadSimulator::new(0);
+        for site in &corpus.websites {
+            let loaders: Vec<(usize, &PageScript)> = site
+                .scripts
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.loads_scripts.is_empty())
+                .collect();
+            if loaders.is_empty() {
+                continue;
+            }
+            let result = sim.load(site);
+            for (_, loader) in loaders {
+                for &loaded in &loader.loads_scripts {
+                    let loaded_url = site.scripts[loaded].origin.url();
+                    // Every request issued by the loaded script must have the
+                    // loader somewhere in its ancestral scripts.
+                    let loaded_requests: Vec<_> = result
+                        .requests()
+                        .filter(|r| r.call_stack.initiator_script() == Some(loaded_url))
+                        .collect();
+                    for req in loaded_requests {
+                        assert!(
+                            req.call_stack
+                                .ancestral_scripts()
+                                .contains(&loader.origin.url()),
+                            "request {} lacks loader ancestry",
+                            req.url
+                        );
+                    }
+                }
+            }
+            return; // one site with loaders is enough
+        }
+    }
+
+    #[test]
+    fn async_requests_record_the_boundary() {
+        let corpus = small_corpus();
+        let mut sim = PageLoadSimulator::new(0);
+        let mut seen_async = false;
+        for site in &corpus.websites {
+            let result = sim.load(site);
+            for req in result.requests() {
+                if let Some(boundary) = req.call_stack.async_boundary {
+                    assert!(boundary <= req.call_stack.frames.len());
+                    assert!(boundary >= 1);
+                    seen_async = true;
+                }
+            }
+        }
+        assert!(seen_async, "corpus should contain async requests");
+    }
+
+    #[test]
+    fn blocking_a_script_suppresses_its_requests_and_breaks_features() {
+        let corpus = small_corpus();
+        let mut sim = PageLoadSimulator::new(0);
+        // Find a site with a feature depending on its first script.
+        let site = corpus
+            .websites
+            .iter()
+            .find(|s| s.features.iter().any(|f| f.required_scripts.contains(&0)))
+            .expect("some site depends on its app script");
+        let app_url = site.scripts[0].origin.url().to_string();
+
+        let control = sim.load(site);
+        let treatment = sim.load_with(site, &LoadOptions::blocking_scripts([app_url.clone()]));
+
+        assert!(control.broken_features.is_empty());
+        assert!(!treatment.broken_features.is_empty());
+        assert!(treatment.script_initiated_count() < control.script_initiated_count());
+        // None of the blocked script's requests were sent.
+        assert!(treatment
+            .requests()
+            .all(|r| r.call_stack.initiator_script() != Some(app_url.as_str())));
+    }
+
+    #[test]
+    fn blocking_an_individual_request_url_only_drops_that_request() {
+        let corpus = small_corpus();
+        let mut sim = PageLoadSimulator::new(0);
+        let site = &corpus.websites[1];
+        let control = sim.load(site);
+        let victim = control
+            .requests()
+            .find(|r| r.is_script_initiated())
+            .map(|r| r.url.clone())
+            .expect("site has script-initiated requests");
+        let mut opts = LoadOptions::unblocked();
+        opts.blocked_request_urls.insert(victim.clone());
+        let treatment = sim.load_with(site, &opts);
+        assert!(treatment.requests().all(|r| r.url != victim || !r.is_script_initiated()));
+        assert!(treatment.events.len() < control.events.len());
+    }
+
+    #[test]
+    fn mixed_scripts_issue_both_kinds_of_planned_intent() {
+        // Sanity link between websim ground truth and the simulator output.
+        let corpus = small_corpus();
+        let site = corpus
+            .websites
+            .iter()
+            .find(|s| s.scripts.iter().any(|sc| sc.archetype == ScriptArchetype::Mixed))
+            .expect("corpus contains mixed scripts");
+        let mixed = site
+            .scripts
+            .iter()
+            .find(|sc| sc.archetype == ScriptArchetype::Mixed)
+            .unwrap();
+        let mut sim = PageLoadSimulator::new(0);
+        let result = sim.load(site);
+        let urls: Vec<&str> = mixed.planned_requests().map(|(_, r)| r.url.as_str()).collect();
+        let emitted = result
+            .requests()
+            .filter(|r| urls.contains(&r.url.as_str()))
+            .count();
+        assert_eq!(emitted, urls.len());
+    }
+}

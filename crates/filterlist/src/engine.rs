@@ -1,0 +1,298 @@
+//! The filter engine: EasyList + EasyPrivacy semantics over a request.
+//!
+//! TrackerSift's oracle is simple: *a request that matches EasyList or
+//! EasyPrivacy is tracking, everything else is functional* (§3, "Labeling").
+//! The engine nevertheless implements the full blocking/exception semantics
+//! so it behaves like a real content blocker: an `@@` exception rule
+//! overrides a blocking match from any list.
+
+use crate::index::RuleIndex;
+use crate::parser::{parse_list, ParseStats};
+use crate::request::{FilterRequest, ResourceType};
+use crate::rule::{FilterRule, ListKind};
+use serde::{Deserialize, Serialize};
+
+/// The label TrackerSift assigns to a single network request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestLabel {
+    /// The request matched EasyList or EasyPrivacy (and no exception).
+    Tracking,
+    /// The request did not match (or an exception overrode the match).
+    Functional,
+}
+
+impl RequestLabel {
+    /// `true` for [`RequestLabel::Tracking`].
+    pub fn is_tracking(&self) -> bool {
+        matches!(self, RequestLabel::Tracking)
+    }
+}
+
+/// The detailed outcome of evaluating a request against the engine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatchOutcome {
+    /// A blocking rule matched and no exception rule overrode it.
+    Blocked {
+        /// Text of the blocking rule.
+        rule: String,
+        /// List the blocking rule came from.
+        list: ListKind,
+    },
+    /// A blocking rule matched but an exception (`@@`) rule allowed the
+    /// request.
+    Excepted {
+        /// Text of the blocking rule that would have fired.
+        rule: String,
+        /// Text of the exception rule that overrode it.
+        exception: String,
+    },
+    /// No blocking rule matched.
+    NoMatch,
+}
+
+impl MatchOutcome {
+    /// Collapse the outcome into the binary label the paper uses.
+    pub fn label(&self) -> RequestLabel {
+        match self {
+            MatchOutcome::Blocked { .. } => RequestLabel::Tracking,
+            _ => RequestLabel::Functional,
+        }
+    }
+}
+
+/// A compiled filter engine over one or more lists.
+#[derive(Debug, Clone, Default)]
+pub struct FilterEngine {
+    blocking: RuleIndex,
+    exceptions: RuleIndex,
+    stats: Vec<(ListKind, ParseStats)>,
+}
+
+impl FilterEngine {
+    /// Build an engine from already-parsed rules.
+    pub fn from_rules(rules: Vec<FilterRule>) -> Self {
+        let (exceptions, blocking): (Vec<_>, Vec<_>) = rules.into_iter().partition(|r| r.exception);
+        FilterEngine {
+            blocking: RuleIndex::build(blocking),
+            exceptions: RuleIndex::build(exceptions),
+            stats: Vec::new(),
+        }
+    }
+
+    /// Build an engine from raw list texts, each tagged with its provenance.
+    pub fn from_lists(lists: &[(ListKind, &str)]) -> Self {
+        let mut rules = Vec::new();
+        let mut stats = Vec::new();
+        for (kind, text) in lists {
+            let parsed = parse_list(text, *kind);
+            stats.push((*kind, parsed.stats));
+            rules.extend(parsed.rules);
+        }
+        let mut engine = Self::from_rules(rules);
+        engine.stats = stats;
+        engine
+    }
+
+    /// Build the engine the paper uses: the embedded EasyList + EasyPrivacy
+    /// snapshots.
+    pub fn easylist_easyprivacy() -> Self {
+        Self::from_lists(&[
+            (ListKind::EasyList, crate::lists::EASYLIST_CURATED),
+            (ListKind::EasyPrivacy, crate::lists::EASYPRIVACY_CURATED),
+        ])
+    }
+
+    /// Add more rules (e.g. the synthetic ecosystem's tracker domains) to an
+    /// existing engine. Rebuilds the indices.
+    pub fn extend_with_rules(&mut self, extra: Vec<FilterRule>) {
+        let mut blocking: Vec<FilterRule> = self.blocking.rules().cloned().collect();
+        let mut exceptions: Vec<FilterRule> = self.exceptions.rules().cloned().collect();
+        for rule in extra {
+            if rule.exception {
+                exceptions.push(rule);
+            } else {
+                blocking.push(rule);
+            }
+        }
+        self.blocking = RuleIndex::build(blocking);
+        self.exceptions = RuleIndex::build(exceptions);
+    }
+
+    /// Total number of rules (blocking + exception).
+    pub fn rule_count(&self) -> usize {
+        self.blocking.len() + self.exceptions.len()
+    }
+
+    /// Number of blocking rules.
+    pub fn blocking_rule_count(&self) -> usize {
+        self.blocking.len()
+    }
+
+    /// Number of exception rules.
+    pub fn exception_rule_count(&self) -> usize {
+        self.exceptions.len()
+    }
+
+    /// Per-list parse statistics (only populated when built from list text).
+    pub fn parse_stats(&self) -> &[(ListKind, ParseStats)] {
+        &self.stats
+    }
+
+    /// Evaluate a request, returning the full outcome.
+    pub fn evaluate(&self, request: &FilterRequest) -> MatchOutcome {
+        match self.blocking.first_match(request) {
+            Some(block) => match self.exceptions.first_match(request) {
+                Some(exc) => MatchOutcome::Excepted {
+                    rule: block.text.clone(),
+                    exception: exc.text.clone(),
+                },
+                None => MatchOutcome::Blocked {
+                    rule: block.text.clone(),
+                    list: block.list,
+                },
+            },
+            None => MatchOutcome::NoMatch,
+        }
+    }
+
+    /// Evaluate a request and return only the binary label.
+    pub fn label(&self, request: &FilterRequest) -> RequestLabel {
+        self.evaluate(request).label()
+    }
+
+    /// Convenience: label a raw URL issued from `source_hostname`.
+    pub fn label_url(
+        &self,
+        url: &str,
+        source_hostname: &str,
+        resource_type: ResourceType,
+    ) -> RequestLabel {
+        match FilterRequest::new(url, source_hostname, resource_type) {
+            Some(req) => self.label(&req),
+            None => RequestLabel::Functional,
+        }
+    }
+
+    /// Reference implementation used by tests/benches: linear scan without
+    /// the token index.
+    pub fn evaluate_linear(&self, request: &FilterRequest) -> MatchOutcome {
+        match self.blocking.first_match_linear(request) {
+            Some(block) => match self.exceptions.first_match_linear(request) {
+                Some(exc) => MatchOutcome::Excepted {
+                    rule: block.text.clone(),
+                    exception: exc.text.clone(),
+                },
+                None => MatchOutcome::Blocked {
+                    rule: block.text.clone(),
+                    list: block.list,
+                },
+            },
+            None => MatchOutcome::NoMatch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(rules: &str) -> FilterEngine {
+        FilterEngine::from_lists(&[(ListKind::EasyList, rules)])
+    }
+
+    fn req(url: &str, source: &str, ty: ResourceType) -> FilterRequest {
+        FilterRequest::new(url, source, ty).unwrap()
+    }
+
+    #[test]
+    fn blocking_rule_labels_tracking() {
+        let e = engine("||tracker.io^$third-party\n");
+        let r = req("https://px.tracker.io/collect", "shop.com", ResourceType::Xhr);
+        assert_eq!(e.label(&r), RequestLabel::Tracking);
+        assert!(matches!(e.evaluate(&r), MatchOutcome::Blocked { .. }));
+    }
+
+    #[test]
+    fn exception_overrides_block() {
+        let e = engine("||cdn.io^\n@@||cdn.io/lib/jquery.js$script\n");
+        let blocked = req("https://cdn.io/px.gif", "shop.com", ResourceType::Image);
+        let allowed = req("https://cdn.io/lib/jquery.js", "shop.com", ResourceType::Script);
+        assert_eq!(e.label(&blocked), RequestLabel::Tracking);
+        assert_eq!(e.label(&allowed), RequestLabel::Functional);
+        assert!(matches!(e.evaluate(&allowed), MatchOutcome::Excepted { .. }));
+    }
+
+    #[test]
+    fn no_match_is_functional() {
+        let e = engine("||tracker.io^\n");
+        let r = req("https://images.shop.com/logo.png", "shop.com", ResourceType::Image);
+        assert_eq!(e.label(&r), RequestLabel::Functional);
+        assert_eq!(e.evaluate(&r), MatchOutcome::NoMatch);
+    }
+
+    #[test]
+    fn embedded_lists_load_and_label_known_trackers() {
+        let e = FilterEngine::easylist_easyprivacy();
+        assert!(e.rule_count() > 100, "expected a substantive embedded list");
+        let ga = req(
+            "https://www.google-analytics.com/analytics.js",
+            "news.example.com",
+            ResourceType::Script,
+        );
+        let dc = req(
+            "https://securepubads.g.doubleclick.net/gpt/pubads_impl.js",
+            "news.example.com",
+            ResourceType::Script,
+        );
+        let logo = req(
+            "https://pbs.twimg.com/profile_images/1/logo.png",
+            "news.example.com",
+            ResourceType::Image,
+        );
+        assert_eq!(e.label(&ga), RequestLabel::Tracking);
+        assert_eq!(e.label(&dc), RequestLabel::Tracking);
+        assert_eq!(e.label(&logo), RequestLabel::Functional);
+    }
+
+    #[test]
+    fn indexed_and_linear_evaluation_agree_on_embedded_lists() {
+        let e = FilterEngine::easylist_easyprivacy();
+        let urls = [
+            ("https://www.googletagmanager.com/gtm.js?id=GTM-1", ResourceType::Script),
+            ("https://connect.facebook.net/en_US/fbevents.js", ResourceType::Script),
+            ("https://cdn.shopify.com/s/files/1/theme.js", ResourceType::Script),
+            ("https://stats.wp.com/e-202124.js", ResourceType::Script),
+            ("https://i0.wp.com/site/wp-content/uploads/photo.jpg", ResourceType::Image),
+            ("https://secure.quantserve.com/quant.js", ResourceType::Script),
+            ("https://example.com/wp-content/themes/x/style.css", ResourceType::Stylesheet),
+        ];
+        for (u, ty) in urls {
+            let r = req(u, "publisher-site.com", ty);
+            assert_eq!(
+                e.evaluate(&r).label(),
+                e.evaluate_linear(&r).label(),
+                "disagreement for {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn extend_with_rules_adds_blocking_rules() {
+        let mut e = engine("||tracker.io^\n");
+        let before = e.rule_count();
+        let extra = crate::parser::parse_list("||adnet-42.example^$third-party\n", ListKind::Custom);
+        e.extend_with_rules(extra.rules);
+        assert_eq!(e.rule_count(), before + 1);
+        let r = req("https://px.adnet-42.example/p.gif", "shop.com", ResourceType::Image);
+        assert_eq!(e.label(&r), RequestLabel::Tracking);
+    }
+
+    #[test]
+    fn label_url_handles_unparseable_urls() {
+        let e = engine("||tracker.io^\n");
+        assert_eq!(
+            e.label_url("garbage", "shop.com", ResourceType::Script),
+            RequestLabel::Functional
+        );
+    }
+}

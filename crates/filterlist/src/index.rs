@@ -1,0 +1,249 @@
+//! Token-indexed rule storage.
+//!
+//! Checking every request URL against tens of thousands of rules linearly is
+//! far too slow for a 100K-site crawl (the paper's pipeline labels ~2.4M
+//! requests). Production blockers therefore index rules by a token that any
+//! matching URL must contain. We reproduce that design:
+//!
+//! * every rule contributes its alphanumeric runs of length ≥ 3
+//!   ([`crate::pattern::Pattern::index_tokens`]);
+//! * the rule is filed under its *rarest* token (fewest other rules), which
+//!   keeps bucket sizes small;
+//! * rules with no usable token fall back to an "always check" list;
+//! * at query time the URL is tokenised the same way and only the buckets of
+//!   tokens present in the URL are scanned.
+//!
+//! Because a rule's index token is by construction a substring of every URL
+//! the rule can match, the index never causes false negatives — a property
+//! the test-suite checks by comparing against a linear scan
+//! (`engine::tests::index_agrees_with_linear_scan`) and with property tests.
+
+use crate::request::FilterRequest;
+use crate::rule::FilterRule;
+use std::collections::HashMap;
+
+/// Extract index tokens from a URL: lower-case alphanumeric runs of
+/// length ≥ 3.
+pub fn url_tokens(url_lower: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for c in url_lower.chars() {
+        if c.is_ascii_alphanumeric() {
+            current.push(c.to_ascii_lowercase());
+        } else {
+            if current.len() >= 3 {
+                tokens.push(std::mem::take(&mut current));
+            } else {
+                current.clear();
+            }
+        }
+    }
+    if current.len() >= 3 {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// A token-indexed collection of filter rules.
+#[derive(Debug, Clone, Default)]
+pub struct RuleIndex {
+    /// All rules, in insertion order.
+    rules: Vec<FilterRule>,
+    /// token → indices into `rules`.
+    buckets: HashMap<String, Vec<usize>>,
+    /// Rules that could not be indexed and must always be checked.
+    unindexed: Vec<usize>,
+}
+
+impl RuleIndex {
+    /// Build an index over a set of rules.
+    pub fn build(rules: Vec<FilterRule>) -> Self {
+        let mut index = RuleIndex {
+            rules,
+            buckets: HashMap::new(),
+            unindexed: Vec::new(),
+        };
+        // First pass: token frequency across rules, so each rule can be
+        // filed under its rarest token.
+        let mut freq: HashMap<String, usize> = HashMap::new();
+        let per_rule_tokens: Vec<Vec<String>> = index
+            .rules
+            .iter()
+            .map(|r| {
+                let tokens = r.index_tokens();
+                for t in &tokens {
+                    *freq.entry(t.clone()).or_insert(0) += 1;
+                }
+                tokens
+            })
+            .collect();
+        for (idx, tokens) in per_rule_tokens.into_iter().enumerate() {
+            if tokens.is_empty() {
+                index.unindexed.push(idx);
+                continue;
+            }
+            let best = tokens
+                .into_iter()
+                .min_by_key(|t| freq.get(t).copied().unwrap_or(usize::MAX))
+                .expect("non-empty token list");
+            index.buckets.entry(best).or_default().push(idx);
+        }
+        index
+    }
+
+    /// Number of rules stored.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` when the index holds no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Number of rules that could not be indexed by token.
+    pub fn unindexed_len(&self) -> usize {
+        self.unindexed.len()
+    }
+
+    /// Iterate over all rules (insertion order).
+    pub fn rules(&self) -> impl Iterator<Item = &FilterRule> {
+        self.rules.iter()
+    }
+
+    /// Find the first rule matching the request, scanning only candidate
+    /// buckets. Returns the matching rule if any.
+    pub fn first_match(&self, request: &FilterRequest) -> Option<&FilterRule> {
+        self.candidate_indices(request)
+            .into_iter()
+            .map(|i| &self.rules[i])
+            .find(|r| r.matches(request))
+    }
+
+    /// Collect every rule matching the request (used by diagnostics and the
+    /// report module, not by the hot path).
+    pub fn all_matches(&self, request: &FilterRequest) -> Vec<&FilterRule> {
+        self.candidate_indices(request)
+            .into_iter()
+            .map(|i| &self.rules[i])
+            .filter(|r| r.matches(request))
+            .collect()
+    }
+
+    /// Linear scan over every rule — the reference implementation the index
+    /// is validated against and the baseline for the ablation benchmark.
+    pub fn first_match_linear(&self, request: &FilterRequest) -> Option<&FilterRule> {
+        self.rules.iter().find(|r| r.matches(request))
+    }
+
+    /// The candidate rule indices for a request, deduplicated, in ascending
+    /// order (so `first_match` is deterministic regardless of bucket layout).
+    fn candidate_indices(&self, request: &FilterRequest) -> Vec<usize> {
+        let mut out: Vec<usize> = self.unindexed.clone();
+        for token in url_tokens(&request.url.lower) {
+            if let Some(bucket) = self.buckets.get(&token) {
+                out.extend_from_slice(bucket);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rule;
+    use crate::request::ResourceType;
+    use crate::rule::ListKind;
+
+    fn rules(texts: &[&str]) -> Vec<FilterRule> {
+        texts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| parse_rule(t, ListKind::EasyList, i + 1))
+            .collect()
+    }
+
+    fn req(url: &str) -> FilterRequest {
+        FilterRequest::new(url, "publisher.com", ResourceType::Script).unwrap()
+    }
+
+    #[test]
+    fn url_tokens_minimum_length() {
+        let t = url_tokens("https://a.io/ab/abc/abcd?x=12345");
+        assert!(t.contains(&"https".to_string()));
+        assert!(t.contains(&"abc".to_string()));
+        assert!(t.contains(&"abcd".to_string()));
+        assert!(t.contains(&"12345".to_string()));
+        assert!(!t.contains(&"ab".to_string()));
+        assert!(!t.contains(&"io".to_string()));
+    }
+
+    #[test]
+    fn index_finds_matching_rule() {
+        let idx = RuleIndex::build(rules(&[
+            "||google-analytics.com^",
+            "||doubleclick.net^",
+            "/pixel?",
+        ]));
+        assert!(idx
+            .first_match(&req("https://www.google-analytics.com/analytics.js"))
+            .is_some());
+        assert!(idx
+            .first_match(&req("https://static.doubleclick.net/instream/ad_status.js"))
+            .is_some());
+        assert!(idx.first_match(&req("https://cdn.shop.com/app.js")).is_none());
+    }
+
+    #[test]
+    fn index_agrees_with_linear_scan() {
+        let idx = RuleIndex::build(rules(&[
+            "||ads.example^",
+            "||track.example^$third-party",
+            "/collect?",
+            "-analytics.",
+            "banner300x250",
+        ]));
+        let urls = [
+            "https://ads.example/a.js",
+            "https://track.example/t.js",
+            "https://api.shop.com/collect?id=1",
+            "https://cdn.metrics-analytics.io/m.js",
+            "https://img.shop.com/banner300x250.png",
+            "https://img.shop.com/logo.png",
+        ];
+        for u in urls {
+            let r = req(u);
+            assert_eq!(
+                idx.first_match(&r).map(|x| x.text.clone()),
+                idx.first_match_linear(&r).map(|x| x.text.clone()),
+                "index and linear scan disagree for {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn unindexed_rules_are_still_checked() {
+        // A rule whose pattern has no token of length >= 3.
+        let idx = RuleIndex::build(rules(&["/t?$image"]));
+        assert_eq!(idx.unindexed_len(), 1);
+        let r = FilterRequest::new("https://x.com/t?id=2", "pub.com", ResourceType::Image).unwrap();
+        assert!(idx.first_match(&r).is_some());
+    }
+
+    #[test]
+    fn all_matches_returns_every_hit() {
+        let idx = RuleIndex::build(rules(&["||ads.net^", "/banner/", "||ads.net/banner/"]));
+        let r = req("https://ads.net/banner/1.png");
+        assert_eq!(idx.all_matches(&r).len(), 3);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = RuleIndex::build(Vec::new());
+        assert!(idx.is_empty());
+        assert!(idx.first_match(&req("https://x.com/a.js")).is_none());
+    }
+}

@@ -1,0 +1,209 @@
+//! Parsing of filter list text into [`FilterRule`]s.
+//!
+//! A filter list is a line-oriented text format. We handle:
+//!
+//! * `! comment` lines and `[Adblock Plus 2.0]`-style headers — skipped;
+//! * cosmetic rules (`##`, `#@#`, `#?#`, `#$#`) — skipped, they hide DOM
+//!   elements and never label network requests;
+//! * `@@` exception rules;
+//! * network rules with an optional `$options` suffix.
+//!
+//! Rules that carry options the engine cannot evaluate faithfully are
+//! dropped (counted in [`ParseStats`]), mirroring how blockers ignore rules
+//! they do not understand rather than guessing.
+
+use crate::options::RuleOptions;
+use crate::pattern::Pattern;
+use crate::rule::{FilterRule, ListKind};
+use serde::{Deserialize, Serialize};
+
+/// Statistics from parsing one list.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParseStats {
+    /// Total lines read.
+    pub lines: usize,
+    /// Comment / header / empty lines.
+    pub comments: usize,
+    /// Cosmetic (element hiding) rules skipped.
+    pub cosmetic: usize,
+    /// Network rules successfully parsed.
+    pub network_rules: usize,
+    /// Exception (`@@`) rules among the parsed network rules.
+    pub exceptions: usize,
+    /// Rules dropped because of unsupported options or empty patterns.
+    pub dropped: usize,
+}
+
+/// Result of parsing a list: the usable rules plus statistics.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedList {
+    /// Parsed, usable network rules.
+    pub rules: Vec<FilterRule>,
+    /// Parse statistics.
+    pub stats: ParseStats,
+}
+
+/// Classify a single line and parse it into a rule if it is a network rule.
+///
+/// Returns `None` for comments, cosmetic rules, and rules the engine cannot
+/// honour.
+pub fn parse_rule(line: &str, list: ListKind, line_no: usize) -> Option<FilterRule> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('!') || trimmed.starts_with('[') {
+        return None;
+    }
+    // Cosmetic rules contain `##`, `#@#`, `#?#` or `#$#` separators.
+    if trimmed.contains("##")
+        || trimmed.contains("#@#")
+        || trimmed.contains("#?#")
+        || trimmed.contains("#$#")
+    {
+        return None;
+    }
+
+    let (exception, body) = match trimmed.strip_prefix("@@") {
+        Some(rest) => (true, rest),
+        None => (false, trimmed),
+    };
+
+    // Split off options at the last unescaped `$` that is followed by
+    // something that looks like an option list. A `$` inside a URL pattern
+    // (rare) would not be followed by a known option, but to keep parsing
+    // simple and faithful we follow the common convention: the options
+    // separator is the last `$` in the rule.
+    let (pattern_text, options_text) = match body.rfind('$') {
+        Some(idx) if idx + 1 <= body.len() => {
+            let candidate = &body[idx + 1..];
+            // Heuristic used by real parsers: an options section contains
+            // only option-ish characters.
+            let looks_like_options = !candidate.is_empty()
+                && candidate
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || ",~=|-_.".contains(c));
+            if looks_like_options {
+                (&body[..idx], candidate)
+            } else {
+                (body, "")
+            }
+        }
+        _ => (body, ""),
+    };
+
+    let options = RuleOptions::parse(options_text);
+    if options.has_unsupported() {
+        return None;
+    }
+    let pattern_trimmed = pattern_text.trim();
+    if pattern_trimmed.is_empty() {
+        return None;
+    }
+    let pattern = Pattern::compile(pattern_trimmed, options.match_case);
+    // A rule that matches every URL and has no constraining options would
+    // label the whole web as tracking; real lists never ship such a rule and
+    // we refuse it here.
+    if pattern.is_match_all()
+        && options.include_types.is_empty()
+        && options.domains.is_empty()
+        && options.party == crate::options::PartyConstraint::Any
+    {
+        return None;
+    }
+
+    Some(FilterRule {
+        text: trimmed.to_string(),
+        pattern,
+        options,
+        exception,
+        list,
+        line: line_no,
+    })
+}
+
+/// Parse a whole filter list.
+pub fn parse_list(text: &str, list: ListKind) -> ParsedList {
+    let mut out = ParsedList::default();
+    for (idx, line) in text.lines().enumerate() {
+        out.stats.lines += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('!') || trimmed.starts_with('[') {
+            out.stats.comments += 1;
+            continue;
+        }
+        if trimmed.contains("##")
+            || trimmed.contains("#@#")
+            || trimmed.contains("#?#")
+            || trimmed.contains("#$#")
+        {
+            out.stats.cosmetic += 1;
+            continue;
+        }
+        match parse_rule(trimmed, list, idx + 1) {
+            Some(rule) => {
+                if rule.exception {
+                    out.stats.exceptions += 1;
+                }
+                out.stats.network_rules += 1;
+                out.rules.push(rule);
+            }
+            None => out.stats.dropped += 1,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skips_comments_headers_and_cosmetics() {
+        let list = "[Adblock Plus 2.0]\n! Title: EasyList\nexample.com##.ad-banner\n||ads.net^\n";
+        let parsed = parse_list(list, ListKind::EasyList);
+        assert_eq!(parsed.rules.len(), 1);
+        assert_eq!(parsed.stats.comments, 2);
+        assert_eq!(parsed.stats.cosmetic, 1);
+        assert_eq!(parsed.stats.network_rules, 1);
+    }
+
+    #[test]
+    fn counts_exceptions() {
+        let list = "||ads.net^\n@@||ads.net/allowed.js$script\n";
+        let parsed = parse_list(list, ListKind::EasyPrivacy);
+        assert_eq!(parsed.stats.network_rules, 2);
+        assert_eq!(parsed.stats.exceptions, 1);
+    }
+
+    #[test]
+    fn drops_unsupported_options() {
+        assert!(parse_rule("||x.com^$redirect=noop.js", ListKind::EasyList, 1).is_none());
+        let list = "||x.com^$redirect=noop.js\n";
+        let parsed = parse_list(list, ListKind::EasyList);
+        assert_eq!(parsed.stats.dropped, 1);
+    }
+
+    #[test]
+    fn drops_match_all_rules() {
+        assert!(parse_rule("*", ListKind::EasyList, 1).is_none());
+        assert!(parse_rule("*$script", ListKind::EasyList, 1).is_some());
+    }
+
+    #[test]
+    fn dollar_inside_pattern_without_options_is_kept() {
+        // `$` followed by non-option characters stays part of the pattern.
+        let r = parse_rule("/path/$weird/file.js", ListKind::EasyList, 1);
+        // `weird/file.js` contains '/', so it is not an option list.
+        assert!(r.is_some());
+    }
+
+    #[test]
+    fn options_are_attached() {
+        let r = parse_rule("||cdn.net^$script,third-party", ListKind::EasyList, 7).unwrap();
+        assert_eq!(r.line, 7);
+        assert_eq!(r.options.include_types.len(), 1);
+    }
+
+    #[test]
+    fn empty_pattern_is_dropped() {
+        assert!(parse_rule("$script", ListKind::EasyList, 1).is_none());
+    }
+}

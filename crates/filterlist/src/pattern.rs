@@ -1,0 +1,541 @@
+//! Compilation and matching of the URL pattern part of a network filter
+//! rule (everything before the `$` options separator).
+//!
+//! The Adblock Plus pattern language is small but subtle:
+//!
+//! * `*` matches any run of characters (including none);
+//! * `^` matches a *separator*: any character that is not alphanumeric and
+//!   not one of `_ - . %`, or the end of the URL;
+//! * a leading `||` anchors the pattern at the beginning of a hostname
+//!   label boundary (so `||example.com` matches `https://cdn.example.com/`
+//!   and `https://example.com/` but not `https://notexample.com/`);
+//! * a leading `|` anchors at the very start of the URL, a trailing `|`
+//!   anchors at the very end;
+//! * matching is case-insensitive unless the rule carries `$match-case`.
+//!
+//! We avoid a general regex engine: patterns are compiled into a sequence of
+//! wildcard-separated *segments*, each a sequence of literal bytes and
+//! separator placeholders, matched with a simple greedy scan. This is the
+//! same strategy production blockers use and is linear in practice because
+//! segments are short.
+
+use serde::{Deserialize, Serialize};
+
+/// How the start of a pattern is anchored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Anchor {
+    /// Unanchored: the pattern may match anywhere in the URL.
+    None,
+    /// `|pattern`: must match at the first byte of the URL.
+    UrlStart,
+    /// `||pattern`: must match at the start of the hostname or at a label
+    /// boundary inside it.
+    Hostname,
+}
+
+/// One element of a compiled pattern segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Atom {
+    /// A literal (already lower-cased unless `match_case`) byte.
+    Literal(u8),
+    /// The `^` separator class.
+    Separator,
+}
+
+/// A run of atoms between wildcards.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+struct Segment {
+    atoms: Vec<Atom>,
+}
+
+impl Segment {
+    fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Try to match this segment at byte offset `pos` of `text`.
+    ///
+    /// Returns the offset just past the match. A trailing `^` may also
+    /// match the end of the string ("virtual separator").
+    fn match_at(&self, text: &[u8], pos: usize) -> Option<usize> {
+        let mut i = pos;
+        for (idx, atom) in self.atoms.iter().enumerate() {
+            match atom {
+                Atom::Literal(b) => {
+                    if i >= text.len() || text[i] != *b {
+                        return None;
+                    }
+                    i += 1;
+                }
+                Atom::Separator => {
+                    if i >= text.len() {
+                        // `^` at end of input only acceptable if it is the
+                        // final atom of the final segment; the caller checks
+                        // "final segment" via end anchoring, here we accept
+                        // end-of-string for any trailing separator run.
+                        if idx == self.atoms.len() - 1 {
+                            return Some(i);
+                        }
+                        return None;
+                    }
+                    if is_separator_byte(text[i]) {
+                        i += 1;
+                    } else {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(i)
+    }
+
+    /// Find the first position `>= from` where this segment matches.
+    fn find_from(&self, text: &[u8], from: usize) -> Option<(usize, usize)> {
+        if self.atoms.is_empty() {
+            return Some((from, from));
+        }
+        let mut start = from;
+        while start <= text.len() {
+            if let Some(end) = self.match_at(text, start) {
+                return Some((start, end));
+            }
+            start += 1;
+        }
+        None
+    }
+}
+
+/// Separator class for `^`: anything that is not a letter, digit, or one of
+/// `_`, `-`, `.`, `%`.
+pub fn is_separator_byte(b: u8) -> bool {
+    !(b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.' || b == b'%')
+}
+
+/// A compiled URL pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pattern {
+    /// Original pattern text (after stripping anchors).
+    source: String,
+    anchor: Anchor,
+    end_anchored: bool,
+    case_sensitive: bool,
+    /// Wildcard-separated segments. An empty list means "match everything".
+    segments: Vec<Segment>,
+    /// For `||` rules: the leading hostname portion of the pattern (up to the
+    /// first `/ ^ * ?`), used to pre-filter by request hostname.
+    host_prefix: String,
+}
+
+impl Pattern {
+    /// Compile a pattern string (anchors included) into a matcher.
+    pub fn compile(raw: &str, case_sensitive: bool) -> Pattern {
+        let mut text = raw.trim().to_string();
+        let mut anchor = Anchor::None;
+        let mut end_anchored = false;
+
+        if let Some(stripped) = text.strip_prefix("||") {
+            anchor = Anchor::Hostname;
+            text = stripped.to_string();
+        } else if let Some(stripped) = text.strip_prefix('|') {
+            anchor = Anchor::UrlStart;
+            text = stripped.to_string();
+        }
+        if let Some(stripped) = text.strip_suffix('|') {
+            end_anchored = true;
+            text = stripped.to_string();
+        }
+
+        // Leading and trailing `*` are redundant (unanchored match already
+        // allows arbitrary prefix/suffix); trim them so the segment list is
+        // canonical.
+        if anchor == Anchor::None {
+            while text.starts_with('*') {
+                text.remove(0);
+            }
+        }
+        if !end_anchored {
+            while text.ends_with('*') {
+                text.pop();
+            }
+        }
+
+        let normalised = if case_sensitive {
+            text.clone()
+        } else {
+            text.to_ascii_lowercase()
+        };
+
+        let mut segments = Vec::new();
+        let mut current = Segment::default();
+        for &b in normalised.as_bytes() {
+            match b {
+                b'*' => {
+                    segments.push(std::mem::take(&mut current));
+                    // Collapse consecutive wildcards.
+                    if segments.last().map(|s: &Segment| s.atoms.is_empty()) == Some(true)
+                        && segments.len() >= 2
+                        && segments[segments.len() - 2].atoms.is_empty()
+                    {
+                        segments.pop();
+                    }
+                }
+                b'^' => current.atoms.push(Atom::Separator),
+                _ => current.atoms.push(Atom::Literal(b)),
+            }
+        }
+        segments.push(current);
+
+        // Host prefix for `||` anchored rules: the pattern text up to the
+        // first path/separator/wildcard character.
+        let host_prefix = if anchor == Anchor::Hostname {
+            normalised
+                .split(|c| c == '/' || c == '^' || c == '*' || c == '?')
+                .next()
+                .unwrap_or("")
+                .to_string()
+        } else {
+            String::new()
+        };
+
+        Pattern {
+            source: raw.trim().to_string(),
+            anchor,
+            end_anchored,
+            case_sensitive,
+            segments,
+            host_prefix,
+        }
+    }
+
+    /// The raw pattern text the rule was compiled from.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The start anchor kind.
+    pub fn anchor(&self) -> Anchor {
+        self.anchor
+    }
+
+    /// The hostname prefix a `||` rule requires (empty otherwise).
+    pub fn host_prefix(&self) -> &str {
+        &self.host_prefix
+    }
+
+    /// `true` when the pattern contains no constraining text at all and
+    /// would match every URL (e.g. the rule was just `*`).
+    pub fn is_match_all(&self) -> bool {
+        self.anchor == Anchor::None
+            && !self.end_anchored
+            && self.segments.iter().all(|s| s.atoms.is_empty())
+    }
+
+    /// Extract "quality tokens" for the rule index: maximal runs of
+    /// alphanumeric characters of length >= 3 from the literal parts of the
+    /// pattern. Matching URLs must contain at least one of these runs, which
+    /// is what makes token indexing sound.
+    pub fn index_tokens(&self) -> Vec<String> {
+        let text = if self.case_sensitive {
+            self.source
+                .trim_start_matches('|')
+                .trim_end_matches('|')
+                .to_ascii_lowercase()
+        } else {
+            self.source
+                .trim_start_matches('|')
+                .trim_end_matches('|')
+                .to_ascii_lowercase()
+        };
+        let mut tokens = Vec::new();
+        let mut current = String::new();
+        for c in text.chars() {
+            if c.is_ascii_alphanumeric() {
+                current.push(c);
+            } else {
+                if current.len() >= 3 {
+                    tokens.push(std::mem::take(&mut current));
+                } else {
+                    current.clear();
+                }
+                // `*` and `^` break tokens just like other separators.
+            }
+        }
+        if current.len() >= 3 {
+            tokens.push(current);
+        }
+        tokens
+    }
+
+    /// Match the pattern against a URL.
+    ///
+    /// `url_lower` is the lower-cased full URL, `url_raw` the original
+    /// spelling (used only for `$match-case` rules), and `hostname` the
+    /// lower-cased request hostname (used for `||` anchoring).
+    pub fn matches(&self, url_lower: &str, url_raw: &str, hostname: &str) -> bool {
+        let text: &[u8] = if self.case_sensitive {
+            url_raw.as_bytes()
+        } else {
+            url_lower.as_bytes()
+        };
+
+        match self.anchor {
+            Anchor::None => self.match_unanchored(text),
+            Anchor::UrlStart => self.match_from(text, 0),
+            Anchor::Hostname => self.match_hostname_anchored(text, url_lower, hostname),
+        }
+    }
+
+    fn match_unanchored(&self, text: &[u8]) -> bool {
+        // Greedy left-to-right: find the first segment anywhere, then each
+        // subsequent segment after the previous match. End anchoring
+        // requires the last segment to end exactly at the end of the text,
+        // so for that case we anchor the last segment at the tail.
+        self.match_segments_from_any(text, 0)
+    }
+
+    fn match_from(&self, text: &[u8], start: usize) -> bool {
+        // First segment must match exactly at `start`.
+        let mut pos = start;
+        let mut iter = self.segments.iter().peekable();
+        if let Some(first) = iter.next() {
+            match first.match_at(text, pos) {
+                Some(end) => pos = end,
+                None => return false,
+            }
+        }
+        self.match_remaining(text, pos, iter)
+    }
+
+    fn match_segments_from_any(&self, text: &[u8], start: usize) -> bool {
+        let mut iter = self.segments.iter().peekable();
+        let mut pos = start;
+        if let Some(first) = iter.next() {
+            // The first segment may begin anywhere at or after `start`, but
+            // if it is also the last segment and the pattern is end
+            // anchored we must align it with the end of the text.
+            if self.segments.len() == 1 && self.end_anchored {
+                let seg_len_min = first.len();
+                if text.len() < start + seg_len_min.saturating_sub(0) {
+                    // May still match if trailing separators absorb end; fall
+                    // through to scan.
+                }
+                // Scan for a match that ends exactly at text.len().
+                let mut from = start;
+                while let Some((_s, e)) = first.find_from(text, from) {
+                    if e == text.len() {
+                        return true;
+                    }
+                    from = _s + 1;
+                }
+                return false;
+            }
+            match first.find_from(text, pos) {
+                Some((_s, e)) => pos = e,
+                None => return false,
+            }
+        }
+        self.match_remaining(text, pos, iter)
+    }
+
+    fn match_remaining<'a, I>(&self, text: &[u8], mut pos: usize, mut iter: std::iter::Peekable<I>) -> bool
+    where
+        I: Iterator<Item = &'a Segment>,
+    {
+        while let Some(seg) = iter.next() {
+            let is_last = iter.peek().is_none();
+            if is_last && self.end_anchored {
+                // Must end exactly at text end.
+                let mut from = pos;
+                loop {
+                    match seg.find_from(text, from) {
+                        Some((s, e)) => {
+                            if e == text.len() {
+                                return true;
+                            }
+                            from = s + 1;
+                        }
+                        None => return false,
+                    }
+                }
+            }
+            match seg.find_from(text, pos) {
+                Some((_s, e)) => pos = e,
+                None => return false,
+            }
+        }
+        if self.end_anchored {
+            pos == text.len()
+        } else {
+            true
+        }
+    }
+
+    fn match_hostname_anchored(&self, text: &[u8], url_lower: &str, hostname: &str) -> bool {
+        if self.host_prefix.is_empty() {
+            // Degenerate `||` rule; treat as unanchored.
+            return self.match_unanchored(text);
+        }
+        // The request hostname must equal the host prefix or end with
+        // `.host_prefix` — i.e. the anchor sits at a label boundary — OR the
+        // host prefix may itself be a hostname prefix ending where a deeper
+        // label continues (e.g. `||ads.` style rules). We cover both by
+        // scanning label boundaries.
+        let hp = &self.host_prefix;
+        let candidate_offsets = hostname_anchor_offsets(hostname, hp);
+        if candidate_offsets.is_empty() {
+            return false;
+        }
+        // Find where the hostname starts inside the URL text.
+        let host_start = match url_lower.find("://") {
+            Some(idx) => {
+                let after = idx + 3;
+                // Skip userinfo if any.
+                let authority_end = url_lower[after..]
+                    .find(|c| c == '/' || c == '?' || c == '#')
+                    .map(|i| after + i)
+                    .unwrap_or(url_lower.len());
+                match url_lower[after..authority_end].rfind('@') {
+                    Some(at) => after + at + 1,
+                    None => after,
+                }
+            }
+            None => 0,
+        };
+        for off in candidate_offsets {
+            let start = host_start + off;
+            if start <= text.len() && self.match_from(text, start) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Offsets (within `hostname`) at which a `||` anchored pattern whose host
+/// prefix is `host_prefix` may begin. An offset is valid when it is 0 or
+/// immediately preceded by a `.`, and the hostname continues with the
+/// prefix at that offset.
+fn hostname_anchor_offsets(hostname: &str, host_prefix: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    if host_prefix.is_empty() {
+        return out;
+    }
+    let hbytes = hostname.as_bytes();
+    let mut idx = 0;
+    while let Some(found) = hostname[idx..].find(host_prefix) {
+        let at = idx + found;
+        if at == 0 || hbytes[at - 1] == b'.' {
+            out.push(at);
+        }
+        idx = at + 1;
+        if idx >= hostname.len() {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pattern: &str, url: &str) -> bool {
+        let p = Pattern::compile(pattern, false);
+        let lower = url.to_ascii_lowercase();
+        let host = crate::url::ParsedUrl::parse(url).map(|u| u.hostname).unwrap_or_default();
+        p.matches(&lower, url, &host)
+    }
+
+    #[test]
+    fn plain_substring() {
+        assert!(m("/ads/", "https://example.com/ads/banner.png"));
+        assert!(!m("/ads/", "https://example.com/assets/banner.png"));
+    }
+
+    #[test]
+    fn wildcard() {
+        assert!(m("/banner*.gif", "https://x.com/banner_300x250.gif"));
+        assert!(!m("/banner*.gif", "https://x.com/banner_300x250.png"));
+    }
+
+    #[test]
+    fn separator_matches_punctuation_and_end() {
+        assert!(m("||example.com^", "https://example.com/"));
+        assert!(m("||example.com^", "https://example.com:8000/"));
+        assert!(m("||example.com^", "https://example.com"));
+        assert!(!m("||example.com^", "https://example.company.org/"));
+    }
+
+    #[test]
+    fn hostname_anchor_respects_label_boundary() {
+        assert!(m("||ads.com^", "https://ads.com/x"));
+        assert!(m("||ads.com^", "https://sub.ads.com/x"));
+        assert!(!m("||ads.com^", "https://badads.com/x"));
+        assert!(!m("||ads.com^", "https://example.com/ads.com/x"));
+    }
+
+    #[test]
+    fn url_start_anchor() {
+        assert!(m("|https://cdn.", "https://cdn.example.com/a.js"));
+        assert!(!m("|https://cdn.", "http://www.example.com/https://cdn."));
+    }
+
+    #[test]
+    fn end_anchor() {
+        assert!(m(".js|", "https://example.com/app.js"));
+        assert!(!m(".js|", "https://example.com/app.js?x=1"));
+    }
+
+    #[test]
+    fn both_anchors_exact_match() {
+        assert!(m("|https://example.com/a.js|", "https://example.com/a.js"));
+        assert!(!m("|https://example.com/a.js|", "https://example.com/a.js.map"));
+    }
+
+    #[test]
+    fn case_insensitive_by_default() {
+        assert!(m("/Banner/", "https://x.com/banner/1.png"));
+    }
+
+    #[test]
+    fn case_sensitive_when_requested() {
+        let p = Pattern::compile("/Banner/", true);
+        let url = "https://x.com/banner/1.png";
+        assert!(!p.matches(&url.to_ascii_lowercase(), url, "x.com"));
+        let url2 = "https://x.com/Banner/1.png";
+        assert!(p.matches(&url2.to_ascii_lowercase(), url2, "x.com"));
+    }
+
+    #[test]
+    fn match_all_detection() {
+        assert!(Pattern::compile("*", false).is_match_all());
+        assert!(!Pattern::compile("||a.com^", false).is_match_all());
+    }
+
+    #[test]
+    fn index_tokens_extracts_long_runs() {
+        let p = Pattern::compile("||google-analytics.com/analytics.js", false);
+        let tokens = p.index_tokens();
+        assert!(tokens.contains(&"google".to_string()));
+        assert!(tokens.contains(&"analytics".to_string()));
+        assert!(tokens.contains(&"com".to_string()));
+    }
+
+    #[test]
+    fn separator_inside_pattern() {
+        assert!(m("||example.com^ads^", "https://example.com/ads/"));
+        assert!(!m("||example.com^ads^", "https://example.com/adsx"));
+    }
+
+    #[test]
+    fn wildcard_spanning_segments() {
+        assert!(m("||cdn.*.com^", "https://cdn.shop.com/x.js"));
+        assert!(!m("||cdn.*.com^", "https://img.shop.com/x.js"));
+    }
+
+    #[test]
+    fn query_parameter_pattern() {
+        assert!(m("utm_source=", "https://example.com/page?utm_source=mail"));
+        assert!(m("^utm_medium=", "https://example.com/page?utm_medium=cpc"));
+    }
+}

@@ -1,0 +1,144 @@
+//! The request view that filter rules are evaluated against.
+
+use crate::domain::is_third_party;
+use crate::url::ParsedUrl;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Resource type of a network request, mirroring the DevTools
+/// `resource_type` field the paper's crawler records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ResourceType {
+    /// JavaScript file.
+    Script,
+    /// Image / pixel.
+    Image,
+    /// CSS.
+    Stylesheet,
+    /// XHR / fetch issued from script.
+    Xhr,
+    /// Iframe / embedded document.
+    Subdocument,
+    /// Web font.
+    Font,
+    /// Audio / video media.
+    Media,
+    /// WebSocket handshake.
+    Websocket,
+    /// Ping / beacon (navigator.sendBeacon, <a ping>).
+    Ping,
+    /// Top-level document itself.
+    Document,
+    /// Anything else.
+    Other,
+}
+
+impl ResourceType {
+    /// All concrete resource types (used by tests and generators).
+    pub const ALL: [ResourceType; 11] = [
+        ResourceType::Script,
+        ResourceType::Image,
+        ResourceType::Stylesheet,
+        ResourceType::Xhr,
+        ResourceType::Subdocument,
+        ResourceType::Font,
+        ResourceType::Media,
+        ResourceType::Websocket,
+        ResourceType::Ping,
+        ResourceType::Document,
+        ResourceType::Other,
+    ];
+
+    /// The canonical lower-case name used in filter list options.
+    pub fn option_name(&self) -> &'static str {
+        match self {
+            ResourceType::Script => "script",
+            ResourceType::Image => "image",
+            ResourceType::Stylesheet => "stylesheet",
+            ResourceType::Xhr => "xmlhttprequest",
+            ResourceType::Subdocument => "subdocument",
+            ResourceType::Font => "font",
+            ResourceType::Media => "media",
+            ResourceType::Websocket => "websocket",
+            ResourceType::Ping => "ping",
+            ResourceType::Document => "document",
+            ResourceType::Other => "other",
+        }
+    }
+}
+
+impl fmt::Display for ResourceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.option_name())
+    }
+}
+
+/// A single network request as seen by the filter engine.
+///
+/// This mirrors what a content blocker sees at `onBeforeRequest` time: the
+/// request URL, the URL of the document that issued it, and the resource
+/// type. Party-ness (first vs third) is derived from the two hostnames.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilterRequest {
+    /// Parsed request URL.
+    pub url: ParsedUrl,
+    /// Hostname of the page (frame) the request originates from.
+    pub source_hostname: String,
+    /// Resource type reported by the browser.
+    pub resource_type: ResourceType,
+}
+
+impl FilterRequest {
+    /// Build a request from raw strings.
+    ///
+    /// Returns `None` if the request URL cannot be parsed.
+    pub fn new(url: &str, source_hostname: &str, resource_type: ResourceType) -> Option<Self> {
+        Some(FilterRequest {
+            url: ParsedUrl::parse(url)?,
+            source_hostname: source_hostname.to_ascii_lowercase(),
+            resource_type,
+        })
+    }
+
+    /// `true` if the request crosses a registrable-domain boundary.
+    pub fn is_third_party(&self) -> bool {
+        is_third_party(&self.url.hostname, &self.source_hostname)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn third_party_detection() {
+        let r = FilterRequest::new(
+            "https://www.google-analytics.com/analytics.js",
+            "news.example.com",
+            ResourceType::Script,
+        )
+        .unwrap();
+        assert!(r.is_third_party());
+
+        let r = FilterRequest::new(
+            "https://static.example.com/app.js",
+            "www.example.com",
+            ResourceType::Script,
+        )
+        .unwrap();
+        assert!(!r.is_third_party());
+    }
+
+    #[test]
+    fn invalid_url_is_rejected() {
+        assert!(FilterRequest::new("notaurl", "example.com", ResourceType::Image).is_none());
+    }
+
+    #[test]
+    fn resource_type_option_names_are_unique() {
+        let mut names: Vec<&str> = ResourceType::ALL.iter().map(|t| t.option_name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), ResourceType::ALL.len());
+    }
+}

@@ -1,0 +1,114 @@
+//! A fully parsed network filter rule.
+
+use crate::options::RuleOptions;
+use crate::pattern::Pattern;
+use crate::request::FilterRequest;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which list a rule came from. The paper uses EasyList (advertising) and
+/// EasyPrivacy (tracking); both map to the "tracking" label, but keeping the
+/// provenance lets reports distinguish ad-blocking hits from pure tracking
+/// hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ListKind {
+    /// EasyList — advertising.
+    EasyList,
+    /// EasyPrivacy — tracking.
+    EasyPrivacy,
+    /// Any other list supplied by the user.
+    Custom,
+}
+
+impl fmt::Display for ListKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ListKind::EasyList => f.write_str("EasyList"),
+            ListKind::EasyPrivacy => f.write_str("EasyPrivacy"),
+            ListKind::Custom => f.write_str("Custom"),
+        }
+    }
+}
+
+/// A parsed network filter rule (blocking or exception).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FilterRule {
+    /// The original rule text, as it appeared in the list.
+    pub text: String,
+    /// Compiled URL pattern.
+    pub pattern: Pattern,
+    /// Parsed `$` options.
+    pub options: RuleOptions,
+    /// `true` for `@@` exception (allow) rules.
+    pub exception: bool,
+    /// Which list the rule came from.
+    pub list: ListKind,
+    /// Line number in the source list (1-based), for diagnostics.
+    pub line: usize,
+}
+
+impl FilterRule {
+    /// Evaluate the rule against a request: both the URL pattern and every
+    /// option constraint must hold.
+    pub fn matches(&self, request: &FilterRequest) -> bool {
+        if !self.options.matches(request) {
+            return false;
+        }
+        self.pattern.matches(
+            &request.url.lower,
+            &request.url.raw,
+            &request.url.hostname,
+        )
+    }
+
+    /// Tokens used to place the rule into the [`crate::index::RuleIndex`].
+    pub fn index_tokens(&self) -> Vec<String> {
+        self.pattern.index_tokens()
+    }
+}
+
+impl fmt::Display for FilterRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rule;
+    use crate::request::ResourceType;
+
+    fn rule(text: &str) -> FilterRule {
+        parse_rule(text, ListKind::EasyList, 1).expect("rule should parse")
+    }
+
+    fn req(url: &str, source: &str, ty: ResourceType) -> FilterRequest {
+        FilterRequest::new(url, source, ty).unwrap()
+    }
+
+    #[test]
+    fn pattern_and_options_both_required() {
+        let r = rule("||tracker.example^$script");
+        assert!(r.matches(&req("https://tracker.example/t.js", "a.com", ResourceType::Script)));
+        assert!(!r.matches(&req("https://tracker.example/t.gif", "a.com", ResourceType::Image)));
+        assert!(!r.matches(&req("https://other.example/t.js", "a.com", ResourceType::Script)));
+    }
+
+    #[test]
+    fn exception_rules_flagged() {
+        let r = rule("@@||cdn.example.com/jquery.js$script");
+        assert!(r.exception);
+        assert!(r.matches(&req(
+            "https://cdn.example.com/jquery.js",
+            "a.com",
+            ResourceType::Script
+        )));
+    }
+
+    #[test]
+    fn display_round_trips_text() {
+        let r = rule("||ads.net^$third-party");
+        assert_eq!(r.to_string(), "||ads.net^$third-party");
+    }
+}

@@ -1,0 +1,207 @@
+//! Minimal URL parsing tailored to filter-list matching.
+//!
+//! Filter rules in the Adblock Plus syntax match against the *full request
+//! URL* but frequently need the hostname (for `||` anchors and the
+//! `$domain=` option) and the scheme-relative remainder. We implement the
+//! small subset of URL handling the engine needs rather than pulling in a
+//! full `url` crate: the corpus only contains `http`/`https`/`data` URLs and
+//! never needs percent-decoding or IDNA.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A parsed request URL.
+///
+/// The original string is retained because pattern matching operates on the
+/// raw URL text (lower-cased); the structured fields are used for anchored
+/// matching and party determination.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParsedUrl {
+    /// The full original URL, exactly as given.
+    pub raw: String,
+    /// Lower-cased copy of the full URL used for case-insensitive matching.
+    pub lower: String,
+    /// URL scheme (`http`, `https`, `data`, ...), lower-cased, without `:`.
+    pub scheme: String,
+    /// Hostname (no port), lower-cased. Empty for opaque URLs such as `data:`.
+    pub hostname: String,
+    /// Explicit port if present.
+    pub port: Option<u16>,
+    /// Path component beginning with `/` (or empty for opaque URLs).
+    pub path: String,
+    /// Query string without the leading `?`, if present.
+    pub query: Option<String>,
+}
+
+impl ParsedUrl {
+    /// Parse a URL string.
+    ///
+    /// Returns `None` when the input does not look like a URL at all (no
+    /// scheme separator and no leading `//`). Scheme-relative URLs
+    /// (`//cdn.example.com/x.js`) are accepted and treated as `https`.
+    pub fn parse(input: &str) -> Option<Self> {
+        let raw = input.trim().to_string();
+        if raw.is_empty() {
+            return None;
+        }
+        let lower = raw.to_ascii_lowercase();
+
+        // Split off the scheme.
+        let (scheme, rest) = if let Some(idx) = lower.find("://") {
+            (lower[..idx].to_string(), &lower[idx + 3..])
+        } else if let Some(stripped) = lower.strip_prefix("//") {
+            ("https".to_string(), stripped)
+        } else if let Some(idx) = lower.find(':') {
+            // Opaque URL such as `data:image/gif;base64,...` or `about:blank`.
+            let scheme = lower[..idx].to_string();
+            if !scheme.chars().all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '-') {
+                return None;
+            }
+            return Some(ParsedUrl {
+                raw,
+                scheme,
+                hostname: String::new(),
+                port: None,
+                path: lower[idx + 1..].to_string(),
+                query: None,
+                lower,
+            });
+        } else {
+            return None;
+        };
+
+        // Authority ends at the first `/`, `?` or `#`.
+        let authority_end = rest
+            .find(|c| c == '/' || c == '?' || c == '#')
+            .unwrap_or(rest.len());
+        let authority = &rest[..authority_end];
+        let after_authority = &rest[authority_end..];
+
+        // Strip userinfo if present.
+        let hostport = match authority.rfind('@') {
+            Some(at) => &authority[at + 1..],
+            None => authority,
+        };
+        let (hostname, port) = match hostport.rfind(':') {
+            Some(colon) if hostport[colon + 1..].chars().all(|c| c.is_ascii_digit()) => {
+                let port = hostport[colon + 1..].parse::<u16>().ok();
+                (hostport[..colon].to_string(), port)
+            }
+            _ => (hostport.to_string(), None),
+        };
+
+        // Separate path / query / fragment.
+        let without_fragment = match after_authority.find('#') {
+            Some(idx) => &after_authority[..idx],
+            None => after_authority,
+        };
+        let (path, query) = match without_fragment.find('?') {
+            Some(idx) => (
+                without_fragment[..idx].to_string(),
+                Some(without_fragment[idx + 1..].to_string()),
+            ),
+            None => (without_fragment.to_string(), None),
+        };
+        let path = if path.is_empty() { "/".to_string() } else { path };
+
+        Some(ParsedUrl {
+            raw,
+            lower,
+            scheme,
+            hostname,
+            port,
+            path,
+            query,
+        })
+    }
+
+    /// The part of the URL that `||` host anchors are allowed to match:
+    /// hostname plus everything after it.
+    pub fn host_and_after(&self) -> String {
+        match self.lower.find("://") {
+            Some(idx) => self.lower[idx + 3..].to_string(),
+            None => self.lower.clone(),
+        }
+    }
+
+    /// `true` when the URL uses a secure scheme.
+    pub fn is_https(&self) -> bool {
+        self.scheme == "https" || self.scheme == "wss"
+    }
+}
+
+impl fmt::Display for ParsedUrl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_https_url() {
+        let u = ParsedUrl::parse("https://cdn.example.com/assets/app.js?v=3").unwrap();
+        assert_eq!(u.scheme, "https");
+        assert_eq!(u.hostname, "cdn.example.com");
+        assert_eq!(u.path, "/assets/app.js");
+        assert_eq!(u.query.as_deref(), Some("v=3"));
+        assert_eq!(u.port, None);
+    }
+
+    #[test]
+    fn parses_url_with_port_and_userinfo() {
+        let u = ParsedUrl::parse("http://user:pw@tracker.ads.net:8080/pixel?id=1").unwrap();
+        assert_eq!(u.hostname, "tracker.ads.net");
+        assert_eq!(u.port, Some(8080));
+        assert_eq!(u.path, "/pixel");
+    }
+
+    #[test]
+    fn parses_scheme_relative_url() {
+        let u = ParsedUrl::parse("//stats.wp.com/w.js").unwrap();
+        assert_eq!(u.scheme, "https");
+        assert_eq!(u.hostname, "stats.wp.com");
+        assert_eq!(u.path, "/w.js");
+    }
+
+    #[test]
+    fn parses_data_url_as_opaque() {
+        let u = ParsedUrl::parse("data:image/gif;base64,R0lGODlhAQAB").unwrap();
+        assert_eq!(u.scheme, "data");
+        assert!(u.hostname.is_empty());
+    }
+
+    #[test]
+    fn bare_path_defaults_to_slash() {
+        let u = ParsedUrl::parse("https://example.org").unwrap();
+        assert_eq!(u.path, "/");
+    }
+
+    #[test]
+    fn lowercases_host_but_keeps_raw() {
+        let u = ParsedUrl::parse("HTTPS://CDN.Example.COM/A.JS").unwrap();
+        assert_eq!(u.hostname, "cdn.example.com");
+        assert_eq!(u.raw, "HTTPS://CDN.Example.COM/A.JS");
+    }
+
+    #[test]
+    fn rejects_non_urls() {
+        assert!(ParsedUrl::parse("").is_none());
+        assert!(ParsedUrl::parse("not a url at all").is_none());
+    }
+
+    #[test]
+    fn fragment_is_stripped() {
+        let u = ParsedUrl::parse("https://example.com/page?x=1#frag").unwrap();
+        assert_eq!(u.query.as_deref(), Some("x=1"));
+        assert_eq!(u.path, "/page");
+    }
+
+    #[test]
+    fn host_and_after_drops_scheme() {
+        let u = ParsedUrl::parse("https://ads.example.com/banner.png").unwrap();
+        assert_eq!(u.host_and_after(), "ads.example.com/banner.png");
+    }
+}

@@ -1,0 +1,45 @@
+//! # websim — a synthetic web corpus for TrackerSift experiments
+//!
+//! The paper measures 100K live websites through an instrumented browser.
+//! This crate is the offline stand-in for that measurement substrate: it
+//! generates a deterministic corpus of websites whose landing pages embed a
+//! realistic third-party ecosystem — advertising networks, analytics
+//! providers, tag managers, consent platforms, social/search platforms with
+//! mixed hostnames, shared content CDNs, functional libraries — together
+//! with the circumvention behaviours TrackerSift studies: first-party
+//! hosting of tracking endpoints, webpack-style bundling of tracking modules
+//! into functional code, and inlined tracking snippets.
+//!
+//! The output of [`generator::CorpusGenerator::generate`] is a pure data
+//! structure: every website lists its scripts, every script its methods,
+//! every method the requests it will issue. The `crawler` crate turns that
+//! description into DevTools-style events; the `trackersift` crate runs the
+//! paper's hierarchical analysis over the result.
+//!
+//! ```
+//! use websim::{CorpusGenerator, CorpusProfile};
+//!
+//! let corpus = CorpusGenerator::generate(&CorpusProfile::small().with_sites(25), 42);
+//! assert_eq!(corpus.websites.len(), 25);
+//! assert!(corpus.total_script_initiated_requests() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod distributions;
+pub mod ecosystem;
+pub mod filter_rules;
+pub mod generator;
+pub mod model;
+pub mod names;
+pub mod profiles;
+pub mod scripts;
+
+pub use ecosystem::{Ecosystem, HostRole, Service, ServiceKind};
+pub use generator::{CorpusGenerator, CorpusStats};
+pub use model::{
+    Feature, FeatureImportance, PageScript, PlannedRequest, Purpose, ScriptArchetype,
+    ScriptMethodSpec, ScriptOrigin, WebCorpus, Website,
+};
+pub use profiles::{CorpusProfile, EcosystemCounts};

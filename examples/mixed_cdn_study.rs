@@ -1,0 +1,67 @@
+//! Domain-specific example: how shared CDNs and platform domains end up
+//! *mixed*, reproducing the paper's `wp.com` walk-through (tracking
+//! `pixel.wp.com` / `stats.wp.com`, functional `widgets.wp.com` / `c0.wp.com`,
+//! mixed `i0.wp.com` / `i1.wp.com`).
+//!
+//! ```sh
+//! cargo run --release --example mixed_cdn_study
+//! ```
+
+use trackersift_suite::prelude::*;
+
+fn main() {
+    let study = Study::run(StudyConfig {
+        profile: CorpusProfile::quickstart(),
+        seed: 7,
+        ..StudyConfig::default()
+    });
+
+    let domains = study.hierarchy.level(Granularity::Domain);
+    let hostnames = study.hierarchy.level(Granularity::Hostname);
+
+    // Pick the busiest mixed domain — the synthetic analogue of wp.com.
+    let Some(mixed_domain) = domains.top_resources(Classification::Mixed, 1).first().copied() else {
+        println!("No mixed domains in this corpus (try a different seed).");
+        return;
+    };
+    println!(
+        "Busiest mixed domain: {} ({} tracking / {} functional requests)\n",
+        mixed_domain.key, mixed_domain.counts.tracking, mixed_domain.counts.functional
+    );
+
+    println!("Its hostnames and how TrackerSift classifies them:");
+    let mut rows: Vec<_> = hostnames
+        .resources
+        .iter()
+        .filter(|r| filterlist::registrable_domain(&r.key) == mixed_domain.key)
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.counts.total()));
+    for row in rows {
+        println!(
+            "  {:<40} {:<10} tracking={:<6} functional={:<6}",
+            row.key,
+            row.classification.to_string(),
+            row.counts.tracking,
+            row.counts.functional
+        );
+    }
+
+    // Which scripts drag tracking onto the mixed hostnames?
+    let scripts = study.hierarchy.level(Granularity::Script);
+    println!("\nTop scripts initiating requests to mixed hostnames:");
+    for class in [Classification::Tracking, Classification::Functional, Classification::Mixed] {
+        for row in scripts.top_resources(class, 2) {
+            println!(
+                "  [{}] {:<70} tracking={} functional={}",
+                class, row.key, row.counts.tracking, row.counts.functional
+            );
+        }
+    }
+
+    println!(
+        "\n{} of {} hostnames under mixed domains are themselves mixed ({:.0}%).",
+        hostnames.resource_counts.mixed,
+        hostnames.resource_counts.total(),
+        hostnames.resource_counts.mixed_share()
+    );
+}

@@ -1,0 +1,51 @@
+//! Domain-specific example: automatically generating surrogate scripts for
+//! mixed scripts (paper §5, "Blocking mixed scripts"). Content blockers ship
+//! hand-written surrogates today; TrackerSift derives them from the
+//! method-level classification and the call-stack divergence analysis.
+//!
+//! ```sh
+//! cargo run --release --example surrogate_generation
+//! ```
+
+use trackersift_suite::prelude::*;
+
+fn main() {
+    let study = Study::run(StudyConfig {
+        profile: CorpusProfile::quickstart(),
+        seed: 11,
+        ..StudyConfig::default()
+    });
+
+    let surrogates = study.surrogates();
+    println!(
+        "{} mixed scripts found; generated a surrogate for each.\n",
+        surrogates.len()
+    );
+
+    let total_suppressed: u64 = surrogates.iter().map(|s| s.suppressed_tracking_requests).sum();
+    let total_preserved: u64 = surrogates.iter().map(|s| s.preserved_functional_requests).sum();
+    println!(
+        "Across all surrogates: {total_suppressed} tracking requests suppressed, {total_preserved} functional requests preserved.\n"
+    );
+
+    // Show the most interesting surrogate: the one with a guarded (mixed)
+    // method, i.e. where per-method removal alone is not enough and the
+    // call-stack predicate earns its keep.
+    let interesting = surrogates
+        .iter()
+        .find(|s| s.guarded() > 0)
+        .or_else(|| surrogates.first());
+    match interesting {
+        Some(surrogate) => {
+            println!(
+                "Surrogate for {} — {} methods kept, {} stubbed, {} guarded:\n",
+                surrogate.script_url,
+                surrogate.kept(),
+                surrogate.stubbed(),
+                surrogate.guarded()
+            );
+            println!("{}", surrogate.render());
+        }
+        None => println!("No mixed scripts in this corpus; nothing to shim."),
+    }
+}

@@ -1,0 +1,33 @@
+//! Umbrella crate for the TrackerSift reproduction.
+//!
+//! The real functionality lives in the workspace crates; this crate exists
+//! so the repository-level examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`) have a home, and so downstream users can
+//! depend on one crate and get the whole stack re-exported under a single
+//! namespace.
+
+#![warn(missing_docs)]
+
+/// The filter-list engine (EasyList / EasyPrivacy semantics).
+pub use filterlist;
+
+/// The synthetic web corpus generator.
+pub use websim;
+
+/// The instrumented browser simulator and crawl database.
+pub use crawler;
+
+/// TrackerSift itself: labeling, hierarchical classification, sensitivity,
+/// call-stack analysis, surrogates, breakage.
+pub use trackersift;
+
+/// Commonly used items, re-exported for the examples and tests.
+pub mod prelude {
+    pub use crawler::{ClusterConfig, CrawlCluster, CrawlDatabase, LoadOptions, PageLoadSimulator};
+    pub use filterlist::{FilterEngine, FilterRequest, RequestLabel, ResourceType};
+    pub use trackersift::{
+        Breakage, Classification, Granularity, HierarchicalClassifier, Labeler, RatioHistogram,
+        SensitivitySweep, Study, StudyConfig, Thresholds,
+    };
+    pub use websim::{CorpusGenerator, CorpusProfile, Purpose, ScriptArchetype, WebCorpus};
+}

@@ -1,0 +1,136 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: the filter pattern matcher, the ratio classifier, the
+//! hierarchy's conservation laws, and the crawl database round-trip.
+
+use proptest::prelude::*;
+use trackersift_suite::prelude::*;
+
+// ---------------------------------------------------------------------------
+// filterlist: the token index must agree with the linear scan for any URL.
+// ---------------------------------------------------------------------------
+
+fn arb_url() -> impl Strategy<Value = String> {
+    let host = prop::collection::vec("[a-z]{2,8}", 2..4).prop_map(|labels| labels.join("."));
+    let path = prop::collection::vec("[a-z0-9]{1,8}", 0..4).prop_map(|segments| segments.join("/"));
+    let query = prop::option::of("[a-z]{1,6}=[a-z0-9]{1,6}");
+    (host, path, query).prop_map(|(host, path, query)| match query {
+        Some(q) => format!("https://{host}/{path}?{q}"),
+        None => format!("https://{host}/{path}"),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn token_index_never_disagrees_with_linear_scan(url in arb_url(), source in "[a-z]{3,10}\\.com") {
+        let engine = FilterEngine::easylist_easyprivacy();
+        if let Some(request) = FilterRequest::new(&url, &source, ResourceType::Script) {
+            prop_assert_eq!(
+                engine.evaluate(&request).label(),
+                engine.evaluate_linear(&request).label()
+            );
+        }
+    }
+
+    #[test]
+    fn url_parsing_never_panics_and_lowercases_host(raw in "\\PC{0,60}") {
+        if let Some(parsed) = filterlist::ParsedUrl::parse(&raw) {
+            prop_assert_eq!(parsed.hostname.clone(), parsed.hostname.to_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn registrable_domain_is_idempotent_and_suffix(host in "[a-z]{1,8}(\\.[a-z]{1,8}){0,4}") {
+        let d1 = filterlist::registrable_domain(&host);
+        let d2 = filterlist::registrable_domain(&d1);
+        prop_assert_eq!(&d1, &d2);
+        prop_assert!(host.ends_with(&d1) || d1 == host);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ratio: classification is symmetric and respects the threshold.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn classification_is_symmetric_under_label_swap(t in 0u64..10_000, f in 0u64..10_000, threshold in 0.5f64..4.0) {
+        prop_assume!(t > 0 || f > 0);
+        let thresholds = Thresholds::new(threshold);
+        let forward = thresholds.classify(&trackersift::Counts { tracking: t, functional: f }).unwrap();
+        let swapped = thresholds.classify(&trackersift::Counts { tracking: f, functional: t }).unwrap();
+        let expected = match forward {
+            Classification::Tracking => Classification::Functional,
+            Classification::Functional => Classification::Tracking,
+            Classification::Mixed => Classification::Mixed,
+        };
+        prop_assert_eq!(swapped, expected);
+    }
+
+    #[test]
+    fn mixed_iff_ratio_within_band(t in 1u64..100_000, f in 1u64..100_000, threshold in 0.5f64..4.0) {
+        let thresholds = Thresholds::new(threshold);
+        let counts = trackersift::Counts { tracking: t, functional: f };
+        let ratio = (t as f64 / f as f64).log10();
+        let class = thresholds.classify(&counts).unwrap();
+        if ratio.abs() < threshold - 1e-9 {
+            prop_assert_eq!(class, Classification::Mixed);
+        } else if ratio >= threshold {
+            prop_assert_eq!(class, Classification::Tracking);
+        } else if ratio <= -threshold {
+            prop_assert_eq!(class, Classification::Functional);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// hierarchy + crawl: conservation and determinism on random small corpora.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn hierarchy_conserves_requests_for_random_corpora(seed in 0u64..1_000, sites in 20usize..60) {
+        let study = Study::run(StudyConfig {
+            profile: CorpusProfile::small().with_sites(sites),
+            seed,
+            ..StudyConfig::default()
+        });
+        let h = &study.hierarchy;
+        let attributed: u64 = h
+            .levels
+            .iter()
+            .map(|l| l.request_counts.tracking + l.request_counts.functional)
+            .sum();
+        prop_assert_eq!(attributed + h.unattributed_requests, h.total_requests);
+        for window in h.levels.windows(2) {
+            prop_assert_eq!(window[1].input_requests, window[0].request_counts.mixed);
+        }
+        // Resource totals per level are consistent with their request totals.
+        for level in &h.levels {
+            let sum: u64 = level.resources.iter().map(|r| r.counts.total()).sum();
+            prop_assert_eq!(sum, level.request_counts.total());
+        }
+    }
+
+    #[test]
+    fn crawl_database_round_trips_for_random_corpora(seed in 0u64..1_000, sites in 5usize..25) {
+        let corpus = CorpusGenerator::generate(&CorpusProfile::small().with_sites(sites), seed);
+        let db = CrawlCluster::new(ClusterConfig::default()).crawl(&corpus);
+        let json = db.to_json().unwrap();
+        let back = CrawlDatabase::from_json(&json).unwrap();
+        prop_assert_eq!(db, back);
+    }
+
+    #[test]
+    fn parallel_and_sequential_crawls_agree(seed in 0u64..500, sites in 10usize..40) {
+        let corpus = CorpusGenerator::generate(&CorpusProfile::small().with_sites(sites), seed);
+        let sequential = CrawlCluster::new(ClusterConfig::sequential()).crawl(&corpus);
+        let parallel = CrawlCluster::new(ClusterConfig::default().with_workers(6)).crawl(&corpus);
+        prop_assert_eq!(sequential, parallel);
+    }
+}
