@@ -9,15 +9,23 @@ fn bench_corpus(c: &mut Criterion) {
     let mut group = c.benchmark_group("corpus_generation");
     group.sample_size(10);
     group.bench_function("generate_500_sites", |b| {
-        b.iter(|| CorpusGenerator::generate(&CorpusProfile::small().with_sites(500), 3).websites.len())
+        b.iter(|| {
+            CorpusGenerator::generate(&CorpusProfile::small().with_sites(500), 3)
+                .websites
+                .len()
+        })
     });
 
     let corpus = CorpusGenerator::generate(&CorpusProfile::small().with_sites(500), 3);
     for workers in [1usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("crawl_500_sites", workers), &workers, |b, &w| {
-            let cluster = CrawlCluster::new(ClusterConfig::default().with_workers(w));
-            b.iter(|| cluster.crawl(&corpus).script_initiated_requests())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("crawl_500_sites", workers),
+            &workers,
+            |b, &w| {
+                let cluster = CrawlCluster::new(ClusterConfig::default().with_workers(w));
+                b.iter(|| cluster.crawl(&corpus).script_initiated_requests())
+            },
+        );
     }
     group.finish();
 }

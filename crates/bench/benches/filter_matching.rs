@@ -13,7 +13,8 @@ fn requests_and_engine() -> (Vec<FilterRequest>, FilterEngine) {
         let source = site.hostname.clone();
         for script in &site.scripts {
             for (_, planned) in script.planned_requests() {
-                if let Some(req) = FilterRequest::new(&planned.url, &source, planned.resource_type) {
+                if let Some(req) = FilterRequest::new(&planned.url, &source, planned.resource_type)
+                {
                     requests.push(req);
                 }
             }
@@ -31,7 +32,11 @@ fn bench_filter_matching(c: &mut Criterion) {
     group.bench_function("token_index", |b| {
         b.iter_batched(
             || requests.clone(),
-            |reqs| reqs.iter().filter(|r| engine.label(r).is_tracking()).count(),
+            |reqs| {
+                reqs.iter()
+                    .filter(|r| engine.label(r).is_tracking())
+                    .count()
+            },
             BatchSize::LargeInput,
         )
     });

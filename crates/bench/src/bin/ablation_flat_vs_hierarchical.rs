@@ -27,7 +27,11 @@ fn main() {
         );
     }
     let hierarchy = &study.hierarchy;
-    let resources: u64 = hierarchy.levels.iter().map(|l| l.resource_counts.total()).sum();
+    let resources: u64 = hierarchy
+        .levels
+        .iter()
+        .map(|l| l.resource_counts.total())
+        .sum();
     println!(
         "{:<28} {:>12} {:>14} {:>16.1}",
         "hierarchical (paper)",

@@ -34,7 +34,10 @@ fn main() {
         "{:<26} {:>16} {:>16} {:>18}",
         "attribution", "scripts observed", "mixed scripts", "requests attributed(%)"
     );
-    for (name, result) in [("innermost frame (paper)", innermost), ("outermost frame", &outermost)] {
+    for (name, result) in [
+        ("innermost frame (paper)", innermost),
+        ("outermost frame", &outermost),
+    ] {
         let level = result.level(Granularity::Script);
         println!(
             "{:<26} {:>16} {:>16} {:>18.1}",

@@ -1,0 +1,100 @@
+//! Pipeline throughput benchmark: runs the staged study and writes a
+//! machine-readable `BENCH_pipeline.json` next to the working directory so
+//! successive PRs accumulate a perf trajectory.
+//!
+//! Scale and placement can be overridden through the environment:
+//!
+//! * `TRACKERSIFT_BENCH_SITES` — number of websites (default 2000);
+//! * `TRACKERSIFT_BENCH_WORKERS` — worker threads (default: machine);
+//! * `TRACKERSIFT_BENCH_OUT` — output path (default `BENCH_pipeline.json`).
+
+use std::time::Duration;
+use trackersift::{Study, StudyConfig};
+use websim::CorpusProfile;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn ms(duration: Option<Duration>) -> f64 {
+    duration.unwrap_or_default().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let sites = env_usize("TRACKERSIFT_BENCH_SITES", 2_000);
+    let default_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let workers = env_usize("TRACKERSIFT_BENCH_WORKERS", default_workers);
+    let out_path = std::env::var("TRACKERSIFT_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+
+    let config = StudyConfig {
+        profile: CorpusProfile::paper().with_sites(sites),
+        seed: 2021,
+        ..StudyConfig::default()
+    }
+    .with_threads(workers);
+
+    eprintln!("bench_pipeline: {sites} sites, {workers} workers …");
+    let study = Study::run(config);
+    let timings = &study.timings;
+
+    // The paper-relevant hot path is crawl + label + classify; corpus
+    // generation stands in for the crawl list and is excluded from the rate.
+    let pipeline_secs = ["crawl", "label", "classify"]
+        .iter()
+        .filter_map(|name| timings.duration(name))
+        .map(|d| d.as_secs_f64())
+        .sum::<f64>();
+    let sites_per_sec = if pipeline_secs > 0.0 {
+        sites as f64 / pipeline_secs
+    } else {
+        0.0
+    };
+    let requests_per_sec = if pipeline_secs > 0.0 {
+        study.requests.len() as f64 / pipeline_secs
+    } else {
+        0.0
+    };
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"pipeline\",\n",
+            "  \"sites\": {sites},\n",
+            "  \"workers\": {workers},\n",
+            "  \"labeled_requests\": {requests},\n",
+            "  \"stage_ms\": {{\n",
+            "    \"generate\": {generate:.3},\n",
+            "    \"crawl\": {crawl:.3},\n",
+            "    \"label\": {label:.3},\n",
+            "    \"classify\": {classify:.3}\n",
+            "  }},\n",
+            "  \"pipeline_ms\": {pipeline:.3},\n",
+            "  \"sites_per_sec\": {site_rate:.2},\n",
+            "  \"requests_per_sec\": {request_rate:.2},\n",
+            "  \"overall_attribution_pct\": {attribution:.3}\n",
+            "}}\n"
+        ),
+        sites = sites,
+        workers = workers,
+        requests = study.requests.len(),
+        generate = ms(timings.duration("generate")),
+        crawl = ms(timings.duration("crawl")),
+        label = ms(timings.duration("label")),
+        classify = ms(timings.duration("classify")),
+        pipeline = pipeline_secs * 1e3,
+        site_rate = sites_per_sec,
+        request_rate = requests_per_sec,
+        attribution = study.hierarchy.overall_attribution(),
+    );
+
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    eprintln!("bench_pipeline: stage timings — {}", timings.summary());
+    println!("{json}");
+    eprintln!("bench_pipeline: wrote {out_path}");
+}

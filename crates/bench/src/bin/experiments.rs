@@ -2,9 +2,7 @@
 //! from a single shared study and prints the paper-vs-measured comparison
 //! that `EXPERIMENTS.md` records. This is the one-shot reproduction driver.
 
-use trackersift::report::{
-    render_headline, render_sensitivity_csv, render_table1, render_table2,
-};
+use trackersift::report::{render_headline, render_sensitivity_csv, render_table1, render_table2};
 use trackersift::{Granularity, RatioHistogram};
 
 fn main() {
@@ -12,15 +10,22 @@ fn main() {
 
     println!("================================================================");
     println!(" TrackerSift reproduction — full experiment run");
-    println!(" sites: {}   seed: {}   script-initiated requests: {}",
-        study.corpus.websites.len(), study.config.seed, study.requests.len());
+    println!(
+        " sites: {}   seed: {}   script-initiated requests: {}",
+        study.corpus.websites.len(),
+        study.config.seed,
+        study.requests.len()
+    );
     println!("================================================================\n");
 
     print!("{}", render_table1(&study.hierarchy));
     println!();
     print!("{}", render_table2(&study.hierarchy));
     println!();
-    print!("{}", render_headline(&trackersift::headline(&study.hierarchy)));
+    print!(
+        "{}",
+        render_headline(&trackersift::headline(&study.hierarchy))
+    );
     println!();
 
     println!("Figure 3 band masses (functional / mixed / tracking):");

@@ -20,7 +20,11 @@ fn main() {
     // worked example (clone.js m2 / track.js t).
     for (root, graph) in analysis.graphs.iter().take(5) {
         println!("mixed method: {}", root.label());
-        println!("  call graph: {} nodes, {} edges", graph.node_count(), graph.edge_count());
+        println!(
+            "  call graph: {} nodes, {} edges",
+            graph.node_count(),
+            graph.edge_count()
+        );
         let shared = graph.shared_nodes();
         if let Some(node) = shared.first() {
             println!("  participates in both traces: {}", node.label());

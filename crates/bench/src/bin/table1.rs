@@ -8,5 +8,8 @@ fn main() {
     let study = trackersift_bench::run_experiment_study("table1");
     print!("{}", render_table1(&study.hierarchy));
     println!();
-    print!("{}", render_headline(&trackersift::headline(&study.hierarchy)));
+    print!(
+        "{}",
+        render_headline(&trackersift::headline(&study.hierarchy))
+    );
 }

@@ -4,8 +4,14 @@
 fn main() {
     let study = trackersift_bench::run_experiment_study("table3");
     let breakage = study.breakage_study(10);
-    println!("Table 3: Breakage caused by blocking mixed scripts on {} websites", breakage.rows.len());
-    println!("{:<28} {:<34} {:<8} {}", "Website", "Mixed script(s) blocked", "Breakage", "Broken features");
+    println!(
+        "Table 3: Breakage caused by blocking mixed scripts on {} websites",
+        breakage.rows.len()
+    );
+    println!(
+        "{:<28} {:<34} {:<8} {}",
+        "Website", "Mixed script(s) blocked", "Breakage", "Broken features"
+    );
     for row in &breakage.rows {
         println!(
             "{:<28} {:<34} {:<8} {}",

@@ -226,9 +226,15 @@ mod tests {
 
     #[test]
     fn short_script_names() {
-        assert_eq!(short_script_name("https://a.com/assets/app.9115af43.js?v=2"), "app.9115af43.js");
+        assert_eq!(
+            short_script_name("https://a.com/assets/app.9115af43.js?v=2"),
+            "app.9115af43.js"
+        );
         assert_eq!(short_script_name("https://a.com/"), "(inline)");
-        assert_eq!(short_script_name("https://a.com/jquery.min.js"), "jquery.min.js");
+        assert_eq!(
+            short_script_name("https://a.com/jquery.min.js"),
+            "jquery.min.js"
+        );
     }
 
     #[test]

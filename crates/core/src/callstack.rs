@@ -11,6 +11,7 @@
 //! breaks the chain needed to invoke the tracking behaviour while leaving
 //! the functional path intact.
 
+use crate::intern::{KeyInterner, ResourceKey};
 use crate::label::LabeledRequest;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -100,8 +101,12 @@ impl CallGraph {
     /// Nodes that participate in both kinds of trace (rendered yellow in the
     /// paper's Figure 5).
     pub fn shared_nodes(&self) -> Vec<&CallGraphNode> {
-        let mut out: Vec<&CallGraphNode> =
-            self.nodes.iter().filter(|(_, p)| p.both()).map(|(n, _)| n).collect();
+        let mut out: Vec<&CallGraphNode> = self
+            .nodes
+            .iter()
+            .filter(|(_, p)| p.both())
+            .map(|(n, _)| n)
+            .collect();
         out.sort();
         out
     }
@@ -177,9 +182,7 @@ pub fn build_call_graph<'a>(
         }
         for window in nodes.windows(2) {
             // window[0] is inner (callee), window[1] is its caller.
-            graph
-                .edges
-                .insert((window[1].clone(), window[0].clone()));
+            graph.edges.insert((window[1].clone(), window[0].clone()));
         }
     }
     graph
@@ -187,20 +190,27 @@ pub fn build_call_graph<'a>(
 
 /// Analyse every mixed method: group the given requests (those initiated by
 /// mixed methods, i.e. the unattributed residue of the hierarchy) by their
-/// `(script, method)` key and build one call graph per key.
+/// interned `(script, method)` key and build one call graph per key.
+///
+/// Grouping goes through a [`KeyInterner`], so each request costs two hash
+/// lookups on `Copy` symbols instead of cloning its `(String, String)` pair.
 pub fn analyze_mixed_methods(residue: &[&LabeledRequest]) -> CallStackAnalysis {
-    let mut by_method: HashMap<(String, String), Vec<&LabeledRequest>> = HashMap::new();
+    let mut interner = KeyInterner::new();
+    let mut by_method: HashMap<ResourceKey, Vec<&LabeledRequest>> = HashMap::new();
     for request in residue {
-        by_method
-            .entry(request.method_key())
-            .or_default()
-            .push(request);
+        let key = interner.intern_method(&request.initiator_script, &request.initiator_method);
+        by_method.entry(key).or_default().push(request);
     }
     let mut graphs: Vec<(CallGraphNode, CallGraph)> = by_method
-        .into_iter()
-        .map(|((script_url, method), requests)| {
-            let graph = build_call_graph(&script_url, &method, requests.into_iter());
-            (CallGraphNode { script_url, method }, graph)
+        .into_values()
+        .map(|requests| {
+            let first = requests[0];
+            let node = CallGraphNode {
+                script_url: first.initiator_script.clone(),
+                method: first.initiator_method.clone(),
+            };
+            let graph = build_call_graph(&node.script_url, &node.method, requests.into_iter());
+            (node, graph)
         })
         .collect();
     graphs.sort_by(|a, b| a.0.cmp(&b.0));
@@ -230,10 +240,17 @@ mod tests {
             initiator_method: stack[0].1.into(),
             stack: stack
                 .iter()
-                .map(|(s, m)| LabeledFrame { script_url: (*s).into(), method: (*m).into() })
+                .map(|(s, m)| LabeledFrame {
+                    script_url: (*s).into(),
+                    method: (*m).into(),
+                })
                 .collect(),
             async_boundary: None,
-            label: if tracking { RequestLabel::Tracking } else { RequestLabel::Functional },
+            label: if tracking {
+                RequestLabel::Tracking
+            } else {
+                RequestLabel::Functional
+            },
         };
         vec![
             mk(
@@ -280,15 +297,17 @@ mod tests {
     #[test]
     fn call_graph_edges_follow_caller_to_callee() {
         let requests = figure5_requests();
-        let graph = build_call_graph(
-            "https://test.com/clone.js",
-            "m2",
-            requests.iter(),
-        );
+        let graph = build_call_graph("https://test.com/clone.js", "m2", requests.iter());
         // track.js t  ->  clone.js m2 (t calls... actually m2 calls are
         // inner; the edge points from the outer frame to the inner frame).
-        let t = CallGraphNode { script_url: "https://ads.com/track.js".into(), method: "t".into() };
-        let m2 = CallGraphNode { script_url: "https://test.com/clone.js".into(), method: "m2".into() };
+        let t = CallGraphNode {
+            script_url: "https://ads.com/track.js".into(),
+            method: "t".into(),
+        };
+        let m2 = CallGraphNode {
+            script_url: "https://test.com/clone.js".into(),
+            method: "m2".into(),
+        };
         assert!(graph.edges.contains(&(t, m2)));
         assert_eq!(graph.node_count(), 4);
         assert_eq!(graph.edge_count(), 3);

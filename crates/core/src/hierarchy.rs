@@ -20,10 +20,11 @@
 //! the paper's Table 1; the per-level unique-resource class counts reproduce
 //! Table 2; the per-resource ratios feed the Figure 3 histograms.
 
+use crate::intern::{KeyInterner, ResourceKey};
 use crate::label::LabeledRequest;
 use crate::ratio::{Classification, Counts, Thresholds};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// The four granularities of the hierarchy, coarsest first.
@@ -55,6 +56,23 @@ impl Granularity {
             Granularity::Hostname => "Hostname",
             Granularity::Script => "Script",
             Granularity::Method => "Method",
+        }
+    }
+
+    /// The attribution key of one request at this granularity, as an
+    /// interned symbol. This is the single definition of "what groups a
+    /// request" shared by the hierarchical pipeline and the flat ablation;
+    /// method keys go through [`ResourceKey::method_label`] via the
+    /// interner, so no `format!`-built strings appear on the per-request
+    /// path.
+    pub fn request_key(self, request: &LabeledRequest, interner: &mut KeyInterner) -> ResourceKey {
+        match self {
+            Granularity::Domain => interner.intern(&request.domain),
+            Granularity::Hostname => interner.intern(&request.hostname),
+            Granularity::Script => interner.intern(&request.initiator_script),
+            Granularity::Method => {
+                interner.intern_method(&request.initiator_script, &request.initiator_method)
+            }
         }
     }
 }
@@ -126,7 +144,9 @@ impl ResourceEntry {
     /// The log-ratio of the resource (always defined — resources only exist
     /// because at least one request was attributed to them).
     pub fn log_ratio(&self) -> f64 {
-        self.counts.log_ratio().expect("resources have at least one request")
+        self.counts
+            .log_ratio()
+            .expect("resources have at least one request")
     }
 }
 
@@ -227,7 +247,8 @@ impl HierarchyResult {
         if self.total_requests == 0 {
             return 0.0;
         }
-        100.0 * (self.total_requests - self.unattributed_requests) as f64 / self.total_requests as f64
+        100.0 * (self.total_requests - self.unattributed_requests) as f64
+            / self.total_requests as f64
     }
 }
 
@@ -245,23 +266,25 @@ impl HierarchicalClassifier {
     }
 
     /// Run the full four-level analysis over labeled requests.
+    ///
+    /// One [`KeyInterner`] is threaded through all four levels, so every
+    /// attribution key — including the composed `script :: method` keys —
+    /// is allocated at most once for the whole classification.
     pub fn classify(&self, requests: &[LabeledRequest]) -> HierarchyResult {
         let all: Vec<&LabeledRequest> = requests.iter().collect();
         let total_requests = all.len() as u64;
+        let mut interner = KeyInterner::with_capacity(1024);
 
-        // Domain level over everything.
+        // Domain level over everything; each subsequent level only sees the
+        // requests attributed to the previous level's mixed resources.
         let (domain_level, to_hostname) =
-            self.classify_level(Granularity::Domain, &all, |r| r.domain.clone());
-        // Hostname level over requests from mixed domains.
+            self.classify_level(Granularity::Domain, &all, &mut interner);
         let (hostname_level, to_script) =
-            self.classify_level(Granularity::Hostname, &to_hostname, |r| r.hostname.clone());
-        // Script level over requests from mixed hostnames.
+            self.classify_level(Granularity::Hostname, &to_hostname, &mut interner);
         let (script_level, to_method) =
-            self.classify_level(Granularity::Script, &to_script, |r| r.initiator_script.clone());
-        // Method level over requests from mixed scripts.
-        let (method_level, residue) = self.classify_level(Granularity::Method, &to_method, |r| {
-            format!("{} :: {}", r.initiator_script, r.initiator_method)
-        });
+            self.classify_level(Granularity::Script, &to_script, &mut interner);
+        let (method_level, residue) =
+            self.classify_level(Granularity::Method, &to_method, &mut interner);
 
         HierarchyResult {
             thresholds: self.thresholds,
@@ -271,31 +294,51 @@ impl HierarchicalClassifier {
         }
     }
 
-    /// Classify one level: group `input` by `key`, count labels, classify
-    /// each resource, and return the level result plus the requests that
-    /// belong to mixed resources (the next level's input).
+    /// Classify a single granularity over an arbitrary request set — the
+    /// flat baseline of the flat-vs-hierarchical ablation.
+    pub fn classify_flat(
+        &self,
+        granularity: Granularity,
+        input: &[&LabeledRequest],
+    ) -> LevelResult {
+        let mut interner = KeyInterner::new();
+        self.classify_level(granularity, input, &mut interner).0
+    }
+
+    /// Classify one level: group `input` by its interned granularity key,
+    /// count labels, classify each resource, and return the level result
+    /// plus the requests that belong to mixed resources (the next level's
+    /// input).
     fn classify_level<'a>(
         &self,
         granularity: Granularity,
         input: &[&'a LabeledRequest],
-        key: impl Fn(&LabeledRequest) -> String,
+        interner: &mut KeyInterner,
     ) -> (LevelResult, Vec<&'a LabeledRequest>) {
-        let mut groups: HashMap<String, Counts> = HashMap::new();
+        let mut groups: HashMap<ResourceKey, Counts> = HashMap::new();
         for request in input {
             groups
-                .entry(key(request))
+                .entry(granularity.request_key(request, interner))
                 .or_default()
                 .record(request.is_tracking());
         }
 
+        let mut mixed_keys: HashSet<ResourceKey> = HashSet::new();
         let mut resources: Vec<ResourceEntry> = groups
             .into_iter()
-            .map(|(key, counts)| {
+            .map(|(id, counts)| {
                 let classification = self
                     .thresholds
                     .classify(&counts)
                     .expect("grouped resources have requests");
-                ResourceEntry { key, counts, classification }
+                if classification == Classification::Mixed {
+                    mixed_keys.insert(id);
+                }
+                ResourceEntry {
+                    key: interner.resolve(id).to_string(),
+                    counts,
+                    classification,
+                }
             })
             .collect();
         // Deterministic output order: by descending volume, then key.
@@ -308,18 +351,21 @@ impl HierarchicalClassifier {
 
         let mut resource_counts = ClassCounts::default();
         let mut request_counts = ClassCounts::default();
-        let mut class_by_key: HashMap<&str, Classification> = HashMap::new();
         for resource in &resources {
             resource_counts.add(resource.classification, 1);
             request_counts.add(resource.classification, resource.counts.total());
-            class_by_key.insert(resource.key.as_str(), resource.classification);
         }
 
-        let next: Vec<&LabeledRequest> = input
-            .iter()
-            .copied()
-            .filter(|r| class_by_key.get(key(r).as_str()) == Some(&Classification::Mixed))
-            .collect();
+        // Every key below was interned during grouping, so this pass does a
+        // pure lookup — no allocation per request.
+        let mut next: Vec<&LabeledRequest> = Vec::new();
+        if !mixed_keys.is_empty() {
+            for request in input.iter().copied() {
+                if mixed_keys.contains(&granularity.request_key(request, interner)) {
+                    next.push(request);
+                }
+            }
+        }
 
         (
             LevelResult {
@@ -362,7 +408,11 @@ mod tests {
                 method: method.into(),
             }],
             async_boundary: None,
-            label: if tracking { RequestLabel::Tracking } else { RequestLabel::Functional },
+            label: if tracking {
+                RequestLabel::Tracking
+            } else {
+                RequestLabel::Functional
+            },
         }
     }
 
@@ -374,26 +424,86 @@ mod tests {
         let mut v = Vec::new();
         // Pure tracking / functional domains.
         for _ in 0..5 {
-            v.push(req("ads.com", "px.ads.com", "https://pub.com/a.js", "t", true));
-            v.push(req("news.com", "cdn.news.com", "https://pub.com/n.js", "f", false));
+            v.push(req(
+                "ads.com",
+                "px.ads.com",
+                "https://pub.com/a.js",
+                "t",
+                true,
+            ));
+            v.push(req(
+                "news.com",
+                "cdn.news.com",
+                "https://pub.com/n.js",
+                "f",
+                false,
+            ));
         }
         // google.com: ad.google.com pure tracking, maps.google.com pure
         // functional, cdn.google.com mixed.
         for _ in 0..4 {
-            v.push(req("google.com", "ad.google.com", "https://pub.com/sdk.js", "send", true));
-            v.push(req("google.com", "maps.google.com", "https://pub.com/maps.js", "draw", false));
+            v.push(req(
+                "google.com",
+                "ad.google.com",
+                "https://pub.com/sdk.js",
+                "send",
+                true,
+            ));
+            v.push(req(
+                "google.com",
+                "maps.google.com",
+                "https://pub.com/maps.js",
+                "draw",
+                false,
+            ));
         }
         // cdn.google.com requests from three scripts: sdk.js (tracking),
         // stack.js (functional), clone.js (mixed: m1 tracking, m3
         // functional, m2 both).
         for _ in 0..3 {
-            v.push(req("google.com", "cdn.google.com", "https://pub.com/sdk.js", "send", true));
-            v.push(req("google.com", "cdn.google.com", "https://pub.com/stack.js", "load", false));
-            v.push(req("google.com", "cdn.google.com", "https://pub.com/clone.js", "m1", true));
-            v.push(req("google.com", "cdn.google.com", "https://pub.com/clone.js", "m3", false));
+            v.push(req(
+                "google.com",
+                "cdn.google.com",
+                "https://pub.com/sdk.js",
+                "send",
+                true,
+            ));
+            v.push(req(
+                "google.com",
+                "cdn.google.com",
+                "https://pub.com/stack.js",
+                "load",
+                false,
+            ));
+            v.push(req(
+                "google.com",
+                "cdn.google.com",
+                "https://pub.com/clone.js",
+                "m1",
+                true,
+            ));
+            v.push(req(
+                "google.com",
+                "cdn.google.com",
+                "https://pub.com/clone.js",
+                "m3",
+                false,
+            ));
         }
-        v.push(req("google.com", "cdn.google.com", "https://pub.com/clone.js", "m2", true));
-        v.push(req("google.com", "cdn.google.com", "https://pub.com/clone.js", "m2", false));
+        v.push(req(
+            "google.com",
+            "cdn.google.com",
+            "https://pub.com/clone.js",
+            "m2",
+            true,
+        ));
+        v.push(req(
+            "google.com",
+            "cdn.google.com",
+            "https://pub.com/clone.js",
+            "m2",
+            false,
+        ));
         v
     }
 
@@ -419,7 +529,10 @@ mod tests {
         let result = HierarchicalClassifier::default().classify(&figure1_requests());
         let hostnames = result.level(Granularity::Hostname);
         // Only google.com hostnames appear.
-        assert!(hostnames.resources.iter().all(|r| r.key.ends_with("google.com")));
+        assert!(hostnames
+            .resources
+            .iter()
+            .all(|r| r.key.ends_with("google.com")));
         let class_of = |key: &str| {
             hostnames
                 .resources
@@ -428,7 +541,10 @@ mod tests {
                 .map(|r| r.classification)
         };
         assert_eq!(class_of("ad.google.com"), Some(Classification::Tracking));
-        assert_eq!(class_of("maps.google.com"), Some(Classification::Functional));
+        assert_eq!(
+            class_of("maps.google.com"),
+            Some(Classification::Functional)
+        );
         assert_eq!(class_of("cdn.google.com"), Some(Classification::Mixed));
     }
 
@@ -443,9 +559,18 @@ mod tests {
                 .find(|r| r.key == key)
                 .map(|r| r.classification)
         };
-        assert_eq!(class_of("https://pub.com/sdk.js"), Some(Classification::Tracking));
-        assert_eq!(class_of("https://pub.com/stack.js"), Some(Classification::Functional));
-        assert_eq!(class_of("https://pub.com/clone.js"), Some(Classification::Mixed));
+        assert_eq!(
+            class_of("https://pub.com/sdk.js"),
+            Some(Classification::Tracking)
+        );
+        assert_eq!(
+            class_of("https://pub.com/stack.js"),
+            Some(Classification::Functional)
+        );
+        assert_eq!(
+            class_of("https://pub.com/clone.js"),
+            Some(Classification::Mixed)
+        );
 
         let methods = result.level(Granularity::Method);
         let class_of = |key: &str| {
@@ -463,7 +588,10 @@ mod tests {
             class_of("https://pub.com/clone.js :: m3"),
             Some(Classification::Functional)
         );
-        assert_eq!(class_of("https://pub.com/clone.js :: m2"), Some(Classification::Mixed));
+        assert_eq!(
+            class_of("https://pub.com/clone.js :: m2"),
+            Some(Classification::Mixed)
+        );
         assert_eq!(result.unattributed_requests, 2);
     }
 

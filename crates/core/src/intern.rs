@@ -1,0 +1,212 @@
+//! Resource-key interning for the classification hot path.
+//!
+//! Every stage of the hierarchy groups millions of requests by string keys —
+//! domains, hostnames, script URLs, and `script :: method` pairs. Building
+//! an owned `String` per request (four separate `format!("{} :: {}", …)`
+//! call sites in the original pipeline) dominates the method-granularity hot
+//! path. A [`KeyInterner`] replaces those allocations with cheap [`ResourceKey`]
+//! symbols: each distinct string is stored once and every subsequent
+//! occurrence resolves to a `Copy` integer id with a single hash lookup and
+//! zero allocation.
+//!
+//! Method keys are composed through [`ResourceKey::method_label`] — the one
+//! shared constructor of the `script :: method` format — so producers
+//! (hierarchy grouping) and consumers (call-stack residue filtering,
+//! surrogate lookup) can never drift apart on the key format. Interning a
+//! `(script, method)` pair via [`KeyInterner::intern_method`] does not build
+//! the composed string at all once the pair has been seen: the pair of
+//! symbol ids is the cache key.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A `Copy` symbol standing for one interned resource-key string.
+///
+/// Keys are only meaningful relative to the [`KeyInterner`] that produced
+/// them. Ids are assigned in first-seen order, so iterating an interner
+/// yields a stable, deterministic ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceKey(u32);
+
+impl ResourceKey {
+    /// The separator between the script URL and the method name in a
+    /// method-granularity key.
+    pub const METHOD_SEPARATOR: &'static str = " :: ";
+
+    /// The one shared constructor of the method-granularity key format.
+    ///
+    /// Every producer and consumer of `script :: method` keys goes through
+    /// this function (directly or via [`KeyInterner::intern_method`]), so
+    /// the format cannot drift between the hierarchy, the call-stack
+    /// analysis, and the surrogate generator.
+    pub fn method_label(script_url: &str, method: &str) -> String {
+        let mut out =
+            String::with_capacity(script_url.len() + Self::METHOD_SEPARATOR.len() + method.len());
+        out.push_str(script_url);
+        out.push_str(Self::METHOD_SEPARATOR);
+        out.push_str(method);
+        out
+    }
+
+    /// The position of this key in its interner's first-seen order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only string interner for resource keys.
+#[derive(Debug, Clone, Default)]
+pub struct KeyInterner {
+    /// string → id. `Arc<str>` shares storage with `strings`.
+    lookup: HashMap<Arc<str>, ResourceKey>,
+    /// `(script id, method id)` → composed method-key id. Lets repeated
+    /// method-key interning skip building the composed string entirely.
+    method_pairs: HashMap<(ResourceKey, ResourceKey), ResourceKey>,
+    /// id → string, in first-seen order.
+    strings: Vec<Arc<str>>,
+}
+
+impl KeyInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty interner with room for `capacity` distinct keys.
+    pub fn with_capacity(capacity: usize) -> Self {
+        KeyInterner {
+            lookup: HashMap::with_capacity(capacity),
+            method_pairs: HashMap::new(),
+            strings: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Intern a string, returning its symbol. Allocates only the first time
+    /// a given string is seen.
+    pub fn intern(&mut self, key: &str) -> ResourceKey {
+        if let Some(&id) = self.lookup.get(key) {
+            return id;
+        }
+        let id = ResourceKey(
+            u32::try_from(self.strings.len()).expect("more than u32::MAX interned keys"),
+        );
+        let stored: Arc<str> = Arc::from(key);
+        self.strings.push(Arc::clone(&stored));
+        self.lookup.insert(stored, id);
+        id
+    }
+
+    /// Intern the method-granularity key for a `(script, method)` pair.
+    ///
+    /// After the first occurrence of a pair, this is two hash lookups on
+    /// `Copy` keys — the composed `script :: method` string is never rebuilt.
+    pub fn intern_method(&mut self, script_url: &str, method: &str) -> ResourceKey {
+        let pair = (self.intern(script_url), self.intern(method));
+        if let Some(&id) = self.method_pairs.get(&pair) {
+            return id;
+        }
+        let composed = ResourceKey::method_label(script_url, method);
+        let id = self.intern(&composed);
+        self.method_pairs.insert(pair, id);
+        id
+    }
+
+    /// Look up a string without interning it.
+    pub fn get(&self, key: &str) -> Option<ResourceKey> {
+        self.lookup.get(key).copied()
+    }
+
+    /// Resolve a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `key` came from a different interner and is out of range.
+    pub fn resolve(&self, key: ResourceKey) -> &str {
+        &self.strings[key.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterate `(key, string)` pairs in first-seen (id) order.
+    pub fn iter(&self) -> impl Iterator<Item = (ResourceKey, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (ResourceKey(i as u32), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_resolves_to_the_original_string() {
+        let mut interner = KeyInterner::new();
+        let keys = ["google.com", "cdn.google.com", "https://x.com/a.js"];
+        let ids: Vec<ResourceKey> = keys.iter().map(|k| interner.intern(k)).collect();
+        for (key, id) in keys.iter().zip(&ids) {
+            assert_eq!(interner.resolve(*id), *key);
+        }
+    }
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut interner = KeyInterner::new();
+        let a = interner.intern("ads.com");
+        let b = interner.intern("news.com");
+        let a2 = interner.intern("ads.com");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn resolved_keys_keep_stable_first_seen_ordering() {
+        let mut interner = KeyInterner::new();
+        for key in ["zeta", "alpha", "mid", "alpha", "zeta"] {
+            interner.intern(key);
+        }
+        let in_order: Vec<&str> = interner.iter().map(|(_, s)| s).collect();
+        assert_eq!(in_order, vec!["zeta", "alpha", "mid"]);
+        let indices: Vec<usize> = interner.iter().map(|(k, _)| k.index()).collect();
+        assert_eq!(indices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn method_keys_match_the_shared_constructor() {
+        let mut interner = KeyInterner::new();
+        let id = interner.intern_method("https://x.com/clone.js", "m2");
+        assert_eq!(
+            interner.resolve(id),
+            ResourceKey::method_label("https://x.com/clone.js", "m2")
+        );
+        assert_eq!(interner.resolve(id), "https://x.com/clone.js :: m2");
+    }
+
+    #[test]
+    fn method_pair_interning_is_idempotent_and_matches_string_interning() {
+        let mut interner = KeyInterner::new();
+        let via_pair = interner.intern_method("s.js", "run");
+        let via_pair_again = interner.intern_method("s.js", "run");
+        let via_string = interner.intern(&ResourceKey::method_label("s.js", "run"));
+        assert_eq!(via_pair, via_pair_again);
+        assert_eq!(via_pair, via_string);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut interner = KeyInterner::new();
+        assert_eq!(interner.get("missing"), None);
+        let id = interner.intern("present");
+        assert_eq!(interner.get("present"), Some(id));
+        assert_eq!(interner.len(), 1);
+    }
+}

@@ -9,10 +9,11 @@
 //! method-level granularities, and the full ancestry feeds the call-stack
 //! analysis of Figure 5.
 
-use crawler::{CrawlDatabase, RequestWillBeSent};
+use crawler::{CrawlDatabase, RequestWillBeSent, SiteCrawl};
 use filterlist::{
     registrable_domain, FilterEngine, FilterRequest, ParsedUrl, RequestLabel, ResourceType,
 };
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One frame of the initiator stack, reduced to what the analysis needs.
@@ -58,11 +59,6 @@ impl LabeledRequest {
     pub fn is_tracking(&self) -> bool {
         self.label.is_tracking()
     }
-
-    /// The `(script, method)` attribution key used at method granularity.
-    pub fn method_key(&self) -> (String, String) {
-        (self.initiator_script.clone(), self.initiator_method.clone())
-    }
 }
 
 /// Statistics from labeling a crawl.
@@ -84,6 +80,16 @@ impl LabelStats {
     /// Labeled (kept) requests.
     pub fn labeled(&self) -> usize {
         self.tracking + self.functional
+    }
+
+    /// Merge another site's statistics into this one (used when labeling
+    /// sites in parallel).
+    pub fn merge(&mut self, other: LabelStats) {
+        self.total_requests += other.total_requests;
+        self.excluded_non_script += other.excluded_non_script;
+        self.excluded_unparseable += other.excluded_unparseable;
+        self.tracking += other.tracking;
+        self.functional += other.functional;
     }
 }
 
@@ -141,29 +147,71 @@ impl<'a> Labeler<'a> {
         })
     }
 
-    /// Label every script-initiated request in a crawl database.
-    pub fn label_database(&self, db: &CrawlDatabase) -> (Vec<LabeledRequest>, LabelStats) {
+    /// Label every request of one crawled site.
+    pub fn label_site(&self, site: &SiteCrawl) -> (Vec<LabeledRequest>, LabelStats) {
         let mut stats = LabelStats::default();
-        let mut out = Vec::with_capacity(db.script_initiated_requests());
-        for site in &db.sites {
-            for request in &site.requests {
-                stats.total_requests += 1;
-                if !request.is_script_initiated() {
-                    stats.excluded_non_script += 1;
-                    continue;
-                }
-                match self.label_request(&site.site_domain, request) {
-                    Some(labeled) => {
-                        if labeled.is_tracking() {
-                            stats.tracking += 1;
-                        } else {
-                            stats.functional += 1;
-                        }
-                        out.push(labeled);
-                    }
-                    None => stats.excluded_unparseable += 1,
-                }
+        let mut out = Vec::with_capacity(site.requests.len());
+        for request in &site.requests {
+            stats.total_requests += 1;
+            if !request.is_script_initiated() {
+                stats.excluded_non_script += 1;
+                continue;
             }
+            match self.label_request(&site.site_domain, request) {
+                Some(labeled) => {
+                    if labeled.is_tracking() {
+                        stats.tracking += 1;
+                    } else {
+                        stats.functional += 1;
+                    }
+                    out.push(labeled);
+                }
+                None => stats.excluded_unparseable += 1,
+            }
+        }
+        (out, stats)
+    }
+
+    /// Label every script-initiated request in a crawl database,
+    /// sequentially.
+    pub fn label_database(&self, db: &CrawlDatabase) -> (Vec<LabeledRequest>, LabelStats) {
+        let per_site: Vec<_> = db.sites.iter().map(|site| self.label_site(site)).collect();
+        Self::merge_site_results(per_site, db.script_initiated_requests())
+    }
+
+    /// Label every script-initiated request in parallel across sites on a
+    /// pool of `workers` threads (0 = the ambient rayon default, 1 =
+    /// sequential). Sites are labeled independently — the filter engine is
+    /// shared read-only across workers (`FilterEngine: Sync`) — and results
+    /// are merged in site order, so the output is identical to
+    /// [`Labeler::label_database`] regardless of worker count.
+    pub fn label_database_parallel(
+        &self,
+        db: &CrawlDatabase,
+        workers: usize,
+    ) -> (Vec<LabeledRequest>, LabelStats) {
+        if workers == 1 || db.sites.len() <= 1 {
+            return self.label_database(db);
+        }
+        let label_all = || {
+            db.sites
+                .par_iter()
+                .map(|site| self.label_site(site))
+                .collect::<Vec<_>>()
+        };
+        let per_site = crawler::with_worker_pool(workers, label_all);
+        Self::merge_site_results(per_site, db.script_initiated_requests())
+    }
+
+    fn merge_site_results(
+        per_site: Vec<(Vec<LabeledRequest>, LabelStats)>,
+        capacity: usize,
+    ) -> (Vec<LabeledRequest>, LabelStats) {
+        let mut stats = LabelStats::default();
+        let mut out = Vec::with_capacity(capacity);
+        for (requests, site_stats) in per_site {
+            out.extend(requests);
+            stats.merge(site_stats);
         }
         (out, stats)
     }
@@ -188,9 +236,15 @@ mod tests {
         let labeler = Labeler::new(&engine);
         let (requests, stats) = labeler.label_database(&db);
         assert_eq!(stats.labeled(), requests.len());
-        assert!(stats.excluded_non_script > 0, "document requests must be excluded");
+        assert!(
+            stats.excluded_non_script > 0,
+            "document requests must be excluded"
+        );
         assert_eq!(stats.total_requests, db.total_requests());
-        assert_eq!(stats.labeled() + stats.excluded_non_script + stats.excluded_unparseable, stats.total_requests);
+        assert_eq!(
+            stats.labeled() + stats.excluded_non_script + stats.excluded_unparseable,
+            stats.total_requests
+        );
     }
 
     #[test]

@@ -22,7 +22,20 @@
 //! | §5 breakage analysis (Table 3) | [`breakage`] |
 //! | §5 call-stack analysis (Fig. 5) | [`callstack`] |
 //! | §5 surrogate scripts | [`surrogate`] |
-//! | end-to-end wiring | [`pipeline`] |
+//! | staged execution engine | [`stage`], [`pipeline`] |
+//! | resource-key interning | [`intern`] |
+//!
+//! ## Execution model
+//!
+//! [`Study::run`] executes the pipeline as a chain of named, individually
+//! timed stages — `generate → crawl → label → classify` (see [`stage`]) —
+//! with the downstream analyses bundled behind [`Study::analyses`]. The
+//! crawl and labeling stages run on a worker pool sized by the study's
+//! [`ClusterConfig`](crawler::ClusterConfig) `workers` knob, and are
+//! deterministic: a parallel run produces byte-identical results to a
+//! sequential one. All per-request grouping goes through the
+//! [`intern::KeyInterner`], so attribution keys (including the composed
+//! `script :: method` keys) are allocated at most once per distinct key.
 //!
 //! ## Quick example
 //!
@@ -37,6 +50,7 @@
 //!     domains.resource_counts.mixed,
 //!     study.hierarchy.overall_attribution(),
 //! );
+//! println!("stage timings: {}", study.timings.summary());
 //! ```
 
 #![warn(missing_docs)]
@@ -45,12 +59,14 @@
 pub mod breakage;
 pub mod callstack;
 pub mod hierarchy;
+pub mod intern;
 pub mod label;
 pub mod metrics;
 pub mod pipeline;
 pub mod ratio;
 pub mod report;
 pub mod sensitivity;
+pub mod stage;
 pub mod surrogate;
 
 pub use breakage::{analyze_breakage, Breakage, BreakageRow, BreakageStudy};
@@ -58,10 +74,15 @@ pub use callstack::{analyze_mixed_methods, CallGraph, CallGraphNode, CallStackAn
 pub use hierarchy::{
     ClassCounts, Granularity, HierarchicalClassifier, HierarchyResult, LevelResult, ResourceEntry,
 };
+pub use intern::{KeyInterner, ResourceKey};
 pub use label::{LabelStats, LabeledFrame, LabeledRequest, Labeler};
 pub use metrics::{headline, table1, table2, HeadlineSummary, Table1Row, Table2Row};
-pub use pipeline::{Study, StudyConfig};
+pub use pipeline::{
+    AnalysesStage, ClassifyStage, CrawlStage, GenerateStage, LabelStage, Study, StudyAnalyses,
+    StudyConfig,
+};
 pub use ratio::{Classification, Counts, Thresholds};
 pub use report::RatioHistogram;
 pub use sensitivity::{SensitivityPoint, SensitivitySweep};
+pub use stage::{Stage, StageRunner, StageTiming, StageTimings};
 pub use surrogate::{generate_surrogates, MethodAction, SurrogateScript};

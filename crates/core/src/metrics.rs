@@ -106,7 +106,13 @@ mod tests {
     use crate::label::{LabeledFrame, LabeledRequest};
     use filterlist::{RequestLabel, ResourceType};
 
-    fn req(domain: &str, hostname: &str, script: &str, method: &str, tracking: bool) -> LabeledRequest {
+    fn req(
+        domain: &str,
+        hostname: &str,
+        script: &str,
+        method: &str,
+        tracking: bool,
+    ) -> LabeledRequest {
         LabeledRequest {
             request_id: 0,
             top_level_url: "https://www.pub.com/".into(),
@@ -117,9 +123,16 @@ mod tests {
             resource_type: ResourceType::Xhr,
             initiator_script: script.into(),
             initiator_method: method.into(),
-            stack: vec![LabeledFrame { script_url: script.into(), method: method.into() }],
+            stack: vec![LabeledFrame {
+                script_url: script.into(),
+                method: method.into(),
+            }],
             async_boundary: None,
-            label: if tracking { RequestLabel::Tracking } else { RequestLabel::Functional },
+            label: if tracking {
+                RequestLabel::Tracking
+            } else {
+                RequestLabel::Functional
+            },
         }
     }
 

@@ -1,20 +1,34 @@
 //! End-to-end study pipeline.
 //!
-//! [`Study`] wires the whole reproduction together the way the paper's
-//! methodology section describes it: generate (stand-in for "crawl") the
-//! websites, capture every script-initiated request with its call stack,
-//! label the requests with EasyList + EasyPrivacy, run the hierarchical
-//! classifier, and derive the downstream analyses (sensitivity sweep,
-//! call-stack analysis of the residue, surrogate generation, breakage
-//! study). The bench binaries and the examples are thin wrappers over this
-//! type.
+//! [`Study::run`] wires the whole reproduction together as a chain of named,
+//! individually-timed [`Stage`]s, the way the paper's methodology section
+//! describes it:
+//!
+//! ```text
+//! generate ──▶ crawl ──▶ label ──▶ classify ──▶ (analyses on demand)
+//! ```
+//!
+//! * [`GenerateStage`] builds the synthetic corpus (stand-in for "crawl list");
+//! * [`CrawlStage`] loads every site on a worker pool sized by
+//!   [`ClusterConfig::workers`], capturing each script-initiated request with
+//!   its call stack;
+//! * [`LabelStage`] compiles the filter oracle (EasyList + EasyPrivacy +
+//!   ecosystem rules) and labels the crawl on the same worker pool;
+//! * [`ClassifyStage`] runs the hierarchical classifier over the labels.
+//!
+//! Per-stage wall-clock timings are exposed on [`Study::timings`]; the
+//! downstream analyses (sensitivity sweep, call-stack analysis, surrogates,
+//! breakage) stay on-demand methods, bundled by [`Study::analyses`]. The
+//! bench binaries and the examples are thin wrappers over this type.
 
 use crate::breakage::{analyze_breakage, BreakageStudy};
 use crate::callstack::{analyze_mixed_methods, CallStackAnalysis};
-use crate::hierarchy::{Granularity, HierarchicalClassifier, HierarchyResult};
+use crate::hierarchy::{Granularity, HierarchicalClassifier, HierarchyResult, LevelResult};
+use crate::intern::KeyInterner;
 use crate::label::{LabelStats, LabeledRequest, Labeler};
 use crate::ratio::{Classification, Thresholds};
 use crate::sensitivity::SensitivitySweep;
+use crate::stage::{Stage, StageRunner, StageTiming, StageTimings};
 use crate::surrogate::{generate_surrogates, SurrogateScript};
 use crawler::{ClusterConfig, CrawlCluster, CrawlDatabase, CrawlSummary};
 use filterlist::FilterEngine;
@@ -27,7 +41,8 @@ pub struct StudyConfig {
     pub profile: CorpusProfile,
     /// Corpus seed.
     pub seed: u64,
-    /// Crawl cluster configuration.
+    /// Crawl cluster configuration; its `workers` knob also governs the
+    /// parallel labeling stage.
     pub cluster: ClusterConfig,
     /// Classification thresholds.
     pub thresholds: Thresholds,
@@ -64,6 +79,117 @@ impl StudyConfig {
         self.seed = seed;
         self
     }
+
+    /// Override the worker-thread count used by the crawl and labeling
+    /// stages (a `--threads`-style knob).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.cluster = self.cluster.with_threads(threads);
+        self
+    }
+}
+
+/// Stage 1: generate the corpus (the "100K websites").
+#[derive(Debug, Clone)]
+pub struct GenerateStage {
+    /// Corpus profile.
+    pub profile: CorpusProfile,
+    /// Corpus seed.
+    pub seed: u64,
+}
+
+impl Stage for GenerateStage {
+    const NAME: &'static str = "generate";
+    type Input<'a> = ();
+    type Output = WebCorpus;
+
+    fn run(&self, _input: ()) -> WebCorpus {
+        CorpusGenerator::generate(&self.profile, self.seed)
+    }
+}
+
+/// Stage 2: crawl every site, capturing requests and call stacks.
+#[derive(Debug, Clone)]
+pub struct CrawlStage {
+    /// Cluster (worker pool) configuration.
+    pub cluster: ClusterConfig,
+}
+
+impl Stage for CrawlStage {
+    const NAME: &'static str = "crawl";
+    type Input<'a> = &'a WebCorpus;
+    type Output = (CrawlDatabase, CrawlSummary);
+
+    fn run(&self, corpus: &WebCorpus) -> (CrawlDatabase, CrawlSummary) {
+        CrawlCluster::new(self.cluster.clone()).crawl_with_summary(corpus)
+    }
+}
+
+/// Stage 3: compile the filter oracle and label the crawl.
+#[derive(Debug, Clone)]
+pub struct LabelStage {
+    /// Worker threads for per-site parallel labeling (1 = sequential).
+    pub workers: usize,
+}
+
+impl Stage for LabelStage {
+    const NAME: &'static str = "label";
+    type Input<'a> = (&'a WebCorpus, &'a CrawlDatabase);
+    type Output = (FilterEngine, Vec<LabeledRequest>, LabelStats);
+
+    fn run(&self, (corpus, database): Self::Input<'_>) -> Self::Output {
+        let engine = filter_rules::engine_for(&corpus.ecosystem);
+        let (requests, stats) =
+            Labeler::new(&engine).label_database_parallel(database, self.workers);
+        (engine, requests, stats)
+    }
+}
+
+/// Stage 4: hierarchical classification of the labeled requests.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassifyStage {
+    /// The classifier (thresholds) to apply.
+    pub classifier: HierarchicalClassifier,
+}
+
+impl Stage for ClassifyStage {
+    const NAME: &'static str = "classify";
+    type Input<'a> = &'a [LabeledRequest];
+    type Output = HierarchyResult;
+
+    fn run(&self, requests: &[LabeledRequest]) -> HierarchyResult {
+        self.classifier.classify(requests)
+    }
+}
+
+/// The bundled downstream analyses (stage 5, on demand).
+#[derive(Debug)]
+pub struct StudyAnalyses {
+    /// The Figure 4 threshold-sensitivity sweep.
+    pub sensitivity: SensitivitySweep,
+    /// The Figure 5 call-stack analysis of the mixed-method residue.
+    pub callstack: CallStackAnalysis,
+    /// Surrogate scripts for every mixed script.
+    pub surrogates: Vec<SurrogateScript>,
+    /// Wall-clock timing of the analyses stage.
+    pub timing: StageTiming,
+}
+
+/// Stage 5: the downstream analyses, bundled.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysesStage;
+
+impl Stage for AnalysesStage {
+    const NAME: &'static str = "analyses";
+    type Input<'a> = &'a Study;
+    type Output = (SensitivitySweep, CallStackAnalysis, Vec<SurrogateScript>);
+
+    fn run(&self, study: &Study) -> Self::Output {
+        (
+            study.sensitivity_sweep(),
+            study.callstack_analysis(),
+            study.surrogates(),
+        )
+    }
 }
 
 /// A fully materialised study: corpus, crawl, labels and classification.
@@ -85,17 +211,37 @@ pub struct Study {
     pub label_stats: LabelStats,
     /// The hierarchical classification result.
     pub hierarchy: HierarchyResult,
+    /// Per-stage wall-clock timings of the run.
+    pub timings: StageTimings,
 }
 
 impl Study {
-    /// Run the full pipeline for a configuration.
+    /// Run the full pipeline for a configuration as named, timed stages.
     pub fn run(config: StudyConfig) -> Self {
-        let corpus = CorpusGenerator::generate(&config.profile, config.seed);
-        let engine = filter_rules::engine_for(&corpus.ecosystem);
-        let cluster = CrawlCluster::new(config.cluster.clone());
-        let (database, crawl_summary) = cluster.crawl_with_summary(&corpus);
-        let (requests, label_stats) = Labeler::new(&engine).label_database(&database);
-        let hierarchy = HierarchicalClassifier::new(config.thresholds).classify(&requests);
+        let mut runner = StageRunner::new();
+
+        let corpus = runner.run(
+            &GenerateStage {
+                profile: config.profile.clone(),
+                seed: config.seed,
+            },
+            (),
+        );
+        let (database, crawl_summary) = runner.run(
+            &CrawlStage {
+                cluster: config.cluster.clone(),
+            },
+            &corpus,
+        );
+        let (engine, requests, label_stats) = runner.run(
+            &LabelStage {
+                workers: config.cluster.workers,
+            },
+            (&corpus, &database),
+        );
+        let classifier = HierarchicalClassifier::new(config.thresholds);
+        let hierarchy = runner.run(&ClassifyStage { classifier }, &requests);
+
         Study {
             config,
             corpus,
@@ -105,10 +251,18 @@ impl Study {
             requests,
             label_stats,
             hierarchy,
+            timings: runner.finish(),
         }
     }
 
-    /// Re-run only the classification with different thresholds (cheap).
+    /// The classifier in force — a cheap `Copy`, derived from the config so
+    /// there is exactly one source of truth for the thresholds.
+    pub fn classifier(&self) -> HierarchicalClassifier {
+        HierarchicalClassifier::new(self.config.thresholds)
+    }
+
+    /// Re-run only the classification with different thresholds (cheap: the
+    /// classifier is `Copy`, only the threshold field changes).
     pub fn reclassify(&self, thresholds: Thresholds) -> HierarchyResult {
         HierarchicalClassifier::new(thresholds).classify(&self.requests)
     }
@@ -119,29 +273,45 @@ impl Study {
     }
 
     /// The Figure 5 call-stack analysis over the mixed-method residue.
+    ///
+    /// Membership in the residue is tested through interned
+    /// `script :: method` symbols — no string key is built per request.
     pub fn callstack_analysis(&self) -> CallStackAnalysis {
-        let mixed_method_keys: std::collections::HashSet<&str> = self
+        let mut interner = KeyInterner::new();
+        let mixed_method_keys: std::collections::HashSet<_> = self
             .hierarchy
             .level(Granularity::Method)
             .resources
             .iter()
             .filter(|r| r.classification == Classification::Mixed)
-            .map(|r| r.key.as_str())
+            .map(|r| interner.intern(&r.key))
             .collect();
-        let residue: Vec<&LabeledRequest> = self
-            .requests
-            .iter()
-            .filter(|r| {
-                let key = format!("{} :: {}", r.initiator_script, r.initiator_method);
-                mixed_method_keys.contains(key.as_str())
-            })
-            .collect();
+        let mut residue: Vec<&LabeledRequest> = Vec::new();
+        for request in &self.requests {
+            let key = interner.intern_method(&request.initiator_script, &request.initiator_method);
+            if mixed_method_keys.contains(&key) {
+                residue.push(request);
+            }
+        }
         analyze_mixed_methods(&residue)
     }
 
     /// Surrogate scripts for every mixed script.
     pub fn surrogates(&self) -> Vec<SurrogateScript> {
         generate_surrogates(&self.hierarchy, &self.requests)
+    }
+
+    /// Run every downstream analysis as one timed [`AnalysesStage`].
+    pub fn analyses(&self) -> StudyAnalyses {
+        let mut runner = StageRunner::new();
+        let (sensitivity, callstack, surrogates) = runner.run(&AnalysesStage, self);
+        let timing = runner.finish().all()[0];
+        StudyAnalyses {
+            sensitivity,
+            callstack,
+            surrogates,
+            timing,
+        }
     }
 
     /// The Table 3 breakage study over `sample_size` sites with mixed
@@ -152,67 +322,10 @@ impl Study {
 
     /// Flat (non-hierarchical) classification at a single granularity over
     /// *all* script-initiated requests — the ablation baseline showing why
-    /// the progressive hierarchy matters.
-    pub fn flat_classification(&self, granularity: Granularity) -> crate::hierarchy::LevelResult {
-        let classifier = HierarchicalClassifier::new(self.config.thresholds);
-        // Reuse the hierarchy machinery by running a one-level pipeline.
+    /// the progressive hierarchy matters. Reuses the study's classifier.
+    pub fn flat_classification(&self, granularity: Granularity) -> LevelResult {
         let all: Vec<&LabeledRequest> = self.requests.iter().collect();
-        let key = |r: &LabeledRequest| match granularity {
-            Granularity::Domain => r.domain.clone(),
-            Granularity::Hostname => r.hostname.clone(),
-            Granularity::Script => r.initiator_script.clone(),
-            Granularity::Method => format!("{} :: {}", r.initiator_script, r.initiator_method),
-        };
-        classifier.classify_flat(granularity, &all, key)
-    }
-}
-
-impl HierarchicalClassifier {
-    /// Classify a single granularity over an arbitrary request set (used by
-    /// the flat-vs-hierarchical ablation).
-    pub fn classify_flat<'a>(
-        &self,
-        granularity: Granularity,
-        input: &[&'a LabeledRequest],
-        key: impl Fn(&LabeledRequest) -> String,
-    ) -> crate::hierarchy::LevelResult {
-        // Delegate to the private per-level routine via a tiny shim: rebuild
-        // the grouping logic here to keep the hierarchy internals private.
-        use crate::hierarchy::{ClassCounts, LevelResult, ResourceEntry};
-        use crate::ratio::Counts;
-        use std::collections::HashMap;
-
-        let mut groups: HashMap<String, Counts> = HashMap::new();
-        for request in input {
-            groups.entry(key(request)).or_default().record(request.is_tracking());
-        }
-        let mut resources: Vec<ResourceEntry> = groups
-            .into_iter()
-            .map(|(key, counts)| ResourceEntry {
-                classification: self.thresholds.classify(&counts).expect("non-empty"),
-                key,
-                counts,
-            })
-            .collect();
-        resources.sort_by(|a, b| {
-            b.counts
-                .total()
-                .cmp(&a.counts.total())
-                .then_with(|| a.key.cmp(&b.key))
-        });
-        let mut resource_counts = ClassCounts::default();
-        let mut request_counts = ClassCounts::default();
-        for r in &resources {
-            resource_counts.add(r.classification, 1);
-            request_counts.add(r.classification, r.counts.total());
-        }
-        LevelResult {
-            granularity,
-            resources,
-            resource_counts,
-            request_counts,
-            input_requests: input.len() as u64,
-        }
+        self.classifier().classify_flat(granularity, &all)
     }
 }
 
@@ -240,9 +353,30 @@ mod tests {
     }
 
     #[test]
+    fn stages_are_named_and_timed() {
+        let study = study();
+        let names: Vec<&str> = study.timings.all().iter().map(|t| t.name).collect();
+        assert_eq!(names, vec!["generate", "crawl", "label", "classify"]);
+        for timing in study.timings.all() {
+            assert!(
+                timing.duration.as_nanos() > 0,
+                "{} has no timing",
+                timing.name
+            );
+        }
+        assert!(study.timings.total() >= study.timings.duration("crawl").unwrap());
+        let analyses = study.analyses();
+        assert_eq!(analyses.timing.name, "analyses");
+        assert_eq!(analyses.sensitivity.points.len(), 21);
+    }
+
+    #[test]
     fn hierarchy_attributes_more_requests_than_domain_level_alone() {
         let study = study();
-        let domain_only = study.hierarchy.level(Granularity::Domain).request_separation_factor();
+        let domain_only = study
+            .hierarchy
+            .level(Granularity::Domain)
+            .request_separation_factor();
         let overall = study.hierarchy.overall_attribution();
         assert!(
             overall > domain_only,
@@ -270,9 +404,16 @@ mod tests {
     }
 
     #[test]
-    fn reclassify_with_same_threshold_is_identical() {
+    fn reclassify_with_paper_thresholds_is_byte_identical() {
         let study = study();
         let again = study.reclassify(Thresholds::paper());
         assert_eq!(again, study.hierarchy);
+        // Byte-level regression guard: the reclassified hierarchy renders to
+        // exactly the same bytes as the original, so resource ordering and
+        // key formatting cannot silently drift.
+        assert_eq!(
+            format!("{again:?}").into_bytes(),
+            format!("{:?}", study.hierarchy).into_bytes()
+        );
     }
 }

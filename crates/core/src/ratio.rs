@@ -140,14 +140,20 @@ mod tests {
     use super::*;
 
     fn counts(t: u64, f: u64) -> Counts {
-        Counts { tracking: t, functional: f }
+        Counts {
+            tracking: t,
+            functional: f,
+        }
     }
 
     #[test]
     fn pure_resources_classify_at_extremes() {
         let th = Thresholds::paper();
         assert_eq!(th.classify(&counts(10, 0)), Some(Classification::Tracking));
-        assert_eq!(th.classify(&counts(0, 10)), Some(Classification::Functional));
+        assert_eq!(
+            th.classify(&counts(0, 10)),
+            Some(Classification::Functional)
+        );
         assert_eq!(th.classify(&counts(0, 0)), None);
     }
 
@@ -157,7 +163,10 @@ mod tests {
         // Exactly 100x -> log10(100) = 2 -> tracking (inclusive bound).
         assert_eq!(th.classify(&counts(100, 1)), Some(Classification::Tracking));
         assert_eq!(th.classify(&counts(99, 1)), Some(Classification::Mixed));
-        assert_eq!(th.classify(&counts(1, 100)), Some(Classification::Functional));
+        assert_eq!(
+            th.classify(&counts(1, 100)),
+            Some(Classification::Functional)
+        );
         assert_eq!(th.classify(&counts(1, 99)), Some(Classification::Mixed));
         assert_eq!(th.classify(&counts(5, 5)), Some(Classification::Mixed));
     }
@@ -174,8 +183,14 @@ mod tests {
     #[test]
     fn lower_threshold_shrinks_the_mixed_band() {
         let strict = Thresholds::new(1.0);
-        assert_eq!(strict.classify(&counts(50, 1)), Some(Classification::Tracking));
-        assert_eq!(Thresholds::paper().classify(&counts(50, 1)), Some(Classification::Mixed));
+        assert_eq!(
+            strict.classify(&counts(50, 1)),
+            Some(Classification::Tracking)
+        );
+        assert_eq!(
+            Thresholds::paper().classify(&counts(50, 1)),
+            Some(Classification::Mixed)
+        );
     }
 
     #[test]

@@ -127,12 +127,22 @@ impl RatioHistogram {
             "#".repeat(len)
         };
         let mut out = String::new();
-        out.push_str(&format!("{:>12} | {:<width$} {}\n", "(-inf)", bar(self.underflow), self.underflow));
+        out.push_str(&format!(
+            "{:>12} | {:<width$} {}\n",
+            "(-inf)",
+            bar(self.underflow),
+            self.underflow
+        ));
         for (i, count) in self.bins.iter().enumerate() {
             let low = self.min + i as f64 * self.bin_width;
             out.push_str(&format!("{low:>12.1} | {:<width$} {count}\n", bar(*count)));
         }
-        out.push_str(&format!("{:>12} | {:<width$} {}\n", "(+inf)", bar(self.overflow), self.overflow));
+        out.push_str(&format!(
+            "{:>12} | {:<width$} {}\n",
+            "(+inf)",
+            bar(self.overflow),
+            self.overflow
+        ));
         out
     }
 }
@@ -195,7 +205,9 @@ pub fn render_headline(headline: &HeadlineSummary) -> String {
 
 /// Render the Figure 4 sweep as CSV (`threshold,domain,hostname,script,method`).
 pub fn render_sensitivity_csv(sweep: &SensitivitySweep) -> String {
-    let mut out = String::from("threshold,mixed_domains_pct,mixed_hostnames_pct,mixed_scripts_pct,mixed_methods_pct\n");
+    let mut out = String::from(
+        "threshold,mixed_domains_pct,mixed_hostnames_pct,mixed_scripts_pct,mixed_methods_pct\n",
+    );
     for p in &sweep.points {
         out.push_str(&format!(
             "{:.1},{:.3},{:.3},{:.3},{:.3}\n",
@@ -209,8 +221,15 @@ pub fn render_sensitivity_csv(sweep: &SensitivitySweep) -> String {
 /// level (top tracking / functional / mixed resources by request volume).
 pub fn render_notable(level: &LevelResult, per_class: usize) -> String {
     let mut out = String::new();
-    for class in [Classification::Tracking, Classification::Functional, Classification::Mixed] {
-        out.push_str(&format!("Top {class} {}s:\n", level.granularity.name().to_lowercase()));
+    for class in [
+        Classification::Tracking,
+        Classification::Functional,
+        Classification::Mixed,
+    ] {
+        out.push_str(&format!(
+            "Top {class} {}s:\n",
+            level.granularity.name().to_lowercase()
+        ));
         for resource in level.top_resources(class, per_class) {
             out.push_str(&format!(
                 "  {:<60} tracking={} functional={}\n",
@@ -240,9 +259,16 @@ mod tests {
             resource_type: ResourceType::Xhr,
             initiator_script: "https://www.pub.com/app.js".into(),
             initiator_method: "m".into(),
-            stack: vec![LabeledFrame { script_url: "https://www.pub.com/app.js".into(), method: "m".into() }],
+            stack: vec![LabeledFrame {
+                script_url: "https://www.pub.com/app.js".into(),
+                method: "m".into(),
+            }],
             async_boundary: None,
-            label: if tracking { RequestLabel::Tracking } else { RequestLabel::Functional },
+            label: if tracking {
+                RequestLabel::Tracking
+            } else {
+                RequestLabel::Functional
+            },
         }
     }
 
@@ -266,7 +292,10 @@ mod tests {
         let histogram = RatioHistogram::paper_bins(level);
         assert_eq!(histogram.total(), level.resource_counts.total());
         assert_eq!(histogram.tracking_mass(2.0), level.resource_counts.tracking);
-        assert_eq!(histogram.functional_mass(2.0), level.resource_counts.functional);
+        assert_eq!(
+            histogram.functional_mass(2.0),
+            level.resource_counts.functional
+        );
         assert_eq!(histogram.mixed_mass(2.0), level.resource_counts.mixed);
     }
 

@@ -50,8 +50,7 @@ impl SensitivitySweep {
         let mut points = Vec::new();
         let mut threshold = start;
         while threshold <= end + 1e-9 {
-            let result =
-                HierarchicalClassifier::new(Thresholds::new(threshold)).classify(requests);
+            let result = HierarchicalClassifier::new(Thresholds::new(threshold)).classify(requests);
             let share = |g: Granularity| result.level(g).resource_counts.mixed_share();
             points.push(SensitivityPoint {
                 threshold: (threshold * 10.0).round() / 10.0,

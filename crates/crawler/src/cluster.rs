@@ -3,18 +3,17 @@
 //! The paper's crawl ran on a 13-node cluster, each node crawling a disjoint
 //! subset of the 100K sites inside its own Docker container, statelessly
 //! (all browser state cleared between consecutive page loads). The
-//! [`CrawlCluster`] reproduces that shape in-process: a pool of worker
-//! threads pulls site indices from a shared queue, loads each page with its
-//! own [`PageLoadSimulator`] (fresh state per page), and sends the resulting
-//! [`SiteCrawl`] records back over a channel. Results are merged and sorted
-//! by rank, so the output is byte-identical regardless of worker count or
-//! scheduling — a property the tests assert.
+//! [`CrawlCluster`] reproduces that shape in-process with a rayon data-parallel
+//! map: each site is loaded by its own [`PageLoadSimulator`] (fresh state per
+//! page) on a pool sized by [`ClusterConfig::workers`] — the `--threads`-style
+//! knob of the pipeline. Each site's request-id space is derived from its rank
+//! and results are re-assembled in rank order, so the output is byte-identical
+//! regardless of worker count or scheduling — a property the tests assert.
 
 use crate::database::{CrawlDatabase, SiteCrawl};
 use crate::page_load::{LoadOptions, PageLoadSimulator};
-use crossbeam::channel;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use websim::WebCorpus;
 
 /// Configuration for a crawl.
@@ -29,9 +28,11 @@ pub struct ClusterConfig {
 
 impl Default for ClusterConfig {
     fn default() -> Self {
-        let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         ClusterConfig {
-            workers: cpus.min(13).max(1),
+            workers: cpus.clamp(1, 13),
             base_request_id: 0,
         }
     }
@@ -41,13 +42,22 @@ impl ClusterConfig {
     /// A single-threaded configuration (useful for debugging and as the
     /// reference the parallel runs are compared against).
     pub fn sequential() -> Self {
-        ClusterConfig { workers: 1, base_request_id: 0 }
+        ClusterConfig {
+            workers: 1,
+            base_request_id: 0,
+        }
     }
 
     /// Set the number of workers.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
         self
+    }
+
+    /// `--threads`-style alias for [`ClusterConfig::with_workers`]: the same
+    /// knob governs the crawl pool and the parallel labeling stage.
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.with_workers(threads)
     }
 }
 
@@ -70,6 +80,18 @@ pub struct CrawlSummary {
 #[derive(Debug, Clone, Default)]
 pub struct CrawlCluster {
     config: ClusterConfig,
+}
+
+/// Run `op` on a rayon pool of `workers` threads (0 = the ambient default).
+///
+/// Shared by the crawl and labeling stages so the degradation policy lives
+/// in one place: if pool construction fails (resource exhaustion), `op`
+/// runs on the ambient rayon threads rather than aborting.
+pub fn with_worker_pool<R>(workers: usize, op: impl FnOnce() -> R) -> R {
+    match rayon::ThreadPoolBuilder::new().num_threads(workers).build() {
+        Ok(pool) => pool.install(op),
+        Err(_) => op(),
+    }
 }
 
 impl CrawlCluster {
@@ -96,47 +118,40 @@ impl CrawlCluster {
             return self.crawl_sequential(corpus, options);
         }
 
-        let next_site = AtomicUsize::new(0);
-        let (tx, rx) = channel::unbounded::<SiteCrawl>();
         let base = self.config.base_request_id;
-
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let tx = tx.clone();
-                let next_site = &next_site;
-                scope.spawn(move || loop {
-                    let idx = next_site.fetch_add(1, Ordering::Relaxed);
-                    if idx >= corpus.websites.len() {
-                        break;
-                    }
-                    let site = &corpus.websites[idx];
+        let crawl_all = || {
+            corpus
+                .websites
+                .par_iter()
+                .map(|site| {
                     // A fresh simulator per page load = stateless crawling.
                     // Request-id space is partitioned by rank so ids are
                     // globally unique and deterministic.
                     let mut sim = PageLoadSimulator::new(base + (site.rank as u64) * 1_000_000);
                     let result = sim.load_with(site, options);
-                    let record = SiteCrawl::from_load(site.rank, &site.url, &site.domain, &result);
-                    // The receiver outlives all senders inside the scope.
-                    let _ = tx.send(record);
-                });
-            }
-            drop(tx);
-            let mut db = CrawlDatabase::new();
-            for record in rx.iter() {
-                db.sites.push(record);
-            }
-            db.sites.sort_by_key(|s| s.rank);
-            db
-        })
+                    SiteCrawl::from_load(site.rank, &site.url, &site.domain, &result)
+                })
+                .collect::<Vec<SiteCrawl>>()
+        };
+        let sites = with_worker_pool(workers, crawl_all);
+        let mut db = CrawlDatabase { sites };
+        db.sites.sort_by_key(|s| s.rank);
+        db
     }
 
     fn crawl_sequential(&self, corpus: &WebCorpus, options: &LoadOptions) -> CrawlDatabase {
         let mut db = CrawlDatabase::new();
         for site in &corpus.websites {
-            let mut sim =
-                PageLoadSimulator::new(self.config.base_request_id + (site.rank as u64) * 1_000_000);
+            let mut sim = PageLoadSimulator::new(
+                self.config.base_request_id + (site.rank as u64) * 1_000_000,
+            );
             let result = sim.load_with(site, options);
-            db.sites.push(SiteCrawl::from_load(site.rank, &site.url, &site.domain, &result));
+            db.sites.push(SiteCrawl::from_load(
+                site.rank,
+                &site.url,
+                &site.domain,
+                &result,
+            ));
         }
         db.sites.sort_by_key(|s| s.rank);
         db
@@ -200,12 +215,19 @@ mod tests {
         let (db, summary) = CrawlCluster::new(ClusterConfig::default()).crawl_with_summary(&corpus);
         assert_eq!(summary.sites, db.site_count());
         assert_eq!(summary.total_requests, db.total_requests());
-        assert_eq!(summary.script_initiated_requests, db.script_initiated_requests());
+        assert_eq!(
+            summary.script_initiated_requests,
+            db.script_initiated_requests()
+        );
     }
 
     #[test]
     fn empty_corpus_yields_empty_database() {
-        let corpus = WebCorpus { websites: vec![], ecosystem: Default::default(), seed: 0 };
+        let corpus = WebCorpus {
+            websites: vec![],
+            ecosystem: Default::default(),
+            seed: 0,
+        };
         let db = CrawlCluster::new(ClusterConfig::default()).crawl(&corpus);
         assert_eq!(db.site_count(), 0);
     }

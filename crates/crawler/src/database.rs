@@ -7,6 +7,7 @@
 //! re-analysed without re-crawling.
 
 use crate::events::RequestWillBeSent;
+use crate::json::{object, FromJson, JsonError, ToJson, Value};
 use crate::page_load::PageLoadResult;
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
@@ -31,7 +32,12 @@ pub struct SiteCrawl {
 
 impl SiteCrawl {
     /// Build a site crawl record from a page-load result.
-    pub fn from_load(rank: usize, page_url: &str, site_domain: &str, result: &PageLoadResult) -> Self {
+    pub fn from_load(
+        rank: usize,
+        page_url: &str,
+        site_domain: &str,
+        result: &PageLoadResult,
+    ) -> Self {
         SiteCrawl {
             rank,
             page_url: page_url.to_string(),
@@ -72,7 +78,10 @@ impl CrawlDatabase {
 
     /// Total number of script-initiated requests.
     pub fn script_initiated_requests(&self) -> usize {
-        self.sites.iter().map(|s| s.script_initiated().count()).sum()
+        self.sites
+            .iter()
+            .map(|s| s.script_initiated().count())
+            .sum()
     }
 
     /// Iterate over every captured request with its site.
@@ -100,17 +109,21 @@ impl CrawlDatabase {
         if self.sites.is_empty() {
             return 0.0;
         }
-        self.sites.iter().map(|s| s.load_time_ms as f64).sum::<f64>() / self.sites.len() as f64
+        self.sites
+            .iter()
+            .map(|s| s.load_time_ms as f64)
+            .sum::<f64>()
+            / self.sites.len() as f64
     }
 
-    /// Serialise to JSON.
-    pub fn to_json(&self) -> serde_json::Result<String> {
-        serde_json::to_string(self)
+    /// Serialise to JSON (via the deterministic [`crate::json`] codec).
+    pub fn to_json(&self) -> Result<String, JsonError> {
+        Ok(self.to_json_value().render())
     }
 
     /// Deserialise from JSON.
-    pub fn from_json(json: &str) -> serde_json::Result<Self> {
-        serde_json::from_str(json)
+    pub fn from_json(json: &str) -> Result<Self, JsonError> {
+        Self::from_json_value(&Value::parse(json)?)
     }
 
     /// Write the database to a file as JSON.
@@ -129,6 +142,60 @@ impl CrawlDatabase {
     }
 }
 
+impl ToJson for SiteCrawl {
+    fn to_json_value(&self) -> Value {
+        object(vec![
+            ("rank", Value::Number(self.rank as f64)),
+            ("page_url", Value::String(self.page_url.clone())),
+            ("site_domain", Value::String(self.site_domain.clone())),
+            (
+                "requests",
+                Value::Array(self.requests.iter().map(ToJson::to_json_value).collect()),
+            ),
+            ("load_time_ms", Value::number_u64(self.load_time_ms)),
+        ])
+    }
+}
+
+impl FromJson for SiteCrawl {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        Ok(SiteCrawl {
+            rank: value.field("rank")?.as_usize()?,
+            page_url: value.field("page_url")?.as_str()?.to_string(),
+            site_domain: value.field("site_domain")?.as_str()?.to_string(),
+            requests: value
+                .field("requests")?
+                .as_array()?
+                .iter()
+                .map(RequestWillBeSent::from_json_value)
+                .collect::<Result<_, _>>()?,
+            load_time_ms: value.field("load_time_ms")?.as_u64()?,
+        })
+    }
+}
+
+impl ToJson for CrawlDatabase {
+    fn to_json_value(&self) -> Value {
+        object(vec![(
+            "sites",
+            Value::Array(self.sites.iter().map(ToJson::to_json_value).collect()),
+        )])
+    }
+}
+
+impl FromJson for CrawlDatabase {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        Ok(CrawlDatabase {
+            sites: value
+                .field("sites")?
+                .as_array()?
+                .iter()
+                .map(SiteCrawl::from_json_value)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,7 +208,12 @@ mod tests {
         let mut db = CrawlDatabase::new();
         for site in &corpus.websites {
             let result = sim.load(site);
-            db.push(SiteCrawl::from_load(site.rank, &site.url, &site.domain, &result));
+            db.push(SiteCrawl::from_load(
+                site.rank,
+                &site.url,
+                &site.domain,
+                &result,
+            ));
         }
         db
     }

@@ -27,7 +27,12 @@ pub struct StackFrame {
 
 impl StackFrame {
     /// Construct a frame.
-    pub fn new(script_url: impl Into<String>, function_name: impl Into<String>, line: u32, column: u32) -> Self {
+    pub fn new(
+        script_url: impl Into<String>,
+        function_name: impl Into<String>,
+        line: u32,
+        column: u32,
+    ) -> Self {
         StackFrame {
             script_url: script_url.into(),
             function_name: function_name.into(),
@@ -150,9 +155,158 @@ impl NetworkEvent {
     }
 }
 
+mod codec {
+    //! JSON codec impls for the event types (see [`crate::json`]).
+    use super::{CallStack, NetworkEvent, RequestWillBeSent, ResponseReceived, StackFrame};
+    use crate::json::{object, FromJson, JsonError, ToJson, Value};
+    use filterlist::ResourceType;
+
+    fn resource_type_from_name(name: &str) -> Result<ResourceType, JsonError> {
+        ResourceType::ALL
+            .iter()
+            .copied()
+            .find(|t| t.option_name() == name)
+            .ok_or_else(|| JsonError(format!("unknown resource type `{name}`")))
+    }
+
+    impl ToJson for StackFrame {
+        fn to_json_value(&self) -> Value {
+            object(vec![
+                ("script_url", Value::String(self.script_url.clone())),
+                ("function_name", Value::String(self.function_name.clone())),
+                ("line", Value::Number(self.line as f64)),
+                ("column", Value::Number(self.column as f64)),
+            ])
+        }
+    }
+
+    impl FromJson for StackFrame {
+        fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+            Ok(StackFrame {
+                script_url: value.field("script_url")?.as_str()?.to_string(),
+                function_name: value.field("function_name")?.as_str()?.to_string(),
+                line: value.field("line")?.as_u32()?,
+                column: value.field("column")?.as_u32()?,
+            })
+        }
+    }
+
+    impl ToJson for CallStack {
+        fn to_json_value(&self) -> Value {
+            let frames = Value::Array(self.frames.iter().map(ToJson::to_json_value).collect());
+            let boundary = match self.async_boundary {
+                Some(i) => Value::Number(i as f64),
+                None => Value::Null,
+            };
+            object(vec![("frames", frames), ("async_boundary", boundary)])
+        }
+    }
+
+    impl FromJson for CallStack {
+        fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+            let frames = value
+                .field("frames")?
+                .as_array()?
+                .iter()
+                .map(StackFrame::from_json_value)
+                .collect::<Result<_, _>>()?;
+            let async_boundary = match value.field("async_boundary")? {
+                Value::Null => None,
+                number => Some(number.as_usize()?),
+            };
+            Ok(CallStack {
+                frames,
+                async_boundary,
+            })
+        }
+    }
+
+    impl ToJson for RequestWillBeSent {
+        fn to_json_value(&self) -> Value {
+            object(vec![
+                ("request_id", Value::number_u64(self.request_id)),
+                ("top_level_url", Value::String(self.top_level_url.clone())),
+                ("frame_url", Value::String(self.frame_url.clone())),
+                ("url", Value::String(self.url.clone())),
+                (
+                    "resource_type",
+                    Value::String(self.resource_type.option_name().to_string()),
+                ),
+                ("call_stack", self.call_stack.to_json_value()),
+                ("timestamp_ms", Value::number_u64(self.timestamp_ms)),
+            ])
+        }
+    }
+
+    impl FromJson for RequestWillBeSent {
+        fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+            Ok(RequestWillBeSent {
+                request_id: value.field("request_id")?.as_u64()?,
+                top_level_url: value.field("top_level_url")?.as_str()?.to_string(),
+                frame_url: value.field("frame_url")?.as_str()?.to_string(),
+                url: value.field("url")?.as_str()?.to_string(),
+                resource_type: resource_type_from_name(value.field("resource_type")?.as_str()?)?,
+                call_stack: CallStack::from_json_value(value.field("call_stack")?)?,
+                timestamp_ms: value.field("timestamp_ms")?.as_u64()?,
+            })
+        }
+    }
+
+    impl ToJson for ResponseReceived {
+        fn to_json_value(&self) -> Value {
+            object(vec![
+                ("request_id", Value::number_u64(self.request_id)),
+                ("status", Value::Number(self.status as f64)),
+                ("mime_type", Value::String(self.mime_type.clone())),
+                ("body_length", Value::number_u64(self.body_length)),
+                ("timestamp_ms", Value::number_u64(self.timestamp_ms)),
+            ])
+        }
+    }
+
+    impl FromJson for ResponseReceived {
+        fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+            Ok(ResponseReceived {
+                request_id: value.field("request_id")?.as_u64()?,
+                status: value.field("status")?.as_u16()?,
+                mime_type: value.field("mime_type")?.as_str()?.to_string(),
+                body_length: value.field("body_length")?.as_u64()?,
+                timestamp_ms: value.field("timestamp_ms")?.as_u64()?,
+            })
+        }
+    }
+
+    impl ToJson for NetworkEvent {
+        fn to_json_value(&self) -> Value {
+            // Externally tagged, matching serde's default enum representation.
+            match self {
+                NetworkEvent::Request(r) => object(vec![("Request", r.to_json_value())]),
+                NetworkEvent::Response(r) => object(vec![("Response", r.to_json_value())]),
+            }
+        }
+    }
+
+    impl FromJson for NetworkEvent {
+        fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+            if let Some(request) = value.get("Request") {
+                Ok(NetworkEvent::Request(RequestWillBeSent::from_json_value(
+                    request,
+                )?))
+            } else if let Some(response) = value.get("Response") {
+                Ok(NetworkEvent::Response(ResponseReceived::from_json_value(
+                    response,
+                )?))
+            } else {
+                Err(JsonError("expected `Request` or `Response` variant".into()))
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::json::{FromJson, ToJson};
 
     fn stack() -> CallStack {
         CallStack {
@@ -177,7 +331,10 @@ mod tests {
         let s = stack();
         assert_eq!(
             s.ancestral_scripts(),
-            vec!["https://cdn.x.com/clone.js", "https://tm.example/gtm.js?id=1"]
+            vec![
+                "https://cdn.x.com/clone.js",
+                "https://tm.example/gtm.js?id=1"
+            ]
         );
     }
 
@@ -188,7 +345,7 @@ mod tests {
     }
 
     #[test]
-    fn events_round_trip_through_serde() {
+    fn events_round_trip_through_json() {
         let ev = NetworkEvent::Request(RequestWillBeSent {
             request_id: 7,
             top_level_url: "https://site.com/".into(),
@@ -198,8 +355,9 @@ mod tests {
             call_stack: stack(),
             timestamp_ms: 120,
         });
-        let json = serde_json::to_string(&ev).unwrap();
-        let back: NetworkEvent = serde_json::from_str(&json).unwrap();
+        let json = ev.to_json_value().render();
+        let back =
+            NetworkEvent::from_json_value(&crate::json::Value::parse(&json).unwrap()).unwrap();
         assert_eq!(ev, back);
         assert_eq!(back.request_id(), 7);
     }

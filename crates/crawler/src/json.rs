@@ -1,0 +1,522 @@
+//! A small, dependency-free JSON codec for crawl persistence.
+//!
+//! The build environment has no access to a crate registry, so the crawl
+//! database serialises through this hand-rolled codec instead of
+//! `serde_json`. The format is plain JSON — objects keep insertion order and
+//! the writer is deterministic, so equal databases always render to equal
+//! bytes (a property the persistence tests rely on). The [`ToJson`] /
+//! [`FromJson`] traits are implemented by the event and database types in
+//! [`crate::events`] and [`crate::database`].
+
+use std::fmt::Write as _;
+
+/// A JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; all persisted integers fit 2^53).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved for deterministic output.
+    Object(Vec<(String, Value)>),
+}
+
+/// Errors from parsing or decoding JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError(message.into()))
+}
+
+/// Types that render to a JSON [`Value`].
+pub trait ToJson {
+    /// Build the JSON representation.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Types that decode from a JSON [`Value`].
+pub trait FromJson: Sized {
+    /// Decode from a JSON node.
+    fn from_json_value(value: &Value) -> Result<Self, JsonError>;
+}
+
+impl Value {
+    /// A number from an unsigned integer, checked for exact `f64`
+    /// representability. The codec stores numbers as `f64`, so integers
+    /// above 2^53 would silently round on round-trip; refusing them at
+    /// encode time keeps the "equal databases render to equal bytes"
+    /// guarantee honest.
+    ///
+    /// # Panics
+    /// Panics if `value` exceeds 2^53.
+    pub fn number_u64(value: u64) -> Value {
+        assert!(
+            value <= 1 << 53,
+            "integer {value} exceeds 2^53 and is not exactly representable in JSON"
+        );
+        Value::Number(value as f64)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Required object field.
+    pub fn field(&self, key: &str) -> Result<&Value, JsonError> {
+        self.get(key)
+            .ok_or_else(|| JsonError(format!("missing field `{key}`")))
+    }
+
+    /// The value as a u64 (integral, in range).
+    pub fn as_u64(&self) -> Result<u64, JsonError> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Ok(*n as u64)
+            }
+            other => err(format!("expected unsigned integer, got {other:?}")),
+        }
+    }
+
+    /// The value as a usize.
+    pub fn as_usize(&self) -> Result<usize, JsonError> {
+        Ok(self.as_u64()? as usize)
+    }
+
+    /// The value as a u32.
+    pub fn as_u32(&self) -> Result<u32, JsonError> {
+        let n = self.as_u64()?;
+        u32::try_from(n).map_err(|_| JsonError(format!("{n} out of u32 range")))
+    }
+
+    /// The value as a u16.
+    pub fn as_u16(&self) -> Result<u16, JsonError> {
+        let n = self.as_u64()?;
+        u16::try_from(n).map_err(|_| JsonError(format!("{n} out of u16 range")))
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Value::String(s) => Ok(s),
+            other => err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    /// The value as an array.
+    pub fn as_array(&self) -> Result<&[Value], JsonError> {
+        match self {
+            Value::Array(items) => Ok(items),
+            other => err(format!("expected array, got {other:?}")),
+        }
+    }
+
+    /// Render to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => {
+                assert!(
+                    n.is_finite(),
+                    "non-finite number {n} is not representable in JSON"
+                );
+                if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Value::String(s) => render_string(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(key, out);
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document.
+    pub fn parse(text: &str) -> Result<Value, JsonError> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.parse_value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return err(format!("trailing data at byte {}", parser.pos));
+        }
+        Ok(value)
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Maximum container nesting the parser accepts. Crawl databases nest four
+/// levels deep; the limit only exists so corrupted or hostile input returns
+/// a [`JsonError`] instead of overflowing the stack.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!(
+                "expected `{}` at byte {}",
+                char::from(byte),
+                self.pos
+            ))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.nested(Parser::parse_object),
+            Some(b'[') => self.nested(Parser::parse_array),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            other => err(format!("unexpected input {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn nested(
+        &mut self,
+        parse: fn(&mut Self) -> Result<Value, JsonError>,
+    ) -> Result<Value, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return err(format!("nesting deeper than {MAX_DEPTH} levels"));
+        }
+        self.depth += 1;
+        let result = parse(self);
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_keyword(&mut self, keyword: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            Ok(value)
+        } else {
+            err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError("invalid utf-8 in number".into()))?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| JsonError(format!("invalid number `{text}`")))
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            // Copy the literal run up to the next quote or escape in one
+            // validated chunk (multi-byte UTF-8 units are all >= 0x80 and
+            // can never collide with `"` or `\`, so a byte scan is safe and
+            // string parsing stays linear in the document size).
+            let run_start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if run_start < self.pos {
+                let chunk = std::str::from_utf8(&self.bytes[run_start..self.pos])
+                    .map_err(|_| JsonError("invalid utf-8 in string".into()))?;
+                out.push_str(chunk);
+            }
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return err("unterminated string");
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let first = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&first) {
+                                // Surrogate pair.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let second = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&second) {
+                                    return err("invalid low surrogate");
+                                }
+                                0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+                            } else {
+                                first
+                            };
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return err(format!("invalid code point {code:#x}")),
+                            }
+                        }
+                        other => return err(format!("invalid escape `\\{}`", char::from(other))),
+                    }
+                }
+                _ => unreachable!("the literal-run scan stops only at `\"` or `\\`"),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return err("truncated \\u escape");
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| JsonError("invalid utf-8 in \\u escape".into()))?;
+        self.pos += 4;
+        u32::from_str_radix(hex, 16).map_err(|_| JsonError(format!("invalid hex `{hex}`")))
+    }
+
+    fn parse_array(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => return err(format!("expected `,` or `]`, got {other:?}")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                other => return err(format!("expected `,` or `}}`, got {other:?}")),
+            }
+        }
+    }
+}
+
+/// Convenience: build an object value.
+pub fn object(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "-17", "3.5", "\"hi\""] {
+            let value = Value::parse(text).unwrap();
+            assert_eq!(value.render(), text);
+        }
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let text = r#"{"a":[1,2,{"b":"x","c":null}],"d":true}"#;
+        let value = Value::parse(text).unwrap();
+        assert_eq!(value.render(), text);
+        assert_eq!(value.field("d").unwrap(), &Value::Bool(true));
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let original = "quote\" slash\\ newline\n tab\t unicode é 中 🦀";
+        let mut rendered = String::new();
+        render_string(original, &mut rendered);
+        let back = Value::parse(&rendered).unwrap();
+        assert_eq!(back.as_str().unwrap(), original);
+    }
+
+    #[test]
+    fn surrogate_pairs_parse() {
+        let value = Value::parse("\"\\ud83e\\udd80\"").unwrap();
+        assert_eq!(value.as_str().unwrap(), "🦀");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(Value::parse("{").is_err());
+        assert!(Value::parse("[1,]").is_err());
+        assert!(Value::parse("nulL").is_err());
+        assert!(Value::parse("{}extra").is_err());
+        assert!(Value::parse("\"\\q\"").is_err());
+    }
+
+    #[test]
+    fn hostile_nesting_errors_instead_of_overflowing() {
+        let hostile = "[".repeat(100_000);
+        let error = Value::parse(&hostile).unwrap_err();
+        assert!(error.0.contains("nesting"), "{error}");
+        // Legitimate nesting well past the crawl format's four levels works.
+        let deep = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(Value::parse(&deep).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_scalars_error_on_decode() {
+        assert!(Value::parse("65736").unwrap().as_u16().is_err());
+        assert!(Value::parse("65535").unwrap().as_u16().is_ok());
+        assert!(Value::parse("-1").unwrap().as_u64().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "2^53")]
+    fn unrepresentable_integers_are_refused_at_encode_time() {
+        let _ = Value::number_u64((1u64 << 53) + 1);
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let value = Value::parse(" { \"a\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(value.render(), r#"{"a":[1,2]}"#);
+    }
+}

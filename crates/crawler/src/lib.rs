@@ -33,9 +33,10 @@
 pub mod cluster;
 pub mod database;
 pub mod events;
+pub mod json;
 pub mod page_load;
 
-pub use cluster::{ClusterConfig, CrawlCluster, CrawlSummary};
+pub use cluster::{with_worker_pool, ClusterConfig, CrawlCluster, CrawlSummary};
 pub use database::{CrawlDatabase, SiteCrawl};
 pub use events::{CallStack, NetworkEvent, RequestWillBeSent, ResponseReceived, StackFrame};
 pub use page_load::{LoadOptions, PageLoadResult, PageLoadSimulator};

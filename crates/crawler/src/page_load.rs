@@ -151,7 +151,14 @@ impl PageLoadSimulator {
                     continue;
                 }
                 let stack = injection_stack(loader, loader_idx);
-                self.emit(&mut result, &loaded_url, site, ResourceType::Script, stack, "application/javascript");
+                self.emit(
+                    &mut result,
+                    &loaded_url,
+                    site,
+                    ResourceType::Script,
+                    stack,
+                    "application/javascript",
+                );
             }
         }
 
@@ -194,7 +201,9 @@ impl PageLoadSimulator {
             if works {
                 result.working_features.push(feature.name.clone());
             } else {
-                result.broken_features.push((feature.name.clone(), feature.importance));
+                result
+                    .broken_features
+                    .push((feature.name.clone(), feature.importance));
             }
         }
 
@@ -291,7 +300,10 @@ fn injection_stack(loader: &PageScript, _loader_idx: usize) -> CallStack {
     } else {
         frames.push(StackFrame::new(url, "", 1, 1));
     }
-    CallStack { frames, async_boundary: None }
+    CallStack {
+        frames,
+        async_boundary: None,
+    }
 }
 
 /// Frames contributed by the scripts that (transitively) injected `idx`.
@@ -318,7 +330,12 @@ fn ancestor_stack(site: &Website, idx: usize, executed: &[bool]) -> Vec<StackFra
                     .first()
                     .map(|m| m.name.clone())
                     .unwrap_or_default();
-                frames.push(StackFrame::new(loader_script.origin.url(), method_name, 1, 1));
+                frames.push(StackFrame::new(
+                    loader_script.origin.url(),
+                    method_name,
+                    1,
+                    1,
+                ));
                 current = l;
             }
             None => break,
@@ -372,12 +389,22 @@ fn build_stack(
         .iter()
         .position(|m| std::ptr::eq(m, method))
         .unwrap_or(0);
-    frames.push(StackFrame::new(url, method.name.clone(), (method_pos as u32 + 1) * 10, 1));
+    frames.push(StackFrame::new(
+        url,
+        method.name.clone(),
+        (method_pos as u32 + 1) * 10,
+        1,
+    ));
     // Per-request calling context: the method that invoked this dispatcher
     // for this particular request (shared-transport pattern).
     if let Some(caller) = via_caller {
         if let Some(pos) = script.methods.iter().position(|m| m.name == caller) {
-            frames.push(StackFrame::new(url, caller.to_string(), (pos as u32 + 1) * 10, 1));
+            frames.push(StackFrame::new(
+                url,
+                caller.to_string(),
+                (pos as u32 + 1) * 10,
+                1,
+            ));
         } else {
             frames.push(StackFrame::new(url, caller.to_string(), 1, 1));
         }
@@ -431,8 +458,7 @@ mod tests {
             let result = sim.load(site);
             assert_eq!(
                 result.script_initiated_count(),
-                site.script_initiated_request_count()
-                    + dynamic_injections(site),
+                site.script_initiated_request_count() + dynamic_injections(site),
                 "site {}",
                 site.domain
             );
@@ -449,7 +475,12 @@ mod tests {
         let mut sim = PageLoadSimulator::new(0);
         let mut last = None;
         for site in &corpus.websites {
-            for req in sim.load(site).requests().map(|r| r.request_id).collect::<Vec<_>>() {
+            for req in sim
+                .load(site)
+                .requests()
+                .map(|r| r.request_id)
+                .collect::<Vec<_>>()
+            {
                 if let Some(prev) = last {
                     assert!(req > prev);
                 }
@@ -567,7 +598,9 @@ mod tests {
         let mut opts = LoadOptions::unblocked();
         opts.blocked_request_urls.insert(victim.clone());
         let treatment = sim.load_with(site, &opts);
-        assert!(treatment.requests().all(|r| r.url != victim || !r.is_script_initiated()));
+        assert!(treatment
+            .requests()
+            .all(|r| r.url != victim || !r.is_script_initiated()));
         assert!(treatment.events.len() < control.events.len());
     }
 
@@ -578,7 +611,11 @@ mod tests {
         let site = corpus
             .websites
             .iter()
-            .find(|s| s.scripts.iter().any(|sc| sc.archetype == ScriptArchetype::Mixed))
+            .find(|s| {
+                s.scripts
+                    .iter()
+                    .any(|sc| sc.archetype == ScriptArchetype::Mixed)
+            })
             .expect("corpus contains mixed scripts");
         let mixed = site
             .scripts
@@ -587,7 +624,10 @@ mod tests {
             .unwrap();
         let mut sim = PageLoadSimulator::new(0);
         let result = sim.load(site);
-        let urls: Vec<&str> = mixed.planned_requests().map(|(_, r)| r.url.as_str()).collect();
+        let urls: Vec<&str> = mixed
+            .planned_requests()
+            .map(|(_, r)| r.url.as_str())
+            .collect();
         let emitted = result
             .requests()
             .filter(|r| urls.contains(&r.url.as_str()))

@@ -17,25 +17,15 @@ use std::sync::OnceLock;
 /// `com.br`, `com.mx`, `co.jp`) plus other common country-code second-level
 /// registrations so that real-world URLs fed to the engine behave sensibly.
 const MULTI_LABEL_SUFFIXES: &[&str] = &[
-    "co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk", "net.uk",
-    "com.au", "net.au", "org.au", "edu.au", "gov.au",
-    "com.br", "net.br", "org.br", "gov.br",
-    "com.mx", "org.mx", "gob.mx",
-    "co.jp", "ne.jp", "or.jp", "ac.jp", "go.jp",
-    "co.in", "net.in", "org.in", "gen.in", "firm.in",
-    "co.kr", "or.kr", "ne.kr",
-    "com.cn", "net.cn", "org.cn", "gov.cn",
-    "com.tw", "org.tw", "net.tw",
-    "co.za", "org.za", "net.za",
-    "com.ar", "com.co", "com.pe", "com.ve", "com.ec", "com.uy",
-    "com.tr", "net.tr", "org.tr",
-    "com.sg", "com.my", "com.ph", "com.vn", "com.hk", "com.pk", "net.pk", "org.pk",
-    "co.id", "or.id", "web.id",
-    "com.ua", "net.ua", "org.ua", "in.ua",
-    "com.pl", "net.pl", "org.pl",
-    "co.il", "org.il", "net.il",
-    "co.nz", "net.nz", "org.nz",
-    "com.eg", "com.sa", "com.ng", "com.gh", "com.bd", "com.np",
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk", "net.uk", "com.au", "net.au", "org.au",
+    "edu.au", "gov.au", "com.br", "net.br", "org.br", "gov.br", "com.mx", "org.mx", "gob.mx",
+    "co.jp", "ne.jp", "or.jp", "ac.jp", "go.jp", "co.in", "net.in", "org.in", "gen.in", "firm.in",
+    "co.kr", "or.kr", "ne.kr", "com.cn", "net.cn", "org.cn", "gov.cn", "com.tw", "org.tw",
+    "net.tw", "co.za", "org.za", "net.za", "com.ar", "com.co", "com.pe", "com.ve", "com.ec",
+    "com.uy", "com.tr", "net.tr", "org.tr", "com.sg", "com.my", "com.ph", "com.vn", "com.hk",
+    "com.pk", "net.pk", "org.pk", "co.id", "or.id", "web.id", "com.ua", "net.ua", "org.ua",
+    "in.ua", "com.pl", "net.pl", "org.pl", "co.il", "org.il", "net.il", "co.nz", "net.nz",
+    "org.nz", "com.eg", "com.sa", "com.ng", "com.gh", "com.bd", "com.np",
 ];
 
 fn suffix_set() -> &'static HashSet<&'static str> {
@@ -62,7 +52,10 @@ pub fn is_valid_hostname(hostname: &str) -> bool {
 /// Returns `true` when the hostname is an IPv4 literal (no eTLD+1 exists).
 pub fn is_ip_literal(hostname: &str) -> bool {
     let parts: Vec<&str> = hostname.split('.').collect();
-    parts.len() == 4 && parts.iter().all(|p| p.parse::<u8>().is_ok() && !p.is_empty())
+    parts.len() == 4
+        && parts
+            .iter()
+            .all(|p| p.parse::<u8>().is_ok() && !p.is_empty())
 }
 
 /// Extract the registrable domain (eTLD+1) from a hostname.
@@ -129,7 +122,10 @@ mod tests {
     #[test]
     fn etld1_multi_label_suffix() {
         assert_eq!(registrable_domain("static.bbc.co.uk"), "bbc.co.uk");
-        assert_eq!(registrable_domain("www.forevernew.com.au"), "forevernew.com.au");
+        assert_eq!(
+            registrable_domain("www.forevernew.com.au"),
+            "forevernew.com.au"
+        );
         assert_eq!(registrable_domain("radioshack.com.mx"), "radioshack.com.mx");
         assert_eq!(registrable_domain("cdn.peachjohn.co.jp"), "peachjohn.co.jp");
     }

@@ -68,6 +68,15 @@ pub struct FilterEngine {
     stats: Vec<(ListKind, ParseStats)>,
 }
 
+// The engine is shared read-only across rayon workers during the parallel
+// crawl and labeling stages; this compile-time assertion keeps it that way
+// (adding interior mutability such as a match cache would break the build
+// here rather than in a downstream crate).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<FilterEngine>();
+};
+
 impl FilterEngine {
     /// Build an engine from already-parsed rules.
     pub fn from_rules(rules: Vec<FilterRule>) -> Self {
@@ -207,7 +216,11 @@ mod tests {
     #[test]
     fn blocking_rule_labels_tracking() {
         let e = engine("||tracker.io^$third-party\n");
-        let r = req("https://px.tracker.io/collect", "shop.com", ResourceType::Xhr);
+        let r = req(
+            "https://px.tracker.io/collect",
+            "shop.com",
+            ResourceType::Xhr,
+        );
         assert_eq!(e.label(&r), RequestLabel::Tracking);
         assert!(matches!(e.evaluate(&r), MatchOutcome::Blocked { .. }));
     }
@@ -216,16 +229,27 @@ mod tests {
     fn exception_overrides_block() {
         let e = engine("||cdn.io^\n@@||cdn.io/lib/jquery.js$script\n");
         let blocked = req("https://cdn.io/px.gif", "shop.com", ResourceType::Image);
-        let allowed = req("https://cdn.io/lib/jquery.js", "shop.com", ResourceType::Script);
+        let allowed = req(
+            "https://cdn.io/lib/jquery.js",
+            "shop.com",
+            ResourceType::Script,
+        );
         assert_eq!(e.label(&blocked), RequestLabel::Tracking);
         assert_eq!(e.label(&allowed), RequestLabel::Functional);
-        assert!(matches!(e.evaluate(&allowed), MatchOutcome::Excepted { .. }));
+        assert!(matches!(
+            e.evaluate(&allowed),
+            MatchOutcome::Excepted { .. }
+        ));
     }
 
     #[test]
     fn no_match_is_functional() {
         let e = engine("||tracker.io^\n");
-        let r = req("https://images.shop.com/logo.png", "shop.com", ResourceType::Image);
+        let r = req(
+            "https://images.shop.com/logo.png",
+            "shop.com",
+            ResourceType::Image,
+        );
         assert_eq!(e.label(&r), RequestLabel::Functional);
         assert_eq!(e.evaluate(&r), MatchOutcome::NoMatch);
     }
@@ -258,13 +282,31 @@ mod tests {
     fn indexed_and_linear_evaluation_agree_on_embedded_lists() {
         let e = FilterEngine::easylist_easyprivacy();
         let urls = [
-            ("https://www.googletagmanager.com/gtm.js?id=GTM-1", ResourceType::Script),
-            ("https://connect.facebook.net/en_US/fbevents.js", ResourceType::Script),
-            ("https://cdn.shopify.com/s/files/1/theme.js", ResourceType::Script),
+            (
+                "https://www.googletagmanager.com/gtm.js?id=GTM-1",
+                ResourceType::Script,
+            ),
+            (
+                "https://connect.facebook.net/en_US/fbevents.js",
+                ResourceType::Script,
+            ),
+            (
+                "https://cdn.shopify.com/s/files/1/theme.js",
+                ResourceType::Script,
+            ),
             ("https://stats.wp.com/e-202124.js", ResourceType::Script),
-            ("https://i0.wp.com/site/wp-content/uploads/photo.jpg", ResourceType::Image),
-            ("https://secure.quantserve.com/quant.js", ResourceType::Script),
-            ("https://example.com/wp-content/themes/x/style.css", ResourceType::Stylesheet),
+            (
+                "https://i0.wp.com/site/wp-content/uploads/photo.jpg",
+                ResourceType::Image,
+            ),
+            (
+                "https://secure.quantserve.com/quant.js",
+                ResourceType::Script,
+            ),
+            (
+                "https://example.com/wp-content/themes/x/style.css",
+                ResourceType::Stylesheet,
+            ),
         ];
         for (u, ty) in urls {
             let r = req(u, "publisher-site.com", ty);
@@ -280,10 +322,15 @@ mod tests {
     fn extend_with_rules_adds_blocking_rules() {
         let mut e = engine("||tracker.io^\n");
         let before = e.rule_count();
-        let extra = crate::parser::parse_list("||adnet-42.example^$third-party\n", ListKind::Custom);
+        let extra =
+            crate::parser::parse_list("||adnet-42.example^$third-party\n", ListKind::Custom);
         e.extend_with_rules(extra.rules);
         assert_eq!(e.rule_count(), before + 1);
-        let r = req("https://px.adnet-42.example/p.gif", "shop.com", ResourceType::Image);
+        let r = req(
+            "https://px.adnet-42.example/p.gif",
+            "shop.com",
+            ResourceType::Image,
+        );
         assert_eq!(e.label(&r), RequestLabel::Tracking);
     }
 

@@ -194,7 +194,9 @@ mod tests {
         assert!(idx
             .first_match(&req("https://static.doubleclick.net/instream/ad_status.js"))
             .is_some());
-        assert!(idx.first_match(&req("https://cdn.shop.com/app.js")).is_none());
+        assert!(idx
+            .first_match(&req("https://cdn.shop.com/app.js"))
+            .is_none());
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod url;
 
 pub use domain::{is_third_party, registrable_domain};
 pub use engine::{FilterEngine, MatchOutcome, RequestLabel};
-pub use parser::{parse_list, parse_rule, ParsedList, ParseStats};
+pub use parser::{parse_list, parse_rule, ParseStats, ParsedList};
 pub use request::{FilterRequest, ResourceType};
 pub use rule::{FilterRule, ListKind};
 pub use url::ParsedUrl;

@@ -207,7 +207,10 @@ mod tests {
     #[test]
     fn parses_type_options() {
         let o = RuleOptions::parse("script,image");
-        assert_eq!(o.include_types, vec![ResourceType::Script, ResourceType::Image]);
+        assert_eq!(
+            o.include_types,
+            vec![ResourceType::Script, ResourceType::Image]
+        );
         assert!(o.exclude_types.is_empty());
     }
 
@@ -219,9 +222,18 @@ mod tests {
 
     #[test]
     fn parses_party() {
-        assert_eq!(RuleOptions::parse("third-party").party, PartyConstraint::ThirdOnly);
-        assert_eq!(RuleOptions::parse("~third-party").party, PartyConstraint::FirstOnly);
-        assert_eq!(RuleOptions::parse("first-party").party, PartyConstraint::FirstOnly);
+        assert_eq!(
+            RuleOptions::parse("third-party").party,
+            PartyConstraint::ThirdOnly
+        );
+        assert_eq!(
+            RuleOptions::parse("~third-party").party,
+            PartyConstraint::FirstOnly
+        );
+        assert_eq!(
+            RuleOptions::parse("first-party").party,
+            PartyConstraint::FirstOnly
+        );
     }
 
     #[test]
@@ -249,23 +261,51 @@ mod tests {
     #[test]
     fn party_constraint_enforced() {
         let o = RuleOptions::parse("third-party");
-        assert!(o.matches(&req("https://tracker.net/p", "site.com", ResourceType::Image)));
-        assert!(!o.matches(&req("https://cdn.site.com/p", "www.site.com", ResourceType::Image)));
+        assert!(o.matches(&req(
+            "https://tracker.net/p",
+            "site.com",
+            ResourceType::Image
+        )));
+        assert!(!o.matches(&req(
+            "https://cdn.site.com/p",
+            "www.site.com",
+            ResourceType::Image
+        )));
     }
 
     #[test]
     fn domain_constraint_enforced() {
         let o = RuleOptions::parse("domain=news.com|~sports.news.com");
-        assert!(o.matches(&req("https://x.net/a.js", "www.news.com", ResourceType::Script)));
-        assert!(!o.matches(&req("https://x.net/a.js", "live.sports.news.com", ResourceType::Script)));
-        assert!(!o.matches(&req("https://x.net/a.js", "other.org", ResourceType::Script)));
+        assert!(o.matches(&req(
+            "https://x.net/a.js",
+            "www.news.com",
+            ResourceType::Script
+        )));
+        assert!(!o.matches(&req(
+            "https://x.net/a.js",
+            "live.sports.news.com",
+            ResourceType::Script
+        )));
+        assert!(!o.matches(&req(
+            "https://x.net/a.js",
+            "other.org",
+            ResourceType::Script
+        )));
     }
 
     #[test]
     fn negated_only_domain_list_allows_everything_else() {
         let o = RuleOptions::parse("domain=~blog.example.com");
-        assert!(o.matches(&req("https://x.net/a.js", "other.org", ResourceType::Script)));
-        assert!(!o.matches(&req("https://x.net/a.js", "blog.example.com", ResourceType::Script)));
+        assert!(o.matches(&req(
+            "https://x.net/a.js",
+            "other.org",
+            ResourceType::Script
+        )));
+        assert!(!o.matches(&req(
+            "https://x.net/a.js",
+            "blog.example.com",
+            ResourceType::Script
+        )));
     }
 
     #[test]

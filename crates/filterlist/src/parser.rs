@@ -72,7 +72,7 @@ pub fn parse_rule(line: &str, list: ListKind, line_no: usize) -> Option<FilterRu
     // simple and faithful we follow the common convention: the options
     // separator is the last `$` in the rule.
     let (pattern_text, options_text) = match body.rfind('$') {
-        Some(idx) if idx + 1 <= body.len() => {
+        Some(idx) if idx < body.len() => {
             let candidate = &body[idx + 1..];
             // Heuristic used by real parsers: an options section contains
             // only option-ish characters.

@@ -189,7 +189,7 @@ impl Pattern {
         // first path/separator/wildcard character.
         let host_prefix = if anchor == Anchor::Hostname {
             normalised
-                .split(|c| c == '/' || c == '^' || c == '*' || c == '?')
+                .split(['/', '^', '*', '?'])
                 .next()
                 .unwrap_or("")
                 .to_string()
@@ -235,17 +235,13 @@ impl Pattern {
     /// pattern. Matching URLs must contain at least one of these runs, which
     /// is what makes token indexing sound.
     pub fn index_tokens(&self) -> Vec<String> {
-        let text = if self.case_sensitive {
-            self.source
-                .trim_start_matches('|')
-                .trim_end_matches('|')
-                .to_ascii_lowercase()
-        } else {
-            self.source
-                .trim_start_matches('|')
-                .trim_end_matches('|')
-                .to_ascii_lowercase()
-        };
+        // Tokens are always lower-cased: URL tokenisation lower-cases too,
+        // so case-sensitive rules still index soundly.
+        let text = self
+            .source
+            .trim_start_matches('|')
+            .trim_end_matches('|')
+            .to_ascii_lowercase();
         let mut tokens = Vec::new();
         let mut current = String::new();
         for c in text.chars() {
@@ -337,7 +333,12 @@ impl Pattern {
         self.match_remaining(text, pos, iter)
     }
 
-    fn match_remaining<'a, I>(&self, text: &[u8], mut pos: usize, mut iter: std::iter::Peekable<I>) -> bool
+    fn match_remaining<'a, I>(
+        &self,
+        text: &[u8],
+        mut pos: usize,
+        mut iter: std::iter::Peekable<I>,
+    ) -> bool
     where
         I: Iterator<Item = &'a Segment>,
     {
@@ -391,7 +392,7 @@ impl Pattern {
                 let after = idx + 3;
                 // Skip userinfo if any.
                 let authority_end = url_lower[after..]
-                    .find(|c| c == '/' || c == '?' || c == '#')
+                    .find(['/', '?', '#'])
                     .map(|i| after + i)
                     .unwrap_or(url_lower.len());
                 match url_lower[after..authority_end].rfind('@') {
@@ -442,7 +443,9 @@ mod tests {
     fn m(pattern: &str, url: &str) -> bool {
         let p = Pattern::compile(pattern, false);
         let lower = url.to_ascii_lowercase();
-        let host = crate::url::ParsedUrl::parse(url).map(|u| u.hostname).unwrap_or_default();
+        let host = crate::url::ParsedUrl::parse(url)
+            .map(|u| u.hostname)
+            .unwrap_or_default();
         p.matches(&lower, url, &host)
     }
 
@@ -489,7 +492,10 @@ mod tests {
     #[test]
     fn both_anchors_exact_match() {
         assert!(m("|https://example.com/a.js|", "https://example.com/a.js"));
-        assert!(!m("|https://example.com/a.js|", "https://example.com/a.js.map"));
+        assert!(!m(
+            "|https://example.com/a.js|",
+            "https://example.com/a.js.map"
+        ));
     }
 
     #[test]

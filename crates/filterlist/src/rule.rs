@@ -54,11 +54,8 @@ impl FilterRule {
         if !self.options.matches(request) {
             return false;
         }
-        self.pattern.matches(
-            &request.url.lower,
-            &request.url.raw,
-            &request.url.hostname,
-        )
+        self.pattern
+            .matches(&request.url.lower, &request.url.raw, &request.url.hostname)
     }
 
     /// Tokens used to place the rule into the [`crate::index::RuleIndex`].
@@ -90,9 +87,21 @@ mod tests {
     #[test]
     fn pattern_and_options_both_required() {
         let r = rule("||tracker.example^$script");
-        assert!(r.matches(&req("https://tracker.example/t.js", "a.com", ResourceType::Script)));
-        assert!(!r.matches(&req("https://tracker.example/t.gif", "a.com", ResourceType::Image)));
-        assert!(!r.matches(&req("https://other.example/t.js", "a.com", ResourceType::Script)));
+        assert!(r.matches(&req(
+            "https://tracker.example/t.js",
+            "a.com",
+            ResourceType::Script
+        )));
+        assert!(!r.matches(&req(
+            "https://tracker.example/t.gif",
+            "a.com",
+            ResourceType::Image
+        )));
+        assert!(!r.matches(&req(
+            "https://other.example/t.js",
+            "a.com",
+            ResourceType::Script
+        )));
     }
 
     #[test]

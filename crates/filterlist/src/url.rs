@@ -54,7 +54,10 @@ impl ParsedUrl {
         } else if let Some(idx) = lower.find(':') {
             // Opaque URL such as `data:image/gif;base64,...` or `about:blank`.
             let scheme = lower[..idx].to_string();
-            if !scheme.chars().all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '-') {
+            if !scheme
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '-')
+            {
                 return None;
             }
             return Some(ParsedUrl {
@@ -71,9 +74,7 @@ impl ParsedUrl {
         };
 
         // Authority ends at the first `/`, `?` or `#`.
-        let authority_end = rest
-            .find(|c| c == '/' || c == '?' || c == '#')
-            .unwrap_or(rest.len());
+        let authority_end = rest.find(['/', '?', '#']).unwrap_or(rest.len());
         let authority = &rest[..authority_end];
         let after_authority = &rest[authority_end..];
 
@@ -102,7 +103,11 @@ impl ParsedUrl {
             ),
             None => (without_fragment.to_string(), None),
         };
-        let path = if path.is_empty() { "/".to_string() } else { path };
+        let path = if path.is_empty() {
+            "/".to_string()
+        } else {
+            path
+        };
 
         Some(ParsedUrl {
             raw,

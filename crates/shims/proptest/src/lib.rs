@@ -1,0 +1,535 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no registry access, so this shim implements the
+//! slice of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with the `#![proptest_config(..)]` header),
+//!   expanding each property into a `#[test]` that runs `cases` seeded
+//!   deterministic iterations;
+//! * [`Strategy`] with `prop_map`, tuples, integer/float ranges,
+//!   `prop::collection::vec`, `prop::option::of`, and pattern-string
+//!   strategies (a small generator for the `[a-z]{2,8}`-style regex subset
+//!   the tests use);
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assume!`.
+//!
+//! There is no shrinking: a failing case panics with the generated inputs in
+//! the assertion message, and the deterministic per-test seed makes every
+//! failure reproducible by re-running the test.
+
+use std::ops::Range;
+
+// ---------------------------------------------------------------------------
+// deterministic RNG (xoshiro256** seeded from the test name)
+// ---------------------------------------------------------------------------
+
+/// Deterministic test RNG. Public so the macro expansion can construct it;
+/// not part of the mirrored proptest API.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: [u64; 4],
+}
+
+impl TestRng {
+    /// A generator seeded from the test name, so each property has a stable
+    /// stream across runs and platforms.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name, then SplitMix64 expansion.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut sm = hash;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    fn usize_in(&mut self, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        range.start + (self.next_u64() as usize) % (range.end - range.start)
+    }
+
+    fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A generator of test values, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u128) - (self.start as u128);
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.f64_unit() * (self.end - self.start)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.new_value(rng), self.1.new_value(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.new_value(rng),
+            self.1.new_value(rng),
+            self.2.new_value(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.new_value(rng),
+            self.1.new_value(rng),
+            self.2.new_value(rng),
+            self.3.new_value(rng),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// pattern-string strategies ("[a-z]{2,8}(\\.[a-z]{1,8}){0,4}" …)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<char>),
+    AnyPrintable,
+    Group(Vec<(Atom, Rep)>),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Rep {
+    min: usize,
+    max: usize,
+}
+
+impl Default for Rep {
+    fn default() -> Self {
+        Rep { min: 1, max: 1 }
+    }
+}
+
+fn parse_pattern(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    in_group: bool,
+) -> Vec<(Atom, Rep)> {
+    let mut atoms = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if in_group && c == ')' {
+            chars.next();
+            break;
+        }
+        chars.next();
+        let atom = match c {
+            '[' => {
+                let mut class = Vec::new();
+                let mut prev: Option<char> = None;
+                while let Some(cc) = chars.next() {
+                    match cc {
+                        ']' => break,
+                        '-' => {
+                            let (Some(lo), Some(&hi)) = (prev, chars.peek()) else {
+                                class.push('-');
+                                continue;
+                            };
+                            chars.next();
+                            for ch in (lo as u32 + 1)..=(hi as u32) {
+                                if let Some(ch) = char::from_u32(ch) {
+                                    class.push(ch);
+                                }
+                            }
+                            prev = None;
+                        }
+                        other => {
+                            class.push(other);
+                            prev = Some(other);
+                        }
+                    }
+                }
+                assert!(!class.is_empty(), "empty character class in pattern");
+                Atom::Class(class)
+            }
+            '(' => Atom::Group(parse_pattern(chars, true)),
+            '\\' => match chars.next() {
+                // `\PC` / `\pC` — a Unicode-category escape; generate any
+                // printable character.
+                Some('P') | Some('p') => {
+                    chars.next();
+                    Atom::AnyPrintable
+                }
+                Some(escaped) => Atom::Literal(escaped),
+                None => Atom::Literal('\\'),
+            },
+            '.' => Atom::AnyPrintable,
+            literal => Atom::Literal(literal),
+        };
+        let rep = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for cc in chars.by_ref() {
+                    if cc == '}' {
+                        break;
+                    }
+                    spec.push(cc);
+                }
+                let (min, max) = match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repetition lower bound"),
+                        hi.trim().parse().expect("bad repetition upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                };
+                Rep { min, max }
+            }
+            Some('?') => {
+                chars.next();
+                Rep { min: 0, max: 1 }
+            }
+            Some('*') => {
+                chars.next();
+                Rep { min: 0, max: 8 }
+            }
+            Some('+') => {
+                chars.next();
+                Rep { min: 1, max: 8 }
+            }
+            _ => Rep::default(),
+        };
+        atoms.push((atom, rep));
+    }
+    atoms
+}
+
+const PRINTABLE_EXTRA: [char; 8] = ['é', 'ß', '中', '🦀', 'Ж', '\u{00A0}', '¿', 'π'];
+
+fn generate_atoms(atoms: &[(Atom, Rep)], rng: &mut TestRng, out: &mut String) {
+    for (atom, rep) in atoms {
+        let count = if rep.min == rep.max {
+            rep.min
+        } else {
+            rng.usize_in(rep.min..rep.max + 1)
+        };
+        for _ in 0..count {
+            match atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(class) => out.push(class[rng.usize_in(0..class.len())]),
+                Atom::AnyPrintable => {
+                    // Mostly printable ASCII with a sprinkling of wider
+                    // Unicode, which is what the robustness tests are after.
+                    if rng.usize_in(0..8) == 0 {
+                        out.push(PRINTABLE_EXTRA[rng.usize_in(0..PRINTABLE_EXTRA.len())]);
+                    } else {
+                        out.push(char::from(rng.usize_in(0x20..0x7F) as u8));
+                    }
+                }
+                Atom::Group(inner) => generate_atoms(inner, rng, out),
+            }
+        }
+    }
+}
+
+impl Strategy for str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let mut chars = self.chars().peekable();
+        let atoms = parse_pattern(&mut chars, false);
+        let mut out = String::new();
+        generate_atoms(&atoms, rng, &mut out);
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        self.as_str().new_value(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// collection / option strategies
+// ---------------------------------------------------------------------------
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` strategy with `size` elements, mirroring
+    /// `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.clone().new_value(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies, mirroring `proptest::option`.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<S::Value>`, `None` about a third of the time.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Mirrors `proptest::option::of`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.usize_in(0..3) == 0 {
+                None
+            } else {
+                Some(self.inner.new_value(rng))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// config + macros
+// ---------------------------------------------------------------------------
+
+/// Per-property configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Declare property tests, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the mirrored API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(stringify!($name));
+                for _case in 0..config.cases {
+                    $(
+                        let $arg = {
+                            let strategy = $strat;
+                            $crate::Strategy::new_value(&strategy, &mut rng)
+                        };
+                    )+
+                    let mut run_case = || $body;
+                    let () = run_case();
+                }
+            }
+        )+
+    };
+}
+
+/// Mirrors `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Mirrors `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Mirrors `proptest::prop_assume!`: skip the rest of the case when the
+/// precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// The customary glob import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in 0.5f64..4.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((0.5..4.0).contains(&y));
+        }
+
+        #[test]
+        fn patterns_match_shape(host in "[a-z]{2,8}", dotted in "[a-z]{1,4}(\\.[a-z]{1,4}){0,3}") {
+            prop_assert!(host.len() >= 2 && host.len() <= 8);
+            prop_assert!(host.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(dotted.split('.').all(|part| (1..=4).contains(&part.len())));
+        }
+
+        #[test]
+        fn tuples_vectors_and_options_compose(
+            parts in prop::collection::vec("[a-z0-9]{1,8}", 0..4),
+            maybe in prop::option::of(0u64..5),
+        ) {
+            prop_assert!(parts.len() < 4);
+            if let Some(v) = maybe {
+                prop_assert!(v < 5);
+            }
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let strategy = (0u64..5).prop_map(|n| n * 10);
+        let mut rng = crate::TestRng::deterministic("prop_map_transforms");
+        for _ in 0..100 {
+            let v = strategy.new_value(&mut rng);
+            assert!(v % 10 == 0 && v < 50);
+        }
+    }
+}

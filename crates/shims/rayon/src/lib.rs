@@ -1,0 +1,209 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Registry access is unavailable in this build environment, so this shim
+//! provides the subset of rayon the workspace uses — `par_iter().map(..)
+//! .collect()` over slices/`Vec`s plus `ThreadPoolBuilder`/`ThreadPool::install`
+//! — implemented with real OS-thread parallelism via `std::thread::scope`.
+//! Items are processed in contiguous chunks and re-assembled in input order,
+//! so a mapped collect is deterministic regardless of scheduling, exactly the
+//! property the pipeline's determinism tests assert.
+//!
+//! `ThreadPool::install` scopes a thread-count override: parallel iterators
+//! evaluated inside the closure split the input across that many worker
+//! threads (1 short-circuits to a plain sequential loop on the caller).
+
+use std::cell::Cell;
+
+thread_local! {
+    /// 0 = "use the machine default" (available_parallelism).
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of threads parallel iterators will use on this thread.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(|c| c.get());
+    if installed != 0 {
+        return installed;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type mirroring `rayon::ThreadPoolBuildError` (this shim cannot
+/// actually fail to build).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (machine) parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker count; 0 means the machine default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Infallible in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped thread-count override mirroring `rayon::ThreadPool`.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread count governing any parallel
+    /// iterators it evaluates.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        INSTALLED_THREADS.with(|c| {
+            let previous = c.get();
+            c.set(self.num_threads);
+            let result = op();
+            c.set(previous);
+            result
+        })
+    }
+}
+
+/// The iterator traits and adaptors.
+pub mod iter {
+    use super::current_num_threads;
+
+    /// `par_iter()` entry point for by-reference parallel iteration.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Element type yielded by the iterator.
+        type Item: 'data;
+        /// The iterator type.
+        type Iter;
+
+        /// A parallel iterator over shared references.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = SliceParIter<'data, T>;
+
+        fn par_iter(&'data self) -> SliceParIter<'data, T> {
+            SliceParIter { slice: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = SliceParIter<'data, T>;
+
+        fn par_iter(&'data self) -> SliceParIter<'data, T> {
+            SliceParIter { slice: self }
+        }
+    }
+
+    /// Parallel iterator over a slice.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SliceParIter<'data, T> {
+        slice: &'data [T],
+    }
+
+    impl<'data, T: Sync> SliceParIter<'data, T> {
+        /// Map each element through `f`.
+        pub fn map<R, F>(self, f: F) -> MapParIter<'data, T, F>
+        where
+            F: Fn(&'data T) -> R + Sync,
+            R: Send,
+        {
+            MapParIter {
+                slice: self.slice,
+                f,
+            }
+        }
+    }
+
+    /// The result of `par_iter().map(f)`; evaluated on `collect`.
+    #[derive(Debug)]
+    pub struct MapParIter<'data, T, F> {
+        slice: &'data [T],
+        f: F,
+    }
+
+    impl<'data, T: Sync, R: Send, F: Fn(&'data T) -> R + Sync> MapParIter<'data, T, F> {
+        /// Evaluate the map in parallel, preserving input order.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            let threads = current_num_threads().clamp(1, self.slice.len().max(1));
+            if threads <= 1 || self.slice.len() <= 1 {
+                return self.slice.iter().map(&self.f).collect();
+            }
+            let chunk_size = self.slice.len().div_ceil(threads);
+            let f = &self.f;
+            let chunks: Vec<Vec<R>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .slice
+                    .chunks(chunk_size)
+                    .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("parallel map worker panicked"))
+                    .collect()
+            });
+            chunks.into_iter().flatten().collect()
+        }
+    }
+}
+
+/// The customary glob import, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::ThreadPoolBuilder;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| assert_eq!(super::current_num_threads(), 3));
+        let single = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out: Vec<i32> = single.install(|| vec![1, 2, 3].par_iter().map(|x| x + 1).collect());
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let empty: Vec<i32> = Vec::new();
+        let out: Vec<i32> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+}

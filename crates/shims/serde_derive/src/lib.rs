@@ -1,0 +1,24 @@
+//! Offline stand-in for the real `serde_derive`.
+//!
+//! The container this workspace builds in has no access to crates.io, so the
+//! real serde stack cannot be vendored. The workspace only uses the derives
+//! as annotations (JSON persistence goes through the hand-rolled
+//! `crawler::json` codec), so the derive macros here expand to nothing: the
+//! `#[derive(Serialize, Deserialize)]` attributes on the data model stay in
+//! place, ready to switch back to the real serde when a registry is
+//! available, without generating any code today.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive. Accepts the `#[serde(...)]` helper attributes
+/// the data model uses (e.g. `#[serde(default)]`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

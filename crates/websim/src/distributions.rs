@@ -62,7 +62,11 @@ impl Zipf {
     /// The probability mass of a rank (useful for tests).
     pub fn pmf(&self, rank: usize) -> f64 {
         let total = *self.cumulative.last().expect("non-empty");
-        let lo = if rank == 0 { 0.0 } else { self.cumulative[rank - 1] };
+        let lo = if rank == 0 {
+            0.0
+        } else {
+            self.cumulative[rank - 1]
+        };
         (self.cumulative[rank] - lo) / total
     }
 }
@@ -192,7 +196,10 @@ mod tests {
         let sum: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
         let mean = sum / n as f64;
         let expected = (0.5f64 + 0.4f64 * 0.4 / 2.0).exp();
-        assert!((mean - expected).abs() / expected < 0.05, "mean {mean} vs {expected}");
+        assert!(
+            (mean - expected).abs() / expected < 0.05,
+            "mean {mean} vs {expected}"
+        );
     }
 
     #[test]

@@ -150,32 +150,81 @@ pub fn build_ecosystem<R: Rng + ?Sized>(
     let mut services = Vec::new();
     let mut id = 0usize;
 
-    let mut push = |services: &mut Vec<Service>, kind: ServiceKind, hint: &str, n: usize, rng: &mut R| {
-        for i in 0..n {
-            let name = NameFactory::base_word(rng);
-            let domain = NameFactory::service_domain(rng, hint, id);
-            let hosts = hosts_for(kind, &domain, rng);
-            services.push(Service {
-                id,
-                name: format!("{name}{i}"),
-                domain,
-                kind,
-                hosts,
-                listed_in_filters: kind.is_pure_tracking(),
-                popularity_rank: 0, // assigned below
-            });
-            id += 1;
-        }
-    };
+    let mut push =
+        |services: &mut Vec<Service>, kind: ServiceKind, hint: &str, n: usize, rng: &mut R| {
+            for i in 0..n {
+                let name = NameFactory::base_word(rng);
+                let domain = NameFactory::service_domain(rng, hint, id);
+                let hosts = hosts_for(kind, &domain, rng);
+                services.push(Service {
+                    id,
+                    name: format!("{name}{i}"),
+                    domain,
+                    kind,
+                    hosts,
+                    listed_in_filters: kind.is_pure_tracking(),
+                    popularity_rank: 0, // assigned below
+                });
+                id += 1;
+            }
+        };
 
-    push(&mut services, ServiceKind::Platform, "hub", counts.platforms, rng);
-    push(&mut services, ServiceKind::CdnPlatform, "content", counts.platforms.div_ceil(2).max(2), rng);
-    push(&mut services, ServiceKind::TagManager, "tag", counts.tag_managers, rng);
-    push(&mut services, ServiceKind::ConsentManager, "consent", counts.consent_managers, rng);
-    push(&mut services, ServiceKind::AdNetwork, "ads", counts.ad_networks, rng);
-    push(&mut services, ServiceKind::Analytics, "metrics", counts.analytics, rng);
-    push(&mut services, ServiceKind::FunctionalCdn, "cdn", counts.functional_cdns, rng);
-    push(&mut services, ServiceKind::ApiService, "api", counts.api_services, rng);
+    push(
+        &mut services,
+        ServiceKind::Platform,
+        "hub",
+        counts.platforms,
+        rng,
+    );
+    push(
+        &mut services,
+        ServiceKind::CdnPlatform,
+        "content",
+        counts.platforms.div_ceil(2).max(2),
+        rng,
+    );
+    push(
+        &mut services,
+        ServiceKind::TagManager,
+        "tag",
+        counts.tag_managers,
+        rng,
+    );
+    push(
+        &mut services,
+        ServiceKind::ConsentManager,
+        "consent",
+        counts.consent_managers,
+        rng,
+    );
+    push(
+        &mut services,
+        ServiceKind::AdNetwork,
+        "ads",
+        counts.ad_networks,
+        rng,
+    );
+    push(
+        &mut services,
+        ServiceKind::Analytics,
+        "metrics",
+        counts.analytics,
+        rng,
+    );
+    push(
+        &mut services,
+        ServiceKind::FunctionalCdn,
+        "cdn",
+        counts.functional_cdns,
+        rng,
+    );
+    push(
+        &mut services,
+        ServiceKind::ApiService,
+        "api",
+        counts.api_services,
+        rng,
+    );
 
     // Popularity: platforms and tag managers occupy the head of the Zipf
     // curve (they are embedded on most sites); the long tail is everything
@@ -268,7 +317,11 @@ impl ServiceSampler {
     /// Build a sampler over services matching `pred`, popularity-ordered.
     ///
     /// Returns `None` when no service matches.
-    pub fn new(ecosystem: &Ecosystem, exponent: f64, pred: impl Fn(ServiceKind) -> bool) -> Option<Self> {
+    pub fn new(
+        ecosystem: &Ecosystem,
+        exponent: f64,
+        pred: impl Fn(ServiceKind) -> bool,
+    ) -> Option<Self> {
         let mut indices: Vec<usize> = ecosystem
             .services
             .iter()
@@ -309,20 +362,53 @@ impl ServiceSampler {
 /// match them — this is how tracking requests to *mixed* or unlisted hosts
 /// still get labeled, exactly like the real lists catch `/collect?v=1&...`
 /// on any host.
-pub fn tracking_endpoint_url<R: Rng + ?Sized>(hostname: &str, rng: &mut R) -> (String, ResourceType) {
+pub fn tracking_endpoint_url<R: Rng + ?Sized>(
+    hostname: &str,
+    rng: &mut R,
+) -> (String, ResourceType) {
     let variant = rng.gen_range(0..10);
     let id: u32 = rng.gen_range(1000..999_999);
     match variant {
-        0 => (format!("https://{hostname}/collect?v=1&tid=UA-{id}&cid={id}"), ResourceType::Xhr),
-        1 => (format!("https://{hostname}/pixel.gif?id={id}&ev=PageView"), ResourceType::Image),
-        2 => (format!("https://{hostname}/track?event=pageview&sid={id}"), ResourceType::Xhr),
-        3 => (format!("https://{hostname}/beacon?data=eyJpZCI6{id}"), ResourceType::Ping),
-        4 => (format!("https://{hostname}/g/collect?v=2&tid=G-{id}"), ResourceType::Xhr),
-        5 => (format!("https://{hostname}/impression.gif?adid={id}"), ResourceType::Image),
-        6 => (format!("https://{hostname}/v1/pixel?pid={id}"), ResourceType::Image),
-        7 => (format!("https://{hostname}/stats/collect?s={id}"), ResourceType::Xhr),
-        8 => (format!("https://{hostname}/ads/serve?slot=top&id={id}"), ResourceType::Subdocument),
-        _ => (format!("https://{hostname}/adrequest?zone={id}"), ResourceType::Xhr),
+        0 => (
+            format!("https://{hostname}/collect?v=1&tid=UA-{id}&cid={id}"),
+            ResourceType::Xhr,
+        ),
+        1 => (
+            format!("https://{hostname}/pixel.gif?id={id}&ev=PageView"),
+            ResourceType::Image,
+        ),
+        2 => (
+            format!("https://{hostname}/track?event=pageview&sid={id}"),
+            ResourceType::Xhr,
+        ),
+        3 => (
+            format!("https://{hostname}/beacon?data=eyJpZCI6{id}"),
+            ResourceType::Ping,
+        ),
+        4 => (
+            format!("https://{hostname}/g/collect?v=2&tid=G-{id}"),
+            ResourceType::Xhr,
+        ),
+        5 => (
+            format!("https://{hostname}/impression.gif?adid={id}"),
+            ResourceType::Image,
+        ),
+        6 => (
+            format!("https://{hostname}/v1/pixel?pid={id}"),
+            ResourceType::Image,
+        ),
+        7 => (
+            format!("https://{hostname}/stats/collect?s={id}"),
+            ResourceType::Xhr,
+        ),
+        8 => (
+            format!("https://{hostname}/ads/serve?slot=top&id={id}"),
+            ResourceType::Subdocument,
+        ),
+        _ => (
+            format!("https://{hostname}/adrequest?zone={id}"),
+            ResourceType::Xhr,
+        ),
     }
 }
 
@@ -330,20 +416,53 @@ pub fn tracking_endpoint_url<R: Rng + ?Sized>(hostname: &str, rng: &mut R) -> (S
 ///
 /// Paths deliberately avoid every generic tracking pattern in the curated
 /// lists so the oracle labels them functional.
-pub fn functional_endpoint_url<R: Rng + ?Sized>(hostname: &str, rng: &mut R) -> (String, ResourceType) {
+pub fn functional_endpoint_url<R: Rng + ?Sized>(
+    hostname: &str,
+    rng: &mut R,
+) -> (String, ResourceType) {
     let variant = rng.gen_range(0..10);
     let id: u32 = rng.gen_range(1000..999_999);
     match variant {
-        0 => (format!("https://{hostname}/api/v2/content?id={id}"), ResourceType::Xhr),
-        1 => (format!("https://{hostname}/assets/img/photo-{id}.jpg"), ResourceType::Image),
-        2 => (format!("https://{hostname}/wp-content/uploads/2021/04/image-{id}.jpg"), ResourceType::Image),
-        3 => (format!("https://{hostname}/static/css/site-{id}.css"), ResourceType::Stylesheet),
-        4 => (format!("https://{hostname}/fonts/opensans-{id}.woff2"), ResourceType::Font),
-        5 => (format!("https://{hostname}/api/v1/products?page={id}"), ResourceType::Xhr),
-        6 => (format!("https://{hostname}/images/gallery/item-{id}.png"), ResourceType::Image),
-        7 => (format!("https://{hostname}/media/video/clip-{id}.mp4"), ResourceType::Media),
-        8 => (format!("https://{hostname}/api/session/refresh?u={id}"), ResourceType::Xhr),
-        _ => (format!("https://{hostname}/widgets/embed?post={id}"), ResourceType::Subdocument),
+        0 => (
+            format!("https://{hostname}/api/v2/content?id={id}"),
+            ResourceType::Xhr,
+        ),
+        1 => (
+            format!("https://{hostname}/assets/img/photo-{id}.jpg"),
+            ResourceType::Image,
+        ),
+        2 => (
+            format!("https://{hostname}/wp-content/uploads/2021/04/image-{id}.jpg"),
+            ResourceType::Image,
+        ),
+        3 => (
+            format!("https://{hostname}/static/css/site-{id}.css"),
+            ResourceType::Stylesheet,
+        ),
+        4 => (
+            format!("https://{hostname}/fonts/opensans-{id}.woff2"),
+            ResourceType::Font,
+        ),
+        5 => (
+            format!("https://{hostname}/api/v1/products?page={id}"),
+            ResourceType::Xhr,
+        ),
+        6 => (
+            format!("https://{hostname}/images/gallery/item-{id}.png"),
+            ResourceType::Image,
+        ),
+        7 => (
+            format!("https://{hostname}/media/video/clip-{id}.mp4"),
+            ResourceType::Media,
+        ),
+        8 => (
+            format!("https://{hostname}/api/session/refresh?u={id}"),
+            ResourceType::Xhr,
+        ),
+        _ => (
+            format!("https://{hostname}/widgets/embed?post={id}"),
+            ResourceType::Subdocument,
+        ),
     }
 }
 
@@ -369,9 +488,15 @@ pub fn service_script_url<R: Rng + ?Sized>(service: &Service, rng: &mut R) -> St
         .map(|h| h.hostname.clone())
         .unwrap_or_else(|| service.domain.clone());
     match service.kind {
-        ServiceKind::Analytics => format!("https://{host}/{}-analytics.js?v={}", service.name, rng.gen_range(1..9)),
+        ServiceKind::Analytics => format!(
+            "https://{host}/{}-analytics.js?v={}",
+            service.name,
+            rng.gen_range(1..9)
+        ),
         ServiceKind::AdNetwork => format!("https://{host}/show_ads_impl_fy2019.js"),
-        ServiceKind::TagManager => format!("https://{host}/gtm.js?id=TAG-{}", rng.gen_range(100..999)),
+        ServiceKind::TagManager => {
+            format!("https://{host}/gtm.js?id=TAG-{}", rng.gen_range(100..999))
+        }
         ServiceKind::ConsentManager => format!("https://{host}/uc.js"),
         ServiceKind::Platform => format!("https://{host}/sdk.js"),
         ServiceKind::CdnPlatform => format!("https://{host}/w.js"),
@@ -390,7 +515,10 @@ mod tests {
 
     fn ecosystem() -> Ecosystem {
         let mut rng = StdRng::seed_from_u64(17);
-        build_ecosystem(&CorpusProfile::paper().with_sites(2_000).ecosystem_counts(), &mut rng)
+        build_ecosystem(
+            &CorpusProfile::paper().with_sites(2_000).ecosystem_counts(),
+            &mut rng,
+        )
     }
 
     #[test]
@@ -428,8 +556,16 @@ mod tests {
         let eco = ecosystem();
         for s in eco.matching(|k| k.is_platform()) {
             assert!(s.host_with_role(HostRole::Mixed).is_some(), "{}", s.domain);
-            assert!(s.host_with_role(HostRole::Tracking).is_some(), "{}", s.domain);
-            assert!(s.host_with_role(HostRole::Functional).is_some(), "{}", s.domain);
+            assert!(
+                s.host_with_role(HostRole::Tracking).is_some(),
+                "{}",
+                s.domain
+            );
+            assert!(
+                s.host_with_role(HostRole::Functional).is_some(),
+                "{}",
+                s.domain
+            );
         }
     }
 
@@ -501,7 +637,10 @@ mod tests {
                 functional += 1;
             }
         }
-        assert_eq!(functional, n, "a functional endpoint accidentally matched the filter lists");
+        assert_eq!(
+            functional, n,
+            "a functional endpoint accidentally matched the filter lists"
+        );
     }
 
     #[test]

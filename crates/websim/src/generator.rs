@@ -46,10 +46,22 @@ impl CorpusGenerator {
             // Per-site RNG derived from the corpus seed and the rank, so
             // sites are independent of each other and of generation order
             // (important for the parallel crawler's determinism tests).
-            let mut site_rng = StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(rank as u64 + 1)));
-            websites.push(generate_site(profile, &ecosystem, &samplers, rank, &mut site_rng));
+            let mut site_rng = StdRng::seed_from_u64(
+                seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(rank as u64 + 1)),
+            );
+            websites.push(generate_site(
+                profile,
+                &ecosystem,
+                &samplers,
+                rank,
+                &mut site_rng,
+            ));
         }
-        WebCorpus { websites, ecosystem, seed }
+        WebCorpus {
+            websites,
+            ecosystem,
+            seed,
+        }
     }
 }
 
@@ -195,7 +207,12 @@ fn generate_site(
                 } else {
                     None
                 };
-                scripts.push(functional_library_script(&ctx, svc, lazy_host.as_deref(), rng));
+                scripts.push(functional_library_script(
+                    &ctx,
+                    svc,
+                    lazy_host.as_deref(),
+                    rng,
+                ));
                 library_indices.push(idx);
             }
         } else if let Some(svc) = sample_service(eco, &samplers.api, rng) {
@@ -259,7 +276,13 @@ fn generate_site(
                     .map(|h| h.hostname.clone())
             })
             .unwrap_or_else(|| hostname.clone());
-        scripts.push(inline_snippet(&ctx, inline_position, Purpose::Tracking, &target, rng));
+        scripts.push(inline_snippet(
+            &ctx,
+            inline_position,
+            Purpose::Tracking,
+            &target,
+            rng,
+        ));
     }
     if coin(rng, profile.inline_functional_rate) {
         inline_position += 1;
@@ -268,15 +291,30 @@ fn generate_site(
         // turn the page-URL "script" mixed when a tracking snippet is also
         // inlined.
         let target = if coin(rng, 0.3) {
-            cdn_platform_host.clone().unwrap_or_else(|| hostname.clone())
+            cdn_platform_host
+                .clone()
+                .unwrap_or_else(|| hostname.clone())
         } else {
             hostname.clone()
         };
-        scripts.push(inline_snippet(&ctx, inline_position, Purpose::Functional, &target, rng));
+        scripts.push(inline_snippet(
+            &ctx,
+            inline_position,
+            Purpose::Functional,
+            &target,
+            rng,
+        ));
     }
 
     // --- page features (for breakage analysis) -------------------------------------------
-    let features = generate_features(profile, app_script_idx, &library_indices, &platform_indices, &scripts, rng);
+    let features = generate_features(
+        profile,
+        app_script_idx,
+        &library_indices,
+        &platform_indices,
+        &scripts,
+        rng,
+    );
 
     // --- document-initiated requests (excluded by TrackerSift, observed by the crawler) --
     let non_script_requests = generate_document_requests(&ctx, eco, samplers, rng);
@@ -301,10 +339,20 @@ fn generate_features(
     rng: &mut StdRng,
 ) -> Vec<Feature> {
     const CORE_NAMES: &[&str] = &[
-        "page render", "navigation menu", "search bar", "hero images", "product grid", "article body",
+        "page render",
+        "navigation menu",
+        "search bar",
+        "hero images",
+        "product grid",
+        "article body",
     ];
     const SECONDARY_NAMES: &[&str] = &[
-        "comment section", "media widget", "video player", "social icons", "newsletter form", "related posts",
+        "comment section",
+        "media widget",
+        "video player",
+        "social icons",
+        "newsletter form",
+        "related posts",
     ];
     let mut features = Vec::new();
     let (lo, hi) = profile.core_features_per_site;
@@ -352,8 +400,7 @@ fn generate_document_requests(
     // Stylesheets and images referenced directly from the HTML.
     let n = rng.gen_range(2..=6);
     for _ in 0..n {
-        let (url, resource_type) =
-            crate::ecosystem::functional_endpoint_url(&ctx.hostname, rng);
+        let (url, resource_type) = crate::ecosystem::functional_endpoint_url(&ctx.hostname, rng);
         out.push(PlannedRequest {
             url,
             resource_type,
@@ -456,7 +503,10 @@ mod tests {
         let stats = CorpusStats::compute(&corpus);
         // Roughly 10-60 script-initiated requests per site.
         let per_site = stats.script_initiated_requests as f64 / profile.sites as f64;
-        assert!(per_site > 8.0 && per_site < 80.0, "requests per site: {per_site}");
+        assert!(
+            per_site > 8.0 && per_site < 80.0,
+            "requests per site: {per_site}"
+        );
         // Both intents are present in quantity.
         assert!(stats.requests_by_intent.0 > 100);
         assert!(stats.requests_by_intent.1 > 100);
@@ -474,7 +524,10 @@ mod tests {
                 .any(|f| f.importance == FeatureImportance::Core));
             for feature in &site.features {
                 for &idx in &feature.required_scripts {
-                    assert!(idx < site.scripts.len(), "feature references missing script");
+                    assert!(
+                        idx < site.scripts.len(),
+                        "feature references missing script"
+                    );
                 }
             }
         }

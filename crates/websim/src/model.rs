@@ -273,9 +273,17 @@ mod tests {
 
     #[test]
     fn script_origin_url_reporting() {
-        let ext = ScriptOrigin::External { url: "https://cdn.x.com/a.js".into() };
-        let inl = ScriptOrigin::Inline { page_url: "https://site.com/".into(), position: 2 };
-        let bun = ScriptOrigin::Bundled { url: "https://site.com/app.abc.js".into(), modules: vec!["pixel".into()] };
+        let ext = ScriptOrigin::External {
+            url: "https://cdn.x.com/a.js".into(),
+        };
+        let inl = ScriptOrigin::Inline {
+            page_url: "https://site.com/".into(),
+            position: 2,
+        };
+        let bun = ScriptOrigin::Bundled {
+            url: "https://site.com/app.abc.js".into(),
+            modules: vec!["pixel".into()],
+        };
         assert_eq!(ext.url(), "https://cdn.x.com/a.js");
         assert_eq!(inl.url(), "https://site.com/");
         assert!(inl.is_inline());
@@ -285,7 +293,9 @@ mod tests {
     #[test]
     fn planned_request_counting() {
         let script = PageScript {
-            origin: ScriptOrigin::External { url: "https://cdn.x.com/a.js".into() },
+            origin: ScriptOrigin::External {
+                url: "https://cdn.x.com/a.js".into(),
+            },
             methods: vec![
                 ScriptMethodSpec {
                     name: "init".into(),
@@ -318,7 +328,10 @@ mod tests {
             url: "https://www.example.com/".into(),
             scripts: vec![],
             features: vec![],
-            non_script_requests: vec![planned("https://img.example.com/logo.png", Purpose::Functional)],
+            non_script_requests: vec![planned(
+                "https://img.example.com/logo.png",
+                Purpose::Functional,
+            )],
         };
         assert_eq!(site.script_initiated_request_count(), 0);
         assert_eq!(site.mixed_script_count(), 0);

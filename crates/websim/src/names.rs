@@ -32,9 +32,26 @@ const METHOD_PREFIXES: &[&str] = &[
 ];
 
 const METHOD_SUFFIXES: &[&str] = &[
-    "Data", "Event", "Beacon", "Request", "Content", "Pixel", "Metrics", "Payload", "Resource",
-    "Impression", "View", "State", "Config", "Assets", "Batch", "Hit", "Signal", "Session",
-    "Widget", "Frame",
+    "Data",
+    "Event",
+    "Beacon",
+    "Request",
+    "Content",
+    "Pixel",
+    "Metrics",
+    "Payload",
+    "Resource",
+    "Impression",
+    "View",
+    "State",
+    "Config",
+    "Assets",
+    "Batch",
+    "Hit",
+    "Signal",
+    "Session",
+    "Widget",
+    "Frame",
 ];
 
 /// Deterministic name factory.
@@ -92,13 +109,14 @@ impl NameFactory {
     pub fn content_hash<R: Rng + ?Sized>(rng: &mut R, len: usize) -> String {
         const HEX: &[u8] = b"0123456789abcdef";
         (0..len)
-            .map(|_| HEX[rng.gen_range(0..16)] as char)
+            .map(|_| HEX[rng.gen_range(0..16usize)] as char)
             .collect()
     }
 
     /// A first-party application bundle filename (`app.9115af43.js`).
     pub fn bundle_filename<R: Rng + ?Sized>(rng: &mut R) -> String {
-        let stem = ["app", "main", "bundle", "vendor", "chunk", "runtime"][rng.gen_range(0..6)];
+        let stem =
+            ["app", "main", "bundle", "vendor", "chunk", "runtime"][rng.gen_range(0..6usize)];
         format!("{stem}.{}.js", Self::content_hash(rng, 8))
     }
 }
@@ -126,7 +144,10 @@ mod tests {
             NameFactory::service_domain(&mut a, "ads", 3),
             NameFactory::service_domain(&mut b, "ads", 3)
         );
-        assert_eq!(NameFactory::method_name(&mut a), NameFactory::method_name(&mut b));
+        assert_eq!(
+            NameFactory::method_name(&mut a),
+            NameFactory::method_name(&mut b)
+        );
     }
 
     #[test]

@@ -209,12 +209,27 @@ impl CorpusProfile {
             }
         }
         for (name, (lo, hi)) in [
-            ("tracking_services_per_site", self.tracking_services_per_site),
-            ("functional_services_per_site", self.functional_services_per_site),
-            ("platform_services_per_site", self.platform_services_per_site),
-            ("platform_cdn_fetches_per_site", self.platform_cdn_fetches_per_site),
+            (
+                "tracking_services_per_site",
+                self.tracking_services_per_site,
+            ),
+            (
+                "functional_services_per_site",
+                self.functional_services_per_site,
+            ),
+            (
+                "platform_services_per_site",
+                self.platform_services_per_site,
+            ),
+            (
+                "platform_cdn_fetches_per_site",
+                self.platform_cdn_fetches_per_site,
+            ),
             ("core_features_per_site", self.core_features_per_site),
-            ("secondary_features_per_site", self.secondary_features_per_site),
+            (
+                "secondary_features_per_site",
+                self.secondary_features_per_site,
+            ),
         ] {
             if lo > hi {
                 return Err(format!("{name}: min {lo} exceeds max {hi}"));
@@ -331,10 +346,14 @@ mod tests {
     }
 
     #[test]
-    fn profile_round_trips_through_serde() {
+    fn profile_clones_compare_equal_and_overrides_stick() {
+        // (The serde round-trip test lived here; JSON persistence now goes
+        // through crawler::json, which does not cover profiles. Equality and
+        // builder overrides are what the pipeline actually relies on.)
         let p = CorpusProfile::paper();
-        let json = serde_json::to_string(&p).unwrap();
-        let back: CorpusProfile = serde_json::from_str(&json).unwrap();
-        assert_eq!(p, back);
+        assert_eq!(p, p.clone());
+        let overridden = p.clone().with_sites(123);
+        assert_ne!(p, overridden);
+        assert_eq!(overridden.sites, 123);
     }
 }

@@ -10,9 +10,7 @@
 //! the page URL.
 
 use crate::distributions::{coin, LogNormal};
-use crate::ecosystem::{
-    endpoint_url, service_script_url, HostRole, Service, ServiceKind,
-};
+use crate::ecosystem::{endpoint_url, service_script_url, HostRole, Service, ServiceKind};
 use crate::model::{
     PageScript, PlannedRequest, Purpose, ScriptArchetype, ScriptMethodSpec, ScriptOrigin,
 };
@@ -105,14 +103,25 @@ pub fn analytics_script<R: Rng + ?Sized>(
         .hostname
         .clone();
     let beacons = emit(ctx, rng, &host, Purpose::Tracking, 8, false);
-    let async_beacons =
-        emit(ctx, rng, &host, Purpose::Tracking, 4, true);
+    let async_beacons = emit(ctx, rng, &host, Purpose::Tracking, 4, true);
     PageScript {
         origin: ScriptOrigin::External { url },
         methods: vec![
-            ScriptMethodSpec { name: "init".into(), requests: Vec::new(), callees: vec![1] },
-            ScriptMethodSpec { name: "sendBeacon".into(), requests: beacons, callees: Vec::new() },
-            ScriptMethodSpec { name: "flushQueue".into(), requests: async_beacons, callees: Vec::new() },
+            ScriptMethodSpec {
+                name: "init".into(),
+                requests: Vec::new(),
+                callees: vec![1],
+            },
+            ScriptMethodSpec {
+                name: "sendBeacon".into(),
+                requests: beacons,
+                callees: Vec::new(),
+            },
+            ScriptMethodSpec {
+                name: "flushQueue".into(),
+                requests: async_beacons,
+                callees: Vec::new(),
+            },
         ],
         loads_scripts: Vec::new(),
         archetype: ScriptArchetype::Tracking,
@@ -129,14 +138,22 @@ pub fn ad_network_script<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> PageScript {
     debug_assert_eq!(service.kind, ServiceKind::AdNetwork);
-    let url = format!("{}?client=pub-{}", service_script_url(service, rng), ctx.rank);
+    let url = format!(
+        "{}?client=pub-{}",
+        service_script_url(service, rng),
+        ctx.rank
+    );
     let own_host = service
         .host_with_role(HostRole::Tracking)
         .expect("ad networks have tracking hosts")
         .hostname
         .clone();
     let mut methods = vec![
-        ScriptMethodSpec { name: "init".into(), requests: Vec::new(), callees: vec![1] },
+        ScriptMethodSpec {
+            name: "init".into(),
+            requests: Vec::new(),
+            callees: vec![1],
+        },
         ScriptMethodSpec {
             name: "requestAds".into(),
             requests: emit(ctx, rng, &own_host, Purpose::Tracking, 6, false),
@@ -168,12 +185,20 @@ pub fn tag_manager_script<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> PageScript {
     debug_assert_eq!(service.kind, ServiceKind::TagManager);
-    let url = format!("{}&l=dataLayer&site={}", service_script_url(service, rng), ctx.rank);
+    let url = format!(
+        "{}&l=dataLayer&site={}",
+        service_script_url(service, rng),
+        ctx.rank
+    );
     let host = service.hosts[0].hostname.clone();
     PageScript {
         origin: ScriptOrigin::External { url },
         methods: vec![
-            ScriptMethodSpec { name: "bootstrap".into(), requests: Vec::new(), callees: vec![1] },
+            ScriptMethodSpec {
+                name: "bootstrap".into(),
+                requests: Vec::new(),
+                callees: vec![1],
+            },
             ScriptMethodSpec {
                 name: "pushEvent".into(),
                 requests: emit(ctx, rng, &host, Purpose::Tracking, 3, false),
@@ -210,7 +235,11 @@ pub fn consent_manager_script<R: Rng + ?Sized>(
                 requests: planned_requests(ctx, rng, &own_host, Purpose::Tracking, 1, false),
                 callees: vec![1],
             },
-            ScriptMethodSpec { name: "fireVendorTags".into(), requests: vendor_calls, callees: Vec::new() },
+            ScriptMethodSpec {
+                name: "fireVendorTags".into(),
+                requests: vendor_calls,
+                callees: Vec::new(),
+            },
         ],
         loads_scripts: Vec::new(),
         archetype: ScriptArchetype::Tracking,
@@ -236,7 +265,11 @@ pub fn platform_sdk_script<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> PageScript {
     debug_assert!(service.kind.is_platform());
-    let url = format!("{}?app_id={}", service_script_url(service, rng), 10_000 + ctx.rank);
+    let url = format!(
+        "{}?app_id={}",
+        service_script_url(service, rng),
+        10_000 + ctx.rank
+    );
     let mixed_host = service
         .host_with_role(HostRole::Mixed)
         .expect("platforms have a mixed host")
@@ -254,18 +287,31 @@ pub fn platform_sdk_script<R: Rng + ?Sized>(
     let mut methods = vec![ScriptMethodSpec::empty("init")];
     let mut archetype = ScriptArchetype::Functional;
 
-    if matches!(mode, PlatformSdkMode::WidgetOnly | PlatformSdkMode::WidgetAndPixel) {
+    if matches!(
+        mode,
+        PlatformSdkMode::WidgetOnly | PlatformSdkMode::WidgetAndPixel
+    ) {
         methods.push(ScriptMethodSpec {
             name: "renderWidget".into(),
             requests: {
                 let mut reqs = emit(ctx, rng, &mixed_host, Purpose::Functional, 4, false);
-                reqs.extend(emit(ctx, rng, &functional_host, Purpose::Functional, 3, false));
+                reqs.extend(emit(
+                    ctx,
+                    rng,
+                    &functional_host,
+                    Purpose::Functional,
+                    3,
+                    false,
+                ));
                 reqs
             },
             callees: Vec::new(),
         });
     }
-    if matches!(mode, PlatformSdkMode::PixelOnly | PlatformSdkMode::WidgetAndPixel) {
+    if matches!(
+        mode,
+        PlatformSdkMode::PixelOnly | PlatformSdkMode::WidgetAndPixel
+    ) {
         methods.push(ScriptMethodSpec {
             name: "trackImpression".into(),
             requests: {
@@ -433,15 +479,28 @@ pub fn first_party_app_script<R: Rng + ?Sized>(
 
     let origin = if opts.bundle {
         ScriptOrigin::Bundled {
-            url: format!("https://{}/assets/{}", ctx.hostname, NameFactory::bundle_filename(rng)),
+            url: format!(
+                "https://{}/assets/{}",
+                ctx.hostname,
+                NameFactory::bundle_filename(rng)
+            ),
             modules,
         }
     } else {
         ScriptOrigin::External {
-            url: format!("https://{}/assets/main.js?v={}", ctx.hostname, rng.gen_range(1..20)),
+            url: format!(
+                "https://{}/assets/main.js?v={}",
+                ctx.hostname,
+                rng.gen_range(1..20)
+            ),
         }
     };
-    let mut script = PageScript { origin, methods, loads_scripts: Vec::new(), archetype };
+    let mut script = PageScript {
+        origin,
+        methods,
+        loads_scripts: Vec::new(),
+        archetype,
+    };
     if archetype == ScriptArchetype::Mixed && coin(rng, ctx.profile.mixed_method_rate) {
         add_shared_dispatcher(&mut script, rng);
     }
@@ -495,7 +554,10 @@ pub fn inline_snippet<R: Rng + ?Sized>(
         Purpose::Functional => "setupCarousel".to_string(),
     };
     PageScript {
-        origin: ScriptOrigin::Inline { page_url: ctx.page_url.clone(), position },
+        origin: ScriptOrigin::Inline {
+            page_url: ctx.page_url.clone(),
+            position,
+        },
         methods: vec![ScriptMethodSpec {
             name: method_name,
             requests: emit(ctx, rng, target_host, purpose, 3, false),
@@ -533,7 +595,11 @@ pub fn add_shared_dispatcher<R: Rng + ?Sized>(script: &mut PageScript, rng: &mut
     }
     let name = NameFactory::minified_method_name(rng);
     script.methods.push(ScriptMethodSpec {
-        name: if name.contains('.') { name } else { format!("{name}.xhrRequest") },
+        name: if name.contains('.') {
+            name
+        } else {
+            format!("{name}.xhrRequest")
+        },
         requests: moved,
         callees: Vec::new(),
     });
@@ -606,7 +672,11 @@ mod tests {
             &ctx,
             None,
             Some(vendor),
-            FirstPartyOptions { embed_tracking_beacon: false, bundle: true, bundle_tracking_module: true },
+            FirstPartyOptions {
+                embed_tracking_beacon: false,
+                bundle: true,
+                bundle_tracking_module: true,
+            },
             &mut rng,
         );
         assert_eq!(s.archetype, ScriptArchetype::Mixed);
@@ -622,7 +692,9 @@ mod tests {
         let ctx = ctx(&profile);
         let s = first_party_app_script(&ctx, None, None, FirstPartyOptions::default(), &mut rng);
         assert_eq!(s.archetype, ScriptArchetype::Functional);
-        assert!(s.planned_requests().all(|(_, r)| r.intent == Purpose::Functional));
+        assert!(s
+            .planned_requests()
+            .all(|(_, r)| r.intent == Purpose::Functional));
         assert!(s.origin.url().contains("www.testsite42.com"));
     }
 
@@ -640,8 +712,14 @@ mod tests {
         for _ in 0..20 {
             let s = platform_sdk_script(&ctx, svc, PlatformSdkMode::WidgetAndPixel, &mut rng);
             if let Some(dispatcher) = s.methods.iter().find(|m| m.name.contains("xhrRequest")) {
-                let has_t = dispatcher.requests.iter().any(|r| r.intent == Purpose::Tracking);
-                let has_f = dispatcher.requests.iter().any(|r| r.intent == Purpose::Functional);
+                let has_t = dispatcher
+                    .requests
+                    .iter()
+                    .any(|r| r.intent == Purpose::Tracking);
+                let has_f = dispatcher
+                    .requests
+                    .iter()
+                    .any(|r| r.intent == Purpose::Functional);
                 if has_t && has_f {
                     found = true;
                     break;
@@ -673,7 +751,8 @@ mod tests {
         assert_eq!(s.archetype, ScriptArchetype::Tracking);
         let vendor_domains: Vec<&str> = vendors.iter().map(|v| v.domain.as_str()).collect();
         assert!(
-            s.planned_requests().any(|(_, r)| vendor_domains.iter().any(|d| r.url.contains(d))),
+            s.planned_requests()
+                .any(|(_, r)| vendor_domains.iter().any(|d| r.url.contains(d))),
             "expected at least one request to an ad vendor"
         );
     }

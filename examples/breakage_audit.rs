@@ -24,14 +24,21 @@ fn main() {
         breakage.rows.len(),
         study.crawl_summary.sites
     );
-    println!("{:<28} {:<36} {:<8} {}", "Website", "Blocked mixed script(s)", "Grade", "Broken features");
+    println!(
+        "{:<28} {:<36} {:<8} Broken features",
+        "Website", "Blocked mixed script(s)", "Grade"
+    );
     for row in &breakage.rows {
         println!(
             "{:<28} {:<36} {:<8} {}",
             row.website,
             row.blocked_scripts.join(", "),
             row.breakage.to_string(),
-            if row.broken_features.is_empty() { "-".into() } else { row.broken_features.join(", ") }
+            if row.broken_features.is_empty() {
+                "-".into()
+            } else {
+                row.broken_features.join(", ")
+            }
         );
     }
 

@@ -36,7 +36,10 @@ fn main() {
     println!();
     print!("{}", render_table2(&study.hierarchy));
     println!();
-    print!("{}", render_headline(&trackersift::headline(&study.hierarchy)));
+    print!(
+        "{}",
+        render_headline(&trackersift::headline(&study.hierarchy))
+    );
     println!();
 
     println!("Figure 3 (band masses per granularity):");
@@ -63,5 +66,8 @@ fn main() {
 
     let breakage = study.breakage_study(10);
     let (major, minor, none) = breakage.grade_counts();
-    println!("\nTable 3: {major} major / {minor} minor / {none} none breakage on {} sampled sites.", breakage.rows.len());
+    println!(
+        "\nTable 3: {major} major / {minor} minor / {none} none breakage on {} sampled sites.",
+        breakage.rows.len()
+    );
 }

@@ -20,7 +20,11 @@ fn main() {
     let hostnames = study.hierarchy.level(Granularity::Hostname);
 
     // Pick the busiest mixed domain — the synthetic analogue of wp.com.
-    let Some(mixed_domain) = domains.top_resources(Classification::Mixed, 1).first().copied() else {
+    let Some(mixed_domain) = domains
+        .top_resources(Classification::Mixed, 1)
+        .first()
+        .copied()
+    else {
         println!("No mixed domains in this corpus (try a different seed).");
         return;
     };
@@ -49,7 +53,11 @@ fn main() {
     // Which scripts drag tracking onto the mixed hostnames?
     let scripts = study.hierarchy.level(Granularity::Script);
     println!("\nTop scripts initiating requests to mixed hostnames:");
-    for class in [Classification::Tracking, Classification::Functional, Classification::Mixed] {
+    for class in [
+        Classification::Tracking,
+        Classification::Functional,
+        Classification::Mixed,
+    ] {
         for row in scripts.top_resources(class, 2) {
             println!(
                 "  [{}] {:<70} tracking={} functional={}",

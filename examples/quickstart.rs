@@ -33,12 +33,18 @@ fn main() {
     println!();
 
     // 3. The headline numbers from the abstract.
-    print!("{}", render_headline(&trackersift::headline(&study.hierarchy)));
+    print!(
+        "{}",
+        render_headline(&trackersift::headline(&study.hierarchy))
+    );
 
     // 4. A taste of the finer-grained artifacts: the first mixed script and
     //    its surrogate.
     if let Some(surrogate) = study.surrogates().first() {
-        println!("\nExample surrogate for the mixed script {}:\n", surrogate.script_url);
+        println!(
+            "\nExample surrogate for the mixed script {}:\n",
+            surrogate.script_url
+        );
         println!("{}", surrogate.render());
     }
 }

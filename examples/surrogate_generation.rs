@@ -22,8 +22,14 @@ fn main() {
         surrogates.len()
     );
 
-    let total_suppressed: u64 = surrogates.iter().map(|s| s.suppressed_tracking_requests).sum();
-    let total_preserved: u64 = surrogates.iter().map(|s| s.preserved_functional_requests).sum();
+    let total_suppressed: u64 = surrogates
+        .iter()
+        .map(|s| s.suppressed_tracking_requests)
+        .sum();
+    let total_preserved: u64 = surrogates
+        .iter()
+        .map(|s| s.preserved_functional_requests)
+        .sum();
     println!(
         "Across all surrogates: {total_suppressed} tracking requests suppressed, {total_preserved} functional requests preserved.\n"
     );

@@ -5,6 +5,15 @@
 //! integration tests (`tests/`) have a home, and so downstream users can
 //! depend on one crate and get the whole stack re-exported under a single
 //! namespace.
+//!
+//! The pipeline itself is a staged, parallel execution engine:
+//! [`trackersift::Study::run`] chains named, individually timed stages
+//! (`generate → crawl → label → classify`, see [`trackersift::stage`]),
+//! runs the crawl and labeling stages on a worker pool sized by
+//! [`crawler::ClusterConfig::workers`], and groups requests by interned
+//! [`trackersift::ResourceKey`] symbols instead of per-request strings.
+//! Parallel runs are deterministic: they produce byte-identical results to
+//! single-threaded runs.
 
 #![warn(missing_docs)]
 
@@ -26,8 +35,9 @@ pub mod prelude {
     pub use crawler::{ClusterConfig, CrawlCluster, CrawlDatabase, LoadOptions, PageLoadSimulator};
     pub use filterlist::{FilterEngine, FilterRequest, RequestLabel, ResourceType};
     pub use trackersift::{
-        Breakage, Classification, Granularity, HierarchicalClassifier, Labeler, RatioHistogram,
-        SensitivitySweep, Study, StudyConfig, Thresholds,
+        Breakage, Classification, Granularity, HierarchicalClassifier, KeyInterner, Labeler,
+        RatioHistogram, ResourceKey, SensitivitySweep, Stage, StageTimings, Study, StudyConfig,
+        Thresholds,
     };
     pub use websim::{CorpusGenerator, CorpusProfile, Purpose, ScriptArchetype, WebCorpus};
 }

@@ -26,7 +26,10 @@ fn request_conservation_across_the_hierarchy() {
     let study = study(120, 9);
     let hierarchy = &study.hierarchy;
     // Level 0 input = all labeled script-initiated requests.
-    assert_eq!(hierarchy.levels[0].input_requests, study.requests.len() as u64);
+    assert_eq!(
+        hierarchy.levels[0].input_requests,
+        study.requests.len() as u64
+    );
     // Each level's input is exactly the previous level's mixed requests.
     for window in hierarchy.levels.windows(2) {
         assert_eq!(window[1].input_requests, window[0].request_counts.mixed);
@@ -37,7 +40,10 @@ fn request_conservation_across_the_hierarchy() {
         .iter()
         .map(|l| l.request_counts.tracking + l.request_counts.functional)
         .sum();
-    assert_eq!(attributed + hierarchy.unattributed_requests, hierarchy.total_requests);
+    assert_eq!(
+        attributed + hierarchy.unattributed_requests,
+        hierarchy.total_requests
+    );
 }
 
 #[test]
@@ -50,7 +56,11 @@ fn hierarchy_reproduces_the_papers_qualitative_shape() {
 
     // 1. Mixed resources exist at every granularity.
     for level in &h.levels {
-        assert!(level.resource_counts.mixed > 0, "{:?} has no mixed resources", level.granularity);
+        assert!(
+            level.resource_counts.mixed > 0,
+            "{:?} has no mixed resources",
+            level.granularity
+        );
     }
     // 2. Mixed domains carry a disproportionate share of requests
     //    (they are the big platforms/CDNs).
@@ -81,7 +91,11 @@ fn figure3_histograms_are_three_peaked_at_domain_level() {
     assert!(histogram.mixed_mass(2.0) > 0);
     assert_eq!(
         histogram.total(),
-        study.hierarchy.level(Granularity::Domain).resource_counts.total()
+        study
+            .hierarchy
+            .level(Granularity::Domain)
+            .resource_counts
+            .total()
     );
 }
 
@@ -145,7 +159,10 @@ fn surrogates_cover_every_mixed_script_and_suppress_tracking() {
         assert!(!surrogate.methods.is_empty());
         // A surrogate must never throw away functional requests silently:
         // every functional request of the script is preserved or guarded.
-        assert!(surrogate.preserved_functional_requests > 0 || surrogate.kept() + surrogate.guarded() == 0);
+        assert!(
+            surrogate.preserved_functional_requests > 0
+                || surrogate.kept() + surrogate.guarded() == 0
+        );
     }
 }
 
@@ -155,7 +172,11 @@ fn callstack_analysis_only_sees_the_mixed_method_residue() {
     let analysis = study.callstack_analysis();
     assert_eq!(
         analysis.mixed_methods() as u64,
-        study.hierarchy.level(Granularity::Method).resource_counts.mixed
+        study
+            .hierarchy
+            .level(Granularity::Method)
+            .resource_counts
+            .mixed
     );
 }
 
@@ -166,7 +187,10 @@ fn sensitivity_sweep_plateaus_near_the_default_threshold() {
     // Around the default threshold the script-level mixed share must change
     // slowly (the paper's justification for choosing 2).
     let near_default = sweep.max_step_change(Granularity::Script, 1.8, 2.2);
-    assert!(near_default < 10.0, "mixed share jumps {near_default:.1} points around the default threshold");
+    assert!(
+        near_default < 10.0,
+        "mixed share jumps {near_default:.1} points around the default threshold"
+    );
 }
 
 #[test]
