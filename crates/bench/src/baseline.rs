@@ -1,0 +1,180 @@
+//! The pre-PR string-bucket matcher, frozen as a benchmark baseline.
+//!
+//! Before the token-hash index landed, the engine tokenised every query URL
+//! into a fresh `Vec<String>`, kept its buckets keyed by owned token
+//! strings, and materialised a sorted candidate list per query. This module
+//! reproduces that design exactly (including its per-query allocations) on
+//! top of today's parsed [`FilterRule`]s, so `bench_filterlist` can measure
+//! the speedup of the hashed, allocation-free match path against the real
+//! thing rather than against a straw man.
+//!
+//! The baseline also reproduces the old index's *boundary bug*: a pattern
+//! run was filed as an index token even when it could continue inside a
+//! matching URL (`/ads` filed under `ads`, missing `/adserver/…` whose URL
+//! token is `adserver`). The benchmark counts the resulting disagreements
+//! against the linear scan as `baseline_false_negatives`.
+
+use filterlist::{FilterEngine, FilterRequest, FilterRule, RequestLabel};
+use std::collections::HashMap;
+
+/// Extract index tokens from a lower-cased URL: alphanumeric runs of
+/// length ≥ 3, as owned strings (the pre-PR query-time tokenizer).
+pub fn url_tokens(url_lower: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for c in url_lower.chars() {
+        if c.is_ascii_alphanumeric() {
+            current.push(c.to_ascii_lowercase());
+        } else {
+            if current.len() >= 3 {
+                tokens.push(std::mem::take(&mut current));
+            } else {
+                current.clear();
+            }
+        }
+    }
+    if current.len() >= 3 {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// The pre-PR rule tokenizer: runs of the pattern source text, with no
+/// boundary analysis.
+fn pattern_tokens(rule: &FilterRule) -> Vec<String> {
+    let text = rule
+        .pattern
+        .source()
+        .trim_start_matches('|')
+        .trim_end_matches('|')
+        .to_ascii_lowercase();
+    url_tokens(&text)
+}
+
+/// A token-indexed collection of rules with `String` buckets (pre-PR).
+pub struct StringBucketIndex {
+    rules: Vec<FilterRule>,
+    buckets: HashMap<String, Vec<usize>>,
+    unindexed: Vec<usize>,
+}
+
+impl StringBucketIndex {
+    /// Build the index, filing each rule under its rarest token.
+    pub fn build(rules: Vec<FilterRule>) -> Self {
+        let mut index = StringBucketIndex {
+            rules,
+            buckets: HashMap::new(),
+            unindexed: Vec::new(),
+        };
+        let mut freq: HashMap<String, usize> = HashMap::new();
+        let per_rule_tokens: Vec<Vec<String>> = index
+            .rules
+            .iter()
+            .map(|r| {
+                let tokens = pattern_tokens(r);
+                for t in &tokens {
+                    *freq.entry(t.clone()).or_insert(0) += 1;
+                }
+                tokens
+            })
+            .collect();
+        for (idx, tokens) in per_rule_tokens.into_iter().enumerate() {
+            if tokens.is_empty() {
+                index.unindexed.push(idx);
+                continue;
+            }
+            let best = tokens
+                .into_iter()
+                .min_by_key(|t| freq.get(t).copied().unwrap_or(usize::MAX))
+                .expect("non-empty token list");
+            index.buckets.entry(best).or_default().push(idx);
+        }
+        index
+    }
+
+    /// First matching rule via the string-token candidate scan, allocating
+    /// a token vector and a sorted candidate list per query (pre-PR).
+    pub fn first_match(&self, request: &FilterRequest) -> Option<&FilterRule> {
+        let mut candidates: Vec<usize> = self.unindexed.clone();
+        for token in url_tokens(&request.url().lower) {
+            if let Some(bucket) = self.buckets.get(&token) {
+                candidates.extend_from_slice(bucket);
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates
+            .into_iter()
+            .map(|i| &self.rules[i])
+            .find(|r| r.matches(request))
+    }
+}
+
+/// The pre-PR engine shape: two string-bucket indices.
+pub struct StringBucketEngine {
+    blocking: StringBucketIndex,
+    exceptions: StringBucketIndex,
+}
+
+impl StringBucketEngine {
+    /// Rebuild the baseline from a compiled engine's rules (cloning them,
+    /// as the pre-PR `extend_with_rules` did).
+    pub fn from_engine(engine: &FilterEngine) -> Self {
+        StringBucketEngine {
+            blocking: StringBucketIndex::build(engine.blocking_rules().cloned().collect()),
+            exceptions: StringBucketIndex::build(engine.exception_rules().cloned().collect()),
+        }
+    }
+
+    /// Label a request with pre-PR blocking/exception semantics.
+    pub fn label(&self, request: &FilterRequest) -> RequestLabel {
+        match self.blocking.first_match(request) {
+            Some(_) if self.exceptions.first_match(request).is_none() => RequestLabel::Tracking,
+            _ => RequestLabel::Functional,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterlist::{ListKind, ResourceType};
+
+    fn engine() -> FilterEngine {
+        FilterEngine::from_lists(&[(
+            ListKind::EasyList,
+            "||tracker.io^$third-party\n/collect?\n@@||tracker.io/allow/\n",
+        )])
+    }
+
+    fn req(url: &str) -> FilterRequest {
+        FilterRequest::new(url, "shop.com", ResourceType::Script).unwrap()
+    }
+
+    #[test]
+    fn baseline_agrees_with_the_hashed_engine_on_well_bounded_rules() {
+        let hashed = engine();
+        let baseline = StringBucketEngine::from_engine(&hashed);
+        for url in [
+            "https://px.tracker.io/t.js",
+            "https://tracker.io/allow/ok.js",
+            "https://api.shop.com/collect?id=1",
+            "https://img.shop.com/logo.png",
+        ] {
+            let r = req(url);
+            assert_eq!(baseline.label(&r), hashed.label(&r), "{url}");
+        }
+    }
+
+    #[test]
+    fn baseline_reproduces_the_boundary_false_negative() {
+        let hashed = FilterEngine::from_lists(&[(ListKind::EasyList, "/ads\n")]);
+        let baseline = StringBucketEngine::from_engine(&hashed);
+        let r = req("https://x.com/adserver/x.js");
+        // The hashed index (and a linear scan) find the match; the old
+        // string-bucket index misses it.
+        assert_eq!(hashed.label(&r), RequestLabel::Tracking);
+        assert_eq!(hashed.evaluate_linear(&r).label(), RequestLabel::Tracking);
+        assert_eq!(baseline.label(&r), RequestLabel::Functional);
+    }
+}

@@ -1,0 +1,162 @@
+//! Filter-engine throughput benchmark: the hashed, allocation-free match
+//! path against the frozen pre-PR string-bucket baseline (and the linear
+//! scan ablation), plus the labeling memo cache cold vs warm. Writes a
+//! machine-readable `BENCH_filterlist.json` so successive PRs accumulate a
+//! perf trajectory.
+//!
+//! Scale can be overridden through the environment:
+//!
+//! * `TRACKERSIFT_BENCH_SITES` — corpus size used to synthesize the request
+//!   workload (default 600);
+//! * `TRACKERSIFT_BENCH_ITERS` — evaluation passes over the workload per
+//!   engine (default 5);
+//! * `TRACKERSIFT_BENCH_OUT` — output path (default `BENCH_filterlist.json`).
+
+use std::time::Instant;
+use trackersift::Labeler;
+use trackersift_bench::baseline::StringBucketEngine;
+use trackersift_bench::env_usize;
+use websim::{CorpusGenerator, CorpusProfile};
+
+fn main() {
+    let sites = env_usize("TRACKERSIFT_BENCH_SITES", 600);
+    let iters = env_usize("TRACKERSIFT_BENCH_ITERS", 5).max(1);
+    let out_path = std::env::var("TRACKERSIFT_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_filterlist.json".to_string());
+
+    eprintln!("bench_filterlist: {sites} sites, {iters} iterations …");
+    let corpus = CorpusGenerator::generate(&CorpusProfile::paper().with_sites(sites), 2021);
+    let engine = websim::filter_rules::engine_for(&corpus.ecosystem);
+    let baseline = StringBucketEngine::from_engine(&engine);
+
+    // The request workload: every request the corpus' scripts plan, built
+    // once up front (requests pre-compute their token-hash set; both
+    // engines evaluate the same pre-built requests).
+    let mut requests = Vec::new();
+    for site in &corpus.websites {
+        for script in &site.scripts {
+            for (_, planned) in script.planned_requests() {
+                if let Some(req) = filterlist::FilterRequest::new(
+                    &planned.url,
+                    &site.hostname,
+                    planned.resource_type,
+                ) {
+                    requests.push(req);
+                }
+            }
+        }
+    }
+    let evals = (requests.len() * iters) as f64;
+    eprintln!(
+        "bench_filterlist: {} requests x {iters} iters against {} rules",
+        requests.len(),
+        engine.rule_count()
+    );
+
+    // Hashed, allocation-free engine.
+    let start = Instant::now();
+    let mut hashed_tracking = 0usize;
+    for _ in 0..iters {
+        hashed_tracking = requests
+            .iter()
+            .filter(|r| engine.label(r).is_tracking())
+            .count();
+    }
+    let hashed_secs = start.elapsed().as_secs_f64();
+
+    // Pre-PR string-bucket baseline.
+    let start = Instant::now();
+    let mut baseline_tracking = 0usize;
+    for _ in 0..iters {
+        baseline_tracking = requests
+            .iter()
+            .filter(|r| baseline.label(r).is_tracking())
+            .count();
+    }
+    let baseline_secs = start.elapsed().as_secs_f64();
+
+    // Linear scan ablation (1 pass — it is orders of magnitude slower).
+    let start = Instant::now();
+    let linear_tracking = requests
+        .iter()
+        .filter(|r| engine.evaluate_linear(r).label().is_tracking())
+        .count();
+    let linear_secs = start.elapsed().as_secs_f64();
+
+    // The old index could only lose matches relative to the linear-scan
+    // ground truth (boundary-unsound tokens); the hashed index must agree
+    // with it exactly.
+    assert_eq!(
+        hashed_tracking, linear_tracking,
+        "hashed index disagrees with the linear scan"
+    );
+    let baseline_false_negatives = linear_tracking.saturating_sub(baseline_tracking);
+
+    // Labeling memo: label a crawled database cold (empty cache), then
+    // re-label through the warm cache.
+    let db = crawler::CrawlCluster::new(crawler::ClusterConfig::sequential()).crawl(&corpus);
+    let labeler = Labeler::new(&engine);
+    let start = Instant::now();
+    let (labeled_cold, _) = labeler.label_database(&db);
+    let memo_cold_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let (labeled_warm, _) = labeler.label_database(&db);
+    let memo_warm_secs = start.elapsed().as_secs_f64();
+    assert_eq!(labeled_cold, labeled_warm, "warm relabel must be identical");
+    let cache = labeler.cache_stats();
+
+    let hashed_rate = evals / hashed_secs;
+    let baseline_rate = evals / baseline_secs;
+    let linear_rate = requests.len() as f64 / linear_secs;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"filterlist\",\n",
+            "  \"sites\": {sites},\n",
+            "  \"iterations\": {iters},\n",
+            "  \"rules\": {rules},\n",
+            "  \"requests\": {requests},\n",
+            "  \"hashed_evals_per_sec\": {hashed_rate:.2},\n",
+            "  \"string_bucket_evals_per_sec\": {baseline_rate:.2},\n",
+            "  \"linear_scan_evals_per_sec\": {linear_rate:.2},\n",
+            "  \"speedup_vs_string_bucket\": {speedup:.3},\n",
+            "  \"speedup_vs_linear_scan\": {linear_speedup:.3},\n",
+            "  \"tracking_share\": {tracking_share:.4},\n",
+            "  \"baseline_false_negatives\": {false_negatives},\n",
+            "  \"memo_cold_requests_per_sec\": {memo_cold:.2},\n",
+            "  \"memo_warm_requests_per_sec\": {memo_warm:.2},\n",
+            "  \"memo_warm_speedup\": {memo_speedup:.3},\n",
+            "  \"memo_hit_rate\": {hit_rate:.4}\n",
+            "}}\n"
+        ),
+        sites = sites,
+        iters = iters,
+        rules = engine.rule_count(),
+        requests = requests.len(),
+        hashed_rate = hashed_rate,
+        baseline_rate = baseline_rate,
+        linear_rate = linear_rate,
+        speedup = hashed_rate / baseline_rate,
+        linear_speedup = hashed_rate / linear_rate,
+        tracking_share = hashed_tracking as f64 / requests.len().max(1) as f64,
+        false_negatives = baseline_false_negatives,
+        memo_cold = labeled_cold.len() as f64 / memo_cold_secs,
+        memo_warm = labeled_warm.len() as f64 / memo_warm_secs,
+        memo_speedup = memo_cold_secs / memo_warm_secs,
+        hit_rate = cache.hit_rate(),
+    );
+
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    println!("{json}");
+    eprintln!(
+        "bench_filterlist: hashed {:.0}/s vs string-bucket {:.0}/s ({:.2}x), linear {:.0}/s; \
+         baseline missed {} matches; warm memo {:.2}x",
+        hashed_rate,
+        baseline_rate,
+        hashed_rate / baseline_rate,
+        linear_rate,
+        baseline_false_negatives,
+        memo_cold_secs / memo_warm_secs,
+    );
+    eprintln!("bench_filterlist: wrote {out_path}");
+}

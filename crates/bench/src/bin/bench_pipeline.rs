@@ -10,14 +10,8 @@
 
 use std::time::Duration;
 use trackersift::{Study, StudyConfig};
+use trackersift_bench::env_usize;
 use websim::CorpusProfile;
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 fn ms(duration: Option<Duration>) -> f64 {
     duration.unwrap_or_default().as_secs_f64() * 1e3
@@ -61,6 +55,13 @@ fn main() {
         0.0
     };
 
+    // Stage-local labeling throughput: how many sites (and labeled
+    // requests) the label stage alone chews through per second.
+    let label_sites_per_sec = timings.rate("label", sites as u64).unwrap_or(0.0);
+    let label_requests_per_sec = timings
+        .rate("label", study.requests.len() as u64)
+        .unwrap_or(0.0);
+
     let json = format!(
         concat!(
             "{{\n",
@@ -77,6 +78,9 @@ fn main() {
             "  \"pipeline_ms\": {pipeline:.3},\n",
             "  \"sites_per_sec\": {site_rate:.2},\n",
             "  \"requests_per_sec\": {request_rate:.2},\n",
+            "  \"label_sites_per_sec\": {label_site_rate:.2},\n",
+            "  \"label_requests_per_sec\": {label_request_rate:.2},\n",
+            "  \"label_cache_hit_rate\": {cache_hit_rate:.4},\n",
             "  \"overall_attribution_pct\": {attribution:.3}\n",
             "}}\n"
         ),
@@ -90,6 +94,9 @@ fn main() {
         pipeline = pipeline_secs * 1e3,
         site_rate = sites_per_sec,
         request_rate = requests_per_sec,
+        label_site_rate = label_sites_per_sec,
+        label_request_rate = label_requests_per_sec,
+        cache_hit_rate = study.label_cache_stats.hit_rate(),
         attribution = study.hierarchy.overall_attribution(),
     );
 

@@ -14,18 +14,26 @@
 use trackersift::{Study, StudyConfig};
 use websim::CorpusProfile;
 
+pub mod baseline;
+
 /// Number of sites used by experiment binaries unless overridden.
 pub const DEFAULT_SITES: usize = 5_000;
 
 /// Seed used unless overridden.
 pub const DEFAULT_SEED: u64 = 2021;
 
-/// Read the experiment scale from the environment.
-pub fn sites_from_env() -> usize {
-    std::env::var("TRACKERSIFT_SITES")
+/// Read a `usize` knob from the environment, falling back to `default`
+/// when unset or unparseable (shared by the bench binaries).
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(DEFAULT_SITES)
+        .unwrap_or(default)
+}
+
+/// Read the experiment scale from the environment.
+pub fn sites_from_env() -> usize {
+    env_usize("TRACKERSIFT_SITES", DEFAULT_SITES)
 }
 
 /// Read the experiment seed from the environment.

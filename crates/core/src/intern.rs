@@ -17,6 +17,7 @@
 //! the composed string at all once the pair has been seen: the pair of
 //! symbol ids is the cache key.
 
+use filterlist::tokens::TokenHashBuilder;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -55,13 +56,19 @@ impl ResourceKey {
 }
 
 /// An append-only string interner for resource keys.
+///
+/// Both internal maps use the cheap FNV-based
+/// [`TokenHashBuilder`] rather than SipHash: interning sits on the hot
+/// paths of the labeling memo cache and the classification stage, where
+/// hash-flooding resistance buys nothing and the default hasher's setup
+/// cost is measurable.
 #[derive(Debug, Clone, Default)]
 pub struct KeyInterner {
     /// string → id. `Arc<str>` shares storage with `strings`.
-    lookup: HashMap<Arc<str>, ResourceKey>,
+    lookup: HashMap<Arc<str>, ResourceKey, TokenHashBuilder>,
     /// `(script id, method id)` → composed method-key id. Lets repeated
     /// method-key interning skip building the composed string entirely.
-    method_pairs: HashMap<(ResourceKey, ResourceKey), ResourceKey>,
+    method_pairs: HashMap<(ResourceKey, ResourceKey), ResourceKey, TokenHashBuilder>,
     /// id → string, in first-seen order.
     strings: Vec<Arc<str>>,
 }
@@ -75,8 +82,8 @@ impl KeyInterner {
     /// An empty interner with room for `capacity` distinct keys.
     pub fn with_capacity(capacity: usize) -> Self {
         KeyInterner {
-            lookup: HashMap::with_capacity(capacity),
-            method_pairs: HashMap::new(),
+            lookup: HashMap::with_capacity_and_hasher(capacity, TokenHashBuilder),
+            method_pairs: HashMap::default(),
             strings: Vec::with_capacity(capacity),
         }
     }
@@ -122,6 +129,16 @@ impl KeyInterner {
     /// Panics if `key` came from a different interner and is out of range.
     pub fn resolve(&self, key: ResourceKey) -> &str {
         &self.strings[key.index()]
+    }
+
+    /// Resolve a symbol to a shared handle on its string — a refcount bump,
+    /// no copy. Lets callers holding a lock around the interner defer any
+    /// real string copy until after the lock is released.
+    ///
+    /// # Panics
+    /// Panics if `key` came from a different interner and is out of range.
+    pub fn resolve_shared(&self, key: ResourceKey) -> Arc<str> {
+        Arc::clone(&self.strings[key.index()])
     }
 
     /// Number of distinct interned strings.

@@ -9,10 +9,9 @@
 //! method-level granularities, and the full ancestry feeds the call-stack
 //! analysis of Figure 5.
 
+use crate::memo::{CacheStats, LabelCache};
 use crawler::{CrawlDatabase, RequestWillBeSent, SiteCrawl};
-use filterlist::{
-    registrable_domain, FilterEngine, FilterRequest, ParsedUrl, RequestLabel, ResourceType,
-};
+use filterlist::{FilterEngine, ParsedUrl, RequestLabel, ResourceType};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -93,16 +92,27 @@ impl LabelStats {
     }
 }
 
-/// The labeler: pairs a crawl database with a filter engine.
+/// The labeler: pairs a crawl database with a filter engine, memoizing
+/// oracle evaluations across requests and sites (see [`crate::memo`]).
 #[derive(Debug)]
 pub struct Labeler<'a> {
     engine: &'a FilterEngine,
+    cache: LabelCache,
 }
 
 impl<'a> Labeler<'a> {
-    /// Create a labeler over a filter engine.
+    /// Create a labeler over a filter engine, with a fresh memo cache.
     pub fn new(engine: &'a FilterEngine) -> Self {
-        Labeler { engine }
+        Labeler {
+            engine,
+            cache: LabelCache::new(),
+        }
+    }
+
+    /// Hit/miss counters of the memo cache so far. Observational (see
+    /// [`CacheStats`]) — reported by benchmarks, not part of label output.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Label one captured request. Returns `None` for requests the analysis
@@ -112,24 +122,31 @@ impl<'a> Labeler<'a> {
         site_domain: &str,
         request: &RequestWillBeSent,
     ) -> Option<LabeledRequest> {
-        let frame = request.call_stack.initiator_frame()?;
-        let parsed = ParsedUrl::parse(&request.url)?;
         let page_host = ParsedUrl::parse(&request.top_level_url)
             .map(|u| u.hostname)
             .unwrap_or_default();
-        let filter_request = FilterRequest {
-            url: parsed.clone(),
-            source_hostname: page_host,
-            resource_type: request.resource_type,
-        };
-        let label = self.engine.label(&filter_request);
+        self.label_request_from(site_domain, request, &page_host)
+    }
+
+    /// Label one request whose page hostname the caller already derived
+    /// (the per-site loop derives it once per distinct top-level URL).
+    fn label_request_from(
+        &self,
+        site_domain: &str,
+        request: &RequestWillBeSent,
+        page_host: &str,
+    ) -> Option<LabeledRequest> {
+        let frame = request.call_stack.initiator_frame()?;
+        let outcome =
+            self.cache
+                .label_url(self.engine, &request.url, page_host, request.resource_type)?;
         Some(LabeledRequest {
             request_id: request.request_id,
             top_level_url: request.top_level_url.clone(),
             site_domain: site_domain.to_string(),
             url: request.url.clone(),
-            domain: registrable_domain(&parsed.hostname),
-            hostname: parsed.hostname,
+            domain: outcome.domain,
+            hostname: outcome.hostname,
             resource_type: request.resource_type,
             initiator_script: frame.script_url.clone(),
             initiator_method: frame.function_name.clone(),
@@ -143,7 +160,7 @@ impl<'a> Labeler<'a> {
                 })
                 .collect(),
             async_boundary: request.call_stack.async_boundary,
-            label,
+            label: outcome.label,
         })
     }
 
@@ -151,13 +168,27 @@ impl<'a> Labeler<'a> {
     pub fn label_site(&self, site: &SiteCrawl) -> (Vec<LabeledRequest>, LabelStats) {
         let mut stats = LabelStats::default();
         let mut out = Vec::with_capacity(site.requests.len());
+        // Requests of one site overwhelmingly share their top-level URL; a
+        // one-entry memo avoids re-parsing it per request.
+        let mut page_host_memo: Option<(String, String)> = None;
         for request in &site.requests {
             stats.total_requests += 1;
             if !request.is_script_initiated() {
                 stats.excluded_non_script += 1;
                 continue;
             }
-            match self.label_request(&site.site_domain, request) {
+            let memo_is_stale = !matches!(
+                &page_host_memo,
+                Some((top, _)) if *top == request.top_level_url
+            );
+            if memo_is_stale {
+                let host = ParsedUrl::parse(&request.top_level_url)
+                    .map(|u| u.hostname)
+                    .unwrap_or_default();
+                page_host_memo = Some((request.top_level_url.clone(), host));
+            }
+            let page_host = &page_host_memo.as_ref().expect("memo just filled").1;
+            match self.label_request_from(&site.site_domain, request, page_host) {
                 Some(labeled) => {
                     if labeled.is_tracking() {
                         stats.tracking += 1;
@@ -293,6 +324,32 @@ mod tests {
             assert_eq!(r.stack[0].script_url, r.initiator_script);
             assert_eq!(r.stack[0].method, r.initiator_method);
         }
+    }
+
+    #[test]
+    fn relabeling_through_a_warm_cache_is_byte_identical() {
+        let (_corpus, db, engine) = setup();
+        let labeler = Labeler::new(&engine);
+        let (first, first_stats) = labeler.label_database(&db);
+        let warmed = labeler.cache_stats();
+        assert!(warmed.misses > 0);
+
+        // Second pass over the same database: every lookup hits the memo
+        // and the output must not change in a single byte.
+        let (second, second_stats) = labeler.label_database(&db);
+        let after = labeler.cache_stats();
+        assert_eq!(first, second);
+        assert_eq!(first_stats, second_stats);
+        assert_eq!(
+            after.misses, warmed.misses,
+            "warm relabel must not evaluate the oracle again"
+        );
+        assert!(after.hits >= warmed.hits + warmed.misses);
+
+        // A parallel pass over the warm cache agrees too.
+        let (parallel, parallel_stats) = labeler.label_database_parallel(&db, 4);
+        assert_eq!(first, parallel);
+        assert_eq!(first_stats, parallel_stats);
     }
 
     #[test]

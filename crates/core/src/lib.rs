@@ -61,6 +61,7 @@ pub mod callstack;
 pub mod hierarchy;
 pub mod intern;
 pub mod label;
+pub mod memo;
 pub mod metrics;
 pub mod pipeline;
 pub mod ratio;
@@ -76,6 +77,7 @@ pub use hierarchy::{
 };
 pub use intern::{KeyInterner, ResourceKey};
 pub use label::{LabelStats, LabeledFrame, LabeledRequest, Labeler};
+pub use memo::{CacheStats, LabelCache};
 pub use metrics::{headline, table1, table2, HeadlineSummary, Table1Row, Table2Row};
 pub use pipeline::{
     AnalysesStage, ClassifyStage, CrawlStage, GenerateStage, LabelStage, Study, StudyAnalyses,

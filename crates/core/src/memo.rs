@@ -1,0 +1,305 @@
+//! Memoized request labeling.
+//!
+//! At crawl scale the same (url, page hostname, resource type) triple is
+//! evaluated against the filter oracle over and over: popular trackers
+//! appear on thousands of sites, and a single page fires the same beacon
+//! URL repeatedly. The oracle is a pure function of that triple, so the
+//! labeling stage can memoize it: [`LabelCache`] stores one
+//! [`filterlist::RequestLabel`] (plus the derived hostname and registrable
+//! domain) per distinct triple and every later occurrence skips URL
+//! parsing, tokenization and the engine scan entirely.
+//!
+//! The cache is *sharded*: triples are distributed over independently
+//! locked shards by a hash of the URL, so rayon workers labeling different
+//! sites rarely contend. Each shard keys its map through the existing
+//! [`KeyInterner`] — the URL and source-hostname strings are interned once
+//! and the map key is a pair of `Copy` [`ResourceKey`] symbols, not owned
+//! strings. The [`filterlist::FilterEngine`] itself stays free of interior
+//! mutability (its `Send + Sync` compile-time assertion is untouched);
+//! memoization is layered on top, and because the cached value equals what
+//! a fresh evaluation would produce, parallel and sequential labeling
+//! remain byte-identical.
+
+use crate::intern::{KeyInterner, ResourceKey};
+use filterlist::tokens::{fnv1a64, TokenHashBuilder};
+use filterlist::ResourceType;
+use filterlist::{registrable_domain, FilterEngine, FilterRequest, ParsedUrl, RequestLabel};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default number of shards. Power of two, comfortably above typical worker
+/// counts so concurrent workers rarely queue on the same lock.
+const DEFAULT_SHARDS: usize = 128;
+
+/// Hit/miss counters of a [`LabelCache`].
+///
+/// Totals are exact, but the hit/miss split is observational: under
+/// parallel labeling two workers can race to first-evaluate the same triple
+/// (both count a miss), so the split may vary across runs even though the
+/// produced labels never do. It is therefore reported by benchmarks but
+/// deliberately kept out of [`crate::label::LabelStats`] equality.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to evaluate the oracle.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups answered from the cache (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// The memoized outcome of labeling one (url, source hostname, type) triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CachedLabel {
+    label: RequestLabel,
+    /// Interned request-URL hostname (in the owning shard's interner).
+    hostname: ResourceKey,
+    /// Interned registrable domain of the hostname.
+    domain: ResourceKey,
+}
+
+/// The labeling result handed back to the labeler on both hit and miss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelOutcome {
+    /// The oracle label.
+    pub label: RequestLabel,
+    /// Hostname of the request URL.
+    pub hostname: String,
+    /// Registrable domain (eTLD+1) of the hostname.
+    pub domain: String,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    interner: KeyInterner,
+    /// (url, source hostname, resource type) → memoized outcome.
+    /// `None` records a URL the parser rejected, so unparseable URLs are
+    /// also answered from the cache. The key is three small `Copy` ids, so
+    /// the cheap token-hash `BuildHasher` replaces SipHash here too.
+    map: HashMap<(ResourceKey, ResourceKey, ResourceType), Option<CachedLabel>, TokenHashBuilder>,
+}
+
+/// A sharded memoization cache for oracle evaluations.
+#[derive(Debug)]
+pub struct LabelCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for LabelCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LabelCache {
+    /// A cache with the default shard count.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// A cache with an explicit shard count (rounded up to at least 1).
+    pub fn with_shards(shards: usize) -> Self {
+        LabelCache {
+            shards: (0..shards.max(1)).map(|_| Mutex::default()).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard(&self, url: &str) -> &Mutex<Shard> {
+        let hash = fnv1a64(url.as_bytes());
+        &self.shards[(hash % self.shards.len() as u64) as usize]
+    }
+
+    /// Label a URL through the cache. Returns `None` when the URL cannot be
+    /// parsed (the labeling stage excludes such requests), caching that
+    /// verdict too.
+    pub fn label_url(
+        &self,
+        engine: &FilterEngine,
+        url: &str,
+        source_hostname: &str,
+        resource_type: ResourceType,
+    ) -> Option<LabelOutcome> {
+        let shard_lock = self.shard(url);
+        // Read pass: intern the triple (get-or-insert, so the key survives
+        // to the insert pass without re-hashing the URL) and probe the map.
+        // On a hit only Arc refcounts are bumped under the lock; the String
+        // copies for the outcome happen after it is released, so the
+        // hottest (most-shared) URLs don't serialise workers on the shard.
+        let key = {
+            let mut shard = shard_lock.lock().expect("label cache shard poisoned");
+            let key = (
+                shard.interner.intern(url),
+                shard.interner.intern(source_hostname),
+                resource_type,
+            );
+            if let Some(&cached) = shard.map.get(&key) {
+                let shared = cached.map(|c| {
+                    (
+                        c.label,
+                        shard.interner.resolve_shared(c.hostname),
+                        shard.interner.resolve_shared(c.domain),
+                    )
+                });
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return shared.map(|(label, hostname, domain)| LabelOutcome {
+                    label,
+                    hostname: hostname.to_string(),
+                    domain: domain.to_string(),
+                });
+            }
+            key
+        };
+
+        // Miss: evaluate outside the lock so one shard never serialises two
+        // engine scans. Two workers racing on the same triple both compute
+        // it — wasteful but rare, and harmless because the oracle is pure.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let outcome = ParsedUrl::parse(url).map(|parsed| {
+            let request = FilterRequest::from_parsed(parsed, source_hostname, resource_type);
+            let label = engine.label(&request);
+            let hostname = request.into_url().hostname;
+            let domain = registrable_domain(&hostname);
+            LabelOutcome {
+                label,
+                hostname,
+                domain,
+            }
+        });
+
+        let mut shard = shard_lock.lock().expect("label cache shard poisoned");
+        let cached = outcome.as_ref().map(|o| CachedLabel {
+            label: o.label,
+            hostname: shard.interner.intern(&o.hostname),
+            domain: shard.interner.intern(&o.domain),
+        });
+        shard.map.insert(key, cached);
+        outcome
+    }
+}
+
+// Shared read-only across rayon workers during parallel labeling.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<LabelCache>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterlist::{FilterEngine, ListKind};
+
+    fn engine() -> FilterEngine {
+        FilterEngine::from_lists(&[(
+            ListKind::EasyList,
+            "||tracker.io^$third-party\n@@||tracker.io/allow/\n",
+        )])
+    }
+
+    #[test]
+    fn hit_returns_the_same_outcome_as_the_miss() {
+        let engine = engine();
+        let cache = LabelCache::with_shards(4);
+        let miss = cache
+            .label_url(
+                &engine,
+                "https://px.tracker.io/t.js",
+                "shop.com",
+                ResourceType::Script,
+            )
+            .unwrap();
+        let hit = cache
+            .label_url(
+                &engine,
+                "https://px.tracker.io/t.js",
+                "shop.com",
+                ResourceType::Script,
+            )
+            .unwrap();
+        assert_eq!(miss, hit);
+        assert_eq!(miss.label, RequestLabel::Tracking);
+        assert_eq!(miss.hostname, "px.tracker.io");
+        assert_eq!(miss.domain, "tracker.io");
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn distinct_triples_are_cached_separately() {
+        let engine = engine();
+        let cache = LabelCache::new();
+        let third = cache
+            .label_url(
+                &engine,
+                "https://px.tracker.io/t.js",
+                "shop.com",
+                ResourceType::Script,
+            )
+            .unwrap();
+        // Same URL, first-party source: the $third-party option flips it.
+        let first = cache
+            .label_url(
+                &engine,
+                "https://px.tracker.io/t.js",
+                "tracker.io",
+                ResourceType::Script,
+            )
+            .unwrap();
+        assert_eq!(third.label, RequestLabel::Tracking);
+        assert_eq!(first.label, RequestLabel::Functional);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn unparseable_urls_are_cached_as_excluded() {
+        let engine = engine();
+        let cache = LabelCache::new();
+        assert!(cache
+            .label_url(&engine, "notaurl", "shop.com", ResourceType::Script)
+            .is_none());
+        assert!(cache
+            .label_url(&engine, "notaurl", "shop.com", ResourceType::Script)
+            .is_none());
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn single_shard_cache_still_works() {
+        let engine = engine();
+        let cache = LabelCache::with_shards(1);
+        for url in [
+            "https://a.io/xxx.js",
+            "https://b.io/yyy.js",
+            "https://a.io/xxx.js",
+        ] {
+            cache.label_url(&engine, url, "shop.com", ResourceType::Script);
+        }
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 2 });
+    }
+}

@@ -26,6 +26,7 @@ use crate::callstack::{analyze_mixed_methods, CallStackAnalysis};
 use crate::hierarchy::{Granularity, HierarchicalClassifier, HierarchyResult, LevelResult};
 use crate::intern::KeyInterner;
 use crate::label::{LabelStats, LabeledRequest, Labeler};
+use crate::memo::CacheStats;
 use crate::ratio::{Classification, Thresholds};
 use crate::sensitivity::SensitivitySweep;
 use crate::stage::{Stage, StageRunner, StageTiming, StageTimings};
@@ -134,13 +135,14 @@ pub struct LabelStage {
 impl Stage for LabelStage {
     const NAME: &'static str = "label";
     type Input<'a> = (&'a WebCorpus, &'a CrawlDatabase);
-    type Output = (FilterEngine, Vec<LabeledRequest>, LabelStats);
+    type Output = (FilterEngine, Vec<LabeledRequest>, LabelStats, CacheStats);
 
     fn run(&self, (corpus, database): Self::Input<'_>) -> Self::Output {
         let engine = filter_rules::engine_for(&corpus.ecosystem);
-        let (requests, stats) =
-            Labeler::new(&engine).label_database_parallel(database, self.workers);
-        (engine, requests, stats)
+        let labeler = Labeler::new(&engine);
+        let (requests, stats) = labeler.label_database_parallel(database, self.workers);
+        let cache_stats = labeler.cache_stats();
+        (engine, requests, stats, cache_stats)
     }
 }
 
@@ -209,6 +211,9 @@ pub struct Study {
     pub requests: Vec<LabeledRequest>,
     /// Labeling statistics.
     pub label_stats: LabelStats,
+    /// Memo-cache hit/miss counters of the labeling stage (observational;
+    /// see [`CacheStats`]).
+    pub label_cache_stats: CacheStats,
     /// The hierarchical classification result.
     pub hierarchy: HierarchyResult,
     /// Per-stage wall-clock timings of the run.
@@ -233,7 +238,7 @@ impl Study {
             },
             &corpus,
         );
-        let (engine, requests, label_stats) = runner.run(
+        let (engine, requests, label_stats, label_cache_stats) = runner.run(
             &LabelStage {
                 workers: config.cluster.workers,
             },
@@ -250,6 +255,7 @@ impl Study {
             crawl_summary,
             requests,
             label_stats,
+            label_cache_stats,
             hierarchy,
             timings: runner.finish(),
         }
@@ -344,6 +350,11 @@ mod tests {
         assert_eq!(study.crawl_summary.sites, 100);
         assert!(study.label_stats.labeled() > 1_000);
         assert_eq!(study.hierarchy.total_requests, study.requests.len() as u64);
+        // Every script-initiated request went through the label memo cache.
+        assert_eq!(
+            study.label_cache_stats.lookups(),
+            (study.label_stats.labeled() + study.label_stats.excluded_unparseable) as u64
+        );
         // All four downstream analyses run.
         assert_eq!(study.sensitivity_sweep().points.len(), 21);
         let breakage = study.breakage_study(5);

@@ -67,6 +67,18 @@ impl StageTimings {
         self.timings.iter().map(|t| t.duration).sum()
     }
 
+    /// Throughput of a stage in units per second: `units` (sites, requests,
+    /// …) divided by the stage's wall-clock duration. `None` when the stage
+    /// did not run or its recorded duration is zero.
+    pub fn rate(&self, name: &str, units: u64) -> Option<f64> {
+        let secs = self.duration(name)?.as_secs_f64();
+        if secs > 0.0 {
+            Some(units as f64 / secs)
+        } else {
+            None
+        }
+    }
+
     /// A one-line human-readable summary, e.g.
     /// `generate 12.3ms | crawl 48.1ms | label 21.9ms | classify 9.0ms`.
     pub fn summary(&self) -> String {
@@ -150,5 +162,8 @@ mod tests {
         assert!(timings.duration("missing").is_none());
         assert!(timings.total() >= timings.duration("sum").unwrap());
         assert!(timings.summary().contains("double"));
+        let rate = timings.rate("double", 3_000).expect("stage ran");
+        assert!(rate > 0.0);
+        assert!(timings.rate("missing", 10).is_none());
     }
 }

@@ -51,11 +51,59 @@ pub fn is_valid_hostname(hostname: &str) -> bool {
 
 /// Returns `true` when the hostname is an IPv4 literal (no eTLD+1 exists).
 pub fn is_ip_literal(hostname: &str) -> bool {
-    let parts: Vec<&str> = hostname.split('.').collect();
-    parts.len() == 4
-        && parts
-            .iter()
-            .all(|p| p.parse::<u8>().is_ok() && !p.is_empty())
+    let mut parts = 0usize;
+    for part in hostname.split('.') {
+        parts += 1;
+        if parts > 4 || part.is_empty() || part.parse::<u8>().is_err() {
+            return false;
+        }
+    }
+    parts == 4
+}
+
+/// Borrowed eTLD+1 of an already-normalised hostname (lower-case, no
+/// trailing dot) — the zero-allocation core of [`registrable_domain`],
+/// usable directly on hostnames coming out of
+/// [`crate::url::ParsedUrl::parse`], which normalises them.
+pub fn registrable_suffix(hostname: &str) -> &str {
+    if is_ip_literal(hostname) {
+        return hostname;
+    }
+    // Byte offsets of the last three dots, scanning from the end.
+    let bytes = hostname.as_bytes();
+    let mut dots = [0usize; 3];
+    let mut found = 0usize;
+    for i in (0..bytes.len()).rev() {
+        if bytes[i] == b'.' {
+            dots[found] = i;
+            found += 1;
+            if found == 3 {
+                break;
+            }
+        }
+    }
+    if found < 2 {
+        // Two labels or fewer: the hostname is its own registrable domain.
+        return hostname;
+    }
+    let last_two = &hostname[dots[1] + 1..];
+    if suffix_set().contains(last_two) {
+        // Known multi-label suffix: keep three labels (or the whole
+        // hostname when it has exactly three).
+        if found == 3 {
+            &hostname[dots[2] + 1..]
+        } else {
+            hostname
+        }
+    } else {
+        last_two
+    }
+}
+
+/// `true` when the hostname needs normalisation before
+/// [`registrable_suffix`] can slice it.
+fn needs_normalising(hostname: &str) -> bool {
+    hostname.ends_with('.') || hostname.bytes().any(|b| b.is_ascii_uppercase())
 }
 
 /// Extract the registrable domain (eTLD+1) from a hostname.
@@ -63,21 +111,11 @@ pub fn is_ip_literal(hostname: &str) -> bool {
 /// `pixel.wp.com` → `wp.com`; `static.bbc.co.uk` → `bbc.co.uk`;
 /// IP literals and single-label hosts are returned unchanged.
 pub fn registrable_domain(hostname: &str) -> String {
-    let hostname = hostname.trim_end_matches('.').to_ascii_lowercase();
-    if is_ip_literal(&hostname) {
-        return hostname;
-    }
-    let labels: Vec<&str> = hostname.split('.').collect();
-    if labels.len() <= 2 {
-        return hostname;
-    }
-    // Check whether the final two labels form a known multi-label suffix; if
-    // so the registrable domain is the final three labels.
-    let last_two = format!("{}.{}", labels[labels.len() - 2], labels[labels.len() - 1]);
-    if suffix_set().contains(last_two.as_str()) {
-        labels[labels.len() - 3..].join(".")
+    if needs_normalising(hostname) {
+        let normalised = hostname.trim_end_matches('.').to_ascii_lowercase();
+        registrable_suffix(&normalised).to_string()
     } else {
-        last_two
+        registrable_suffix(hostname).to_string()
     }
 }
 
@@ -85,26 +123,31 @@ pub fn registrable_domain(hostname: &str) -> String {
 ///
 /// This is the containment test used both by the `$domain=` option and by
 /// `||` host anchors: `cdn.google.com` is within `google.com` but
-/// `notgoogle.com` is not.
+/// `notgoogle.com` is not. Comparison is ASCII case-insensitive without
+/// building lowered copies.
 pub fn hostname_within(hostname: &str, domain: &str) -> bool {
-    let hostname = hostname.to_ascii_lowercase();
-    let domain = domain.to_ascii_lowercase();
-    if hostname == domain {
+    if hostname.eq_ignore_ascii_case(domain) {
         return true;
     }
     hostname.len() > domain.len()
-        && hostname.ends_with(&domain)
+        && hostname.is_char_boundary(hostname.len() - domain.len())
+        && hostname[hostname.len() - domain.len()..].eq_ignore_ascii_case(domain)
         && hostname.as_bytes()[hostname.len() - domain.len() - 1] == b'.'
 }
 
 /// Determine whether a request is *third-party* with respect to the page
 /// that issued it: the request hostname's registrable domain differs from
-/// the page hostname's registrable domain.
+/// the page hostname's registrable domain. Allocation-free for normalised
+/// hostnames (the common case — [`crate::url::ParsedUrl`] and
+/// [`crate::request::FilterRequest`] lower-case theirs at construction).
 pub fn is_third_party(request_hostname: &str, page_hostname: &str) -> bool {
     if request_hostname.is_empty() || page_hostname.is_empty() {
         return false;
     }
-    registrable_domain(request_hostname) != registrable_domain(page_hostname)
+    if needs_normalising(request_hostname) || needs_normalising(page_hostname) {
+        return registrable_domain(request_hostname) != registrable_domain(page_hostname);
+    }
+    registrable_suffix(request_hostname) != registrable_suffix(page_hostname)
 }
 
 #[cfg(test)]
@@ -139,6 +182,26 @@ mod tests {
     #[test]
     fn trailing_dot_and_case_normalised() {
         assert_eq!(registrable_domain("Stats.WP.com."), "wp.com");
+    }
+
+    #[test]
+    fn registrable_suffix_borrows_from_normalised_input() {
+        assert_eq!(registrable_suffix("pixel.wp.com"), "wp.com");
+        assert_eq!(registrable_suffix("static.bbc.co.uk"), "bbc.co.uk");
+        assert_eq!(registrable_suffix("bbc.co.uk"), "bbc.co.uk");
+        assert_eq!(registrable_suffix("localhost"), "localhost");
+        assert_eq!(registrable_suffix("10.0.0.1"), "10.0.0.1");
+        // Agrees with the allocating wrapper on already-normalised input.
+        for host in ["a.b.c.d.example.com", "x.co.jp", "deep.shop.example.co.uk"] {
+            assert_eq!(registrable_suffix(host), registrable_domain(host));
+        }
+    }
+
+    #[test]
+    fn hostname_within_is_case_insensitive_without_allocation() {
+        assert!(hostname_within("CDN.Google.COM", "google.com"));
+        assert!(hostname_within("cdn.google.com", "GOOGLE.com"));
+        assert!(!hostname_within("notgoogle.com", "GOOGLE.com"));
     }
 
     #[test]

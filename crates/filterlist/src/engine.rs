@@ -112,19 +112,12 @@ impl FilterEngine {
     }
 
     /// Add more rules (e.g. the synthetic ecosystem's tracker domains) to an
-    /// existing engine. Rebuilds the indices.
+    /// existing engine. The new rules are appended and filed incrementally —
+    /// existing rules are neither cloned nor re-indexed.
     pub fn extend_with_rules(&mut self, extra: Vec<FilterRule>) {
-        let mut blocking: Vec<FilterRule> = self.blocking.rules().cloned().collect();
-        let mut exceptions: Vec<FilterRule> = self.exceptions.rules().cloned().collect();
-        for rule in extra {
-            if rule.exception {
-                exceptions.push(rule);
-            } else {
-                blocking.push(rule);
-            }
-        }
-        self.blocking = RuleIndex::build(blocking);
-        self.exceptions = RuleIndex::build(exceptions);
+        let (exceptions, blocking): (Vec<_>, Vec<_>) = extra.into_iter().partition(|r| r.exception);
+        self.blocking.extend(blocking);
+        self.exceptions.extend(exceptions);
     }
 
     /// Total number of rules (blocking + exception).
@@ -147,6 +140,17 @@ impl FilterEngine {
         &self.stats
     }
 
+    /// Iterate the blocking rules in insertion order (diagnostics and
+    /// benchmark baselines; not a hot path).
+    pub fn blocking_rules(&self) -> impl Iterator<Item = &FilterRule> {
+        self.blocking.rules()
+    }
+
+    /// Iterate the exception (`@@`) rules in insertion order.
+    pub fn exception_rules(&self) -> impl Iterator<Item = &FilterRule> {
+        self.exceptions.rules()
+    }
+
     /// Evaluate a request, returning the full outcome.
     pub fn evaluate(&self, request: &FilterRequest) -> MatchOutcome {
         match self.blocking.first_match(request) {
@@ -165,8 +169,16 @@ impl FilterEngine {
     }
 
     /// Evaluate a request and return only the binary label.
+    ///
+    /// This is the hot path of the labeling stage: unlike
+    /// [`FilterEngine::evaluate`], it never clones rule text — the match
+    /// scan itself is allocation-free, so labeling a pre-built request
+    /// performs zero allocations.
     pub fn label(&self, request: &FilterRequest) -> RequestLabel {
-        self.evaluate(request).label()
+        match self.blocking.first_match(request) {
+            Some(_) if self.exceptions.first_match(request).is_none() => RequestLabel::Tracking,
+            _ => RequestLabel::Functional,
+        }
     }
 
     /// Convenience: label a raw URL issued from `source_hostname`.
@@ -332,6 +344,65 @@ mod tests {
             ResourceType::Image,
         );
         assert_eq!(e.label(&r), RequestLabel::Tracking);
+    }
+
+    #[test]
+    fn extended_engine_matches_a_from_scratch_build() {
+        let base = "||tracker.io^\n/collect?\n@@||tracker.io/lib/ok.js$script\n";
+        let extra_text = "||adnet.example^$third-party\n@@||adnet.example/allow/\n/pixel/\n";
+
+        let mut extended = engine(base);
+        let extra = crate::parser::parse_list(extra_text, ListKind::Custom);
+        extended.extend_with_rules(extra.rules);
+
+        let scratch =
+            FilterEngine::from_lists(&[(ListKind::EasyList, base), (ListKind::Custom, extra_text)]);
+
+        assert_eq!(extended.rule_count(), scratch.rule_count());
+        assert_eq!(
+            extended.blocking_rule_count(),
+            scratch.blocking_rule_count()
+        );
+        assert_eq!(
+            extended.exception_rule_count(),
+            scratch.exception_rule_count()
+        );
+        let cases = [
+            ("https://tracker.io/t.js", ResourceType::Script),
+            ("https://tracker.io/lib/ok.js", ResourceType::Script),
+            ("https://api.shop.com/collect?id=1", ResourceType::Xhr),
+            ("https://px.adnet.example/p.gif", ResourceType::Image),
+            ("https://px.adnet.example/allow/p.gif", ResourceType::Image),
+            ("https://img.shop.com/pixel/1.gif", ResourceType::Image),
+            ("https://img.shop.com/logo.png", ResourceType::Image),
+        ];
+        for (url, ty) in cases {
+            let r = req(url, "shop.com", ty);
+            assert_eq!(
+                extended.label(&r),
+                scratch.label(&r),
+                "extended and from-scratch engines disagree for {url}"
+            );
+            assert_eq!(
+                extended.label(&r),
+                extended.evaluate_linear(&r).label(),
+                "extended engine and linear scan disagree for {url}"
+            );
+        }
+    }
+
+    #[test]
+    fn label_agrees_with_evaluate() {
+        let e = engine("||cdn.io^\n@@||cdn.io/lib/jquery.js$script\n");
+        let cases = [
+            ("https://cdn.io/px.gif", ResourceType::Image),
+            ("https://cdn.io/lib/jquery.js", ResourceType::Script),
+            ("https://other.org/x.js", ResourceType::Script),
+        ];
+        for (url, ty) in cases {
+            let r = req(url, "shop.com", ty);
+            assert_eq!(e.label(&r), e.evaluate(&r).label(), "{url}");
+        }
     }
 
     #[test]

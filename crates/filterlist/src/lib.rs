@@ -12,8 +12,11 @@
 //! * [`pattern`] compiles the ABP pattern language (`||`, `|`, `^`, `*`);
 //! * [`options`] evaluates `$script`, `$third-party`, `$domain=`, …;
 //! * [`parser`] turns list text into [`rule::FilterRule`]s;
-//! * [`index`] stores rules in a token index so matching stays fast at
-//!   crawl scale;
+//! * [`tokens`] is the shared zero-allocation tokenizer: both rule filing
+//!   and query-time candidate selection hash the same maximal alphanumeric
+//!   runs, so the two sides cannot drift;
+//! * [`index`] stores rules in a token-hash index so matching stays fast at
+//!   crawl scale and allocation-free per query;
 //! * [`engine::FilterEngine`] combines blocking and exception rules and
 //!   exposes the binary [`engine::RequestLabel`] oracle;
 //! * [`lists`] embeds curated EasyList / EasyPrivacy snapshots;
@@ -46,6 +49,7 @@ pub mod parser;
 pub mod pattern;
 pub mod request;
 pub mod rule;
+pub mod tokens;
 pub mod url;
 
 pub use domain::{is_third_party, registrable_domain};

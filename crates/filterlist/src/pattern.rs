@@ -43,9 +43,77 @@ enum Atom {
 }
 
 /// A run of atoms between wildcards.
+///
+/// Matching is organised around the segment's longest all-literal *prefix*,
+/// kept as contiguous bytes: positional matches memcmp it, and unanchored
+/// scans skip through the text on the prefix's statistically rarest byte
+/// instead of probing every offset. Most real filter segments are entirely
+/// literal, so the atom-by-atom loop only runs for `^` separators.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 struct Segment {
     atoms: Vec<Atom>,
+    /// Longest all-literal prefix of `atoms`, contiguous for memcmp.
+    lit_prefix: Box<[u8]>,
+    /// Index into `lit_prefix` of its rarest byte (by URL byte statistics);
+    /// unanchored scans hunt for that byte first. 0 when the prefix is
+    /// empty.
+    skip: usize,
+}
+
+/// Find the first occurrence of `needle` at or after `from`, eight bytes at
+/// a time (SWAR — std has no public `memchr` and the per-byte scan was the
+/// hottest loop of the candidate-match path).
+fn find_byte(haystack: &[u8], needle: u8, from: usize) -> Option<usize> {
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    let broadcast = LO.wrapping_mul(u64::from(needle));
+    let n = haystack.len();
+    let mut i = from;
+    while i + 8 <= n {
+        let word = u64::from_ne_bytes(haystack[i..i + 8].try_into().expect("8-byte chunk"));
+        let x = word ^ broadcast;
+        let found = x.wrapping_sub(LO) & !x & HI;
+        if found != 0 {
+            let off = if cfg!(target_endian = "little") {
+                (found.trailing_zeros() / 8) as usize
+            } else {
+                (found.leading_zeros() / 8) as usize
+            };
+            let at = i + off;
+            if haystack[at] == needle {
+                return Some(at);
+            }
+            // Borrow artifact: the `(x - LO) & !x & HI` trick can flag a
+            // byte more significant than the true match, and on big-endian
+            // targets "more significant" is *earlier* in memory, so the
+            // first flag may be spurious. The true match then lies later
+            // in this same word — find it byte-wise.
+            if let Some(rest) = haystack[at + 1..i + 8].iter().position(|&b| b == needle) {
+                return Some(at + 1 + rest);
+            }
+            debug_assert!(false, "SWAR flag without a matching byte in the word");
+        }
+        i += 8;
+    }
+    while i < n {
+        if haystack[i] == needle {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// How rare a byte is in URL text — higher is rarer. Coarse buckets are
+/// enough: the point is to skip-scan on `q` or `3` rather than `/` or `e`.
+fn url_byte_rarity(b: u8) -> u8 {
+    match b {
+        b'/' | b'.' | b':' | b'e' | b't' | b'a' | b'o' | b'i' | b'n' | b's' | b'r' | b'c' => 0,
+        b'h' | b'p' | b'm' | b'd' | b'l' | b'u' | b'w' | b'g' | b'-' | b'=' | b'?' | b'&' => 1,
+        b'0'..=b'9' => 3,
+        b'a'..=b'z' => 2,
+        _ => 4,
+    }
 }
 
 impl Segment {
@@ -53,13 +121,32 @@ impl Segment {
         self.atoms.len()
     }
 
-    /// Try to match this segment at byte offset `pos` of `text`.
+    /// Populate the literal-prefix fast path (call once after building).
+    fn finalise(&mut self) {
+        let prefix: Vec<u8> = self
+            .atoms
+            .iter()
+            .map_while(|a| match a {
+                Atom::Literal(b) => Some(*b),
+                Atom::Separator => None,
+            })
+            .collect();
+        self.skip = prefix
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &b)| url_byte_rarity(b))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        self.lit_prefix = prefix.into_boxed_slice();
+    }
+
+    /// Match the atoms *after* the literal prefix, starting at `i`.
     ///
-    /// Returns the offset just past the match. A trailing `^` may also
-    /// match the end of the string ("virtual separator").
-    fn match_at(&self, text: &[u8], pos: usize) -> Option<usize> {
-        let mut i = pos;
-        for (idx, atom) in self.atoms.iter().enumerate() {
+    /// A trailing `^` may also match the end of the string ("virtual
+    /// separator").
+    fn match_tail(&self, text: &[u8], mut i: usize) -> Option<usize> {
+        let tail = &self.atoms[self.lit_prefix.len()..];
+        for (idx, atom) in tail.iter().enumerate() {
             match atom {
                 Atom::Literal(b) => {
                     if i >= text.len() || text[i] != *b {
@@ -69,11 +156,9 @@ impl Segment {
                 }
                 Atom::Separator => {
                     if i >= text.len() {
-                        // `^` at end of input only acceptable if it is the
-                        // final atom of the final segment; the caller checks
-                        // "final segment" via end anchoring, here we accept
-                        // end-of-string for any trailing separator run.
-                        if idx == self.atoms.len() - 1 {
+                        // `^` at end of input is only acceptable as the
+                        // final atom ("virtual separator").
+                        if idx == tail.len() - 1 {
                             return Some(i);
                         }
                         return None;
@@ -89,17 +174,45 @@ impl Segment {
         Some(i)
     }
 
+    /// Try to match this segment at byte offset `pos` of `text`.
+    fn match_at(&self, text: &[u8], pos: usize) -> Option<usize> {
+        let prefix = &self.lit_prefix;
+        let end = pos.checked_add(prefix.len())?;
+        if end > text.len() || text[pos..end] != prefix[..] {
+            return None;
+        }
+        if prefix.len() == self.atoms.len() {
+            return Some(end);
+        }
+        self.match_tail(text, end)
+    }
+
     /// Find the first position `>= from` where this segment matches.
     fn find_from(&self, text: &[u8], from: usize) -> Option<(usize, usize)> {
         if self.atoms.is_empty() {
             return Some((from, from));
         }
-        let mut start = from;
-        while start <= text.len() {
+        if self.lit_prefix.is_empty() {
+            // Leading separator atom: positional scan (rare pattern shape).
+            let mut start = from;
+            while start <= text.len() {
+                if let Some(end) = self.match_at(text, start) {
+                    return Some((start, end));
+                }
+                start += 1;
+            }
+            return None;
+        }
+        // Skip-scan on the prefix's rarest byte, then verify around it.
+        let prefix = &self.lit_prefix;
+        let skip_byte = prefix[self.skip];
+        let mut at = from + self.skip;
+        while let Some(found) = find_byte(text, skip_byte, at) {
+            let start = found - self.skip;
             if let Some(end) = self.match_at(text, start) {
                 return Some((start, end));
             }
-            start += 1;
+            at = found + 1;
         }
         None
     }
@@ -114,7 +227,10 @@ pub fn is_separator_byte(b: u8) -> bool {
 /// A compiled URL pattern.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Pattern {
-    /// Original pattern text (after stripping anchors).
+    /// Original pattern text, trimmed but with anchors (`||`, `|`) still
+    /// present. [`Pattern::index_token_hashes`] depends on this: it strips
+    /// the anchors itself and uses their presence to decide whether the
+    /// pattern's edge runs are boundary-safe index tokens.
     source: String,
     anchor: Anchor,
     end_anchored: bool,
@@ -184,6 +300,9 @@ impl Pattern {
             }
         }
         segments.push(current);
+        for segment in &mut segments {
+            segment.finalise();
+        }
 
         // Host prefix for `||` anchored rules: the pattern text up to the
         // first path/separator/wildcard character.
@@ -230,54 +349,65 @@ impl Pattern {
             && self.segments.iter().all(|s| s.atoms.is_empty())
     }
 
-    /// Extract "quality tokens" for the rule index: maximal runs of
-    /// alphanumeric characters of length >= 3 from the literal parts of the
-    /// pattern. Matching URLs must contain at least one of these runs, which
-    /// is what makes token indexing sound.
-    pub fn index_tokens(&self) -> Vec<String> {
-        // Tokens are always lower-cased: URL tokenisation lower-cases too,
+    /// Extract "quality token" hashes for the rule index, using the same
+    /// zero-allocation tokenizer as query-time URL tokenisation
+    /// ([`crate::tokens`]), so the two sides can never drift.
+    ///
+    /// A pattern run only qualifies as an index token when it is guaranteed
+    /// to appear as a *maximal* alphanumeric run in every matching URL —
+    /// i.e. it is bounded on both sides. A side is bounded when the adjacent
+    /// pattern character is a non-wildcard separator (any non-alphanumeric
+    /// literal, or `^`), or when the pattern edge itself is anchored (`|`,
+    /// `||`, or a trailing `|`). Unbounded runs are skipped: the rule `/ads`
+    /// matches `/adserver/x.png`, whose URL token is `adserver`, not `ads`,
+    /// so filing the rule under `ads` would be a false negative. (The old
+    /// string tokenizer had exactly that bug.) Rules with no bounded run
+    /// fall back to the index's always-checked list.
+    pub fn index_token_hashes(&self) -> Vec<u64> {
+        // Tokens are hashed lower-cased: URL tokenisation lower-cases too,
         // so case-sensitive rules still index soundly.
         let text = self
             .source
-            .trim_start_matches('|')
-            .trim_end_matches('|')
-            .to_ascii_lowercase();
-        let mut tokens = Vec::new();
-        let mut current = String::new();
-        for c in text.chars() {
-            if c.is_ascii_alphanumeric() {
-                current.push(c);
+            .strip_prefix("||")
+            .or_else(|| self.source.strip_prefix('|'))
+            .unwrap_or(&self.source);
+        let text = text.strip_suffix('|').unwrap_or(text);
+        let bytes = text.as_bytes();
+        let mut out = Vec::new();
+        for token in crate::tokens::TokenHashes::new(bytes) {
+            let left_bounded = if token.start == 0 {
+                self.anchor != Anchor::None
             } else {
-                if current.len() >= 3 {
-                    tokens.push(std::mem::take(&mut current));
-                } else {
-                    current.clear();
-                }
-                // `*` and `^` break tokens just like other separators.
+                bytes[token.start - 1] != b'*'
+            };
+            let right_bounded = if token.end == bytes.len() {
+                self.end_anchored
+            } else {
+                bytes[token.end] != b'*'
+            };
+            if left_bounded && right_bounded {
+                out.push(token.hash);
             }
         }
-        if current.len() >= 3 {
-            tokens.push(current);
-        }
-        tokens
+        out
     }
 
-    /// Match the pattern against a URL.
+    /// Match the pattern against a parsed URL.
     ///
-    /// `url_lower` is the lower-cased full URL, `url_raw` the original
-    /// spelling (used only for `$match-case` rules), and `hostname` the
-    /// lower-cased request hostname (used for `||` anchoring).
-    pub fn matches(&self, url_lower: &str, url_raw: &str, hostname: &str) -> bool {
+    /// Matching reads the URL's pre-computed lower-cased text (or the raw
+    /// spelling for `$match-case` rules) and, for `||` rules, its hostname
+    /// and stored hostname offset — no intermediate strings are built.
+    pub fn matches(&self, url: &crate::url::ParsedUrl) -> bool {
         let text: &[u8] = if self.case_sensitive {
-            url_raw.as_bytes()
+            url.raw.as_bytes()
         } else {
-            url_lower.as_bytes()
+            url.lower.as_bytes()
         };
 
         match self.anchor {
             Anchor::None => self.match_unanchored(text),
             Anchor::UrlStart => self.match_from(text, 0),
-            Anchor::Hostname => self.match_hostname_anchored(text, url_lower, hostname),
+            Anchor::Hostname => self.match_hostname_anchored(text, url),
         }
     }
 
@@ -371,7 +501,7 @@ impl Pattern {
         }
     }
 
-    fn match_hostname_anchored(&self, text: &[u8], url_lower: &str, hostname: &str) -> bool {
+    fn match_hostname_anchored(&self, text: &[u8], url: &crate::url::ParsedUrl) -> bool {
         if self.host_prefix.is_empty() {
             // Degenerate `||` rule; treat as unanchored.
             return self.match_unanchored(text);
@@ -380,60 +510,27 @@ impl Pattern {
         // `.host_prefix` — i.e. the anchor sits at a label boundary — OR the
         // host prefix may itself be a hostname prefix ending where a deeper
         // label continues (e.g. `||ads.` style rules). We cover both by
-        // scanning label boundaries.
-        let hp = &self.host_prefix;
-        let candidate_offsets = hostname_anchor_offsets(hostname, hp);
-        if candidate_offsets.is_empty() {
-            return false;
-        }
-        // Find where the hostname starts inside the URL text.
-        let host_start = match url_lower.find("://") {
-            Some(idx) => {
-                let after = idx + 3;
-                // Skip userinfo if any.
-                let authority_end = url_lower[after..]
-                    .find(['/', '?', '#'])
-                    .map(|i| after + i)
-                    .unwrap_or(url_lower.len());
-                match url_lower[after..authority_end].rfind('@') {
-                    Some(at) => after + at + 1,
-                    None => after,
+        // scanning label boundaries in place; the hostname's byte offset in
+        // the URL text was computed when the URL was parsed.
+        let hostname = &url.hostname;
+        let hbytes = hostname.as_bytes();
+        let hp = self.host_prefix.as_str();
+        let mut idx = 0;
+        while let Some(found) = hostname[idx..].find(hp) {
+            let at = idx + found;
+            if at == 0 || hbytes[at - 1] == b'.' {
+                let start = url.host_start + at;
+                if start <= text.len() && self.match_from(text, start) {
+                    return true;
                 }
             }
-            None => 0,
-        };
-        for off in candidate_offsets {
-            let start = host_start + off;
-            if start <= text.len() && self.match_from(text, start) {
-                return true;
+            idx = at + 1;
+            if idx >= hostname.len() {
+                break;
             }
         }
         false
     }
-}
-
-/// Offsets (within `hostname`) at which a `||` anchored pattern whose host
-/// prefix is `host_prefix` may begin. An offset is valid when it is 0 or
-/// immediately preceded by a `.`, and the hostname continues with the
-/// prefix at that offset.
-fn hostname_anchor_offsets(hostname: &str, host_prefix: &str) -> Vec<usize> {
-    let mut out = Vec::new();
-    if host_prefix.is_empty() {
-        return out;
-    }
-    let hbytes = hostname.as_bytes();
-    let mut idx = 0;
-    while let Some(found) = hostname[idx..].find(host_prefix) {
-        let at = idx + found;
-        if at == 0 || hbytes[at - 1] == b'.' {
-            out.push(at);
-        }
-        idx = at + 1;
-        if idx >= hostname.len() {
-            break;
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -442,11 +539,8 @@ mod tests {
 
     fn m(pattern: &str, url: &str) -> bool {
         let p = Pattern::compile(pattern, false);
-        let lower = url.to_ascii_lowercase();
-        let host = crate::url::ParsedUrl::parse(url)
-            .map(|u| u.hostname)
-            .unwrap_or_default();
-        p.matches(&lower, url, &host)
+        let parsed = crate::url::ParsedUrl::parse(url).expect("test URL should parse");
+        p.matches(&parsed)
     }
 
     #[test]
@@ -506,10 +600,10 @@ mod tests {
     #[test]
     fn case_sensitive_when_requested() {
         let p = Pattern::compile("/Banner/", true);
-        let url = "https://x.com/banner/1.png";
-        assert!(!p.matches(&url.to_ascii_lowercase(), url, "x.com"));
-        let url2 = "https://x.com/Banner/1.png";
-        assert!(p.matches(&url2.to_ascii_lowercase(), url2, "x.com"));
+        let lower = crate::url::ParsedUrl::parse("https://x.com/banner/1.png").unwrap();
+        assert!(!p.matches(&lower));
+        let upper = crate::url::ParsedUrl::parse("https://x.com/Banner/1.png").unwrap();
+        assert!(p.matches(&upper));
     }
 
     #[test]
@@ -519,12 +613,64 @@ mod tests {
     }
 
     #[test]
-    fn index_tokens_extracts_long_runs() {
+    fn index_token_hashes_extract_bounded_runs() {
+        use crate::tokens::fnv1a64;
         let p = Pattern::compile("||google-analytics.com/analytics.js", false);
-        let tokens = p.index_tokens();
-        assert!(tokens.contains(&"google".to_string()));
-        assert!(tokens.contains(&"analytics".to_string()));
-        assert!(tokens.contains(&"com".to_string()));
+        let hashes = p.index_token_hashes();
+        assert!(hashes.contains(&fnv1a64(b"google")));
+        assert!(hashes.contains(&fnv1a64(b"analytics")));
+        assert!(hashes.contains(&fnv1a64(b"com")));
+        // The trailing `js` run is below the length floor; the trailing
+        // `analytics` run before `.js` is bounded by dots on both sides.
+        assert!(!hashes.contains(&fnv1a64(b"js")));
+    }
+
+    #[test]
+    fn index_token_hashes_respect_boundaries() {
+        use crate::tokens::fnv1a64;
+        // Unanchored leading/trailing runs can extend inside a matching URL
+        // (`/ads` matches `/adserver`), so they must not become index tokens.
+        assert!(Pattern::compile("/ads", false)
+            .index_token_hashes()
+            .is_empty());
+        assert!(Pattern::compile("ads/", false)
+            .index_token_hashes()
+            .is_empty());
+        assert!(Pattern::compile("banner300x250", false)
+            .index_token_hashes()
+            .is_empty());
+        // Bounded on both sides by separators → usable.
+        assert_eq!(
+            Pattern::compile("/ads/", false).index_token_hashes(),
+            vec![fnv1a64(b"ads")]
+        );
+        assert_eq!(
+            Pattern::compile("-analytics.", false).index_token_hashes(),
+            vec![fnv1a64(b"analytics")]
+        );
+        // Anchors bound the outer edges.
+        assert!(Pattern::compile("|https://cdn.", false)
+            .index_token_hashes()
+            .contains(&fnv1a64(b"https")));
+        assert!(Pattern::compile("||ads.example^", false)
+            .index_token_hashes()
+            .contains(&fnv1a64(b"ads")));
+        assert_eq!(
+            Pattern::compile(".js|", false).index_token_hashes(),
+            Vec::<u64>::new()
+        );
+        assert!(Pattern::compile("/app.js|", false)
+            .index_token_hashes()
+            .contains(&fnv1a64(b"app")));
+        // Wildcards leave the adjacent run unbounded on that side.
+        assert_eq!(
+            Pattern::compile("/banner*.gif", false).index_token_hashes(),
+            Vec::<u64>::new()
+        );
+        assert_eq!(
+            Pattern::compile("/banner/*/track.gif", false).index_token_hashes(),
+            vec![fnv1a64(b"banner"), fnv1a64(b"track")]
+        );
     }
 
     #[test]

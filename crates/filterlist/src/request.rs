@@ -78,14 +78,30 @@ impl fmt::Display for ResourceType {
 /// This mirrors what a content blocker sees at `onBeforeRequest` time: the
 /// request URL, the URL of the document that issued it, and the resource
 /// type. Party-ness (first vs third) is derived from the two hostnames.
+///
+/// The request pre-computes everything the hot match path needs exactly
+/// once, at construction: the lower-cased URL lives in [`ParsedUrl`], and
+/// the URL's token-hash set (sorted, deduplicated) is stored here so
+/// evaluating the request against any number of rule indices allocates
+/// nothing.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FilterRequest {
-    /// Parsed request URL.
-    pub url: ParsedUrl,
-    /// Hostname of the page (frame) the request originates from.
-    pub source_hostname: String,
+    /// Parsed request URL. Crate-private: `token_hashes` and `third_party`
+    /// are derived from it at construction, so external mutation would
+    /// silently desynchronise matching.
+    pub(crate) url: ParsedUrl,
+    /// Hostname of the page (frame) the request originates from,
+    /// lower-cased. Crate-private for the same reason as `url`.
+    pub(crate) source_hostname: String,
     /// Resource type reported by the browser.
     pub resource_type: ResourceType,
+    /// Sorted, deduplicated token hashes of the lower-cased URL, computed
+    /// once at construction ([`crate::tokens`]).
+    token_hashes: Box<[u64]>,
+    /// Whether the request crosses a registrable-domain boundary, computed
+    /// once at construction so `$third-party` rules don't re-derive both
+    /// eTLD+1s per candidate rule.
+    third_party: bool,
 }
 
 impl FilterRequest {
@@ -93,16 +109,56 @@ impl FilterRequest {
     ///
     /// Returns `None` if the request URL cannot be parsed.
     pub fn new(url: &str, source_hostname: &str, resource_type: ResourceType) -> Option<Self> {
-        Some(FilterRequest {
-            url: ParsedUrl::parse(url)?,
-            source_hostname: source_hostname.to_ascii_lowercase(),
+        Some(Self::from_parsed(
+            ParsedUrl::parse(url)?,
+            source_hostname,
             resource_type,
-        })
+        ))
     }
 
-    /// `true` if the request crosses a registrable-domain boundary.
+    /// Build a request from an already-parsed URL, taking ownership (no
+    /// [`ParsedUrl`] clone on the labeling hot path).
+    pub fn from_parsed(url: ParsedUrl, source_hostname: &str, resource_type: ResourceType) -> Self {
+        let mut hashes: Vec<u64> = crate::tokens::token_hashes(&url.lower)
+            .map(|t| t.hash)
+            .collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        let source_hostname = source_hostname.to_ascii_lowercase();
+        let third_party = is_third_party(&url.hostname, &source_hostname);
+        FilterRequest {
+            url,
+            source_hostname,
+            resource_type,
+            token_hashes: hashes.into_boxed_slice(),
+            third_party,
+        }
+    }
+
+    /// The parsed request URL.
+    pub fn url(&self) -> &ParsedUrl {
+        &self.url
+    }
+
+    /// Take the parsed URL back out of the request (no clone).
+    pub fn into_url(self) -> ParsedUrl {
+        self.url
+    }
+
+    /// Lower-cased hostname of the page (frame) that issued the request.
+    pub fn source_hostname(&self) -> &str {
+        &self.source_hostname
+    }
+
+    /// The URL's pre-computed token-hash set (sorted, deduplicated).
+    pub fn token_hashes(&self) -> &[u64] {
+        &self.token_hashes
+    }
+
+    /// `true` if the request crosses a registrable-domain boundary
+    /// (pre-computed at construction).
     pub fn is_third_party(&self) -> bool {
-        is_third_party(&self.url.hostname, &self.source_hostname)
+        self.third_party
     }
 }
 
@@ -132,6 +188,33 @@ mod tests {
     #[test]
     fn invalid_url_is_rejected() {
         assert!(FilterRequest::new("notaurl", "example.com", ResourceType::Image).is_none());
+    }
+
+    #[test]
+    fn token_hashes_are_sorted_deduplicated_and_case_insensitive() {
+        use crate::tokens::fnv1a64;
+        // `com` appears twice; the set stores it once.
+        let r = FilterRequest::new(
+            "HTTPS://CDN.Example.COM/com/Analytics.js",
+            "example.com",
+            ResourceType::Script,
+        )
+        .unwrap();
+        let hashes = r.token_hashes();
+        assert!(hashes.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+        assert!(hashes.contains(&fnv1a64(b"cdn")));
+        assert!(hashes.contains(&fnv1a64(b"com")));
+        assert!(hashes.contains(&fnv1a64(b"analytics")));
+        assert_eq!(hashes.iter().filter(|&&h| h == fnv1a64(b"com")).count(), 1);
+    }
+
+    #[test]
+    fn from_parsed_matches_new() {
+        let parsed = ParsedUrl::parse("https://t.example/p.js").unwrap();
+        let a = FilterRequest::from_parsed(parsed, "Site.COM", ResourceType::Script);
+        let b =
+            FilterRequest::new("https://t.example/p.js", "site.com", ResourceType::Script).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

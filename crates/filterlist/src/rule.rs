@@ -54,13 +54,13 @@ impl FilterRule {
         if !self.options.matches(request) {
             return false;
         }
-        self.pattern
-            .matches(&request.url.lower, &request.url.raw, &request.url.hostname)
+        self.pattern.matches(&request.url)
     }
 
-    /// Tokens used to place the rule into the [`crate::index::RuleIndex`].
-    pub fn index_tokens(&self) -> Vec<String> {
-        self.pattern.index_tokens()
+    /// Token hashes used to place the rule into the
+    /// [`crate::index::RuleIndex`].
+    pub fn index_token_hashes(&self) -> Vec<u64> {
+        self.pattern.index_token_hashes()
     }
 }
 

@@ -1,0 +1,220 @@
+//! The shared zero-allocation tokenizer behind the rule index.
+//!
+//! Both sides of the token index — filing rules at build time
+//! ([`crate::pattern::Pattern::index_token_hashes`]) and selecting candidate
+//! buckets at query time ([`crate::request::FilterRequest`]) — must agree
+//! exactly on what a token is, or the index silently develops false
+//! negatives. This module is the single definition both sides use: a token
+//! is a maximal run of ASCII alphanumeric bytes of length ≥
+//! [`TOKEN_MIN_LEN`], lower-cased, and it is represented not as an owned
+//! `String` but as its 64-bit FNV-1a hash, computed incrementally while
+//! scanning. Tokenizing a URL therefore allocates nothing: the iterator
+//! walks the byte slice once and yields `u64`s.
+//!
+//! Hash collisions (two distinct tokens with the same hash) are harmless by
+//! construction: colliding tokens merely share a candidate bucket, and every
+//! candidate rule is still verified with a full pattern match before it can
+//! affect the result. The index tests exercise this with a forced-collision
+//! case.
+
+/// Minimum length of an indexable token (alphanumeric run).
+pub const TOKEN_MIN_LEN: usize = 3;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hash a byte slice with 64-bit FNV-1a (the same fold the tokenizer applies
+/// incrementally). Exposed so tests can compute the hash of a known token.
+#[inline]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash = fnv1a64_step(hash, b);
+    }
+    hash
+}
+
+/// One FNV-1a step: fold byte `b` into `hash`.
+#[inline]
+fn fnv1a64_step(hash: u64, b: u8) -> u64 {
+    (hash ^ u64::from(b)).wrapping_mul(FNV_PRIME)
+}
+
+/// One maximal alphanumeric run found by [`TokenHashes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Byte offset of the first byte of the run.
+    pub start: usize,
+    /// Byte offset one past the last byte of the run.
+    pub end: usize,
+    /// FNV-1a hash of the lower-cased run.
+    pub hash: u64,
+}
+
+impl Token {
+    /// Length of the run in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` when the run is empty (never produced by the tokenizer).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Zero-allocation iterator over the tokens of a byte slice.
+///
+/// Yields every maximal ASCII-alphanumeric run of length ≥
+/// [`TOKEN_MIN_LEN`], hashing the lower-cased bytes incrementally. Non-ASCII
+/// bytes and ASCII punctuation both terminate runs, exactly as the original
+/// string tokenizer did.
+#[derive(Debug, Clone)]
+pub struct TokenHashes<'a> {
+    text: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> TokenHashes<'a> {
+    /// Tokenize a byte slice.
+    pub fn new(text: &'a [u8]) -> Self {
+        TokenHashes { text, pos: 0 }
+    }
+}
+
+impl Iterator for TokenHashes<'_> {
+    type Item = Token;
+
+    fn next(&mut self) -> Option<Token> {
+        loop {
+            // Skip to the next alphanumeric byte.
+            while self.pos < self.text.len() && !self.text[self.pos].is_ascii_alphanumeric() {
+                self.pos += 1;
+            }
+            if self.pos >= self.text.len() {
+                return None;
+            }
+            let start = self.pos;
+            let mut hash = FNV_OFFSET;
+            while self.pos < self.text.len() && self.text[self.pos].is_ascii_alphanumeric() {
+                hash = fnv1a64_step(hash, self.text[self.pos].to_ascii_lowercase());
+                self.pos += 1;
+            }
+            if self.pos - start >= TOKEN_MIN_LEN {
+                return Some(Token {
+                    start,
+                    end: self.pos,
+                    hash,
+                });
+            }
+            // Run too short: keep scanning.
+        }
+    }
+}
+
+/// Tokenize a string (typically an already lower-cased URL) into token
+/// hashes. Zero-allocation: returns a lazy iterator over the bytes.
+pub fn token_hashes(text: &str) -> TokenHashes<'_> {
+    TokenHashes::new(text.as_bytes())
+}
+
+/// A [`std::hash::BuildHasher`] for maps keyed by token hashes.
+///
+/// The `u64` keys are already FNV-mixed, so running them through SipHash
+/// again (the `HashMap` default) wastes most of a bucket probe. This hasher
+/// applies one Fibonacci multiply as a finaliser — enough to spread FNV's
+/// weaker low bits across the table index — and nothing else.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TokenHashBuilder;
+
+impl std::hash::BuildHasher for TokenHashBuilder {
+    type Hasher = TokenHashHasher;
+
+    fn build_hasher(&self) -> TokenHashHasher {
+        TokenHashHasher(0)
+    }
+}
+
+/// Hasher produced by [`TokenHashBuilder`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TokenHashHasher(u64);
+
+impl std::hash::Hasher for TokenHashHasher {
+    fn finish(&self) -> u64 {
+        // Fibonacci (golden-ratio) multiplicative spread: one multiply
+        // fixes up the weaker low bits of both the FNV fold and raw u64
+        // keys (e.g. sequential interner ids) before the table masks them.
+        self.0.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for composite keys (tuples of small ids): FNV-1a fold.
+        for &b in bytes {
+            self.0 = fnv1a64_step(self.0, b);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 ^= n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hashes(text: &str) -> Vec<u64> {
+        token_hashes(text).map(|t| t.hash).collect()
+    }
+
+    #[test]
+    fn tokens_are_maximal_alphanumeric_runs() {
+        let tokens: Vec<Token> = token_hashes("https://a.io/ab/abc/abcd?x=12345").collect();
+        let runs: Vec<&str> = tokens
+            .iter()
+            .map(|t| &"https://a.io/ab/abc/abcd?x=12345"[t.start..t.end])
+            .collect();
+        // `a`, `io`, `ab`, `x` are shorter than TOKEN_MIN_LEN.
+        assert_eq!(runs, vec!["https", "abc", "abcd", "12345"]);
+    }
+
+    #[test]
+    fn hashes_match_the_reference_fold() {
+        assert_eq!(
+            hashes("https://abc.io"),
+            vec![fnv1a64(b"https"), fnv1a64(b"abc")]
+        );
+    }
+
+    #[test]
+    fn hashing_is_case_insensitive() {
+        assert_eq!(hashes("HTTPS://ABC.io"), hashes("https://abc.io"));
+        assert_eq!(fnv1a64(b"abc"), hashes("ABC")[0]);
+    }
+
+    #[test]
+    fn distinct_tokens_hash_differently_in_practice() {
+        let mut seen = std::collections::HashSet::new();
+        for token in ["ads", "adserver", "analytics", "track", "pixel", "banner"] {
+            assert!(
+                seen.insert(fnv1a64(token.as_bytes())),
+                "collision on {token}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_punctuation_only_inputs_yield_nothing() {
+        assert!(hashes("").is_empty());
+        assert!(hashes("://?&=.").is_empty());
+        assert!(hashes("ab.cd.ef").is_empty());
+    }
+
+    #[test]
+    fn non_ascii_breaks_runs() {
+        // The ü (2 UTF-8 bytes, non-alphanumeric ASCII) splits the run.
+        assert_eq!(hashes("abcüdef"), vec![fnv1a64(b"abc"), fnv1a64(b"def")]);
+    }
+}

@@ -31,6 +31,11 @@ pub struct ParsedUrl {
     pub path: String,
     /// Query string without the leading `?`, if present.
     pub query: Option<String>,
+    /// Byte offset of `hostname` within `lower` (and `raw` — lower-casing is
+    /// ASCII-only and length-preserving). `0` for opaque URLs with no
+    /// hostname. Pre-computed at parse time so `||` hostname anchoring never
+    /// re-scans the URL for the authority.
+    pub host_start: usize,
 }
 
 impl ParsedUrl {
@@ -46,11 +51,11 @@ impl ParsedUrl {
         }
         let lower = raw.to_ascii_lowercase();
 
-        // Split off the scheme.
-        let (scheme, rest) = if let Some(idx) = lower.find("://") {
-            (lower[..idx].to_string(), &lower[idx + 3..])
+        // Split off the scheme, remembering where the authority begins.
+        let (scheme, rest, rest_offset) = if let Some(idx) = lower.find("://") {
+            (lower[..idx].to_string(), &lower[idx + 3..], idx + 3)
         } else if let Some(stripped) = lower.strip_prefix("//") {
-            ("https".to_string(), stripped)
+            ("https".to_string(), stripped, 2)
         } else if let Some(idx) = lower.find(':') {
             // Opaque URL such as `data:image/gif;base64,...` or `about:blank`.
             let scheme = lower[..idx].to_string();
@@ -68,6 +73,7 @@ impl ParsedUrl {
                 path: lower[idx + 1..].to_string(),
                 query: None,
                 lower,
+                host_start: 0,
             });
         } else {
             return None;
@@ -79,9 +85,9 @@ impl ParsedUrl {
         let after_authority = &rest[authority_end..];
 
         // Strip userinfo if present.
-        let hostport = match authority.rfind('@') {
-            Some(at) => &authority[at + 1..],
-            None => authority,
+        let (hostport, host_start) = match authority.rfind('@') {
+            Some(at) => (&authority[at + 1..], rest_offset + at + 1),
+            None => (authority, rest_offset),
         };
         let (hostname, port) = match hostport.rfind(':') {
             Some(colon) if hostport[colon + 1..].chars().all(|c| c.is_ascii_digit()) => {
@@ -117,6 +123,7 @@ impl ParsedUrl {
             port,
             path,
             query,
+            host_start,
         })
     }
 
@@ -208,5 +215,25 @@ mod tests {
     fn host_and_after_drops_scheme() {
         let u = ParsedUrl::parse("https://ads.example.com/banner.png").unwrap();
         assert_eq!(u.host_and_after(), "ads.example.com/banner.png");
+    }
+
+    #[test]
+    fn host_start_points_at_the_hostname() {
+        let cases = [
+            "https://cdn.example.com/assets/app.js?v=3",
+            "http://user:pw@tracker.ads.net:8080/pixel?id=1",
+            "//stats.wp.com/w.js",
+            "HTTPS://CDN.Example.COM/A.JS",
+        ];
+        for case in cases {
+            let u = ParsedUrl::parse(case).unwrap();
+            assert_eq!(
+                &u.lower[u.host_start..u.host_start + u.hostname.len()],
+                u.hostname,
+                "host_start wrong for {case}"
+            );
+        }
+        let opaque = ParsedUrl::parse("data:image/gif;base64,R0lGODlhAQAB").unwrap();
+        assert_eq!(opaque.host_start, 0);
     }
 }

@@ -119,6 +119,52 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     }
 }
 
+/// An unweighted union of strategies, mirroring what
+/// [`prop_oneof!`](crate::prop_oneof) builds: each generation picks one of
+/// the options uniformly at random.
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Union")
+            .field("options", &self.options.len())
+            .finish()
+    }
+}
+
+impl<T> Union<T> {
+    /// Build a union from boxed options (use [`Union::boxed`] to erase each
+    /// strategy's concrete type).
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+
+    /// Type-erase a strategy so heterogeneous options can share a `Vec`.
+    pub fn boxed<S: Strategy<Value = T> + 'static>(strategy: S) -> Box<dyn Strategy<Value = T>> {
+        Box::new(strategy)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let pick = rng.usize_in(0..self.options.len());
+        self.options[pick].new_value(rng)
+    }
+}
+
+/// Mirror of `proptest::prop_oneof!` (unweighted form): generate from one
+/// of the listed strategies, chosen uniformly per case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Union::boxed($strategy)),+])
+    };
+}
+
 macro_rules! impl_int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
@@ -481,8 +527,8 @@ macro_rules! prop_assume {
 /// The customary glob import, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate as prop;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
-    pub use crate::{ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+    pub use crate::{ProptestConfig, Strategy, Union};
 }
 
 #[cfg(test)]

@@ -19,6 +19,29 @@ fn arb_url() -> impl Strategy<Value = String> {
     })
 }
 
+/// Rule patterns that stress the hashed index's boundary analysis: plain
+/// substrings (whose leading/trailing runs must not become index tokens),
+/// separator-bounded paths, host anchors, and wildcards.
+fn arb_rule() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // Unanchored substring, unbounded on both sides (e.g. `adserver`).
+        "[a-z]{3,10}",
+        // Left-bounded path fragment (`/ads` — historically a false
+        // negative of the string-bucket index).
+        "/[a-z]{3,8}",
+        // Fully bounded path (`/ads/`).
+        "/[a-z]{3,8}/",
+        // Query fragment with separator (`/collect\\?`).
+        "/[a-z]{3,8}\\?",
+        // Host anchor (`||ads.example^`).
+        "\\|\\|[a-z]{3,8}\\.[a-z]{2,6}\\^",
+        // Wildcard in the middle (`/ban*ner/`).
+        "/[a-z]{2,4}\\*[a-z]{2,4}/",
+        // End anchored (`.js|`-style).
+        "[a-z]{2,5}\\.[a-z]{2,3}\\|",
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -30,6 +53,73 @@ proptest! {
                 engine.evaluate(&request).label(),
                 engine.evaluate_linear(&request).label()
             );
+        }
+    }
+
+    #[test]
+    fn hashed_index_agrees_with_linear_scan_on_crafted_rules(
+        rules in prop::collection::vec(arb_rule(), 1..12),
+        urls in prop::collection::vec(arb_url(), 1..8),
+        source in "[a-z]{3,10}\\.com",
+    ) {
+        let text = rules.join("\n");
+        let engine = FilterEngine::from_lists(&[(filterlist::ListKind::EasyList, text.as_str())]);
+        // Random URLs rarely collide with random rules, so also derive
+        // adversarial URLs from each rule: one that embeds its literal text
+        // exactly, one that extends the trailing run (`/ads` vs
+        // `/adserver`), and one that uses it as a hostname.
+        let mut probes = urls.clone();
+        for rule in &rules {
+            let frag: String = rule
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric() || *c == '.' || *c == '/')
+                .collect();
+            let frag = frag.trim_matches('/');
+            if frag.is_empty() {
+                continue;
+            }
+            probes.push(format!("https://www.shop.com/{frag}?x=1"));
+            probes.push(format!("https://www.shop.com/{frag}tail/img.png"));
+            probes.push(format!("https://pre{frag}/asset.js"));
+        }
+        for url in &probes {
+            if let Some(request) = FilterRequest::new(url, &source, ResourceType::Script) {
+                prop_assert_eq!(
+                    engine.evaluate(&request).label(),
+                    engine.evaluate_linear(&request).label(),
+                    "hashed index and linear scan disagree for rule set {:?} on {}",
+                    rules,
+                    url
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extended_engine_agrees_with_from_scratch_engine(
+        base in prop::collection::vec(arb_rule(), 1..8),
+        extra in prop::collection::vec(arb_rule(), 1..8),
+        urls in prop::collection::vec(arb_url(), 1..8),
+        source in "[a-z]{3,10}\\.com",
+    ) {
+        let base_text = base.join("\n");
+        let extra_text = extra.join("\n");
+        let mut extended =
+            FilterEngine::from_lists(&[(filterlist::ListKind::EasyList, base_text.as_str())]);
+        extended.extend_with_rules(
+            filterlist::parse_list(&extra_text, filterlist::ListKind::Custom).rules,
+        );
+        let combined = format!("{base_text}\n{extra_text}");
+        let scratch =
+            FilterEngine::from_lists(&[(filterlist::ListKind::EasyList, combined.as_str())]);
+        for url in &urls {
+            if let Some(request) = FilterRequest::new(url, &source, ResourceType::Script) {
+                prop_assert_eq!(extended.label(&request), scratch.label(&request));
+                prop_assert_eq!(
+                    extended.label(&request),
+                    extended.evaluate_linear(&request).label()
+                );
+            }
         }
     }
 
