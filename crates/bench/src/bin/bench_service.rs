@@ -1,0 +1,159 @@
+//! Serving benchmark: verdict throughput and incremental-commit latency of
+//! the `Sifter` against the naive full-reclassify baseline, written as a
+//! machine-readable `BENCH_service.json` so successive PRs accumulate a
+//! perf trajectory.
+//!
+//! The scenario is the deployment the paper motivates: a long-lived
+//! service trained on a crawl keeps answering verdicts while labeled
+//! observations trickle in. Every delta batch is ingested twice —
+//!
+//! * **incremental** — `observe` the batch, then one `commit` (the work is
+//!   proportional to the dirty slice of the hierarchy);
+//! * **baseline** — re-run `HierarchicalClassifier::classify` from scratch
+//!   over *all* requests seen so far (what a batch-only pipeline must do
+//!   to refresh its verdicts).
+//!
+//! The two states are asserted equal after every batch, so the speedup is
+//! measured between provably equivalent results.
+//!
+//! Scale and placement can be overridden through the environment:
+//!
+//! * `TRACKERSIFT_BENCH_SITES` — number of websites (default 2000);
+//! * `TRACKERSIFT_BENCH_VERDICTS` — verdicts to serve (default 2,000,000);
+//! * `TRACKERSIFT_BENCH_COMMITS` — delta batches to ingest (default 20);
+//! * `TRACKERSIFT_BENCH_OUT` — output path (default `BENCH_service.json`).
+
+use std::time::{Duration, Instant};
+use trackersift::{Sifter, Study, StudyConfig, Verdict, VerdictRequest};
+use trackersift_bench::env_usize;
+use websim::CorpusProfile;
+
+fn ms(duration: Duration) -> f64 {
+    duration.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let sites = env_usize("TRACKERSIFT_BENCH_SITES", 2_000);
+    let target_verdicts = env_usize("TRACKERSIFT_BENCH_VERDICTS", 2_000_000);
+    let commits = env_usize("TRACKERSIFT_BENCH_COMMITS", 20).max(1);
+    let out_path =
+        std::env::var("TRACKERSIFT_BENCH_OUT").unwrap_or_else(|_| "BENCH_service.json".to_string());
+
+    eprintln!("bench_service: {sites} sites, {target_verdicts} verdicts, {commits} commits …");
+    let study = Study::run(StudyConfig {
+        profile: CorpusProfile::paper().with_sites(sites),
+        seed: 2021,
+        ..StudyConfig::default()
+    });
+    let requests = &study.requests;
+
+    // Train on 90% of the crawl; the last 10% replays as the live stream.
+    let split = requests.len() * 9 / 10;
+    let (historical, live) = requests.split_at(split);
+    let mut sifter = Sifter::builder()
+        .thresholds(study.config.thresholds)
+        .build();
+    let build_start = Instant::now();
+    sifter.observe_all(historical);
+    sifter.commit();
+    let build_ms = ms(build_start.elapsed());
+
+    // ------------------------------------------------------------------
+    // verdict throughput (bulk serving over the trained state)
+    // ------------------------------------------------------------------
+    let queries: Vec<VerdictRequest<'_>> =
+        requests.iter().map(VerdictRequest::from_labeled).collect();
+    let mut buffer: Vec<Verdict> = Vec::new();
+    sifter.verdict_batch_into(&queries, &mut buffer); // warm
+    let passes = target_verdicts.div_ceil(queries.len()).max(1);
+    let serve_start = Instant::now();
+    let mut blocked = 0u64;
+    for _ in 0..passes {
+        sifter.verdict_batch_into(&queries, &mut buffer);
+        blocked += buffer.iter().filter(|v| v.should_block()).count() as u64;
+    }
+    let serve_secs = serve_start.elapsed().as_secs_f64();
+    let served = (passes * queries.len()) as u64;
+    let verdicts_per_sec = served as f64 / serve_secs.max(1e-12);
+
+    // ------------------------------------------------------------------
+    // incremental commit vs. naive full reclassification
+    // ------------------------------------------------------------------
+    let chunk_size = live.len().div_ceil(commits).max(1);
+    let classifier = sifter.classifier();
+    let mut incremental_total = Duration::ZERO;
+    let mut baseline_total = Duration::ZERO;
+    let mut reclassified_resources = 0usize;
+    let mut ingested = historical.len();
+    let mut batches = 0usize;
+    for chunk in live.chunks(chunk_size) {
+        // Incremental: observe the delta, commit the dirty slice.
+        let start = Instant::now();
+        sifter.observe_all(chunk);
+        let stats = sifter.commit();
+        incremental_total += start.elapsed();
+        reclassified_resources += stats.reclassified();
+        ingested += chunk.len();
+
+        // Baseline: reclassify everything seen so far from scratch.
+        let start = Instant::now();
+        let scratch = classifier.classify(&requests[..ingested]);
+        baseline_total += start.elapsed();
+
+        // Equivalence: the speedup must be between identical results.
+        assert_eq!(
+            sifter.hierarchy(),
+            scratch,
+            "incremental state diverged from the from-scratch baseline"
+        );
+        batches += 1;
+    }
+    let speedup = baseline_total.as_secs_f64() / incremental_total.as_secs_f64().max(1e-12);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"service\",\n",
+            "  \"sites\": {sites},\n",
+            "  \"labeled_requests\": {requests},\n",
+            "  \"build_ms\": {build:.3},\n",
+            "  \"verdicts_served\": {served},\n",
+            "  \"verdicts_per_sec\": {verdict_rate:.2},\n",
+            "  \"blocked_share\": {blocked_share:.4},\n",
+            "  \"commit_batches\": {batches},\n",
+            "  \"delta_requests\": {delta},\n",
+            "  \"incremental_commit_ms_total\": {incr:.3},\n",
+            "  \"incremental_commit_ms_mean\": {incr_mean:.3},\n",
+            "  \"full_reclassify_ms_total\": {base:.3},\n",
+            "  \"full_reclassify_ms_mean\": {base_mean:.3},\n",
+            "  \"reclassified_resources\": {reclassified},\n",
+            "  \"commit_speedup\": {speedup:.2},\n",
+            "  \"equivalence_checked\": true\n",
+            "}}\n"
+        ),
+        sites = sites,
+        requests = requests.len(),
+        build = build_ms,
+        served = served,
+        verdict_rate = verdicts_per_sec,
+        blocked_share = blocked as f64 / served.max(1) as f64,
+        batches = batches,
+        delta = live.len(),
+        incr = ms(incremental_total),
+        incr_mean = ms(incremental_total) / batches.max(1) as f64,
+        base = ms(baseline_total),
+        base_mean = ms(baseline_total) / batches.max(1) as f64,
+        reclassified = reclassified_resources,
+        speedup = speedup,
+    );
+
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    eprintln!(
+        "bench_service: {verdicts_per_sec:.0} verdicts/sec, commit speedup {speedup:.1}x \
+         (incremental {:.3}ms vs full {:.3}ms per batch, equivalence checked on every batch)",
+        ms(incremental_total) / batches.max(1) as f64,
+        ms(baseline_total) / batches.max(1) as f64,
+    );
+    println!("{json}");
+    eprintln!("bench_service: wrote {out_path}");
+}

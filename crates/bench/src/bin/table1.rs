@@ -6,10 +6,10 @@ use trackersift::report::{render_headline, render_table1};
 
 fn main() {
     let study = trackersift_bench::run_experiment_study("table1");
-    print!("{}", render_table1(&study.hierarchy));
+    // Read the classification through the serving API: the sifter's
+    // committed export is byte-identical to the study's batch hierarchy.
+    let hierarchy = study.sifter().hierarchy();
+    print!("{}", render_table1(&hierarchy));
     println!();
-    print!(
-        "{}",
-        render_headline(&trackersift::headline(&study.hierarchy))
-    );
+    print!("{}", render_headline(&trackersift::headline(&hierarchy)));
 }

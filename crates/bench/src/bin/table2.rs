@@ -7,10 +7,13 @@ use trackersift::Granularity;
 
 fn main() {
     let study = trackersift_bench::run_experiment_study("table2");
-    print!("{}", render_table2(&study.hierarchy));
+    // Read the classification through the serving API: the sifter's
+    // committed export is byte-identical to the study's batch hierarchy.
+    let hierarchy = study.sifter().hierarchy();
+    print!("{}", render_table2(&hierarchy));
     println!();
     for granularity in [Granularity::Domain, Granularity::Hostname] {
-        print!("{}", render_notable(study.hierarchy.level(granularity), 5));
+        print!("{}", render_notable(hierarchy.level(granularity), 5));
         println!();
     }
 }

@@ -166,6 +166,42 @@ pub struct LevelResult {
 }
 
 impl LevelResult {
+    /// Build a level result from its resources: sorts them into the
+    /// canonical output order (descending request volume, then key) and
+    /// tallies the per-class resource/request counts.
+    ///
+    /// This is the *single* constructor both the batch classifier and the
+    /// incremental [`Sifter`](crate::service::Sifter) export go through, so
+    /// the two can never drift apart on ordering or accounting — the
+    /// foundation of the observe/commit ≡ from-scratch equivalence the
+    /// service tests assert.
+    pub fn from_entries(
+        granularity: Granularity,
+        mut resources: Vec<ResourceEntry>,
+        input_requests: u64,
+    ) -> Self {
+        // Deterministic output order: by descending volume, then key.
+        resources.sort_by(|a, b| {
+            b.counts
+                .total()
+                .cmp(&a.counts.total())
+                .then_with(|| a.key.cmp(&b.key))
+        });
+        let mut resource_counts = ClassCounts::default();
+        let mut request_counts = ClassCounts::default();
+        for resource in &resources {
+            resource_counts.add(resource.classification, 1);
+            request_counts.add(resource.classification, resource.counts.total());
+        }
+        LevelResult {
+            granularity,
+            resources,
+            resource_counts,
+            request_counts,
+            input_requests,
+        }
+    }
+
     /// Separation factor over this level's input requests, in percent
     /// (paper Table 1 "Separation Factor").
     pub fn request_separation_factor(&self) -> f64 {
@@ -324,7 +360,7 @@ impl HierarchicalClassifier {
         }
 
         let mut mixed_keys: HashSet<ResourceKey> = HashSet::new();
-        let mut resources: Vec<ResourceEntry> = groups
+        let resources: Vec<ResourceEntry> = groups
             .into_iter()
             .map(|(id, counts)| {
                 let classification = self
@@ -341,20 +377,6 @@ impl HierarchicalClassifier {
                 }
             })
             .collect();
-        // Deterministic output order: by descending volume, then key.
-        resources.sort_by(|a, b| {
-            b.counts
-                .total()
-                .cmp(&a.counts.total())
-                .then_with(|| a.key.cmp(&b.key))
-        });
-
-        let mut resource_counts = ClassCounts::default();
-        let mut request_counts = ClassCounts::default();
-        for resource in &resources {
-            resource_counts.add(resource.classification, 1);
-            request_counts.add(resource.classification, resource.counts.total());
-        }
 
         // Every key below was interned during grouping, so this pass does a
         // pure lookup — no allocation per request.
@@ -368,13 +390,7 @@ impl HierarchicalClassifier {
         }
 
         (
-            LevelResult {
-                granularity,
-                resources,
-                resource_counts,
-                request_counts,
-                input_requests: input.len() as u64,
-            },
+            LevelResult::from_entries(granularity, resources, input.len() as u64),
             next,
         )
     }
@@ -383,129 +399,7 @@ impl HierarchicalClassifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use filterlist::{RequestLabel, ResourceType};
-
-    /// Hand-built labeled request for unit tests.
-    fn req(
-        domain: &str,
-        hostname: &str,
-        script: &str,
-        method: &str,
-        tracking: bool,
-    ) -> LabeledRequest {
-        LabeledRequest {
-            request_id: 0,
-            top_level_url: "https://www.pub.com/".into(),
-            site_domain: "pub.com".into(),
-            url: format!("https://{hostname}/x"),
-            domain: domain.into(),
-            hostname: hostname.into(),
-            resource_type: ResourceType::Xhr,
-            initiator_script: script.into(),
-            initiator_method: method.into(),
-            stack: vec![crate::label::LabeledFrame {
-                script_url: script.into(),
-                method: method.into(),
-            }],
-            async_boundary: None,
-            label: if tracking {
-                RequestLabel::Tracking
-            } else {
-                RequestLabel::Functional
-            },
-        }
-    }
-
-    /// The paper's Figure 1 worked example: ads.com is pure tracking,
-    /// news.com pure functional, google.com mixed; within google.com the
-    /// hostnames split; within cdn.google.com the scripts split; within
-    /// clone.js the methods split.
-    fn figure1_requests() -> Vec<LabeledRequest> {
-        let mut v = Vec::new();
-        // Pure tracking / functional domains.
-        for _ in 0..5 {
-            v.push(req(
-                "ads.com",
-                "px.ads.com",
-                "https://pub.com/a.js",
-                "t",
-                true,
-            ));
-            v.push(req(
-                "news.com",
-                "cdn.news.com",
-                "https://pub.com/n.js",
-                "f",
-                false,
-            ));
-        }
-        // google.com: ad.google.com pure tracking, maps.google.com pure
-        // functional, cdn.google.com mixed.
-        for _ in 0..4 {
-            v.push(req(
-                "google.com",
-                "ad.google.com",
-                "https://pub.com/sdk.js",
-                "send",
-                true,
-            ));
-            v.push(req(
-                "google.com",
-                "maps.google.com",
-                "https://pub.com/maps.js",
-                "draw",
-                false,
-            ));
-        }
-        // cdn.google.com requests from three scripts: sdk.js (tracking),
-        // stack.js (functional), clone.js (mixed: m1 tracking, m3
-        // functional, m2 both).
-        for _ in 0..3 {
-            v.push(req(
-                "google.com",
-                "cdn.google.com",
-                "https://pub.com/sdk.js",
-                "send",
-                true,
-            ));
-            v.push(req(
-                "google.com",
-                "cdn.google.com",
-                "https://pub.com/stack.js",
-                "load",
-                false,
-            ));
-            v.push(req(
-                "google.com",
-                "cdn.google.com",
-                "https://pub.com/clone.js",
-                "m1",
-                true,
-            ));
-            v.push(req(
-                "google.com",
-                "cdn.google.com",
-                "https://pub.com/clone.js",
-                "m3",
-                false,
-            ));
-        }
-        v.push(req(
-            "google.com",
-            "cdn.google.com",
-            "https://pub.com/clone.js",
-            "m2",
-            true,
-        ));
-        v.push(req(
-            "google.com",
-            "cdn.google.com",
-            "https://pub.com/clone.js",
-            "m2",
-            false,
-        ));
-        v
-    }
+    use crate::testutil::figure1_requests;
 
     #[test]
     fn figure1_domains_classify_as_expected() {

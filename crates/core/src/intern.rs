@@ -123,6 +123,19 @@ impl KeyInterner {
         self.lookup.get(key).copied()
     }
 
+    /// Look up the method-granularity key of a `(script, method)` pair
+    /// without interning — and without building the composed
+    /// `script :: method` string: three borrowed hash probes, zero
+    /// allocation. This is the serving hot path of
+    /// [`Sifter::verdict`](crate::service::Sifter::verdict).
+    ///
+    /// Returns `None` for pairs never seen by [`KeyInterner::intern_method`]
+    /// (interning only the composed string does not file the pair).
+    pub fn get_method(&self, script_url: &str, method: &str) -> Option<ResourceKey> {
+        let pair = (self.get(script_url)?, self.get(method)?);
+        self.method_pairs.get(&pair).copied()
+    }
+
     /// Resolve a symbol back to its string.
     ///
     /// # Panics
@@ -225,5 +238,17 @@ mod tests {
         let id = interner.intern("present");
         assert_eq!(interner.get("present"), Some(id));
         assert_eq!(interner.len(), 1);
+    }
+
+    #[test]
+    fn get_method_resolves_pairs_without_interning() {
+        let mut interner = KeyInterner::new();
+        assert_eq!(interner.get_method("s.js", "run"), None);
+        let id = interner.intern_method("s.js", "run");
+        let len = interner.len();
+        assert_eq!(interner.get_method("s.js", "run"), Some(id));
+        assert_eq!(interner.get_method("s.js", "other"), None);
+        assert_eq!(interner.get_method("other.js", "run"), None);
+        assert_eq!(interner.len(), len, "get_method must not intern");
     }
 }

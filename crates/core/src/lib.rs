@@ -24,6 +24,8 @@
 //! | §5 surrogate scripts | [`surrogate`] |
 //! | staged execution engine | [`stage`], [`pipeline`] |
 //! | resource-key interning | [`intern`] |
+//! | serving API (verdicts + incremental ingestion) | [`service`] |
+//! | trained-state persistence (versioned) | [`snapshot`] |
 //!
 //! ## Execution model
 //!
@@ -52,6 +54,26 @@
 //! );
 //! println!("stage timings: {}", study.timings.summary());
 //! ```
+//!
+//! ## Serving
+//!
+//! A study is also a producer of long-lived verdict servers:
+//! [`Study::sifter`] trains a [`service::Sifter`] that answers
+//! `tracking / functional / mixed` per request by walking the hierarchy
+//! coarsest-to-finest — allocation-free for already-interned keys — and
+//! ingests new observations incrementally ([`service::Sifter::observe`] +
+//! [`service::Sifter::commit`], provably equivalent to reclassifying from
+//! scratch). Trained state persists across restarts through the versioned
+//! [`snapshot::SifterSnapshot`].
+//!
+//! ```
+//! use trackersift::{Study, StudyConfig, VerdictRequest};
+//!
+//! let study = Study::run(StudyConfig::small().with_sites(50));
+//! let sifter = study.sifter();
+//! let verdict = sifter.verdict(&VerdictRequest::from_labeled(&study.requests[0]));
+//! println!("{verdict}");
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -67,8 +89,13 @@ pub mod pipeline;
 pub mod ratio;
 pub mod report;
 pub mod sensitivity;
+pub mod service;
+pub mod snapshot;
 pub mod stage;
 pub mod surrogate;
+
+#[cfg(test)]
+mod testutil;
 
 pub use breakage::{analyze_breakage, Breakage, BreakageRow, BreakageStudy};
 pub use callstack::{analyze_mixed_methods, CallGraph, CallGraphNode, CallStackAnalysis};
@@ -86,5 +113,7 @@ pub use pipeline::{
 pub use ratio::{Classification, Counts, Thresholds};
 pub use report::RatioHistogram;
 pub use sensitivity::{SensitivityPoint, SensitivitySweep};
+pub use service::{CommitStats, Sifter, SifterBuilder, Verdict, VerdictRequest};
+pub use snapshot::{SifterSnapshot, SnapshotError};
 pub use stage::{Stage, StageRunner, StageTiming, StageTimings};
 pub use surrogate::{generate_surrogates, MethodAction, SurrogateScript};

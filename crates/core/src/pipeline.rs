@@ -29,6 +29,7 @@ use crate::label::{LabelStats, LabeledRequest, Labeler};
 use crate::memo::CacheStats;
 use crate::ratio::{Classification, Thresholds};
 use crate::sensitivity::SensitivitySweep;
+use crate::service::Sifter;
 use crate::stage::{Stage, StageRunner, StageTiming, StageTimings};
 use crate::surrogate::{generate_surrogates, SurrogateScript};
 use crawler::{ClusterConfig, CrawlCluster, CrawlDatabase, CrawlSummary};
@@ -311,13 +312,37 @@ impl Study {
     pub fn analyses(&self) -> StudyAnalyses {
         let mut runner = StageRunner::new();
         let (sensitivity, callstack, surrogates) = runner.run(&AnalysesStage, self);
-        let timing = runner.finish().all()[0];
+        // Look the timing up by stage name instead of positionally — the
+        // runner records one entry per executed stage and indexing `[0]`
+        // would silently (or loudly) break the moment another stage joins
+        // this runner. The lookup cannot miss (the stage just ran on this
+        // runner); assert that in debug builds but stay non-panicking in
+        // release, falling back to a zero duration.
+        let timing = runner.finish().timing(AnalysesStage::NAME);
+        debug_assert!(timing.is_some(), "analyses stage just ran on this runner");
+        let timing = timing.unwrap_or(StageTiming {
+            name: AnalysesStage::NAME,
+            duration: std::time::Duration::ZERO,
+        });
         StudyAnalyses {
             sensitivity,
             callstack,
             surrogates,
             timing,
         }
+    }
+
+    /// Produce a serving [`Sifter`] trained on this study's labeled
+    /// requests — the bridge from the batch pipeline to the long-lived
+    /// query API. The study is the *producer*; the sifter (its
+    /// [`Sifter::hierarchy`] export, [`Sifter::verdict`] walk, and
+    /// [`Sifter::snapshot`] persistence) is how downstream consumers read
+    /// the trained state.
+    pub fn sifter(&self) -> Sifter {
+        let mut sifter = Sifter::builder().thresholds(self.config.thresholds).build();
+        sifter.observe_all(&self.requests);
+        sifter.commit();
+        sifter
     }
 
     /// The Table 3 breakage study over `sample_size` sites with mixed
@@ -412,6 +437,25 @@ mod tests {
         assert_eq!(flat.input_requests, study.requests.len() as u64);
         // The hierarchy's method level only sees the mixed-script residue.
         assert!(flat.input_requests >= study.hierarchy.level(Granularity::Method).input_requests);
+    }
+
+    #[test]
+    fn study_produces_an_equivalent_sifter() {
+        let study = study();
+        let sifter = study.sifter();
+        // The sifter's committed export is exactly the study's hierarchy.
+        assert_eq!(sifter.hierarchy(), study.hierarchy);
+        assert_eq!(sifter.observed(), study.requests.len() as u64);
+        assert_eq!(
+            sifter.unattributed_requests(),
+            study.hierarchy.unattributed_requests
+        );
+        // And it serves a verdict for every labeled request it was
+        // trained on.
+        for request in &study.requests {
+            let verdict = sifter.verdict(&crate::service::VerdictRequest::from_labeled(request));
+            assert!(verdict.classification().is_some(), "{}", request.url);
+        }
     }
 
     #[test]

@@ -67,6 +67,13 @@ impl Counts {
         self.tracking + self.functional
     }
 
+    /// `true` when no request has been recorded. Empty counters classify to
+    /// `None`; the incremental [`Sifter`](crate::service::Sifter) uses this
+    /// as the "not a member of this level" test.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
     /// Merge another counter into this one.
     pub fn merge(&mut self, other: Counts) {
         self.tracking += other.tracking;

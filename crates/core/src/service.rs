@@ -1,0 +1,1381 @@
+//! The serving-oriented `Sifter` API: build once, answer millions of
+//! verdicts, ingest observations incrementally.
+//!
+//! [`Study::run`](crate::pipeline::Study) materialises the whole batch
+//! pipeline; a deployed content blocker or proxy instead needs a long-lived
+//! handle that answers "tracking, functional, or mixed?" per request. This
+//! module provides that handle:
+//!
+//! * [`SifterBuilder`] — builder-pattern configuration (thresholds, filter
+//!   lists for raw-traffic labeling, pre-trained state from a
+//!   [`SifterSnapshot`]) producing a [`Sifter`];
+//! * [`Sifter::verdict`] — walks the hierarchy coarsest-to-finest (domain →
+//!   hostname → script → method) through interned keys. The hot path is
+//!   **allocation-free** for already-interned keys: every lookup is a borrow
+//!   of the query strings and the returned [`Verdict`] is `Copy`.
+//!   [`Sifter::verdict_batch`] serves bulk callers;
+//! * [`Sifter::observe`] + [`Sifter::commit`] — incremental ingestion.
+//!   `observe` accumulates [`Counts`] deltas and marks the touched resources
+//!   dirty; `commit` reclassifies **only** the dirty resources (and whatever
+//!   their classification flips invalidate downstream), instead of re-running
+//!   the full hierarchical classification. The equivalence tests prove that
+//!   any interleaving of `observe`/`commit` ends in exactly the state a
+//!   from-scratch [`HierarchicalClassifier::classify`] would produce;
+//! * [`Sifter::snapshot`] / [`SifterBuilder::restore`] — versioned
+//!   export/import of the trained state (see [`crate::snapshot`]), so a
+//!   serving process restarts without a re-crawl.
+//!
+//! # How incremental commits stay equivalent to batch classification
+//!
+//! The hierarchy's levels are input-conditional: the hostname level only
+//! sees requests of *mixed* domains, the script level only requests of
+//! mixed hostnames, and so on. A hostname determines its registrable
+//! domain, so domain- and hostname-level counts are unconditional and can
+//! be accumulated directly. A script, however, fires requests at many
+//! hostnames, and only the slice that flows through mixed hostnames counts
+//! at script level. The sifter therefore keeps the per-`(script, hostname)`
+//! and per-`(method, hostname)` count cells, and a commit recomputes a
+//! dirty script or method by summing its cells over the currently-mixed
+//! hostnames. Classification flips propagate downward through adjacency
+//! lists (domain → its hostnames → their scripts → their methods), so a
+//! commit touches exactly the resources whose verdicts could have changed.
+//!
+//! # Serving concurrency
+//!
+//! A `Sifter` is `Send + Sync`; [`Sifter::verdict`] takes `&self` and never
+//! mutates, so an `Arc<Sifter>` (or `RwLock<Sifter>` when ingestion must
+//! continue in-place) serves concurrent readers without interior locking on
+//! the query path. Verdicts always reflect the last [`Sifter::commit`];
+//! pending observations become visible atomically at the next commit.
+
+use crate::hierarchy::{
+    Granularity, HierarchicalClassifier, HierarchyResult, LevelResult, ResourceEntry,
+};
+use crate::intern::KeyInterner;
+use crate::intern::ResourceKey;
+use crate::label::LabeledRequest;
+use crate::ratio::{Classification, Counts, Thresholds};
+use crate::snapshot::{SifterSnapshot, SnapshotError};
+use filterlist::tokens::TokenHashBuilder;
+use filterlist::{
+    registrable_domain, FilterEngine, FilterRequest, ListKind, ParsedUrl, RequestLabel,
+    ResourceType,
+};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+type KeyMap<V> = HashMap<ResourceKey, V, TokenHashBuilder>;
+type PairMap<V> = HashMap<(ResourceKey, ResourceKey), V, TokenHashBuilder>;
+type KeySet = HashSet<ResourceKey, TokenHashBuilder>;
+
+/// One verdict query: the four attribution keys of a request, borrowed from
+/// the caller. `domain` must be the registrable domain (eTLD+1) of
+/// `hostname`, exactly as [`LabeledRequest`] carries them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerdictRequest<'a> {
+    /// Registrable domain (eTLD+1) of the request URL.
+    pub domain: &'a str,
+    /// Full hostname of the request URL.
+    pub hostname: &'a str,
+    /// URL of the initiating script (innermost stack frame).
+    pub script: &'a str,
+    /// Method (function) name of the initiating frame.
+    pub method: &'a str,
+}
+
+impl<'a> VerdictRequest<'a> {
+    /// A query from explicit keys.
+    pub fn new(domain: &'a str, hostname: &'a str, script: &'a str, method: &'a str) -> Self {
+        VerdictRequest {
+            domain,
+            hostname,
+            script,
+            method,
+        }
+    }
+
+    /// The query for a labeled request's attribution keys.
+    pub fn from_labeled(request: &'a LabeledRequest) -> Self {
+        VerdictRequest {
+            domain: &request.domain,
+            hostname: &request.hostname,
+            script: &request.initiator_script,
+            method: &request.initiator_method,
+        }
+    }
+}
+
+/// The answer to one [`VerdictRequest`].
+///
+/// A verdict is decided at the *coarsest* granularity that settles it: a
+/// domain classified tracking answers every request under it, a mixed
+/// domain defers to the hostname level, and so on. When the walk falls off
+/// the trained hierarchy below a mixed resource (e.g. a never-observed
+/// script on a known-mixed hostname), the verdict is `Mixed` at the last
+/// granularity that was observed — the safe answer for a blocker, since
+/// neither blanket blocking nor blanket allowing is justified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The hierarchy settled the request at `granularity`.
+    Decided {
+        /// Tracking, functional, or (still) mixed.
+        classification: Classification,
+        /// The granularity whose classification decided the verdict.
+        granularity: Granularity,
+    },
+    /// No component of the request was ever observed (unknown domain).
+    Unknown,
+}
+
+impl Verdict {
+    /// The classification, if any component of the request was known.
+    pub fn classification(&self) -> Option<Classification> {
+        match self {
+            Verdict::Decided { classification, .. } => Some(*classification),
+            Verdict::Unknown => None,
+        }
+    }
+
+    /// The granularity that decided the verdict.
+    pub fn granularity(&self) -> Option<Granularity> {
+        match self {
+            Verdict::Decided { granularity, .. } => Some(*granularity),
+            Verdict::Unknown => None,
+        }
+    }
+
+    /// `true` when a blocker acting on this verdict should block the
+    /// request (classified tracking at some granularity).
+    pub fn should_block(&self) -> bool {
+        self.classification() == Some(Classification::Tracking)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Decided {
+                classification,
+                granularity,
+            } => write!(f, "{classification} (decided at {granularity} level)"),
+            Verdict::Unknown => f.write_str("unknown"),
+        }
+    }
+}
+
+/// What one [`Sifter::commit`] did: how many observations it folded in and
+/// how many resources it had to reclassify per level. The whole point of
+/// incremental ingestion is that these stay proportional to the delta, not
+/// to the corpus.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitStats {
+    /// Observations folded in by this commit.
+    pub observations: u64,
+    /// Domains reclassified.
+    pub domains: usize,
+    /// Hostnames reclassified (dirty plus membership flips from domains).
+    pub hostnames: usize,
+    /// Scripts reclassified.
+    pub scripts: usize,
+    /// Methods reclassified.
+    pub methods: usize,
+}
+
+impl CommitStats {
+    /// Total resources reclassified across all four levels.
+    pub fn reclassified(&self) -> usize {
+        self.domains + self.hostnames + self.scripts + self.methods
+    }
+}
+
+/// Unconditional per-hostname state: owning domain plus raw counts.
+#[derive(Debug, Clone, Copy)]
+struct HostMeta {
+    domain: ResourceKey,
+    counts: Counts,
+}
+
+/// Immutable attribution of a method key: its script and method-name
+/// symbols (needed for membership tests and snapshot export).
+#[derive(Debug, Clone, Copy)]
+struct MethodMeta {
+    script: ResourceKey,
+    name: ResourceKey,
+}
+
+/// Committed (servable) state of one resource at one level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LevelEntry {
+    counts: Counts,
+    classification: Classification,
+}
+
+/// Builder-pattern configuration of a [`Sifter`].
+///
+/// ```
+/// use trackersift::{Sifter, Thresholds};
+///
+/// let sifter = Sifter::builder().thresholds(Thresholds::paper()).build();
+/// assert_eq!(sifter.observed(), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct SifterBuilder {
+    thresholds: Thresholds,
+    engine: Option<FilterEngine>,
+}
+
+impl SifterBuilder {
+    /// A builder with the paper's thresholds and no filter engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the classification thresholds.
+    pub fn thresholds(mut self, thresholds: Thresholds) -> Self {
+        self.thresholds = thresholds;
+        self
+    }
+
+    /// Compile filter lists into the labeling oracle the sifter uses for
+    /// [`Sifter::observe_url`] (raw-traffic ingestion).
+    pub fn filter_lists(mut self, lists: &[(ListKind, &str)]) -> Self {
+        self.engine = Some(FilterEngine::from_lists(lists));
+        self
+    }
+
+    /// Use an already-compiled filter engine as the labeling oracle.
+    pub fn engine(mut self, engine: FilterEngine) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Produce an empty sifter (no pre-trained state).
+    pub fn build(self) -> Sifter {
+        Sifter {
+            thresholds: self.thresholds,
+            engine: self.engine,
+            interner: KeyInterner::new(),
+            domain_counts: KeyMap::default(),
+            host_meta: KeyMap::default(),
+            method_meta: KeyMap::default(),
+            script_host: PairMap::default(),
+            method_host: PairMap::default(),
+            hosts_of_domain: KeyMap::default(),
+            scripts_of_host: KeyMap::default(),
+            methods_of_host: KeyMap::default(),
+            hosts_of_script: KeyMap::default(),
+            hosts_of_method: KeyMap::default(),
+            methods_of_script: KeyMap::default(),
+            domain_entries: KeyMap::default(),
+            host_entries: KeyMap::default(),
+            script_entries: KeyMap::default(),
+            method_entries: KeyMap::default(),
+            dirty_domains: KeySet::default(),
+            dirty_hosts: KeySet::default(),
+            dirty_scripts: KeySet::default(),
+            dirty_methods: KeySet::default(),
+            observed_requests: 0,
+            committed_requests: 0,
+            residue_requests: 0,
+            pending_observations: 0,
+            commits: 0,
+        }
+    }
+
+    /// Produce a sifter pre-trained from a [`SifterSnapshot`] (the state a
+    /// previous process exported with [`Sifter::snapshot`]). The snapshot's
+    /// thresholds take precedence over [`SifterBuilder::thresholds`]; a
+    /// configured filter engine is kept. All restored observations are
+    /// committed, so the returned sifter serves verdicts immediately.
+    pub fn restore(self, snapshot: &SifterSnapshot) -> Result<Sifter, SnapshotError> {
+        if !snapshot.threshold.is_finite() || snapshot.threshold <= 0.0 {
+            return Err(SnapshotError::Corrupt(format!(
+                "threshold {} is not positive",
+                snapshot.threshold
+            )));
+        }
+        let mut sifter = self
+            .thresholds(Thresholds {
+                log_ratio: snapshot.threshold,
+            })
+            .build();
+        sifter.load(snapshot)?;
+        Ok(sifter)
+    }
+}
+
+/// A long-lived, `Send + Sync` verdict server over TrackerSift's trained
+/// hierarchical state. Built by [`SifterBuilder`]; see the [module
+/// docs](crate::service) for the full serving story.
+#[derive(Debug)]
+pub struct Sifter {
+    thresholds: Thresholds,
+    engine: Option<FilterEngine>,
+    interner: KeyInterner,
+
+    // -- raw accumulated observations (updated by `observe`) --
+    /// Unconditional counts per domain.
+    domain_counts: KeyMap<Counts>,
+    /// Owning domain + unconditional counts per hostname.
+    host_meta: KeyMap<HostMeta>,
+    /// Script and name symbols per method key.
+    method_meta: KeyMap<MethodMeta>,
+    /// Count cells per `(script, hostname)` pair.
+    script_host: PairMap<Counts>,
+    /// Count cells per `(method, hostname)` pair.
+    method_host: PairMap<Counts>,
+
+    // -- adjacency (first-seen order, deduplicated by the cell maps) --
+    hosts_of_domain: KeyMap<Vec<ResourceKey>>,
+    scripts_of_host: KeyMap<Vec<ResourceKey>>,
+    methods_of_host: KeyMap<Vec<ResourceKey>>,
+    hosts_of_script: KeyMap<Vec<ResourceKey>>,
+    hosts_of_method: KeyMap<Vec<ResourceKey>>,
+    methods_of_script: KeyMap<Vec<ResourceKey>>,
+
+    // -- committed serving state (updated only by `commit`) --
+    /// Every committed domain.
+    domain_entries: KeyMap<LevelEntry>,
+    /// Hostname-level members: hostnames whose domain is mixed.
+    host_entries: KeyMap<LevelEntry>,
+    /// Script-level members: scripts with requests through mixed hostnames.
+    script_entries: KeyMap<LevelEntry>,
+    /// Method-level members: methods of mixed scripts.
+    method_entries: KeyMap<LevelEntry>,
+
+    // -- dirty sets consumed by the next `commit` --
+    dirty_domains: KeySet,
+    dirty_hosts: KeySet,
+    dirty_scripts: KeySet,
+    dirty_methods: KeySet,
+
+    /// Observations ever ingested (including pending).
+    observed_requests: u64,
+    /// Observations visible to the committed state.
+    committed_requests: u64,
+    /// Committed requests still attributed to mixed methods (the residue).
+    residue_requests: u64,
+    /// Observations since the last commit.
+    pending_observations: u64,
+    /// Commits performed.
+    commits: u64,
+}
+
+// The serving contract: one Sifter shared across worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Sifter>();
+};
+
+impl Sifter {
+    /// Start building a sifter.
+    pub fn builder() -> SifterBuilder {
+        SifterBuilder::new()
+    }
+
+    /// The thresholds in force.
+    pub fn thresholds(&self) -> Thresholds {
+        self.thresholds
+    }
+
+    /// `true` when a filter engine was configured (enables
+    /// [`Sifter::observe_url`]).
+    pub fn has_engine(&self) -> bool {
+        self.engine.is_some()
+    }
+
+    /// Observations ever ingested, including pending ones.
+    pub fn observed(&self) -> u64 {
+        self.observed_requests
+    }
+
+    /// Observations folded into the committed (servable) state.
+    pub fn committed(&self) -> u64 {
+        self.committed_requests
+    }
+
+    /// Observations waiting for the next [`Sifter::commit`].
+    pub fn pending(&self) -> u64 {
+        self.pending_observations
+    }
+
+    /// Commits performed so far.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Committed requests still attributed to mixed methods — the paper's
+    /// "<2% residue".
+    pub fn unattributed_requests(&self) -> u64 {
+        self.residue_requests
+    }
+
+    /// Number of committed member resources at a granularity.
+    pub fn committed_resources(&self, granularity: Granularity) -> usize {
+        match granularity {
+            Granularity::Domain => self.domain_entries.len(),
+            Granularity::Hostname => self.host_entries.len(),
+            Granularity::Script => self.script_entries.len(),
+            Granularity::Method => self.method_entries.len(),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // ingestion
+    // -----------------------------------------------------------------
+
+    /// Ingest one labeled request. The observation is buffered into count
+    /// deltas and dirty marks; verdicts do not change until the next
+    /// [`Sifter::commit`].
+    pub fn observe(&mut self, request: &LabeledRequest) {
+        self.observe_parts(
+            &request.domain,
+            &request.hostname,
+            &request.initiator_script,
+            &request.initiator_method,
+            request.is_tracking(),
+        );
+    }
+
+    /// Ingest a batch of labeled requests (see [`Sifter::observe`]).
+    pub fn observe_all<'a>(&mut self, requests: impl IntoIterator<Item = &'a LabeledRequest>) {
+        for request in requests {
+            self.observe(request);
+        }
+    }
+
+    /// Ingest one raw (unlabeled) request: label it with the configured
+    /// filter engine, derive the hostname / registrable domain, and observe
+    /// the result. Returns the oracle label, or `None` when no engine was
+    /// configured or the URL does not parse (the request is then excluded,
+    /// exactly as the batch labeling stage excludes it).
+    pub fn observe_url(
+        &mut self,
+        url: &str,
+        source_hostname: &str,
+        resource_type: ResourceType,
+        initiator_script: &str,
+        initiator_method: &str,
+    ) -> Option<RequestLabel> {
+        let engine = self.engine.as_ref()?;
+        let parsed = ParsedUrl::parse(url)?;
+        let request = FilterRequest::from_parsed(parsed, source_hostname, resource_type);
+        let label = engine.label(&request);
+        let hostname = request.into_url().hostname;
+        let domain = registrable_domain(&hostname);
+        self.observe_parts(
+            &domain,
+            &hostname,
+            initiator_script,
+            initiator_method,
+            label.is_tracking(),
+        );
+        Some(label)
+    }
+
+    /// Ingest one observation given its four attribution keys and label.
+    ///
+    /// `domain` must be the registrable domain of `hostname` — the
+    /// invariant every [`LabeledRequest`] produced by the labeling stage
+    /// satisfies by construction (checked in debug builds).
+    pub fn observe_parts(
+        &mut self,
+        domain: &str,
+        hostname: &str,
+        script: &str,
+        method: &str,
+        tracking: bool,
+    ) {
+        let d = self.interner.intern(domain);
+        let h = self.interner.intern(hostname);
+        let s = self.interner.intern(script);
+        let name = self.interner.intern(method);
+        let m = self.interner.intern_method(script, method);
+
+        self.domain_counts.entry(d).or_default().record(tracking);
+        match self.host_meta.entry(h) {
+            Entry::Occupied(mut entry) => {
+                debug_assert_eq!(
+                    entry.get().domain,
+                    d,
+                    "hostname {hostname:?} observed under two registrable domains"
+                );
+                entry.get_mut().counts.record(tracking);
+            }
+            Entry::Vacant(entry) => {
+                let mut counts = Counts::new();
+                counts.record(tracking);
+                entry.insert(HostMeta { domain: d, counts });
+                self.hosts_of_domain.entry(d).or_default().push(h);
+            }
+        }
+        if let Entry::Vacant(entry) = self.method_meta.entry(m) {
+            entry.insert(MethodMeta { script: s, name });
+            self.methods_of_script.entry(s).or_default().push(m);
+        }
+        match self.script_host.entry((s, h)) {
+            Entry::Occupied(mut entry) => entry.get_mut().record(tracking),
+            Entry::Vacant(entry) => {
+                let mut counts = Counts::new();
+                counts.record(tracking);
+                entry.insert(counts);
+                self.scripts_of_host.entry(h).or_default().push(s);
+                self.hosts_of_script.entry(s).or_default().push(h);
+            }
+        }
+        match self.method_host.entry((m, h)) {
+            Entry::Occupied(mut entry) => entry.get_mut().record(tracking),
+            Entry::Vacant(entry) => {
+                let mut counts = Counts::new();
+                counts.record(tracking);
+                entry.insert(counts);
+                self.methods_of_host.entry(h).or_default().push(m);
+                self.hosts_of_method.entry(m).or_default().push(h);
+            }
+        }
+
+        self.dirty_domains.insert(d);
+        self.dirty_hosts.insert(h);
+        self.dirty_scripts.insert(s);
+        self.dirty_methods.insert(m);
+        self.observed_requests += 1;
+        self.pending_observations += 1;
+    }
+
+    /// Fold all pending observations into the servable state by
+    /// reclassifying only the dirty resources, coarsest level first.
+    /// Classification flips at one level dirty exactly the dependent
+    /// resources of the next, so the work is proportional to the delta (and
+    /// its blast radius), never to the corpus.
+    pub fn commit(&mut self) -> CommitStats {
+        let mut stats = CommitStats {
+            observations: self.pending_observations,
+            ..CommitStats::default()
+        };
+
+        // Phase 1: domains. A mixedness flip changes the membership of the
+        // domain's entire hostname set.
+        let dirty_domains: Vec<ResourceKey> = self.dirty_domains.drain().collect();
+        stats.domains = dirty_domains.len();
+        for d in dirty_domains {
+            let counts = self.domain_counts[&d];
+            let classification = self
+                .thresholds
+                .classify(&counts)
+                .expect("observed domains have requests");
+            let previous = self.domain_entries.insert(
+                d,
+                LevelEntry {
+                    counts,
+                    classification,
+                },
+            );
+            let was_mixed =
+                matches!(previous, Some(e) if e.classification == Classification::Mixed);
+            if was_mixed != (classification == Classification::Mixed) {
+                if let Some(hosts) = self.hosts_of_domain.get(&d) {
+                    self.dirty_hosts.extend(hosts.iter().copied());
+                }
+            }
+        }
+
+        // Phase 2: hostnames. Membership = the owning domain is mixed; an
+        // *effective-mixedness* flip (member and itself mixed) changes
+        // which cells count toward every script/method seen on this host.
+        let dirty_hosts: Vec<ResourceKey> = self.dirty_hosts.drain().collect();
+        stats.hostnames = dirty_hosts.len();
+        for h in dirty_hosts {
+            let meta = self.host_meta[&h];
+            let member = matches!(
+                self.domain_entries.get(&meta.domain),
+                Some(e) if e.classification == Classification::Mixed
+            );
+            let was_effective = matches!(
+                self.host_entries.get(&h),
+                Some(e) if e.classification == Classification::Mixed
+            );
+            let now_effective = if member {
+                let classification = self
+                    .thresholds
+                    .classify(&meta.counts)
+                    .expect("observed hostnames have requests");
+                self.host_entries.insert(
+                    h,
+                    LevelEntry {
+                        counts: meta.counts,
+                        classification,
+                    },
+                );
+                classification == Classification::Mixed
+            } else {
+                self.host_entries.remove(&h);
+                false
+            };
+            if was_effective != now_effective {
+                if let Some(scripts) = self.scripts_of_host.get(&h) {
+                    self.dirty_scripts.extend(scripts.iter().copied());
+                }
+                if let Some(methods) = self.methods_of_host.get(&h) {
+                    self.dirty_methods.extend(methods.iter().copied());
+                }
+            }
+        }
+
+        // Phase 3: scripts. A script's level counts are the sum of its
+        // cells over currently effective-mixed hostnames; zero total means
+        // the script is not a member of the level at all.
+        let dirty_scripts: Vec<ResourceKey> = self.dirty_scripts.drain().collect();
+        stats.scripts = dirty_scripts.len();
+        for s in dirty_scripts {
+            let counts = self.member_counts(s, &self.hosts_of_script, &self.script_host);
+            let was_mixed = matches!(
+                self.script_entries.get(&s),
+                Some(e) if e.classification == Classification::Mixed
+            );
+            let now_mixed = if !counts.is_empty() {
+                let classification = self
+                    .thresholds
+                    .classify(&counts)
+                    .expect("nonzero counts classify");
+                self.script_entries.insert(
+                    s,
+                    LevelEntry {
+                        counts,
+                        classification,
+                    },
+                );
+                classification == Classification::Mixed
+            } else {
+                self.script_entries.remove(&s);
+                false
+            };
+            if was_mixed != now_mixed {
+                if let Some(methods) = self.methods_of_script.get(&s) {
+                    self.dirty_methods.extend(methods.iter().copied());
+                }
+            }
+        }
+
+        // Phase 4: methods. Membership = the owning script is mixed; mixed
+        // member methods are the residue.
+        let dirty_methods: Vec<ResourceKey> = self.dirty_methods.drain().collect();
+        stats.methods = dirty_methods.len();
+        for m in dirty_methods {
+            let meta = self.method_meta[&m];
+            if let Some(old) = self.method_entries.get(&m) {
+                if old.classification == Classification::Mixed {
+                    self.residue_requests -= old.counts.total();
+                }
+            }
+            let member = matches!(
+                self.script_entries.get(&meta.script),
+                Some(e) if e.classification == Classification::Mixed
+            );
+            if !member {
+                self.method_entries.remove(&m);
+                continue;
+            }
+            let counts = self.member_counts(m, &self.hosts_of_method, &self.method_host);
+            if counts.is_empty() {
+                self.method_entries.remove(&m);
+                continue;
+            }
+            let classification = self
+                .thresholds
+                .classify(&counts)
+                .expect("nonzero counts classify");
+            if classification == Classification::Mixed {
+                self.residue_requests += counts.total();
+            }
+            self.method_entries.insert(
+                m,
+                LevelEntry {
+                    counts,
+                    classification,
+                },
+            );
+        }
+
+        self.committed_requests = self.observed_requests;
+        self.pending_observations = 0;
+        self.commits += 1;
+        stats
+    }
+
+    /// Sum a resource's count cells over the currently effective-mixed
+    /// hostnames it was observed on.
+    fn member_counts(
+        &self,
+        key: ResourceKey,
+        hosts_of: &KeyMap<Vec<ResourceKey>>,
+        cells: &PairMap<Counts>,
+    ) -> Counts {
+        let mut counts = Counts::new();
+        if let Some(hosts) = hosts_of.get(&key) {
+            for &h in hosts {
+                let effective = matches!(
+                    self.host_entries.get(&h),
+                    Some(e) if e.classification == Classification::Mixed
+                );
+                if effective {
+                    counts.merge(cells[&(key, h)]);
+                }
+            }
+        }
+        counts
+    }
+
+    // -----------------------------------------------------------------
+    // serving
+    // -----------------------------------------------------------------
+
+    /// Answer one verdict query by walking the committed hierarchy
+    /// coarsest-to-finest. Allocation-free: all four keys resolve through
+    /// the interner by borrowed lookup, and the result is `Copy`.
+    pub fn verdict(&self, request: &VerdictRequest<'_>) -> Verdict {
+        let Some(d) = self.interner.get(request.domain) else {
+            return Verdict::Unknown;
+        };
+        let Some(domain_entry) = self.domain_entries.get(&d) else {
+            return Verdict::Unknown;
+        };
+        if domain_entry.classification != Classification::Mixed {
+            return Verdict::Decided {
+                classification: domain_entry.classification,
+                granularity: Granularity::Domain,
+            };
+        }
+        let host_entry = self
+            .interner
+            .get(request.hostname)
+            .and_then(|h| self.host_entries.get(&h));
+        let Some(host_entry) = host_entry else {
+            return Verdict::Decided {
+                classification: Classification::Mixed,
+                granularity: Granularity::Domain,
+            };
+        };
+        if host_entry.classification != Classification::Mixed {
+            return Verdict::Decided {
+                classification: host_entry.classification,
+                granularity: Granularity::Hostname,
+            };
+        }
+        let script_entry = self
+            .interner
+            .get(request.script)
+            .and_then(|s| self.script_entries.get(&s));
+        let Some(script_entry) = script_entry else {
+            return Verdict::Decided {
+                classification: Classification::Mixed,
+                granularity: Granularity::Hostname,
+            };
+        };
+        if script_entry.classification != Classification::Mixed {
+            return Verdict::Decided {
+                classification: script_entry.classification,
+                granularity: Granularity::Script,
+            };
+        }
+        let method_entry = self
+            .interner
+            .get_method(request.script, request.method)
+            .and_then(|m| self.method_entries.get(&m));
+        match method_entry {
+            Some(entry) => Verdict::Decided {
+                classification: entry.classification,
+                granularity: Granularity::Method,
+            },
+            None => Verdict::Decided {
+                classification: Classification::Mixed,
+                granularity: Granularity::Script,
+            },
+        }
+    }
+
+    /// Serve a batch of verdicts (one output per input, in order).
+    pub fn verdict_batch(&self, requests: &[VerdictRequest<'_>]) -> Vec<Verdict> {
+        let mut out = Vec::new();
+        self.verdict_batch_into(requests, &mut out);
+        out
+    }
+
+    /// Serve a batch of verdicts into a reusable buffer (cleared first), so
+    /// steady-state bulk serving performs no per-batch allocation once the
+    /// buffer has grown to the batch size.
+    pub fn verdict_batch_into(&self, requests: &[VerdictRequest<'_>], out: &mut Vec<Verdict>) {
+        out.clear();
+        out.reserve(requests.len());
+        for request in requests {
+            out.push(self.verdict(request));
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // export
+    // -----------------------------------------------------------------
+
+    /// Materialise the committed state as a [`HierarchyResult`] — exactly
+    /// what [`HierarchicalClassifier::classify`] over every committed
+    /// observation would return, byte for byte (the equivalence the service
+    /// tests pin down). This is how the report/metrics layer reads a
+    /// sifter.
+    pub fn hierarchy(&self) -> HierarchyResult {
+        let domain_level = self.level(Granularity::Domain, &self.domain_entries);
+        let hostname_level = self.level(Granularity::Hostname, &self.host_entries);
+        let script_level = self.level(Granularity::Script, &self.script_entries);
+        let method_level = self.level(Granularity::Method, &self.method_entries);
+        HierarchyResult {
+            thresholds: self.thresholds,
+            total_requests: self.committed_requests,
+            unattributed_requests: self.residue_requests,
+            levels: vec![domain_level, hostname_level, script_level, method_level],
+        }
+    }
+
+    fn level(&self, granularity: Granularity, entries: &KeyMap<LevelEntry>) -> LevelResult {
+        let resources: Vec<ResourceEntry> = entries
+            .iter()
+            .map(|(&k, entry)| ResourceEntry {
+                key: self.interner.resolve(k).to_string(),
+                counts: entry.counts,
+                classification: entry.classification,
+            })
+            .collect();
+        let input_requests = match granularity {
+            Granularity::Domain => self.committed_requests,
+            _ => resources.iter().map(|r| r.counts.total()).sum(),
+        };
+        LevelResult::from_entries(granularity, resources, input_requests)
+    }
+
+    /// Export the full trained state (including pending, uncommitted
+    /// observations) as a versioned [`SifterSnapshot`]. Restoring the
+    /// snapshot commits everything, so exporting with pending observations
+    /// is safe but the restored process will already see them applied;
+    /// export after [`Sifter::commit`] to round-trip the exact serving
+    /// state.
+    pub fn snapshot(&self) -> SifterSnapshot {
+        let keys: Vec<String> = self.interner.iter().map(|(_, s)| s.to_string()).collect();
+        let mut hostnames: Vec<(u32, u32)> = self
+            .host_meta
+            .iter()
+            .map(|(&h, meta)| (h.index() as u32, meta.domain.index() as u32))
+            .collect();
+        hostnames.sort_unstable();
+        let mut methods: Vec<(u32, u32, u32)> = self
+            .method_meta
+            .iter()
+            .map(|(&m, meta)| {
+                (
+                    m.index() as u32,
+                    meta.script.index() as u32,
+                    meta.name.index() as u32,
+                )
+            })
+            .collect();
+        methods.sort_unstable();
+        let mut cells: Vec<(u32, u32, u64, u64)> = self
+            .method_host
+            .iter()
+            .map(|(&(m, h), counts)| {
+                (
+                    m.index() as u32,
+                    h.index() as u32,
+                    counts.tracking,
+                    counts.functional,
+                )
+            })
+            .collect();
+        cells.sort_unstable();
+        SifterSnapshot {
+            threshold: self.thresholds.log_ratio,
+            observed: self.observed_requests,
+            keys,
+            hostnames,
+            methods,
+            cells,
+        }
+    }
+
+    /// Rebuild state from a snapshot (empty sifter only) and commit it.
+    fn load(&mut self, snapshot: &SifterSnapshot) -> Result<(), SnapshotError> {
+        debug_assert_eq!(self.observed_requests, 0, "load requires an empty sifter");
+        // 1. Restore the interner verbatim so every persisted id resolves
+        //    to the same string (and verdict/export bytes cannot drift).
+        for (index, key) in snapshot.keys.iter().enumerate() {
+            let id = self.interner.intern(key);
+            if id.index() != index {
+                return Err(SnapshotError::Corrupt(format!(
+                    "duplicate interner key {key:?} at index {index}"
+                )));
+            }
+        }
+        // Resolve a persisted id against the freshly-restored interner. A
+        // free function (not a closure) so the interner borrow ends at each
+        // call and `intern_method` below can still borrow mutably.
+        fn key_of(
+            interner: &KeyInterner,
+            keys: &[String],
+            id: u32,
+        ) -> Result<ResourceKey, SnapshotError> {
+            let index = id as usize;
+            if index >= keys.len() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "key id {id} out of range ({} keys)",
+                    keys.len()
+                )));
+            }
+            Ok(interner.get(&keys[index]).expect("restored above"))
+        }
+        let key = |interner: &KeyInterner, id: u32| key_of(interner, &snapshot.keys, id);
+        // 2. Hostname → domain ownership.
+        for &(h_id, d_id) in &snapshot.hostnames {
+            let (h, d) = (key(&self.interner, h_id)?, key(&self.interner, d_id)?);
+            if self
+                .host_meta
+                .insert(
+                    h,
+                    HostMeta {
+                        domain: d,
+                        counts: Counts::new(),
+                    },
+                )
+                .is_some()
+            {
+                return Err(SnapshotError::Corrupt(format!(
+                    "hostname id {h_id} listed twice"
+                )));
+            }
+            self.hosts_of_domain.entry(d).or_default().push(h);
+        }
+        // 3. Method → (script, name) attribution; re-interning the pair
+        //    also repopulates the interner's pair cache for `get_method`.
+        for &(m_id, s_id, name_id) in &snapshot.methods {
+            let (m, s, name) = (
+                key(&self.interner, m_id)?,
+                key(&self.interner, s_id)?,
+                key(&self.interner, name_id)?,
+            );
+            let script_str = self.interner.resolve_shared(s);
+            let name_str = self.interner.resolve_shared(name);
+            if self.interner.intern_method(&script_str, &name_str) != m {
+                return Err(SnapshotError::Corrupt(format!(
+                    "method id {m_id} does not compose from script id {s_id} + name id {name_id}"
+                )));
+            }
+            if self
+                .method_meta
+                .insert(m, MethodMeta { script: s, name })
+                .is_some()
+            {
+                return Err(SnapshotError::Corrupt(format!(
+                    "method id {m_id} listed twice"
+                )));
+            }
+            self.methods_of_script.entry(s).or_default().push(m);
+        }
+        // 4. Count cells, routed through the same accumulation structures
+        //    `observe` fills, then one commit reclassifies everything.
+        for &(m_id, h_id, tracking, functional) in &snapshot.cells {
+            let (m, h) = (key(&self.interner, m_id)?, key(&self.interner, h_id)?);
+            let counts = Counts {
+                tracking,
+                functional,
+            };
+            if counts.is_empty() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "empty count cell for method id {m_id} on hostname id {h_id}"
+                )));
+            }
+            let s = self
+                .method_meta
+                .get(&m)
+                .ok_or_else(|| {
+                    SnapshotError::Corrupt(format!("cell references unknown method id {m_id}"))
+                })?
+                .script;
+            let host = self.host_meta.get_mut(&h).ok_or_else(|| {
+                SnapshotError::Corrupt(format!("cell references unknown hostname id {h_id}"))
+            })?;
+            host.counts.merge(counts);
+            let d = host.domain;
+            self.domain_counts.entry(d).or_default().merge(counts);
+            match self.script_host.entry((s, h)) {
+                Entry::Occupied(mut entry) => entry.get_mut().merge(counts),
+                Entry::Vacant(entry) => {
+                    entry.insert(counts);
+                    self.scripts_of_host.entry(h).or_default().push(s);
+                    self.hosts_of_script.entry(s).or_default().push(h);
+                }
+            }
+            if self.method_host.insert((m, h), counts).is_some() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "duplicate count cell for method id {m_id} on hostname id {h_id}"
+                )));
+            }
+            self.methods_of_host.entry(h).or_default().push(m);
+            self.hosts_of_method.entry(m).or_default().push(h);
+            self.dirty_domains.insert(d);
+            self.dirty_hosts.insert(h);
+            self.dirty_scripts.insert(s);
+            self.dirty_methods.insert(m);
+            self.observed_requests += counts.total();
+            self.pending_observations += counts.total();
+        }
+        if self.observed_requests != snapshot.observed {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot claims {} observations but its cells sum to {}",
+                snapshot.observed, self.observed_requests
+            )));
+        }
+        // Every hostname row must be backed by at least one cell: a
+        // zero-count hostname is unrepresentable through `observe`, and a
+        // later mixedness flip of its domain would ask the classifier for
+        // an (undefined) verdict on empty counts.
+        for &(h_id, _) in &snapshot.hostnames {
+            let h = key(&self.interner, h_id)?;
+            if self.host_meta[&h].counts.is_empty() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "hostname id {h_id} has no count cells"
+                )));
+            }
+        }
+        self.commit();
+        Ok(())
+    }
+
+    /// From-scratch reference classification over an explicit request set —
+    /// the naive baseline `bench_service` measures incremental commits
+    /// against.
+    pub fn classifier(&self) -> HierarchicalClassifier {
+        HierarchicalClassifier::new(self.thresholds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{figure1_requests, labeled_request as req};
+    use filterlist::RequestLabel;
+
+    fn trained(requests: &[LabeledRequest]) -> Sifter {
+        let mut sifter = Sifter::builder().build();
+        sifter.observe_all(requests);
+        sifter.commit();
+        sifter
+    }
+
+    #[test]
+    fn verdicts_walk_the_figure1_hierarchy() {
+        let sifter = trained(&figure1_requests());
+        let verdict = |d, h, s, m| sifter.verdict(&VerdictRequest::new(d, h, s, m));
+
+        // Decided at domain level.
+        assert_eq!(
+            verdict("ads.com", "px.ads.com", "https://pub.com/a.js", "t"),
+            Verdict::Decided {
+                classification: Classification::Tracking,
+                granularity: Granularity::Domain
+            }
+        );
+        // Mixed domain, decided at hostname level.
+        assert_eq!(
+            verdict(
+                "google.com",
+                "ad.google.com",
+                "https://pub.com/sdk.js",
+                "send"
+            ),
+            Verdict::Decided {
+                classification: Classification::Tracking,
+                granularity: Granularity::Hostname
+            }
+        );
+        // Mixed hostname, decided at script level.
+        assert_eq!(
+            verdict(
+                "google.com",
+                "cdn.google.com",
+                "https://pub.com/stack.js",
+                "load"
+            ),
+            Verdict::Decided {
+                classification: Classification::Functional,
+                granularity: Granularity::Script
+            }
+        );
+        // Mixed script, decided at method level; m2 stays mixed (residue).
+        assert_eq!(
+            verdict(
+                "google.com",
+                "cdn.google.com",
+                "https://pub.com/clone.js",
+                "m1"
+            ),
+            Verdict::Decided {
+                classification: Classification::Tracking,
+                granularity: Granularity::Method
+            }
+        );
+        assert_eq!(
+            verdict(
+                "google.com",
+                "cdn.google.com",
+                "https://pub.com/clone.js",
+                "m2"
+            ),
+            Verdict::Decided {
+                classification: Classification::Mixed,
+                granularity: Granularity::Method
+            }
+        );
+        assert!(verdict("ads.com", "px.ads.com", "https://pub.com/a.js", "t").should_block());
+    }
+
+    #[test]
+    fn unknown_resources_fall_back_to_the_deepest_observed_level() {
+        let sifter = trained(&figure1_requests());
+        // Never-seen domain.
+        assert_eq!(
+            sifter.verdict(&VerdictRequest::new("zzz.com", "a.zzz.com", "s", "m")),
+            Verdict::Unknown
+        );
+        // Known-mixed domain, never-seen hostname: mixed at domain level.
+        assert_eq!(
+            sifter.verdict(&VerdictRequest::new(
+                "google.com",
+                "new.google.com",
+                "s",
+                "m"
+            )),
+            Verdict::Decided {
+                classification: Classification::Mixed,
+                granularity: Granularity::Domain
+            }
+        );
+        // Known-mixed hostname, never-seen script: mixed at hostname level.
+        assert_eq!(
+            sifter.verdict(&VerdictRequest::new(
+                "google.com",
+                "cdn.google.com",
+                "https://pub.com/new.js",
+                "m"
+            )),
+            Verdict::Decided {
+                classification: Classification::Mixed,
+                granularity: Granularity::Hostname
+            }
+        );
+        // Known-mixed script, never-seen method: mixed at script level.
+        assert_eq!(
+            sifter.verdict(&VerdictRequest::new(
+                "google.com",
+                "cdn.google.com",
+                "https://pub.com/clone.js",
+                "m99"
+            )),
+            Verdict::Decided {
+                classification: Classification::Mixed,
+                granularity: Granularity::Script
+            }
+        );
+    }
+
+    #[test]
+    fn hierarchy_export_equals_from_scratch_classification() {
+        let requests = figure1_requests();
+        let sifter = trained(&requests);
+        let scratch = sifter.classifier().classify(&requests);
+        assert_eq!(sifter.hierarchy(), scratch);
+        assert_eq!(
+            sifter.unattributed_requests(),
+            scratch.unattributed_requests
+        );
+    }
+
+    #[test]
+    fn observations_become_visible_only_at_commit() {
+        let requests = figure1_requests();
+        let mut sifter = Sifter::builder().build();
+        sifter.observe_all(&requests);
+        // Nothing committed yet: everything is unknown.
+        assert_eq!(
+            sifter.verdict(&VerdictRequest::from_labeled(&requests[0])),
+            Verdict::Unknown
+        );
+        assert_eq!(sifter.pending(), requests.len() as u64);
+        let stats = sifter.commit();
+        assert_eq!(stats.observations, requests.len() as u64);
+        assert!(stats.reclassified() > 0);
+        assert_eq!(sifter.pending(), 0);
+        assert_ne!(
+            sifter.verdict(&VerdictRequest::from_labeled(&requests[0])),
+            Verdict::Unknown
+        );
+    }
+
+    #[test]
+    fn incremental_flips_propagate_downward() {
+        // Start with hub.com mixed (5 tracking / 5 functional across two
+        // hostnames), then flood it with tracking until the whole domain
+        // crosses the threshold: its hostname/script/method members must
+        // drop out of the finer levels.
+        let mut sifter = Sifter::builder().thresholds(Thresholds::new(1.0)).build();
+        let mut all = Vec::new();
+        for _ in 0..5 {
+            all.push(req(
+                "hub.com",
+                "t.hub.com",
+                "https://p.com/a.js",
+                "send",
+                true,
+            ));
+            all.push(req(
+                "hub.com",
+                "f.hub.com",
+                "https://p.com/b.js",
+                "load",
+                false,
+            ));
+        }
+        sifter.observe_all(&all);
+        sifter.commit();
+        assert_eq!(sifter.hierarchy(), sifter.classifier().classify(&all));
+        assert!(sifter.committed_resources(Granularity::Hostname) > 0);
+
+        for _ in 0..100 {
+            let r = req("hub.com", "t.hub.com", "https://p.com/a.js", "send", true);
+            sifter.observe(&r);
+            all.push(r);
+        }
+        let stats = sifter.commit();
+        assert!(
+            stats.hostnames >= 2,
+            "domain flip must dirty both hostnames"
+        );
+        assert_eq!(sifter.hierarchy(), sifter.classifier().classify(&all));
+        // hub.com is now tracking: no hostname-level members remain.
+        assert_eq!(sifter.committed_resources(Granularity::Hostname), 0);
+        assert_eq!(
+            sifter.verdict(&VerdictRequest::new(
+                "hub.com",
+                "f.hub.com",
+                "https://p.com/b.js",
+                "load"
+            )),
+            Verdict::Decided {
+                classification: Classification::Tracking,
+                granularity: Granularity::Domain
+            }
+        );
+    }
+
+    #[test]
+    fn commit_work_is_proportional_to_the_delta() {
+        let requests = figure1_requests();
+        let mut sifter = trained(&requests);
+        // One more observation on an already-classified pure domain.
+        sifter.observe(&req(
+            "ads.com",
+            "px.ads.com",
+            "https://pub.com/a.js",
+            "t",
+            true,
+        ));
+        let stats = sifter.commit();
+        assert_eq!(stats.observations, 1);
+        // Only the four directly-touched resources get reclassified; no
+        // flips, so nothing propagates.
+        assert_eq!(stats.domains, 1);
+        assert_eq!(stats.hostnames, 1);
+        assert_eq!(stats.scripts, 1);
+        assert_eq!(stats.methods, 1);
+    }
+
+    #[test]
+    fn verdict_batch_matches_single_verdicts() {
+        let requests = figure1_requests();
+        let sifter = trained(&requests);
+        let queries: Vec<VerdictRequest<'_>> =
+            requests.iter().map(VerdictRequest::from_labeled).collect();
+        let batch = sifter.verdict_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (query, verdict) in queries.iter().zip(&batch) {
+            assert_eq!(sifter.verdict(query), *verdict);
+        }
+        let mut buffer = Vec::new();
+        sifter.verdict_batch_into(&queries, &mut buffer);
+        assert_eq!(buffer, batch);
+    }
+
+    #[test]
+    fn observe_url_labels_through_the_configured_engine() {
+        let mut sifter = Sifter::builder()
+            .filter_lists(&[(ListKind::EasyList, "||tracker.io^$third-party\n")])
+            .build();
+        assert!(sifter.has_engine());
+        let label = sifter
+            .observe_url(
+                "https://px.tracker.io/beacon?x=1",
+                "shop.com",
+                ResourceType::Script,
+                "https://shop.com/app.js",
+                "send",
+            )
+            .unwrap();
+        assert_eq!(label, RequestLabel::Tracking);
+        assert_eq!(sifter.observed(), 1);
+        sifter.commit();
+        assert_eq!(
+            sifter.verdict(&VerdictRequest::new(
+                "tracker.io",
+                "px.tracker.io",
+                "https://shop.com/app.js",
+                "send"
+            )),
+            Verdict::Decided {
+                classification: Classification::Tracking,
+                granularity: Granularity::Domain
+            }
+        );
+        // Unparseable URLs are excluded, exactly like the batch labeler.
+        assert!(sifter
+            .observe_url("notaurl", "shop.com", ResourceType::Script, "s", "m")
+            .is_none());
+        assert_eq!(sifter.observed(), 1);
+    }
+
+    #[test]
+    fn restore_rejects_hostnames_without_cells() {
+        // A crafted snapshot whose second hostname has no count cells must
+        // be rejected with a typed error: such a hostname is
+        // unrepresentable through `observe`, and if it slipped through, a
+        // mixedness flip of the shared domain would later ask the
+        // classifier for a verdict on empty counts.
+        let text = concat!(
+            r#"{"format":"trackersift.sifter","version":1,"threshold":2,"observed":2,"#,
+            r#""keys":["d.com","h1.d.com","h2.d.com","s.js","m","s.js :: m"],"#,
+            r#""hostnames":[[1,0],[2,0]],"methods":[[5,3,4]],"cells":[[5,1,1,1]]}"#
+        );
+        let snapshot = SifterSnapshot::parse(text).unwrap();
+        assert!(matches!(
+            Sifter::builder().restore(&snapshot),
+            Err(SnapshotError::Corrupt(message)) if message.contains("no count cells")
+        ));
+    }
+
+    #[test]
+    fn verdict_display_is_human_readable() {
+        let sifter = trained(&figure1_requests());
+        let verdict = sifter.verdict(&VerdictRequest::new(
+            "ads.com",
+            "px.ads.com",
+            "https://pub.com/a.js",
+            "t",
+        ));
+        assert_eq!(verdict.to_string(), "tracking (decided at Domain level)");
+        assert_eq!(Verdict::Unknown.to_string(), "unknown");
+    }
+}

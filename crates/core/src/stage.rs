@@ -54,12 +54,16 @@ impl StageTimings {
         &self.timings
     }
 
+    /// The full timing record of a stage by name, if it ran. Non-panicking
+    /// lookup — prefer this over indexing into [`StageTimings::all`], which
+    /// bakes in assumptions about which stages ran and in what order.
+    pub fn timing(&self, name: &str) -> Option<StageTiming> {
+        self.timings.iter().find(|t| t.name == name).copied()
+    }
+
     /// The duration of a stage by name, if it ran.
     pub fn duration(&self, name: &str) -> Option<Duration> {
-        self.timings
-            .iter()
-            .find(|t| t.name == name)
-            .map(|t| t.duration)
+        self.timing(name).map(|t| t.duration)
     }
 
     /// Total wall-clock time across all recorded stages.
@@ -160,6 +164,8 @@ mod tests {
         assert_eq!(names, vec!["double", "sum"]);
         assert!(timings.duration("double").is_some());
         assert!(timings.duration("missing").is_none());
+        assert_eq!(timings.timing("sum").unwrap().name, "sum");
+        assert!(timings.timing("missing").is_none());
         assert!(timings.total() >= timings.duration("sum").unwrap());
         assert!(timings.summary().contains("double"));
         let rate = timings.rate("double", 3_000).expect("stage ran");

@@ -1,5 +1,6 @@
 //! Quickstart: run the whole TrackerSift pipeline on a small synthetic
-//! corpus and print the paper's two headline tables.
+//! corpus, print the paper's two headline tables through the serving API,
+//! and answer a few per-request verdicts.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -26,19 +27,40 @@ fn main() {
         study.requests.len()
     );
 
-    // 2. The paper's Table 1 (requests) and Table 2 (resources).
-    print!("{}", render_table1(&study.hierarchy));
+    // 2. The study is a *producer* of serving handles: train a Sifter and
+    //    read everything downstream through it. Its `hierarchy()` export is
+    //    byte-identical to the study's own batch classification.
+    let sifter = study.sifter();
+    let hierarchy = sifter.hierarchy();
+    assert_eq!(hierarchy, study.hierarchy);
+
+    // 3. The paper's Table 1 (requests) and Table 2 (resources).
+    print!("{}", render_table1(&hierarchy));
     println!();
-    print!("{}", render_table2(&study.hierarchy));
+    print!("{}", render_table2(&hierarchy));
     println!();
 
-    // 3. The headline numbers from the abstract.
-    print!(
-        "{}",
-        render_headline(&trackersift::headline(&study.hierarchy))
-    );
+    // 4. The headline numbers from the abstract.
+    print!("{}", render_headline(&trackersift::headline(&hierarchy)));
 
-    // 4. A taste of the finer-grained artifacts: the first mixed script and
+    // 5. Per-request verdicts — what a deployed blocker would ask. The
+    //    verdict walk is allocation-free for already-interned keys.
+    println!("\nSample verdicts:");
+    for request in study.requests.iter().take(5) {
+        let verdict = sifter.verdict(&VerdictRequest::from_labeled(request));
+        println!(
+            "  {:<60} -> {} ({})",
+            request.url,
+            verdict,
+            if verdict.should_block() {
+                "block"
+            } else {
+                "allow"
+            }
+        );
+    }
+
+    // 6. A taste of the finer-grained artifacts: the first mixed script and
     //    its surrogate.
     if let Some(surrogate) = study.surrogates().first() {
         println!(

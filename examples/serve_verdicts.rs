@@ -1,0 +1,103 @@
+//! Serving walkthrough: build a `Sifter` once, persist its trained state,
+//! reload it in a "fresh process", query verdicts in bulk, and keep
+//! ingesting new observations incrementally — the deployment loop the
+//! paper motivates for a content blocker or proxy.
+//!
+//! ```sh
+//! cargo run --release --example serve_verdicts
+//! ```
+
+use std::time::Instant;
+use trackersift_suite::prelude::*;
+
+fn main() {
+    // 1. Train: run the batch pipeline once and produce a serving handle.
+    //    Hold back the last 20% of the labeled traffic to replay later as
+    //    the "live" stream.
+    let study = Study::run(StudyConfig {
+        profile: CorpusProfile::small().with_sites(400),
+        seed: 7,
+        ..StudyConfig::default()
+    });
+    let split = study.requests.len() * 8 / 10;
+    let (historical, live) = study.requests.split_at(split);
+
+    let mut sifter = Sifter::builder()
+        .thresholds(study.config.thresholds)
+        .build();
+    sifter.observe_all(historical);
+    let stats = sifter.commit();
+    println!(
+        "Trained on {} requests: {} domains / {} hostnames / {} scripts / {} methods committed.",
+        stats.observations,
+        sifter.committed_resources(Granularity::Domain),
+        sifter.committed_resources(Granularity::Hostname),
+        sifter.committed_resources(Granularity::Script),
+        sifter.committed_resources(Granularity::Method),
+    );
+
+    // 2. Snapshot: export the trained state (versioned JSON through the
+    //    crawl codec) exactly as a long-running service would on shutdown.
+    let snapshot = sifter.snapshot();
+    let path = std::env::temp_dir().join("trackersift_sifter.json");
+    std::fs::write(&path, snapshot.to_json_string()).expect("write snapshot");
+    println!(
+        "Snapshot v{} written to {} ({} keys, {} count cells).",
+        SifterSnapshot::FORMAT_VERSION,
+        path.display(),
+        snapshot.key_count(),
+        snapshot.cell_count(),
+    );
+
+    // 3. Reload: a fresh process restores the snapshot and serves
+    //    immediately — no re-crawl, no re-label, bitwise-identical state.
+    let text = std::fs::read_to_string(&path).expect("read snapshot");
+    let reloaded = SifterSnapshot::parse(&text).expect("parse snapshot");
+    let mut server = Sifter::builder().restore(&reloaded).expect("restore");
+    assert_eq!(server.hierarchy(), sifter.hierarchy());
+    println!("Restored: {} observations, serving.", server.observed());
+
+    // 4. Query: bulk verdicts over the live traffic. The per-verdict walk
+    //    is allocation-free; the reusable buffer makes the batch loop
+    //    allocation-free too.
+    let queries: Vec<VerdictRequest<'_>> = live.iter().map(VerdictRequest::from_labeled).collect();
+    let mut verdicts = Vec::new();
+    let start = Instant::now();
+    server.verdict_batch_into(&queries, &mut verdicts);
+    let elapsed = start.elapsed();
+    let blocked = verdicts.iter().filter(|v| v.should_block()).count();
+    let unknown = verdicts.iter().filter(|v| **v == Verdict::Unknown).count();
+    println!(
+        "\nServed {} verdicts in {:.2?} ({:.0} verdicts/sec): {} block, {} unknown.",
+        verdicts.len(),
+        elapsed,
+        verdicts.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        blocked,
+        unknown,
+    );
+
+    // 5. Ingest: feed the live stream back as observations and commit. The
+    //    commit reclassifies only the dirty slice of the hierarchy, and the
+    //    result is provably identical to retraining from scratch.
+    server.observe_all(live);
+    let start = Instant::now();
+    let stats = server.commit();
+    println!(
+        "\nIncremental commit of {} observations reclassified {} resources in {:.2?}.",
+        stats.observations,
+        stats.reclassified(),
+        start.elapsed(),
+    );
+    let mut scratch = Sifter::builder()
+        .thresholds(study.config.thresholds)
+        .build();
+    scratch.observe_all(&study.requests);
+    scratch.commit();
+    assert_eq!(server.hierarchy(), scratch.hierarchy());
+    assert_eq!(server.hierarchy(), study.hierarchy);
+    println!("observe + commit == from-scratch classification: verified.");
+
+    // 6. Verdicts now reflect the new evidence.
+    let verdict = server.verdict(&VerdictRequest::from_labeled(&live[0]));
+    println!("\nFirst live request now resolves to: {verdict}");
+}

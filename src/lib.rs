@@ -14,6 +14,12 @@
 //! [`trackersift::ResourceKey`] symbols instead of per-request strings.
 //! Parallel runs are deterministic: they produce byte-identical results to
 //! single-threaded runs.
+//!
+//! For deployment, the study is a producer of serving handles:
+//! [`trackersift::Study::sifter`] trains a [`trackersift::Sifter`] that
+//! answers per-request verdicts allocation-free, ingests new observations
+//! incrementally (`observe` + `commit`), and persists its trained state as
+//! a versioned [`trackersift::SifterSnapshot`].
 
 #![warn(missing_docs)]
 
@@ -35,9 +41,10 @@ pub mod prelude {
     pub use crawler::{ClusterConfig, CrawlCluster, CrawlDatabase, LoadOptions, PageLoadSimulator};
     pub use filterlist::{FilterEngine, FilterRequest, RequestLabel, ResourceType};
     pub use trackersift::{
-        Breakage, Classification, Granularity, HierarchicalClassifier, KeyInterner, Labeler,
-        RatioHistogram, ResourceKey, SensitivitySweep, Stage, StageTimings, Study, StudyConfig,
-        Thresholds,
+        Breakage, Classification, CommitStats, Granularity, HierarchicalClassifier, KeyInterner,
+        Labeler, RatioHistogram, ResourceKey, SensitivitySweep, Sifter, SifterBuilder,
+        SifterSnapshot, SnapshotError, Stage, StageTimings, Study, StudyConfig, Thresholds,
+        Verdict, VerdictRequest,
     };
     pub use websim::{CorpusGenerator, CorpusProfile, Purpose, ScriptArchetype, WebCorpus};
 }

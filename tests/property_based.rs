@@ -224,3 +224,104 @@ proptest! {
         prop_assert_eq!(sequential, parallel);
     }
 }
+
+// ---------------------------------------------------------------------------
+// service: interleaved observe()/commit() ≡ from-scratch classification.
+// ---------------------------------------------------------------------------
+
+/// A synthetic labeled request drawn from small key pools, so random
+/// streams collide enough to produce tracking, functional *and* mixed
+/// resources at every granularity. The registrable domain is derived from
+/// the hostname, exactly as the labeling stage derives it.
+fn arb_observation() -> impl Strategy<Value = trackersift::LabeledRequest> {
+    ((0usize..5, 0usize..3), (0usize..5, 0usize..4, 0u64..2)).prop_map(
+        |((domain, host), (script, method, label))| {
+            let hostname = format!("h{host}.d{domain}.com");
+            let script = format!("https://pub.com/s{script}.js");
+            let method = format!("m{method}");
+            let tracking = label == 1;
+            trackersift::LabeledRequest {
+                request_id: 0,
+                top_level_url: "https://www.pub.com/".into(),
+                site_domain: "pub.com".into(),
+                url: format!("https://{hostname}/x"),
+                domain: format!("d{domain}.com"),
+                hostname,
+                resource_type: ResourceType::Xhr,
+                initiator_script: script.clone(),
+                initiator_method: method.clone(),
+                stack: vec![trackersift::LabeledFrame {
+                    script_url: script,
+                    method,
+                }],
+                async_boundary: None,
+                label: if tracking {
+                    RequestLabel::Tracking
+                } else {
+                    RequestLabel::Functional
+                },
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn interleaved_observe_commit_equals_scratch_classification(
+        observations in prop::collection::vec(arb_observation(), 1..150),
+        commit_every in 1usize..12,
+        threshold in 0.5f64..3.0,
+    ) {
+        let thresholds = Thresholds::new(threshold);
+        let classifier = HierarchicalClassifier::new(thresholds);
+        let mut sifter = Sifter::builder().thresholds(thresholds).build();
+
+        for (i, request) in observations.iter().enumerate() {
+            sifter.observe(request);
+            if (i + 1) % commit_every == 0 {
+                sifter.commit();
+                // Every intermediate committed state equals classifying the
+                // prefix from scratch — not just the final one.
+                let scratch = classifier.classify(&observations[..=i]);
+                prop_assert_eq!(sifter.hierarchy(), scratch);
+            }
+        }
+        sifter.commit();
+        let scratch = classifier.classify(&observations);
+        prop_assert_eq!(&sifter.hierarchy(), &scratch);
+
+        // Verdicts agree with the hierarchy's residue accounting: the
+        // mixed-at-method verdicts cover exactly the unattributed requests.
+        let mut residue = 0u64;
+        for request in &observations {
+            let verdict = sifter.verdict(&VerdictRequest::from_labeled(request));
+            prop_assert!(verdict.classification().is_some());
+            if verdict
+                == (Verdict::Decided {
+                    classification: Classification::Mixed,
+                    granularity: Granularity::Method,
+                })
+            {
+                residue += 1;
+            }
+        }
+        prop_assert_eq!(residue, scratch.unattributed_requests);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_lossless_for_random_streams(
+        observations in prop::collection::vec(arb_observation(), 1..100),
+    ) {
+        let mut sifter = Sifter::builder().build();
+        sifter.observe_all(&observations);
+        sifter.commit();
+        let snapshot = sifter.snapshot();
+        let text = snapshot.to_json_string();
+        let parsed = SifterSnapshot::parse(&text).unwrap();
+        let restored = Sifter::builder().restore(&parsed).unwrap();
+        prop_assert_eq!(restored.hierarchy(), sifter.hierarchy());
+        prop_assert_eq!(restored.snapshot().to_json_string(), text);
+    }
+}

@@ -1,0 +1,280 @@
+//! Integration tests of the serving API: verdict semantics at study scale,
+//! the allocation-free hot-path guarantee, snapshot round-trips, and the
+//! observe/commit ≡ from-scratch equivalence on real pipeline output.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use trackersift_suite::prelude::*;
+
+// ---------------------------------------------------------------------------
+// A counting allocator so the "allocation-free verdict" claim is a test,
+// not a comment. The counter is thread-local, so concurrently running
+// tests on other threads cannot perturb a measurement.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System`; the only addition is a
+// thread-local counter bump, which itself never allocates (const-initialised
+// TLS).
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.with(|c| c.get());
+    let result = f();
+    let after = ALLOCATIONS.with(|c| c.get());
+    (after - before, result)
+}
+
+// ---------------------------------------------------------------------------
+// fixtures
+// ---------------------------------------------------------------------------
+
+fn study(sites: usize, seed: u64) -> Study {
+    Study::run(StudyConfig {
+        profile: CorpusProfile::small().with_sites(sites),
+        seed,
+        ..StudyConfig::default()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// serving semantics at study scale
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sifter_equals_from_scratch_classification_on_pipeline_output() {
+    let study = study(120, 7);
+    let sifter = study.sifter();
+    assert_eq!(sifter.hierarchy(), study.hierarchy);
+
+    // Splitting the same requests into arbitrary observe/commit batches
+    // must converge to the identical committed state.
+    let mut incremental = Sifter::builder()
+        .thresholds(study.config.thresholds)
+        .build();
+    for chunk in study.requests.chunks(997) {
+        incremental.observe_all(chunk);
+        incremental.commit();
+    }
+    assert_eq!(incremental.hierarchy(), study.hierarchy);
+}
+
+#[test]
+fn every_trained_request_gets_a_consistent_verdict() {
+    let study = study(100, 21);
+    let sifter = study.sifter();
+    let hierarchy = &study.hierarchy;
+
+    // Independently derive each request's expected classification by
+    // following the hierarchy result level by level.
+    for request in &study.requests {
+        let verdict = sifter.verdict(&VerdictRequest::from_labeled(request));
+        let classification = verdict.classification().expect("trained request");
+        let granularity = verdict.granularity().expect("trained request");
+
+        // The decided level must contain the request's key at that level,
+        // with exactly this classification.
+        let level = hierarchy.level(granularity);
+        let key = match granularity {
+            Granularity::Domain => request.domain.clone(),
+            Granularity::Hostname => request.hostname.clone(),
+            Granularity::Script => request.initiator_script.clone(),
+            Granularity::Method => trackersift::ResourceKey::method_label(
+                &request.initiator_script,
+                &request.initiator_method,
+            ),
+        };
+        let entry = level
+            .resources
+            .iter()
+            .find(|r| r.key == key)
+            .unwrap_or_else(|| panic!("{key} missing from {granularity} level"));
+        assert_eq!(entry.classification, classification, "{key}");
+        // Every coarser level must have classified the request mixed
+        // (otherwise the walk would have stopped there).
+        for coarser in Granularity::ALL.iter().take_while(|g| **g != granularity) {
+            let coarse_key = match coarser {
+                Granularity::Domain => request.domain.as_str(),
+                Granularity::Hostname => request.hostname.as_str(),
+                Granularity::Script => request.initiator_script.as_str(),
+                Granularity::Method => unreachable!("method is the finest level"),
+            };
+            let coarse = hierarchy
+                .level(*coarser)
+                .resources
+                .iter()
+                .find(|r| r.key == coarse_key)
+                .unwrap_or_else(|| panic!("{coarse_key} missing from {coarser} level"));
+            assert_eq!(coarse.classification, Classification::Mixed);
+        }
+    }
+}
+
+#[test]
+fn verdict_batch_is_order_preserving_at_scale() {
+    let study = study(80, 3);
+    let sifter = study.sifter();
+    let queries: Vec<VerdictRequest<'_>> = study
+        .requests
+        .iter()
+        .map(VerdictRequest::from_labeled)
+        .collect();
+    let batch = sifter.verdict_batch(&queries);
+    for (query, verdict) in queries.iter().zip(&batch) {
+        assert_eq!(sifter.verdict(query), *verdict);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// the allocation-free hot path
+// ---------------------------------------------------------------------------
+
+#[test]
+fn verdicts_for_interned_keys_do_not_allocate() {
+    let study = study(60, 11);
+    let sifter = study.sifter();
+    let queries: Vec<VerdictRequest<'_>> = study
+        .requests
+        .iter()
+        .map(VerdictRequest::from_labeled)
+        .collect();
+    assert!(!queries.is_empty());
+
+    // Warm pass (nothing should allocate even cold, but keep the
+    // measurement honest about e.g. lazily-grown TLS).
+    let mut blocked = 0usize;
+    for query in &queries {
+        blocked += usize::from(sifter.verdict(query).should_block());
+    }
+
+    let (allocations, served) = allocations_during(|| {
+        let mut decided = 0usize;
+        for _ in 0..3 {
+            for query in &queries {
+                decided += usize::from(sifter.verdict(query).classification().is_some());
+            }
+        }
+        decided
+    });
+    assert_eq!(served, queries.len() * 3, "every query must be decided");
+    assert_eq!(
+        allocations, 0,
+        "Sifter::verdict allocated on already-interned keys ({blocked} blocked in warmup)"
+    );
+
+    // The batched entry point reuses a caller buffer: allocation-free once
+    // the buffer has grown to the batch size.
+    let mut buffer = Vec::new();
+    sifter.verdict_batch_into(&queries, &mut buffer);
+    let (allocations, _) = allocations_during(|| {
+        for _ in 0..3 {
+            sifter.verdict_batch_into(&queries, &mut buffer);
+        }
+    });
+    assert_eq!(allocations, 0, "verdict_batch_into must reuse the buffer");
+
+    // Unknown keys are also allocation-free (miss on the interner).
+    let miss = VerdictRequest::new("never.example", "x.never.example", "s.js", "m");
+    let (allocations, verdict) = allocations_during(|| sifter.verdict(&miss));
+    assert_eq!(verdict, Verdict::Unknown);
+    assert_eq!(allocations, 0, "unknown-key verdicts must not allocate");
+}
+
+// ---------------------------------------------------------------------------
+// snapshot round-trips
+// ---------------------------------------------------------------------------
+
+#[test]
+fn snapshot_round_trip_preserves_bytes_and_verdicts() {
+    let base = study(90, 5);
+    let sifter = base.sifter();
+
+    // Export → parse → re-export: byte-identical JSON.
+    let snapshot = sifter.snapshot();
+    let text = snapshot.to_json_string();
+    let parsed = SifterSnapshot::parse(&text).expect("own snapshot parses");
+    assert_eq!(parsed, snapshot);
+    assert_eq!(parsed.to_json_string(), text);
+
+    // Restore → identical committed state, verdicts, and re-export bytes.
+    let restored = Sifter::builder().restore(&parsed).expect("restore");
+    assert_eq!(restored.observed(), sifter.observed());
+    assert_eq!(restored.hierarchy(), sifter.hierarchy());
+    assert_eq!(restored.snapshot().to_json_string(), text);
+    assert_eq!(
+        format!("{:?}", restored.hierarchy()).into_bytes(),
+        format!("{:?}", sifter.hierarchy()).into_bytes(),
+        "restored hierarchy must render to identical bytes"
+    );
+    for request in &base.requests {
+        let query = VerdictRequest::from_labeled(request);
+        assert_eq!(restored.verdict(&query), sifter.verdict(&query));
+    }
+
+    // And the restored sifter keeps ingesting: train it further and check
+    // it still matches a from-scratch sifter over the combined stream.
+    let extra = study(30, 99);
+    let mut grown = Sifter::builder().restore(&parsed).expect("restore");
+    grown.observe_all(&extra.requests);
+    grown.commit();
+    let mut scratch = Sifter::builder().thresholds(base.config.thresholds).build();
+    scratch.observe_all(base.requests.iter().chain(&extra.requests));
+    scratch.commit();
+    assert_eq!(grown.hierarchy(), scratch.hierarchy());
+}
+
+#[test]
+fn snapshot_versioning_rejects_foreign_documents() {
+    let study = study(20, 2);
+    let text = study.sifter().snapshot().to_json_string();
+
+    let future = text.replace("\"version\":1", "\"version\":2");
+    assert!(matches!(
+        SifterSnapshot::parse(&future),
+        Err(SnapshotError::UnsupportedVersion {
+            found: 2,
+            supported: 1
+        })
+    ));
+
+    let alien = text.replace("trackersift.sifter", "someone.elses.format");
+    assert!(matches!(
+        SifterSnapshot::parse(&alien),
+        Err(SnapshotError::UnknownFormat(_))
+    ));
+
+    // Tampered totals are caught at restore time.
+    let snapshot = study.sifter().snapshot();
+    let observed = snapshot.observations();
+    let tampered = text.replace(
+        &format!("\"observed\":{observed}"),
+        &format!("\"observed\":{}", observed + 1),
+    );
+    let parsed = SifterSnapshot::parse(&tampered).expect("parses fine");
+    assert!(matches!(
+        Sifter::builder().restore(&parsed),
+        Err(SnapshotError::Corrupt(_))
+    ));
+}
