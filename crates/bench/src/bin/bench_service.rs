@@ -16,17 +16,36 @@
 //! The two states are asserted equal after every batch, so the speedup is
 //! measured between provably equivalent results.
 //!
+//! A third section measures the concurrent reader/writer split under
+//! contention: 1/2/4/8 reader threads each serving pinned verdict batches
+//! from `SifterReader` clones while the single `SifterWriter` keeps
+//! interleaving `observe`+`commit`. Reported per thread count: aggregate
+//! verdicts/sec and the worst-case reader stall (the slowest single pinned
+//! batch — on a lock-free read path this stays flat as commits land;
+//! interpret scaling against the `cores` field, since a single-core
+//! container cannot exhibit parallel speedup).
+//!
 //! Scale and placement can be overridden through the environment:
 //!
 //! * `TRACKERSIFT_BENCH_SITES` — number of websites (default 2000);
 //! * `TRACKERSIFT_BENCH_VERDICTS` — verdicts to serve (default 2,000,000);
 //! * `TRACKERSIFT_BENCH_COMMITS` — delta batches to ingest (default 20);
+//! * `TRACKERSIFT_BENCH_CONTENTION_VERDICTS` — verdicts per contention
+//!   configuration, split across its reader threads (default 400,000);
+//! * `TRACKERSIFT_BENCH_MAX_READERS` — cap on the reader-thread ladder
+//!   (default 8);
 //! * `TRACKERSIFT_BENCH_OUT` — output path (default `BENCH_service.json`).
 
+use std::thread;
 use std::time::{Duration, Instant};
 use trackersift::{Sifter, Study, StudyConfig, Verdict, VerdictRequest};
 use trackersift_bench::env_usize;
 use websim::CorpusProfile;
+
+/// Verdicts served per pinned batch in the contention section: small enough
+/// that the worst-batch figure resolves individual stalls, large enough to
+/// amortise the two pin atomics.
+const PIN_CHUNK: usize = 2_048;
 
 fn ms(duration: Duration) -> f64 {
     duration.as_secs_f64() * 1e3
@@ -110,6 +129,96 @@ fn main() {
     }
     let speedup = baseline_total.as_secs_f64() / incremental_total.as_secs_f64().max(1e-12);
 
+    // ------------------------------------------------------------------
+    // contention: N lock-free readers against a committing writer
+    // ------------------------------------------------------------------
+    let contention_verdicts = env_usize("TRACKERSIFT_BENCH_CONTENTION_VERDICTS", 400_000);
+    let max_readers = env_usize("TRACKERSIFT_BENCH_MAX_READERS", 8).max(1);
+    let cores = thread::available_parallelism().map_or(1, |n| n.get());
+    let (mut writer, reader) = sifter.into_concurrent();
+    let mut contention_rows = Vec::new();
+    let mut single_reader_rate = 0.0f64;
+    for readers in [1usize, 2, 4, 8] {
+        if readers > max_readers {
+            continue;
+        }
+        let per_thread = contention_verdicts.div_ceil(readers);
+        let mut commits_during = 0u64;
+        let mut results: Vec<(u64, Duration)> = Vec::new();
+        let wall_start = Instant::now();
+        thread::scope(|scope| {
+            let mut workers = Vec::new();
+            for _ in 0..readers {
+                let reader = reader.clone();
+                let queries = &queries;
+                workers.push(scope.spawn(move || {
+                    let mut served = 0u64;
+                    let mut worst = Duration::ZERO;
+                    let mut verdicts: Vec<Verdict> = Vec::new();
+                    let mut offset = 0usize;
+                    while served < per_thread as u64 {
+                        let end = (offset + PIN_CHUNK).min(queries.len());
+                        let chunk = &queries[offset..end];
+                        offset = if end == queries.len() { 0 } else { end };
+                        let start = Instant::now();
+                        reader.verdict_batch_into(chunk, &mut verdicts);
+                        worst = worst.max(start.elapsed());
+                        served += verdicts.len() as u64;
+                    }
+                    (served, worst)
+                }));
+            }
+            // The writer keeps the dirty-set machinery busy for the whole
+            // measurement: re-observe live-stream chunks and commit until
+            // every reader has served its share.
+            let mut live_cycle = live.chunks(chunk_size).cycle();
+            loop {
+                let chunk = live_cycle.next().expect("cycle never ends");
+                writer.observe_all(chunk);
+                writer.commit();
+                commits_during += 1;
+                thread::sleep(Duration::from_micros(500));
+                if workers.iter().all(|w| w.is_finished()) {
+                    break;
+                }
+            }
+            for worker in workers {
+                results.push(worker.join().expect("reader thread panicked"));
+            }
+        });
+        let wall = wall_start.elapsed().as_secs_f64();
+        let total_served: u64 = results.iter().map(|(served, _)| served).sum();
+        let aggregate = total_served as f64 / wall.max(1e-12);
+        let worst_batch = results
+            .iter()
+            .map(|(_, worst)| *worst)
+            .max()
+            .unwrap_or(Duration::ZERO);
+        if readers == 1 {
+            single_reader_rate = aggregate;
+        }
+        eprintln!(
+            "bench_service: contention {readers} reader(s): {aggregate:.0} verdicts/sec \
+             aggregate, worst pinned batch {:.3}ms, {commits_during} commits interleaved",
+            ms(worst_batch),
+        );
+        contention_rows.push(format!(
+            concat!(
+                "    {{\"readers\": {readers}, \"verdicts_served\": {served}, ",
+                "\"aggregate_verdicts_per_sec\": {rate:.2}, ",
+                "\"speedup_vs_single_reader\": {scaling:.3}, ",
+                "\"worst_batch_ms\": {worst:.3}, \"commits_interleaved\": {commits}}}"
+            ),
+            readers = readers,
+            served = total_served,
+            rate = aggregate,
+            scaling = aggregate / single_reader_rate.max(1e-12),
+            worst = ms(worst_batch),
+            commits = commits_during,
+        ));
+    }
+    let contention_json = contention_rows.join(",\n");
+
     let json = format!(
         concat!(
             "{{\n",
@@ -128,7 +237,9 @@ fn main() {
             "  \"full_reclassify_ms_mean\": {base_mean:.3},\n",
             "  \"reclassified_resources\": {reclassified},\n",
             "  \"commit_speedup\": {speedup:.2},\n",
-            "  \"equivalence_checked\": true\n",
+            "  \"equivalence_checked\": true,\n",
+            "  \"cores\": {cores},\n",
+            "  \"contention\": [\n{contention}\n  ]\n",
             "}}\n"
         ),
         sites = sites,
@@ -145,6 +256,8 @@ fn main() {
         base_mean = ms(baseline_total) / batches.max(1) as f64,
         reclassified = reclassified_resources,
         speedup = speedup,
+        cores = cores,
+        contention = contention_json,
     );
 
     std::fs::write(&out_path, &json).expect("write benchmark output");

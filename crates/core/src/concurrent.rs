@@ -1,0 +1,617 @@
+//! Concurrent serving: lock-free [`SifterReader`] handles plus a single
+//! [`SifterWriter`] with atomically published verdict tables.
+//!
+//! A deployed blocker or proxy is read-dominated with a trickle of writes:
+//! millions of verdict queries per second, an `observe`+`commit` batch every
+//! few seconds. Wrapping a [`Sifter`] in an `RwLock` makes every commit (and
+//! even every observe) stall all verdict traffic. This module splits the
+//! sifter instead:
+//!
+//! * [`Sifter::into_concurrent`] / [`SifterBuilder::build_concurrent`](crate::service::SifterBuilder::build_concurrent)
+//!   return a cheaply-cloneable [`SifterReader`] (`Clone + Send + Sync`) and
+//!   one [`SifterWriter`];
+//! * readers serve [`SifterReader::verdict`] / [`SifterReader::verdict_batch`]
+//!   from an immutable [`VerdictTable`] reached through an atomically
+//!   swapped pointer — **no mutex or rwlock on the query path** — so a
+//!   reader never observes a half-applied commit and never waits for the
+//!   writer;
+//! * the writer keeps the sifter's incremental dirty-set machinery;
+//!   [`SifterWriter::commit`] reclassifies the dirty slice and publishes the
+//!   next table in one atomic swap.
+//!
+//! # How publication stays safe without locks (hand-rolled, `std`-only)
+//!
+//! The shared state holds the current table as an `AtomicPtr` borrowed from
+//! an owning `Arc`. The classic hazard with such a pointer is reclamation:
+//! a reader that loaded the pointer must not have the table freed under it.
+//! Rather than pull in `arc-swap` or epoch machinery, each reader handle
+//! owns a **hazard slot**:
+//!
+//! 1. a reader pins by storing the loaded pointer into its slot and then
+//!    re-checking that the pointer is still current (retrying on the rare
+//!    race with a publish) — two `SeqCst` atomic operations, no lock;
+//! 2. the writer publishes by swapping the pointer and moving the previous
+//!    table onto a retire list; it frees a retired table only when no
+//!    hazard slot protects it.
+//!
+//! Because the hazard store happens *before* the validation load, and the
+//! writer's swap happens *before* its hazard scan (all `SeqCst`), a reader
+//! that validated successfully is guaranteed visible to every later scan —
+//! the protected table cannot be freed while pinned. Readers therefore
+//! never touch a reference count or a lock; the writer alone reclaims.
+//!
+//! One [`PinnedTable`] guard covers a whole [`SifterReader::verdict_batch`],
+//! so bulk serving amortises the two pin atomics across the batch. A pinned
+//! table is a consistent point-in-time state: its
+//! [`version`](VerdictTable::version) is the commit count, strictly
+//! increasing across publishes, which is what the stress tests use to prove
+//! atomic publication (every served verdict equals some committed state,
+//! never a torn mix).
+//!
+//! The only lock in the module guards reader registration (clone/drop), the
+//! retire list, and a slow-path fallback used when a *single* reader handle
+//! is pinned from two threads at once (clone the reader per thread — the
+//! intended mode — and the fallback never runs).
+
+use crate::label::LabeledRequest;
+use crate::service::{CommitStats, ObserveOutcome, Sifter, Verdict, VerdictRequest};
+use crate::snapshot::SifterSnapshot;
+use crate::table::VerdictTable;
+use filterlist::ResourceType;
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One reader's hazard slot: the table pointer it is currently reading (if
+/// any), visible to the writer's reclamation scan.
+#[derive(Debug)]
+struct HazardSlot {
+    /// Exclusive-use flag: a pin claims the slot with a CAS so two threads
+    /// sharing one reader handle cannot corrupt each other's hazard.
+    claimed: AtomicBool,
+    /// The table this slot protects; null when not pinned.
+    protected: AtomicPtr<VerdictTable>,
+}
+
+impl HazardSlot {
+    fn new() -> Self {
+        HazardSlot {
+            claimed: AtomicBool::new(false),
+            protected: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+}
+
+/// State shared by the writer and every reader. The `owner` mutex holds the
+/// `Arc` that keeps the current table alive; `current` caches its raw
+/// pointer for the lock-free read path.
+#[derive(Debug)]
+struct Shared {
+    current: AtomicPtr<VerdictTable>,
+    owner: Mutex<Arc<VerdictTable>>,
+    /// Previously published tables that may still be pinned by a reader.
+    retired: Mutex<Vec<Arc<VerdictTable>>>,
+    /// Every live reader's hazard slot, scanned before reclaiming.
+    slots: Mutex<Vec<Arc<HazardSlot>>>,
+}
+
+impl Shared {
+    fn new(table: Arc<VerdictTable>) -> Self {
+        Shared {
+            current: AtomicPtr::new(Arc::as_ptr(&table) as *mut VerdictTable),
+            owner: Mutex::new(table),
+            retired: Mutex::new(Vec::new()),
+            slots: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Swap in `table` as the current one and reclaim every retired table
+    /// no hazard slot protects.
+    fn publish(&self, table: Arc<VerdictTable>) {
+        let next = Arc::as_ptr(&table) as *mut VerdictTable;
+        let previous = {
+            let mut owner = self.owner.lock().expect("table owner lock");
+            let previous = std::mem::replace(&mut *owner, table);
+            self.current.store(next, Ordering::SeqCst);
+            previous
+        };
+        let mut retired = self.retired.lock().expect("retire list lock");
+        retired.push(previous);
+        let slots = self.slots.lock().expect("hazard registry lock");
+        // Keep (only) the tables some reader still pins; dropping the rest
+        // here is safe because a pin is visible to this scan before its
+        // validation load can succeed (see the module docs).
+        retired.retain(|old| {
+            let old = Arc::as_ptr(old) as *mut VerdictTable;
+            slots
+                .iter()
+                .any(|slot| slot.protected.load(Ordering::SeqCst) == old)
+        });
+    }
+}
+
+impl Sifter {
+    /// Split this sifter into a concurrent serving pair: a single
+    /// [`SifterWriter`] (ingestion) and a [`SifterReader`] (verdicts) that
+    /// can be cloned into as many reader handles as there are serving
+    /// threads. The current committed state is published immediately, so
+    /// readers serve from the first instant.
+    pub fn into_concurrent(mut self) -> (SifterWriter, SifterReader) {
+        let table = Arc::new(self.verdict_table());
+        let shared = Arc::new(Shared::new(table));
+        let reader = SifterReader::register(Arc::clone(&shared));
+        (
+            SifterWriter {
+                sifter: self,
+                shared,
+            },
+            reader,
+        )
+    }
+}
+
+/// The single ingestion handle of a concurrent sifter pair.
+///
+/// Wraps the [`Sifter`]'s incremental machinery: `observe*` buffers count
+/// deltas and dirty marks exactly as [`Sifter::observe`] does, and
+/// [`SifterWriter::commit`] reclassifies only the dirty slice, then
+/// publishes the resulting [`VerdictTable`] to every reader in one atomic
+/// swap. Readers keep serving the previous table until the swap, and batches
+/// that already pinned the previous table finish on it — a commit is never
+/// observable half-applied.
+///
+/// ```
+/// use trackersift::{Sifter, VerdictRequest};
+///
+/// let (mut writer, reader) = Sifter::builder().build_concurrent();
+/// writer.observe_parts("ads.com", "px.ads.com", "https://pub.com/a.js", "send", true);
+/// assert_eq!(writer.sifter().pending(), 1);
+///
+/// let stats = writer.commit(); // reclassify the delta + publish atomically
+/// assert_eq!(stats.observations, 1);
+/// let query = VerdictRequest::new("ads.com", "px.ads.com", "https://pub.com/a.js", "send");
+/// assert!(reader.verdict(&query).should_block());
+/// ```
+#[derive(Debug)]
+pub struct SifterWriter {
+    sifter: Sifter,
+    shared: Arc<Shared>,
+}
+
+impl SifterWriter {
+    /// Ingest one labeled request (buffered until the next
+    /// [`SifterWriter::commit`]); see [`Sifter::observe`].
+    pub fn observe(&mut self, request: &LabeledRequest) {
+        self.sifter.observe(request);
+    }
+
+    /// Ingest a batch of labeled requests; see [`Sifter::observe_all`].
+    pub fn observe_all<'a>(&mut self, requests: impl IntoIterator<Item = &'a LabeledRequest>) {
+        self.sifter.observe_all(requests);
+    }
+
+    /// Ingest one observation by its four attribution keys and label; see
+    /// [`Sifter::observe_parts`].
+    pub fn observe_parts(
+        &mut self,
+        domain: &str,
+        hostname: &str,
+        script: &str,
+        method: &str,
+        tracking: bool,
+    ) {
+        self.sifter
+            .observe_parts(domain, hostname, script, method, tracking);
+    }
+
+    /// Label and ingest one raw request URL; see [`Sifter::observe_url`].
+    pub fn observe_url(
+        &mut self,
+        url: &str,
+        source_hostname: &str,
+        resource_type: ResourceType,
+        initiator_script: &str,
+        initiator_method: &str,
+    ) -> ObserveOutcome {
+        self.sifter.observe_url(
+            url,
+            source_hostname,
+            resource_type,
+            initiator_script,
+            initiator_method,
+        )
+    }
+
+    /// Fold all pending observations into the servable state
+    /// (reclassification work proportional to the dirty slice, as
+    /// [`Sifter::commit`]) and publish the new [`VerdictTable`] to every
+    /// reader in one atomic swap.
+    ///
+    /// Publication itself copies the dense class arrays (a few bytes per
+    /// distinct key — a memcpy, not a reclassification) because readers may
+    /// still be pinning the previous table; the frozen key lookup is only
+    /// re-cloned when the delta interned new keys, and is shared between
+    /// tables otherwise. For corpus-scale states this publication cost is
+    /// small next to the avoided full reclassify (see the `commit_speedup`
+    /// and contention sections of `BENCH_service.json`).
+    pub fn commit(&mut self) -> CommitStats {
+        let stats = self.sifter.commit();
+        self.shared.publish(Arc::new(self.sifter.verdict_table()));
+        stats
+    }
+
+    /// Mint another reader handle (equivalent to cloning any existing one).
+    pub fn reader(&self) -> SifterReader {
+        SifterReader::register(Arc::clone(&self.shared))
+    }
+
+    /// Read-only access to the underlying sifter, for inspection and
+    /// export: [`Sifter::hierarchy`], [`Sifter::ingest_stats`],
+    /// [`Sifter::committed_resources`], …
+    pub fn sifter(&self) -> &Sifter {
+        &self.sifter
+    }
+
+    /// Export the trained state as a versioned snapshot; see
+    /// [`Sifter::snapshot`].
+    pub fn snapshot(&self) -> SifterSnapshot {
+        self.sifter.snapshot()
+    }
+
+    /// Dissolve the pair and take the sifter back. Existing readers keep
+    /// serving the last published table indefinitely; no further commits
+    /// will reach them.
+    pub fn into_sifter(self) -> Sifter {
+        self.sifter
+    }
+}
+
+/// A lock-free verdict-serving handle over the writer's last published
+/// [`VerdictTable`].
+///
+/// `SifterReader` is `Clone + Send + Sync`: clone one handle per serving
+/// thread. Every query pins the current table through the handle's hazard
+/// slot (two atomic operations, no lock — see the [module docs](self)), and
+/// [`SifterReader::verdict_batch`] pins **once for the whole batch**, so a
+/// batch is answered from a single consistent committed state even while
+/// the writer publishes mid-batch.
+///
+/// ```
+/// use std::thread;
+/// use trackersift::{Sifter, VerdictRequest};
+///
+/// let (mut writer, reader) = Sifter::builder().build_concurrent();
+/// writer.observe_parts("ads.com", "px.ads.com", "https://pub.com/a.js", "send", true);
+/// writer.commit();
+///
+/// let workers: Vec<_> = (0..4)
+///     .map(|_| {
+///         let reader = reader.clone(); // one handle per thread
+///         thread::spawn(move || {
+///             let query =
+///                 VerdictRequest::new("ads.com", "px.ads.com", "https://pub.com/a.js", "send");
+///             reader.verdict(&query).should_block()
+///         })
+///     })
+///     .collect();
+/// for worker in workers {
+///     assert!(worker.join().unwrap());
+/// }
+/// ```
+#[derive(Debug)]
+pub struct SifterReader {
+    shared: Arc<Shared>,
+    slot: Arc<HazardSlot>,
+}
+
+impl SifterReader {
+    /// Create a handle with a fresh hazard slot and register the slot for
+    /// the writer's reclamation scans.
+    fn register(shared: Arc<Shared>) -> Self {
+        let slot = Arc::new(HazardSlot::new());
+        shared
+            .slots
+            .lock()
+            .expect("hazard registry lock")
+            .push(Arc::clone(&slot));
+        SifterReader { shared, slot }
+    }
+
+    /// Pin the current table for a sequence of reads. The returned guard
+    /// serves any number of verdicts from one consistent committed state;
+    /// the writer can publish concurrently without affecting it. Dropping
+    /// the guard releases the table for reclamation.
+    ///
+    /// Fast path (handle not pinned elsewhere): two `SeqCst` atomics, no
+    /// lock. If this *same* handle is concurrently pinned from another
+    /// thread, the pin falls back to cloning the table's `Arc` under a
+    /// mutex — clone the reader per thread to stay on the lock-free path.
+    pub fn pin(&self) -> PinnedTable<'_> {
+        if self
+            .slot
+            .claimed
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            loop {
+                let table = self.shared.current.load(Ordering::SeqCst);
+                self.slot.protected.store(table, Ordering::SeqCst);
+                // Validate after announcing the hazard: success means every
+                // later reclamation scan sees the hazard, so `table` cannot
+                // be freed while this guard lives.
+                if self.shared.current.load(Ordering::SeqCst) == table {
+                    return PinnedTable {
+                        table,
+                        guard: Guard::Hazard(&self.slot),
+                    };
+                }
+                // Lost a race with a publish: retarget and revalidate.
+            }
+        }
+        let table = Arc::clone(&self.shared.owner.lock().expect("table owner lock"));
+        PinnedTable {
+            table: ptr::null_mut(),
+            guard: Guard::Owned(table),
+        }
+    }
+
+    /// Answer one verdict query against the current published table.
+    pub fn verdict(&self, request: &VerdictRequest<'_>) -> Verdict {
+        self.pin().verdict(request)
+    }
+
+    /// Serve a batch of verdicts (one output per input, in order) from a
+    /// single pinned table: the whole batch reflects exactly one committed
+    /// state, even if the writer publishes mid-batch.
+    pub fn verdict_batch(&self, requests: &[VerdictRequest<'_>]) -> Vec<Verdict> {
+        let mut out = Vec::new();
+        self.verdict_batch_into(requests, &mut out);
+        out
+    }
+
+    /// Serve a batch of verdicts into a reusable buffer (cleared first);
+    /// the batched analogue of [`Sifter::verdict_batch_into`], pinned once.
+    pub fn verdict_batch_into(&self, requests: &[VerdictRequest<'_>], out: &mut Vec<Verdict>) {
+        let pin = self.pin();
+        let table = pin.table();
+        out.clear();
+        out.reserve(requests.len());
+        for request in requests {
+            out.push(table.verdict(request));
+        }
+    }
+
+    /// The version (commit count) of the currently published table.
+    pub fn version(&self) -> u64 {
+        self.pin().version()
+    }
+
+    /// Observations folded into the currently published table.
+    pub fn committed(&self) -> u64 {
+        self.pin().committed()
+    }
+}
+
+impl Clone for SifterReader {
+    fn clone(&self) -> Self {
+        SifterReader::register(Arc::clone(&self.shared))
+    }
+}
+
+impl Drop for SifterReader {
+    fn drop(&mut self) {
+        let mut slots = self.shared.slots.lock().expect("hazard registry lock");
+        slots.retain(|slot| !Arc::ptr_eq(slot, &self.slot));
+    }
+}
+
+// The serving contract: reader handles are shared across worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SifterReader>();
+    assert_send_sync::<SifterWriter>();
+};
+
+/// Keeps a [`PinnedTable`]'s table alive: either the reader's hazard slot
+/// (fast path) or an owned `Arc` (slow path).
+#[derive(Debug)]
+enum Guard<'a> {
+    Hazard(&'a HazardSlot),
+    Owned(Arc<VerdictTable>),
+}
+
+/// A pinned, immutable [`VerdictTable`]: one consistent committed state,
+/// valid for the guard's lifetime no matter what the writer publishes.
+/// Created by [`SifterReader::pin`]; not `Send` (the pin belongs to the
+/// thread that took it).
+#[derive(Debug)]
+pub struct PinnedTable<'a> {
+    /// Hazard-protected pointer; null (unused) on the `Owned` path.
+    table: *mut VerdictTable,
+    guard: Guard<'a>,
+}
+
+impl PinnedTable<'_> {
+    /// The pinned table.
+    pub fn table(&self) -> &VerdictTable {
+        match &self.guard {
+            // SAFETY: the hazard slot announced `self.table` *before* the
+            // pin validated it as current, so the writer's reclamation scan
+            // retains it until the slot is cleared — which only `drop` does.
+            Guard::Hazard(_) => unsafe { &*self.table },
+            Guard::Owned(table) => table,
+        }
+    }
+
+    /// Answer one verdict query against the pinned state.
+    pub fn verdict(&self, request: &VerdictRequest<'_>) -> Verdict {
+        self.table().verdict(request)
+    }
+
+    /// The pinned table's version (commit count at publish time).
+    pub fn version(&self) -> u64 {
+        self.table().version()
+    }
+
+    /// Observations folded into the pinned state.
+    pub fn committed(&self) -> u64 {
+        self.table().committed()
+    }
+
+    /// Requests still attributed to mixed methods as of the pinned state.
+    pub fn unattributed(&self) -> u64 {
+        self.table().unattributed()
+    }
+}
+
+impl Drop for PinnedTable<'_> {
+    fn drop(&mut self) {
+        if let Guard::Hazard(slot) = &self.guard {
+            slot.protected.store(ptr::null_mut(), Ordering::SeqCst);
+            slot.claimed.store(false, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratio::Classification;
+    use crate::service::VerdictRequest;
+
+    fn block_query<'a>() -> VerdictRequest<'a> {
+        VerdictRequest::new("ads.com", "px.ads.com", "https://pub.com/a.js", "send")
+    }
+
+    #[test]
+    fn commits_become_visible_to_existing_and_cloned_readers() {
+        let (mut writer, reader) = Sifter::builder().build_concurrent();
+        assert_eq!(reader.version(), 0);
+        assert_eq!(reader.verdict(&block_query()), Verdict::Unknown);
+
+        writer.observe_parts(
+            "ads.com",
+            "px.ads.com",
+            "https://pub.com/a.js",
+            "send",
+            true,
+        );
+        // Buffered: readers still see the old table.
+        assert_eq!(reader.verdict(&block_query()), Verdict::Unknown);
+        writer.commit();
+
+        let cloned = reader.clone();
+        let minted = writer.reader();
+        for handle in [&reader, &cloned, &minted] {
+            assert_eq!(handle.version(), 1);
+            assert!(handle.verdict(&block_query()).should_block());
+        }
+    }
+
+    #[test]
+    fn a_pinned_table_survives_later_publishes_unchanged() {
+        let (mut writer, reader) = Sifter::builder().build_concurrent();
+        writer.observe_parts(
+            "ads.com",
+            "px.ads.com",
+            "https://pub.com/a.js",
+            "send",
+            true,
+        );
+        writer.commit();
+
+        let pin = reader.pin();
+        assert_eq!(pin.version(), 1);
+        assert!(pin.verdict(&block_query()).should_block());
+
+        // Publish twice more while the pin is held: the pinned state must
+        // not move, while fresh pins see the newest table.
+        for _ in 0..2 {
+            writer.observe_parts(
+                "ads.com",
+                "px.ads.com",
+                "https://pub.com/a.js",
+                "send",
+                false,
+            );
+            writer.commit();
+        }
+        assert_eq!(pin.version(), 1);
+        assert!(pin.verdict(&block_query()).should_block());
+        let fresh = writer.reader();
+        assert_eq!(fresh.version(), 3);
+        assert_eq!(
+            fresh.verdict(&block_query()).classification(),
+            Some(Classification::Mixed)
+        );
+        drop(pin);
+        assert_eq!(reader.version(), 3);
+    }
+
+    #[test]
+    fn concurrent_pins_on_one_handle_fall_back_safely() {
+        let (mut writer, reader) = Sifter::builder().build_concurrent();
+        writer.observe_parts(
+            "ads.com",
+            "px.ads.com",
+            "https://pub.com/a.js",
+            "send",
+            true,
+        );
+        writer.commit();
+
+        // Second pin on the same handle while the first is alive: the slot
+        // is claimed, so it must take the owned fallback — and still serve
+        // the same published state.
+        let first = reader.pin();
+        let second = reader.pin();
+        assert_eq!(first.version(), second.version());
+        assert_eq!(
+            first.verdict(&block_query()),
+            second.verdict(&block_query())
+        );
+        drop(first);
+        drop(second);
+        // The slot is free again: the fast path works afterwards.
+        assert_eq!(reader.pin().version(), 1);
+    }
+
+    #[test]
+    fn readers_outlive_the_writer_on_the_last_published_table() {
+        let (mut writer, reader) = Sifter::builder().build_concurrent();
+        writer.observe_parts(
+            "ads.com",
+            "px.ads.com",
+            "https://pub.com/a.js",
+            "send",
+            true,
+        );
+        writer.commit();
+        let sifter = writer.into_sifter();
+        assert_eq!(sifter.commits(), 1);
+        // The writer is gone; the reader keeps serving the last table.
+        assert!(reader.verdict(&block_query()).should_block());
+        assert_eq!(reader.clone().version(), 1);
+    }
+
+    #[test]
+    fn writer_observe_paths_mirror_the_sifter() {
+        let (mut writer, _reader) = Sifter::builder().build_concurrent();
+        assert_eq!(
+            writer.observe_url(
+                "https://x.test/a",
+                "pub.com",
+                ResourceType::Script,
+                "s.js",
+                "m"
+            ),
+            ObserveOutcome::NoEngine
+        );
+        writer.observe_parts("a.com", "h.a.com", "s.js", "m", true);
+        assert_eq!(writer.sifter().pending(), 1);
+        let stats = writer.commit();
+        assert_eq!(stats.observations, 1);
+        assert_eq!(writer.snapshot().observations(), 1);
+        assert_eq!(writer.sifter().ingest_stats().no_engine, 1);
+    }
+}

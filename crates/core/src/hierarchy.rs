@@ -49,6 +49,19 @@ impl Granularity {
         Granularity::Method,
     ];
 
+    /// The position of this granularity in [`Granularity::ALL`] (coarsest =
+    /// 0). This is the array index the flattened
+    /// [`VerdictTable`](crate::table::VerdictTable) uses for its dense
+    /// per-granularity class arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Granularity::Domain => 0,
+            Granularity::Hostname => 1,
+            Granularity::Script => 2,
+            Granularity::Method => 3,
+        }
+    }
+
     /// Human-readable name.
     pub fn name(&self) -> &'static str {
         match self {
@@ -400,6 +413,13 @@ impl HierarchicalClassifier {
 mod tests {
     use super::*;
     use crate::testutil::figure1_requests;
+
+    #[test]
+    fn granularity_index_matches_position_in_all() {
+        for (i, g) in Granularity::ALL.iter().enumerate() {
+            assert_eq!(g.index(), i);
+        }
+    }
 
     #[test]
     fn figure1_domains_classify_as_expected() {

@@ -53,6 +53,77 @@ impl ResourceKey {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// A key with an explicit index, for unit tests that exercise
+    /// key-indexed structures without an interner.
+    #[cfg(test)]
+    pub(crate) fn test_key(index: u32) -> Self {
+        ResourceKey(index)
+    }
+}
+
+/// Read-only resolution of verdict-query strings to [`ResourceKey`]s — the
+/// lookup half of an interner, without the ability to intern.
+///
+/// Two implementations exist: the live [`KeyInterner`] (used by the
+/// single-threaded [`Sifter`](crate::service::Sifter), whose interner keeps
+/// growing between commits) and the immutable [`FrozenKeys`] view carried by
+/// every published [`VerdictTable`](crate::table::VerdictTable) (used by
+/// concurrent readers, which must never race the writer's interner). The
+/// shared verdict walk is generic over this trait, so both paths read
+/// through one implementation.
+pub trait KeyResolver {
+    /// Look up a string's key without interning it.
+    fn key(&self, key: &str) -> Option<ResourceKey>;
+
+    /// Look up the composed method key of an already-resolved
+    /// `(script, method-name)` pair without building the
+    /// `script :: method` string.
+    fn method_key(&self, script: ResourceKey, name: ResourceKey) -> Option<ResourceKey>;
+}
+
+/// An immutable, cheaply shareable snapshot of a [`KeyInterner`]'s lookup
+/// state: string → key plus the `(script, name)` → method-key pair cache.
+///
+/// A [`VerdictTable`](crate::table::VerdictTable) pins one of these so a
+/// concurrent reader resolves query strings against exactly the key space
+/// its dense class arrays were built for — keys interned after the freeze
+/// simply miss, which the verdict walk already treats as "not observed".
+/// Freezing clones the two lookup maps (the `Arc<str>` key storage is
+/// shared, not copied); the writer re-freezes only when the interner has
+/// actually grown since the last published table.
+#[derive(Debug, Clone, Default)]
+pub struct FrozenKeys {
+    lookup: HashMap<Arc<str>, ResourceKey, TokenHashBuilder>,
+    method_pairs: HashMap<(ResourceKey, ResourceKey), ResourceKey, TokenHashBuilder>,
+    len: usize,
+}
+
+impl FrozenKeys {
+    /// Number of distinct keys the snapshot resolves.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the snapshot resolves no keys at all.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of `(script, name)` pairs the snapshot resolves.
+    pub fn pair_count(&self) -> usize {
+        self.method_pairs.len()
+    }
+}
+
+impl KeyResolver for FrozenKeys {
+    fn key(&self, key: &str) -> Option<ResourceKey> {
+        self.lookup.get(key).copied()
+    }
+
+    fn method_key(&self, script: ResourceKey, name: ResourceKey) -> Option<ResourceKey> {
+        self.method_pairs.get(&(script, name)).copied()
+    }
 }
 
 /// An append-only string interner for resource keys.
@@ -154,9 +225,26 @@ impl KeyInterner {
         Arc::clone(&self.strings[key.index()])
     }
 
+    /// Snapshot the lookup state as an immutable [`FrozenKeys`] view. See
+    /// the [`FrozenKeys`] docs for cost and staleness semantics.
+    pub fn freeze(&self) -> FrozenKeys {
+        FrozenKeys {
+            lookup: self.lookup.clone(),
+            method_pairs: self.method_pairs.clone(),
+            len: self.strings.len(),
+        }
+    }
+
     /// Number of distinct interned strings.
     pub fn len(&self) -> usize {
         self.strings.len()
+    }
+
+    /// Number of `(script, name)` method pairs filed by
+    /// [`KeyInterner::intern_method`]. Together with [`KeyInterner::len`]
+    /// this tells a cached [`FrozenKeys`] whether it is stale.
+    pub fn pair_count(&self) -> usize {
+        self.method_pairs.len()
     }
 
     /// `true` when nothing has been interned.
@@ -170,6 +258,16 @@ impl KeyInterner {
             .iter()
             .enumerate()
             .map(|(i, s)| (ResourceKey(i as u32), s.as_ref()))
+    }
+}
+
+impl KeyResolver for KeyInterner {
+    fn key(&self, key: &str) -> Option<ResourceKey> {
+        self.lookup.get(key).copied()
+    }
+
+    fn method_key(&self, script: ResourceKey, name: ResourceKey) -> Option<ResourceKey> {
+        self.method_pairs.get(&(script, name)).copied()
     }
 }
 
@@ -238,6 +336,33 @@ mod tests {
         let id = interner.intern("present");
         assert_eq!(interner.get("present"), Some(id));
         assert_eq!(interner.len(), 1);
+    }
+
+    #[test]
+    fn frozen_keys_resolve_exactly_the_state_at_freeze_time() {
+        let mut interner = KeyInterner::new();
+        let d = interner.intern("ads.com");
+        let m = interner.intern_method("s.js", "run");
+        let frozen = interner.freeze();
+        assert_eq!(frozen.len(), interner.len());
+        assert_eq!(frozen.pair_count(), interner.pair_count());
+        assert!(!frozen.is_empty());
+
+        // Everything present at freeze time resolves identically through
+        // both KeyResolver implementations.
+        assert_eq!(frozen.key("ads.com"), Some(d));
+        assert_eq!(KeyResolver::key(&interner, "ads.com"), Some(d));
+        let s = interner.get("s.js").unwrap();
+        let name = interner.get("run").unwrap();
+        assert_eq!(frozen.method_key(s, name), Some(m));
+        assert_eq!(KeyResolver::method_key(&interner, s, name), Some(m));
+
+        // Keys interned after the freeze miss in the frozen view but hit in
+        // the live interner — the staleness the pair/len counters detect.
+        let late = interner.intern("late.com");
+        assert_eq!(frozen.key("late.com"), None);
+        assert_eq!(KeyResolver::key(&interner, "late.com"), Some(late));
+        assert_ne!(frozen.len(), interner.len());
     }
 
     #[test]

@@ -25,6 +25,8 @@
 //! | staged execution engine | [`stage`], [`pipeline`] |
 //! | resource-key interning | [`intern`] |
 //! | serving API (verdicts + incremental ingestion) | [`service`] |
+//! | flattened verdict tables (shared read representation) | [`table`] |
+//! | concurrent serving (lock-free readers + atomic publish) | [`concurrent`] |
 //! | trained-state persistence (versioned) | [`snapshot`] |
 //!
 //! ## Execution model
@@ -64,7 +66,11 @@
 //! ingests new observations incrementally ([`service::Sifter::observe`] +
 //! [`service::Sifter::commit`], provably equivalent to reclassifying from
 //! scratch). Trained state persists across restarts through the versioned
-//! [`snapshot::SifterSnapshot`].
+//! [`snapshot::SifterSnapshot`]. For serving from many threads while
+//! ingestion continues, [`service::Sifter::into_concurrent`] splits the
+//! sifter into a [`concurrent::SifterWriter`] and lock-free
+//! [`concurrent::SifterReader`] handles with atomically published verdict
+//! tables.
 //!
 //! ```
 //! use trackersift::{Study, StudyConfig, VerdictRequest};
@@ -80,6 +86,7 @@
 
 pub mod breakage;
 pub mod callstack;
+pub mod concurrent;
 pub mod hierarchy;
 pub mod intern;
 pub mod label;
@@ -93,16 +100,18 @@ pub mod service;
 pub mod snapshot;
 pub mod stage;
 pub mod surrogate;
+pub mod table;
 
 #[cfg(test)]
 mod testutil;
 
 pub use breakage::{analyze_breakage, Breakage, BreakageRow, BreakageStudy};
 pub use callstack::{analyze_mixed_methods, CallGraph, CallGraphNode, CallStackAnalysis};
+pub use concurrent::{PinnedTable, SifterReader, SifterWriter};
 pub use hierarchy::{
     ClassCounts, Granularity, HierarchicalClassifier, HierarchyResult, LevelResult, ResourceEntry,
 };
-pub use intern::{KeyInterner, ResourceKey};
+pub use intern::{FrozenKeys, KeyInterner, KeyResolver, ResourceKey};
 pub use label::{LabelStats, LabeledFrame, LabeledRequest, Labeler};
 pub use memo::{CacheStats, LabelCache};
 pub use metrics::{headline, table1, table2, HeadlineSummary, Table1Row, Table2Row};
@@ -113,7 +122,10 @@ pub use pipeline::{
 pub use ratio::{Classification, Counts, Thresholds};
 pub use report::RatioHistogram;
 pub use sensitivity::{SensitivityPoint, SensitivitySweep};
-pub use service::{CommitStats, Sifter, SifterBuilder, Verdict, VerdictRequest};
+pub use service::{
+    CommitStats, IngestStats, ObserveOutcome, Sifter, SifterBuilder, Verdict, VerdictRequest,
+};
 pub use snapshot::{SifterSnapshot, SnapshotError};
 pub use stage::{Stage, StageRunner, StageTiming, StageTimings};
 pub use surrogate::{generate_surrogates, MethodAction, SurrogateScript};
+pub use table::{ClassTable, VerdictTable};

@@ -43,19 +43,30 @@
 //! # Serving concurrency
 //!
 //! A `Sifter` is `Send + Sync`; [`Sifter::verdict`] takes `&self` and never
-//! mutates, so an `Arc<Sifter>` (or `RwLock<Sifter>` when ingestion must
-//! continue in-place) serves concurrent readers without interior locking on
-//! the query path. Verdicts always reflect the last [`Sifter::commit`];
-//! pending observations become visible atomically at the next commit.
+//! mutates, so an `Arc<Sifter>` serves concurrent readers without interior
+//! locking on the query path — but `observe`/`commit` take `&mut self`, so
+//! that sharing mode cannot ingest. For read-heavy deployments that must
+//! keep ingesting, split the sifter with [`Sifter::into_concurrent`] (or
+//! [`SifterBuilder::build_concurrent`]) into a
+//! [`SifterWriter`](crate::concurrent::SifterWriter) and cheaply-cloneable
+//! [`SifterReader`](crate::concurrent::SifterReader) handles: readers serve
+//! from an immutable [`VerdictTable`] behind an atomically swapped pointer
+//! (no lock on the query path), and every commit publishes the next table
+//! in one atomic swap. See [`crate::concurrent`].
+//!
+//! All three read paths — `Sifter::verdict`, `SifterReader`, and the batch
+//! [`Study::sifter`](crate::pipeline::Study::sifter) bridge — walk the same
+//! flattened representation ([`crate::table`]): dense per-granularity class
+//! arrays indexed by interned key, patched in place by each commit.
 
 use crate::hierarchy::{
     Granularity, HierarchicalClassifier, HierarchyResult, LevelResult, ResourceEntry,
 };
-use crate::intern::KeyInterner;
-use crate::intern::ResourceKey;
+use crate::intern::{FrozenKeys, KeyInterner, ResourceKey};
 use crate::label::LabeledRequest;
 use crate::ratio::{Classification, Counts, Thresholds};
 use crate::snapshot::{SifterSnapshot, SnapshotError};
+use crate::table::{verdict_walk, ClassTable, VerdictTable};
 use filterlist::tokens::TokenHashBuilder;
 use filterlist::{
     registrable_domain, FilterEngine, FilterRequest, ListKind, ParsedUrl, RequestLabel,
@@ -64,6 +75,7 @@ use filterlist::{
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 type KeyMap<V> = HashMap<ResourceKey, V, TokenHashBuilder>;
 type PairMap<V> = HashMap<(ResourceKey, ResourceKey), V, TokenHashBuilder>;
@@ -189,6 +201,63 @@ impl CommitStats {
     }
 }
 
+/// What happened to one [`Sifter::observe_url`] call.
+///
+/// Raw-URL ingestion can fail for two very different reasons that the old
+/// `Option<RequestLabel>` return conflated: the sifter may have no labeling
+/// oracle at all (a configuration problem the caller should fix once), or
+/// this particular URL may not parse (a per-request data problem the batch
+/// labeling stage also excludes). Both skip reasons are counted on the
+/// sifter — see [`Sifter::ingest_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObserveOutcome {
+    /// The URL was labeled by the filter engine and observed; verdicts will
+    /// reflect it after the next [`Sifter::commit`].
+    Observed(RequestLabel),
+    /// No filter engine is configured ([`SifterBuilder::filter_lists`] /
+    /// [`SifterBuilder::engine`]); the request was not observed.
+    NoEngine,
+    /// The URL did not parse; the request was excluded, exactly as the
+    /// batch labeling stage excludes it.
+    InvalidUrl,
+}
+
+impl ObserveOutcome {
+    /// The oracle label, when the request was actually observed.
+    pub fn label(&self) -> Option<RequestLabel> {
+        match self {
+            ObserveOutcome::Observed(label) => Some(*label),
+            ObserveOutcome::NoEngine | ObserveOutcome::InvalidUrl => None,
+        }
+    }
+
+    /// `true` when the request was ingested.
+    pub fn was_observed(&self) -> bool {
+        matches!(self, ObserveOutcome::Observed(_))
+    }
+}
+
+/// Ingestion accounting across every observe path, including the requests
+/// that were *not* ingested and why — so a deployment can alarm on
+/// configuration problems (`no_engine`) separately from data problems
+/// (`invalid_urls`, `conflicting_domains`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Observations ever ingested, including pending ones.
+    pub observed: u64,
+    /// Observations folded into the committed (servable) state.
+    pub committed: u64,
+    /// Observations waiting for the next commit.
+    pub pending: u64,
+    /// [`Sifter::observe_url`] calls skipped because the URL did not parse.
+    pub invalid_urls: u64,
+    /// [`Sifter::observe_url`] calls skipped because no engine is configured.
+    pub no_engine: u64,
+    /// Observations whose hostname arrived under a different registrable
+    /// domain than first seen (ingested under the first-seen domain).
+    pub conflicting_domains: u64,
+}
+
 /// Unconditional per-hostname state: owning domain plus raw counts.
 #[derive(Debug, Clone, Copy)]
 struct HostMeta {
@@ -275,12 +344,38 @@ impl SifterBuilder {
             dirty_hosts: KeySet::default(),
             dirty_scripts: KeySet::default(),
             dirty_methods: KeySet::default(),
+            classes: ClassTable::default(),
+            frozen: None,
             observed_requests: 0,
             committed_requests: 0,
             residue_requests: 0,
             pending_observations: 0,
             commits: 0,
+            invalid_urls: 0,
+            no_engine_urls: 0,
+            conflicting_observations: 0,
         }
+    }
+
+    /// Produce an empty concurrent reader/writer pair directly — shorthand
+    /// for [`SifterBuilder::build`] followed by [`Sifter::into_concurrent`].
+    ///
+    /// ```
+    /// use trackersift::{Sifter, Thresholds};
+    ///
+    /// let (writer, reader) = Sifter::builder()
+    ///     .thresholds(Thresholds::paper())
+    ///     .build_concurrent();
+    /// assert_eq!(writer.sifter().observed(), 0);
+    /// assert_eq!(reader.version(), 0);
+    /// ```
+    pub fn build_concurrent(
+        self,
+    ) -> (
+        crate::concurrent::SifterWriter,
+        crate::concurrent::SifterReader,
+    ) {
+        self.build().into_concurrent()
     }
 
     /// Produce a sifter pre-trained from a [`SifterSnapshot`] (the state a
@@ -350,6 +445,14 @@ pub struct Sifter {
     dirty_scripts: KeySet,
     dirty_methods: KeySet,
 
+    // -- the flattened serving representation (see `crate::table`) --
+    /// Dense committed classifications per granularity, patched in place by
+    /// each commit alongside the `*_entries` maps. `verdict` reads this.
+    classes: ClassTable,
+    /// Cached frozen key view for publishing [`VerdictTable`]s; refreshed
+    /// lazily when the interner has grown since the last freeze.
+    frozen: Option<Arc<FrozenKeys>>,
+
     /// Observations ever ingested (including pending).
     observed_requests: u64,
     /// Observations visible to the committed state.
@@ -360,6 +463,12 @@ pub struct Sifter {
     pending_observations: u64,
     /// Commits performed.
     commits: u64,
+    /// `observe_url` calls skipped: unparseable URL.
+    invalid_urls: u64,
+    /// `observe_url` calls skipped: no engine configured.
+    no_engine_urls: u64,
+    /// Observations whose hostname conflicted with its first-seen domain.
+    conflicting_observations: u64,
 }
 
 // The serving contract: one Sifter shared across worker threads.
@@ -411,6 +520,27 @@ impl Sifter {
         self.residue_requests
     }
 
+    /// Observations whose hostname was seen under a different registrable
+    /// domain than its first-seen one. Such observations are ingested under
+    /// the first-seen domain (see [`Sifter::observe_parts`]); this counter
+    /// is how a deployment notices the upstream attribution bug.
+    pub fn conflicting_observations(&self) -> u64 {
+        self.conflicting_observations
+    }
+
+    /// The full ingestion accounting, including requests that were skipped
+    /// and why (see [`IngestStats`]).
+    pub fn ingest_stats(&self) -> IngestStats {
+        IngestStats {
+            observed: self.observed_requests,
+            committed: self.committed_requests,
+            pending: self.pending_observations,
+            invalid_urls: self.invalid_urls,
+            no_engine: self.no_engine_urls,
+            conflicting_domains: self.conflicting_observations,
+        }
+    }
+
     /// Number of committed member resources at a granularity.
     pub fn committed_resources(&self, granularity: Granularity) -> usize {
         match granularity {
@@ -447,9 +577,12 @@ impl Sifter {
 
     /// Ingest one raw (unlabeled) request: label it with the configured
     /// filter engine, derive the hostname / registrable domain, and observe
-    /// the result. Returns the oracle label, or `None` when no engine was
-    /// configured or the URL does not parse (the request is then excluded,
-    /// exactly as the batch labeling stage excludes it).
+    /// the result. The returned [`ObserveOutcome`] distinguishes "labeled
+    /// and observed" from the two skip reasons — no engine configured
+    /// ([`ObserveOutcome::NoEngine`]) and unparseable URL
+    /// ([`ObserveOutcome::InvalidUrl`], excluded exactly as the batch
+    /// labeling stage excludes it) — and every skip is counted in
+    /// [`Sifter::ingest_stats`].
     pub fn observe_url(
         &mut self,
         url: &str,
@@ -457,9 +590,15 @@ impl Sifter {
         resource_type: ResourceType,
         initiator_script: &str,
         initiator_method: &str,
-    ) -> Option<RequestLabel> {
-        let engine = self.engine.as_ref()?;
-        let parsed = ParsedUrl::parse(url)?;
+    ) -> ObserveOutcome {
+        let Some(engine) = self.engine.as_ref() else {
+            self.no_engine_urls += 1;
+            return ObserveOutcome::NoEngine;
+        };
+        let Some(parsed) = ParsedUrl::parse(url) else {
+            self.invalid_urls += 1;
+            return ObserveOutcome::InvalidUrl;
+        };
         let request = FilterRequest::from_parsed(parsed, source_hostname, resource_type);
         let label = engine.label(&request);
         let hostname = request.into_url().hostname;
@@ -471,14 +610,19 @@ impl Sifter {
             initiator_method,
             label.is_tracking(),
         );
-        Some(label)
+        ObserveOutcome::Observed(label)
     }
 
     /// Ingest one observation given its four attribution keys and label.
     ///
-    /// `domain` must be the registrable domain of `hostname` — the
+    /// `domain` should be the registrable domain of `hostname` — the
     /// invariant every [`LabeledRequest`] produced by the labeling stage
-    /// satisfies by construction (checked in debug builds).
+    /// satisfies by construction. When a hostname arrives under a
+    /// *different* domain than it was first observed with, the sifter
+    /// degrades gracefully instead of corrupting the hierarchy (a hostname
+    /// must belong to exactly one domain): the observation is credited to
+    /// the first-seen domain and the event is counted in
+    /// [`Sifter::conflicting_observations`].
     pub fn observe_parts(
         &mut self,
         domain: &str,
@@ -487,29 +631,36 @@ impl Sifter {
         method: &str,
         tracking: bool,
     ) {
-        let d = self.interner.intern(domain);
+        let claimed = self.interner.intern(domain);
         let h = self.interner.intern(hostname);
         let s = self.interner.intern(script);
         let name = self.interner.intern(method);
         let m = self.interner.intern_method(script, method);
 
-        self.domain_counts.entry(d).or_default().record(tracking);
-        match self.host_meta.entry(h) {
+        // Resolve the *effective* domain first: the hostname's first-seen
+        // domain wins, so domain counts and hostname ownership can never
+        // disagree.
+        let d = match self.host_meta.entry(h) {
             Entry::Occupied(mut entry) => {
-                debug_assert_eq!(
-                    entry.get().domain,
-                    d,
-                    "hostname {hostname:?} observed under two registrable domains"
-                );
-                entry.get_mut().counts.record(tracking);
+                let meta = entry.get_mut();
+                if meta.domain != claimed {
+                    self.conflicting_observations += 1;
+                }
+                meta.counts.record(tracking);
+                meta.domain
             }
             Entry::Vacant(entry) => {
                 let mut counts = Counts::new();
                 counts.record(tracking);
-                entry.insert(HostMeta { domain: d, counts });
-                self.hosts_of_domain.entry(d).or_default().push(h);
+                entry.insert(HostMeta {
+                    domain: claimed,
+                    counts,
+                });
+                self.hosts_of_domain.entry(claimed).or_default().push(h);
+                claimed
             }
-        }
+        };
+        self.domain_counts.entry(d).or_default().record(tracking);
         if let Entry::Vacant(entry) = self.method_meta.entry(m) {
             entry.insert(MethodMeta { script: s, name });
             self.methods_of_script.entry(s).or_default().push(m);
@@ -571,6 +722,8 @@ impl Sifter {
                     classification,
                 },
             );
+            self.classes
+                .set(Granularity::Domain, d, Some(classification));
             let was_mixed =
                 matches!(previous, Some(e) if e.classification == Classification::Mixed);
             if was_mixed != (classification == Classification::Mixed) {
@@ -607,9 +760,12 @@ impl Sifter {
                         classification,
                     },
                 );
+                self.classes
+                    .set(Granularity::Hostname, h, Some(classification));
                 classification == Classification::Mixed
             } else {
                 self.host_entries.remove(&h);
+                self.classes.set(Granularity::Hostname, h, None);
                 false
             };
             if was_effective != now_effective {
@@ -645,9 +801,12 @@ impl Sifter {
                         classification,
                     },
                 );
+                self.classes
+                    .set(Granularity::Script, s, Some(classification));
                 classification == Classification::Mixed
             } else {
                 self.script_entries.remove(&s);
+                self.classes.set(Granularity::Script, s, None);
                 false
             };
             if was_mixed != now_mixed {
@@ -674,11 +833,13 @@ impl Sifter {
             );
             if !member {
                 self.method_entries.remove(&m);
+                self.classes.set(Granularity::Method, m, None);
                 continue;
             }
             let counts = self.member_counts(m, &self.hosts_of_method, &self.method_host);
             if counts.is_empty() {
                 self.method_entries.remove(&m);
+                self.classes.set(Granularity::Method, m, None);
                 continue;
             }
             let classification = self
@@ -695,6 +856,8 @@ impl Sifter {
                     classification,
                 },
             );
+            self.classes
+                .set(Granularity::Method, m, Some(classification));
         }
 
         self.committed_requests = self.observed_requests;
@@ -731,67 +894,12 @@ impl Sifter {
     // -----------------------------------------------------------------
 
     /// Answer one verdict query by walking the committed hierarchy
-    /// coarsest-to-finest. Allocation-free: all four keys resolve through
-    /// the interner by borrowed lookup, and the result is `Copy`.
+    /// coarsest-to-finest over the flattened class table (one string-key
+    /// lookup plus one dense array read per level — see [`crate::table`]).
+    /// Allocation-free: all keys resolve through the interner by borrowed
+    /// lookup, and the result is `Copy`.
     pub fn verdict(&self, request: &VerdictRequest<'_>) -> Verdict {
-        let Some(d) = self.interner.get(request.domain) else {
-            return Verdict::Unknown;
-        };
-        let Some(domain_entry) = self.domain_entries.get(&d) else {
-            return Verdict::Unknown;
-        };
-        if domain_entry.classification != Classification::Mixed {
-            return Verdict::Decided {
-                classification: domain_entry.classification,
-                granularity: Granularity::Domain,
-            };
-        }
-        let host_entry = self
-            .interner
-            .get(request.hostname)
-            .and_then(|h| self.host_entries.get(&h));
-        let Some(host_entry) = host_entry else {
-            return Verdict::Decided {
-                classification: Classification::Mixed,
-                granularity: Granularity::Domain,
-            };
-        };
-        if host_entry.classification != Classification::Mixed {
-            return Verdict::Decided {
-                classification: host_entry.classification,
-                granularity: Granularity::Hostname,
-            };
-        }
-        let script_entry = self
-            .interner
-            .get(request.script)
-            .and_then(|s| self.script_entries.get(&s));
-        let Some(script_entry) = script_entry else {
-            return Verdict::Decided {
-                classification: Classification::Mixed,
-                granularity: Granularity::Hostname,
-            };
-        };
-        if script_entry.classification != Classification::Mixed {
-            return Verdict::Decided {
-                classification: script_entry.classification,
-                granularity: Granularity::Script,
-            };
-        }
-        let method_entry = self
-            .interner
-            .get_method(request.script, request.method)
-            .and_then(|m| self.method_entries.get(&m));
-        match method_entry {
-            Some(entry) => Verdict::Decided {
-                classification: entry.classification,
-                granularity: Granularity::Method,
-            },
-            None => Verdict::Decided {
-                classification: Classification::Mixed,
-                granularity: Granularity::Script,
-            },
-        }
+        verdict_walk(&self.interner, &self.classes, request)
     }
 
     /// Serve a batch of verdicts (one output per input, in order).
@@ -810,6 +918,39 @@ impl Sifter {
         for request in requests {
             out.push(self.verdict(request));
         }
+    }
+
+    /// Export the committed serving state as an immutable, point-in-time
+    /// [`VerdictTable`] — the unit the concurrent writer publishes and the
+    /// representation every read path shares. The frozen key view is cached
+    /// and re-cloned only when the interner has grown since the last call,
+    /// so successive exports after small commits stay cheap.
+    ///
+    /// Scaling caveat: when a delta *did* intern new keys, the re-freeze
+    /// clones the full string→key lookup — O(total keys), not O(delta). At
+    /// corpus scale that is a bulk `HashMap` clone sharing the `Arc<str>`
+    /// storage (no string copies); a layered/persistent lookup that shares
+    /// unchanged buckets across freezes is the known next optimisation if
+    /// novel-key churn ever dominates commit latency.
+    pub fn verdict_table(&mut self) -> VerdictTable {
+        let stale = match &self.frozen {
+            Some(frozen) => {
+                frozen.len() != self.interner.len()
+                    || frozen.pair_count() != self.interner.pair_count()
+            }
+            None => true,
+        };
+        if stale {
+            self.frozen = Some(Arc::new(self.interner.freeze()));
+        }
+        let keys = Arc::clone(self.frozen.as_ref().expect("frozen view refreshed above"));
+        VerdictTable::new(
+            keys,
+            self.classes.clone(),
+            self.commits,
+            self.committed_requests,
+            self.residue_requests,
+        )
     }
 
     // -----------------------------------------------------------------
@@ -1316,16 +1457,16 @@ mod tests {
             .filter_lists(&[(ListKind::EasyList, "||tracker.io^$third-party\n")])
             .build();
         assert!(sifter.has_engine());
-        let label = sifter
-            .observe_url(
-                "https://px.tracker.io/beacon?x=1",
-                "shop.com",
-                ResourceType::Script,
-                "https://shop.com/app.js",
-                "send",
-            )
-            .unwrap();
-        assert_eq!(label, RequestLabel::Tracking);
+        let outcome = sifter.observe_url(
+            "https://px.tracker.io/beacon?x=1",
+            "shop.com",
+            ResourceType::Script,
+            "https://shop.com/app.js",
+            "send",
+        );
+        assert_eq!(outcome, ObserveOutcome::Observed(RequestLabel::Tracking));
+        assert_eq!(outcome.label(), Some(RequestLabel::Tracking));
+        assert!(outcome.was_observed());
         assert_eq!(sifter.observed(), 1);
         sifter.commit();
         assert_eq!(
@@ -1340,11 +1481,63 @@ mod tests {
                 granularity: Granularity::Domain
             }
         );
-        // Unparseable URLs are excluded, exactly like the batch labeler.
-        assert!(sifter
-            .observe_url("notaurl", "shop.com", ResourceType::Script, "s", "m")
-            .is_none());
+        // Unparseable URLs are excluded, exactly like the batch labeler —
+        // and reported as such, not conflated with a missing engine.
+        assert_eq!(
+            sifter.observe_url("notaurl", "shop.com", ResourceType::Script, "s", "m"),
+            ObserveOutcome::InvalidUrl
+        );
         assert_eq!(sifter.observed(), 1);
+        let stats = sifter.ingest_stats();
+        assert_eq!(stats.observed, 1);
+        assert_eq!(stats.invalid_urls, 1);
+        assert_eq!(stats.no_engine, 0);
+    }
+
+    #[test]
+    fn observe_url_without_an_engine_reports_the_configuration_gap() {
+        let mut sifter = Sifter::builder().build();
+        assert!(!sifter.has_engine());
+        let outcome = sifter.observe_url(
+            "https://px.tracker.io/beacon",
+            "shop.com",
+            ResourceType::Script,
+            "s",
+            "m",
+        );
+        assert_eq!(outcome, ObserveOutcome::NoEngine);
+        assert_eq!(outcome.label(), None);
+        assert!(!outcome.was_observed());
+        assert_eq!(sifter.observed(), 0);
+        assert_eq!(sifter.ingest_stats().no_engine, 1);
+        assert_eq!(sifter.ingest_stats().invalid_urls, 0);
+    }
+
+    #[test]
+    fn conflicting_domains_keep_first_seen_ownership_in_all_builds() {
+        // The same hostname observed under two registrable domains must not
+        // panic (it used to debug_assert): the first-seen domain keeps the
+        // hostname, every observation still counts, and the conflict is
+        // surfaced through a counter.
+        let mut sifter = Sifter::builder().build();
+        sifter.observe_parts("a.com", "cdn.shared.net", "https://p.com/s.js", "m", true);
+        sifter.observe_parts("b.com", "cdn.shared.net", "https://p.com/s.js", "m", true);
+        sifter.observe_parts("a.com", "cdn.shared.net", "https://p.com/s.js", "m", false);
+        assert_eq!(sifter.conflicting_observations(), 1);
+        assert_eq!(sifter.observed(), 3);
+        sifter.commit();
+        // All three observations are credited to the first-seen domain;
+        // the conflicting domain never becomes a committed resource.
+        let hierarchy = sifter.hierarchy();
+        let domains = hierarchy.level(Granularity::Domain);
+        assert_eq!(domains.resources.len(), 1);
+        assert_eq!(domains.resources[0].key, "a.com");
+        assert_eq!(domains.resources[0].counts.total(), 3);
+        assert_eq!(
+            sifter.verdict(&VerdictRequest::new("b.com", "cdn.shared.net", "s", "m")),
+            Verdict::Unknown
+        );
+        assert_eq!(sifter.ingest_stats().conflicting_domains, 1);
     }
 
     #[test]

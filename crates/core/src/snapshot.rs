@@ -9,7 +9,12 @@
 //! (script, name) attributions, and the finest-granularity count cells
 //! (per `(method, hostname)` pair). Every coarser count is a sum of those
 //! cells, so nothing else needs to be stored; restore replays the cells
-//! through the sifter's normal accumulation path and commits once.
+//! through the sifter's normal accumulation path and commits once. That
+//! commit also (re)builds the flattened [`crate::table`] representation, so
+//! a restored sifter — and any [`SifterReader`](crate::concurrent::SifterReader)
+//! split off it via [`Sifter::into_concurrent`](crate::service::Sifter::into_concurrent)
+//! — serves through exactly the same verdict tables as the process that
+//! exported the snapshot.
 //!
 //! # Format and versioning
 //!

@@ -1,0 +1,278 @@
+//! The flattened serving representation: dense per-granularity class
+//! arrays plus a frozen key lookup.
+//!
+//! PR 3's [`Sifter::verdict`](crate::service::Sifter::verdict) walked four
+//! `HashMap<ResourceKey, LevelEntry>` levels — a string hash *and* a key
+//! hash per granularity. This module replaces the per-query hierarchy-map
+//! walk with one representation every read path shares:
+//!
+//! * [`ClassTable`] — four dense `Vec<u8>` arrays (one per
+//!   [`Granularity`]), indexed by [`ResourceKey::index`]. Each byte encodes
+//!   "not a member of this level" or one of the three classifications, so a
+//!   level probe is a bounds-checked array read instead of a hash lookup.
+//!   The incremental commit patches exactly the dirty slots in place.
+//! * [`verdict_walk`] — the one implementation of the coarsest-to-finest
+//!   verdict walk, generic over [`KeyResolver`] so the single-threaded
+//!   sifter (live [`KeyInterner`](crate::intern::KeyInterner)) and the
+//!   concurrent readers (immutable [`FrozenKeys`]) execute identical logic.
+//! * [`VerdictTable`] — an immutable, point-in-time pairing of a
+//!   [`ClassTable`] with the [`FrozenKeys`] it was built against, plus the
+//!   commit version and request accounting. This is the unit the
+//!   [`SifterWriter`](crate::concurrent::SifterWriter) publishes atomically
+//!   and every [`SifterReader`](crate::concurrent::SifterReader) pins;
+//!   snapshot restore produces its state through the same commit path, so
+//!   batch, single-threaded, and concurrent serving all read through this
+//!   one representation.
+
+use crate::hierarchy::Granularity;
+use crate::intern::{FrozenKeys, KeyResolver, ResourceKey};
+use crate::ratio::Classification;
+use crate::service::{Verdict, VerdictRequest};
+use std::sync::Arc;
+
+/// Byte code for "this key is not a member of the level".
+const ABSENT: u8 = 0;
+
+fn code_of(classification: Classification) -> u8 {
+    match classification {
+        Classification::Tracking => 1,
+        Classification::Functional => 2,
+        Classification::Mixed => 3,
+    }
+}
+
+fn classification_of(code: u8) -> Option<Classification> {
+    match code {
+        1 => Some(Classification::Tracking),
+        2 => Some(Classification::Functional),
+        3 => Some(Classification::Mixed),
+        _ => None,
+    }
+}
+
+/// Dense committed classifications, one byte array per granularity, indexed
+/// by [`ResourceKey::index`]. Slots beyond an array's length (keys interned
+/// after the last commit) and [`ABSENT`] slots both read as "not a member".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClassTable {
+    levels: [Vec<u8>; 4],
+}
+
+impl ClassTable {
+    /// The committed classification of `key` at `granularity`, or `None`
+    /// when the key is not a member of that level.
+    #[inline]
+    pub fn class(&self, granularity: Granularity, key: ResourceKey) -> Option<Classification> {
+        self.levels[granularity.index()]
+            .get(key.index())
+            .copied()
+            .and_then(classification_of)
+    }
+
+    /// Set (or clear, with `None`) the committed classification of `key` at
+    /// `granularity`, growing the level array on first touch of a new key.
+    pub(crate) fn set(
+        &mut self,
+        granularity: Granularity,
+        key: ResourceKey,
+        classification: Option<Classification>,
+    ) {
+        let level = &mut self.levels[granularity.index()];
+        let index = key.index();
+        if index >= level.len() {
+            if classification.is_none() {
+                // Clearing a slot that was never set: nothing to record.
+                return;
+            }
+            level.resize(index + 1, ABSENT);
+        }
+        level[index] = classification.map_or(ABSENT, code_of);
+    }
+
+    /// Number of member keys at a granularity (non-absent slots).
+    pub fn members(&self, granularity: Granularity) -> usize {
+        self.levels[granularity.index()]
+            .iter()
+            .filter(|&&code| code != ABSENT)
+            .count()
+    }
+}
+
+/// The shared coarsest-to-finest verdict walk over a [`ClassTable`].
+///
+/// Semantics (identical to PR 3's hierarchy-map walk, now in one place):
+/// the walk stops at the first granularity whose classification is not
+/// mixed; falling off the trained hierarchy below a mixed resource yields
+/// `Mixed` at the last observed granularity; an unknown (or uncommitted)
+/// domain yields [`Verdict::Unknown`].
+pub(crate) fn verdict_walk<K: KeyResolver + ?Sized>(
+    keys: &K,
+    classes: &ClassTable,
+    request: &VerdictRequest<'_>,
+) -> Verdict {
+    let Some(domain_class) = keys
+        .key(request.domain)
+        .and_then(|d| classes.class(Granularity::Domain, d))
+    else {
+        return Verdict::Unknown;
+    };
+    if domain_class != Classification::Mixed {
+        return Verdict::Decided {
+            classification: domain_class,
+            granularity: Granularity::Domain,
+        };
+    }
+    let Some(host_class) = keys
+        .key(request.hostname)
+        .and_then(|h| classes.class(Granularity::Hostname, h))
+    else {
+        return Verdict::Decided {
+            classification: Classification::Mixed,
+            granularity: Granularity::Domain,
+        };
+    };
+    if host_class != Classification::Mixed {
+        return Verdict::Decided {
+            classification: host_class,
+            granularity: Granularity::Hostname,
+        };
+    }
+    // The script key is resolved once and reused for the method-pair
+    // lookup below — one string hash fewer than resolving the composed
+    // `script :: method` key from scratch.
+    let script = keys.key(request.script);
+    let Some(script_class) = script.and_then(|s| classes.class(Granularity::Script, s)) else {
+        return Verdict::Decided {
+            classification: Classification::Mixed,
+            granularity: Granularity::Hostname,
+        };
+    };
+    if script_class != Classification::Mixed {
+        return Verdict::Decided {
+            classification: script_class,
+            granularity: Granularity::Script,
+        };
+    }
+    let method_class = keys
+        .key(request.method)
+        .and_then(|name| keys.method_key(script.expect("script key resolved above"), name))
+        .and_then(|m| classes.class(Granularity::Method, m));
+    match method_class {
+        Some(classification) => Verdict::Decided {
+            classification,
+            granularity: Granularity::Method,
+        },
+        None => Verdict::Decided {
+            classification: Classification::Mixed,
+            granularity: Granularity::Script,
+        },
+    }
+}
+
+/// An immutable point-in-time verdict table: the committed [`ClassTable`]
+/// paired with the [`FrozenKeys`] view it was built against, plus the
+/// commit version and request accounting of that commit.
+///
+/// Produced by [`Sifter::verdict_table`](crate::service::Sifter::verdict_table)
+/// and published atomically by
+/// [`SifterWriter::commit`](crate::concurrent::SifterWriter::commit); a
+/// table never changes after construction, so any number of threads may
+/// read one concurrently.
+#[derive(Debug, Clone)]
+pub struct VerdictTable {
+    keys: Arc<FrozenKeys>,
+    classes: ClassTable,
+    version: u64,
+    committed: u64,
+    residue: u64,
+}
+
+impl VerdictTable {
+    pub(crate) fn new(
+        keys: Arc<FrozenKeys>,
+        classes: ClassTable,
+        version: u64,
+        committed: u64,
+        residue: u64,
+    ) -> Self {
+        VerdictTable {
+            keys,
+            classes,
+            version,
+            committed,
+            residue,
+        }
+    }
+
+    /// Answer one verdict query against this table's frozen state.
+    pub fn verdict(&self, request: &VerdictRequest<'_>) -> Verdict {
+        verdict_walk(self.keys.as_ref(), &self.classes, request)
+    }
+
+    /// The commit count of the sifter state this table snapshots. Strictly
+    /// increasing across the tables a [`SifterWriter`](crate::concurrent::SifterWriter)
+    /// publishes, so readers can order the states they observe.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Observations folded into this table's committed state.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Committed requests still attributed to mixed methods (the paper's
+    /// "<2% residue") as of this table.
+    pub fn unattributed(&self) -> u64 {
+        self.residue
+    }
+
+    /// Number of member resources at a granularity.
+    pub fn members(&self, granularity: Granularity) -> usize {
+        self.classes.members(granularity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_table_round_trips_codes() {
+        let mut table = ClassTable::default();
+        let key = ResourceKey::test_key(5);
+        assert_eq!(table.class(Granularity::Domain, key), None);
+        for class in [
+            Classification::Tracking,
+            Classification::Functional,
+            Classification::Mixed,
+        ] {
+            table.set(Granularity::Domain, key, Some(class));
+            assert_eq!(table.class(Granularity::Domain, key), Some(class));
+        }
+        // Levels are independent arrays.
+        assert_eq!(table.class(Granularity::Hostname, key), None);
+        table.set(Granularity::Domain, key, None);
+        assert_eq!(table.class(Granularity::Domain, key), None);
+        // Clearing an untouched slot does not grow the array.
+        table.set(Granularity::Script, ResourceKey::test_key(1000), None);
+        assert_eq!(table.members(Granularity::Script), 0);
+    }
+
+    #[test]
+    fn members_counts_non_absent_slots() {
+        let mut table = ClassTable::default();
+        table.set(
+            Granularity::Method,
+            ResourceKey::test_key(0),
+            Some(Classification::Mixed),
+        );
+        table.set(
+            Granularity::Method,
+            ResourceKey::test_key(7),
+            Some(Classification::Tracking),
+        );
+        table.set(Granularity::Method, ResourceKey::test_key(7), None);
+        assert_eq!(table.members(Granularity::Method), 1);
+    }
+}

@@ -218,6 +218,19 @@ impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, 
     }
 }
 
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy> Strategy for (A, B, C, D, E) {
+    type Value = (A::Value, B::Value, C::Value, D::Value, E::Value);
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.new_value(rng),
+            self.1.new_value(rng),
+            self.2.new_value(rng),
+            self.3.new_value(rng),
+            self.4.new_value(rng),
+        )
+    }
+}
+
 // ---------------------------------------------------------------------------
 // pattern-string strategies ("[a-z]{2,8}(\\.[a-z]{1,8}){0,4}" …)
 // ---------------------------------------------------------------------------

@@ -100,4 +100,16 @@ fn main() {
     // 6. Verdicts now reflect the new evidence.
     let verdict = server.verdict(&VerdictRequest::from_labeled(&live[0]));
     println!("\nFirst live request now resolves to: {verdict}");
+
+    // 7. Go concurrent: split the sifter into a writer and lock-free reader
+    //    handles, so ingestion no longer blocks serving at all (see
+    //    examples/concurrent_serving.rs for the full multi-threaded loop).
+    let (mut writer, reader) = server.into_concurrent();
+    writer.observe_all(live);
+    writer.commit();
+    println!(
+        "Concurrent split: reader serves table version {} ({} observations) lock-free.",
+        reader.version(),
+        reader.committed(),
+    );
 }

@@ -41,10 +41,10 @@ pub mod prelude {
     pub use crawler::{ClusterConfig, CrawlCluster, CrawlDatabase, LoadOptions, PageLoadSimulator};
     pub use filterlist::{FilterEngine, FilterRequest, RequestLabel, ResourceType};
     pub use trackersift::{
-        Breakage, Classification, CommitStats, Granularity, HierarchicalClassifier, KeyInterner,
-        Labeler, RatioHistogram, ResourceKey, SensitivitySweep, Sifter, SifterBuilder,
-        SifterSnapshot, SnapshotError, Stage, StageTimings, Study, StudyConfig, Thresholds,
-        Verdict, VerdictRequest,
+        Breakage, Classification, CommitStats, Granularity, HierarchicalClassifier, IngestStats,
+        KeyInterner, Labeler, ObserveOutcome, RatioHistogram, ResourceKey, SensitivitySweep,
+        Sifter, SifterBuilder, SifterReader, SifterSnapshot, SifterWriter, SnapshotError, Stage,
+        StageTimings, Study, StudyConfig, Thresholds, Verdict, VerdictRequest, VerdictTable,
     };
     pub use websim::{CorpusGenerator, CorpusProfile, Purpose, ScriptArchetype, WebCorpus};
 }

@@ -1,0 +1,235 @@
+//! Integration tests of the concurrent serving split: atomic publication
+//! under real thread contention, and reader/single-threaded equivalence.
+//!
+//! The load-bearing properties:
+//!
+//! * **Atomic publication, no torn reads** — a reader pins one table per
+//!   batch, and every served verdict must equal the sequential sifter's
+//!   verdict *at the pinned table's version*: never a mix of pre- and
+//!   post-commit state, never a state that no commit produced.
+//! * **Reader ≡ Sifter** — after every commit, a `SifterReader` answers
+//!   byte-identically to a single-threaded `Sifter` fed the same stream.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+use std::time::Duration;
+use trackersift::{LabeledFrame, LabeledRequest};
+use trackersift_suite::prelude::*;
+
+/// A synthetic labeled request drawn from small key pools (mirrors the
+/// generator in `property_based.rs`), so streams collide enough to produce
+/// tracking, functional, and mixed resources at every granularity.
+fn observation(
+    domain: usize,
+    host: usize,
+    script: usize,
+    method: usize,
+    tracking: bool,
+) -> LabeledRequest {
+    let hostname = format!("h{host}.d{domain}.com");
+    let script = format!("https://pub.com/s{script}.js");
+    let method = format!("m{method}");
+    LabeledRequest {
+        request_id: 0,
+        top_level_url: "https://www.pub.com/".into(),
+        site_domain: "pub.com".into(),
+        url: format!("https://{hostname}/x"),
+        domain: format!("d{domain}.com"),
+        hostname,
+        resource_type: ResourceType::Xhr,
+        initiator_script: script.clone(),
+        initiator_method: method.clone(),
+        stack: vec![LabeledFrame {
+            script_url: script,
+            method,
+        }],
+        async_boundary: None,
+        label: if tracking {
+            RequestLabel::Tracking
+        } else {
+            RequestLabel::Functional
+        },
+    }
+}
+
+/// Deterministic observation batches from a splitmix-style stream.
+fn batches(count: usize, per_batch: usize, mut seed: u64) -> Vec<Vec<LabeledRequest>> {
+    let mut next = move || {
+        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..count)
+        .map(|_| {
+            (0..per_batch)
+                .map(|_| {
+                    let r = next();
+                    observation(
+                        (r % 5) as usize,
+                        ((r >> 8) % 3) as usize,
+                        ((r >> 16) % 5) as usize,
+                        ((r >> 24) % 4) as usize,
+                        (r >> 32) & 1 == 1,
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Every distinct attribution tuple the pools can produce — the probe set
+/// the stress test serves on every iteration.
+fn probe_pool() -> Vec<LabeledRequest> {
+    let mut probes = Vec::new();
+    for domain in 0..5 {
+        for host in 0..3 {
+            for script in 0..5 {
+                for method in 0..4 {
+                    probes.push(observation(domain, host, script, method, false));
+                }
+            }
+        }
+    }
+    probes
+}
+
+/// N reader threads serve the full probe set in a loop while the writer
+/// interleaves observe+commit. Every batch of served verdicts must equal
+/// the sequential classification at exactly the version the batch pinned
+/// (atomic publication: pre- or post-commit state, never a torn mix), and
+/// the versions each thread observes must be monotone.
+#[test]
+fn stress_readers_only_observe_whole_commits() {
+    const READERS: usize = 4;
+    let thresholds = Thresholds::new(1.0);
+    let stream = batches(30, 40, 2021);
+    let probes = probe_pool();
+
+    // Sequential mirror: the expected probe verdicts after each commit.
+    let mut mirror = Sifter::builder().thresholds(thresholds).build();
+    let mut expected: Vec<Vec<Verdict>> = Vec::with_capacity(stream.len() + 1);
+    let probe_queries: Vec<VerdictRequest<'_>> =
+        probes.iter().map(VerdictRequest::from_labeled).collect();
+    expected.push(mirror.verdict_batch(&probe_queries));
+    for batch in &stream {
+        mirror.observe_all(batch);
+        mirror.commit();
+        expected.push(mirror.verdict_batch(&probe_queries));
+    }
+
+    // Concurrent run over the identical stream.
+    let (mut writer, reader) = Sifter::builder().thresholds(thresholds).build_concurrent();
+    let stop = AtomicBool::new(false);
+    thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for _ in 0..READERS {
+            let reader = reader.clone();
+            let stop = &stop;
+            let probes = &probes;
+            let expected = &expected;
+            workers.push(scope.spawn(move || {
+                let mut served_batches = 0usize;
+                let mut last_version = 0u64;
+                let queries: Vec<VerdictRequest<'_>> =
+                    probes.iter().map(VerdictRequest::from_labeled).collect();
+                let mut verdicts = Vec::new();
+                loop {
+                    // Acquire pairs with the writer's Release store below,
+                    // so `done == true` happens-after the final publish and
+                    // the last sweep is guaranteed to pin the final table.
+                    let done = stop.load(Ordering::Acquire);
+                    // One pin covers the whole probe sweep, so the sweep
+                    // must match one committed state exactly.
+                    let pin = reader.pin();
+                    let version = pin.version();
+                    assert!(
+                        version >= last_version,
+                        "published versions must be monotone per reader"
+                    );
+                    last_version = version;
+                    verdicts.clear();
+                    for query in &queries {
+                        verdicts.push(pin.verdict(query));
+                    }
+                    drop(pin);
+                    assert_eq!(
+                        &verdicts, &expected[version as usize],
+                        "verdicts served at version {version} do not match the \
+                         sequential classification at that version"
+                    );
+                    served_batches += 1;
+                    if done {
+                        return (served_batches, last_version);
+                    }
+                    thread::yield_now();
+                }
+            }));
+        }
+
+        for batch in &stream {
+            writer.observe_all(batch);
+            writer.commit();
+            // Give the (possibly single-core) scheduler a chance to run
+            // readers between commits so versions actually interleave.
+            thread::sleep(Duration::from_micros(500));
+        }
+        stop.store(true, Ordering::Release);
+
+        for worker in workers {
+            let (served_batches, last_version) = worker.join().expect("reader thread panicked");
+            assert!(served_batches > 0, "every reader must have served");
+            // The final sweep ran with the stop flag set, after the last
+            // commit was published.
+            assert_eq!(last_version, stream.len() as u64);
+        }
+    });
+
+    // And the writer's final state equals the sequential mirror's.
+    assert_eq!(writer.sifter().hierarchy(), mirror.hierarchy());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After every commit, `SifterReader` verdicts are byte-identical to a
+    /// single-threaded `Sifter` fed the same observe/commit schedule.
+    #[test]
+    fn reader_verdicts_are_byte_identical_to_the_sifter(
+        picks in prop::collection::vec((0usize..5, 0usize..3, 0usize..5, 0usize..4, 0u64..2), 1..120),
+        commit_every in 1usize..10,
+        threshold in 0.5f64..3.0,
+    ) {
+        let thresholds = Thresholds::new(threshold);
+        let observations: Vec<LabeledRequest> = picks
+            .iter()
+            .map(|&(d, h, s, m, label)| observation(d, h, s, m, label == 1))
+            .collect();
+        let queries: Vec<VerdictRequest<'_>> =
+            observations.iter().map(VerdictRequest::from_labeled).collect();
+
+        let mut sifter = Sifter::builder().thresholds(thresholds).build();
+        let (mut writer, reader) = Sifter::builder().thresholds(thresholds).build_concurrent();
+        for (i, request) in observations.iter().enumerate() {
+            sifter.observe(request);
+            writer.observe(request);
+            if (i + 1) % commit_every == 0 || i + 1 == observations.len() {
+                let sequential_stats = sifter.commit();
+                let concurrent_stats = writer.commit();
+                prop_assert_eq!(sequential_stats, concurrent_stats);
+                let sequential = sifter.verdict_batch(&queries);
+                let concurrent = reader.verdict_batch(&queries);
+                prop_assert_eq!(
+                    format!("{sequential:?}").into_bytes(),
+                    format!("{concurrent:?}").into_bytes(),
+                    "reader and sifter verdicts must render to identical bytes"
+                );
+                prop_assert_eq!(reader.version(), sifter.commits());
+                prop_assert_eq!(reader.committed(), sifter.committed());
+            }
+        }
+        prop_assert_eq!(writer.sifter().hierarchy(), sifter.hierarchy());
+    }
+}
