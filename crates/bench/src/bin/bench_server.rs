@@ -1,0 +1,198 @@
+//! Wire-serving benchmark: requests/sec and latency percentiles of the
+//! HTTP/1.1 verdict server, written as a machine-readable
+//! `BENCH_server.json` so successive PRs accumulate a perf trajectory.
+//!
+//! The scenario: a trained sifter behind `VerdictServer`, hammered over
+//! loopback by keep-alive clients issuing `POST /v1/decisions` (one
+//! decision per request) and `POST /v1/decisions:batch` (many decisions
+//! per request, one pinned table per batch). Reported per mode:
+//! requests/sec, decisions/sec, and p50/p99 request latency — the numbers
+//! that size a deployment (how many proxy workers per verdict server, and
+//! what tail the proxy inherits).
+//!
+//! Scale can be overridden through the environment:
+//!
+//! * `TRACKERSIFT_BENCH_SITES` — corpus size behind the server (default 1000);
+//! * `TRACKERSIFT_BENCH_HTTP_REQUESTS` — single-decision requests (default 20,000);
+//! * `TRACKERSIFT_BENCH_HTTP_BATCHES` — batch requests (default 400);
+//! * `TRACKERSIFT_BENCH_HTTP_BATCH_SIZE` — decisions per batch (default 128);
+//! * `TRACKERSIFT_BENCH_HTTP_CLIENTS` — concurrent client connections (default 2);
+//! * `TRACKERSIFT_BENCH_HTTP_WORKERS` — server workers (default 2);
+//! * `TRACKERSIFT_BENCH_OUT` — output path (default `BENCH_server.json`).
+
+use std::net::SocketAddr;
+use std::thread;
+use std::time::{Duration, Instant};
+use trackersift::{Sifter, Study, StudyConfig};
+use trackersift_bench::env_usize;
+use trackersift_server::client::Client;
+use trackersift_server::wire::DecisionMessage;
+use trackersift_server::{ServerConfig, VerdictServer};
+use websim::CorpusProfile;
+
+/// Run `total` requests across `clients` keep-alive connections; returns
+/// (elapsed, sorted per-request latencies).
+fn drive(
+    addr: SocketAddr,
+    clients: usize,
+    total: usize,
+    target: &str,
+    bodies: &[String],
+) -> (Duration, Vec<f64>) {
+    let per_client = total.div_ceil(clients);
+    let start = Instant::now();
+    let mut latencies: Vec<f64> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|index| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr);
+                    let mut samples = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let body = &bodies[(index + i * clients) % bodies.len()];
+                        let sent = Instant::now();
+                        let (status, _) = client.request("POST", target, Some(body));
+                        samples.push(sent.elapsed().as_secs_f64() * 1e3);
+                        assert_eq!(status, 200, "non-200 response from {target}");
+                    }
+                    samples
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    (elapsed, latencies)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let index = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[index]
+}
+
+fn main() {
+    let sites = env_usize("TRACKERSIFT_BENCH_SITES", 1_000);
+    let single_requests = env_usize("TRACKERSIFT_BENCH_HTTP_REQUESTS", 20_000).max(1);
+    let batch_requests = env_usize("TRACKERSIFT_BENCH_HTTP_BATCHES", 400).max(1);
+    let batch_size = env_usize("TRACKERSIFT_BENCH_HTTP_BATCH_SIZE", 128).max(1);
+    let clients = env_usize("TRACKERSIFT_BENCH_HTTP_CLIENTS", 2).max(1);
+    let workers = env_usize("TRACKERSIFT_BENCH_HTTP_WORKERS", 2).max(1);
+    let out_path =
+        std::env::var("TRACKERSIFT_BENCH_OUT").unwrap_or_else(|_| "BENCH_server.json".to_string());
+
+    eprintln!(
+        "bench_server: {sites} sites, {single_requests} single + {batch_requests}x{batch_size} \
+         batch requests, {clients} clients vs {workers} workers …"
+    );
+    let study = Study::run(StudyConfig {
+        profile: CorpusProfile::paper().with_sites(sites),
+        seed: 2021,
+        ..StudyConfig::default()
+    });
+    let mut sifter = Sifter::builder()
+        .thresholds(study.config.thresholds)
+        .build();
+    sifter.observe_all(&study.requests);
+    sifter.commit();
+    let (writer, _reader) = sifter.into_concurrent();
+    let server = VerdictServer::start(
+        writer,
+        ServerConfig {
+            workers,
+            ..ServerConfig::ephemeral()
+        },
+    )
+    .expect("start verdict server");
+    let addr = server.local_addr();
+
+    // Query bodies drawn from the corpus, keys-only (the lock-free path).
+    let messages: Vec<DecisionMessage> = study
+        .requests
+        .iter()
+        .step_by((study.requests.len() / 512).max(1))
+        .map(|request| {
+            DecisionMessage::new(
+                &request.domain,
+                &request.hostname,
+                &request.initiator_script,
+                &request.initiator_method,
+            )
+        })
+        .collect();
+    let single_bodies: Vec<String> = messages
+        .iter()
+        .map(|message| message.to_json_value().render())
+        .collect();
+    let batch_bodies: Vec<String> = (0..16)
+        .map(|offset| {
+            let rows: Vec<String> = (0..batch_size)
+                .map(|i| single_bodies[(offset * batch_size + i) % single_bodies.len()].clone())
+                .collect();
+            format!(r#"{{"requests":[{}]}}"#, rows.join(","))
+        })
+        .collect();
+
+    // Warm up every worker's connection-handling path.
+    let (_, _) = drive(addr, clients, clients * 16, "/v1/decisions", &single_bodies);
+
+    let (single_elapsed, single_lat) = drive(
+        addr,
+        clients,
+        single_requests,
+        "/v1/decisions",
+        &single_bodies,
+    );
+    let single_served = single_lat.len();
+    let (batch_elapsed, batch_lat) = drive(
+        addr,
+        clients,
+        batch_requests,
+        "/v1/decisions:batch",
+        &batch_bodies,
+    );
+    let batch_served = batch_lat.len();
+    server.shutdown();
+
+    let json = format!(
+        r#"{{
+  "benchmark": "server",
+  "sites": {sites},
+  "labeled_requests": {labeled},
+  "workers": {workers},
+  "clients": {clients},
+  "cores": {cores},
+  "single": {{
+    "requests": {single_served},
+    "requests_per_sec": {single_rps:.2},
+    "p50_ms": {single_p50:.4},
+    "p99_ms": {single_p99:.4}
+  }},
+  "batch": {{
+    "requests": {batch_served},
+    "batch_size": {batch_size},
+    "requests_per_sec": {batch_rps:.2},
+    "decisions_per_sec": {batch_dps:.2},
+    "p50_ms": {batch_p50:.4},
+    "p99_ms": {batch_p99:.4}
+  }}
+}}"#,
+        labeled = study.requests.len(),
+        cores = thread::available_parallelism().map_or(1, usize::from),
+        single_rps = single_served as f64 / single_elapsed.as_secs_f64(),
+        single_p50 = percentile(&single_lat, 0.50),
+        single_p99 = percentile(&single_lat, 0.99),
+        batch_rps = batch_served as f64 / batch_elapsed.as_secs_f64(),
+        batch_dps = (batch_served * batch_size) as f64 / batch_elapsed.as_secs_f64(),
+        batch_p50 = percentile(&batch_lat, 0.50),
+        batch_p99 = percentile(&batch_lat, 0.99),
+    );
+    std::fs::write(&out_path, format!("{json}\n")).expect("write benchmark output");
+    eprintln!("wrote {out_path}");
+    println!("{json}");
+}

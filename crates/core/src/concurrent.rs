@@ -53,9 +53,10 @@
 //! is pinned from two threads at once (clone the reader per thread — the
 //! intended mode — and the fallback never runs).
 
+use crate::decision::{Decision, DecisionRequest};
 use crate::label::LabeledRequest;
-use crate::service::{CommitStats, ObserveOutcome, Sifter, Verdict, VerdictRequest};
-use crate::snapshot::SifterSnapshot;
+use crate::service::{CommitStats, ObserveOutcome, ServiceStats, Sifter, Verdict, VerdictRequest};
+use crate::snapshot::{SifterSnapshot, SnapshotError};
 use crate::table::VerdictTable;
 use filterlist::ResourceType;
 use std::ptr;
@@ -144,6 +145,7 @@ impl Sifter {
             SifterWriter {
                 sifter: self,
                 shared,
+                version_floor: 0,
             },
             reader,
         )
@@ -176,6 +178,11 @@ impl Sifter {
 pub struct SifterWriter {
     sifter: Sifter,
     shared: Arc<Shared>,
+    /// Added to the sifter's commit count to form the *published* table
+    /// version. Zero until a [`SifterWriter::restore_snapshot`] replaces
+    /// the sifter (resetting its commit count); then bumped so published
+    /// versions stay strictly increasing across the swap.
+    version_floor: u64,
 }
 
 impl SifterWriter {
@@ -236,8 +243,57 @@ impl SifterWriter {
     /// and contention sections of `BENCH_service.json`).
     pub fn commit(&mut self) -> CommitStats {
         let stats = self.sifter.commit();
-        self.shared.publish(Arc::new(self.sifter.verdict_table()));
+        self.publish_current();
         stats
+    }
+
+    /// Export the current committed state (version rebased onto the floor)
+    /// and publish it to every reader in one atomic swap.
+    fn publish_current(&mut self) {
+        let floor = self.version_floor;
+        let mut table = self.sifter.verdict_table();
+        table.set_version(floor + table.version());
+        self.shared.publish(Arc::new(table));
+    }
+
+    /// The version of the table the readers currently serve
+    /// (`version_floor` + the sifter's commit count) — strictly increasing
+    /// across commits *and* snapshot restores.
+    pub fn published_version(&self) -> u64 {
+        self.version_floor + self.sifter.commits()
+    }
+
+    /// Replace the trained state with a restored snapshot and publish the
+    /// result to every reader in one atomic swap — the `PUT /v1/snapshot`
+    /// operation of a verdict server.
+    ///
+    /// The configured filter engine is kept (shared, not recompiled); the
+    /// snapshot's thresholds take effect, exactly as
+    /// [`SifterBuilder::restore`](crate::service::SifterBuilder::restore).
+    /// Readers never observe a half-imported state: they keep serving the
+    /// previous table until the single publish, and published versions stay
+    /// strictly increasing across the swap (the restored state appears as
+    /// `published_version() + 1`, not as a reset to 1). On error the
+    /// previous state keeps serving untouched.
+    ///
+    /// Observations buffered but not yet committed at swap time do **not**
+    /// survive it — the snapshot replaces the whole trained state. The
+    /// returned count says how many were discarded, so a caller (e.g. the
+    /// verdict server's `PUT /v1/snapshot`) can surface the loss instead
+    /// of hiding it; commit first if they must be kept.
+    pub fn restore_snapshot(&mut self, snapshot: &SifterSnapshot) -> Result<u64, SnapshotError> {
+        let mut builder = Sifter::builder();
+        if let Some(engine) = self.sifter.engine_arc() {
+            builder = builder.shared_engine(engine);
+        }
+        let restored = builder.restore(snapshot)?;
+        let dropped_pending = self.sifter.pending();
+        // The restored sifter has committed exactly once; place that commit
+        // one past the last published version.
+        self.version_floor = (self.published_version() + 1).saturating_sub(restored.commits());
+        self.sifter = restored;
+        self.publish_current();
+        Ok(dropped_pending)
     }
 
     /// Mint another reader handle (equivalent to cloning any existing one).
@@ -256,6 +312,16 @@ impl SifterWriter {
     /// [`Sifter::snapshot`].
     pub fn snapshot(&self) -> SifterSnapshot {
         self.sifter.snapshot()
+    }
+
+    /// One consolidated view of the serving state; the `version` field is
+    /// the *published* table version (monotone across
+    /// [`SifterWriter::restore_snapshot`]), see [`ServiceStats`].
+    pub fn service_stats(&self) -> ServiceStats {
+        ServiceStats {
+            version: self.published_version(),
+            ..self.sifter.service_stats()
+        }
     }
 
     /// Dissolve the pair and take the sifter back. Existing readers keep
@@ -381,6 +447,25 @@ impl SifterReader {
         }
     }
 
+    /// Answer one enforcement decision against the current published table
+    /// — [`Sifter::decide`] served lock-free; see [`crate::decision`].
+    pub fn decide(&self, request: &DecisionRequest<'_>) -> Decision {
+        self.pin().decide(request)
+    }
+
+    /// Serve a batch of decisions (one output per input, in order) from a
+    /// single pinned table: the whole batch — surrogate payloads included —
+    /// reflects exactly one committed state, even if the writer publishes
+    /// mid-batch.
+    pub fn decide_batch(&self, requests: &[DecisionRequest<'_>]) -> Vec<Decision> {
+        let pin = self.pin();
+        let table = pin.table();
+        requests
+            .iter()
+            .map(|request| table.decide(request))
+            .collect()
+    }
+
     /// The version (commit count) of the currently published table.
     pub fn version(&self) -> u64 {
         self.pin().version()
@@ -446,6 +531,11 @@ impl PinnedTable<'_> {
     /// Answer one verdict query against the pinned state.
     pub fn verdict(&self, request: &VerdictRequest<'_>) -> Verdict {
         self.table().verdict(request)
+    }
+
+    /// Answer one enforcement decision against the pinned state.
+    pub fn decide(&self, request: &DecisionRequest<'_>) -> Decision {
+        self.table().decide(request)
     }
 
     /// The pinned table's version (commit count at publish time).
@@ -592,6 +682,55 @@ mod tests {
         // The writer is gone; the reader keeps serving the last table.
         assert!(reader.verdict(&block_query()).should_block());
         assert_eq!(reader.clone().version(), 1);
+    }
+
+    #[test]
+    fn restore_snapshot_swaps_state_monotonically_and_reports_dropped_pending() {
+        // A trained source sifter to export.
+        let mut source = Sifter::builder().build();
+        source.observe_parts(
+            "ads.com",
+            "px.ads.com",
+            "https://pub.com/a.js",
+            "send",
+            true,
+        );
+        source.commit();
+        let snapshot = source.snapshot();
+
+        // A running pair with some history and a buffered observation.
+        let (mut writer, reader) = Sifter::builder().build_concurrent();
+        for _ in 0..3 {
+            writer.observe_parts("old.com", "h.old.com", "s.js", "m", false);
+            writer.commit();
+        }
+        assert_eq!(reader.version(), 3);
+        writer.observe_parts("old.com", "h.old.com", "s.js", "m", false);
+        assert_eq!(writer.sifter().pending(), 1);
+
+        // The swap reports the discarded pending observation, publishes
+        // atomically, and versions keep increasing (never a reset to 1).
+        let dropped = writer.restore_snapshot(&snapshot).expect("restore");
+        assert_eq!(dropped, 1);
+        assert_eq!(reader.version(), 4);
+        assert_eq!(writer.published_version(), 4);
+        assert_eq!(writer.service_stats().version, 4);
+        assert!(reader.verdict(&block_query()).should_block());
+        assert_eq!(
+            reader.verdict(&VerdictRequest::new("old.com", "h.old.com", "s.js", "m")),
+            Verdict::Unknown
+        );
+
+        // Later commits keep climbing from the rebased floor.
+        writer.observe_parts(
+            "ads.com",
+            "px.ads.com",
+            "https://pub.com/a.js",
+            "send",
+            true,
+        );
+        writer.commit();
+        assert_eq!(reader.version(), 5);
     }
 
     #[test]

@@ -1,0 +1,540 @@
+//! The enforcement layer: one blessed entry point turning a request into
+//! the action a blocker should take.
+//!
+//! [`Verdict::should_block`](crate::service::Verdict::should_block) is too
+//! blunt for deployment: it collapses TrackerSift's whole point — *mixed*
+//! resources deserve finer treatment than block-or-allow — into a boolean.
+//! A real blocker composes three sources of truth per request:
+//!
+//! 1. the **hierarchy verdict** (coarsest-to-finest walk over the trained
+//!    state, see [`crate::service`]),
+//! 2. a **surrogate plan** when the request is settled at a *mixed script*
+//!    (keep the functional methods, stub the tracking ones, guard the
+//!    mixed ones — paper §5, see [`crate::surrogate`]),
+//! 3. the **filter-list match** as the backstop for requests the hierarchy
+//!    cannot settle (unknown domains, still-mixed coarse resources).
+//!
+//! Callers used to stitch those together by hand. [`Decision`] is that
+//! composition, computed from a single [`DecisionRequest`] by
+//! [`Sifter::decide`](crate::service::Sifter::decide),
+//! [`SifterReader::decide`](crate::concurrent::SifterReader::decide), and
+//! [`VerdictTable::decide`](crate::table::VerdictTable::decide) — all three
+//! run the same code path, so in-process and concurrent (and, through
+//! `trackersift-server`, over-the-wire) decisions are byte-identical for
+//! the same committed state.
+//!
+//! # The decision policy
+//!
+//! | hierarchy verdict | decision |
+//! |---|---|
+//! | tracking (any granularity) | [`Decision::Block`] |
+//! | functional (any granularity) | [`Decision::Allow`] |
+//! | mixed at script / method level | [`Decision::Surrogate`] with the script's plan |
+//! | mixed at domain / hostname level | filter-list backstop |
+//! | unknown | filter-list backstop |
+//!
+//! The filter-list backstop blocks when the engine labels the request URL
+//! tracking, allows when it labels it functional, and yields
+//! [`Decision::Observe`] when it cannot run (no engine configured, or the
+//! request carried no URL) — the "let it through, keep collecting
+//! evidence" answer.
+
+use crate::hierarchy::Granularity;
+use crate::intern::{KeyResolver, ResourceKey};
+use crate::label::LabeledRequest;
+use crate::ratio::Classification;
+use crate::service::{Verdict, VerdictRequest};
+use crate::surrogate::SurrogateScript;
+use crate::table::{verdict_walk, ClassTable};
+use filterlist::{FilterEngine, RequestLabel, ResourceType};
+use std::fmt;
+use std::sync::Arc;
+
+/// One enforcement query: the four attribution keys every verdict needs,
+/// plus (optionally) the raw URL context that lets the filter-list
+/// backstop run for requests the hierarchy cannot settle.
+///
+/// ```
+/// use trackersift::DecisionRequest;
+///
+/// let keys_only = DecisionRequest::new("ads.com", "px.ads.com", "https://pub.com/a.js", "send");
+/// let with_url = keys_only
+///     .with_url("https://px.ads.com/pixel?uid=7", "pub.com", filterlist::ResourceType::Image);
+/// assert!(keys_only.url.is_none());
+/// assert_eq!(with_url.url, Some("https://px.ads.com/pixel?uid=7"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecisionRequest<'a> {
+    /// Registrable domain (eTLD+1) of the request URL.
+    pub domain: &'a str,
+    /// Full hostname of the request URL.
+    pub hostname: &'a str,
+    /// URL of the initiating script (innermost stack frame).
+    pub script: &'a str,
+    /// Method (function) name of the initiating frame.
+    pub method: &'a str,
+    /// The raw request URL, when the caller has it — enables the
+    /// filter-list backstop for hierarchy-unsettled requests.
+    pub url: Option<&'a str>,
+    /// Hostname of the page issuing the request (party-ness for the filter
+    /// match); ignored unless `url` is set.
+    pub source_hostname: &'a str,
+    /// Resource type of the request; ignored unless `url` is set.
+    pub resource_type: ResourceType,
+}
+
+impl<'a> DecisionRequest<'a> {
+    /// A keys-only query (no filter-list backstop).
+    pub fn new(domain: &'a str, hostname: &'a str, script: &'a str, method: &'a str) -> Self {
+        DecisionRequest {
+            domain,
+            hostname,
+            script,
+            method,
+            url: None,
+            source_hostname: "",
+            resource_type: ResourceType::Other,
+        }
+    }
+
+    /// Attach the raw URL context that lets the filter-list backstop
+    /// decide requests the hierarchy cannot settle.
+    pub fn with_url(
+        mut self,
+        url: &'a str,
+        source_hostname: &'a str,
+        resource_type: ResourceType,
+    ) -> Self {
+        self.url = Some(url);
+        self.source_hostname = source_hostname;
+        self.resource_type = resource_type;
+        self
+    }
+
+    /// The query for a labeled request's attribution keys, URL included.
+    /// The backstop's source hostname is the *page* hostname (host of
+    /// `top_level_url`) — the same source the labeling stage matched
+    /// `$domain=` filter options against — falling back to the site's
+    /// registrable domain exactly as the labeler does for unparseable
+    /// page URLs.
+    pub fn from_labeled(request: &'a LabeledRequest) -> Self {
+        let source = page_host(&request.top_level_url).unwrap_or(&request.site_domain);
+        DecisionRequest::new(
+            &request.domain,
+            &request.hostname,
+            &request.initiator_script,
+            &request.initiator_method,
+        )
+        .with_url(&request.url, source, request.resource_type)
+    }
+
+    /// The hierarchy-walk view of this query.
+    pub fn verdict_request(&self) -> VerdictRequest<'a> {
+        VerdictRequest::new(self.domain, self.hostname, self.script, self.method)
+    }
+}
+
+/// What decided a [`Decision::Allow`] / [`Decision::Block`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionSource {
+    /// The trained hierarchy settled the request at this granularity.
+    Hierarchy(Granularity),
+    /// The hierarchy could not settle it; the filter-list match decided.
+    FilterList,
+}
+
+impl fmt::Display for DecisionSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecisionSource::Hierarchy(granularity) => {
+                write!(f, "hierarchy at {granularity} level")
+            }
+            DecisionSource::FilterList => f.write_str("filter list"),
+        }
+    }
+}
+
+/// The action a blocker should take for one [`DecisionRequest`] — the one
+/// blessed enforcement entry point, replacing ad-hoc composition of
+/// [`Verdict::should_block`](crate::service::Verdict::should_block), the
+/// filter engine, and surrogate generation.
+///
+/// ```
+/// use trackersift::{Decision, DecisionRequest, DecisionSource, Granularity, Sifter};
+///
+/// let mut sifter = Sifter::builder().build();
+/// for _ in 0..5 {
+///     sifter.observe_parts("ads.com", "px.ads.com", "https://pub.com/a.js", "send", true);
+/// }
+/// sifter.commit();
+///
+/// let request = DecisionRequest::new("ads.com", "px.ads.com", "https://pub.com/a.js", "send");
+/// assert_eq!(
+///     sifter.decide(&request),
+///     Decision::Block(DecisionSource::Hierarchy(Granularity::Domain))
+/// );
+/// // Nothing known and no URL to fall back on: observe.
+/// assert_eq!(
+///     sifter.decide(&DecisionRequest::new("zzz.com", "a.zzz.com", "s", "m")),
+///     Decision::Observe
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decision {
+    /// Let the request through.
+    Allow(DecisionSource),
+    /// Block the request outright.
+    Block(DecisionSource),
+    /// The request is settled at a mixed script: serve this surrogate in
+    /// place of the script (functional methods kept, tracking methods
+    /// stubbed, mixed methods guarded). The plan is shared (`Arc`) with
+    /// the sifter's cache, so serving a surrogate decision is a pointer
+    /// bump, not a deep copy of the plan.
+    Surrogate(Arc<SurrogateScript>),
+    /// No source of truth could settle the request: let it through and
+    /// keep observing.
+    Observe,
+}
+
+impl Decision {
+    /// `true` when the blocker should not deliver the original resource
+    /// (blocked outright or replaced by a surrogate).
+    pub fn is_enforcing(&self) -> bool {
+        matches!(self, Decision::Block(_) | Decision::Surrogate(_))
+    }
+
+    /// The source that settled an allow/block, if this is one.
+    pub fn source(&self) -> Option<DecisionSource> {
+        match self {
+            Decision::Allow(source) | Decision::Block(source) => Some(*source),
+            Decision::Surrogate(_) | Decision::Observe => None,
+        }
+    }
+
+    /// The surrogate payload, when the decision carries one.
+    pub fn surrogate(&self) -> Option<&SurrogateScript> {
+        match self {
+            Decision::Surrogate(script) => Some(script.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decision::Allow(source) => write!(f, "allow ({source})"),
+            Decision::Block(source) => write!(f, "block ({source})"),
+            Decision::Surrogate(script) => {
+                write!(
+                    f,
+                    "surrogate for {} ({} kept / {} stubbed / {} guarded)",
+                    script.script_url,
+                    script.kept(),
+                    script.stubbed(),
+                    script.guarded()
+                )
+            }
+            Decision::Observe => f.write_str("observe"),
+        }
+    }
+}
+
+/// The one implementation of the decision policy, shared by every entry
+/// point: `Sifter::decide` (live interner, on-demand plan),
+/// `VerdictTable::decide` (frozen keys, precomputed plans), and through the
+/// latter every `SifterReader`. `plan_for` resolves a mixed script's
+/// surrogate plan; returning `None` (script committed mixed but with no
+/// member methods) falls back to the filter list.
+pub(crate) fn decide<K, P>(
+    keys: &K,
+    classes: &ClassTable,
+    engine: Option<&FilterEngine>,
+    plan_for: P,
+    request: &DecisionRequest<'_>,
+) -> Decision
+where
+    K: KeyResolver + ?Sized,
+    P: FnOnce(ResourceKey) -> Option<Arc<SurrogateScript>>,
+{
+    match verdict_walk(keys, classes, &request.verdict_request()) {
+        Verdict::Decided {
+            classification: Classification::Tracking,
+            granularity,
+        } => Decision::Block(DecisionSource::Hierarchy(granularity)),
+        Verdict::Decided {
+            classification: Classification::Functional,
+            granularity,
+        } => Decision::Allow(DecisionSource::Hierarchy(granularity)),
+        Verdict::Decided {
+            classification: Classification::Mixed,
+            granularity: Granularity::Script | Granularity::Method,
+        } => {
+            // Settled at a mixed script: replace the script, do not block
+            // the request wholesale. The key must resolve — the walk only
+            // reaches script granularity through it — but a plan can still
+            // be absent (no member methods), in which case the backstop
+            // decides.
+            match keys.key(request.script).and_then(plan_for) {
+                Some(plan) => Decision::Surrogate(plan),
+                None => filter_backstop(engine, request),
+            }
+        }
+        Verdict::Decided {
+            classification: Classification::Mixed,
+            granularity: Granularity::Domain | Granularity::Hostname,
+        }
+        | Verdict::Unknown => filter_backstop(engine, request),
+    }
+}
+
+/// Borrowed hostname of a page URL (`scheme://[user@]host[:port]/…`);
+/// `None` when the URL has no authority. Mirrors the labeling stage's
+/// page-host derivation (`ParsedUrl::parse(top_level_url).hostname`)
+/// without allocating — the filter request lower-cases its source
+/// hostname itself, so a borrowed mixed-case slice matches identically.
+fn page_host(url: &str) -> Option<&str> {
+    let rest = url.split_once("://")?.1;
+    let authority = rest.split(['/', '?', '#']).next().unwrap_or(rest);
+    let host = match authority.rfind('@') {
+        Some(at) => &authority[at + 1..],
+        None => authority,
+    };
+    let host = host.split(':').next().unwrap_or(host);
+    (!host.is_empty()).then_some(host)
+}
+
+/// The filter-list backstop for hierarchy-unsettled requests: block on a
+/// tracking match, allow otherwise, observe when it cannot run.
+fn filter_backstop(engine: Option<&FilterEngine>, request: &DecisionRequest<'_>) -> Decision {
+    match (engine, request.url) {
+        (Some(engine), Some(url)) => {
+            match engine.label_url(url, request.source_hostname, request.resource_type) {
+                RequestLabel::Tracking => Decision::Block(DecisionSource::FilterList),
+                RequestLabel::Functional => Decision::Allow(DecisionSource::FilterList),
+            }
+        }
+        _ => Decision::Observe,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::Sifter;
+    use crate::surrogate::MethodAction;
+    use filterlist::ListKind;
+
+    /// Figure-1-shaped training set plus a mixed script whose methods span
+    /// all three classifications, so every decision arm is reachable.
+    fn trained() -> Sifter {
+        let mut sifter = Sifter::builder()
+            .filter_lists(&[(ListKind::EasyList, "||blocked.example^\n")])
+            .build();
+        // Pure tracking domain.
+        for _ in 0..5 {
+            sifter.observe_parts(
+                "ads.com",
+                "px.ads.com",
+                "https://pub.com/a.js",
+                "send",
+                true,
+            );
+        }
+        // Pure functional domain.
+        for _ in 0..5 {
+            sifter.observe_parts(
+                "cdn.com",
+                "a.cdn.com",
+                "https://pub.com/ui.js",
+                "load",
+                false,
+            );
+        }
+        // Mixed domain -> mixed hostname -> mixed script with a tracking, a
+        // functional, and a mixed method.
+        for _ in 0..6 {
+            sifter.observe_parts(
+                "hub.com",
+                "w.hub.com",
+                "https://pub.com/mixed.js",
+                "track",
+                true,
+            );
+            sifter.observe_parts(
+                "hub.com",
+                "w.hub.com",
+                "https://pub.com/mixed.js",
+                "render",
+                false,
+            );
+        }
+        for flag in [true, false, true, false] {
+            sifter.observe_parts(
+                "hub.com",
+                "w.hub.com",
+                "https://pub.com/mixed.js",
+                "dispatch",
+                flag,
+            );
+        }
+        sifter.commit();
+        sifter
+    }
+
+    #[test]
+    fn tracking_and_functional_verdicts_map_to_block_and_allow() {
+        let sifter = trained();
+        assert_eq!(
+            sifter.decide(&DecisionRequest::new(
+                "ads.com",
+                "px.ads.com",
+                "https://pub.com/a.js",
+                "send"
+            )),
+            Decision::Block(DecisionSource::Hierarchy(Granularity::Domain))
+        );
+        assert_eq!(
+            sifter.decide(&DecisionRequest::new(
+                "cdn.com",
+                "a.cdn.com",
+                "https://pub.com/ui.js",
+                "load"
+            )),
+            Decision::Allow(DecisionSource::Hierarchy(Granularity::Domain))
+        );
+    }
+
+    #[test]
+    fn mixed_scripts_get_a_surrogate_with_per_method_actions() {
+        let sifter = trained();
+        let decision = sifter.decide(&DecisionRequest::new(
+            "hub.com",
+            "w.hub.com",
+            "https://pub.com/mixed.js",
+            "dispatch",
+        ));
+        let plan = decision.surrogate().expect("mixed script yields surrogate");
+        assert_eq!(plan.script_url, "https://pub.com/mixed.js");
+        let action = |name: &str| {
+            plan.methods
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, a)| a.clone())
+                .unwrap_or_else(|| panic!("method {name} missing from {:?}", plan.methods))
+        };
+        assert_eq!(action("track"), MethodAction::Stub);
+        assert_eq!(action("render"), MethodAction::Keep);
+        assert!(matches!(action("dispatch"), MethodAction::Guard { .. }));
+        // Methods are sorted by name — the canonical payload order.
+        let names: Vec<&str> = plan.methods.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        assert!(plan.suppressed_tracking_requests >= 6);
+        assert!(plan.preserved_functional_requests >= 6);
+        assert!(decision.is_enforcing());
+    }
+
+    #[test]
+    fn unsettled_requests_fall_back_to_the_filter_list_or_observe() {
+        let sifter = trained();
+        // Unknown domain, no URL: observe.
+        let keys_only = DecisionRequest::new("zzz.com", "a.zzz.com", "s.js", "m");
+        assert_eq!(sifter.decide(&keys_only), Decision::Observe);
+        // Unknown domain, URL matching the list: block via the backstop.
+        assert_eq!(
+            sifter.decide(&keys_only.with_url(
+                "https://px.blocked.example/p.gif",
+                "pub.com",
+                ResourceType::Image
+            )),
+            Decision::Block(DecisionSource::FilterList)
+        );
+        // Unknown domain, URL not matching: allow via the backstop.
+        assert_eq!(
+            sifter.decide(&keys_only.with_url(
+                "https://static.fine.example/app.css",
+                "pub.com",
+                ResourceType::Stylesheet
+            )),
+            Decision::Allow(DecisionSource::FilterList)
+        );
+    }
+
+    #[test]
+    fn mixed_at_coarse_granularity_uses_the_backstop_not_a_surrogate() {
+        let sifter = trained();
+        // Known-mixed domain, never-seen hostname: mixed at domain level.
+        let request = DecisionRequest::new("hub.com", "new.hub.com", "s.js", "m").with_url(
+            "https://new.hub.com/x",
+            "pub.com",
+            ResourceType::Xhr,
+        );
+        assert_eq!(
+            sifter.decide(&request),
+            Decision::Allow(DecisionSource::FilterList)
+        );
+    }
+
+    #[test]
+    fn decisions_without_an_engine_observe_instead_of_guessing() {
+        let mut sifter = Sifter::builder().build();
+        sifter.observe_parts("a.com", "h.a.com", "s.js", "m", true);
+        sifter.observe_parts("a.com", "h.a.com", "s.js", "m", false);
+        sifter.commit();
+        // Mixed at hostname level (single hostname, mixed), no engine: even
+        // with a URL there is nothing to match against.
+        let request = DecisionRequest::new("a.com", "h.a.com", "other.js", "m").with_url(
+            "https://h.a.com/x",
+            "pub.com",
+            ResourceType::Xhr,
+        );
+        assert_eq!(sifter.decide(&request), Decision::Observe);
+    }
+
+    #[test]
+    fn decision_display_is_human_readable() {
+        let sifter = trained();
+        let block = sifter.decide(&DecisionRequest::new(
+            "ads.com",
+            "px.ads.com",
+            "https://pub.com/a.js",
+            "send",
+        ));
+        assert_eq!(block.to_string(), "block (hierarchy at Domain level)");
+        assert_eq!(Decision::Observe.to_string(), "observe");
+        let surrogate = sifter.decide(&DecisionRequest::new(
+            "hub.com",
+            "w.hub.com",
+            "https://pub.com/mixed.js",
+            "dispatch",
+        ));
+        assert!(surrogate.to_string().starts_with("surrogate for"));
+    }
+
+    #[test]
+    fn from_labeled_carries_the_url_context() {
+        let requests = crate::testutil::figure1_requests();
+        let request = DecisionRequest::from_labeled(&requests[0]);
+        assert!(request.url.is_some());
+        assert_eq!(request.domain, requests[0].domain);
+        // The backstop source is the *page hostname* (what `$domain=`
+        // options matched at labeling time), not the registrable domain.
+        assert_eq!(
+            request.source_hostname,
+            filterlist::ParsedUrl::parse(&requests[0].top_level_url)
+                .expect("test fixture page url parses")
+                .hostname
+        );
+    }
+
+    #[test]
+    fn page_host_extracts_the_authority_hostname() {
+        assert_eq!(page_host("https://www.pub.com/a/b?c"), Some("www.pub.com"));
+        assert_eq!(page_host("http://user@shop.com:8080/x"), Some("shop.com"));
+        assert_eq!(page_host("https://HOST.example"), Some("HOST.example"));
+        assert_eq!(page_host("not a url"), None);
+        assert_eq!(page_host("https:///path-only"), None);
+    }
+}

@@ -25,6 +25,7 @@
 //! | staged execution engine | [`stage`], [`pipeline`] |
 //! | resource-key interning | [`intern`] |
 //! | serving API (verdicts + incremental ingestion) | [`service`] |
+//! | enforcement decisions (allow / block / surrogate / observe) | [`decision`] |
 //! | flattened verdict tables (shared read representation) | [`table`] |
 //! | concurrent serving (lock-free readers + atomic publish) | [`concurrent`] |
 //! | trained-state persistence (versioned) | [`snapshot`] |
@@ -87,6 +88,7 @@
 pub mod breakage;
 pub mod callstack;
 pub mod concurrent;
+pub mod decision;
 pub mod hierarchy;
 pub mod intern;
 pub mod label;
@@ -108,6 +110,7 @@ mod testutil;
 pub use breakage::{analyze_breakage, Breakage, BreakageRow, BreakageStudy};
 pub use callstack::{analyze_mixed_methods, CallGraph, CallGraphNode, CallStackAnalysis};
 pub use concurrent::{PinnedTable, SifterReader, SifterWriter};
+pub use decision::{Decision, DecisionRequest, DecisionSource};
 pub use hierarchy::{
     ClassCounts, Granularity, HierarchicalClassifier, HierarchyResult, LevelResult, ResourceEntry,
 };
@@ -123,7 +126,8 @@ pub use ratio::{Classification, Counts, Thresholds};
 pub use report::RatioHistogram;
 pub use sensitivity::{SensitivityPoint, SensitivitySweep};
 pub use service::{
-    CommitStats, IngestStats, ObserveOutcome, Sifter, SifterBuilder, Verdict, VerdictRequest,
+    CommitStats, IngestStats, ObserveOutcome, ServiceStats, Sifter, SifterBuilder, Verdict,
+    VerdictRequest,
 };
 pub use snapshot::{SifterSnapshot, SnapshotError};
 pub use stage::{Stage, StageRunner, StageTiming, StageTimings};

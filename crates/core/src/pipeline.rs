@@ -337,9 +337,14 @@ impl Study {
     /// query API. The study is the *producer*; the sifter (its
     /// [`Sifter::hierarchy`] export, [`Sifter::verdict`] walk, and
     /// [`Sifter::snapshot`] persistence) is how downstream consumers read
-    /// the trained state.
+    /// the trained state. The study's compiled filter engine rides along,
+    /// so [`Sifter::observe_url`] and the filter-list backstop of
+    /// [`Sifter::decide`] work out of the box.
     pub fn sifter(&self) -> Sifter {
-        let mut sifter = Sifter::builder().thresholds(self.config.thresholds).build();
+        let mut sifter = Sifter::builder()
+            .thresholds(self.config.thresholds)
+            .engine(self.engine.clone())
+            .build();
         sifter.observe_all(&self.requests);
         sifter.commit();
         sifter

@@ -59,6 +59,7 @@
 //! flattened representation ([`crate::table`]): dense per-granularity class
 //! arrays indexed by interned key, patched in place by each commit.
 
+use crate::decision::{self, Decision, DecisionRequest};
 use crate::hierarchy::{
     Granularity, HierarchicalClassifier, HierarchyResult, LevelResult, ResourceEntry,
 };
@@ -66,6 +67,7 @@ use crate::intern::{FrozenKeys, KeyInterner, ResourceKey};
 use crate::label::LabeledRequest;
 use crate::ratio::{Classification, Counts, Thresholds};
 use crate::snapshot::{SifterSnapshot, SnapshotError};
+use crate::surrogate::{MethodPlan, SurrogateScript};
 use crate::table::{verdict_walk, ClassTable, VerdictTable};
 use filterlist::tokens::TokenHashBuilder;
 use filterlist::{
@@ -258,6 +260,40 @@ pub struct IngestStats {
     pub conflicting_domains: u64,
 }
 
+/// One consolidated view of a serving sifter's operational state — what a
+/// `/v1/stats` endpoint or a monitoring loop reads in a single call instead
+/// of stitching together five getters.
+///
+/// Produced by [`Sifter::service_stats`] (where `version` is the commit
+/// count) and [`SifterWriter::service_stats`](crate::concurrent::SifterWriter::service_stats)
+/// (where `version` is the *published* table version, which keeps growing
+/// monotonically across [`restore_snapshot`](crate::concurrent::SifterWriter::restore_snapshot)
+/// even though the underlying commit count resets).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Full ingestion accounting, including skipped requests.
+    pub ingest: IngestStats,
+    /// Observations whose hostname conflicted with its first-seen domain
+    /// (also available as `ingest.conflicting_domains`; surfaced at top
+    /// level because deployments alarm on it).
+    pub conflicting_observations: u64,
+    /// The servable table version (commit count, or published version for
+    /// the concurrent writer).
+    pub version: u64,
+    /// Committed requests still attributed to mixed methods (the residue).
+    pub unattributed: u64,
+    /// Committed member resources per granularity, indexed by
+    /// [`Granularity::index`].
+    pub resources: [usize; 4],
+}
+
+impl ServiceStats {
+    /// Total committed member resources across all four granularities.
+    pub fn total_resources(&self) -> usize {
+        self.resources.iter().sum()
+    }
+}
+
 /// Unconditional per-hostname state: owning domain plus raw counts.
 #[derive(Debug, Clone, Copy)]
 struct HostMeta {
@@ -291,7 +327,7 @@ struct LevelEntry {
 #[derive(Debug, Default)]
 pub struct SifterBuilder {
     thresholds: Thresholds,
-    engine: Option<FilterEngine>,
+    engine: Option<Arc<FilterEngine>>,
 }
 
 impl SifterBuilder {
@@ -307,14 +343,23 @@ impl SifterBuilder {
     }
 
     /// Compile filter lists into the labeling oracle the sifter uses for
-    /// [`Sifter::observe_url`] (raw-traffic ingestion).
+    /// [`Sifter::observe_url`] (raw-traffic ingestion) and the filter-list
+    /// backstop of [`Sifter::decide`].
     pub fn filter_lists(mut self, lists: &[(ListKind, &str)]) -> Self {
-        self.engine = Some(FilterEngine::from_lists(lists));
+        self.engine = Some(Arc::new(FilterEngine::from_lists(lists)));
         self
     }
 
     /// Use an already-compiled filter engine as the labeling oracle.
     pub fn engine(mut self, engine: FilterEngine) -> Self {
+        self.engine = Some(Arc::new(engine));
+        self
+    }
+
+    /// Share an already-compiled filter engine (no recompilation, no copy)
+    /// — how a serving process reuses one engine across sifter rebuilds,
+    /// e.g. when restoring a snapshot into a running writer.
+    pub fn shared_engine(mut self, engine: Arc<FilterEngine>) -> Self {
         self.engine = Some(engine);
         self
     }
@@ -345,6 +390,7 @@ impl SifterBuilder {
             dirty_scripts: KeySet::default(),
             dirty_methods: KeySet::default(),
             classes: ClassTable::default(),
+            surrogate_plans: KeyMap::default(),
             frozen: None,
             observed_requests: 0,
             committed_requests: 0,
@@ -406,7 +452,7 @@ impl SifterBuilder {
 #[derive(Debug)]
 pub struct Sifter {
     thresholds: Thresholds,
-    engine: Option<FilterEngine>,
+    engine: Option<Arc<FilterEngine>>,
     interner: KeyInterner,
 
     // -- raw accumulated observations (updated by `observe`) --
@@ -449,6 +495,11 @@ pub struct Sifter {
     /// Dense committed classifications per granularity, patched in place by
     /// each commit alongside the `*_entries` maps. `verdict` reads this.
     classes: ClassTable,
+    /// Surrogate plans for every committed mixed script, maintained
+    /// incrementally by `commit` (only scripts whose classification or
+    /// member methods changed are rebuilt). `Arc` values so publishing a
+    /// [`VerdictTable`] clones pointers, not strings.
+    surrogate_plans: KeyMap<Arc<SurrogateScript>>,
     /// Cached frozen key view for publishing [`VerdictTable`]s; refreshed
     /// lazily when the interner has grown since the last freeze.
     frozen: Option<Arc<FrozenKeys>>,
@@ -539,6 +590,29 @@ impl Sifter {
             no_engine: self.no_engine_urls,
             conflicting_domains: self.conflicting_observations,
         }
+    }
+
+    /// One consolidated view of the serving state (ingest accounting,
+    /// conflicts, table version, residue, member counts) — see
+    /// [`ServiceStats`].
+    pub fn service_stats(&self) -> ServiceStats {
+        ServiceStats {
+            ingest: self.ingest_stats(),
+            conflicting_observations: self.conflicting_observations,
+            version: self.commits,
+            unattributed: self.residue_requests,
+            resources: [
+                self.domain_entries.len(),
+                self.host_entries.len(),
+                self.script_entries.len(),
+                self.method_entries.len(),
+            ],
+        }
+    }
+
+    /// The shared filter engine, if one was configured.
+    pub(crate) fn engine_arc(&self) -> Option<Arc<FilterEngine>> {
+        self.engine.clone()
     }
 
     /// Number of committed member resources at a granularity.
@@ -783,6 +857,11 @@ impl Sifter {
         // the script is not a member of the level at all.
         let dirty_scripts: Vec<ResourceKey> = self.dirty_scripts.drain().collect();
         stats.scripts = dirty_scripts.len();
+        // Scripts whose surrogate plan must be rebuilt after phase 4: the
+        // reclassified scripts themselves, plus (below) the owning script
+        // of every reclassified method. Everything else keeps its cached
+        // plan, so plan maintenance stays proportional to the delta.
+        let mut plans_dirty: KeySet = dirty_scripts.iter().copied().collect();
         for s in dirty_scripts {
             let counts = self.member_counts(s, &self.hosts_of_script, &self.script_host);
             let was_mixed = matches!(
@@ -822,6 +901,7 @@ impl Sifter {
         stats.methods = dirty_methods.len();
         for m in dirty_methods {
             let meta = self.method_meta[&m];
+            plans_dirty.insert(meta.script);
             if let Some(old) = self.method_entries.get(&m) {
                 if old.classification == Classification::Mixed {
                     self.residue_requests -= old.counts.total();
@@ -858,6 +938,24 @@ impl Sifter {
             );
             self.classes
                 .set(Granularity::Method, m, Some(classification));
+        }
+
+        // Refresh the surrogate plans of exactly the scripts this commit
+        // could have changed: a committed-mixed script (re)gains its plan,
+        // everything else drops out of the map.
+        for s in plans_dirty {
+            let mixed = matches!(
+                self.script_entries.get(&s),
+                Some(e) if e.classification == Classification::Mixed
+            );
+            match mixed.then(|| self.plan_for_script(s)).flatten() {
+                Some(plan) => {
+                    self.surrogate_plans.insert(s, Arc::new(plan));
+                }
+                None => {
+                    self.surrogate_plans.remove(&s);
+                }
+            }
         }
 
         self.committed_requests = self.observed_requests;
@@ -920,6 +1018,69 @@ impl Sifter {
         }
     }
 
+    /// The blessed enforcement entry point: compose the hierarchy verdict,
+    /// the surrogate plan for mixed scripts, and the filter-list backstop
+    /// into the action a blocker should take. See [`crate::decision`] for
+    /// the policy; [`SifterReader::decide`](crate::concurrent::SifterReader::decide)
+    /// answers identically (byte for byte) from the published table.
+    pub fn decide(&self, request: &DecisionRequest<'_>) -> Decision {
+        decision::decide(
+            &self.interner,
+            &self.classes,
+            self.engine.as_deref(),
+            |script| self.surrogate_plans.get(&script).cloned(),
+            request,
+        )
+    }
+
+    /// Serve a batch of decisions (one output per input, in order).
+    pub fn decide_batch(&self, requests: &[DecisionRequest<'_>]) -> Vec<Decision> {
+        requests
+            .iter()
+            .map(|request| self.decide(request))
+            .collect()
+    }
+
+    /// Build the surrogate plan for one committed script from scratch: its
+    /// member methods (in name order) with their committed classifications
+    /// and counts, reduced through the same constructor the batch
+    /// [`generate_surrogates`](crate::surrogate::generate_surrogates) path
+    /// uses. `None` when the script has no committed member methods (a
+    /// surrogate with nothing to keep, stub, or guard is no surrogate).
+    /// `commit` calls this for exactly the scripts a delta touched and
+    /// caches the results in `surrogate_plans`; the decision paths read
+    /// the cache.
+    ///
+    /// Serving-side plans carry no call stacks, so guards for
+    /// still-mixed methods have no divergence predicates (empty
+    /// `blocked_callers`) — they preserve the functional traffic and
+    /// suppress nothing, exactly the conservative degradation the batch
+    /// path applies when divergence analysis finds nothing.
+    fn plan_for_script(&self, script: ResourceKey) -> Option<SurrogateScript> {
+        let methods = self.methods_of_script.get(&script)?;
+        let mut plans: Vec<MethodPlan> = methods
+            .iter()
+            .filter_map(|m| {
+                let entry = self.method_entries.get(m)?;
+                Some(MethodPlan {
+                    name: self.interner.resolve(self.method_meta[m].name).to_string(),
+                    classification: entry.classification,
+                    tracking: entry.counts.tracking,
+                    functional: entry.counts.functional,
+                    blocked_callers: Vec::new(),
+                })
+            })
+            .collect();
+        if plans.is_empty() {
+            return None;
+        }
+        plans.sort_by(|a, b| a.name.cmp(&b.name));
+        Some(SurrogateScript::from_method_plans(
+            self.interner.resolve(script).to_string(),
+            plans,
+        ))
+    }
+
     /// Export the committed serving state as an immutable, point-in-time
     /// [`VerdictTable`] — the unit the concurrent writer publishes and the
     /// representation every read path shares. The frozen key view is cached
@@ -950,6 +1111,8 @@ impl Sifter {
             self.commits,
             self.committed_requests,
             self.residue_requests,
+            self.engine.clone(),
+            Arc::new(self.surrogate_plans.clone()),
         )
     }
 
@@ -1538,6 +1701,58 @@ mod tests {
             Verdict::Unknown
         );
         assert_eq!(sifter.ingest_stats().conflicting_domains, 1);
+    }
+
+    #[test]
+    fn incremental_surrogate_plans_match_a_from_scratch_rebuild() {
+        // The plan cache is maintained incrementally (only delta-touched
+        // scripts refresh), so pin it against the from-scratch definition
+        // after every commit of a schedule that flips a script into and
+        // out of mixedness.
+        let assert_plans_fresh = |sifter: &Sifter| {
+            let mut scratch: Vec<(ResourceKey, SurrogateScript)> = sifter
+                .script_entries
+                .iter()
+                .filter(|(_, entry)| entry.classification == Classification::Mixed)
+                .filter_map(|(&s, _)| Some((s, sifter.plan_for_script(s)?)))
+                .collect();
+            let mut cached: Vec<(ResourceKey, SurrogateScript)> = sifter
+                .surrogate_plans
+                .iter()
+                .map(|(&s, plan)| (s, SurrogateScript::clone(plan)))
+                .collect();
+            scratch.sort_by_key(|(s, _)| s.index());
+            cached.sort_by_key(|(s, _)| s.index());
+            assert_eq!(cached, scratch);
+        };
+
+        let mut sifter = Sifter::builder().thresholds(Thresholds::new(1.0)).build();
+        // Mixed domain -> mixed hostname -> mixed script: plan appears.
+        for flag in [true, false, true, false, true, false] {
+            sifter.observe_parts("hub.com", "w.hub.com", "https://p.com/m.js", "go", flag);
+        }
+        sifter.commit();
+        assert_plans_fresh(&sifter);
+        assert_eq!(sifter.surrogate_plans.len(), 1);
+
+        // A new method on the same script without dirtying the script via
+        // classification change: the plan must still refresh.
+        sifter.observe_parts("hub.com", "w.hub.com", "https://p.com/m.js", "extra", true);
+        sifter.commit();
+        assert_plans_fresh(&sifter);
+
+        // Flood the script with tracking until it leaves mixedness: the
+        // plan must drop out.
+        for _ in 0..60 {
+            sifter.observe_parts("hub.com", "w.hub.com", "https://p.com/m.js", "go", true);
+        }
+        sifter.commit();
+        assert_plans_fresh(&sifter);
+
+        // And an unrelated commit leaves the (empty) cache consistent.
+        sifter.observe_parts("a.com", "h.a.com", "s.js", "m", true);
+        sifter.commit();
+        assert_plans_fresh(&sifter);
     }
 
     #[test]

@@ -145,7 +145,8 @@ impl SifterSnapshot {
         self.to_json_value().render()
     }
 
-    /// Parse from JSON text, validating format marker and version.
+    /// Parse from JSON text, validating format marker, version, and
+    /// structural consistency (see [`SifterSnapshot::validate`]).
     pub fn parse(text: &str) -> Result<Self, SnapshotError> {
         let value = Value::parse(text)?;
         // Validate the envelope first so format/version mismatches surface
@@ -153,7 +154,65 @@ impl SifterSnapshot {
         if let Some(error) = envelope_error(&value) {
             return Err(error);
         }
-        Ok(Self::from_json_value(&value)?)
+        let snapshot = Self::from_json_value(&value)?;
+        snapshot.validate()?;
+        Ok(snapshot)
+    }
+
+    /// Structural validation beyond JSON well-formedness: every row must
+    /// reference an in-range key id, every count cell must carry at least
+    /// one request (a zero cell is unrepresentable through `observe` and is
+    /// the signature of a truncated export), and the cells must sum to the
+    /// claimed observation total without overflowing. Importing such a
+    /// document used to fail only at restore time (or, for the zero-cell
+    /// case, silently skew later reclassification); [`SifterSnapshot::parse`]
+    /// now rejects it up front with a typed [`SnapshotError::Corrupt`].
+    pub fn validate(&self) -> Result<(), SnapshotError> {
+        let keys = self.keys.len();
+        let check = |id: u32, what: &str| -> Result<(), SnapshotError> {
+            if (id as usize) < keys {
+                Ok(())
+            } else {
+                Err(SnapshotError::Corrupt(format!(
+                    "{what} id {id} out of range ({keys} keys)"
+                )))
+            }
+        };
+        for &(h, d) in &self.hostnames {
+            check(h, "hostname")?;
+            check(d, "domain")?;
+        }
+        for &(m, s, n) in &self.methods {
+            check(m, "method")?;
+            check(s, "script")?;
+            check(n, "method-name")?;
+        }
+        let mut total = 0u64;
+        for &(m, h, tracking, functional) in &self.cells {
+            check(m, "cell method")?;
+            check(h, "cell hostname")?;
+            let cell = tracking.checked_add(functional).ok_or_else(|| {
+                SnapshotError::Corrupt(format!(
+                    "count cell for method id {m} on hostname id {h} overflows u64"
+                ))
+            })?;
+            if cell == 0 {
+                return Err(SnapshotError::Corrupt(format!(
+                    "count cell for method id {m} on hostname id {h} is empty \
+                     (truncated export?)"
+                )));
+            }
+            total = total.checked_add(cell).ok_or_else(|| {
+                SnapshotError::Corrupt("count cells sum overflows u64".to_string())
+            })?;
+        }
+        if total != self.observed {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot claims {} observations but its cells sum to {total}",
+                self.observed
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -341,11 +400,62 @@ mod tests {
     fn json_round_trip_is_byte_identical() {
         let snapshot = sample();
         let text = snapshot.to_json_string();
-        let back = SifterSnapshot::parse(&text).unwrap();
-        assert_eq!(back, snapshot);
-        assert_eq!(back.to_json_string(), text);
+        // Assert on the typed result — a parse failure here must show the
+        // precise `SnapshotError`, not an opaque unwrap panic.
+        let back = SifterSnapshot::parse(&text);
+        assert_eq!(back, Ok(snapshot));
+        assert_eq!(back.map(|parsed| parsed.to_json_string()), Ok(text.clone()));
         assert!(text.contains("\"format\":\"trackersift.sifter\""));
         assert!(text.contains("\"version\":1"));
+    }
+
+    #[test]
+    fn out_of_range_key_ids_are_rejected_at_parse_time() {
+        // A hostname row referencing key id 99 with only 5 keys: typed
+        // corruption, not a silent import that detonates at restore.
+        let text = sample().to_json_string().replace("[[1,0]]", "[[99,0]]");
+        assert!(matches!(
+            SifterSnapshot::parse(&text),
+            Err(SnapshotError::Corrupt(message)) if message.contains("out of range")
+        ));
+        // Same for the method and cell tables.
+        let text = sample().to_json_string().replace("[[4,2,3]]", "[[4,77,3]]");
+        assert!(matches!(
+            SifterSnapshot::parse(&text),
+            Err(SnapshotError::Corrupt(message)) if message.contains("out of range")
+        ));
+        let text = sample()
+            .to_json_string()
+            .replace("[[4,1,7,0]]", "[[4,88,7,0]]");
+        assert!(matches!(
+            SifterSnapshot::parse(&text),
+            Err(SnapshotError::Corrupt(message)) if message.contains("out of range")
+        ));
+    }
+
+    #[test]
+    fn truncated_count_cells_are_rejected_at_parse_time() {
+        // A zero-count cell is unrepresentable through `observe`: the
+        // signature of a truncated export.
+        let text = sample()
+            .to_json_string()
+            .replace("[[4,1,7,0]]", "[[4,1,0,0]]")
+            .replace("\"observed\":7", "\"observed\":0");
+        assert!(matches!(
+            SifterSnapshot::parse(&text),
+            Err(SnapshotError::Corrupt(message)) if message.contains("empty")
+        ));
+    }
+
+    #[test]
+    fn observation_totals_must_match_the_cells() {
+        let text = sample()
+            .to_json_string()
+            .replace("\"observed\":7", "\"observed\":9");
+        assert!(matches!(
+            SifterSnapshot::parse(&text),
+            Err(SnapshotError::Corrupt(message)) if message.contains("cells sum")
+        ));
     }
 
     #[test]

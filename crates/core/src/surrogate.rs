@@ -49,7 +49,68 @@ pub struct SurrogateScript {
     pub preserved_functional_requests: u64,
 }
 
+/// One method's inputs to the shared surrogate-plan constructor: its name,
+/// classification, request counts, and (for mixed methods) the tracking-only
+/// divergence points a guard can check for. Both
+/// [`generate_surrogates`] (batch, with call stacks) and the serving-side
+/// [`decision`](crate::decision) layer (committed counts only, no stacks)
+/// reduce their data to this shape so the two paths can never disagree on
+/// what a surrogate looks like.
+#[derive(Debug, Clone)]
+pub(crate) struct MethodPlan {
+    /// Method name.
+    pub name: String,
+    /// The method-level classification driving the action.
+    pub classification: Classification,
+    /// Tracking requests attributed to the method.
+    pub tracking: u64,
+    /// Functional requests attributed to the method.
+    pub functional: u64,
+    /// `script @ method` labels of tracking-only divergence points (empty
+    /// when no call-stack evidence is available).
+    pub blocked_callers: Vec<String>,
+}
+
 impl SurrogateScript {
+    /// The one constructor both the batch and the serving path use: map
+    /// each method's classification to its action and account for what the
+    /// surrogate suppresses and preserves. `methods` must already be sorted
+    /// by name (the canonical order of the rendered payload).
+    pub(crate) fn from_method_plans(script_url: String, methods: Vec<MethodPlan>) -> Self {
+        let mut out = Vec::with_capacity(methods.len());
+        let mut suppressed = 0u64;
+        let mut preserved = 0u64;
+        for plan in methods {
+            let action = match plan.classification {
+                Classification::Functional => {
+                    preserved += plan.functional;
+                    MethodAction::Keep
+                }
+                Classification::Tracking => {
+                    suppressed += plan.tracking;
+                    MethodAction::Stub
+                }
+                Classification::Mixed => {
+                    // A guard only suppresses what it can distinguish.
+                    if !plan.blocked_callers.is_empty() {
+                        suppressed += plan.tracking;
+                    }
+                    preserved += plan.functional;
+                    MethodAction::Guard {
+                        blocked_callers: plan.blocked_callers,
+                    }
+                }
+            };
+            out.push((plan.name, action));
+        }
+        SurrogateScript {
+            script_url,
+            methods: out,
+            suppressed_tracking_requests: suppressed,
+            preserved_functional_requests: preserved,
+        }
+    }
+
     /// Methods kept unchanged.
     pub fn kept(&self) -> usize {
         self.methods
@@ -143,9 +204,7 @@ pub fn generate_surrogates(
                 .push(request);
         }
 
-        let mut methods = Vec::new();
-        let mut suppressed = 0u64;
-        let mut preserved = 0u64;
+        let mut plans = Vec::new();
         let mut method_names: Vec<&&str> = by_method.keys().collect();
         method_names.sort();
         for method in method_names {
@@ -164,44 +223,31 @@ pub fn generate_surrogates(
                     .classify(&counts)
                     .unwrap_or(Classification::Mixed)
             });
-            let tracking_count = reqs.iter().filter(|r| r.is_tracking()).count() as u64;
-            let functional_count = reqs.len() as u64 - tracking_count;
-            let action = match class {
-                Classification::Functional => {
-                    preserved += functional_count;
-                    MethodAction::Keep
-                }
-                Classification::Tracking => {
-                    suppressed += tracking_count;
-                    MethodAction::Stub
-                }
-                Classification::Mixed => {
-                    let graph: CallGraph =
-                        build_call_graph(&script.key, method, reqs.iter().copied());
-                    let blocked: Vec<String> = graph
-                        .divergence_points()
-                        .into_iter()
-                        .map(|(n, _)| n.label())
-                        .collect();
-                    // A guard only suppresses what it can distinguish.
-                    if !blocked.is_empty() {
-                        suppressed += tracking_count;
-                    }
-                    preserved += functional_count;
-                    MethodAction::Guard {
-                        blocked_callers: blocked,
-                    }
-                }
+            let tracking = reqs.iter().filter(|r| r.is_tracking()).count() as u64;
+            let functional = reqs.len() as u64 - tracking;
+            let blocked_callers = if class == Classification::Mixed {
+                let graph: CallGraph = build_call_graph(&script.key, method, reqs.iter().copied());
+                graph
+                    .divergence_points()
+                    .into_iter()
+                    .map(|(n, _)| n.label())
+                    .collect()
+            } else {
+                Vec::new()
             };
-            methods.push(((*method).to_string(), action));
+            plans.push(MethodPlan {
+                name: (*method).to_string(),
+                classification: class,
+                tracking,
+                functional,
+                blocked_callers,
+            });
         }
 
-        surrogates.push(SurrogateScript {
-            script_url: script.key.clone(),
-            methods,
-            suppressed_tracking_requests: suppressed,
-            preserved_functional_requests: preserved,
-        });
+        surrogates.push(SurrogateScript::from_method_plans(
+            script.key.clone(),
+            plans,
+        ));
     }
     surrogates.sort_by(|a, b| a.script_url.cmp(&b.script_url));
     surrogates

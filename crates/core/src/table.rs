@@ -24,11 +24,21 @@
 //!   batch, single-threaded, and concurrent serving all read through this
 //!   one representation.
 
+use crate::decision::{self, Decision, DecisionRequest};
 use crate::hierarchy::Granularity;
 use crate::intern::{FrozenKeys, KeyResolver, ResourceKey};
 use crate::ratio::Classification;
 use crate::service::{Verdict, VerdictRequest};
+use crate::surrogate::SurrogateScript;
+use filterlist::tokens::TokenHashBuilder;
+use filterlist::FilterEngine;
+use std::collections::HashMap;
 use std::sync::Arc;
+
+/// The surrogate-plan map a table carries: `Arc` values shared with the
+/// sifter's incrementally maintained cache, so publishing a table after a
+/// commit clones pointers, not plan strings.
+pub(crate) type SurrogatePlans = HashMap<ResourceKey, Arc<SurrogateScript>, TokenHashBuilder>;
 
 /// Byte code for "this key is not a member of the level".
 const ABSENT: u8 = 0;
@@ -185,6 +195,14 @@ pub struct VerdictTable {
     version: u64,
     committed: u64,
     residue: u64,
+    /// The filter-list backstop for [`VerdictTable::decide`]; shared with
+    /// the sifter that exported the table (engines never change after
+    /// build, so every published table carries the same `Arc`).
+    engine: Option<Arc<FilterEngine>>,
+    /// Surrogate plans for every committed mixed script, maintained
+    /// incrementally by the sifter's commits and shared here so concurrent
+    /// readers serve [`Decision::Surrogate`] without touching the writer.
+    surrogates: Arc<SurrogatePlans>,
 }
 
 impl VerdictTable {
@@ -194,6 +212,8 @@ impl VerdictTable {
         version: u64,
         committed: u64,
         residue: u64,
+        engine: Option<Arc<FilterEngine>>,
+        surrogates: Arc<SurrogatePlans>,
     ) -> Self {
         VerdictTable {
             keys,
@@ -201,12 +221,40 @@ impl VerdictTable {
             version,
             committed,
             residue,
+            engine,
+            surrogates,
         }
+    }
+
+    /// Rebase the table's published version (used by the concurrent writer
+    /// to keep versions monotone across a snapshot restore, which resets
+    /// the underlying commit count).
+    pub(crate) fn set_version(&mut self, version: u64) {
+        self.version = version;
     }
 
     /// Answer one verdict query against this table's frozen state.
     pub fn verdict(&self, request: &VerdictRequest<'_>) -> Verdict {
         verdict_walk(self.keys.as_ref(), &self.classes, request)
+    }
+
+    /// Answer one enforcement decision against this table's frozen state —
+    /// the same composition as [`Sifter::decide`](crate::service::Sifter::decide)
+    /// (hierarchy verdict → surrogate plan for mixed scripts → filter-list
+    /// backstop), byte-identical for the same committed state.
+    pub fn decide(&self, request: &DecisionRequest<'_>) -> Decision {
+        decision::decide(
+            self.keys.as_ref(),
+            &self.classes,
+            self.engine.as_deref(),
+            |script| self.surrogates.get(&script).cloned(),
+            request,
+        )
+    }
+
+    /// Number of mixed scripts with a precomputed surrogate plan.
+    pub fn surrogate_count(&self) -> usize {
+        self.surrogates.len()
     }
 
     /// The commit count of the sifter state this table snapshots. Strictly

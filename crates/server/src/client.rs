@@ -1,0 +1,118 @@
+//! A minimal HTTP/1.1 client over a raw [`TcpStream`] — the one
+//! implementation the integration tests, the fuzz suite, and
+//! `bench_server` all drive the server with, so the wire framing is
+//! parsed in exactly one place on the client side too.
+//!
+//! This is a *testing and benchmarking* utility, not a production client:
+//! transport failures and malformed responses panic with context instead
+//! of returning errors, because in every intended caller a broken
+//! response IS the test failure.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A keep-alive HTTP/1.1 client connection.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server (no-delay, 10s read timeout).
+    ///
+    /// # Panics
+    /// Panics if the connection cannot be established — see the
+    /// [module docs](self) for why this client panics instead of erroring.
+    pub fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to verdict server");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("set client read timeout");
+        // One write per request below, plus no-delay: without this, the
+        // Nagle + delayed-ACK interaction adds ~40ms to every request.
+        stream.set_nodelay(true).expect("set client nodelay");
+        Client { stream }
+    }
+
+    /// Issue one request and read the full response; returns
+    /// `(status, body)`. The connection stays open (keep-alive).
+    ///
+    /// # Panics
+    /// Panics on transport failure or a malformed response.
+    pub fn request(&mut self, method: &str, target: &str, body: Option<&str>) -> (u16, String) {
+        let body = body.unwrap_or("");
+        let request = format!(
+            "{method} {target} HTTP/1.1\r\nHost: verdicts\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream
+            .write_all(request.as_bytes())
+            .expect("write request");
+        self.read_response()
+    }
+
+    /// Write raw bytes (for malformed-request tests), then read whatever
+    /// the server sends until it closes (or times out). `None` when no
+    /// parseable status line came back.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Option<(u16, String)> {
+        if self.stream.write_all(bytes).is_err() {
+            return None;
+        }
+        let mut raw = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => raw.extend_from_slice(&chunk[..n]),
+                Err(_) => break,
+            }
+        }
+        let text = String::from_utf8_lossy(&raw);
+        let status: u16 = text.strip_prefix("HTTP/1.1 ")?.get(..3)?.parse().ok()?;
+        let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_string())?;
+        Some((status, body))
+    }
+
+    fn read_response(&mut self) -> (u16, String) {
+        let mut raw = Vec::new();
+        let mut chunk = [0u8; 4096];
+        // Read the head.
+        let head_end = loop {
+            if let Some(end) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+                break end;
+            }
+            let n = self.stream.read(&mut chunk).expect("read response head");
+            assert!(
+                n > 0,
+                "server closed mid-response: {:?}",
+                String::from_utf8_lossy(&raw)
+            );
+            raw.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8(raw[..head_end].to_vec()).expect("utf-8 response head");
+        let status: u16 = head
+            .strip_prefix("HTTP/1.1 ")
+            .and_then(|rest| rest.get(..3))
+            .and_then(|code| code.parse().ok())
+            .unwrap_or_else(|| panic!("malformed status line in {head:?}"));
+        let content_length: usize = head
+            .lines()
+            .find_map(|line| {
+                let (name, value) = line.split_once(':')?;
+                name.eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().expect("numeric content-length"))
+            })
+            .expect("content-length header");
+        let mut body = raw[head_end + 4..].to_vec();
+        while body.len() < content_length {
+            let n = self.stream.read(&mut chunk).expect("read response body");
+            assert!(n > 0, "server closed mid-body");
+            body.extend_from_slice(&chunk[..n]);
+        }
+        (
+            status,
+            String::from_utf8(body).expect("utf-8 response body"),
+        )
+    }
+}

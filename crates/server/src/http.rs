@@ -1,0 +1,374 @@
+//! A minimal, dependency-free HTTP/1.1 layer over `std::net::TcpStream`.
+//!
+//! This is deliberately not a general-purpose HTTP implementation — it is
+//! exactly the subset a verdict server needs, hardened against hostile
+//! input instead of feature-complete:
+//!
+//! * request line + headers, CRLF-framed, with a hard cap on header bytes
+//!   ([`MAX_HEADER_BYTES`]) so a drip-feeding client cannot balloon memory;
+//! * bodies framed by `Content-Length` only, capped by the server config;
+//!   `Transfer-Encoding` is refused with `501` rather than half-implemented
+//!   (request smuggling lives in that corner);
+//! * keep-alive with pipelining (bytes read past one request's body are
+//!   kept for the next), `Connection: close` honored both ways;
+//! * every malformed input maps to a typed [`RequestError`] and from there
+//!   to a 4xx/5xx response — a parse failure must never panic or wedge the
+//!   worker that hit it.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on the request line + headers. Generous for machine clients
+/// (our own wire format needs well under 1 KiB) while bounding what a
+/// hostile client can make a worker buffer.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Request method, upper-case as received (`GET`, `POST`, `PUT`, …).
+    pub method: String,
+    /// Request target (path), exactly as received.
+    pub target: String,
+    /// `true` for `HTTP/1.1`, `false` for `HTTP/1.0`.
+    pub http11: bool,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First header with the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(key, _)| key == name)
+            .map(|(_, value)| value.as_str())
+    }
+
+    /// Whether the connection should stay open after the response:
+    /// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close, and an explicit
+    /// `Connection` header overrides either way.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection").map(str::to_ascii_lowercase) {
+            Some(value) if value.contains("close") => false,
+            Some(value) if value.contains("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+}
+
+/// Why reading one request off a connection failed.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Clean end of stream before any request bytes: the peer is done.
+    Closed,
+    /// Transport error (including read timeouts).
+    Io(io::Error),
+    /// Syntactically invalid request (→ `400`).
+    Malformed(String),
+    /// Request line + headers exceed [`MAX_HEADER_BYTES`] (→ `431`).
+    HeadersTooLarge,
+    /// Declared body exceeds the configured cap (→ `413`).
+    BodyTooLarge,
+    /// `Transfer-Encoding` framing we refuse to guess about (→ `501`).
+    UnsupportedTransfer,
+}
+
+impl RequestError {
+    /// The response this error maps to, or `None` when the connection is
+    /// simply done (clean close / transport loss) and nothing can be sent.
+    pub fn response(&self) -> Option<HttpResponse> {
+        match self {
+            RequestError::Closed | RequestError::Io(_) => None,
+            RequestError::Malformed(detail) => {
+                Some(HttpResponse::error(400, "Bad Request", detail))
+            }
+            RequestError::HeadersTooLarge => Some(HttpResponse::error(
+                431,
+                "Request Header Fields Too Large",
+                "request line + headers exceed the server limit",
+            )),
+            RequestError::BodyTooLarge => Some(HttpResponse::error(
+                413,
+                "Payload Too Large",
+                "request body exceeds the configured limit",
+            )),
+            RequestError::UnsupportedTransfer => Some(HttpResponse::error(
+                501,
+                "Not Implemented",
+                "transfer-encoding is not supported; send content-length",
+            )),
+        }
+    }
+}
+
+/// One HTTP response about to be written.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: &'static str,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// Force `Connection: close` regardless of the request's preference.
+    pub close: bool,
+}
+
+impl HttpResponse {
+    /// A `200 OK` JSON response.
+    pub fn json(body: String) -> Self {
+        HttpResponse {
+            status: 200,
+            reason: "OK",
+            content_type: "application/json",
+            body: body.into_bytes(),
+            close: false,
+        }
+    }
+
+    /// A `200 OK` plain-text response.
+    pub fn text(body: &str) -> Self {
+        HttpResponse {
+            status: 200,
+            reason: "OK",
+            content_type: "text/plain",
+            body: body.as_bytes().to_vec(),
+            close: false,
+        }
+    }
+
+    /// An error response carrying `{"error": detail}`; errors always close
+    /// the connection (a client that sent garbage has lost framing sync).
+    pub fn error(status: u16, reason: &'static str, detail: &str) -> Self {
+        let body = crawler::json::object(vec![(
+            "error",
+            crawler::json::Value::String(detail.to_string()),
+        )])
+        .render();
+        HttpResponse {
+            status,
+            reason,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            close: status >= 400,
+        }
+    }
+
+    /// Serialise the response to the stream.
+    pub fn write_to(&self, stream: &mut TcpStream, request_keep_alive: bool) -> io::Result<()> {
+        let keep_alive = request_keep_alive && !self.close;
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            self.reason,
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// One client connection: the stream plus any bytes already read past the
+/// previous request (keep-alive pipelining).
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+    buffer: Vec<u8>,
+}
+
+impl Connection {
+    /// Wrap an accepted stream.
+    pub fn new(stream: TcpStream) -> Self {
+        Connection {
+            stream,
+            buffer: Vec::new(),
+        }
+    }
+
+    /// The underlying stream (for writing responses).
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    /// Read and parse the next request off the connection.
+    pub fn read_request(&mut self, max_body_bytes: usize) -> Result<HttpRequest, RequestError> {
+        let header_end = loop {
+            if let Some(end) = find_terminator(&self.buffer) {
+                break end;
+            }
+            if self.buffer.len() > MAX_HEADER_BYTES {
+                return Err(RequestError::HeadersTooLarge);
+            }
+            if self.fill()? == 0 {
+                return if self.buffer.is_empty() {
+                    Err(RequestError::Closed)
+                } else {
+                    Err(RequestError::Malformed("truncated request head".into()))
+                };
+            }
+        };
+        if header_end > MAX_HEADER_BYTES {
+            return Err(RequestError::HeadersTooLarge);
+        }
+
+        let head = std::str::from_utf8(&self.buffer[..header_end])
+            .map_err(|_| RequestError::Malformed("request head is not valid utf-8".into()))?
+            .to_string();
+        let body_start = header_end + 4;
+        let mut lines = head.split("\r\n");
+        let request_line = lines
+            .next()
+            .ok_or_else(|| RequestError::Malformed("empty request".into()))?;
+        let mut parts = request_line.split(' ');
+        let (method, target, version) =
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(method), Some(target), Some(version), None)
+                    if !method.is_empty() && !target.is_empty() =>
+                {
+                    (method, target, version)
+                }
+                _ => {
+                    return Err(RequestError::Malformed(format!(
+                        "malformed request line {request_line:?}"
+                    )))
+                }
+            };
+        let http11 = match version {
+            "HTTP/1.1" => true,
+            "HTTP/1.0" => false,
+            other => {
+                return Err(RequestError::Malformed(format!(
+                    "unsupported protocol {other:?}"
+                )))
+            }
+        };
+        let mut headers = Vec::new();
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(RequestError::Malformed(format!(
+                    "malformed header line {line:?}"
+                )));
+            };
+            if name.is_empty() || name.contains(' ') {
+                return Err(RequestError::Malformed(format!(
+                    "malformed header name {name:?}"
+                )));
+            }
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        let request = HttpRequest {
+            method: method.to_string(),
+            target: target.to_string(),
+            http11,
+            headers,
+            body: Vec::new(),
+        };
+        if request.header("transfer-encoding").is_some() {
+            return Err(RequestError::UnsupportedTransfer);
+        }
+        // Ambiguous body framing is the request-smuggling vector: a front
+        // proxy honoring one Content-Length while we honor another desyncs
+        // the connection. Any duplicate is rejected outright (RFC 9112
+        // §6.3 requires rejecting differing values; identical duplicates
+        // buy a client nothing).
+        if request
+            .headers
+            .iter()
+            .filter(|(name, _)| name == "content-length")
+            .count()
+            > 1
+        {
+            return Err(RequestError::Malformed(
+                "duplicate content-length headers".into(),
+            ));
+        }
+        let content_length = match request.header("content-length") {
+            // RFC 9112 framing is 1*DIGIT; `usize::from_str` alone would
+            // also accept forms like `+17` that a conforming front proxy
+            // rejects — another framing ambiguity, refused like the rest.
+            Some(value) if !value.is_empty() && value.bytes().all(|b| b.is_ascii_digit()) => value
+                .parse::<usize>()
+                .map_err(|_| RequestError::Malformed(format!("bad content-length {value:?}")))?,
+            Some(value) => {
+                return Err(RequestError::Malformed(format!(
+                    "bad content-length {value:?}"
+                )))
+            }
+            None => 0,
+        };
+        if content_length > max_body_bytes {
+            return Err(RequestError::BodyTooLarge);
+        }
+
+        // Consume the head, then read the body (some of it may already be
+        // buffered from the previous read).
+        self.buffer.drain(..body_start);
+        while self.buffer.len() < content_length {
+            if self.fill()? == 0 {
+                return Err(RequestError::Malformed("truncated request body".into()));
+            }
+        }
+        let mut request = request;
+        request.body = self.buffer.drain(..content_length).collect();
+        Ok(request)
+    }
+
+    /// Read more bytes into the buffer; returns how many arrived.
+    fn fill(&mut self) -> Result<usize, RequestError> {
+        let mut chunk = [0u8; 4096];
+        match self.stream.read(&mut chunk) {
+            Ok(n) => {
+                self.buffer.extend_from_slice(&chunk[..n]);
+                Ok(n)
+            }
+            Err(error) => Err(RequestError::Io(error)),
+        }
+    }
+}
+
+/// Offset of the `\r\n\r\n` head terminator, if present.
+fn find_terminator(buffer: &[u8]) -> Option<usize> {
+    buffer.windows(4).position(|window| window == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminator_is_found_only_when_complete() {
+        assert_eq!(find_terminator(b"GET / HTTP/1.1\r\n\r\n"), Some(14));
+        assert_eq!(find_terminator(b"GET / HTTP/1.1\r\n"), None);
+        assert_eq!(find_terminator(b""), None);
+    }
+
+    #[test]
+    fn error_responses_cover_every_client_fault() {
+        assert_eq!(
+            RequestError::Malformed("x".into())
+                .response()
+                .unwrap()
+                .status,
+            400
+        );
+        assert_eq!(
+            RequestError::HeadersTooLarge.response().unwrap().status,
+            431
+        );
+        assert_eq!(RequestError::BodyTooLarge.response().unwrap().status, 413);
+        assert_eq!(
+            RequestError::UnsupportedTransfer.response().unwrap().status,
+            501
+        );
+        assert!(RequestError::Closed.response().is_none());
+    }
+}

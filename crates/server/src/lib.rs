@@ -1,0 +1,619 @@
+//! The TrackerSift verdict server: enforcement decisions over the wire.
+//!
+//! Everything before this crate lives in-process — nothing could ask
+//! "block, allow, surrogate, or observe?" without linking `trackersift`.
+//! This crate puts a process boundary around the serving API: a
+//! dependency-free HTTP/1.1 server over [`std::net::TcpListener`] built
+//! directly on the concurrent split from `trackersift::concurrent`:
+//!
+//! * a **fixed worker pool**, each worker owning a cloned
+//!   [`SifterReader`] — the decision path (`POST /v1/decisions`) touches
+//!   no lock: accept, parse, pin the published table, decide, respond;
+//! * a single **admin thread** owning the [`SifterWriter`]; observation
+//!   ingest, commits, and snapshot import/export are serialised through a
+//!   channel to it, and every commit publishes atomically to all workers;
+//! * a hand-rolled HTTP layer ([`http`]) and JSON wire format ([`wire`])
+//!   over the in-tree `crawler::json` codec — the container has no
+//!   registry access, and a verdict server needs very little HTTP.
+//!
+//! # Endpoints
+//!
+//! | endpoint | role |
+//! |---|---|
+//! | `POST /v1/decisions` | one enforcement decision (lock-free) |
+//! | `POST /v1/decisions:batch` | many decisions from one pinned table |
+//! | `POST /v1/observations` | buffer observations into the writer |
+//! | `POST /v1/commit` | fold observations in + publish atomically |
+//! | `GET /v1/snapshot` | export the trained state (versioned JSON) |
+//! | `PUT /v1/snapshot` | validate + restore a snapshot, publish atomically |
+//! | `GET /v1/stats` | [`ServiceStats`] + per-worker request counters |
+//! | `GET /healthz` | liveness probe |
+//!
+//! # Example
+//!
+//! ```
+//! use std::io::{Read, Write};
+//! use std::net::TcpStream;
+//! use trackersift::Sifter;
+//! use trackersift_server::{ServerConfig, VerdictServer};
+//!
+//! let (mut writer, _reader) = Sifter::builder().build_concurrent();
+//! writer.observe_parts("ads.com", "px.ads.com", "https://pub.com/a.js", "send", true);
+//! writer.commit();
+//!
+//! let server = VerdictServer::start(writer, ServerConfig::ephemeral()).unwrap();
+//! let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+//! let body = r#"{"domain":"ads.com","hostname":"px.ads.com","script":"https://pub.com/a.js","method":"send"}"#;
+//! write!(
+//!     stream,
+//!     "POST /v1/decisions HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+//!     body.len(),
+//!     body
+//! )
+//! .unwrap();
+//! let mut reply = String::new();
+//! stream.read_to_string(&mut reply).unwrap();
+//! assert!(reply.starts_with("HTTP/1.1 200 OK"));
+//! assert!(reply.contains(r#""action":"block""#));
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod http;
+pub mod wire;
+
+use crawler::json::{object, Value};
+use http::{Connection, HttpRequest, HttpResponse};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+use trackersift::{
+    CommitStats, ObserveOutcome, ServiceStats, SifterReader, SifterSnapshot, SifterWriter,
+};
+use wire::{DecisionMessage, ObservationMessage};
+
+/// Configuration of a [`VerdictServer`].
+///
+/// ```
+/// use trackersift_server::ServerConfig;
+///
+/// // An ephemeral localhost port, 2 workers, tight limits — the test shape.
+/// let config = ServerConfig {
+///     workers: 2,
+///     max_body_bytes: 64 * 1024,
+///     ..ServerConfig::ephemeral()
+/// };
+/// assert_eq!(config.addr, "127.0.0.1:0");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`host:port`; port `0` picks an ephemeral port).
+    pub addr: String,
+    /// Number of serving workers, each with its own lock-free
+    /// [`SifterReader`] handle. Clamped to at least 1.
+    pub workers: usize,
+    /// Maximum accepted request body, in bytes (larger requests get `413`).
+    pub max_body_bytes: usize,
+    /// Per-read socket timeout; a stalled client releases its worker after
+    /// this long.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:8377".to_string(),
+            workers: 4,
+            max_body_bytes: 4 * 1024 * 1024,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A config bound to an ephemeral localhost port — what tests and
+    /// examples use so parallel servers never collide.
+    pub fn ephemeral() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServerConfig::default()
+        }
+    }
+}
+
+/// Per-worker serving counters, readable lock-free from any thread.
+#[derive(Debug, Default)]
+struct WorkerMetrics {
+    /// Requests this worker parsed successfully.
+    requests: AtomicU64,
+    /// Decisions this worker served (batch requests count every element).
+    decisions: AtomicU64,
+    /// 4xx/5xx responses this worker produced.
+    errors: AtomicU64,
+}
+
+/// Work routed to the admin thread (the single [`SifterWriter`] owner).
+enum AdminMsg {
+    Observe(Vec<ObservationMessage>, Sender<(u64, u64, u64)>),
+    Commit(Sender<(CommitStats, u64)>),
+    Export(Sender<String>),
+    Import(Box<SifterSnapshot>, Sender<Result<(u64, u64, u64), String>>),
+    Stats(Sender<ServiceStats>),
+}
+
+/// A running verdict server; dropping (or [`VerdictServer::shutdown`])
+/// stops the workers and joins every thread.
+#[derive(Debug)]
+pub struct VerdictServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+    admin: Option<JoinHandle<()>>,
+}
+
+impl VerdictServer {
+    /// Bind the listener, spawn the worker pool (one cloned
+    /// [`SifterReader`] each) and the admin thread (sole owner of the
+    /// [`SifterWriter`]), and start serving.
+    pub fn start(writer: SifterWriter, config: ServerConfig) -> io::Result<VerdictServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let worker_count = config.workers.max(1);
+        let metrics: Arc<Vec<WorkerMetrics>> = Arc::new(
+            (0..worker_count)
+                .map(|_| WorkerMetrics::default())
+                .collect(),
+        );
+        let reader = writer.reader();
+        let (admin_tx, admin_rx) = mpsc::channel();
+        let admin = thread::Builder::new()
+            .name("verdict-admin".to_string())
+            .spawn(move || admin_loop(writer, admin_rx))?;
+
+        // Build the handle before spawning workers so a mid-startup
+        // failure (fd exhaustion on try_clone, spawn refusal) tears down
+        // whatever already started instead of leaking live threads on a
+        // bound port.
+        let mut server = VerdictServer {
+            addr,
+            stop,
+            workers: Vec::with_capacity(worker_count),
+            admin: Some(admin),
+        };
+        let spawned = (|| -> io::Result<()> {
+            for index in 0..worker_count {
+                let worker = Worker {
+                    listener: listener.try_clone()?,
+                    reader: reader.clone(),
+                    admin: admin_tx.clone(),
+                    stop: Arc::clone(&server.stop),
+                    metrics: Arc::clone(&metrics),
+                    index,
+                    max_body_bytes: config.max_body_bytes,
+                    read_timeout: config.read_timeout,
+                };
+                server.workers.push(
+                    thread::Builder::new()
+                        .name(format!("verdict-worker-{index}"))
+                        .spawn(move || worker.run())?,
+                );
+            }
+            Ok(())
+        })();
+        // The workers hold the only remaining admin senders: when they
+        // exit, the admin loop's receiver disconnects and the admin thread
+        // exits. (Dropped before any join, or the admin would never see
+        // the disconnect.)
+        drop(admin_tx);
+        match spawned {
+            Ok(()) => Ok(server),
+            Err(error) => {
+                server.stop_and_join();
+                Err(error)
+            }
+        }
+    }
+
+    /// The bound address (resolve the actual port of an ephemeral bind).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wake the workers, and join every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Each blocked accept needs one wake-up connection.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(admin) = self.admin.take() {
+            let _ = admin.join();
+        }
+    }
+}
+
+impl Drop for VerdictServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// The admin thread: applies every mutation through the single writer, so
+/// commits and snapshot swaps are serialised and published atomically.
+fn admin_loop(mut writer: SifterWriter, rx: mpsc::Receiver<AdminMsg>) {
+    while let Ok(message) = rx.recv() {
+        match message {
+            AdminMsg::Observe(observations, reply) => {
+                let mut accepted = 0u64;
+                let mut skipped = 0u64;
+                for observation in observations {
+                    match observation {
+                        ObservationMessage::Parts {
+                            domain,
+                            hostname,
+                            script,
+                            method,
+                            tracking,
+                        } => {
+                            writer.observe_parts(&domain, &hostname, &script, &method, tracking);
+                            accepted += 1;
+                        }
+                        ObservationMessage::Url {
+                            url,
+                            source_hostname,
+                            resource_type,
+                            script,
+                            method,
+                        } => {
+                            match writer.observe_url(
+                                &url,
+                                &source_hostname,
+                                resource_type,
+                                &script,
+                                &method,
+                            ) {
+                                ObserveOutcome::Observed(_) => accepted += 1,
+                                ObserveOutcome::NoEngine | ObserveOutcome::InvalidUrl => {
+                                    skipped += 1
+                                }
+                            }
+                        }
+                    }
+                }
+                let _ = reply.send((accepted, skipped, writer.sifter().pending()));
+            }
+            AdminMsg::Commit(reply) => {
+                let stats = writer.commit();
+                let _ = reply.send((stats, writer.published_version()));
+            }
+            AdminMsg::Export(reply) => {
+                let _ = reply.send(writer.snapshot().to_json_string());
+            }
+            AdminMsg::Import(snapshot, reply) => {
+                let result = writer
+                    .restore_snapshot(&snapshot)
+                    .map(|dropped_pending| {
+                        (
+                            writer.published_version(),
+                            writer.sifter().observed(),
+                            dropped_pending,
+                        )
+                    })
+                    .map_err(|error| error.to_string());
+                let _ = reply.send(result);
+            }
+            AdminMsg::Stats(reply) => {
+                let _ = reply.send(writer.service_stats());
+            }
+        }
+    }
+}
+
+/// One serving worker: accepts connections and answers requests, touching
+/// only its own reader handle (and the admin channel for write endpoints).
+struct Worker {
+    listener: TcpListener,
+    reader: SifterReader,
+    admin: Sender<AdminMsg>,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<Vec<WorkerMetrics>>,
+    index: usize,
+    max_body_bytes: usize,
+    read_timeout: Duration,
+}
+
+impl Worker {
+    fn run(self) {
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(_) => {
+                    // A persistent accept failure (e.g. fd exhaustion)
+                    // must not become a hot spin across the whole pool:
+                    // back off briefly so established connections can
+                    // drain and release descriptors.
+                    thread::sleep(Duration::from_millis(5));
+                    continue;
+                }
+            };
+            if self.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            self.serve_connection(stream);
+        }
+    }
+
+    fn serve_connection(&self, stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(self.read_timeout));
+        let _ = stream.set_nodelay(true);
+        let mut connection = Connection::new(stream);
+        loop {
+            match connection.read_request(self.max_body_bytes) {
+                Ok(request) => {
+                    self.metrics[self.index]
+                        .requests
+                        .fetch_add(1, Ordering::Relaxed);
+                    let keep_alive = request.keep_alive();
+                    let response = self.route(&request);
+                    if response.status >= 400 {
+                        self.metrics[self.index]
+                            .errors
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    let close = response.close || !keep_alive;
+                    if response
+                        .write_to(connection.stream_mut(), keep_alive)
+                        .is_err()
+                        || close
+                        || self.stop.load(Ordering::SeqCst)
+                    {
+                        return;
+                    }
+                }
+                Err(error) => {
+                    if let Some(response) = error.response() {
+                        self.metrics[self.index]
+                            .errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        let _ = response.write_to(connection.stream_mut(), false);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn route(&self, request: &HttpRequest) -> HttpResponse {
+        match (request.method.as_str(), request.target.as_str()) {
+            ("GET", "/healthz") => HttpResponse::text("ok"),
+            ("POST", "/v1/decisions") => self.decide_single(request),
+            ("POST", "/v1/decisions:batch") => self.decide_batch(request),
+            ("POST", "/v1/observations") => self.observe(request),
+            ("POST", "/v1/commit") => self.commit(),
+            ("GET", "/v1/snapshot") => self.export_snapshot(),
+            ("PUT", "/v1/snapshot") => self.import_snapshot(request),
+            ("GET", "/v1/stats") => self.stats(),
+            (
+                _,
+                "/healthz"
+                | "/v1/decisions"
+                | "/v1/decisions:batch"
+                | "/v1/observations"
+                | "/v1/commit"
+                | "/v1/snapshot"
+                | "/v1/stats",
+            ) => HttpResponse::error(
+                405,
+                "Method Not Allowed",
+                &format!("{} does not support {}", request.target, request.method),
+            ),
+            _ => HttpResponse::error(404, "Not Found", &format!("no route {}", request.target)),
+        }
+    }
+
+    /// Parse a JSON request body (→ 400 on failure).
+    fn parse_body(request: &HttpRequest) -> Result<Value, HttpResponse> {
+        let text = std::str::from_utf8(&request.body).map_err(|_| {
+            HttpResponse::error(400, "Bad Request", "request body is not valid utf-8")
+        })?;
+        Value::parse(text)
+            .map_err(|error| HttpResponse::error(400, "Bad Request", &error.to_string()))
+    }
+
+    fn decide_single(&self, request: &HttpRequest) -> HttpResponse {
+        let body = match Self::parse_body(request) {
+            Ok(body) => body,
+            Err(response) => return response,
+        };
+        let message = match DecisionMessage::from_json_value(&body) {
+            Ok(message) => message,
+            Err(error) => return HttpResponse::error(400, "Bad Request", &error.to_string()),
+        };
+        // The lock-free hot path: one pin serves the decision, and the
+        // reported version is exactly the pinned table's.
+        let pin = self.reader.pin();
+        let decision = pin.decide(&message.as_request());
+        let version = pin.version();
+        drop(pin);
+        self.metrics[self.index]
+            .decisions
+            .fetch_add(1, Ordering::Relaxed);
+        HttpResponse::json(
+            object(vec![
+                ("version", Value::number_u64(version)),
+                ("decision", wire::decision_to_json(&decision)),
+            ])
+            .render(),
+        )
+    }
+
+    fn decide_batch(&self, request: &HttpRequest) -> HttpResponse {
+        let body = match Self::parse_body(request) {
+            Ok(body) => body,
+            Err(response) => return response,
+        };
+        let rows = match body.field("requests").and_then(|rows| rows.as_array()) {
+            Ok(rows) => rows,
+            Err(error) => return HttpResponse::error(400, "Bad Request", &error.to_string()),
+        };
+        let mut messages = Vec::with_capacity(rows.len());
+        for row in rows {
+            match DecisionMessage::from_json_value(row) {
+                Ok(message) => messages.push(message),
+                Err(error) => return HttpResponse::error(400, "Bad Request", &error.to_string()),
+            }
+        }
+        // One pin covers the whole batch: every decision (surrogate
+        // payloads included) reflects exactly one committed table version.
+        let pin = self.reader.pin();
+        let version = pin.version();
+        let decisions: Vec<Value> = messages
+            .iter()
+            .map(|message| wire::decision_to_json(&pin.decide(&message.as_request())))
+            .collect();
+        drop(pin);
+        self.metrics[self.index]
+            .decisions
+            .fetch_add(decisions.len() as u64, Ordering::Relaxed);
+        HttpResponse::json(
+            object(vec![
+                ("version", Value::number_u64(version)),
+                ("decisions", Value::Array(decisions)),
+            ])
+            .render(),
+        )
+    }
+
+    fn observe(&self, request: &HttpRequest) -> HttpResponse {
+        let body = match Self::parse_body(request) {
+            Ok(body) => body,
+            Err(response) => return response,
+        };
+        let rows = match body.field("observations").and_then(|rows| rows.as_array()) {
+            Ok(rows) => rows,
+            Err(error) => return HttpResponse::error(400, "Bad Request", &error.to_string()),
+        };
+        let mut observations = Vec::with_capacity(rows.len());
+        for row in rows {
+            match ObservationMessage::from_json_value(row) {
+                Ok(observation) => observations.push(observation),
+                Err(error) => return HttpResponse::error(400, "Bad Request", &error.to_string()),
+            }
+        }
+        match self.admin_call(|reply| AdminMsg::Observe(observations, reply)) {
+            Some((accepted, skipped, pending)) => HttpResponse::json(
+                object(vec![
+                    ("accepted", Value::number_u64(accepted)),
+                    ("skipped", Value::number_u64(skipped)),
+                    ("pending", Value::number_u64(pending)),
+                ])
+                .render(),
+            ),
+            None => Self::admin_unavailable(),
+        }
+    }
+
+    fn commit(&self) -> HttpResponse {
+        match self.admin_call(AdminMsg::Commit) {
+            Some((stats, version)) => {
+                HttpResponse::json(wire::commit_to_json(&stats, version).render())
+            }
+            None => Self::admin_unavailable(),
+        }
+    }
+
+    fn export_snapshot(&self) -> HttpResponse {
+        match self.admin_call(AdminMsg::Export) {
+            Some(snapshot) => HttpResponse::json(snapshot),
+            None => Self::admin_unavailable(),
+        }
+    }
+
+    fn import_snapshot(&self, request: &HttpRequest) -> HttpResponse {
+        let text = match std::str::from_utf8(&request.body) {
+            Ok(text) => text,
+            Err(_) => {
+                return HttpResponse::error(400, "Bad Request", "snapshot is not valid utf-8")
+            }
+        };
+        // Parse + structural validation happen here on the worker, so the
+        // admin thread only ever sees well-formed snapshots.
+        let snapshot = match SifterSnapshot::parse(text) {
+            Ok(snapshot) => snapshot,
+            Err(error) => return HttpResponse::error(400, "Bad Request", &error.to_string()),
+        };
+        match self.admin_call(|reply| AdminMsg::Import(Box::new(snapshot), reply)) {
+            Some(Ok((version, observations, dropped_pending))) => HttpResponse::json(
+                object(vec![
+                    ("restored", Value::Bool(true)),
+                    ("version", Value::number_u64(version)),
+                    ("observations", Value::number_u64(observations)),
+                    ("dropped_pending", Value::number_u64(dropped_pending)),
+                ])
+                .render(),
+            ),
+            Some(Err(detail)) => HttpResponse::error(400, "Bad Request", &detail),
+            None => Self::admin_unavailable(),
+        }
+    }
+
+    fn stats(&self) -> HttpResponse {
+        let Some(stats) = self.admin_call(AdminMsg::Stats) else {
+            return Self::admin_unavailable();
+        };
+        let mut value = wire::service_stats_to_json(&stats);
+        let workers: Vec<Value> = self
+            .metrics
+            .iter()
+            .map(|metrics| {
+                object(vec![
+                    (
+                        "requests",
+                        Value::number_u64(metrics.requests.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "decisions",
+                        Value::number_u64(metrics.decisions.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "errors",
+                        Value::number_u64(metrics.errors.load(Ordering::Relaxed)),
+                    ),
+                ])
+            })
+            .collect();
+        if let Value::Object(fields) = &mut value {
+            fields.push(("workers".to_string(), Value::Array(workers)));
+        }
+        HttpResponse::json(value.render())
+    }
+
+    /// Round-trip a message to the admin thread; `None` means it is gone.
+    fn admin_call<T>(&self, build: impl FnOnce(Sender<T>) -> AdminMsg) -> Option<T> {
+        let (tx, rx) = mpsc::channel();
+        self.admin.send(build(tx)).ok()?;
+        rx.recv().ok()
+    }
+
+    fn admin_unavailable() -> HttpResponse {
+        HttpResponse::error(500, "Internal Server Error", "admin thread unavailable")
+    }
+}

@@ -1,0 +1,523 @@
+//! The JSON wire format of the verdict server, over the dependency-free
+//! [`crawler::json`] codec.
+//!
+//! Every type here encodes and decodes symmetrically, so a client can
+//! round-trip what the server sends — the property the wire tests pin down
+//! byte for byte: a [`Decision`] rendered here, shipped over HTTP, and
+//! decoded back equals the in-process decision exactly, surrogate payload
+//! included.
+
+use crawler::json::{object, JsonError, Value};
+use filterlist::ResourceType;
+use std::sync::Arc;
+use trackersift::{
+    CommitStats, Decision, DecisionRequest, DecisionSource, Granularity, MethodAction,
+    ServiceStats, SurrogateScript,
+};
+
+fn err<T>(message: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError(message.into()))
+}
+
+fn as_bool(value: &Value) -> Result<bool, JsonError> {
+    match value {
+        Value::Bool(flag) => Ok(*flag),
+        other => err(format!("expected bool, got {other:?}")),
+    }
+}
+
+fn string_field(value: &Value, key: &str) -> Result<String, JsonError> {
+    Ok(value.field(key)?.as_str()?.to_string())
+}
+
+/// Parse a resource type from its canonical filter-list option name
+/// (`script`, `image`, `xmlhttprequest`, …).
+pub fn resource_type_from_str(name: &str) -> Result<ResourceType, JsonError> {
+    ResourceType::ALL
+        .into_iter()
+        .find(|kind| kind.option_name() == name)
+        .ok_or_else(|| JsonError(format!("unknown resource type {name:?}")))
+}
+
+fn granularity_from_str(name: &str) -> Result<Granularity, JsonError> {
+    Granularity::ALL
+        .into_iter()
+        .find(|granularity| granularity.name() == name)
+        .ok_or_else(|| JsonError(format!("unknown granularity {name:?}")))
+}
+
+/// An owned decision query as it travels over the wire; borrow it into a
+/// [`DecisionRequest`] with [`DecisionMessage::as_request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecisionMessage {
+    /// Registrable domain of the request URL.
+    pub domain: String,
+    /// Full hostname of the request URL.
+    pub hostname: String,
+    /// URL of the initiating script.
+    pub script: String,
+    /// Method name of the initiating frame.
+    pub method: String,
+    /// Raw request URL (enables the filter-list backstop), if sent.
+    pub url: Option<String>,
+    /// Hostname of the page issuing the request (only with `url`).
+    pub source_hostname: String,
+    /// Resource type (only meaningful with `url`).
+    pub resource_type: ResourceType,
+}
+
+impl DecisionMessage {
+    /// A keys-only query.
+    pub fn new(domain: &str, hostname: &str, script: &str, method: &str) -> Self {
+        DecisionMessage {
+            domain: domain.to_string(),
+            hostname: hostname.to_string(),
+            script: script.to_string(),
+            method: method.to_string(),
+            url: None,
+            source_hostname: String::new(),
+            resource_type: ResourceType::Other,
+        }
+    }
+
+    /// Attach raw-URL context for the filter-list backstop.
+    pub fn with_url(
+        mut self,
+        url: &str,
+        source_hostname: &str,
+        resource_type: ResourceType,
+    ) -> Self {
+        self.url = Some(url.to_string());
+        self.source_hostname = source_hostname.to_string();
+        self.resource_type = resource_type;
+        self
+    }
+
+    /// Borrow as the core decision query.
+    pub fn as_request(&self) -> DecisionRequest<'_> {
+        let request =
+            DecisionRequest::new(&self.domain, &self.hostname, &self.script, &self.method);
+        match &self.url {
+            Some(url) => request.with_url(url, &self.source_hostname, self.resource_type),
+            None => request,
+        }
+    }
+
+    /// Encode for the `POST /v1/decisions` body.
+    pub fn to_json_value(&self) -> Value {
+        let mut fields = vec![
+            ("domain", Value::String(self.domain.clone())),
+            ("hostname", Value::String(self.hostname.clone())),
+            ("script", Value::String(self.script.clone())),
+            ("method", Value::String(self.method.clone())),
+        ];
+        if let Some(url) = &self.url {
+            fields.push(("url", Value::String(url.clone())));
+            fields.push((
+                "source_hostname",
+                Value::String(self.source_hostname.clone()),
+            ));
+            fields.push((
+                "resource_type",
+                Value::String(self.resource_type.option_name().to_string()),
+            ));
+        }
+        object(fields)
+    }
+
+    /// Decode from a request body value.
+    pub fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        let mut message = DecisionMessage::new(
+            value.field("domain")?.as_str()?,
+            value.field("hostname")?.as_str()?,
+            value.field("script")?.as_str()?,
+            value.field("method")?.as_str()?,
+        );
+        if let Some(url) = value.get("url") {
+            message.url = Some(url.as_str()?.to_string());
+            message.source_hostname = match value.get("source_hostname") {
+                Some(host) => host.as_str()?.to_string(),
+                None => String::new(),
+            };
+            message.resource_type = match value.get("resource_type") {
+                Some(kind) => resource_type_from_str(kind.as_str()?)?,
+                None => ResourceType::Other,
+            };
+        }
+        Ok(message)
+    }
+}
+
+fn source_fields(source: DecisionSource, fields: &mut Vec<(&'static str, Value)>) {
+    match source {
+        DecisionSource::Hierarchy(granularity) => {
+            fields.push(("source", Value::String("hierarchy".to_string())));
+            fields.push(("granularity", Value::String(granularity.name().to_string())));
+        }
+        DecisionSource::FilterList => {
+            fields.push(("source", Value::String("filter-list".to_string())));
+        }
+    }
+}
+
+fn source_from_json(value: &Value) -> Result<DecisionSource, JsonError> {
+    match value.field("source")?.as_str()? {
+        "hierarchy" => Ok(DecisionSource::Hierarchy(granularity_from_str(
+            value.field("granularity")?.as_str()?,
+        )?)),
+        "filter-list" => Ok(DecisionSource::FilterList),
+        other => err(format!("unknown decision source {other:?}")),
+    }
+}
+
+fn method_action_to_json(action: &MethodAction) -> Value {
+    match action {
+        MethodAction::Keep => Value::String("keep".to_string()),
+        MethodAction::Stub => Value::String("stub".to_string()),
+        MethodAction::Guard { blocked_callers } => object(vec![(
+            "guard",
+            object(vec![(
+                "blocked_callers",
+                Value::Array(
+                    blocked_callers
+                        .iter()
+                        .map(|caller| Value::String(caller.clone()))
+                        .collect(),
+                ),
+            )]),
+        )]),
+    }
+}
+
+fn method_action_from_json(value: &Value) -> Result<MethodAction, JsonError> {
+    match value {
+        Value::String(name) if name == "keep" => Ok(MethodAction::Keep),
+        Value::String(name) if name == "stub" => Ok(MethodAction::Stub),
+        Value::Object(_) => {
+            let guard = value.field("guard")?;
+            let blocked_callers = guard
+                .field("blocked_callers")?
+                .as_array()?
+                .iter()
+                .map(|caller| caller.as_str().map(str::to_string))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(MethodAction::Guard { blocked_callers })
+        }
+        other => err(format!("unknown method action {other:?}")),
+    }
+}
+
+/// Encode a surrogate payload.
+pub fn surrogate_to_json(script: &SurrogateScript) -> Value {
+    object(vec![
+        ("script_url", Value::String(script.script_url.clone())),
+        (
+            "methods",
+            Value::Array(
+                script
+                    .methods
+                    .iter()
+                    .map(|(name, action)| {
+                        Value::Array(vec![
+                            Value::String(name.clone()),
+                            method_action_to_json(action),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "suppressed_tracking_requests",
+            Value::number_u64(script.suppressed_tracking_requests),
+        ),
+        (
+            "preserved_functional_requests",
+            Value::number_u64(script.preserved_functional_requests),
+        ),
+    ])
+}
+
+/// Decode a surrogate payload.
+pub fn surrogate_from_json(value: &Value) -> Result<SurrogateScript, JsonError> {
+    let methods = value
+        .field("methods")?
+        .as_array()?
+        .iter()
+        .map(|row| {
+            let row = row.as_array()?;
+            match row {
+                [name, action] => {
+                    Ok((name.as_str()?.to_string(), method_action_from_json(action)?))
+                }
+                _ => err(format!("method row has {} fields, expected 2", row.len())),
+            }
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SurrogateScript {
+        script_url: string_field(value, "script_url")?,
+        methods,
+        suppressed_tracking_requests: value.field("suppressed_tracking_requests")?.as_u64()?,
+        preserved_functional_requests: value.field("preserved_functional_requests")?.as_u64()?,
+    })
+}
+
+/// Encode a decision. The encoding is canonical (field order fixed), so
+/// equal decisions render to byte-identical JSON.
+pub fn decision_to_json(decision: &Decision) -> Value {
+    match decision {
+        Decision::Allow(source) => {
+            let mut fields = vec![("action", Value::String("allow".to_string()))];
+            source_fields(*source, &mut fields);
+            object(fields)
+        }
+        Decision::Block(source) => {
+            let mut fields = vec![("action", Value::String("block".to_string()))];
+            source_fields(*source, &mut fields);
+            object(fields)
+        }
+        Decision::Surrogate(script) => object(vec![
+            ("action", Value::String("surrogate".to_string())),
+            ("surrogate", surrogate_to_json(script)),
+        ]),
+        Decision::Observe => object(vec![("action", Value::String("observe".to_string()))]),
+    }
+}
+
+/// Decode a decision.
+pub fn decision_from_json(value: &Value) -> Result<Decision, JsonError> {
+    match value.field("action")?.as_str()? {
+        "allow" => Ok(Decision::Allow(source_from_json(value)?)),
+        "block" => Ok(Decision::Block(source_from_json(value)?)),
+        "surrogate" => Ok(Decision::Surrogate(Arc::new(surrogate_from_json(
+            value.field("surrogate")?,
+        )?))),
+        "observe" => Ok(Decision::Observe),
+        other => err(format!("unknown decision action {other:?}")),
+    }
+}
+
+/// One observation as it travels over `POST /v1/observations`: either
+/// pre-labeled attribution parts, or a raw URL for the server's filter
+/// engine to label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObservationMessage {
+    /// Pre-labeled parts (`Sifter::observe_parts`).
+    Parts {
+        /// Registrable domain.
+        domain: String,
+        /// Full hostname.
+        hostname: String,
+        /// Initiating script URL.
+        script: String,
+        /// Initiating method name.
+        method: String,
+        /// The oracle label.
+        tracking: bool,
+    },
+    /// A raw URL for the server-side engine to label
+    /// (`Sifter::observe_url`).
+    Url {
+        /// The raw request URL.
+        url: String,
+        /// Hostname of the page issuing the request.
+        source_hostname: String,
+        /// Resource type of the request.
+        resource_type: ResourceType,
+        /// Initiating script URL.
+        script: String,
+        /// Initiating method name.
+        method: String,
+    },
+}
+
+impl ObservationMessage {
+    /// Encode for the request body.
+    pub fn to_json_value(&self) -> Value {
+        match self {
+            ObservationMessage::Parts {
+                domain,
+                hostname,
+                script,
+                method,
+                tracking,
+            } => object(vec![
+                ("domain", Value::String(domain.clone())),
+                ("hostname", Value::String(hostname.clone())),
+                ("script", Value::String(script.clone())),
+                ("method", Value::String(method.clone())),
+                ("tracking", Value::Bool(*tracking)),
+            ]),
+            ObservationMessage::Url {
+                url,
+                source_hostname,
+                resource_type,
+                script,
+                method,
+            } => object(vec![
+                ("url", Value::String(url.clone())),
+                ("source_hostname", Value::String(source_hostname.clone())),
+                (
+                    "resource_type",
+                    Value::String(resource_type.option_name().to_string()),
+                ),
+                ("script", Value::String(script.clone())),
+                ("method", Value::String(method.clone())),
+            ]),
+        }
+    }
+
+    /// Decode one observation; the presence of a `url` field selects the
+    /// raw-URL form.
+    pub fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        if value.get("url").is_some() {
+            Ok(ObservationMessage::Url {
+                url: string_field(value, "url")?,
+                source_hostname: string_field(value, "source_hostname")?,
+                resource_type: resource_type_from_str(value.field("resource_type")?.as_str()?)?,
+                script: string_field(value, "script")?,
+                method: string_field(value, "method")?,
+            })
+        } else {
+            Ok(ObservationMessage::Parts {
+                domain: string_field(value, "domain")?,
+                hostname: string_field(value, "hostname")?,
+                script: string_field(value, "script")?,
+                method: string_field(value, "method")?,
+                tracking: as_bool(value.field("tracking")?)?,
+            })
+        }
+    }
+}
+
+/// Encode the reply to `POST /v1/commit`.
+pub fn commit_to_json(stats: &CommitStats, version: u64) -> Value {
+    object(vec![
+        ("observations", Value::number_u64(stats.observations)),
+        (
+            "reclassified",
+            object(vec![
+                ("domains", Value::number_u64(stats.domains as u64)),
+                ("hostnames", Value::number_u64(stats.hostnames as u64)),
+                ("scripts", Value::number_u64(stats.scripts as u64)),
+                ("methods", Value::number_u64(stats.methods as u64)),
+            ]),
+        ),
+        ("version", Value::number_u64(version)),
+    ])
+}
+
+/// Encode `ServiceStats` (the core half of the `/v1/stats` reply).
+pub fn service_stats_to_json(stats: &ServiceStats) -> Value {
+    object(vec![
+        ("version", Value::number_u64(stats.version)),
+        (
+            "ingest",
+            object(vec![
+                ("observed", Value::number_u64(stats.ingest.observed)),
+                ("committed", Value::number_u64(stats.ingest.committed)),
+                ("pending", Value::number_u64(stats.ingest.pending)),
+                ("invalid_urls", Value::number_u64(stats.ingest.invalid_urls)),
+                ("no_engine", Value::number_u64(stats.ingest.no_engine)),
+            ]),
+        ),
+        (
+            "conflicting_observations",
+            Value::number_u64(stats.conflicting_observations),
+        ),
+        ("unattributed", Value::number_u64(stats.unattributed)),
+        (
+            "resources",
+            object(vec![
+                ("domains", Value::number_u64(stats.resources[0] as u64)),
+                ("hostnames", Value::number_u64(stats.resources[1] as u64)),
+                ("scripts", Value::number_u64(stats.resources[2] as u64)),
+                ("methods", Value::number_u64(stats.resources[3] as u64)),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_encodings_round_trip() {
+        let decisions = vec![
+            Decision::Allow(DecisionSource::Hierarchy(Granularity::Domain)),
+            Decision::Block(DecisionSource::FilterList),
+            Decision::Observe,
+            Decision::Surrogate(Arc::new(SurrogateScript {
+                script_url: "https://pub.com/mixed.js".into(),
+                methods: vec![
+                    ("render".into(), MethodAction::Keep),
+                    ("track".into(), MethodAction::Stub),
+                    (
+                        "xhr".into(),
+                        MethodAction::Guard {
+                            blocked_callers: vec!["pixel.js @ firePixel".into()],
+                        },
+                    ),
+                ],
+                suppressed_tracking_requests: 12,
+                preserved_functional_requests: 9,
+            })),
+        ];
+        for decision in decisions {
+            let text = decision_to_json(&decision).render();
+            let back = decision_from_json(&Value::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, decision);
+            // Canonical encoding: re-rendering is byte-identical.
+            assert_eq!(decision_to_json(&back).render(), text);
+        }
+    }
+
+    #[test]
+    fn decision_messages_round_trip() {
+        let messages = vec![
+            DecisionMessage::new("ads.com", "px.ads.com", "https://p.com/a.js", "send"),
+            DecisionMessage::new("hub.com", "w.hub.com", "https://p.com/m.js", "xhr").with_url(
+                "https://w.hub.com/x?y=1",
+                "pub.com",
+                ResourceType::Xhr,
+            ),
+        ];
+        for message in messages {
+            let text = message.to_json_value().render();
+            let back = DecisionMessage::from_json_value(&Value::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, message);
+        }
+    }
+
+    #[test]
+    fn observation_messages_round_trip() {
+        let messages = vec![
+            ObservationMessage::Parts {
+                domain: "a.com".into(),
+                hostname: "h.a.com".into(),
+                script: "s.js".into(),
+                method: "m".into(),
+                tracking: true,
+            },
+            ObservationMessage::Url {
+                url: "https://px.t.io/b".into(),
+                source_hostname: "shop.com".into(),
+                resource_type: ResourceType::Image,
+                script: "s.js".into(),
+                method: "m".into(),
+            },
+        ];
+        for message in messages {
+            let text = message.to_json_value().render();
+            let back = ObservationMessage::from_json_value(&Value::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, message);
+        }
+    }
+
+    #[test]
+    fn unknown_discriminants_are_rejected() {
+        assert!(decision_from_json(&Value::parse(r#"{"action":"explode"}"#).unwrap()).is_err());
+        assert!(resource_type_from_str("warp-drive").is_err());
+        assert!(granularity_from_str("Universe").is_err());
+    }
+}

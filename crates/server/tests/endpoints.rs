@@ -1,0 +1,413 @@
+//! Golden request/response fixtures for every endpoint, the snapshot
+//! export/import round trip over the wire, and the acceptance property:
+//! a `Decision` served over HTTP is byte-identical to the in-process
+//! decision for the same snapshot — surrogate payloads included.
+
+use crawler::json::Value;
+use proptest::prelude::*;
+use std::time::Duration;
+use trackersift::{DecisionRequest, Sifter};
+use trackersift_server::client::Client;
+use trackersift_server::wire::{self, DecisionMessage, ObservationMessage};
+use trackersift_server::{ServerConfig, VerdictServer};
+
+/// The fixed training set behind the golden fixtures: one pure tracking
+/// domain, one pure functional domain, and one mixed chain ending in a
+/// mixed script whose methods span all three classifications.
+fn trained_sifter() -> Sifter {
+    let mut sifter = Sifter::builder().build();
+    for _ in 0..5 {
+        sifter.observe_parts(
+            "ads.com",
+            "px.ads.com",
+            "https://pub.com/a.js",
+            "send",
+            true,
+        );
+        sifter.observe_parts(
+            "cdn.com",
+            "a.cdn.com",
+            "https://pub.com/ui.js",
+            "load",
+            false,
+        );
+    }
+    for _ in 0..6 {
+        sifter.observe_parts(
+            "hub.com",
+            "w.hub.com",
+            "https://pub.com/mixed.js",
+            "track",
+            true,
+        );
+        sifter.observe_parts(
+            "hub.com",
+            "w.hub.com",
+            "https://pub.com/mixed.js",
+            "render",
+            false,
+        );
+    }
+    for flag in [true, false, true, false] {
+        sifter.observe_parts(
+            "hub.com",
+            "w.hub.com",
+            "https://pub.com/mixed.js",
+            "dispatch",
+            flag,
+        );
+    }
+    sifter.commit();
+    sifter
+}
+
+fn start_server(sifter: Sifter) -> VerdictServer {
+    let (writer, _reader) = sifter.into_concurrent();
+    VerdictServer::start(
+        writer,
+        ServerConfig {
+            workers: 2,
+            read_timeout: Duration::from_secs(2),
+            ..ServerConfig::ephemeral()
+        },
+    )
+    .expect("start verdict server")
+}
+
+#[test]
+fn healthz_and_unknown_routes() {
+    let server = start_server(trained_sifter());
+    let mut client = Client::connect(server.local_addr());
+    assert_eq!(client.request("GET", "/healthz", None), (200, "ok".into()));
+    let (status, body) = client.request("GET", "/v1/nope", None);
+    assert_eq!(status, 404);
+    assert!(body.contains("no route"));
+    // Errors close the connection; reconnect for the 405 golden.
+    let mut client = Client::connect(server.local_addr());
+    let (status, body) = client.request("DELETE", "/v1/decisions", None);
+    assert_eq!(status, 405);
+    assert!(body.contains("does not support DELETE"));
+    server.shutdown();
+}
+
+#[test]
+fn decision_endpoint_golden_fixtures() {
+    let server = start_server(trained_sifter());
+    let mut client = Client::connect(server.local_addr());
+
+    // Tracking domain: block, decided by the hierarchy at domain level.
+    let (status, body) = client.request(
+        "POST",
+        "/v1/decisions",
+        Some(r#"{"domain":"ads.com","hostname":"px.ads.com","script":"https://pub.com/a.js","method":"send"}"#),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        body,
+        r#"{"version":1,"decision":{"action":"block","source":"hierarchy","granularity":"Domain"}}"#
+    );
+
+    // Functional domain: allow.
+    let (status, body) = client.request(
+        "POST",
+        "/v1/decisions",
+        Some(r#"{"domain":"cdn.com","hostname":"a.cdn.com","script":"https://pub.com/ui.js","method":"load"}"#),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        body,
+        r#"{"version":1,"decision":{"action":"allow","source":"hierarchy","granularity":"Domain"}}"#
+    );
+
+    // Mixed script: surrogate with per-method actions, methods in name
+    // order. render (functional) kept, track (tracking) stubbed, dispatch
+    // (mixed) guarded.
+    let (status, body) = client.request(
+        "POST",
+        "/v1/decisions",
+        Some(r#"{"domain":"hub.com","hostname":"w.hub.com","script":"https://pub.com/mixed.js","method":"dispatch"}"#),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        body,
+        concat!(
+            r#"{"version":1,"decision":{"action":"surrogate","surrogate":{"#,
+            r#""script_url":"https://pub.com/mixed.js","#,
+            r#""methods":[["dispatch",{"guard":{"blocked_callers":[]}}],["render","keep"],["track","stub"]],"#,
+            r#""suppressed_tracking_requests":6,"preserved_functional_requests":8}}}"#
+        )
+    );
+
+    // Unknown everything, no URL: observe.
+    let (status, body) = client.request(
+        "POST",
+        "/v1/decisions",
+        Some(r#"{"domain":"zzz.com","hostname":"a.zzz.com","script":"s.js","method":"m"}"#),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(body, r#"{"version":1,"decision":{"action":"observe"}}"#);
+
+    server.shutdown();
+}
+
+#[test]
+fn batch_decisions_share_one_pinned_version() {
+    let server = start_server(trained_sifter());
+    let mut client = Client::connect(server.local_addr());
+    let body = concat!(
+        r#"{"requests":["#,
+        r#"{"domain":"ads.com","hostname":"px.ads.com","script":"https://pub.com/a.js","method":"send"},"#,
+        r#"{"domain":"zzz.com","hostname":"a.zzz.com","script":"s.js","method":"m"}"#,
+        r#"]}"#
+    );
+    let (status, body) = client.request("POST", "/v1/decisions:batch", Some(body));
+    assert_eq!(status, 200);
+    assert_eq!(
+        body,
+        concat!(
+            r#"{"version":1,"decisions":["#,
+            r#"{"action":"block","source":"hierarchy","granularity":"Domain"},"#,
+            r#"{"action":"observe"}]}"#
+        )
+    );
+    server.shutdown();
+}
+
+#[test]
+fn observations_and_commit_change_served_decisions() {
+    let server = start_server(trained_sifter());
+    let mut client = Client::connect(server.local_addr());
+
+    // A brand-new tracking domain, observed over the wire.
+    let observations: Vec<String> = (0..5)
+        .map(|_| {
+            ObservationMessage::Parts {
+                domain: "new.com".into(),
+                hostname: "px.new.com".into(),
+                script: "https://pub.com/n.js".into(),
+                method: "fire".into(),
+                tracking: true,
+            }
+            .to_json_value()
+            .render()
+        })
+        .collect();
+    let body = format!(r#"{{"observations":[{}]}}"#, observations.join(","));
+    let (status, reply) = client.request("POST", "/v1/observations", Some(&body));
+    assert_eq!(status, 200);
+    assert_eq!(reply, r#"{"accepted":5,"skipped":0,"pending":5}"#);
+
+    // Still unknown until the commit.
+    let query = r#"{"domain":"new.com","hostname":"px.new.com","script":"https://pub.com/n.js","method":"fire"}"#;
+    let (_, before) = client.request("POST", "/v1/decisions", Some(query));
+    assert_eq!(before, r#"{"version":1,"decision":{"action":"observe"}}"#);
+
+    let (status, reply) = client.request("POST", "/v1/commit", None);
+    assert_eq!(status, 200);
+    assert_eq!(
+        reply,
+        r#"{"observations":5,"reclassified":{"domains":1,"hostnames":1,"scripts":1,"methods":1},"version":2}"#
+    );
+
+    let (_, after) = client.request("POST", "/v1/decisions", Some(query));
+    assert_eq!(
+        after,
+        r#"{"version":2,"decision":{"action":"block","source":"hierarchy","granularity":"Domain"}}"#
+    );
+    server.shutdown();
+}
+
+#[test]
+fn stats_reads_the_same_source_of_truth_as_the_core() {
+    let server = start_server(trained_sifter());
+    let mut client = Client::connect(server.local_addr());
+    // Serve one decision so the worker counters move.
+    client.request(
+        "POST",
+        "/v1/decisions",
+        Some(r#"{"domain":"ads.com","hostname":"px.ads.com","script":"https://pub.com/a.js","method":"send"}"#),
+    );
+    let (status, body) = client.request("GET", "/v1/stats", None);
+    assert_eq!(status, 200);
+    let stats = Value::parse(&body).expect("stats is json");
+    assert_eq!(stats.field("version").unwrap().as_u64().unwrap(), 1);
+    let ingest = stats.field("ingest").unwrap();
+    assert_eq!(ingest.field("observed").unwrap().as_u64().unwrap(), 26);
+    assert_eq!(ingest.field("committed").unwrap().as_u64().unwrap(), 26);
+    assert_eq!(ingest.field("pending").unwrap().as_u64().unwrap(), 0);
+    let resources = stats.field("resources").unwrap();
+    assert_eq!(resources.field("domains").unwrap().as_u64().unwrap(), 3);
+    // dispatch stays mixed: its 4 requests are the residue.
+    assert_eq!(stats.field("unattributed").unwrap().as_u64().unwrap(), 4);
+    // Exactly one decision served across the pool so far.
+    let workers = stats.field("workers").unwrap().as_array().unwrap();
+    let decisions: u64 = workers
+        .iter()
+        .map(|worker| worker.field("decisions").unwrap().as_u64().unwrap())
+        .sum();
+    assert_eq!(decisions, 1);
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_round_trips_over_the_wire() {
+    let sifter = trained_sifter();
+    let local_snapshot = sifter.snapshot().to_json_string();
+    let server = start_server(trained_sifter());
+    let mut client = Client::connect(server.local_addr());
+
+    // Export: byte-identical to the local export of the same state.
+    let (status, exported) = client.request("GET", "/v1/snapshot", None);
+    assert_eq!(status, 200);
+    assert_eq!(exported, local_snapshot);
+
+    // Import it back (a no-op state-wise): published version moves past
+    // the old one, never backwards.
+    let (status, reply) = client.request("PUT", "/v1/snapshot", Some(&exported));
+    assert_eq!(status, 200);
+    assert_eq!(
+        reply,
+        r#"{"restored":true,"version":2,"observations":26,"dropped_pending":0}"#
+    );
+
+    // Decisions keep working against the restored state.
+    let (_, decision) = client.request(
+        "POST",
+        "/v1/decisions",
+        Some(r#"{"domain":"ads.com","hostname":"px.ads.com","script":"https://pub.com/a.js","method":"send"}"#),
+    );
+    assert_eq!(
+        decision,
+        r#"{"version":2,"decision":{"action":"block","source":"hierarchy","granularity":"Domain"}}"#
+    );
+
+    // A corrupt snapshot is rejected with a typed message and leaves the
+    // serving state untouched.
+    let corrupt = exported.replace("\"observed\":26", "\"observed\":27");
+    let mut fresh = Client::connect(server.local_addr());
+    let (status, reply) = fresh.request("PUT", "/v1/snapshot", Some(&corrupt));
+    assert_eq!(status, 400);
+    assert!(reply.contains("cells sum"), "{reply}");
+    let mut fresh = Client::connect(server.local_addr());
+    let (_, decision) = fresh.request(
+        "POST",
+        "/v1/decisions",
+        Some(r#"{"domain":"ads.com","hostname":"px.ads.com","script":"https://pub.com/a.js","method":"send"}"#),
+    );
+    assert!(decision.contains(r#""action":"block""#));
+    server.shutdown();
+}
+
+/// Deterministic observation tuples from a splitmix-style stream.
+fn observations(count: usize, mut seed: u64) -> Vec<(String, String, String, String, bool)> {
+    let mut next = move || {
+        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..count)
+        .map(|_| {
+            let r = next();
+            let domain = r % 4;
+            let host = (r >> 8) % 3;
+            let script = (r >> 16) % 4;
+            let method = (r >> 24) % 3;
+            (
+                format!("d{domain}.com"),
+                format!("h{host}.d{domain}.com"),
+                format!("https://pub.com/s{script}.js"),
+                format!("m{method}"),
+                (r >> 32) & 1 == 1,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The acceptance property: for the same snapshot, the decision served
+    /// over the wire — serialize → server → deserialize — equals the
+    /// in-process `Sifter` decision byte for byte, surrogate payloads for
+    /// mixed scripts included. Exercises `PUT /v1/snapshot` as the state
+    /// transfer.
+    #[test]
+    fn wire_decisions_are_byte_identical_to_in_process(
+        count in 20usize..160,
+        seed in 0u64..1_000_000,
+        threshold in 0.7f64..2.5,
+    ) {
+        // Local side: train, snapshot, restore — the in-process truth.
+        let mut trained = Sifter::builder()
+            .thresholds(trackersift::Thresholds::new(threshold))
+            .build();
+        let stream = observations(count, seed);
+        for (domain, hostname, script, method, tracking) in &stream {
+            trained.observe_parts(domain, hostname, script, method, *tracking);
+        }
+        trained.commit();
+        let snapshot = trained.snapshot();
+        let local = Sifter::builder().restore(&snapshot).expect("restore locally");
+
+        // Server side: one shared server (kept alive across proptest
+        // cases; each case transfers its own state via PUT /v1/snapshot).
+        static SERVER: std::sync::OnceLock<VerdictServer> = std::sync::OnceLock::new();
+        let server = SERVER.get_or_init(|| {
+            let (writer, _reader) = Sifter::builder().build_concurrent();
+            VerdictServer::start(
+                writer,
+                ServerConfig {
+                    workers: 2,
+                    read_timeout: Duration::from_secs(2),
+                    ..ServerConfig::ephemeral()
+                },
+            ).expect("start server")
+        });
+        let mut client = Client::connect(server.local_addr());
+        let (status, _) = client.request("PUT", "/v1/snapshot", Some(&snapshot.to_json_string()));
+        prop_assert_eq!(status, 200);
+
+        // Every attribution tuple the pools can produce, plus unknowns.
+        for domain in 0..5u64 {
+            for host in 0..3u64 {
+                for script in 0..4u64 {
+                    for method in 0..3u64 {
+                        let message = DecisionMessage::new(
+                            &format!("d{domain}.com"),
+                            &format!("h{host}.d{domain}.com"),
+                            &format!("https://pub.com/s{script}.js"),
+                            &format!("m{method}"),
+                        );
+                        let (status, body) = client.request(
+                            "POST",
+                            "/v1/decisions",
+                            Some(&message.to_json_value().render()),
+                        );
+                        prop_assert_eq!(status, 200);
+                        let reply = Value::parse(&body).expect("decision reply is json");
+                        let served = reply.field("decision").expect("decision field");
+                        let expected = local.decide(&DecisionRequest::new(
+                            &message.domain,
+                            &message.hostname,
+                            &message.script,
+                            &message.method,
+                        ));
+                        // Byte-identical: the served JSON re-renders to the
+                        // canonical encoding of the local decision...
+                        prop_assert_eq!(
+                            served.render(),
+                            wire::decision_to_json(&expected).render()
+                        );
+                        // ...and deserialises back to an equal Decision.
+                        let decoded = wire::decision_from_json(served).expect("decode decision");
+                        prop_assert_eq!(decoded, expected);
+                    }
+                }
+            }
+        }
+        // The shared server is intentionally left running for later cases;
+        // the test process tears it down on exit.
+    }
+}

@@ -1,0 +1,189 @@
+//! Hostile-input tests of the wire layer: malformed, truncated, and
+//! oversized HTTP requests must produce a 4xx/5xx answer (or a clean
+//! close) — never a panic, and never a wedged worker. After every burst of
+//! garbage the pool must still answer a well-formed request.
+
+use proptest::prelude::*;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+use trackersift::Sifter;
+use trackersift_server::client::Client;
+use trackersift_server::{ServerConfig, VerdictServer};
+
+fn start_server() -> VerdictServer {
+    let mut sifter = Sifter::builder().build();
+    for _ in 0..5 {
+        sifter.observe_parts(
+            "ads.com",
+            "px.ads.com",
+            "https://pub.com/a.js",
+            "send",
+            true,
+        );
+    }
+    sifter.commit();
+    let (writer, _reader) = sifter.into_concurrent();
+    VerdictServer::start(
+        writer,
+        ServerConfig {
+            workers: 2,
+            max_body_bytes: 16 * 1024,
+            // Short timeout: truncated requests release their worker fast.
+            read_timeout: Duration::from_millis(300),
+            ..ServerConfig::ephemeral()
+        },
+    )
+    .expect("start verdict server")
+}
+
+/// The pool still serves after whatever the previous connection did.
+fn assert_alive(server: &VerdictServer) {
+    let mut client = Client::connect(server.local_addr());
+    let (status, body) = client.request("GET", "/healthz", None);
+    assert_eq!((status, body.as_str()), (200, "ok"));
+}
+
+#[test]
+fn handcrafted_malformed_requests_get_4xx_not_a_wedge() {
+    let server = start_server();
+    let cases: Vec<(Vec<u8>, u16)> = vec![
+        // Not HTTP at all.
+        (b"EHLO verdicts\r\n\r\n".to_vec(), 400),
+        // Bad request line shape.
+        (b"GET /healthz\r\n\r\n".to_vec(), 400),
+        // Unsupported protocol version.
+        (b"GET /healthz HTTP/2.0\r\n\r\n".to_vec(), 400),
+        // Header without a colon.
+        (b"GET /healthz HTTP/1.1\r\nnocolon\r\n\r\n".to_vec(), 400),
+        // Unparseable content-length.
+        (
+            b"POST /v1/decisions HTTP/1.1\r\nContent-Length: banana\r\n\r\n".to_vec(),
+            400,
+        ),
+        // Non-canonical content-length (RFC 9112 framing is digits only).
+        (
+            b"POST /v1/decisions HTTP/1.1\r\nContent-Length: +17\r\n\r\n".to_vec(),
+            400,
+        ),
+        // Declared body far beyond the configured cap.
+        (
+            b"POST /v1/decisions HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n".to_vec(),
+            413,
+        ),
+        // Transfer-encoding is refused, not guessed about.
+        (
+            b"POST /v1/decisions HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n".to_vec(),
+            501,
+        ),
+        // Duplicate content-length is the request-smuggling vector: reject,
+        // never pick one.
+        (
+            b"POST /v1/commit HTTP/1.1\r\nContent-Length: 0\r\nContent-Length: 44\r\n\r\n".to_vec(),
+            400,
+        ),
+        // Valid HTTP, invalid JSON body.
+        (
+            b"POST /v1/decisions HTTP/1.1\r\nContent-Length: 9\r\n\r\nnot-json!".to_vec(),
+            400,
+        ),
+        // Valid JSON, wrong shape.
+        (
+            b"POST /v1/decisions HTTP/1.1\r\nContent-Length: 13\r\n\r\n{\"domain\":1}\n".to_vec(),
+            400,
+        ),
+    ];
+    for (bytes, expected) in cases {
+        let mut client = Client::connect(server.local_addr());
+        let reply = client.send_raw(&bytes);
+        let (status, _) = reply
+            .unwrap_or_else(|| panic!("no response for {:?}", String::from_utf8_lossy(&bytes)));
+        assert_eq!(
+            status,
+            expected,
+            "for {:?}",
+            String::from_utf8_lossy(&bytes)
+        );
+        assert_alive(&server);
+    }
+    // Oversized headers drip-fed line by line.
+    let mut client = Client::connect(server.local_addr());
+    let mut garbage = b"GET /healthz HTTP/1.1\r\n".to_vec();
+    for i in 0..2000 {
+        garbage.extend_from_slice(format!("X-Pad-{i}: {}\r\n", "y".repeat(64)).as_bytes());
+    }
+    garbage.extend_from_slice(b"\r\n");
+    let (status, _) = client.send_raw(&garbage).expect("431 response");
+    assert_eq!(status, 431);
+    assert_alive(&server);
+
+    // A connection that sends a truncated head then goes silent: the read
+    // timeout must release the worker.
+    let mut half = TcpStream::connect(server.local_addr()).expect("connect");
+    half.write_all(b"GET /healthz HTT").expect("write prefix");
+    std::thread::sleep(Duration::from_millis(450));
+    assert_alive(&server);
+    drop(half);
+
+    server.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random bytes, random truncations of a valid request, and random
+    /// header garbage: every connection gets an answer (or a clean close)
+    /// and the pool keeps serving afterwards.
+    #[test]
+    fn random_garbage_never_wedges_the_pool(
+        bytes in prop::collection::vec(0u8..255, 1..600),
+        mode in 0usize..3,
+        cut in 1usize..60,
+    ) {
+        // One shared server across every case: garbage never changes
+        // serving state, and a wedged worker in an early case would fail
+        // the health probe of a later one.
+        static SERVER: std::sync::OnceLock<VerdictServer> = std::sync::OnceLock::new();
+        let server = SERVER.get_or_init(start_server);
+        let payload = match mode {
+            // Raw garbage.
+            0 => bytes.clone(),
+            // A valid request truncated mid-head.
+            1 => {
+                let valid = b"POST /v1/decisions HTTP/1.1\r\nContent-Length: 4\r\n\r\n{}{}".to_vec();
+                valid[..cut.min(valid.len())].to_vec()
+            }
+            // A valid request line followed by garbage headers. Strip ':'
+            // and '\r' (and guarantee at least one byte) so the garbage can
+            // never accidentally form a valid, colon-separated header block
+            // — the property below asserts a 4xx.
+            _ => {
+                let mut v = b"GET /v1/stats HTTP/1.1\r\n".to_vec();
+                let garbage: Vec<u8> = bytes
+                    .iter()
+                    .copied()
+                    .filter(|&b| b != b':' && b != b'\r')
+                    .collect();
+                if garbage.is_empty() {
+                    v.push(b'x');
+                } else {
+                    v.extend_from_slice(&garbage);
+                }
+                v.extend_from_slice(b"\r\n\r\n");
+                v
+            }
+        };
+        let mut client = Client::connect(server.local_addr());
+        // Whatever happens, it must not hang: send_raw reads to close or
+        // timeout. A `Some` reply must be an error status, never 2xx for
+        // garbage that cannot parse as a full valid request.
+        if let Some((status, _)) = client.send_raw(&payload) {
+            prop_assert!(status >= 400, "garbage got {status}");
+        }
+        // The pool survived.
+        let mut probe = Client::connect(server.local_addr());
+        let (status, body) = probe.request("GET", "/healthz", None);
+        prop_assert_eq!((status, body.as_str()), (200, "ok"));
+        // The shared server stays up for the remaining cases.
+    }
+}

@@ -26,14 +26,17 @@ fn main() {
         .thresholds(study.config.thresholds)
         .build();
     sifter.observe_all(historical);
-    let stats = sifter.commit();
+    sifter.commit();
+    // One consolidated stats struct — the same source of truth the verdict
+    // server's /v1/stats endpoint serializes.
+    let stats = sifter.service_stats();
     println!(
         "Trained on {} requests: {} domains / {} hostnames / {} scripts / {} methods committed.",
-        stats.observations,
-        sifter.committed_resources(Granularity::Domain),
-        sifter.committed_resources(Granularity::Hostname),
-        sifter.committed_resources(Granularity::Script),
-        sifter.committed_resources(Granularity::Method),
+        stats.ingest.committed,
+        stats.resources[Granularity::Domain.index()],
+        stats.resources[Granularity::Hostname.index()],
+        stats.resources[Granularity::Script.index()],
+        stats.resources[Granularity::Method.index()],
     );
 
     // 2. Snapshot: export the trained state (versioned JSON through the
@@ -107,9 +110,36 @@ fn main() {
     let (mut writer, reader) = server.into_concurrent();
     writer.observe_all(live);
     writer.commit();
+    let stats = writer.service_stats();
     println!(
         "Concurrent split: reader serves table version {} ({} observations) lock-free.",
         reader.version(),
-        reader.committed(),
+        stats.ingest.committed,
+    );
+    assert_eq!(reader.version(), stats.version);
+
+    // 8. Enforce: the decision layer composes the verdict, the surrogate
+    //    plan for mixed scripts, and the filter-list backstop into the one
+    //    action a blocker takes per request. `examples/verdict_server.rs`
+    //    serves exactly these decisions over HTTP.
+    let decisions = reader.decide_batch(
+        &live
+            .iter()
+            .map(DecisionRequest::from_labeled)
+            .collect::<Vec<_>>(),
+    );
+    let blocked = decisions
+        .iter()
+        .filter(|decision| matches!(decision, Decision::Block(_)))
+        .count();
+    let surrogates = decisions
+        .iter()
+        .filter(|decision| matches!(decision, Decision::Surrogate(_)))
+        .count();
+    println!(
+        "Decisions over the live slice: {} block / {} surrogate / {} other.",
+        blocked,
+        surrogates,
+        decisions.len() - blocked - surrogates,
     );
 }

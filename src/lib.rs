@@ -36,15 +36,20 @@ pub use crawler;
 /// call-stack analysis, surrogates, breakage.
 pub use trackersift;
 
+/// The HTTP/1.1 verdict server over lock-free reader handles.
+pub use trackersift_server;
+
 /// Commonly used items, re-exported for the examples and tests.
 pub mod prelude {
     pub use crawler::{ClusterConfig, CrawlCluster, CrawlDatabase, LoadOptions, PageLoadSimulator};
     pub use filterlist::{FilterEngine, FilterRequest, RequestLabel, ResourceType};
     pub use trackersift::{
-        Breakage, Classification, CommitStats, Granularity, HierarchicalClassifier, IngestStats,
-        KeyInterner, Labeler, ObserveOutcome, RatioHistogram, ResourceKey, SensitivitySweep,
-        Sifter, SifterBuilder, SifterReader, SifterSnapshot, SifterWriter, SnapshotError, Stage,
-        StageTimings, Study, StudyConfig, Thresholds, Verdict, VerdictRequest, VerdictTable,
+        Breakage, Classification, CommitStats, Decision, DecisionRequest, DecisionSource,
+        Granularity, HierarchicalClassifier, IngestStats, KeyInterner, Labeler, ObserveOutcome,
+        RatioHistogram, ResourceKey, SensitivitySweep, ServiceStats, Sifter, SifterBuilder,
+        SifterReader, SifterSnapshot, SifterWriter, SnapshotError, Stage, StageTimings, Study,
+        StudyConfig, Thresholds, Verdict, VerdictRequest, VerdictTable,
     };
+    pub use trackersift_server::{ServerConfig, VerdictServer};
     pub use websim::{CorpusGenerator, CorpusProfile, Purpose, ScriptArchetype, WebCorpus};
 }

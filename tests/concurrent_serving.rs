@@ -191,6 +191,107 @@ fn stress_readers_only_observe_whole_commits() {
     assert_eq!(writer.sifter().hierarchy(), mirror.hierarchy());
 }
 
+/// Same shape as the verdict stress test, but for the enforcement layer:
+/// reader threads serve whole *decision* sweeps (surrogate payloads
+/// included) from one pin while the writer interleaves observe+commit.
+/// Every sweep must equal the sequential `Sifter::decide` output at
+/// exactly the pinned table's version — a decision served during a
+/// `commit()` always reflects one committed table, never a torn mix and
+/// never a state no commit produced.
+#[test]
+fn stress_decisions_match_one_committed_version() {
+    const READERS: usize = 3;
+    let thresholds = Thresholds::new(1.0);
+    let stream = batches(20, 40, 4242);
+    let probes = probe_pool();
+
+    // Sequential mirror: expected decisions after each commit.
+    let mut mirror = Sifter::builder().thresholds(thresholds).build();
+    let probe_queries: Vec<DecisionRequest<'_>> = probes
+        .iter()
+        .map(|probe| {
+            DecisionRequest::new(
+                &probe.domain,
+                &probe.hostname,
+                &probe.initiator_script,
+                &probe.initiator_method,
+            )
+        })
+        .collect();
+    let mut expected: Vec<Vec<Decision>> = Vec::with_capacity(stream.len() + 1);
+    expected.push(mirror.decide_batch(&probe_queries));
+    for batch in &stream {
+        mirror.observe_all(batch);
+        mirror.commit();
+        expected.push(mirror.decide_batch(&probe_queries));
+    }
+    // The pools are small and collide hard, so surrogates must actually
+    // appear somewhere in the schedule for this test to mean anything.
+    assert!(
+        expected
+            .iter()
+            .flatten()
+            .any(|decision| matches!(decision, Decision::Surrogate(_))),
+        "stress schedule never produced a surrogate decision"
+    );
+
+    let (mut writer, reader) = Sifter::builder().thresholds(thresholds).build_concurrent();
+    let stop = AtomicBool::new(false);
+    thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for _ in 0..READERS {
+            let reader = reader.clone();
+            let stop = &stop;
+            let probes = &probes;
+            let expected = &expected;
+            workers.push(scope.spawn(move || {
+                let queries: Vec<DecisionRequest<'_>> = probes
+                    .iter()
+                    .map(|probe| {
+                        DecisionRequest::new(
+                            &probe.domain,
+                            &probe.hostname,
+                            &probe.initiator_script,
+                            &probe.initiator_method,
+                        )
+                    })
+                    .collect();
+                let mut sweeps = 0usize;
+                loop {
+                    let done = stop.load(Ordering::Acquire);
+                    // One pin covers the whole decision sweep.
+                    let pin = reader.pin();
+                    let version = pin.version();
+                    let decisions: Vec<Decision> =
+                        queries.iter().map(|query| pin.decide(query)).collect();
+                    drop(pin);
+                    assert_eq!(
+                        &decisions, &expected[version as usize],
+                        "decisions served at version {version} do not match the \
+                         sequential enforcement at that version"
+                    );
+                    sweeps += 1;
+                    if done {
+                        return sweeps;
+                    }
+                    thread::yield_now();
+                }
+            }));
+        }
+
+        for batch in &stream {
+            writer.observe_all(batch);
+            writer.commit();
+            thread::sleep(Duration::from_micros(500));
+        }
+        stop.store(true, Ordering::Release);
+        for worker in workers {
+            assert!(worker.join().expect("decision reader panicked") > 0);
+        }
+    });
+    assert_eq!(writer.sifter().hierarchy(), mirror.hierarchy());
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

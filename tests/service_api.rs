@@ -265,16 +265,16 @@ fn snapshot_versioning_rejects_foreign_documents() {
         Err(SnapshotError::UnknownFormat(_))
     ));
 
-    // Tampered totals are caught at restore time.
+    // Tampered totals are caught at parse (import) time with a typed
+    // error — they never reach restore.
     let snapshot = study.sifter().snapshot();
     let observed = snapshot.observations();
     let tampered = text.replace(
         &format!("\"observed\":{observed}"),
         &format!("\"observed\":{}", observed + 1),
     );
-    let parsed = SifterSnapshot::parse(&tampered).expect("parses fine");
     assert!(matches!(
-        Sifter::builder().restore(&parsed),
-        Err(SnapshotError::Corrupt(_))
+        SifterSnapshot::parse(&tampered),
+        Err(SnapshotError::Corrupt(message)) if message.contains("cells sum")
     ));
 }
