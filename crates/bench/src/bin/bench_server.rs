@@ -3,12 +3,21 @@
 //! `BENCH_server.json` so successive PRs accumulate a perf trajectory.
 //!
 //! The scenario: a trained sifter behind `VerdictServer`, hammered over
-//! loopback by keep-alive clients issuing `POST /v1/decisions` (one
-//! decision per request) and `POST /v1/decisions:batch` (many decisions
-//! per request, one pinned table per batch). Reported per mode:
-//! requests/sec, decisions/sec, and p50/p99 request latency — the numbers
-//! that size a deployment (how many proxy workers per verdict server, and
-//! what tail the proxy inherits).
+//! loopback by keep-alive clients in four modes:
+//!
+//! * `single` — JSON `POST /v1/decisions`, one decision per round trip;
+//! * `batch` — JSON `POST /v1/decisions:batch`, many decisions per request;
+//! * `binary` — the length-prefixed binary protocol with id-form keys
+//!   (after the `GET /v1/keys` handshake), pipelined: each client keeps a
+//!   window of requests in flight on one connection, which is what the
+//!   fixed-width frames are for;
+//! * `connections` — the JSON single-decision load swept across 2, 64 and
+//!   512 concurrent keep-alive connections against the same fixed worker
+//!   pool, sizing the readiness-polled scheduler.
+//!
+//! Reported per mode: requests/sec, decisions/sec, and p50/p99 latency —
+//! the numbers that size a deployment (how many proxy workers per verdict
+//! server, and what tail the proxy inherits).
 //!
 //! Scale can be overridden through the environment:
 //!
@@ -18,15 +27,19 @@
 //! * `TRACKERSIFT_BENCH_HTTP_BATCH_SIZE` — decisions per batch (default 128);
 //! * `TRACKERSIFT_BENCH_HTTP_CLIENTS` — concurrent client connections (default 2);
 //! * `TRACKERSIFT_BENCH_HTTP_WORKERS` — server workers (default 2);
+//! * `TRACKERSIFT_BENCH_HTTP_PIPELINE` — binary in-flight window (default 64);
+//! * `TRACKERSIFT_BENCH_HTTP_SWEEP_REQUESTS` — requests per connection-sweep
+//!   point (default 20,000);
 //! * `TRACKERSIFT_BENCH_OUT` — output path (default `BENCH_server.json`).
 
-use std::net::SocketAddr;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::thread;
 use std::time::{Duration, Instant};
 use trackersift::{Sifter, Study, StudyConfig};
 use trackersift_bench::env_usize;
 use trackersift_server::client::Client;
-use trackersift_server::wire::DecisionMessage;
+use trackersift_server::wire::{self, BinaryKeys, BinaryRecord, DecisionMessage};
 use trackersift_server::{ServerConfig, VerdictServer};
 use websim::CorpusProfile;
 
@@ -68,6 +81,104 @@ fn drive(
     (elapsed, latencies)
 }
 
+/// One pre-rendered HTTP request carrying a binary decision frame.
+fn wrap_binary(target: &str, frame: &[u8]) -> Vec<u8> {
+    let head = format!(
+        "POST {target} HTTP/1.1\r\nHost: verdicts\r\nContent-Type: {}\r\nContent-Length: {}\r\n\r\n",
+        wire::BINARY_CONTENT_TYPE,
+        frame.len()
+    );
+    let mut request = head.into_bytes();
+    request.extend_from_slice(frame);
+    request
+}
+
+/// Consume exactly one HTTP response from `stream`, carrying partial reads
+/// over in `buffer`; panics on any non-200 status.
+fn eat_response(stream: &mut TcpStream, buffer: &mut Vec<u8>) {
+    let mut chunk = [0u8; 16 * 1024];
+    let head_end = loop {
+        if let Some(end) = buffer.windows(4).position(|w| w == b"\r\n\r\n") {
+            break end;
+        }
+        let n = stream.read(&mut chunk).expect("read response head");
+        assert!(n > 0, "server closed mid-response");
+        buffer.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buffer[..head_end]).expect("utf-8 head");
+    assert!(head.starts_with("HTTP/1.1 200"), "non-200 response: {head}");
+    let content_length: usize = head
+        .lines()
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().expect("numeric content-length"))
+        })
+        .expect("content-length header");
+    let total = head_end + 4 + content_length;
+    while buffer.len() < total {
+        let n = stream.read(&mut chunk).expect("read response body");
+        assert!(n > 0, "server closed mid-body");
+        buffer.extend_from_slice(&chunk[..n]);
+    }
+    buffer.drain(..total);
+}
+
+/// Run `total` pre-rendered requests across `clients` connections keeping
+/// up to `window` requests in flight per connection (HTTP/1.1 pipelining —
+/// the server's parser drains pipelined requests in order). Returns
+/// (elapsed, sorted per-flight latencies in ms).
+fn drive_pipelined(
+    addr: SocketAddr,
+    clients: usize,
+    total: usize,
+    window: usize,
+    requests: &[Vec<u8>],
+) -> (Duration, Vec<f64>) {
+    let per_client = total.div_ceil(clients);
+    let start = Instant::now();
+    let mut latencies: Vec<f64> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|index| {
+                scope.spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(10)))
+                        .expect("read timeout");
+                    stream.set_nodelay(true).expect("nodelay");
+                    let mut samples = Vec::with_capacity(per_client.div_ceil(window));
+                    let mut response_buffer = Vec::new();
+                    let mut flight_buffer = Vec::new();
+                    let mut served = 0usize;
+                    while served < per_client {
+                        let flight = window.min(per_client - served);
+                        flight_buffer.clear();
+                        for i in 0..flight {
+                            let at = (index + (served + i) * clients) % requests.len();
+                            flight_buffer.extend_from_slice(&requests[at]);
+                        }
+                        let sent = Instant::now();
+                        stream.write_all(&flight_buffer).expect("write flight");
+                        for _ in 0..flight {
+                            eat_response(&mut stream, &mut response_buffer);
+                        }
+                        samples.push(sent.elapsed().as_secs_f64() * 1e3);
+                        served += flight;
+                    }
+                    samples
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    (elapsed, latencies)
+}
+
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -83,6 +194,8 @@ fn main() {
     let batch_size = env_usize("TRACKERSIFT_BENCH_HTTP_BATCH_SIZE", 128).max(1);
     let clients = env_usize("TRACKERSIFT_BENCH_HTTP_CLIENTS", 2).max(1);
     let workers = env_usize("TRACKERSIFT_BENCH_HTTP_WORKERS", 2).max(1);
+    let pipeline = env_usize("TRACKERSIFT_BENCH_HTTP_PIPELINE", 64).max(1);
+    let sweep_requests = env_usize("TRACKERSIFT_BENCH_HTTP_SWEEP_REQUESTS", 20_000).max(1);
     let out_path =
         std::env::var("TRACKERSIFT_BENCH_OUT").unwrap_or_else(|_| "BENCH_server.json".to_string());
 
@@ -157,6 +270,72 @@ fn main() {
         &batch_bodies,
     );
     let batch_served = batch_lat.len();
+
+    // Binary protocol: complete the key handshake once, then drive
+    // id-form fixed-width frames with a pipelined in-flight window.
+    let keys = Client::connect(addr).fetch_keys();
+    let records: Vec<BinaryRecord<'_>> = messages
+        .iter()
+        .map(|message| BinaryRecord {
+            keys: BinaryKeys::Ids {
+                domain: keys.id_of(&message.domain).unwrap_or(u32::MAX),
+                hostname: keys.id_of(&message.hostname).unwrap_or(u32::MAX),
+                script: keys.id_of(&message.script).unwrap_or(u32::MAX),
+                method: keys.id_of(&message.method).unwrap_or(u32::MAX),
+            },
+            context: None,
+        })
+        .collect();
+    let binary_singles: Vec<Vec<u8>> = records
+        .iter()
+        .map(|record| {
+            wrap_binary(
+                "/v1/decisions",
+                &wire::encode_binary_single(keys.epoch, record),
+            )
+        })
+        .collect();
+    let binary_batches: Vec<Vec<u8>> = (0..16)
+        .map(|offset| {
+            let rows: Vec<BinaryRecord<'_>> = (0..batch_size)
+                .map(|i| records[(offset * batch_size + i) % records.len()])
+                .collect();
+            wrap_binary(
+                "/v1/decisions:batch",
+                &wire::encode_binary_batch(keys.epoch, &rows),
+            )
+        })
+        .collect();
+    let (_, _) = drive_pipelined(addr, clients, clients * 16, pipeline, &binary_singles);
+    let (binary_elapsed, binary_lat) =
+        drive_pipelined(addr, clients, single_requests, pipeline, &binary_singles);
+    let binary_served = single_requests;
+    let (binary_batch_elapsed, binary_batch_lat) =
+        drive_pipelined(addr, clients, batch_requests, 4, &binary_batches);
+    let binary_batch_served = batch_requests;
+
+    // Connection scheduler sweep: same JSON single-decision load, growing
+    // numbers of concurrent keep-alive connections over the fixed pool.
+    let sweep: Vec<String> = [2usize, 64, 512]
+        .into_iter()
+        .map(|conns| {
+            let (elapsed, lat) =
+                drive(addr, conns, sweep_requests, "/v1/decisions", &single_bodies);
+            format!(
+                r#"{{
+      "clients": {conns},
+      "requests": {served},
+      "requests_per_sec": {rps:.2},
+      "p50_ms": {p50:.4},
+      "p99_ms": {p99:.4}
+    }}"#,
+                served = lat.len(),
+                rps = lat.len() as f64 / elapsed.as_secs_f64(),
+                p50 = percentile(&lat, 0.50),
+                p99 = percentile(&lat, 0.99),
+            )
+        })
+        .collect();
     server.shutdown();
 
     let json = format!(
@@ -180,7 +359,25 @@ fn main() {
     "decisions_per_sec": {batch_dps:.2},
     "p50_ms": {batch_p50:.4},
     "p99_ms": {batch_p99:.4}
-  }}
+  }},
+  "binary": {{
+    "requests": {binary_served},
+    "pipeline": {pipeline},
+    "requests_per_sec": {binary_rps:.2},
+    "p50_flight_ms": {binary_p50:.4},
+    "p99_flight_ms": {binary_p99:.4},
+    "batch": {{
+      "requests": {binary_batch_served},
+      "batch_size": {batch_size},
+      "requests_per_sec": {binary_batch_rps:.2},
+      "decisions_per_sec": {binary_batch_dps:.2},
+      "p50_ms": {binary_batch_p50:.4},
+      "p99_ms": {binary_batch_p99:.4}
+    }}
+  }},
+  "connections": [
+    {connections}
+  ]
 }}"#,
         labeled = study.requests.len(),
         cores = thread::available_parallelism().map_or(1, usize::from),
@@ -191,6 +388,15 @@ fn main() {
         batch_dps = (batch_served * batch_size) as f64 / batch_elapsed.as_secs_f64(),
         batch_p50 = percentile(&batch_lat, 0.50),
         batch_p99 = percentile(&batch_lat, 0.99),
+        binary_rps = binary_served as f64 / binary_elapsed.as_secs_f64(),
+        binary_p50 = percentile(&binary_lat, 0.50),
+        binary_p99 = percentile(&binary_lat, 0.99),
+        binary_batch_rps = binary_batch_served as f64 / binary_batch_elapsed.as_secs_f64(),
+        binary_batch_dps =
+            (binary_batch_served * batch_size) as f64 / binary_batch_elapsed.as_secs_f64(),
+        binary_batch_p50 = percentile(&binary_batch_lat, 0.50),
+        binary_batch_p99 = percentile(&binary_batch_lat, 0.99),
+        connections = sweep.join(",\n    "),
     );
     std::fs::write(&out_path, format!("{json}\n")).expect("write benchmark output");
     eprintln!("wrote {out_path}");

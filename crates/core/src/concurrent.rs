@@ -146,6 +146,7 @@ impl Sifter {
                 sifter: self,
                 shared,
                 version_floor: 0,
+                keys_epoch: 0,
             },
             reader,
         )
@@ -183,6 +184,12 @@ pub struct SifterWriter {
     /// the sifter (resetting its commit count); then bumped so published
     /// versions stay strictly increasing across the swap.
     version_floor: u64,
+    /// The epoch of the key-id space stamped on every published table.
+    /// Key ids are append-only stable within an epoch; a snapshot restore
+    /// rebuilds the interner (ids may be reassigned), so the restore bumps
+    /// the epoch to the published version at swap time — strictly
+    /// increasing, and `0` for a writer that never restored.
+    keys_epoch: u64,
 }
 
 impl SifterWriter {
@@ -253,6 +260,7 @@ impl SifterWriter {
         let floor = self.version_floor;
         let mut table = self.sifter.verdict_table();
         table.set_version(floor + table.version());
+        table.set_keys_epoch(self.keys_epoch);
         self.shared.publish(Arc::new(table));
     }
 
@@ -291,6 +299,9 @@ impl SifterWriter {
         // The restored sifter has committed exactly once; place that commit
         // one past the last published version.
         self.version_floor = (self.published_version() + 1).saturating_sub(restored.commits());
+        // The restored interner assigned fresh ids; invalidate every id a
+        // client cached against the old table by bumping the epoch.
+        self.keys_epoch = self.version_floor + restored.commits();
         self.sifter = restored;
         self.publish_current();
         Ok(dropped_pending)

@@ -45,7 +45,7 @@ use crate::label::LabeledRequest;
 use crate::ratio::Classification;
 use crate::service::{Verdict, VerdictRequest};
 use crate::surrogate::SurrogateScript;
-use crate::table::{verdict_walk, ClassTable};
+use crate::table::{verdict_walk, verdict_walk_keyed, ClassTable};
 use filterlist::{FilterEngine, RequestLabel, ResourceType};
 use std::fmt;
 use std::sync::Arc;
@@ -131,6 +131,85 @@ impl<'a> DecisionRequest<'a> {
     /// The hierarchy-walk view of this query.
     pub fn verdict_request(&self) -> VerdictRequest<'a> {
         VerdictRequest::new(self.domain, self.hostname, self.script, self.method)
+    }
+}
+
+/// A decision query whose four attribution keys are already resolved to
+/// [`ResourceKey`]s of one specific table — `None` marks a key that table
+/// never interned (an unknown resource).
+///
+/// This is the hot-path form of [`DecisionRequest`]: a binary wire client
+/// that completed the key-interning handshake sends numeric ids, and the
+/// server answers without hashing a single string. Build one from numeric
+/// ids via [`FrozenKeys::key_for_id`](crate::intern::FrozenKeys::key_for_id)
+/// or from strings via
+/// [`VerdictTable::resolve`](crate::table::VerdictTable::resolve).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyedRequest<'a> {
+    /// Resolved registrable-domain key.
+    pub domain: Option<ResourceKey>,
+    /// Resolved hostname key.
+    pub hostname: Option<ResourceKey>,
+    /// Resolved initiating-script key.
+    pub script: Option<ResourceKey>,
+    /// Resolved method-*name* key (the composed `script :: method` key is
+    /// looked up from the `(script, name)` pair during the walk).
+    pub method: Option<ResourceKey>,
+    /// Raw request URL for the filter-list backstop, if carried.
+    pub url: Option<&'a str>,
+    /// Hostname of the page issuing the request; ignored unless `url` is
+    /// set.
+    pub source_hostname: &'a str,
+    /// Resource type of the request; ignored unless `url` is set.
+    pub resource_type: ResourceType,
+}
+
+impl<'a> KeyedRequest<'a> {
+    /// A keys-only query (no filter-list backstop).
+    pub fn new(
+        domain: Option<ResourceKey>,
+        hostname: Option<ResourceKey>,
+        script: Option<ResourceKey>,
+        method: Option<ResourceKey>,
+    ) -> Self {
+        KeyedRequest {
+            domain,
+            hostname,
+            script,
+            method,
+            url: None,
+            source_hostname: "",
+            resource_type: ResourceType::Other,
+        }
+    }
+
+    /// Attach the raw URL context that lets the filter-list backstop
+    /// decide requests the hierarchy cannot settle.
+    pub fn with_url(
+        mut self,
+        url: &'a str,
+        source_hostname: &'a str,
+        resource_type: ResourceType,
+    ) -> Self {
+        self.url = Some(url);
+        self.source_hostname = source_hostname;
+        self.resource_type = resource_type;
+        self
+    }
+
+    /// Resolve a string request against a key resolver. Keys the resolver
+    /// does not know become `None` — exactly the misses the verdict walk
+    /// treats as "not observed".
+    pub fn resolve<K: KeyResolver + ?Sized>(keys: &K, request: &DecisionRequest<'a>) -> Self {
+        KeyedRequest {
+            domain: keys.key(request.domain),
+            hostname: keys.key(request.hostname),
+            script: keys.key(request.script),
+            method: keys.key(request.method),
+            url: request.url,
+            source_hostname: request.source_hostname,
+            resource_type: request.resource_type,
+        }
     }
 }
 
@@ -257,35 +336,99 @@ where
     K: KeyResolver + ?Sized,
     P: FnOnce(ResourceKey) -> Option<Arc<SurrogateScript>>,
 {
-    match verdict_walk(keys, classes, &request.verdict_request()) {
+    // The script key must resolve when the walk settles at a mixed script
+    // — the walk only reaches script granularity through it — but a plan
+    // can still be absent (no member methods), in which case the backstop
+    // decides.
+    match policy_of(
+        verdict_walk(keys, classes, &request.verdict_request()),
+        || keys.key(request.script).and_then(plan_for),
+        || {
+            filter_backstop(
+                engine,
+                request.url,
+                request.source_hostname,
+                request.resource_type,
+            )
+        },
+    ) {
+        Resolved::Fixed(decision) => decision,
+        Resolved::Surrogate(plan) => Decision::Surrogate(plan),
+    }
+}
+
+/// The outcome of the decision policy before the surrogate payload is
+/// materialised: either a fixed (non-surrogate) decision, or "serve this
+/// script's surrogate" with whatever representation `plan_for` produced —
+/// an `Arc<SurrogateScript>` on the decode path, a preformatted response
+/// frame on the serving hot path.
+pub(crate) enum Resolved<T> {
+    /// A decision carrying no payload (never [`Decision::Surrogate`]).
+    Fixed(Decision),
+    /// Serve the surrogate this plan stands for.
+    Surrogate(T),
+}
+
+/// The one decision policy over a hierarchy verdict, shared by the string
+/// path ([`decide`]) and the keyed path ([`decide_keyed_with`]) so they
+/// cannot drift: tracking → block, functional → allow, mixed at
+/// script/method with a plan → surrogate, everything else → backstop.
+pub(crate) fn policy_of<T>(
+    verdict: Verdict,
+    plan: impl FnOnce() -> Option<T>,
+    backstop: impl FnOnce() -> Decision,
+) -> Resolved<T> {
+    match verdict {
         Verdict::Decided {
             classification: Classification::Tracking,
             granularity,
-        } => Decision::Block(DecisionSource::Hierarchy(granularity)),
+        } => Resolved::Fixed(Decision::Block(DecisionSource::Hierarchy(granularity))),
         Verdict::Decided {
             classification: Classification::Functional,
             granularity,
-        } => Decision::Allow(DecisionSource::Hierarchy(granularity)),
+        } => Resolved::Fixed(Decision::Allow(DecisionSource::Hierarchy(granularity))),
         Verdict::Decided {
             classification: Classification::Mixed,
             granularity: Granularity::Script | Granularity::Method,
-        } => {
-            // Settled at a mixed script: replace the script, do not block
-            // the request wholesale. The key must resolve — the walk only
-            // reaches script granularity through it — but a plan can still
-            // be absent (no member methods), in which case the backstop
-            // decides.
-            match keys.key(request.script).and_then(plan_for) {
-                Some(plan) => Decision::Surrogate(plan),
-                None => filter_backstop(engine, request),
-            }
-        }
+        } => match plan() {
+            Some(plan) => Resolved::Surrogate(plan),
+            None => Resolved::Fixed(backstop()),
+        },
         Verdict::Decided {
             classification: Classification::Mixed,
             granularity: Granularity::Domain | Granularity::Hostname,
         }
-        | Verdict::Unknown => filter_backstop(engine, request),
+        | Verdict::Unknown => Resolved::Fixed(backstop()),
     }
+}
+
+/// The decision policy over pre-resolved keys — [`decide`] without a
+/// single string hash. Generic over the plan representation so the serving
+/// hot path can return preformatted response frames instead of cloning an
+/// `Arc<SurrogateScript>`.
+pub(crate) fn decide_keyed_with<K, T, P>(
+    keys: &K,
+    classes: &ClassTable,
+    engine: Option<&FilterEngine>,
+    plan_for: P,
+    request: &KeyedRequest<'_>,
+) -> Resolved<T>
+where
+    K: KeyResolver + ?Sized,
+    P: FnOnce(ResourceKey) -> Option<T>,
+{
+    policy_of(
+        verdict_walk_keyed(keys, classes, request),
+        || request.script.and_then(plan_for),
+        || {
+            filter_backstop(
+                engine,
+                request.url,
+                request.source_hostname,
+                request.resource_type,
+            )
+        },
+    )
 }
 
 /// Borrowed hostname of a page URL (`scheme://[user@]host[:port]/…`);
@@ -306,14 +449,17 @@ fn page_host(url: &str) -> Option<&str> {
 
 /// The filter-list backstop for hierarchy-unsettled requests: block on a
 /// tracking match, allow otherwise, observe when it cannot run.
-fn filter_backstop(engine: Option<&FilterEngine>, request: &DecisionRequest<'_>) -> Decision {
-    match (engine, request.url) {
-        (Some(engine), Some(url)) => {
-            match engine.label_url(url, request.source_hostname, request.resource_type) {
-                RequestLabel::Tracking => Decision::Block(DecisionSource::FilterList),
-                RequestLabel::Functional => Decision::Allow(DecisionSource::FilterList),
-            }
-        }
+fn filter_backstop(
+    engine: Option<&FilterEngine>,
+    url: Option<&str>,
+    source_hostname: &str,
+    resource_type: ResourceType,
+) -> Decision {
+    match (engine, url) {
+        (Some(engine), Some(url)) => match engine.label_url(url, source_hostname, resource_type) {
+            RequestLabel::Tracking => Decision::Block(DecisionSource::FilterList),
+            RequestLabel::Functional => Decision::Allow(DecisionSource::FilterList),
+        },
         _ => Decision::Observe,
     }
 }

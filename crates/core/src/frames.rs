@@ -1,0 +1,661 @@
+//! Canonical wire encodings of enforcement decisions — the one place the
+//! JSON decision objects and the binary decision frames are produced, so
+//! the serving paths that preformat responses at commit time (see
+//! [`crate::table`]) and the wire layer that decodes them back
+//! (`trackersift-server::wire`) cannot drift apart byte-wise.
+//!
+//! Two encodings live here:
+//!
+//! * **JSON**: [`decision_value`] / [`surrogate_value`] render a
+//!   [`Decision`] to the exact [`Value`] tree the verdict server has always
+//!   served (field order fixed, so equal decisions render to byte-identical
+//!   JSON). The decoders ([`decision_from_value`] / [`surrogate_from_value`])
+//!   are their inverses.
+//! * **Binary**: a compact length-prefixed framing. Every non-surrogate
+//!   decision is one of [`FIXED_COMBOS`] fixed `(action, source)` pairs —
+//!   a two-byte code — and a surrogate decision carries a length-prefixed
+//!   payload ([`encode_surrogate_payload`]) holding the full plan. All
+//!   integers are little-endian.
+//!
+//! # Binary frame layout
+//!
+//! Single-decision response body:
+//!
+//! | offset | field |
+//! |---|---|
+//! | 0 | protocol version (`1`) |
+//! | 1 | action code (`0` observe, `1` allow, `2` block, `3` surrogate) |
+//! | 2 | source code (`0` none, `1..=4` hierarchy granularity, `5` filter list) |
+//! | 3 | table version, `u64` LE |
+//! | 11 | surrogate payload length, `u32` LE (`0` unless action is surrogate) |
+//! | 15 | surrogate payload bytes |
+//!
+//! Batch response body: `proto u8`, `version u64`, `count u32`, then one
+//! 6-byte record header (`action u8`, `source u8`, `payload_len u32`) plus
+//! payload per decision, in request order.
+//!
+//! Surrogate payload: `script_url (u32 len + bytes)`, `method count u32`,
+//! then per method `name (u32 len + bytes)`, `action u8` (`0` keep, `1`
+//! stub, `2` guard) and for guards `caller count u32` + `u32`-prefixed
+//! caller strings, then `suppressed u64`, `preserved u64`.
+
+use crate::decision::{Decision, DecisionSource};
+use crate::hierarchy::Granularity;
+use crate::surrogate::{MethodAction, SurrogateScript};
+use crawler::json::{object, JsonError, Value};
+use std::sync::Arc;
+
+/// The binary protocol version this build speaks.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Byte offset of the payload in a single-decision binary response.
+pub const SINGLE_HEADER_LEN: usize = 15;
+
+/// Length of one batch record header (action, source, payload length).
+pub const RECORD_HEADER_LEN: usize = 6;
+
+/// Action code: let the request through, keep observing.
+pub const ACTION_OBSERVE: u8 = 0;
+/// Action code: allow.
+pub const ACTION_ALLOW: u8 = 1;
+/// Action code: block.
+pub const ACTION_BLOCK: u8 = 2;
+/// Action code: replace the script with the surrogate in the payload.
+pub const ACTION_SURROGATE: u8 = 3;
+
+/// Source code for decisions that carry no source (observe / surrogate).
+pub const SOURCE_NONE: u8 = 0;
+/// Source code for the filter-list backstop.
+pub const SOURCE_FILTER_LIST: u8 = 5;
+
+/// Number of fixed (non-surrogate) `(action, source)` combinations:
+/// observe, plus allow/block × (4 hierarchy granularities + filter list).
+pub const FIXED_COMBOS: usize = 11;
+
+fn source_code(source: DecisionSource) -> u8 {
+    match source {
+        // Granularity::index() is 0..=3; codes 1..=4 keep 0 for "none".
+        DecisionSource::Hierarchy(granularity) => granularity.index() as u8 + 1,
+        DecisionSource::FilterList => SOURCE_FILTER_LIST,
+    }
+}
+
+fn source_of_code(code: u8) -> Option<DecisionSource> {
+    match code {
+        1..=4 => Some(DecisionSource::Hierarchy(
+            Granularity::ALL[code as usize - 1],
+        )),
+        SOURCE_FILTER_LIST => Some(DecisionSource::FilterList),
+        _ => None,
+    }
+}
+
+/// The `(action, source)` code pair of a decision. Surrogates report
+/// [`ACTION_SURROGATE`] with [`SOURCE_NONE`].
+pub fn codes_of(decision: &Decision) -> (u8, u8) {
+    match decision {
+        Decision::Observe => (ACTION_OBSERVE, SOURCE_NONE),
+        Decision::Allow(source) => (ACTION_ALLOW, source_code(*source)),
+        Decision::Block(source) => (ACTION_BLOCK, source_code(*source)),
+        Decision::Surrogate(_) => (ACTION_SURROGATE, SOURCE_NONE),
+    }
+}
+
+/// The dense index of a non-surrogate decision into the preformatted
+/// response tables (`0..FIXED_COMBOS`); `None` for surrogates.
+pub fn fixed_index(decision: &Decision) -> Option<usize> {
+    match decision {
+        Decision::Observe => Some(0),
+        Decision::Allow(source) => Some(source_code(*source) as usize),
+        Decision::Block(source) => Some(5 + source_code(*source) as usize),
+        Decision::Surrogate(_) => None,
+    }
+}
+
+/// The decision a fixed-combo index stands for — the inverse of
+/// [`fixed_index`], used to build the preformatted tables through the same
+/// encoders that serve ad-hoc decisions.
+///
+/// # Panics
+/// Panics if `index >= FIXED_COMBOS`.
+pub fn fixed_decision(index: usize) -> Decision {
+    match index {
+        0 => Decision::Observe,
+        1..=5 => Decision::Allow(source_of_code(index as u8).expect("codes 1..=5 have sources")),
+        6..=10 => {
+            Decision::Block(source_of_code(index as u8 - 5).expect("codes 1..=5 have sources"))
+        }
+        _ => panic!("fixed decision index {index} out of range"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON encoding (canonical: field order fixed)
+// ---------------------------------------------------------------------
+
+fn source_fields(source: DecisionSource, fields: &mut Vec<(&'static str, Value)>) {
+    match source {
+        DecisionSource::Hierarchy(granularity) => {
+            fields.push(("source", Value::String("hierarchy".to_string())));
+            fields.push(("granularity", Value::String(granularity.name().to_string())));
+        }
+        DecisionSource::FilterList => {
+            fields.push(("source", Value::String("filter-list".to_string())));
+        }
+    }
+}
+
+fn method_action_value(action: &MethodAction) -> Value {
+    match action {
+        MethodAction::Keep => Value::String("keep".to_string()),
+        MethodAction::Stub => Value::String("stub".to_string()),
+        MethodAction::Guard { blocked_callers } => object(vec![(
+            "guard",
+            object(vec![(
+                "blocked_callers",
+                Value::Array(
+                    blocked_callers
+                        .iter()
+                        .map(|caller| Value::String(caller.clone()))
+                        .collect(),
+                ),
+            )]),
+        )]),
+    }
+}
+
+/// Encode a surrogate payload as its canonical JSON object.
+pub fn surrogate_value(script: &SurrogateScript) -> Value {
+    object(vec![
+        ("script_url", Value::String(script.script_url.clone())),
+        (
+            "methods",
+            Value::Array(
+                script
+                    .methods
+                    .iter()
+                    .map(|(name, action)| {
+                        Value::Array(vec![
+                            Value::String(name.clone()),
+                            method_action_value(action),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "suppressed_tracking_requests",
+            Value::number_u64(script.suppressed_tracking_requests),
+        ),
+        (
+            "preserved_functional_requests",
+            Value::number_u64(script.preserved_functional_requests),
+        ),
+    ])
+}
+
+/// Encode a decision as its canonical JSON object. The encoding is
+/// canonical (field order fixed), so equal decisions render to
+/// byte-identical JSON — the property the preformatted response tables and
+/// the wire byte-identity tests both rely on.
+pub fn decision_value(decision: &Decision) -> Value {
+    match decision {
+        Decision::Allow(source) => {
+            let mut fields = vec![("action", Value::String("allow".to_string()))];
+            source_fields(*source, &mut fields);
+            object(fields)
+        }
+        Decision::Block(source) => {
+            let mut fields = vec![("action", Value::String("block".to_string()))];
+            source_fields(*source, &mut fields);
+            object(fields)
+        }
+        Decision::Surrogate(script) => object(vec![
+            ("action", Value::String("surrogate".to_string())),
+            ("surrogate", surrogate_value(script)),
+        ]),
+        Decision::Observe => object(vec![("action", Value::String("observe".to_string()))]),
+    }
+}
+
+fn err<T>(message: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError(message.into()))
+}
+
+fn source_from_value(value: &Value) -> Result<DecisionSource, JsonError> {
+    match value.field("source")?.as_str()? {
+        "hierarchy" => {
+            let name = value.field("granularity")?.as_str()?;
+            Granularity::ALL
+                .into_iter()
+                .find(|granularity| granularity.name() == name)
+                .map(DecisionSource::Hierarchy)
+                .ok_or_else(|| JsonError(format!("unknown granularity {name:?}")))
+        }
+        "filter-list" => Ok(DecisionSource::FilterList),
+        other => err(format!("unknown decision source {other:?}")),
+    }
+}
+
+fn method_action_from_value(value: &Value) -> Result<MethodAction, JsonError> {
+    match value {
+        Value::String(name) if name == "keep" => Ok(MethodAction::Keep),
+        Value::String(name) if name == "stub" => Ok(MethodAction::Stub),
+        Value::Object(_) => {
+            let guard = value.field("guard")?;
+            let blocked_callers = guard
+                .field("blocked_callers")?
+                .as_array()?
+                .iter()
+                .map(|caller| caller.as_str().map(str::to_string))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(MethodAction::Guard { blocked_callers })
+        }
+        other => err(format!("unknown method action {other:?}")),
+    }
+}
+
+/// Decode a surrogate payload from its canonical JSON object.
+pub fn surrogate_from_value(value: &Value) -> Result<SurrogateScript, JsonError> {
+    let methods = value
+        .field("methods")?
+        .as_array()?
+        .iter()
+        .map(|row| {
+            let row = row.as_array()?;
+            match row {
+                [name, action] => Ok((
+                    name.as_str()?.to_string(),
+                    method_action_from_value(action)?,
+                )),
+                _ => err(format!("method row has {} fields, expected 2", row.len())),
+            }
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SurrogateScript {
+        script_url: value.field("script_url")?.as_str()?.to_string(),
+        methods,
+        suppressed_tracking_requests: value.field("suppressed_tracking_requests")?.as_u64()?,
+        preserved_functional_requests: value.field("preserved_functional_requests")?.as_u64()?,
+    })
+}
+
+/// Decode a decision from its canonical JSON object.
+pub fn decision_from_value(value: &Value) -> Result<Decision, JsonError> {
+    match value.field("action")?.as_str()? {
+        "allow" => Ok(Decision::Allow(source_from_value(value)?)),
+        "block" => Ok(Decision::Block(source_from_value(value)?)),
+        "surrogate" => Ok(Decision::Surrogate(Arc::new(surrogate_from_value(
+            value.field("surrogate")?,
+        )?))),
+        "observe" => Ok(Decision::Observe),
+        other => err(format!("unknown decision action {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary encoding
+// ---------------------------------------------------------------------
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Encode a surrogate plan as the binary payload of a surrogate decision
+/// frame (see the [module docs](self) for the layout).
+pub fn encode_surrogate_payload(script: &SurrogateScript) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + script.script_url.len());
+    put_bytes(&mut out, script.script_url.as_bytes());
+    out.extend_from_slice(&(script.methods.len() as u32).to_le_bytes());
+    for (name, action) in &script.methods {
+        put_bytes(&mut out, name.as_bytes());
+        match action {
+            MethodAction::Keep => out.push(0),
+            MethodAction::Stub => out.push(1),
+            MethodAction::Guard { blocked_callers } => {
+                out.push(2);
+                out.extend_from_slice(&(blocked_callers.len() as u32).to_le_bytes());
+                for caller in blocked_callers {
+                    put_bytes(&mut out, caller.as_bytes());
+                }
+            }
+        }
+    }
+    out.extend_from_slice(&script.suppressed_tracking_requests.to_le_bytes());
+    out.extend_from_slice(&script.preserved_functional_requests.to_le_bytes());
+    out
+}
+
+/// A surrogate plan preformatted in both wire encodings, built once when
+/// the plan is (re)computed at commit time and shared by `Arc` between the
+/// sifter's cache and every published
+/// [`VerdictTable`](crate::table::VerdictTable). Serving a surrogate
+/// decision then copies these slices instead of re-encoding the plan per
+/// request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SurrogateFrames {
+    /// The complete JSON decision object
+    /// (`{"action":"surrogate","surrogate":{…}}`), byte-identical to
+    /// rendering [`decision_value`] on the same plan.
+    pub json: Arc<str>,
+    /// The binary surrogate payload ([`encode_surrogate_payload`]), ready
+    /// to splice after a surrogate frame header.
+    pub binary: Arc<[u8]>,
+}
+
+impl SurrogateFrames {
+    /// Preformat both encodings of a surrogate plan.
+    pub fn new(script: &SurrogateScript) -> Self {
+        let json = object(vec![
+            ("action", Value::String("surrogate".to_string())),
+            ("surrogate", surrogate_value(script)),
+        ])
+        .render();
+        SurrogateFrames {
+            json: json.into(),
+            binary: encode_surrogate_payload(script).into(),
+        }
+    }
+}
+
+/// Why decoding a binary frame failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameError(pub String);
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "binary frame error: {}", self.0)
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A bounds-checked little-endian cursor over one binary frame. Every
+/// read either advances or returns a typed [`FrameError`] — truncated or
+/// hostile frames can never panic or over-read.
+#[derive(Debug)]
+pub struct FrameReader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> FrameReader<'a> {
+    /// Read from the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        FrameReader { bytes, at: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.at
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.remaining() < n {
+            return Err(FrameError(format!(
+                "truncated frame: wanted {n} bytes at offset {}, {} left",
+                self.at,
+                self.remaining()
+            )));
+        }
+        let slice = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u32` (little-endian).
+    pub fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Read a `u64` (little-endian).
+    pub fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read a `u32`-length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<&'a str, FrameError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map_err(|_| FrameError("string is not valid utf-8".into()))
+    }
+
+    /// Read a `u32`-length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8], FrameError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Assert the frame has been fully consumed.
+    pub fn finish(self) -> Result<(), FrameError> {
+        if self.remaining() != 0 {
+            return Err(FrameError(format!(
+                "{} trailing bytes after frame",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Decode the binary payload of a surrogate decision frame.
+pub fn decode_surrogate_payload(bytes: &[u8]) -> Result<SurrogateScript, FrameError> {
+    let mut reader = FrameReader::new(bytes);
+    let script_url = reader.string()?.to_string();
+    let method_count = reader.u32()? as usize;
+    // A hostile count cannot force a huge allocation: each method needs at
+    // least 5 bytes, so cap the preallocation by what the frame could hold.
+    let mut methods = Vec::with_capacity(method_count.min(reader.remaining() / 5));
+    for _ in 0..method_count {
+        let name = reader.string()?.to_string();
+        let action = match reader.u8()? {
+            0 => MethodAction::Keep,
+            1 => MethodAction::Stub,
+            2 => {
+                let caller_count = reader.u32()? as usize;
+                let mut blocked_callers =
+                    Vec::with_capacity(caller_count.min(reader.remaining() / 4));
+                for _ in 0..caller_count {
+                    blocked_callers.push(reader.string()?.to_string());
+                }
+                MethodAction::Guard { blocked_callers }
+            }
+            other => return Err(FrameError(format!("unknown method action code {other}"))),
+        };
+        methods.push((name, action));
+    }
+    let suppressed_tracking_requests = reader.u64()?;
+    let preserved_functional_requests = reader.u64()?;
+    reader.finish()?;
+    Ok(SurrogateScript {
+        script_url,
+        methods,
+        suppressed_tracking_requests,
+        preserved_functional_requests,
+    })
+}
+
+/// Build the full single-decision binary response body for a fixed
+/// (non-surrogate) decision: 15 bytes, payload length zero.
+pub fn encode_fixed_single(decision: &Decision, version: u64) -> [u8; SINGLE_HEADER_LEN] {
+    let (action, source) = codes_of(decision);
+    debug_assert_ne!(action, ACTION_SURROGATE, "fixed frames carry no payload");
+    let mut out = [0u8; SINGLE_HEADER_LEN];
+    out[0] = PROTO_VERSION;
+    out[1] = action;
+    out[2] = source;
+    out[3..11].copy_from_slice(&version.to_le_bytes());
+    // payload length stays zero.
+    out
+}
+
+/// Write the 15-byte single-decision header for a surrogate response;
+/// the caller appends the (preformatted) payload bytes.
+pub fn encode_surrogate_single_header(version: u64, payload_len: u32) -> [u8; SINGLE_HEADER_LEN] {
+    let mut out = [0u8; SINGLE_HEADER_LEN];
+    out[0] = PROTO_VERSION;
+    out[1] = ACTION_SURROGATE;
+    out[2] = SOURCE_NONE;
+    out[3..11].copy_from_slice(&version.to_le_bytes());
+    out[11..15].copy_from_slice(&payload_len.to_le_bytes());
+    out
+}
+
+/// Build one batch record header (`action`, `source`, `payload_len`).
+pub fn encode_record_header(action: u8, source: u8, payload_len: u32) -> [u8; RECORD_HEADER_LEN] {
+    let mut out = [0u8; RECORD_HEADER_LEN];
+    out[0] = action;
+    out[1] = source;
+    out[2..6].copy_from_slice(&payload_len.to_le_bytes());
+    out
+}
+
+/// Decode one `(action, source, payload)` triple into a [`Decision`]; the
+/// payload must be empty unless the action is surrogate.
+pub fn decode_decision(action: u8, source: u8, payload: &[u8]) -> Result<Decision, FrameError> {
+    if action != ACTION_SURROGATE && !payload.is_empty() {
+        return Err(FrameError(format!(
+            "action {action} carries an unexpected {}-byte payload",
+            payload.len()
+        )));
+    }
+    match action {
+        ACTION_OBSERVE => Ok(Decision::Observe),
+        ACTION_ALLOW => source_of_code(source)
+            .map(Decision::Allow)
+            .ok_or_else(|| FrameError(format!("unknown source code {source}"))),
+        ACTION_BLOCK => source_of_code(source)
+            .map(Decision::Block)
+            .ok_or_else(|| FrameError(format!("unknown source code {source}"))),
+        ACTION_SURROGATE => Ok(Decision::Surrogate(Arc::new(decode_surrogate_payload(
+            payload,
+        )?))),
+        other => Err(FrameError(format!("unknown action code {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_surrogate() -> SurrogateScript {
+        SurrogateScript {
+            script_url: "https://pub.com/mixed.js".into(),
+            methods: vec![
+                ("render".into(), MethodAction::Keep),
+                ("track".into(), MethodAction::Stub),
+                (
+                    "xhr".into(),
+                    MethodAction::Guard {
+                        blocked_callers: vec!["pixel.js @ firePixel".into()],
+                    },
+                ),
+            ],
+            suppressed_tracking_requests: 12,
+            preserved_functional_requests: 9,
+        }
+    }
+
+    fn all_decisions() -> Vec<Decision> {
+        let mut decisions: Vec<Decision> = (0..FIXED_COMBOS).map(fixed_decision).collect();
+        decisions.push(Decision::Surrogate(Arc::new(sample_surrogate())));
+        decisions
+    }
+
+    #[test]
+    fn fixed_indices_are_a_dense_bijection() {
+        for index in 0..FIXED_COMBOS {
+            assert_eq!(fixed_index(&fixed_decision(index)), Some(index));
+        }
+        assert_eq!(
+            fixed_index(&Decision::Surrogate(Arc::new(sample_surrogate()))),
+            None
+        );
+    }
+
+    #[test]
+    fn json_encodings_round_trip_canonically() {
+        for decision in all_decisions() {
+            let text = decision_value(&decision).render();
+            let back = decision_from_value(&Value::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, decision);
+            assert_eq!(decision_value(&back).render(), text);
+        }
+    }
+
+    #[test]
+    fn surrogate_payloads_round_trip_binary() {
+        let script = sample_surrogate();
+        let payload = encode_surrogate_payload(&script);
+        assert_eq!(decode_surrogate_payload(&payload).unwrap(), script);
+        // Every truncation fails cleanly, never panics.
+        for cut in 0..payload.len() {
+            assert!(decode_surrogate_payload(&payload[..cut]).is_err());
+        }
+        // Trailing garbage is rejected.
+        let mut padded = payload.clone();
+        padded.push(0);
+        assert!(decode_surrogate_payload(&padded).is_err());
+    }
+
+    #[test]
+    fn binary_decisions_round_trip_through_codes() {
+        for decision in all_decisions() {
+            let (action, source) = codes_of(&decision);
+            let payload = match &decision {
+                Decision::Surrogate(script) => encode_surrogate_payload(script),
+                _ => Vec::new(),
+            };
+            let back = decode_decision(action, source, &payload).unwrap();
+            assert_eq!(back, decision);
+        }
+    }
+
+    #[test]
+    fn hostile_codes_are_rejected() {
+        assert!(decode_decision(9, 0, &[]).is_err());
+        assert!(decode_decision(ACTION_ALLOW, 0, &[]).is_err());
+        assert!(decode_decision(ACTION_ALLOW, 6, &[]).is_err());
+        assert!(decode_decision(ACTION_ALLOW, 1, &[1, 2, 3]).is_err());
+        assert!(decode_decision(ACTION_SURROGATE, 0, &[1]).is_err());
+    }
+
+    #[test]
+    fn surrogate_frames_match_the_per_request_encoders() {
+        let script = sample_surrogate();
+        let frames = SurrogateFrames::new(&script);
+        assert_eq!(
+            frames.json.as_ref(),
+            decision_value(&Decision::Surrogate(Arc::new(script.clone()))).render()
+        );
+        assert_eq!(frames.binary.as_ref(), encode_surrogate_payload(&script));
+    }
+
+    #[test]
+    fn fixed_single_frames_have_the_documented_layout() {
+        let frame = encode_fixed_single(&fixed_decision(6), 0x0102_0304);
+        assert_eq!(frame[0], PROTO_VERSION);
+        assert_eq!(frame[1], ACTION_BLOCK);
+        assert_eq!(frame[2], 1); // hierarchy at domain level
+        assert_eq!(
+            u64::from_le_bytes(frame[3..11].try_into().unwrap()),
+            0x0102_0304
+        );
+        assert_eq!(u32::from_le_bytes(frame[11..15].try_into().unwrap()), 0);
+        let header = encode_surrogate_single_header(7, 42);
+        assert_eq!(header[1], ACTION_SURROGATE);
+        assert_eq!(u32::from_le_bytes(header[11..15].try_into().unwrap()), 42);
+        let record = encode_record_header(ACTION_ALLOW, SOURCE_FILTER_LIST, 3);
+        assert_eq!(record, [ACTION_ALLOW, SOURCE_FILTER_LIST, 3, 0, 0, 0]);
+    }
+}

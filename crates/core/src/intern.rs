@@ -96,23 +96,43 @@ pub trait KeyResolver {
 pub struct FrozenKeys {
     lookup: HashMap<Arc<str>, ResourceKey, TokenHashBuilder>,
     method_pairs: HashMap<(ResourceKey, ResourceKey), ResourceKey, TokenHashBuilder>,
-    len: usize,
+    /// id → string in first-seen order (shared storage with the interner),
+    /// so the snapshot can be exported as a dense id table and untrusted
+    /// numeric ids can be bounds-checked back into [`ResourceKey`]s.
+    strings: Vec<Arc<str>>,
 }
 
 impl FrozenKeys {
     /// Number of distinct keys the snapshot resolves.
     pub fn len(&self) -> usize {
-        self.len
+        self.strings.len()
     }
 
     /// `true` when the snapshot resolves no keys at all.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.strings.is_empty()
     }
 
     /// Number of `(script, name)` pairs the snapshot resolves.
     pub fn pair_count(&self) -> usize {
         self.method_pairs.len()
+    }
+
+    /// Bounds-check an untrusted numeric id (e.g. from a binary wire
+    /// request) into a [`ResourceKey`] of this snapshot. `None` for ids the
+    /// snapshot never assigned — the safe "unknown key" answer, never a
+    /// panic.
+    pub fn key_for_id(&self, id: u32) -> Option<ResourceKey> {
+        ((id as usize) < self.strings.len()).then_some(ResourceKey(id))
+    }
+
+    /// Iterate `(key, string)` pairs in dense id order — the export shape
+    /// of a key-interning handshake (`GET /v1/keys`).
+    pub fn iter(&self) -> impl Iterator<Item = (ResourceKey, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (ResourceKey(i as u32), s.as_ref()))
     }
 }
 
@@ -231,7 +251,7 @@ impl KeyInterner {
         FrozenKeys {
             lookup: self.lookup.clone(),
             method_pairs: self.method_pairs.clone(),
-            len: self.strings.len(),
+            strings: self.strings.clone(),
         }
     }
 
@@ -363,6 +383,26 @@ mod tests {
         assert_eq!(frozen.key("late.com"), None);
         assert_eq!(KeyResolver::key(&interner, "late.com"), Some(late));
         assert_ne!(frozen.len(), interner.len());
+    }
+
+    #[test]
+    fn frozen_keys_export_a_dense_bounds_checked_id_table() {
+        let mut interner = KeyInterner::new();
+        for key in ["ads.com", "px.ads.com", "s.js"] {
+            interner.intern(key);
+        }
+        let frozen = interner.freeze();
+        let table: Vec<(usize, &str)> = frozen.iter().map(|(k, s)| (k.index(), s)).collect();
+        assert_eq!(table, vec![(0, "ads.com"), (1, "px.ads.com"), (2, "s.js")]);
+        // Ids round-trip through the bounds check; out-of-range ids miss
+        // instead of panicking.
+        for (key, string) in frozen.iter() {
+            let id = key.index() as u32;
+            assert_eq!(frozen.key_for_id(id), Some(key));
+            assert_eq!(frozen.key(string), Some(key));
+        }
+        assert_eq!(frozen.key_for_id(3), None);
+        assert_eq!(frozen.key_for_id(u32::MAX), None);
     }
 
     #[test]

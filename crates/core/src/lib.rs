@@ -89,6 +89,7 @@ pub mod breakage;
 pub mod callstack;
 pub mod concurrent;
 pub mod decision;
+pub mod frames;
 pub mod hierarchy;
 pub mod intern;
 pub mod label;
@@ -110,7 +111,8 @@ mod testutil;
 pub use breakage::{analyze_breakage, Breakage, BreakageRow, BreakageStudy};
 pub use callstack::{analyze_mixed_methods, CallGraph, CallGraphNode, CallStackAnalysis};
 pub use concurrent::{PinnedTable, SifterReader, SifterWriter};
-pub use decision::{Decision, DecisionRequest, DecisionSource};
+pub use decision::{Decision, DecisionRequest, DecisionSource, KeyedRequest};
+pub use frames::{FrameError, FrameReader, SurrogateFrames};
 pub use hierarchy::{
     ClassCounts, Granularity, HierarchicalClassifier, HierarchyResult, LevelResult, ResourceEntry,
 };
@@ -132,4 +134,4 @@ pub use service::{
 pub use snapshot::{SifterSnapshot, SnapshotError};
 pub use stage::{Stage, StageRunner, StageTiming, StageTimings};
 pub use surrogate::{generate_surrogates, MethodAction, SurrogateScript};
-pub use table::{ClassTable, VerdictTable};
+pub use table::{ClassTable, PrebuiltDecision, PrebuiltResponses, VerdictTable};

@@ -60,6 +60,7 @@
 //! arrays indexed by interned key, patched in place by each commit.
 
 use crate::decision::{self, Decision, DecisionRequest};
+use crate::frames::SurrogateFrames;
 use crate::hierarchy::{
     Granularity, HierarchicalClassifier, HierarchyResult, LevelResult, ResourceEntry,
 };
@@ -391,6 +392,7 @@ impl SifterBuilder {
             dirty_methods: KeySet::default(),
             classes: ClassTable::default(),
             surrogate_plans: KeyMap::default(),
+            surrogate_frames: KeyMap::default(),
             frozen: None,
             observed_requests: 0,
             committed_requests: 0,
@@ -500,6 +502,10 @@ pub struct Sifter {
     /// member methods changed are rebuilt). `Arc` values so publishing a
     /// [`VerdictTable`] clones pointers, not strings.
     surrogate_plans: KeyMap<Arc<SurrogateScript>>,
+    /// The wire encodings of `surrogate_plans`, preformatted at commit
+    /// time in lockstep with the plans (same keys, same incremental
+    /// refresh) so serving a surrogate is a memcpy, not an encode.
+    surrogate_frames: KeyMap<SurrogateFrames>,
     /// Cached frozen key view for publishing [`VerdictTable`]s; refreshed
     /// lazily when the interner has grown since the last freeze.
     frozen: Option<Arc<FrozenKeys>>,
@@ -950,10 +956,12 @@ impl Sifter {
             );
             match mixed.then(|| self.plan_for_script(s)).flatten() {
                 Some(plan) => {
+                    self.surrogate_frames.insert(s, SurrogateFrames::new(&plan));
                     self.surrogate_plans.insert(s, Arc::new(plan));
                 }
                 None => {
                     self.surrogate_plans.remove(&s);
+                    self.surrogate_frames.remove(&s);
                 }
             }
         }
@@ -1113,6 +1121,7 @@ impl Sifter {
             self.residue_requests,
             self.engine.clone(),
             Arc::new(self.surrogate_plans.clone()),
+            Arc::new(self.surrogate_frames.clone()),
         )
     }
 

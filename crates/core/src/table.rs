@@ -24,12 +24,14 @@
 //!   batch, single-threaded, and concurrent serving all read through this
 //!   one representation.
 
-use crate::decision::{self, Decision, DecisionRequest};
+use crate::decision::{self, Decision, DecisionRequest, KeyedRequest, Resolved};
+use crate::frames::{self, SurrogateFrames, FIXED_COMBOS, SINGLE_HEADER_LEN};
 use crate::hierarchy::Granularity;
 use crate::intern::{FrozenKeys, KeyResolver, ResourceKey};
 use crate::ratio::Classification;
 use crate::service::{Verdict, VerdictRequest};
 use crate::surrogate::SurrogateScript;
+use crawler::json::{object, Value};
 use filterlist::tokens::TokenHashBuilder;
 use filterlist::FilterEngine;
 use std::collections::HashMap;
@@ -39,6 +41,12 @@ use std::sync::Arc;
 /// sifter's incrementally maintained cache, so publishing a table after a
 /// commit clones pointers, not plan strings.
 pub(crate) type SurrogatePlans = HashMap<ResourceKey, Arc<SurrogateScript>, TokenHashBuilder>;
+
+/// Per-key preformatted surrogate response frames, maintained beside
+/// [`SurrogatePlans`] by the sifter's commits (the frames of a plan only
+/// change when the plan itself is rebuilt) and shared into every published
+/// table by `Arc`.
+pub(crate) type SurrogateFrameMap = HashMap<ResourceKey, SurrogateFrames, TokenHashBuilder>;
 
 /// Byte code for "this key is not a member of the level".
 const ABSENT: u8 = 0;
@@ -179,6 +187,202 @@ pub(crate) fn verdict_walk<K: KeyResolver + ?Sized>(
     }
 }
 
+/// The keyed twin of [`verdict_walk`]: identical semantics over a request
+/// whose four keys are already resolved (`None` = "that table never
+/// interned this string"), so id-form wire requests walk the hierarchy
+/// without a single string hash. The resolver is only consulted for the
+/// `(script, method-name)` → composed-method-key pair lookup — a hash over
+/// two `Copy` ids.
+pub(crate) fn verdict_walk_keyed<K: KeyResolver + ?Sized>(
+    keys: &K,
+    classes: &ClassTable,
+    request: &KeyedRequest<'_>,
+) -> Verdict {
+    let Some(domain_class) = request
+        .domain
+        .and_then(|d| classes.class(Granularity::Domain, d))
+    else {
+        return Verdict::Unknown;
+    };
+    if domain_class != Classification::Mixed {
+        return Verdict::Decided {
+            classification: domain_class,
+            granularity: Granularity::Domain,
+        };
+    }
+    let Some(host_class) = request
+        .hostname
+        .and_then(|h| classes.class(Granularity::Hostname, h))
+    else {
+        return Verdict::Decided {
+            classification: Classification::Mixed,
+            granularity: Granularity::Domain,
+        };
+    };
+    if host_class != Classification::Mixed {
+        return Verdict::Decided {
+            classification: host_class,
+            granularity: Granularity::Hostname,
+        };
+    }
+    let Some(script_class) = request
+        .script
+        .and_then(|s| classes.class(Granularity::Script, s))
+    else {
+        return Verdict::Decided {
+            classification: Classification::Mixed,
+            granularity: Granularity::Hostname,
+        };
+    };
+    if script_class != Classification::Mixed {
+        return Verdict::Decided {
+            classification: script_class,
+            granularity: Granularity::Script,
+        };
+    }
+    let method_class = request
+        .method
+        .and_then(|name| {
+            keys.method_key(request.script.expect("script class resolved above"), name)
+        })
+        .and_then(|m| classes.class(Granularity::Method, m));
+    match method_class {
+        Some(classification) => Verdict::Decided {
+            classification,
+            granularity: Granularity::Method,
+        },
+        None => Verdict::Decided {
+            classification: Classification::Mixed,
+            granularity: Granularity::Script,
+        },
+    }
+}
+
+/// Response bodies preformatted at table-build time, so the serving hot
+/// path answers with a `memcpy` of a prebuilt slice instead of walking a
+/// JSON tree or encoding a frame per request.
+///
+/// Two families are prebuilt:
+///
+/// * the [`FIXED_COMBOS`] non-surrogate decisions (observe, allow/block ×
+///   hierarchy granularity or filter list) as **complete** single-decision
+///   bodies — JSON with the table version baked in, and 15-byte binary
+///   frames — plus version-free JSON fragments for batch assembly;
+/// * per-key **surrogate frames** (the JSON decision object and the binary
+///   payload of every committed mixed script's plan), maintained
+///   incrementally by the sifter beside the plans themselves and shared
+///   here by `Arc` — a commit that rebuilt three plans reformats three
+///   frames, not the whole map.
+///
+/// The JSON bodies are produced by rendering the same [`Value`] trees the
+/// serialize-per-request path builds, so a preformatted answer is
+/// byte-identical to a freshly encoded one — the property the wire
+/// byte-identity tests pin down.
+#[derive(Debug, Clone)]
+pub struct PrebuiltResponses {
+    /// Complete JSON single-decision bodies
+    /// (`{"version":V,"decision":{…}}`), indexed by
+    /// [`frames::fixed_index`].
+    json_single: [Arc<str>; FIXED_COMBOS],
+    /// Version-free JSON decision objects for batch assembly.
+    json_fragment: [Arc<str>; FIXED_COMBOS],
+    /// Complete 15-byte binary single-decision bodies, version baked.
+    binary_single: [[u8; SINGLE_HEADER_LEN]; FIXED_COMBOS],
+    /// `{"version":V,"decision":` — the prefix a surrogate's JSON fragment
+    /// is spliced after (append `}` to close).
+    json_single_prefix: Arc<str>,
+    /// `{"version":V,"decisions":[` — the prefix of a batch JSON body
+    /// (append `]}` to close).
+    json_batch_prefix: Arc<str>,
+    /// Per-key surrogate frames, shared with the sifter's cache.
+    surrogates: Arc<SurrogateFrameMap>,
+}
+
+impl PrebuiltResponses {
+    fn build(version: u64, surrogates: Arc<SurrogateFrameMap>) -> Self {
+        let render_single = |index: usize| -> Arc<str> {
+            object(vec![
+                ("version", Value::number_u64(version)),
+                (
+                    "decision",
+                    frames::decision_value(&frames::fixed_decision(index)),
+                ),
+            ])
+            .render()
+            .into()
+        };
+        let render_fragment = |index: usize| -> Arc<str> {
+            frames::decision_value(&frames::fixed_decision(index))
+                .render()
+                .into()
+        };
+        // Derive the splice prefixes from a rendered probe body so manual
+        // assembly (prefix + fragment + close) stays byte-identical to a
+        // full render even if the JSON codec's formatting ever changes.
+        let probe = object(vec![("version", Value::number_u64(version))]).render();
+        let version_head = probe.strip_suffix('}').expect("object render ends in }");
+        let json_single_prefix: Arc<str> = format!("{version_head},\"decision\":").into();
+        let json_batch_prefix: Arc<str> = format!("{version_head},\"decisions\":[").into();
+        PrebuiltResponses {
+            json_single: std::array::from_fn(render_single),
+            json_fragment: std::array::from_fn(render_fragment),
+            binary_single: std::array::from_fn(|index| {
+                frames::encode_fixed_single(&frames::fixed_decision(index), version)
+            }),
+            json_single_prefix,
+            json_batch_prefix,
+            surrogates,
+        }
+    }
+
+    /// The complete JSON single-decision body of a fixed combo.
+    pub fn json_single(&self, index: usize) -> &str {
+        &self.json_single[index]
+    }
+
+    /// The version-free JSON decision object of a fixed combo.
+    pub fn json_fragment(&self, index: usize) -> &str {
+        &self.json_fragment[index]
+    }
+
+    /// The complete binary single-decision body of a fixed combo.
+    pub fn binary_single(&self, index: usize) -> &[u8; SINGLE_HEADER_LEN] {
+        &self.binary_single[index]
+    }
+
+    /// `{"version":V,"decision":` — append a surrogate's
+    /// [`json fragment`](SurrogateFrames) and a closing `}` to form a
+    /// complete single-decision body.
+    pub fn json_single_prefix(&self) -> &str {
+        &self.json_single_prefix
+    }
+
+    /// `{"version":V,"decisions":[` — append comma-joined decision
+    /// fragments and a closing `]}` to form a complete batch body.
+    pub fn json_batch_prefix(&self) -> &str {
+        &self.json_batch_prefix
+    }
+
+    /// The preformatted frames of a committed mixed script's surrogate
+    /// plan, if that key has one.
+    pub fn surrogate(&self, script: ResourceKey) -> Option<&SurrogateFrames> {
+        self.surrogates.get(&script)
+    }
+}
+
+/// What the preformatted serving path answers with: either an index into
+/// the fixed prebuilt bodies, or borrowed surrogate frames. Produced by
+/// [`VerdictTable::decide_prebuilt`]; both arms are a `memcpy` away from a
+/// complete response body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrebuiltDecision<'a> {
+    /// A non-surrogate decision: index the fixed tables of
+    /// [`PrebuiltResponses`] with this.
+    Fixed(usize),
+    /// A surrogate decision: the preformatted frames of the script's plan.
+    Surrogate(&'a SurrogateFrames),
+}
+
 /// An immutable point-in-time verdict table: the committed [`ClassTable`]
 /// paired with the [`FrozenKeys`] view it was built against, plus the
 /// commit version and request accounting of that commit.
@@ -195,6 +399,11 @@ pub struct VerdictTable {
     version: u64,
     committed: u64,
     residue: u64,
+    /// The epoch of this table's key-id space. Ids are append-only stable
+    /// within one epoch; a snapshot restore rebuilds the interner and bumps
+    /// the epoch, invalidating every id a client cached against the old
+    /// one.
+    keys_epoch: u64,
     /// The filter-list backstop for [`VerdictTable::decide`]; shared with
     /// the sifter that exported the table (engines never change after
     /// build, so every published table carries the same `Arc`).
@@ -203,9 +412,12 @@ pub struct VerdictTable {
     /// incrementally by the sifter's commits and shared here so concurrent
     /// readers serve [`Decision::Surrogate`] without touching the writer.
     surrogates: Arc<SurrogatePlans>,
+    /// Preformatted response bodies (version baked), rebuilt per table.
+    prebuilt: PrebuiltResponses,
 }
 
 impl VerdictTable {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         keys: Arc<FrozenKeys>,
         classes: ClassTable,
@@ -214,6 +426,7 @@ impl VerdictTable {
         residue: u64,
         engine: Option<Arc<FilterEngine>>,
         surrogates: Arc<SurrogatePlans>,
+        frames: Arc<SurrogateFrameMap>,
     ) -> Self {
         VerdictTable {
             keys,
@@ -221,16 +434,26 @@ impl VerdictTable {
             version,
             committed,
             residue,
+            keys_epoch: 0,
             engine,
             surrogates,
+            prebuilt: PrebuiltResponses::build(version, frames),
         }
     }
 
     /// Rebase the table's published version (used by the concurrent writer
     /// to keep versions monotone across a snapshot restore, which resets
-    /// the underlying commit count).
+    /// the underlying commit count). Rebuilds the version-baked fixed
+    /// bodies; the per-key surrogate frames are version-free and shared.
     pub(crate) fn set_version(&mut self, version: u64) {
         self.version = version;
+        self.prebuilt = PrebuiltResponses::build(version, Arc::clone(&self.prebuilt.surrogates));
+    }
+
+    /// Stamp the key-id epoch (used by the concurrent writer, which owns
+    /// the epoch counter).
+    pub(crate) fn set_keys_epoch(&mut self, epoch: u64) {
+        self.keys_epoch = epoch;
     }
 
     /// Answer one verdict query against this table's frozen state.
@@ -250,6 +473,70 @@ impl VerdictTable {
             |script| self.surrogates.get(&script).cloned(),
             request,
         )
+    }
+
+    /// The frozen key table this table's classes are indexed by. Binary
+    /// wire clients fetch it (via the server's key handshake) to translate
+    /// strings to the numeric ids [`VerdictTable::decide_keyed`] consumes.
+    pub fn keys(&self) -> &FrozenKeys {
+        self.keys.as_ref()
+    }
+
+    /// The epoch of this table's key-id space. A client that interned ids
+    /// under a different epoch must re-fetch the key table before sending
+    /// id-form requests.
+    pub fn keys_epoch(&self) -> u64 {
+        self.keys_epoch
+    }
+
+    /// The preformatted response bodies of this table.
+    pub fn prebuilt(&self) -> &PrebuiltResponses {
+        &self.prebuilt
+    }
+
+    /// Resolve a string request's keys against this table's frozen
+    /// interner — the one-off translation [`VerdictTable::decide_keyed`]
+    /// and [`VerdictTable::decide_prebuilt`] then serve without hashing.
+    pub fn resolve<'a>(&self, request: &DecisionRequest<'a>) -> KeyedRequest<'a> {
+        KeyedRequest::resolve(self.keys.as_ref(), request)
+    }
+
+    /// [`VerdictTable::decide`] over pre-resolved keys: same policy, same
+    /// answer, zero string hashing. With keys from [`VerdictTable::resolve`]
+    /// on the same table this is exactly `decide`; with ids a wire client
+    /// cached under this table's [`keys_epoch`](VerdictTable::keys_epoch)
+    /// it is the binary hot path.
+    pub fn decide_keyed(&self, request: &KeyedRequest<'_>) -> Decision {
+        match decision::decide_keyed_with(
+            self.keys.as_ref(),
+            &self.classes,
+            self.engine.as_deref(),
+            |script| self.surrogates.get(&script).cloned(),
+            request,
+        ) {
+            Resolved::Fixed(decision) => decision,
+            Resolved::Surrogate(plan) => Decision::Surrogate(plan),
+        }
+    }
+
+    /// The serving hot path: decide over pre-resolved keys and answer with
+    /// preformatted bytes — an index into the fixed prebuilt bodies or the
+    /// script's preformatted surrogate frames. Encodes the same decision
+    /// [`VerdictTable::decide_keyed`] returns, byte-identical once
+    /// rendered.
+    pub fn decide_prebuilt(&self, request: &KeyedRequest<'_>) -> PrebuiltDecision<'_> {
+        match decision::decide_keyed_with(
+            self.keys.as_ref(),
+            &self.classes,
+            self.engine.as_deref(),
+            |script| self.prebuilt.surrogates.get(&script),
+            request,
+        ) {
+            Resolved::Fixed(decision) => PrebuiltDecision::Fixed(
+                frames::fixed_index(&decision).expect("policy fixed decisions are the 11 combos"),
+            ),
+            Resolved::Surrogate(frames) => PrebuiltDecision::Surrogate(frames),
+        }
     }
 
     /// Number of mixed scripts with a precomputed surrogate plan.
@@ -305,6 +592,139 @@ mod tests {
         // Clearing an untouched slot does not grow the array.
         table.set(Granularity::Script, ResourceKey::test_key(1000), None);
         assert_eq!(table.members(Granularity::Script), 0);
+    }
+
+    /// The decision fixture of `crate::decision`'s tests: every arm of the
+    /// policy reachable (pure tracking/functional domains, a mixed script
+    /// with a surrogate plan, a filter-list backstop).
+    fn trained_table() -> VerdictTable {
+        use filterlist::ListKind;
+        let mut sifter = crate::service::Sifter::builder()
+            .filter_lists(&[(ListKind::EasyList, "||blocked.example^\n")])
+            .build();
+        for _ in 0..5 {
+            sifter.observe_parts(
+                "ads.com",
+                "px.ads.com",
+                "https://pub.com/a.js",
+                "send",
+                true,
+            );
+            sifter.observe_parts(
+                "cdn.com",
+                "a.cdn.com",
+                "https://pub.com/ui.js",
+                "load",
+                false,
+            );
+        }
+        for flag in [true, false, true, false, true, false] {
+            sifter.observe_parts(
+                "hub.com",
+                "w.hub.com",
+                "https://pub.com/mixed.js",
+                "track",
+                true,
+            );
+            sifter.observe_parts(
+                "hub.com",
+                "w.hub.com",
+                "https://pub.com/mixed.js",
+                "render",
+                false,
+            );
+            sifter.observe_parts(
+                "hub.com",
+                "w.hub.com",
+                "https://pub.com/mixed.js",
+                "dispatch",
+                flag,
+            );
+        }
+        sifter.commit();
+        sifter.verdict_table()
+    }
+
+    /// Requests covering every decision arm against `trained_table`.
+    fn probe_requests() -> Vec<DecisionRequest<'static>> {
+        vec![
+            DecisionRequest::new("ads.com", "px.ads.com", "https://pub.com/a.js", "send"),
+            DecisionRequest::new("cdn.com", "a.cdn.com", "https://pub.com/ui.js", "load"),
+            DecisionRequest::new(
+                "hub.com",
+                "w.hub.com",
+                "https://pub.com/mixed.js",
+                "dispatch",
+            ),
+            DecisionRequest::new("hub.com", "w.hub.com", "https://pub.com/mixed.js", "novel"),
+            DecisionRequest::new("zzz.com", "a.zzz.com", "s.js", "m"),
+            DecisionRequest::new("zzz.com", "a.zzz.com", "s.js", "m").with_url(
+                "https://px.blocked.example/p.gif",
+                "pub.com",
+                filterlist::ResourceType::Image,
+            ),
+            DecisionRequest::new("zzz.com", "a.zzz.com", "s.js", "m").with_url(
+                "https://static.fine.example/app.css",
+                "pub.com",
+                filterlist::ResourceType::Stylesheet,
+            ),
+        ]
+    }
+
+    #[test]
+    fn keyed_decisions_match_string_decisions() {
+        let table = trained_table();
+        let mut surrogates = 0;
+        for request in probe_requests() {
+            let keyed = table.resolve(&request);
+            let decision = table.decide(&request);
+            assert_eq!(table.decide_keyed(&keyed), decision, "for {request:?}");
+            if decision.surrogate().is_some() {
+                surrogates += 1;
+            }
+        }
+        assert!(surrogates > 0, "fixture must exercise the surrogate arm");
+    }
+
+    #[test]
+    fn prebuilt_decisions_render_byte_identically() {
+        let table = trained_table();
+        for request in probe_requests() {
+            let decision = table.decide(&request);
+            let fragment = match table.decide_prebuilt(&table.resolve(&request)) {
+                PrebuiltDecision::Fixed(index) => {
+                    assert_eq!(frames::fixed_decision(index), decision, "for {request:?}");
+                    // The complete single body is prefix + fragment + close.
+                    assert_eq!(
+                        table.prebuilt().json_single(index),
+                        format!(
+                            "{}{}{}",
+                            table.prebuilt().json_single_prefix(),
+                            table.prebuilt().json_fragment(index),
+                            '}'
+                        ),
+                        "for {request:?}"
+                    );
+                    // And the binary body matches the per-request encoder.
+                    assert_eq!(
+                        table.prebuilt().binary_single(index)[..],
+                        frames::encode_fixed_single(&decision, table.version()),
+                        "for {request:?}"
+                    );
+                    table.prebuilt().json_fragment(index).to_string()
+                }
+                PrebuiltDecision::Surrogate(sf) => {
+                    let plan = decision.surrogate().expect("prebuilt surrogate arm");
+                    assert_eq!(sf.binary.as_ref(), frames::encode_surrogate_payload(plan));
+                    sf.json.to_string()
+                }
+            };
+            assert_eq!(
+                fragment,
+                frames::decision_value(&decision).render(),
+                "for {request:?}"
+            );
+        }
     }
 
     #[test]

@@ -8,9 +8,45 @@
 //! of returning errors, because in every intended caller a broken
 //! response IS the test failure.
 
+use crate::wire::{self, BinaryRecord};
+use crawler::json::Value;
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
+use trackersift::Decision;
+
+/// The client half of the `GET /v1/keys` interning handshake: the server's
+/// key strings mapped back to their dense `u32` ids, scoped by the epoch
+/// they were fetched under. Hot clients resolve their strings through this
+/// once and then send id-form binary records (four `u32`s instead of four
+/// length-prefixed strings per record).
+#[derive(Debug)]
+pub struct KeyTable {
+    /// The key epoch the ids are valid under; sent back with every
+    /// id-form request so a restored table rejects stale ids with `409`.
+    pub epoch: u64,
+    /// The published table version at fetch time.
+    pub version: u64,
+    ids: HashMap<String, u32>,
+}
+
+impl KeyTable {
+    /// The interned id for a key string, if the server knows it.
+    pub fn id_of(&self, name: &str) -> Option<u32> {
+        self.ids.get(name).copied()
+    }
+
+    /// Number of interned keys.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the server had no interned keys at all.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
 
 /// A keep-alive HTTP/1.1 client connection.
 #[derive(Debug)]
@@ -41,15 +77,123 @@ impl Client {
     /// # Panics
     /// Panics on transport failure or a malformed response.
     pub fn request(&mut self, method: &str, target: &str, body: Option<&str>) -> (u16, String) {
-        let body = body.unwrap_or("");
-        let request = format!(
-            "{method} {target} HTTP/1.1\r\nHost: verdicts\r\nContent-Length: {}\r\n\r\n{body}",
+        let (status, body) =
+            self.request_bytes(method, target, None, body.unwrap_or("").as_bytes());
+        (
+            status,
+            String::from_utf8(body).expect("utf-8 response body"),
+        )
+    }
+
+    /// Issue one request with an arbitrary body (and optional
+    /// `Content-Type`) and read the full response as raw bytes — the
+    /// transport for the binary protocol. The connection stays open.
+    ///
+    /// # Panics
+    /// Panics on transport failure or a malformed response.
+    pub fn request_bytes(
+        &mut self,
+        method: &str,
+        target: &str,
+        content_type: Option<&str>,
+        body: &[u8],
+    ) -> (u16, Vec<u8>) {
+        let content_type = content_type
+            .map(|value| format!("Content-Type: {value}\r\n"))
+            .unwrap_or_default();
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: verdicts\r\n{content_type}Content-Length: {}\r\n\r\n",
             body.len()
         );
-        self.stream
-            .write_all(request.as_bytes())
-            .expect("write request");
+        let mut request = head.into_bytes();
+        request.extend_from_slice(body);
+        self.stream.write_all(&request).expect("write request");
         self.read_response()
+    }
+
+    /// Complete the key-interning handshake: fetch `GET /v1/keys` and
+    /// build the string → id table for id-form binary requests.
+    ///
+    /// # Panics
+    /// Panics on transport failure or a malformed reply.
+    pub fn fetch_keys(&mut self) -> KeyTable {
+        let (status, body) = self.request("GET", "/v1/keys", None);
+        assert_eq!(status, 200, "GET /v1/keys failed: {body}");
+        let value = Value::parse(&body).expect("parse /v1/keys reply");
+        let epoch = value
+            .field("epoch")
+            .and_then(|epoch| epoch.as_u64())
+            .expect("keys epoch");
+        let version = value
+            .field("version")
+            .and_then(|version| version.as_u64())
+            .expect("keys version");
+        let keys = value
+            .field("keys")
+            .and_then(|keys| keys.as_array())
+            .expect("keys array");
+        let mut ids = HashMap::with_capacity(keys.len());
+        for (id, key) in keys.iter().enumerate() {
+            ids.insert(key.as_str().expect("key string").to_string(), id as u32);
+        }
+        KeyTable {
+            epoch,
+            version,
+            ids,
+        }
+    }
+
+    /// Post one binary decision record and decode the reply; returns
+    /// `(version, decision)`.
+    ///
+    /// # Panics
+    /// Panics on a non-200 status (a stale epoch is a 409 — re-fetch the
+    /// keys) or a malformed frame.
+    pub fn decide_binary_single(
+        &mut self,
+        epoch: u64,
+        record: &BinaryRecord<'_>,
+    ) -> (u64, Decision) {
+        let request = wire::encode_binary_single(epoch, record);
+        let (status, body) = self.request_bytes(
+            "POST",
+            "/v1/decisions",
+            Some(wire::BINARY_CONTENT_TYPE),
+            &request,
+        );
+        assert_eq!(
+            status,
+            200,
+            "binary decision failed: {}",
+            String::from_utf8_lossy(&body)
+        );
+        wire::decode_binary_single_response(&body).expect("decode binary single response")
+    }
+
+    /// Post a binary decision batch and decode the reply; returns
+    /// `(version, decisions)` in request order.
+    ///
+    /// # Panics
+    /// Panics on a non-200 status or a malformed frame.
+    pub fn decide_binary_batch(
+        &mut self,
+        epoch: u64,
+        records: &[BinaryRecord<'_>],
+    ) -> (u64, Vec<Decision>) {
+        let request = wire::encode_binary_batch(epoch, records);
+        let (status, body) = self.request_bytes(
+            "POST",
+            "/v1/decisions:batch",
+            Some(wire::BINARY_CONTENT_TYPE),
+            &request,
+        );
+        assert_eq!(
+            status,
+            200,
+            "binary batch failed: {}",
+            String::from_utf8_lossy(&body)
+        );
+        wire::decode_binary_batch_response(&body).expect("decode binary batch response")
     }
 
     /// Write raw bytes (for malformed-request tests), then read whatever
@@ -74,7 +218,7 @@ impl Client {
         Some((status, body))
     }
 
-    fn read_response(&mut self) -> (u16, String) {
+    fn read_response(&mut self) -> (u16, Vec<u8>) {
         let mut raw = Vec::new();
         let mut chunk = [0u8; 4096];
         // Read the head.
@@ -110,9 +254,6 @@ impl Client {
             assert!(n > 0, "server closed mid-body");
             body.extend_from_slice(&chunk[..n]);
         }
-        (
-            status,
-            String::from_utf8(body).expect("utf-8 response body"),
-        )
+        (status, body)
     }
 }

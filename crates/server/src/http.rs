@@ -1,4 +1,4 @@
-//! A minimal, dependency-free HTTP/1.1 layer over `std::net::TcpStream`.
+//! A minimal, dependency-free HTTP/1.1 layer for nonblocking sockets.
 //!
 //! This is deliberately not a general-purpose HTTP implementation — it is
 //! exactly the subset a verdict server needs, hardened against hostile
@@ -14,8 +14,14 @@
 //! * every malformed input maps to a typed [`RequestError`] and from there
 //!   to a 4xx/5xx response — a parse failure must never panic or wedge the
 //!   worker that hit it.
+//!
+//! The parser is **push-based** ([`RequestParser`]): the event loop feeds
+//! it whatever bytes `read` produced and asks for complete requests; "not
+//! enough bytes yet" is `Ok(None)`, never a blocking wait. That is what
+//! lets one readiness-polled worker multiplex hundreds of connections —
+//! no thread is ever parked inside a half-received request.
 
-use std::io::{self, Read, Write};
+use std::io::{self, Write};
 use std::net::TcpStream;
 
 /// Hard cap on the request line + headers. Generous for machine clients
@@ -59,15 +65,18 @@ impl HttpRequest {
     }
 }
 
-/// Why reading one request off a connection failed.
+/// Why parsing one request failed.
 #[derive(Debug)]
 pub enum RequestError {
-    /// Clean end of stream before any request bytes: the peer is done.
-    Closed,
-    /// Transport error (including read timeouts).
-    Io(io::Error),
     /// Syntactically invalid request (→ `400`).
     Malformed(String),
+    /// `Content-Length` that is not `1*DIGIT` fitting in `usize` — covers
+    /// signs, empty values, garbage, and values overflowing the platform
+    /// integer (→ `400`).
+    BadContentLength(String),
+    /// More than one `Content-Length` header — the request-smuggling
+    /// ambiguity, rejected even when the duplicates agree (→ `400`).
+    DuplicateContentLength,
     /// Request line + headers exceed [`MAX_HEADER_BYTES`] (→ `431`).
     HeadersTooLarge,
     /// Declared body exceeds the configured cap (→ `413`).
@@ -77,29 +86,31 @@ pub enum RequestError {
 }
 
 impl RequestError {
-    /// The response this error maps to, or `None` when the connection is
-    /// simply done (clean close / transport loss) and nothing can be sent.
-    pub fn response(&self) -> Option<HttpResponse> {
+    /// The response this error maps to.
+    pub fn response(&self) -> HttpResponse {
         match self {
-            RequestError::Closed | RequestError::Io(_) => None,
-            RequestError::Malformed(detail) => {
-                Some(HttpResponse::error(400, "Bad Request", detail))
+            RequestError::Malformed(detail) => HttpResponse::error(400, "Bad Request", detail),
+            RequestError::BadContentLength(value) => {
+                HttpResponse::error(400, "Bad Request", &format!("bad content-length {value:?}"))
             }
-            RequestError::HeadersTooLarge => Some(HttpResponse::error(
+            RequestError::DuplicateContentLength => {
+                HttpResponse::error(400, "Bad Request", "duplicate content-length headers")
+            }
+            RequestError::HeadersTooLarge => HttpResponse::error(
                 431,
                 "Request Header Fields Too Large",
                 "request line + headers exceed the server limit",
-            )),
-            RequestError::BodyTooLarge => Some(HttpResponse::error(
+            ),
+            RequestError::BodyTooLarge => HttpResponse::error(
                 413,
                 "Payload Too Large",
                 "request body exceeds the configured limit",
-            )),
-            RequestError::UnsupportedTransfer => Some(HttpResponse::error(
+            ),
+            RequestError::UnsupportedTransfer => HttpResponse::error(
                 501,
                 "Not Implemented",
                 "transfer-encoding is not supported; send content-length",
-            )),
+            ),
         }
     }
 }
@@ -142,6 +153,17 @@ impl HttpResponse {
         }
     }
 
+    /// A `200 OK` response with an arbitrary (binary) body.
+    pub fn bytes(content_type: &'static str, body: Vec<u8>) -> Self {
+        HttpResponse {
+            status: 200,
+            reason: "OK",
+            content_type,
+            body,
+            close: false,
+        }
+    }
+
     /// An error response carrying `{"error": detail}`; errors always close
     /// the connection (a client that sent garbage has lost framing sync).
     pub fn error(status: u16, reason: &'static str, detail: &str) -> Self {
@@ -159,8 +181,10 @@ impl HttpResponse {
         }
     }
 
-    /// Serialise the response to the stream.
-    pub fn write_to(&self, stream: &mut TcpStream, request_keep_alive: bool) -> io::Result<()> {
+    /// Serialise the response into an output buffer (the event loop's
+    /// per-connection write queue). Returns whether the connection stays
+    /// open afterwards.
+    pub fn render_into(&self, out: &mut Vec<u8>, request_keep_alive: bool) -> bool {
         let keep_alive = request_keep_alive && !self.close;
         let head = format!(
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
@@ -170,59 +194,107 @@ impl HttpResponse {
             self.body.len(),
             if keep_alive { "keep-alive" } else { "close" },
         );
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(&self.body)?;
+        out.extend_from_slice(head.as_bytes());
+        out.extend_from_slice(&self.body);
+        keep_alive
+    }
+
+    /// Serialise the response straight to a blocking stream (used by the
+    /// doc examples and simple clients; the server renders into buffers).
+    pub fn write_to(&self, stream: &mut TcpStream, request_keep_alive: bool) -> io::Result<()> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        self.render_into(&mut out, request_keep_alive);
+        stream.write_all(&out)?;
         stream.flush()
     }
 }
 
-/// One client connection: the stream plus any bytes already read past the
-/// previous request (keep-alive pipelining).
+/// A half-parsed request: the head is complete, the body is still
+/// arriving.
 #[derive(Debug)]
-pub struct Connection {
-    stream: TcpStream,
-    buffer: Vec<u8>,
+struct PendingBody {
+    request: HttpRequest,
+    content_length: usize,
 }
 
-impl Connection {
-    /// Wrap an accepted stream.
-    pub fn new(stream: TcpStream) -> Self {
-        Connection {
-            stream,
-            buffer: Vec::new(),
+/// The push-based request parser one connection owns: the event loop
+/// [`push`](RequestParser::push)es whatever bytes arrived and drains
+/// complete requests with [`next`](RequestParser::next) — which never
+/// blocks and never does I/O. Bytes past one request's body stay buffered
+/// for the next (pipelining).
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buffer: Vec<u8>,
+    /// How far the head-terminator scan has advanced (so repeated `next`
+    /// calls on a slowly arriving head stay linear, not quadratic).
+    scanned: usize,
+    pending: Option<PendingBody>,
+}
+
+impl RequestParser {
+    /// A parser with nothing buffered.
+    pub fn new() -> Self {
+        RequestParser::default()
+    }
+
+    /// Feed bytes read off the connection.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buffer.extend_from_slice(bytes);
+    }
+
+    /// Whether the parser holds a partial request (buffered bytes or a
+    /// head still waiting for its body) — at EOF this distinguishes a
+    /// clean close from a truncated request.
+    pub fn mid_request(&self) -> bool {
+        self.pending.is_some() || !self.buffer.is_empty()
+    }
+
+    /// Discard everything buffered (after an error response the client has
+    /// lost framing sync; any pipelined remainder is garbage).
+    pub fn reset(&mut self) {
+        self.buffer.clear();
+        self.scanned = 0;
+        self.pending = None;
+    }
+
+    /// The next complete request, `Ok(None)` when more bytes are needed,
+    /// or a typed error for hostile input. After an error the parser must
+    /// be [`reset`](RequestParser::reset) (the connection is closed anyway).
+    pub fn next(&mut self, max_body_bytes: usize) -> Result<Option<HttpRequest>, RequestError> {
+        if self.pending.is_none() && !self.parse_head(max_body_bytes)? {
+            return Ok(None);
         }
+        let pending = self.pending.as_ref().expect("head parsed above");
+        if self.buffer.len() < pending.content_length {
+            return Ok(None);
+        }
+        let PendingBody {
+            mut request,
+            content_length,
+        } = self.pending.take().expect("checked above");
+        request.body = self.buffer.drain(..content_length).collect();
+        self.scanned = 0;
+        Ok(Some(request))
     }
 
-    /// The underlying stream (for writing responses).
-    pub fn stream_mut(&mut self) -> &mut TcpStream {
-        &mut self.stream
-    }
-
-    /// Read and parse the next request off the connection.
-    pub fn read_request(&mut self, max_body_bytes: usize) -> Result<HttpRequest, RequestError> {
-        let header_end = loop {
-            if let Some(end) = find_terminator(&self.buffer) {
-                break end;
-            }
+    /// Try to complete the head; `Ok(true)` when `pending` is now set.
+    fn parse_head(&mut self, max_body_bytes: usize) -> Result<bool, RequestError> {
+        // Resume the terminator scan where the last one stopped (backing
+        // up 3 bytes in case the marker straddles the old boundary).
+        let from = self.scanned.saturating_sub(3);
+        let Some(header_end) = find_terminator(&self.buffer[from..]).map(|at| from + at) else {
             if self.buffer.len() > MAX_HEADER_BYTES {
                 return Err(RequestError::HeadersTooLarge);
             }
-            if self.fill()? == 0 {
-                return if self.buffer.is_empty() {
-                    Err(RequestError::Closed)
-                } else {
-                    Err(RequestError::Malformed("truncated request head".into()))
-                };
-            }
+            self.scanned = self.buffer.len();
+            return Ok(false);
         };
         if header_end > MAX_HEADER_BYTES {
             return Err(RequestError::HeadersTooLarge);
         }
 
         let head = std::str::from_utf8(&self.buffer[..header_end])
-            .map_err(|_| RequestError::Malformed("request head is not valid utf-8".into()))?
-            .to_string();
-        let body_start = header_end + 4;
+            .map_err(|_| RequestError::Malformed("request head is not valid utf-8".into()))?;
         let mut lines = head.split("\r\n");
         let request_line = lines
             .next()
@@ -287,51 +359,31 @@ impl Connection {
             .count()
             > 1
         {
-            return Err(RequestError::Malformed(
-                "duplicate content-length headers".into(),
-            ));
+            return Err(RequestError::DuplicateContentLength);
         }
         let content_length = match request.header("content-length") {
             // RFC 9112 framing is 1*DIGIT; `usize::from_str` alone would
             // also accept forms like `+17` that a conforming front proxy
             // rejects — another framing ambiguity, refused like the rest.
+            // All-digit values that overflow `usize` land here too: no
+            // declared length we cannot even represent is servable.
             Some(value) if !value.is_empty() && value.bytes().all(|b| b.is_ascii_digit()) => value
                 .parse::<usize>()
-                .map_err(|_| RequestError::Malformed(format!("bad content-length {value:?}")))?,
-            Some(value) => {
-                return Err(RequestError::Malformed(format!(
-                    "bad content-length {value:?}"
-                )))
-            }
+                .map_err(|_| RequestError::BadContentLength(value.to_string()))?,
+            Some(value) => return Err(RequestError::BadContentLength(value.to_string())),
             None => 0,
         };
         if content_length > max_body_bytes {
             return Err(RequestError::BodyTooLarge);
         }
 
-        // Consume the head, then read the body (some of it may already be
-        // buffered from the previous read).
-        self.buffer.drain(..body_start);
-        while self.buffer.len() < content_length {
-            if self.fill()? == 0 {
-                return Err(RequestError::Malformed("truncated request body".into()));
-            }
-        }
-        let mut request = request;
-        request.body = self.buffer.drain(..content_length).collect();
-        Ok(request)
-    }
-
-    /// Read more bytes into the buffer; returns how many arrived.
-    fn fill(&mut self) -> Result<usize, RequestError> {
-        let mut chunk = [0u8; 4096];
-        match self.stream.read(&mut chunk) {
-            Ok(n) => {
-                self.buffer.extend_from_slice(&chunk[..n]);
-                Ok(n)
-            }
-            Err(error) => Err(RequestError::Io(error)),
-        }
+        self.buffer.drain(..header_end + 4);
+        self.scanned = 0;
+        self.pending = Some(PendingBody {
+            request,
+            content_length,
+        });
+        Ok(true)
     }
 }
 
@@ -344,6 +396,16 @@ fn find_terminator(buffer: &[u8]) -> Option<usize> {
 mod tests {
     use super::*;
 
+    fn parse_all(bytes: &[u8]) -> Result<Vec<HttpRequest>, RequestError> {
+        let mut parser = RequestParser::new();
+        parser.push(bytes);
+        let mut requests = Vec::new();
+        while let Some(request) = parser.next(4096)? {
+            requests.push(request);
+        }
+        Ok(requests)
+    }
+
     #[test]
     fn terminator_is_found_only_when_complete() {
         assert_eq!(find_terminator(b"GET / HTTP/1.1\r\n\r\n"), Some(14));
@@ -352,23 +414,65 @@ mod tests {
     }
 
     #[test]
+    fn parser_assembles_requests_incrementally() {
+        let wire = b"POST /v1/decisions HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+        let mut parser = RequestParser::new();
+        // Feed one byte at a time; the request completes exactly at the end.
+        for (at, byte) in wire.iter().enumerate() {
+            parser.push(std::slice::from_ref(byte));
+            let parsed = parser.next(4096).expect("prefix never errors");
+            if at + 1 < wire.len() {
+                assert!(parsed.is_none(), "complete after {} bytes?", at + 1);
+                assert!(parser.mid_request());
+            } else {
+                let request = parsed.expect("complete at final byte");
+                assert_eq!(request.method, "POST");
+                assert_eq!(request.body, b"body");
+                assert!(!parser.mid_request());
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_drain_in_order() {
+        let requests = parse_all(
+            b"GET /healthz HTTP/1.1\r\n\r\nPOST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi",
+        )
+        .expect("both requests valid");
+        assert_eq!(requests.len(), 2);
+        assert_eq!(requests[0].target, "/healthz");
+        assert_eq!(requests[1].body, b"hi");
+    }
+
+    #[test]
+    fn hostile_content_lengths_map_to_typed_errors() {
+        let overflow = format!("GET / HTTP/1.1\r\nContent-Length: {}0\r\n\r\n", usize::MAX);
+        assert!(matches!(
+            parse_all(overflow.as_bytes()),
+            Err(RequestError::BadContentLength(_))
+        ));
+        assert!(matches!(
+            parse_all(b"GET / HTTP/1.1\r\nContent-Length: +17\r\n\r\n"),
+            Err(RequestError::BadContentLength(_))
+        ));
+        assert!(matches!(
+            parse_all(b"GET / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nhi"),
+            Err(RequestError::DuplicateContentLength)
+        ));
+    }
+
+    #[test]
     fn error_responses_cover_every_client_fault() {
+        assert_eq!(RequestError::Malformed("x".into()).response().status, 400);
         assert_eq!(
-            RequestError::Malformed("x".into())
+            RequestError::BadContentLength("1e9".into())
                 .response()
-                .unwrap()
                 .status,
             400
         );
-        assert_eq!(
-            RequestError::HeadersTooLarge.response().unwrap().status,
-            431
-        );
-        assert_eq!(RequestError::BodyTooLarge.response().unwrap().status, 413);
-        assert_eq!(
-            RequestError::UnsupportedTransfer.response().unwrap().status,
-            501
-        );
-        assert!(RequestError::Closed.response().is_none());
+        assert_eq!(RequestError::DuplicateContentLength.response().status, 400);
+        assert_eq!(RequestError::HeadersTooLarge.response().status, 431);
+        assert_eq!(RequestError::BodyTooLarge.response().status, 413);
+        assert_eq!(RequestError::UnsupportedTransfer.response().status, 501);
     }
 }

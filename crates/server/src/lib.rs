@@ -6,28 +6,47 @@
 //! dependency-free HTTP/1.1 server over [`std::net::TcpListener`] built
 //! directly on the concurrent split from `trackersift::concurrent`:
 //!
-//! * a **fixed worker pool**, each worker owning a cloned
+//! * a **fixed worker pool** of readiness-polled event loops ([`poller`]):
+//!   each worker multiplexes hundreds of nonblocking keep-alive
+//!   connections over one `poll(2)` set and owns a cloned
 //!   [`SifterReader`] — the decision path (`POST /v1/decisions`) touches
-//!   no lock: accept, parse, pin the published table, decide, respond;
+//!   no lock: poll, parse, pin the published table, copy a preformatted
+//!   response, respond. No thread-per-connection anywhere: 512 idle
+//!   clients cost 512 fds, not 512 stacks;
 //! * a single **admin thread** owning the [`SifterWriter`]; observation
 //!   ingest, commits, and snapshot import/export are serialised through a
 //!   channel to it, and every commit publishes atomically to all workers;
-//! * a hand-rolled HTTP layer ([`http`]) and JSON wire format ([`wire`])
-//!   over the in-tree `crawler::json` codec — the container has no
+//! * a hand-rolled HTTP layer ([`http`]), a JSON wire format and a
+//!   length-prefixed **binary protocol** ([`wire`]) — the container has no
 //!   registry access, and a verdict server needs very little HTTP.
+//!
+//! Responses on the decision endpoints are **preformatted at commit
+//! time**: the published verdict table carries complete response bodies
+//! for every non-surrogate decision (JSON and binary) plus per-script
+//! surrogate frames, so the hot path serves a memcpy instead of walking a
+//! JSON tree per request.
 //!
 //! # Endpoints
 //!
 //! | endpoint | role |
 //! |---|---|
-//! | `POST /v1/decisions` | one enforcement decision (lock-free) |
-//! | `POST /v1/decisions:batch` | many decisions from one pinned table |
+//! | `POST /v1/decisions` | one enforcement decision (lock-free; JSON or binary) |
+//! | `POST /v1/decisions:batch` | many decisions from one pinned table (JSON or binary) |
+//! | `GET /v1/keys` | key-interning handshake for binary id-form requests |
 //! | `POST /v1/observations` | buffer observations into the writer |
 //! | `POST /v1/commit` | fold observations in + publish atomically |
 //! | `GET /v1/snapshot` | export the trained state (versioned JSON) |
 //! | `PUT /v1/snapshot` | validate + restore a snapshot, publish atomically |
-//! | `GET /v1/stats` | [`ServiceStats`] + per-worker request counters |
+//! | `GET /v1/stats` | [`ServiceStats`] + per-worker serving counters |
 //! | `GET /healthz` | liveness probe |
+//!
+//! The decision endpoints speak JSON by default; a request with
+//! `Content-Type:` [`wire::BINARY_CONTENT_TYPE`] opts into the binary
+//! protocol for that exchange (see [`wire`] for the frame layout). Hot
+//! clients complete the `GET /v1/keys` handshake once and then send four
+//! `u32` key ids per record instead of four strings; a stale key epoch
+//! (the table was restored from a snapshot since the handshake) gets
+//! `409 Conflict`, never a silently wrong verdict.
 //!
 //! # Example
 //!
@@ -63,21 +82,25 @@
 
 pub mod client;
 pub mod http;
+pub mod poller;
 pub mod wire;
 
 use crawler::json::{object, Value};
-use http::{Connection, HttpRequest, HttpResponse};
-use std::io;
+use http::{HttpRequest, HttpResponse, RequestParser};
+use poller::Poller;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use trackersift::frames::{self, PROTO_VERSION};
 use trackersift::{
-    CommitStats, ObserveOutcome, ServiceStats, SifterReader, SifterSnapshot, SifterWriter,
+    CommitStats, DecisionRequest, KeyedRequest, ObserveOutcome, PrebuiltDecision, ServiceStats,
+    SifterReader, SifterSnapshot, SifterWriter, VerdictTable,
 };
-use wire::{DecisionMessage, ObservationMessage};
+use wire::{BinaryKeys, BinaryRecord, DecisionMessage, ObservationMessage};
 
 /// Configuration of a [`VerdictServer`].
 ///
@@ -96,13 +119,14 @@ use wire::{DecisionMessage, ObservationMessage};
 pub struct ServerConfig {
     /// Bind address (`host:port`; port `0` picks an ephemeral port).
     pub addr: String,
-    /// Number of serving workers, each with its own lock-free
+    /// Number of event-loop workers, each multiplexing its share of the
+    /// connections over one poll set with its own lock-free
     /// [`SifterReader`] handle. Clamped to at least 1.
     pub workers: usize,
     /// Maximum accepted request body, in bytes (larger requests get `413`).
     pub max_body_bytes: usize,
-    /// Per-read socket timeout; a stalled client releases its worker after
-    /// this long.
+    /// Idle timeout: a connection that makes no read/write progress for
+    /// this long is closed, so a stalled client releases its slot.
     pub read_timeout: Duration,
 }
 
@@ -128,15 +152,19 @@ impl ServerConfig {
     }
 }
 
-/// Per-worker serving counters, readable lock-free from any thread.
+/// Per-worker serving counters, readable lock-free from any thread and
+/// exposed by `GET /v1/stats`.
 #[derive(Debug, Default)]
-struct WorkerMetrics {
+struct ServingCounters {
     /// Requests this worker parsed successfully.
     requests: AtomicU64,
     /// Decisions this worker served (batch requests count every element).
     decisions: AtomicU64,
     /// 4xx/5xx responses this worker produced.
     errors: AtomicU64,
+    /// `accept(2)` failures this worker absorbed (each one feeds the
+    /// exponential backoff).
+    accept_failures: AtomicU64,
 }
 
 /// Work routed to the admin thread (the single [`SifterWriter`] owner).
@@ -164,12 +192,13 @@ impl VerdictServer {
     /// [`SifterWriter`]), and start serving.
     pub fn start(writer: SifterWriter, config: ServerConfig) -> io::Result<VerdictServer> {
         let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let worker_count = config.workers.max(1);
-        let metrics: Arc<Vec<WorkerMetrics>> = Arc::new(
+        let counters: Arc<Vec<ServingCounters>> = Arc::new(
             (0..worker_count)
-                .map(|_| WorkerMetrics::default())
+                .map(|_| ServingCounters::default())
                 .collect(),
         );
         let reader = writer.reader();
@@ -195,7 +224,7 @@ impl VerdictServer {
                     reader: reader.clone(),
                     admin: admin_tx.clone(),
                     stop: Arc::clone(&server.stop),
-                    metrics: Arc::clone(&metrics),
+                    counters: Arc::clone(&counters),
                     index,
                     max_body_bytes: config.max_body_bytes,
                     read_timeout: config.read_timeout,
@@ -234,10 +263,8 @@ impl VerdictServer {
 
     fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Each blocked accept needs one wake-up connection.
-        for _ in 0..self.workers.len() {
-            let _ = TcpStream::connect(self.addr);
-        }
+        // Workers poll with a bounded timeout, so they observe the stop
+        // flag within one poll interval — no wake-up connections needed.
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -324,88 +351,297 @@ fn admin_loop(mut writer: SifterWriter, rx: mpsc::Receiver<AdminMsg>) {
     }
 }
 
-/// One serving worker: accepts connections and answers requests, touching
-/// only its own reader handle (and the admin channel for write endpoints).
+/// One multiplexed connection of a worker's event loop.
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    /// Rendered-but-unsent response bytes.
+    out: Vec<u8>,
+    /// How much of `out` has been written so far.
+    out_at: usize,
+    /// Last moment the connection made read or write progress.
+    last_activity: Instant,
+    /// Close once `out` is fully flushed (error responses, explicit
+    /// `Connection: close`).
+    close_after_flush: bool,
+    /// The peer closed or errored; drop once the outbound data is gone.
+    dead: bool,
+}
+
+impl Conn {
+    fn pending_out(&self) -> bool {
+        self.out_at < self.out.len()
+    }
+
+    /// Flush as much of `out` as the socket accepts right now.
+    fn flush(&mut self) {
+        while self.out_at < self.out.len() {
+            match self.stream.write(&self.out[self.out_at..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    self.out_at += n;
+                    self.last_activity = Instant::now();
+                }
+                Err(error) if error.kind() == io::ErrorKind::WouldBlock => return,
+                Err(error) if error.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        self.out.clear();
+        self.out_at = 0;
+    }
+
+    /// Whether the event loop should retire this connection.
+    fn finished(&self) -> bool {
+        self.dead || (self.close_after_flush && !self.pending_out())
+    }
+}
+
+/// Exponential accept backoff with deterministic jitter: a persistent
+/// accept failure (fd exhaustion being the classic) must not become a hot
+/// spin across the pool, and the workers should not retry in lockstep.
+struct AcceptBackoff {
+    /// Consecutive failures (0 = healthy).
+    failures: u32,
+    /// Don't try to accept again before this instant.
+    retry_at: Instant,
+    /// xorshift state for the jitter; seeded per worker so the pool's
+    /// retries decorrelate.
+    jitter: u64,
+}
+
+impl AcceptBackoff {
+    fn new(seed: u64) -> Self {
+        AcceptBackoff {
+            failures: 0,
+            retry_at: Instant::now(),
+            jitter: seed | 1,
+        }
+    }
+
+    fn ready(&self, now: Instant) -> bool {
+        now >= self.retry_at
+    }
+
+    fn succeeded(&mut self) {
+        self.failures = 0;
+    }
+
+    /// Register one failure and schedule the next attempt: base 1 ms,
+    /// doubled per consecutive failure, capped at 1 s, plus up to 50%
+    /// jitter.
+    fn failed(&mut self, now: Instant) {
+        self.failures = self.failures.saturating_add(1);
+        let base_ms = 1u64 << self.failures.min(10);
+        // xorshift64: cheap, dependency-free, plenty for decorrelation.
+        self.jitter ^= self.jitter << 13;
+        self.jitter ^= self.jitter >> 7;
+        self.jitter ^= self.jitter << 17;
+        let jitter_ms = if base_ms > 1 {
+            self.jitter % (base_ms / 2 + 1)
+        } else {
+            0
+        };
+        self.retry_at = now + Duration::from_millis(base_ms.min(1000) + jitter_ms);
+    }
+}
+
+/// One serving worker: a readiness-polled event loop multiplexing its
+/// connections, touching only its own reader handle (and the admin channel
+/// for write endpoints).
 struct Worker {
     listener: TcpListener,
     reader: SifterReader,
     admin: Sender<AdminMsg>,
     stop: Arc<AtomicBool>,
-    metrics: Arc<Vec<WorkerMetrics>>,
+    counters: Arc<Vec<ServingCounters>>,
     index: usize,
     max_body_bytes: usize,
     read_timeout: Duration,
 }
 
+/// Upper bound on one poll wait, so the stop flag is observed promptly.
+const POLL_SLICE: Duration = Duration::from_millis(50);
+
 impl Worker {
     fn run(self) {
-        loop {
-            if self.stop.load(Ordering::SeqCst) {
-                return;
-            }
-            let stream = match self.listener.accept() {
-                Ok((stream, _)) => stream,
-                Err(_) => {
-                    // A persistent accept failure (e.g. fd exhaustion)
-                    // must not become a hot spin across the whole pool:
-                    // back off briefly so established connections can
-                    // drain and release descriptors.
-                    thread::sleep(Duration::from_millis(5));
-                    continue;
-                }
+        let mut conns: Vec<Conn> = Vec::new();
+        let mut poller = Poller::new();
+        let mut backoff = AcceptBackoff::new(0x9e37_79b9_7f4a_7c15 ^ (self.index as u64 + 1));
+        let mut read_buf = vec![0u8; 64 * 1024];
+
+        while !self.stop.load(Ordering::SeqCst) {
+            // (Re)build the interest set: the shared listener while the
+            // backoff allows accepting, plus every connection — read
+            // interest unless it is only draining, write interest while
+            // output is queued.
+            poller.clear();
+            let now = Instant::now();
+            let accepting = backoff.ready(now);
+            let listener_slot = accepting.then(|| poller.register(&self.listener, true, false));
+            let conn_slots: Vec<usize> = conns
+                .iter()
+                .map(|conn| {
+                    poller.register(&conn.stream, !conn.close_after_flush, conn.pending_out())
+                })
+                .collect();
+
+            let timeout = if accepting {
+                POLL_SLICE
+            } else {
+                POLL_SLICE.min(backoff.retry_at.saturating_duration_since(now))
             };
-            if self.stop.load(Ordering::SeqCst) {
-                return;
+            if poller.wait(timeout.as_millis() as i32).is_err() {
+                // A failed poll(2) leaves no readiness info; nap briefly
+                // rather than spin, then rebuild the set from scratch.
+                thread::sleep(Duration::from_millis(5));
+                continue;
             }
-            self.serve_connection(stream);
+
+            if listener_slot.is_some_and(|slot| poller.readable(slot)) {
+                self.accept_pending(&mut conns, &mut backoff);
+            }
+
+            let now = Instant::now();
+            for (slot, conn) in conn_slots.into_iter().zip(conns.iter_mut()) {
+                if poller.writable(slot) && conn.pending_out() {
+                    conn.flush();
+                }
+                if !conn.dead && !conn.close_after_flush && poller.readable(slot) {
+                    self.service_readable(conn, &mut read_buf);
+                }
+                // A connection that made no progress for the idle timeout
+                // is abandoned silently — exactly what a stalled or
+                // half-vanished client gets, without tying up a slot.
+                if now.saturating_duration_since(conn.last_activity) > self.read_timeout {
+                    conn.dead = true;
+                }
+            }
+            conns.retain(|conn| !conn.finished());
         }
     }
 
-    fn serve_connection(&self, stream: TcpStream) {
-        let _ = stream.set_read_timeout(Some(self.read_timeout));
-        let _ = stream.set_nodelay(true);
-        let mut connection = Connection::new(stream);
+    /// Drain the accept queue (the listener is level-triggered and shared
+    /// between workers, so "readable" may be stale by the time we get
+    /// here — `WouldBlock` is the normal exit).
+    fn accept_pending(&self, conns: &mut Vec<Conn>, backoff: &mut AcceptBackoff) {
         loop {
-            match connection.read_request(self.max_body_bytes) {
-                Ok(request) => {
-                    self.metrics[self.index]
-                        .requests
-                        .fetch_add(1, Ordering::Relaxed);
-                    let keep_alive = request.keep_alive();
-                    let response = self.route(&request);
-                    if response.status >= 400 {
-                        self.metrics[self.index]
-                            .errors
-                            .fetch_add(1, Ordering::Relaxed);
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    backoff.succeeded();
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
                     }
-                    let close = response.close || !keep_alive;
-                    if response
-                        .write_to(connection.stream_mut(), keep_alive)
-                        .is_err()
-                        || close
-                        || self.stop.load(Ordering::SeqCst)
-                    {
-                        return;
-                    }
+                    let _ = stream.set_nodelay(true);
+                    conns.push(Conn {
+                        stream,
+                        parser: RequestParser::new(),
+                        out: Vec::new(),
+                        out_at: 0,
+                        last_activity: Instant::now(),
+                        close_after_flush: false,
+                        dead: false,
+                    });
                 }
-                Err(error) => {
-                    if let Some(response) = error.response() {
-                        self.metrics[self.index]
-                            .errors
-                            .fetch_add(1, Ordering::Relaxed);
-                        let _ = response.write_to(connection.stream_mut(), false);
-                    }
+                Err(error) if error.kind() == io::ErrorKind::WouldBlock => return,
+                Err(error) if error.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.counters[self.index]
+                        .accept_failures
+                        .fetch_add(1, Ordering::Relaxed);
+                    backoff.failed(Instant::now());
                     return;
                 }
             }
         }
     }
 
+    /// Read once, then serve every complete request the bytes produced.
+    fn service_readable(&self, conn: &mut Conn, read_buf: &mut [u8]) {
+        match conn.stream.read(read_buf) {
+            Ok(0) => {
+                // EOF. A partial request on the wire is a client fault
+                // worth answering (it may still read); a clean boundary is
+                // just the end of the conversation.
+                if conn.parser.mid_request() {
+                    self.counters[self.index]
+                        .errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    HttpResponse::error(400, "Bad Request", "truncated request")
+                        .render_into(&mut conn.out, false);
+                    conn.parser.reset();
+                    conn.close_after_flush = true;
+                    conn.flush();
+                } else {
+                    conn.dead = true;
+                }
+                return;
+            }
+            Ok(n) => {
+                conn.last_activity = Instant::now();
+                conn.parser.push(&read_buf[..n]);
+            }
+            Err(error) if error.kind() == io::ErrorKind::WouldBlock => return,
+            Err(error) if error.kind() == io::ErrorKind::Interrupted => return,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+
+        loop {
+            match conn.parser.next(self.max_body_bytes) {
+                Ok(Some(request)) => {
+                    self.counters[self.index]
+                        .requests
+                        .fetch_add(1, Ordering::Relaxed);
+                    let keep_alive = request.keep_alive();
+                    let response = self.route(&request);
+                    if response.status >= 400 {
+                        self.counters[self.index]
+                            .errors
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    if !response.render_into(&mut conn.out, keep_alive) {
+                        // Closing response: any pipelined remainder is
+                        // from a desynced client, drop it.
+                        conn.parser.reset();
+                        conn.close_after_flush = true;
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(error) => {
+                    self.counters[self.index]
+                        .errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    error.response().render_into(&mut conn.out, false);
+                    conn.parser.reset();
+                    conn.close_after_flush = true;
+                    break;
+                }
+            }
+        }
+        // Optimistic flush: almost always the socket has write space, so
+        // the response leaves in the same loop iteration it was computed.
+        conn.flush();
+    }
+
     fn route(&self, request: &HttpRequest) -> HttpResponse {
+        let binary = request.header("content-type") == Some(wire::BINARY_CONTENT_TYPE);
         match (request.method.as_str(), request.target.as_str()) {
             ("GET", "/healthz") => HttpResponse::text("ok"),
+            ("POST", "/v1/decisions") if binary => self.decide_binary(request, false),
+            ("POST", "/v1/decisions:batch") if binary => self.decide_binary(request, true),
             ("POST", "/v1/decisions") => self.decide_single(request),
             ("POST", "/v1/decisions:batch") => self.decide_batch(request),
+            ("GET", "/v1/keys") => self.keys(),
             ("POST", "/v1/observations") => self.observe(request),
             ("POST", "/v1/commit") => self.commit(),
             ("GET", "/v1/snapshot") => self.export_snapshot(),
@@ -416,6 +652,7 @@ impl Worker {
                 "/healthz"
                 | "/v1/decisions"
                 | "/v1/decisions:batch"
+                | "/v1/keys"
                 | "/v1/observations"
                 | "/v1/commit"
                 | "/v1/snapshot"
@@ -447,22 +684,16 @@ impl Worker {
             Ok(message) => message,
             Err(error) => return HttpResponse::error(400, "Bad Request", &error.to_string()),
         };
-        // The lock-free hot path: one pin serves the decision, and the
-        // reported version is exactly the pinned table's.
+        // The lock-free hot path: one pin, one keyed walk, one memcpy of a
+        // preformatted body; the reported version is the pinned table's.
         let pin = self.reader.pin();
-        let decision = pin.decide(&message.as_request());
-        let version = pin.version();
+        let table = pin.table();
+        let body = json_single_body(table, &table.resolve(&message.as_request()));
         drop(pin);
-        self.metrics[self.index]
+        self.counters[self.index]
             .decisions
             .fetch_add(1, Ordering::Relaxed);
-        HttpResponse::json(
-            object(vec![
-                ("version", Value::number_u64(version)),
-                ("decision", wire::decision_to_json(&decision)),
-            ])
-            .render(),
-        )
+        HttpResponse::bytes("application/json", body)
     }
 
     fn decide_batch(&self, request: &HttpRequest) -> HttpResponse {
@@ -484,22 +715,102 @@ impl Worker {
         // One pin covers the whole batch: every decision (surrogate
         // payloads included) reflects exactly one committed table version.
         let pin = self.reader.pin();
-        let version = pin.version();
-        let decisions: Vec<Value> = messages
-            .iter()
-            .map(|message| wire::decision_to_json(&pin.decide(&message.as_request())))
-            .collect();
+        let table = pin.table();
+        let prebuilt = table.prebuilt();
+        let mut out = prebuilt.json_batch_prefix().as_bytes().to_vec();
+        for (at, message) in messages.iter().enumerate() {
+            if at > 0 {
+                out.push(b',');
+            }
+            match table.decide_prebuilt(&table.resolve(&message.as_request())) {
+                PrebuiltDecision::Fixed(index) => {
+                    out.extend_from_slice(prebuilt.json_fragment(index).as_bytes())
+                }
+                PrebuiltDecision::Surrogate(sf) => out.extend_from_slice(sf.json.as_bytes()),
+            }
+        }
+        out.extend_from_slice(b"]}");
         drop(pin);
-        self.metrics[self.index]
+        self.counters[self.index]
             .decisions
-            .fetch_add(decisions.len() as u64, Ordering::Relaxed);
-        HttpResponse::json(
-            object(vec![
-                ("version", Value::number_u64(version)),
-                ("decisions", Value::Array(decisions)),
-            ])
-            .render(),
-        )
+            .fetch_add(messages.len() as u64, Ordering::Relaxed);
+        HttpResponse::bytes("application/json", out)
+    }
+
+    /// The binary decision path for both endpoints; `batch` is the shape
+    /// the endpoint requires (a mismatched kind byte is a 400).
+    fn decide_binary(&self, request: &HttpRequest, batch: bool) -> HttpResponse {
+        let decoded = match wire::decode_binary_request(&request.body) {
+            Ok(decoded) => decoded,
+            Err(error) => return HttpResponse::error(400, "Bad Request", &error.0),
+        };
+        if decoded.batch != batch {
+            return HttpResponse::error(
+                400,
+                "Bad Request",
+                "request kind does not match the endpoint",
+            );
+        }
+        let pin = self.reader.pin();
+        let table = pin.table();
+        // Id-form records are only meaningful against the key table the
+        // client fetched; a stale epoch must fail loudly, never resolve to
+        // someone else's keys.
+        if decoded.uses_ids() && decoded.epoch != table.keys_epoch() {
+            let detail = format!(
+                "key epoch {} is stale (current {}); re-fetch /v1/keys",
+                decoded.epoch,
+                table.keys_epoch()
+            );
+            return HttpResponse::error(409, "Conflict", &detail);
+        }
+        let response = if batch {
+            let prebuilt = table.prebuilt();
+            let mut out = Vec::with_capacity(13 + decoded.records.len() * 8);
+            out.push(PROTO_VERSION);
+            out.extend_from_slice(&table.version().to_le_bytes());
+            out.extend_from_slice(&(decoded.records.len() as u32).to_le_bytes());
+            for record in &decoded.records {
+                match table.decide_prebuilt(&keyed_of(table, record)) {
+                    PrebuiltDecision::Fixed(index) => {
+                        let frame = prebuilt.binary_single(index);
+                        out.extend_from_slice(&frames::encode_record_header(frame[1], frame[2], 0));
+                    }
+                    PrebuiltDecision::Surrogate(sf) => {
+                        out.extend_from_slice(&frames::encode_record_header(
+                            frames::ACTION_SURROGATE,
+                            frames::SOURCE_NONE,
+                            sf.binary.len() as u32,
+                        ));
+                        out.extend_from_slice(&sf.binary);
+                    }
+                }
+            }
+            HttpResponse::bytes(wire::BINARY_CONTENT_TYPE, out)
+        } else {
+            let record = &decoded.records[0];
+            let body = binary_single_body(table, &keyed_of(table, record));
+            HttpResponse::bytes(wire::BINARY_CONTENT_TYPE, body)
+        };
+        let served = decoded.records.len() as u64;
+        drop(pin);
+        self.counters[self.index]
+            .decisions
+            .fetch_add(served, Ordering::Relaxed);
+        response
+    }
+
+    /// `GET /v1/keys`: the key-interning handshake. The reply's `keys[i]`
+    /// is the string with id `i` in the pinned table; `epoch` scopes the
+    /// ids' validity.
+    fn keys(&self) -> HttpResponse {
+        let pin = self.reader.pin();
+        let table = pin.table();
+        HttpResponse::json(wire::keys_to_json(
+            table.keys_epoch(),
+            table.version(),
+            table.keys(),
+        ))
     }
 
     fn observe(&self, request: &HttpRequest) -> HttpResponse {
@@ -581,21 +892,25 @@ impl Worker {
         };
         let mut value = wire::service_stats_to_json(&stats);
         let workers: Vec<Value> = self
-            .metrics
+            .counters
             .iter()
-            .map(|metrics| {
+            .map(|counters| {
                 object(vec![
                     (
                         "requests",
-                        Value::number_u64(metrics.requests.load(Ordering::Relaxed)),
+                        Value::number_u64(counters.requests.load(Ordering::Relaxed)),
                     ),
                     (
                         "decisions",
-                        Value::number_u64(metrics.decisions.load(Ordering::Relaxed)),
+                        Value::number_u64(counters.decisions.load(Ordering::Relaxed)),
                     ),
                     (
                         "errors",
-                        Value::number_u64(metrics.errors.load(Ordering::Relaxed)),
+                        Value::number_u64(counters.errors.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "accept_failures",
+                        Value::number_u64(counters.accept_failures.load(Ordering::Relaxed)),
                     ),
                 ])
             })
@@ -615,5 +930,68 @@ impl Worker {
 
     fn admin_unavailable() -> HttpResponse {
         HttpResponse::error(500, "Internal Server Error", "admin thread unavailable")
+    }
+}
+
+/// Resolve one binary record into the keyed query the table serves.
+fn keyed_of<'a>(table: &VerdictTable, record: &BinaryRecord<'a>) -> KeyedRequest<'a> {
+    let keyed = match record.keys {
+        BinaryKeys::Ids {
+            domain,
+            hostname,
+            script,
+            method,
+        } => {
+            let keys = table.keys();
+            KeyedRequest::new(
+                keys.key_for_id(domain),
+                keys.key_for_id(hostname),
+                keys.key_for_id(script),
+                keys.key_for_id(method),
+            )
+        }
+        BinaryKeys::Strings {
+            domain,
+            hostname,
+            script,
+            method,
+        } => table.resolve(&DecisionRequest::new(domain, hostname, script, method)),
+    };
+    match record.context {
+        Some(context) => {
+            keyed.with_url(context.url, context.source_hostname, context.resource_type)
+        }
+        None => keyed,
+    }
+}
+
+/// Assemble a complete JSON single-decision body from preformatted parts.
+fn json_single_body(table: &VerdictTable, request: &KeyedRequest<'_>) -> Vec<u8> {
+    let prebuilt = table.prebuilt();
+    match table.decide_prebuilt(request) {
+        PrebuiltDecision::Fixed(index) => prebuilt.json_single(index).as_bytes().to_vec(),
+        PrebuiltDecision::Surrogate(sf) => {
+            let prefix = prebuilt.json_single_prefix().as_bytes();
+            let mut out = Vec::with_capacity(prefix.len() + sf.json.len() + 1);
+            out.extend_from_slice(prefix);
+            out.extend_from_slice(sf.json.as_bytes());
+            out.push(b'}');
+            out
+        }
+    }
+}
+
+/// Assemble a complete binary single-decision body from preformatted parts.
+fn binary_single_body(table: &VerdictTable, request: &KeyedRequest<'_>) -> Vec<u8> {
+    match table.decide_prebuilt(request) {
+        PrebuiltDecision::Fixed(index) => table.prebuilt().binary_single(index).to_vec(),
+        PrebuiltDecision::Surrogate(sf) => {
+            let header =
+                frames::encode_surrogate_single_header(table.version(), sf.binary.len() as u32);
+            let mut out = Vec::with_capacity(header.len() + sf.binary.len());
+            out.extend_from_slice(&header);
+            out.extend_from_slice(&sf.binary);
+            out
+        }
     }
 }

@@ -1,18 +1,48 @@
-//! The JSON wire format of the verdict server, over the dependency-free
-//! [`crawler::json`] codec.
+//! The wire formats of the verdict server: JSON (over the dependency-free
+//! [`crawler::json`] codec) and the length-prefixed binary protocol.
 //!
 //! Every type here encodes and decodes symmetrically, so a client can
 //! round-trip what the server sends — the property the wire tests pin down
 //! byte for byte: a [`Decision`] rendered here, shipped over HTTP, and
 //! decoded back equals the in-process decision exactly, surrogate payload
-//! included.
+//! included. The canonical decision encodings themselves live in
+//! [`trackersift::frames`] (shared with the commit-time response
+//! preformatter); this module wraps them with the request envelopes.
+//!
+//! # The binary protocol
+//!
+//! Clients opt in per request by POSTing `/v1/decisions` (or `:batch`)
+//! with `Content-Type:` [`BINARY_CONTENT_TYPE`]; the response body is then
+//! binary too. All integers are little-endian; strings and payloads are
+//! `u32`-length-prefixed. Request body:
+//!
+//! ```text
+//! u8  protocol version (1)
+//! u8  kind            0 = single, 1 = batch
+//! u64 keys epoch      (checked only when a record uses id form)
+//! u32 record count    (batch only)
+//! per record:
+//!   u8 form           0 = string keys, 1 = interned key ids
+//!   u8 flags          bit 0: URL context follows the keys
+//!   form 1: u32 domain, u32 hostname, u32 script, u32 method-name id
+//!   form 0: 4 × length-prefixed string (same order)
+//!   flags bit 0: length-prefixed url, length-prefixed source hostname,
+//!                u8 resource-type code (index into `ResourceType::ALL`)
+//! ```
+//!
+//! Key ids come from the `GET /v1/keys` handshake and are valid for the
+//! epoch it reported; a stale epoch gets `409 Conflict`, never a silently
+//! wrong verdict. Response bodies are the frames of
+//! [`trackersift::frames`]: a 15-byte single-decision header (+ surrogate
+//! payload), or `u8 proto, u64 version, u32 count` followed by 6-byte
+//! record headers (+ payloads) for batches.
 
 use crawler::json::{object, JsonError, Value};
 use filterlist::ResourceType;
-use std::sync::Arc;
+use trackersift::frames::{self, PROTO_VERSION, RECORD_HEADER_LEN};
 use trackersift::{
-    CommitStats, Decision, DecisionRequest, DecisionSource, Granularity, MethodAction,
-    ServiceStats, SurrogateScript,
+    CommitStats, Decision, DecisionRequest, FrameError, FrameReader, FrozenKeys, ServiceStats,
+    SurrogateScript,
 };
 
 fn err<T>(message: impl Into<String>) -> Result<T, JsonError> {
@@ -39,11 +69,21 @@ pub fn resource_type_from_str(name: &str) -> Result<ResourceType, JsonError> {
         .ok_or_else(|| JsonError(format!("unknown resource type {name:?}")))
 }
 
-fn granularity_from_str(name: &str) -> Result<Granularity, JsonError> {
-    Granularity::ALL
+/// Encode a resource type as its binary wire code (index into
+/// [`ResourceType::ALL`]).
+pub fn resource_type_code(kind: ResourceType) -> u8 {
+    ResourceType::ALL
         .into_iter()
-        .find(|granularity| granularity.name() == name)
-        .ok_or_else(|| JsonError(format!("unknown granularity {name:?}")))
+        .position(|candidate| candidate == kind)
+        .expect("ALL contains every variant") as u8
+}
+
+/// Decode a binary resource-type code.
+pub fn resource_type_from_code(code: u8) -> Result<ResourceType, FrameError> {
+    ResourceType::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or_else(|| FrameError(format!("unknown resource type code {code}")))
 }
 
 /// An owned decision query as it travels over the wire; borrow it into a
@@ -148,152 +188,314 @@ impl DecisionMessage {
     }
 }
 
-fn source_fields(source: DecisionSource, fields: &mut Vec<(&'static str, Value)>) {
-    match source {
-        DecisionSource::Hierarchy(granularity) => {
-            fields.push(("source", Value::String("hierarchy".to_string())));
-            fields.push(("granularity", Value::String(granularity.name().to_string())));
-        }
-        DecisionSource::FilterList => {
-            fields.push(("source", Value::String("filter-list".to_string())));
-        }
-    }
-}
-
-fn source_from_json(value: &Value) -> Result<DecisionSource, JsonError> {
-    match value.field("source")?.as_str()? {
-        "hierarchy" => Ok(DecisionSource::Hierarchy(granularity_from_str(
-            value.field("granularity")?.as_str()?,
-        )?)),
-        "filter-list" => Ok(DecisionSource::FilterList),
-        other => err(format!("unknown decision source {other:?}")),
-    }
-}
-
-fn method_action_to_json(action: &MethodAction) -> Value {
-    match action {
-        MethodAction::Keep => Value::String("keep".to_string()),
-        MethodAction::Stub => Value::String("stub".to_string()),
-        MethodAction::Guard { blocked_callers } => object(vec![(
-            "guard",
-            object(vec![(
-                "blocked_callers",
-                Value::Array(
-                    blocked_callers
-                        .iter()
-                        .map(|caller| Value::String(caller.clone()))
-                        .collect(),
-                ),
-            )]),
-        )]),
-    }
-}
-
-fn method_action_from_json(value: &Value) -> Result<MethodAction, JsonError> {
-    match value {
-        Value::String(name) if name == "keep" => Ok(MethodAction::Keep),
-        Value::String(name) if name == "stub" => Ok(MethodAction::Stub),
-        Value::Object(_) => {
-            let guard = value.field("guard")?;
-            let blocked_callers = guard
-                .field("blocked_callers")?
-                .as_array()?
-                .iter()
-                .map(|caller| caller.as_str().map(str::to_string))
-                .collect::<Result<Vec<_>, _>>()?;
-            Ok(MethodAction::Guard { blocked_callers })
-        }
-        other => err(format!("unknown method action {other:?}")),
-    }
-}
-
-/// Encode a surrogate payload.
+/// Encode a surrogate payload. (Delegates to the canonical encoding in
+/// [`trackersift::frames`], shared with the commit-time preformatter.)
 pub fn surrogate_to_json(script: &SurrogateScript) -> Value {
-    object(vec![
-        ("script_url", Value::String(script.script_url.clone())),
-        (
-            "methods",
-            Value::Array(
-                script
-                    .methods
-                    .iter()
-                    .map(|(name, action)| {
-                        Value::Array(vec![
-                            Value::String(name.clone()),
-                            method_action_to_json(action),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-        (
-            "suppressed_tracking_requests",
-            Value::number_u64(script.suppressed_tracking_requests),
-        ),
-        (
-            "preserved_functional_requests",
-            Value::number_u64(script.preserved_functional_requests),
-        ),
-    ])
+    frames::surrogate_value(script)
 }
 
 /// Decode a surrogate payload.
 pub fn surrogate_from_json(value: &Value) -> Result<SurrogateScript, JsonError> {
-    let methods = value
-        .field("methods")?
-        .as_array()?
-        .iter()
-        .map(|row| {
-            let row = row.as_array()?;
-            match row {
-                [name, action] => {
-                    Ok((name.as_str()?.to_string(), method_action_from_json(action)?))
-                }
-                _ => err(format!("method row has {} fields, expected 2", row.len())),
-            }
-        })
-        .collect::<Result<Vec<_>, _>>()?;
-    Ok(SurrogateScript {
-        script_url: string_field(value, "script_url")?,
-        methods,
-        suppressed_tracking_requests: value.field("suppressed_tracking_requests")?.as_u64()?,
-        preserved_functional_requests: value.field("preserved_functional_requests")?.as_u64()?,
-    })
+    frames::surrogate_from_value(value)
 }
 
 /// Encode a decision. The encoding is canonical (field order fixed), so
 /// equal decisions render to byte-identical JSON.
 pub fn decision_to_json(decision: &Decision) -> Value {
-    match decision {
-        Decision::Allow(source) => {
-            let mut fields = vec![("action", Value::String("allow".to_string()))];
-            source_fields(*source, &mut fields);
-            object(fields)
-        }
-        Decision::Block(source) => {
-            let mut fields = vec![("action", Value::String("block".to_string()))];
-            source_fields(*source, &mut fields);
-            object(fields)
-        }
-        Decision::Surrogate(script) => object(vec![
-            ("action", Value::String("surrogate".to_string())),
-            ("surrogate", surrogate_to_json(script)),
-        ]),
-        Decision::Observe => object(vec![("action", Value::String("observe".to_string()))]),
-    }
+    frames::decision_value(decision)
 }
 
 /// Decode a decision.
 pub fn decision_from_json(value: &Value) -> Result<Decision, JsonError> {
-    match value.field("action")?.as_str()? {
-        "allow" => Ok(Decision::Allow(source_from_json(value)?)),
-        "block" => Ok(Decision::Block(source_from_json(value)?)),
-        "surrogate" => Ok(Decision::Surrogate(Arc::new(surrogate_from_json(
-            value.field("surrogate")?,
-        )?))),
-        "observe" => Ok(Decision::Observe),
-        other => err(format!("unknown decision action {other:?}")),
+    frames::decision_from_value(value)
+}
+
+// ---------------------------------------------------------------------
+// Binary protocol
+// ---------------------------------------------------------------------
+
+/// The `Content-Type` that negotiates the binary protocol on
+/// `POST /v1/decisions` and `POST /v1/decisions:batch`.
+pub const BINARY_CONTENT_TYPE: &str = "application/x-trackersift-verdict";
+
+/// Request kind byte: one decision, response is a single frame.
+pub const KIND_SINGLE: u8 = 0;
+/// Request kind byte: counted records, response is a batch frame.
+pub const KIND_BATCH: u8 = 1;
+/// Record form byte: four length-prefixed key strings.
+pub const FORM_STRINGS: u8 = 0;
+/// Record form byte: four interned `u32` key ids (epoch-checked).
+pub const FORM_IDS: u8 = 1;
+/// Record flag bit: URL context (url, source hostname, resource type)
+/// follows the keys.
+pub const FLAG_URL: u8 = 1;
+
+/// The four attribution keys of one binary record, in either wire form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryKeys<'a> {
+    /// Interned ids from the `GET /v1/keys` handshake, `u32::MAX` for "not
+    /// in the table" (the walk treats it as an unknown resource).
+    Ids {
+        /// Registrable-domain key id.
+        domain: u32,
+        /// Hostname key id.
+        hostname: u32,
+        /// Initiating-script key id.
+        script: u32,
+        /// Method-*name* key id.
+        method: u32,
+    },
+    /// Raw key strings (no handshake needed).
+    Strings {
+        /// Registrable domain.
+        domain: &'a str,
+        /// Full hostname.
+        hostname: &'a str,
+        /// Initiating script URL.
+        script: &'a str,
+        /// Initiating method name.
+        method: &'a str,
+    },
+}
+
+/// Optional raw-URL context enabling the filter-list backstop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinaryUrlContext<'a> {
+    /// The raw request URL.
+    pub url: &'a str,
+    /// Hostname of the page issuing the request.
+    pub source_hostname: &'a str,
+    /// Resource type of the request.
+    pub resource_type: ResourceType,
+}
+
+/// One decision record of a binary request, borrowing from the body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinaryRecord<'a> {
+    /// The four attribution keys.
+    pub keys: BinaryKeys<'a>,
+    /// URL context, when flag bit 0 was set.
+    pub context: Option<BinaryUrlContext<'a>>,
+}
+
+/// A decoded binary decision request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryRequest<'a> {
+    /// `true` for the batch kind (counted records, batch response frame).
+    pub batch: bool,
+    /// The client's key-table epoch; meaningful only when a record uses
+    /// [`BinaryKeys::Ids`].
+    pub epoch: u64,
+    /// The decision records.
+    pub records: Vec<BinaryRecord<'a>>,
+}
+
+impl BinaryRequest<'_> {
+    /// Whether any record uses interned ids (and thus the epoch matters).
+    pub fn uses_ids(&self) -> bool {
+        self.records
+            .iter()
+            .any(|record| matches!(record.keys, BinaryKeys::Ids { .. }))
     }
+}
+
+/// Decode a binary request body (either kind).
+pub fn decode_binary_request(body: &[u8]) -> Result<BinaryRequest<'_>, FrameError> {
+    let mut reader = FrameReader::new(body);
+    let proto = reader.u8()?;
+    if proto != PROTO_VERSION {
+        return Err(FrameError(format!("unsupported protocol version {proto}")));
+    }
+    let kind = reader.u8()?;
+    let epoch = reader.u64()?;
+    let count = match kind {
+        KIND_SINGLE => 1,
+        KIND_BATCH => reader.u32()? as usize,
+        other => return Err(FrameError(format!("unknown request kind {other}"))),
+    };
+    // Each record is at least 2 bytes; a hostile count cannot force a huge
+    // preallocation.
+    let mut records = Vec::with_capacity(count.min(reader.remaining() / 2 + 1));
+    for _ in 0..count {
+        let form = reader.u8()?;
+        let flags = reader.u8()?;
+        if flags & !FLAG_URL != 0 {
+            return Err(FrameError(format!("unknown record flags {flags:#x}")));
+        }
+        let keys = match form {
+            FORM_IDS => BinaryKeys::Ids {
+                domain: reader.u32()?,
+                hostname: reader.u32()?,
+                script: reader.u32()?,
+                method: reader.u32()?,
+            },
+            FORM_STRINGS => BinaryKeys::Strings {
+                domain: reader.string()?,
+                hostname: reader.string()?,
+                script: reader.string()?,
+                method: reader.string()?,
+            },
+            other => return Err(FrameError(format!("unknown record form {other}"))),
+        };
+        let context = if flags & FLAG_URL != 0 {
+            Some(BinaryUrlContext {
+                url: reader.string()?,
+                source_hostname: reader.string()?,
+                resource_type: resource_type_from_code(reader.u8()?)?,
+            })
+        } else {
+            None
+        };
+        records.push(BinaryRecord { keys, context });
+    }
+    reader.finish()?;
+    Ok(BinaryRequest {
+        batch: kind == KIND_BATCH,
+        epoch,
+        records,
+    })
+}
+
+fn encode_record(out: &mut Vec<u8>, record: &BinaryRecord<'_>) {
+    let put_str = |out: &mut Vec<u8>, s: &str| {
+        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        out.extend_from_slice(s.as_bytes());
+    };
+    match record.keys {
+        BinaryKeys::Ids { .. } => out.push(FORM_IDS),
+        BinaryKeys::Strings { .. } => out.push(FORM_STRINGS),
+    }
+    out.push(if record.context.is_some() {
+        FLAG_URL
+    } else {
+        0
+    });
+    match record.keys {
+        BinaryKeys::Ids {
+            domain,
+            hostname,
+            script,
+            method,
+        } => {
+            for id in [domain, hostname, script, method] {
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+        BinaryKeys::Strings {
+            domain,
+            hostname,
+            script,
+            method,
+        } => {
+            for key in [domain, hostname, script, method] {
+                put_str(out, key);
+            }
+        }
+    }
+    if let Some(context) = &record.context {
+        put_str(out, context.url);
+        put_str(out, context.source_hostname);
+        out.push(resource_type_code(context.resource_type));
+    }
+}
+
+/// Encode a single-kind binary request body.
+pub fn encode_binary_single(epoch: u64, record: &BinaryRecord<'_>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.push(PROTO_VERSION);
+    out.push(KIND_SINGLE);
+    out.extend_from_slice(&epoch.to_le_bytes());
+    encode_record(&mut out, record);
+    out
+}
+
+/// Encode a batch-kind binary request body.
+pub fn encode_binary_batch(epoch: u64, records: &[BinaryRecord<'_>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + records.len() * 32);
+    out.push(PROTO_VERSION);
+    out.push(KIND_BATCH);
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+    for record in records {
+        encode_record(&mut out, record);
+    }
+    out
+}
+
+impl<'a> BinaryRecord<'a> {
+    /// A string-form record borrowing a [`DecisionMessage`]'s keys and URL
+    /// context.
+    pub fn from_message(message: &'a DecisionMessage) -> Self {
+        BinaryRecord {
+            keys: BinaryKeys::Strings {
+                domain: &message.domain,
+                hostname: &message.hostname,
+                script: &message.script,
+                method: &message.method,
+            },
+            context: message.url.as_deref().map(|url| BinaryUrlContext {
+                url,
+                source_hostname: &message.source_hostname,
+                resource_type: message.resource_type,
+            }),
+        }
+    }
+}
+
+/// Decode a binary single-decision response body into the version and the
+/// decision it encodes.
+pub fn decode_binary_single_response(body: &[u8]) -> Result<(u64, Decision), FrameError> {
+    let mut reader = FrameReader::new(body);
+    let proto = reader.u8()?;
+    if proto != PROTO_VERSION {
+        return Err(FrameError(format!("unsupported protocol version {proto}")));
+    }
+    let action = reader.u8()?;
+    let source = reader.u8()?;
+    let version = reader.u64()?;
+    let payload = reader.bytes()?;
+    reader.finish()?;
+    Ok((version, frames::decode_decision(action, source, payload)?))
+}
+
+/// Decode a binary batch response body into the version and the decisions
+/// it encodes.
+pub fn decode_binary_batch_response(body: &[u8]) -> Result<(u64, Vec<Decision>), FrameError> {
+    let mut reader = FrameReader::new(body);
+    let proto = reader.u8()?;
+    if proto != PROTO_VERSION {
+        return Err(FrameError(format!("unsupported protocol version {proto}")));
+    }
+    let version = reader.u64()?;
+    let count = reader.u32()? as usize;
+    let mut decisions = Vec::with_capacity(count.min(reader.remaining() / RECORD_HEADER_LEN + 1));
+    for _ in 0..count {
+        let action = reader.u8()?;
+        let source = reader.u8()?;
+        let payload = reader.bytes()?;
+        decisions.push(frames::decode_decision(action, source, payload)?);
+    }
+    reader.finish()?;
+    Ok((version, decisions))
+}
+
+/// Encode the `GET /v1/keys` handshake reply: the key-id table of the
+/// serving verdict table. `keys[i]` is the string whose interned id is
+/// `i`; the epoch scopes every id's validity (a restore bumps it).
+pub fn keys_to_json(epoch: u64, version: u64, keys: &FrozenKeys) -> String {
+    object(vec![
+        ("epoch", Value::number_u64(epoch)),
+        ("version", Value::number_u64(version)),
+        (
+            "keys",
+            Value::Array(
+                keys.iter()
+                    .map(|(_, name)| Value::String(name.to_string()))
+                    .collect(),
+            ),
+        ),
+    ])
+    .render()
 }
 
 /// One observation as it travels over `POST /v1/observations`: either
@@ -440,6 +642,8 @@ pub fn service_stats_to_json(stats: &ServiceStats) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
+    use trackersift::{DecisionSource, Granularity, MethodAction};
 
     #[test]
     fn decision_encodings_round_trip() {
@@ -518,6 +722,107 @@ mod tests {
     fn unknown_discriminants_are_rejected() {
         assert!(decision_from_json(&Value::parse(r#"{"action":"explode"}"#).unwrap()).is_err());
         assert!(resource_type_from_str("warp-drive").is_err());
-        assert!(granularity_from_str("Universe").is_err());
+        assert!(resource_type_from_code(250).is_err());
+    }
+
+    #[test]
+    fn resource_type_codes_are_a_bijection() {
+        for kind in ResourceType::ALL {
+            assert_eq!(
+                resource_type_from_code(resource_type_code(kind)).unwrap(),
+                kind
+            );
+        }
+    }
+
+    #[test]
+    fn binary_requests_round_trip_both_forms() {
+        let message = DecisionMessage::new("hub.com", "w.hub.com", "https://p.com/m.js", "xhr")
+            .with_url("https://w.hub.com/x?y=1", "pub.com", ResourceType::Xhr);
+        let string_record = BinaryRecord::from_message(&message);
+        let id_record = BinaryRecord {
+            keys: BinaryKeys::Ids {
+                domain: 3,
+                hostname: 1,
+                script: 9,
+                method: u32::MAX,
+            },
+            context: None,
+        };
+
+        let single = encode_binary_single(7, &string_record);
+        let decoded = decode_binary_request(&single).expect("single decodes");
+        assert!(!decoded.batch);
+        assert_eq!(decoded.epoch, 7);
+        assert_eq!(decoded.records, vec![string_record]);
+        assert!(!decoded.uses_ids());
+
+        let batch = encode_binary_batch(9, &[id_record, string_record]);
+        let decoded = decode_binary_request(&batch).expect("batch decodes");
+        assert!(decoded.batch);
+        assert_eq!(decoded.epoch, 9);
+        assert_eq!(decoded.records, vec![id_record, string_record]);
+        assert!(decoded.uses_ids());
+
+        // Every truncation fails cleanly, never panics.
+        for cut in 0..batch.len() {
+            assert!(decode_binary_request(&batch[..cut]).is_err());
+        }
+        // Trailing garbage is rejected.
+        let mut padded = batch.clone();
+        padded.push(0);
+        assert!(decode_binary_request(&padded).is_err());
+        // Unknown protocol / kind / form / flags are rejected.
+        let mut wrong_proto = single.clone();
+        wrong_proto[0] = 9;
+        assert!(decode_binary_request(&wrong_proto).is_err());
+        let mut wrong_kind = single.clone();
+        wrong_kind[1] = 7;
+        assert!(decode_binary_request(&wrong_kind).is_err());
+        let mut wrong_form = single.clone();
+        wrong_form[10] = 5;
+        assert!(decode_binary_request(&wrong_form).is_err());
+        let mut wrong_flags = single;
+        wrong_flags[11] = 0x80 | FLAG_URL;
+        assert!(decode_binary_request(&wrong_flags).is_err());
+    }
+
+    #[test]
+    fn binary_responses_round_trip() {
+        let fixed = Decision::Block(DecisionSource::Hierarchy(Granularity::Domain));
+        let single = frames::encode_fixed_single(&fixed, 42);
+        assert_eq!(
+            decode_binary_single_response(&single).expect("single decodes"),
+            (42, fixed.clone())
+        );
+
+        let plan = SurrogateScript {
+            script_url: "https://pub.com/mixed.js".into(),
+            methods: vec![("track".into(), MethodAction::Stub)],
+            suppressed_tracking_requests: 6,
+            preserved_functional_requests: 8,
+        };
+        let payload = frames::encode_surrogate_payload(&plan);
+        let mut body = frames::encode_surrogate_single_header(3, payload.len() as u32).to_vec();
+        body.extend_from_slice(&payload);
+        let (version, decision) = decode_binary_single_response(&body).expect("surrogate decodes");
+        assert_eq!(version, 3);
+        assert_eq!(decision, Decision::Surrogate(Arc::new(plan.clone())));
+
+        // A batch mixing a fixed decision and a surrogate.
+        let mut batch = vec![PROTO_VERSION];
+        batch.extend_from_slice(&11u64.to_le_bytes());
+        batch.extend_from_slice(&2u32.to_le_bytes());
+        let (action, source) = frames::codes_of(&fixed);
+        batch.extend_from_slice(&frames::encode_record_header(action, source, 0));
+        batch.extend_from_slice(&frames::encode_record_header(
+            frames::ACTION_SURROGATE,
+            frames::SOURCE_NONE,
+            payload.len() as u32,
+        ));
+        batch.extend_from_slice(&payload);
+        let (version, decisions) = decode_binary_batch_response(&batch).expect("batch decodes");
+        assert_eq!(version, 11);
+        assert_eq!(decisions, vec![fixed, Decision::Surrogate(Arc::new(plan))]);
     }
 }

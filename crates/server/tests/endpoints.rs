@@ -6,9 +6,11 @@
 use crawler::json::Value;
 use proptest::prelude::*;
 use std::time::Duration;
-use trackersift::{DecisionRequest, Sifter};
+use trackersift::{Decision, DecisionRequest, Sifter};
 use trackersift_server::client::Client;
-use trackersift_server::wire::{self, DecisionMessage, ObservationMessage};
+use trackersift_server::wire::{
+    self, BinaryKeys, BinaryRecord, DecisionMessage, ObservationMessage,
+};
 use trackersift_server::{ServerConfig, VerdictServer};
 
 /// The fixed training set behind the golden fixtures: one pure tracking
@@ -298,6 +300,204 @@ fn snapshot_round_trips_over_the_wire() {
     server.shutdown();
 }
 
+#[test]
+fn binary_protocol_handshake_and_decisions() {
+    let local = trained_sifter();
+    let server = start_server(trained_sifter());
+    let mut client = Client::connect(server.local_addr());
+
+    // The handshake: every interned key string, index == id.
+    let keys = client.fetch_keys();
+    assert_eq!(keys.epoch, 0, "fresh server starts at key epoch 0");
+    assert_eq!(keys.version, 1);
+    assert!(!keys.is_empty());
+
+    // Id-form single request: four u32s on the wire, block decision back.
+    let record = BinaryRecord {
+        keys: BinaryKeys::Ids {
+            domain: keys.id_of("ads.com").expect("interned domain"),
+            hostname: keys.id_of("px.ads.com").expect("interned hostname"),
+            script: keys.id_of("https://pub.com/a.js").expect("interned script"),
+            method: keys.id_of("send").expect("interned method"),
+        },
+        context: None,
+    };
+    let (version, decision) = client.decide_binary_single(keys.epoch, &record);
+    assert_eq!(version, 1);
+    assert_eq!(
+        decision,
+        local.decide(&DecisionRequest::new(
+            "ads.com",
+            "px.ads.com",
+            "https://pub.com/a.js",
+            "send"
+        ))
+    );
+
+    // String-form single request: surrogate payloads (the full method
+    // plan) survive the binary framing.
+    let surrogate_record = BinaryRecord {
+        keys: BinaryKeys::Strings {
+            domain: "hub.com",
+            hostname: "w.hub.com",
+            script: "https://pub.com/mixed.js",
+            method: "dispatch",
+        },
+        context: None,
+    };
+    let (_, decision) = client.decide_binary_single(keys.epoch, &surrogate_record);
+    assert_eq!(
+        decision,
+        local.decide(&DecisionRequest::new(
+            "hub.com",
+            "w.hub.com",
+            "https://pub.com/mixed.js",
+            "dispatch"
+        ))
+    );
+
+    // An id the table never handed out is an unknown key, not an error.
+    let unknown = BinaryRecord {
+        keys: BinaryKeys::Ids {
+            domain: u32::MAX,
+            hostname: u32::MAX,
+            script: u32::MAX,
+            method: u32::MAX,
+        },
+        context: None,
+    };
+    let (_, decision) = client.decide_binary_single(keys.epoch, &unknown);
+    assert_eq!(decision, Decision::Observe);
+
+    // A batch mixes forms freely; one pinned version covers every record.
+    let (version, decisions) =
+        client.decide_binary_batch(keys.epoch, &[record, surrogate_record, unknown]);
+    assert_eq!(version, 1);
+    assert_eq!(decisions.len(), 3);
+    assert_eq!(decisions[2], Decision::Observe);
+    assert!(matches!(decisions[1], Decision::Surrogate(_)));
+
+    // A batch frame on the single endpoint is a client fault, not a serve.
+    let batch_frame = wire::encode_binary_batch(keys.epoch, &[unknown]);
+    let (status, reply) = client.request_bytes(
+        "POST",
+        "/v1/decisions",
+        Some(wire::BINARY_CONTENT_TYPE),
+        &batch_frame,
+    );
+    assert_eq!(status, 400);
+    assert!(String::from_utf8_lossy(&reply).contains("does not match the endpoint"));
+
+    server.shutdown();
+}
+
+#[test]
+fn stale_key_epoch_is_a_conflict_not_a_wrong_answer() {
+    let server = start_server(trained_sifter());
+    let mut client = Client::connect(server.local_addr());
+    let stale = client.fetch_keys();
+    assert_eq!(stale.epoch, 0);
+    let record = BinaryRecord {
+        keys: BinaryKeys::Ids {
+            domain: stale.id_of("ads.com").expect("interned domain"),
+            hostname: stale.id_of("px.ads.com").expect("interned hostname"),
+            script: stale
+                .id_of("https://pub.com/a.js")
+                .expect("interned script"),
+            method: stale.id_of("send").expect("interned method"),
+        },
+        context: None,
+    };
+
+    // Restoring a snapshot re-interns every key: old ids now point at
+    // arbitrary strings, so the epoch moves and stale ids must bounce.
+    let snapshot = trained_sifter().snapshot().to_json_string();
+    let (status, _) = client.request("PUT", "/v1/snapshot", Some(&snapshot));
+    assert_eq!(status, 200);
+
+    let frame = wire::encode_binary_single(stale.epoch, &record);
+    let (status, reply) = client.request_bytes(
+        "POST",
+        "/v1/decisions",
+        Some(wire::BINARY_CONTENT_TYPE),
+        &frame,
+    );
+    assert_eq!(status, 409, "stale epoch must conflict");
+    assert!(String::from_utf8_lossy(&reply).contains("re-fetch /v1/keys"));
+
+    // Re-handshake and the same logical request works again. (The 409
+    // closed the connection — it is an error response.)
+    let mut client = Client::connect(server.local_addr());
+    let fresh = client.fetch_keys();
+    assert!(fresh.epoch > stale.epoch, "restore must advance the epoch");
+    let record = BinaryRecord {
+        keys: BinaryKeys::Ids {
+            domain: fresh.id_of("ads.com").expect("interned domain"),
+            hostname: fresh.id_of("px.ads.com").expect("interned hostname"),
+            script: fresh
+                .id_of("https://pub.com/a.js")
+                .expect("interned script"),
+            method: fresh.id_of("send").expect("interned method"),
+        },
+        context: None,
+    };
+    let (_, decision) = client.decide_binary_single(fresh.epoch, &record);
+    assert!(matches!(decision, Decision::Block(_)));
+
+    // String-form records never depend on the handshake, whatever the
+    // epoch byte says.
+    let by_name = BinaryRecord {
+        keys: BinaryKeys::Strings {
+            domain: "ads.com",
+            hostname: "px.ads.com",
+            script: "https://pub.com/a.js",
+            method: "send",
+        },
+        context: None,
+    };
+    let (_, decision) = client.decide_binary_single(stale.epoch, &by_name);
+    assert!(matches!(decision, Decision::Block(_)));
+
+    server.shutdown();
+}
+
+/// The connection-scheduler acceptance check: hundreds of concurrent
+/// keep-alive connections are multiplexed by the fixed worker pool, not
+/// given a thread each.
+#[test]
+fn many_keep_alive_connections_without_thread_per_connection() {
+    let server = start_server(trained_sifter());
+    let mut clients: Vec<Client> = (0..512)
+        .map(|_| Client::connect(server.local_addr()))
+        .collect();
+    // Every connection serves traffic and stays open.
+    for client in &mut clients {
+        let (status, body) = client.request("GET", "/healthz", None);
+        assert_eq!((status, body.as_str()), (200, "ok"));
+    }
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").expect("read proc status");
+        let threads: usize = status
+            .lines()
+            .find_map(|line| line.strip_prefix("Threads:"))
+            .expect("Threads line")
+            .trim()
+            .parse()
+            .expect("thread count");
+        assert!(
+            threads < 100,
+            "expected a fixed pool, found {threads} threads for 512 connections"
+        );
+    }
+    // The pool still serves a newcomer while all 512 stay connected.
+    let mut fresh = Client::connect(server.local_addr());
+    let (status, _) = fresh.request("GET", "/healthz", None);
+    assert_eq!(status, 200);
+    drop(clients);
+    server.shutdown();
+}
+
 /// Deterministic observation tuples from a splitmix-style stream.
 fn observations(count: usize, mut seed: u64) -> Vec<(String, String, String, String, bool)> {
     let mut next = move || {
@@ -368,6 +568,9 @@ proptest! {
         let mut client = Client::connect(server.local_addr());
         let (status, _) = client.request("PUT", "/v1/snapshot", Some(&snapshot.to_json_string()));
         prop_assert_eq!(status, 200);
+        // Binary handshake against the state this case just transferred
+        // (every restore advances the key epoch, so re-fetch per case).
+        let keys = client.fetch_keys();
 
         // Every attribution tuple the pools can produce, plus unknowns.
         for domain in 0..5u64 {
@@ -402,7 +605,35 @@ proptest! {
                         );
                         // ...and deserialises back to an equal Decision.
                         let decoded = wire::decision_from_json(served).expect("decode decision");
-                        prop_assert_eq!(decoded, expected);
+                        prop_assert_eq!(&decoded, &expected);
+
+                        // The binary codec agrees too, in both key forms.
+                        // String form first:
+                        let by_name = BinaryRecord {
+                            keys: BinaryKeys::Strings {
+                                domain: &message.domain,
+                                hostname: &message.hostname,
+                                script: &message.script,
+                                method: &message.method,
+                            },
+                            context: None,
+                        };
+                        let (_, decoded) = client.decide_binary_single(keys.epoch, &by_name);
+                        prop_assert_eq!(&decoded, &expected);
+                        // ...then id form, with uninterned strings mapped
+                        // to an id the table never issued (same semantics
+                        // as an unknown string).
+                        let by_id = BinaryRecord {
+                            keys: BinaryKeys::Ids {
+                                domain: keys.id_of(&message.domain).unwrap_or(u32::MAX),
+                                hostname: keys.id_of(&message.hostname).unwrap_or(u32::MAX),
+                                script: keys.id_of(&message.script).unwrap_or(u32::MAX),
+                                method: keys.id_of(&message.method).unwrap_or(u32::MAX),
+                            },
+                            context: None,
+                        };
+                        let (_, decoded) = client.decide_binary_single(keys.epoch, &by_id);
+                        prop_assert_eq!(&decoded, &expected);
                     }
                 }
             }
