@@ -13,7 +13,11 @@
 //!   fixed-width frames are for;
 //! * `connections` — the JSON single-decision load swept across 2, 64 and
 //!   512 concurrent keep-alive connections against the same fixed worker
-//!   pool, sizing the readiness-polled scheduler.
+//!   pool, sizing the readiness-polled scheduler;
+//! * `overload` — a second server with a deliberately tiny connection
+//!   budget, driven at 2× that budget: sheds (`503` + `Retry-After` at
+//!   accept) are counted and retried, measuring the shed rate and the
+//!   latency tail the *admitted* requests keep under admission control.
 //!
 //! Reported per mode: requests/sec, decisions/sec, and p50/p99 latency —
 //! the numbers that size a deployment (how many proxy workers per verdict
@@ -30,6 +34,10 @@
 //! * `TRACKERSIFT_BENCH_HTTP_PIPELINE` — binary in-flight window (default 64);
 //! * `TRACKERSIFT_BENCH_HTTP_SWEEP_REQUESTS` — requests per connection-sweep
 //!   point (default 20,000);
+//! * `TRACKERSIFT_BENCH_HTTP_OVERLOAD_BUDGET` — connection budget of the
+//!   overload server; the load runs at twice this many clients (default 4);
+//! * `TRACKERSIFT_BENCH_HTTP_OVERLOAD_REQUESTS` — admitted requests to
+//!   complete under overload (default 4,000);
 //! * `TRACKERSIFT_BENCH_OUT` — output path (default `BENCH_server.json`).
 
 use std::io::{Read, Write};
@@ -179,6 +187,81 @@ fn drive_pipelined(
     (elapsed, latencies)
 }
 
+/// Drive `total` *admitted* requests across `clients` keep-alive
+/// connections against a server whose connection budget is smaller than
+/// `clients`. A shed connection (the accept-time `503`, or the reset that
+/// can race it on loopback) is counted, backed off briefly, and replaced
+/// with a fresh connect, so every thread eventually completes its quota as
+/// admitted peers finish and release budget. Returns (elapsed, sorted
+/// admitted-request latencies in ms, shed count).
+fn drive_overload(
+    addr: SocketAddr,
+    clients: usize,
+    total: usize,
+    target: &str,
+    bodies: &[String],
+) -> (Duration, Vec<f64>, u64) {
+    let per_client = total.div_ceil(clients);
+    let start = Instant::now();
+    let (mut latencies, sheds) = thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|index| {
+                scope.spawn(move || {
+                    let mut samples = Vec::with_capacity(per_client);
+                    let mut sheds = 0u64;
+                    let mut conn: Option<Client> = None;
+                    let mut served = 0usize;
+                    while served < per_client {
+                        let Some(client) = conn.as_mut() else {
+                            match Client::try_connect(addr, Duration::from_secs(1)) {
+                                Ok(fresh) => conn = Some(fresh),
+                                Err(_) => thread::sleep(Duration::from_millis(1)),
+                            }
+                            continue;
+                        };
+                        let body = bodies[(index + served * clients) % bodies.len()].as_bytes();
+                        let sent = Instant::now();
+                        match client.try_request_bytes("POST", target, None, body) {
+                            Ok(response) if response.status == 200 => {
+                                samples.push(sent.elapsed().as_secs_f64() * 1e3);
+                                served += 1;
+                            }
+                            Ok(response) => {
+                                assert_eq!(
+                                    response.status, 503,
+                                    "unexpected status under overload"
+                                );
+                                sheds += 1;
+                                conn = None;
+                                thread::sleep(Duration::from_millis(1));
+                            }
+                            Err(_) => {
+                                // The server closed right after its
+                                // accept-time 503 and the reset ate the
+                                // response bytes; same shed, different race.
+                                sheds += 1;
+                                conn = None;
+                                thread::sleep(Duration::from_millis(1));
+                            }
+                        }
+                    }
+                    (samples, sheds)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .fold((Vec::new(), 0u64), |(mut all, shed), handle| {
+                let (samples, count) = handle.join().expect("client thread");
+                all.extend(samples);
+                (all, shed + count)
+            })
+    });
+    let elapsed = start.elapsed();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    (elapsed, latencies, sheds)
+}
+
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -196,6 +279,8 @@ fn main() {
     let workers = env_usize("TRACKERSIFT_BENCH_HTTP_WORKERS", 2).max(1);
     let pipeline = env_usize("TRACKERSIFT_BENCH_HTTP_PIPELINE", 64).max(1);
     let sweep_requests = env_usize("TRACKERSIFT_BENCH_HTTP_SWEEP_REQUESTS", 20_000).max(1);
+    let overload_budget = env_usize("TRACKERSIFT_BENCH_HTTP_OVERLOAD_BUDGET", 4).max(1);
+    let overload_requests = env_usize("TRACKERSIFT_BENCH_HTTP_OVERLOAD_REQUESTS", 4_000).max(1);
     let out_path =
         std::env::var("TRACKERSIFT_BENCH_OUT").unwrap_or_else(|_| "BENCH_server.json".to_string());
 
@@ -338,6 +423,37 @@ fn main() {
         .collect();
     server.shutdown();
 
+    // Overload: a fresh server whose admission control caps concurrent
+    // connections at `overload_budget`, driven by twice that many clients.
+    let mut overload_sifter = Sifter::builder()
+        .thresholds(study.config.thresholds)
+        .build();
+    overload_sifter.observe_all(&study.requests);
+    overload_sifter.commit();
+    let (overload_writer, _overload_reader) = overload_sifter.into_concurrent();
+    let overload_server = VerdictServer::start(
+        overload_writer,
+        ServerConfig {
+            workers,
+            max_connections: overload_budget,
+            retry_after: 1,
+            ..ServerConfig::ephemeral()
+        },
+    )
+    .expect("start overload verdict server");
+    let overload_clients = overload_budget * 2;
+    let (overload_elapsed, overload_lat, overload_sheds) = drive_overload(
+        overload_server.local_addr(),
+        overload_clients,
+        overload_requests,
+        "/v1/decisions",
+        &single_bodies,
+    );
+    overload_server.shutdown();
+    let overload_admitted = overload_lat.len();
+    let overload_shed_rate =
+        overload_sheds as f64 / (overload_admitted as f64 + overload_sheds as f64).max(1.0);
+
     let json = format!(
         r#"{{
   "benchmark": "server",
@@ -377,7 +493,17 @@ fn main() {
   }},
   "connections": [
     {connections}
-  ]
+  ],
+  "overload": {{
+    "connection_budget": {overload_budget},
+    "clients": {overload_clients},
+    "admitted_requests": {overload_admitted},
+    "shed_connections": {overload_sheds},
+    "shed_rate": {overload_shed_rate:.4},
+    "admitted_requests_per_sec": {overload_rps:.2},
+    "admitted_p50_ms": {overload_p50:.4},
+    "admitted_p99_ms": {overload_p99:.4}
+  }}
 }}"#,
         labeled = study.requests.len(),
         cores = thread::available_parallelism().map_or(1, usize::from),
@@ -397,6 +523,9 @@ fn main() {
         binary_batch_p50 = percentile(&binary_batch_lat, 0.50),
         binary_batch_p99 = percentile(&binary_batch_lat, 0.99),
         connections = sweep.join(",\n    "),
+        overload_rps = overload_admitted as f64 / overload_elapsed.as_secs_f64(),
+        overload_p50 = percentile(&overload_lat, 0.50),
+        overload_p99 = percentile(&overload_lat, 0.99),
     );
     std::fs::write(&out_path, format!("{json}\n")).expect("write benchmark output");
     eprintln!("wrote {out_path}");

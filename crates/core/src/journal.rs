@@ -1,0 +1,775 @@
+//! Write-ahead observation journal: crash durability for the serving
+//! state.
+//!
+//! A [`Sifter`](crate::service::Sifter) behind a
+//! [`SifterWriter`](crate::concurrent::SifterWriter) accumulates
+//! observations in memory and folds them in at `commit()`; a process crash
+//! between snapshots silently loses everything since the last export. The
+//! [`Journal`] closes that gap with the classic write-ahead discipline:
+//! every observation is appended (and periodically fsynced) to an
+//! append-only log *before* it mutates writer state, commits append a
+//! marker and force an fsync, and boot replays the log on top of the last
+//! snapshot. `kill -9` at any instant loses at most the un-fsynced tail.
+//!
+//! # Record format
+//!
+//! The journal is a flat sequence of length-prefixed, checksummed frames
+//! (all integers little-endian):
+//!
+//! | bytes | field |
+//! |---|---|
+//! | 4 | `len` — payload length |
+//! | `len` | payload (first byte is the record kind) |
+//! | 8 | FNV-1a 64 checksum of the payload ([`filterlist::tokens::fnv1a64`], the same hash the filter index uses) |
+//!
+//! Payloads (strings are `u32`-length-prefixed UTF-8):
+//!
+//! | kind | record | payload after the kind byte |
+//! |---|---|---|
+//! | `1` | [`JournalEntry::Parts`] | 4 strings + `u8` tracking flag |
+//! | `2` | [`JournalEntry::Url`] | url, source hostname, resource-type option name, script, method |
+//! | `3` | [`JournalEntry::Commit`] | `u64` published version |
+//!
+//! # Torn-write recovery
+//!
+//! A crash mid-append leaves a *torn tail*: a frame with a short length
+//! prefix, a truncated payload, or a checksum that does not match.
+//! [`Journal::replay`] is deliberately forgiving about exactly that shape
+//! of damage and strict about everything else: it decodes frames from the
+//! start, **stops at the first bad checksum or short frame** and reports
+//! the clean prefix — it never errors on a valid prefix, and never
+//! "recovers" a record whose checksum fails. [`Journal::recover`]
+//! additionally truncates the file back to the clean prefix so appends
+//! resume from a consistent point. The fault-injection suite proves the
+//! property by replaying journals truncated at *every* byte offset.
+
+use crate::failpoint;
+use filterlist::tokens::fnv1a64;
+use filterlist::ResourceType;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Hard cap on one record's payload — a torn or corrupt length prefix
+/// claiming gigabytes must read as "torn tail", not as an allocation.
+const MAX_PAYLOAD_BYTES: u32 = 16 * 1024 * 1024;
+
+const KIND_PARTS: u8 = 1;
+const KIND_URL: u8 = 2;
+const KIND_COMMIT: u8 = 3;
+
+/// One replayed journal record, in append order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalEntry {
+    /// A pre-labeled observation
+    /// ([`SifterWriter::observe_parts`](crate::concurrent::SifterWriter::observe_parts)).
+    Parts {
+        /// Registrable domain.
+        domain: String,
+        /// Full hostname.
+        hostname: String,
+        /// Initiating script URL.
+        script: String,
+        /// Initiating method name.
+        method: String,
+        /// The oracle label.
+        tracking: bool,
+    },
+    /// A raw-URL observation
+    /// ([`SifterWriter::observe_url`](crate::concurrent::SifterWriter::observe_url))
+    /// — replayed through the same labeling path, so recovery is
+    /// deterministic for a writer configured with the same engine.
+    Url {
+        /// The raw request URL.
+        url: String,
+        /// Hostname of the page issuing the request.
+        source_hostname: String,
+        /// Resource type of the request.
+        resource_type: ResourceType,
+        /// Initiating script URL.
+        script: String,
+        /// Initiating method name.
+        method: String,
+    },
+    /// A commit marker: every observation before it was folded into the
+    /// servable state as the given published version.
+    Commit {
+        /// The published table version this commit produced.
+        version: u64,
+    },
+}
+
+/// What a replay found: how much of the file was a clean prefix and what
+/// (if anything) was torn off the tail.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Records decoded from the clean prefix.
+    pub records: u64,
+    /// Commit markers among them.
+    pub commits: u64,
+    /// Bytes of clean prefix (the recovery truncation point).
+    pub valid_bytes: u64,
+    /// Bytes past the clean prefix (the torn tail; `0` for a clean log).
+    pub torn_bytes: u64,
+}
+
+/// Counters describing a journal's lifetime activity, surfaced through
+/// `GET /v1/stats` on a durable verdict server.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Records appended since open.
+    pub appended: u64,
+    /// Records guaranteed on disk (covered by a completed fsync).
+    pub synced: u64,
+    /// `fsync` calls issued.
+    pub syncs: u64,
+    /// Appends or flushes that failed with an I/O error (degraded
+    /// durability: serving continues, the record is not journaled).
+    pub write_errors: u64,
+    /// `fsync` failures (the batch stays unsynced until a later sync
+    /// succeeds).
+    pub sync_errors: u64,
+    /// Rotations (truncations after a successful checkpoint).
+    pub rotations: u64,
+    /// Bytes currently in the journal file (including unflushed buffer).
+    pub bytes: u64,
+}
+
+/// An append-only, checksummed write-ahead log of observations and commit
+/// markers; see the [module docs](self) for the format and recovery
+/// semantics.
+///
+/// Appends are buffered in memory and flushed to the file either when the
+/// batch threshold (`sync_every` records) is reached or when a commit
+/// marker forces a sync — the fsync batching that makes journaling cheap
+/// on the ingest path.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    /// Appended-but-unflushed frame bytes.
+    buffer: Vec<u8>,
+    /// Records buffered since the last completed fsync.
+    unsynced: u64,
+    /// Force a sync once this many records are unsynced.
+    sync_every: u64,
+    /// Bytes durably in the file (flushed; not necessarily fsynced).
+    file_bytes: u64,
+    /// A simulated crash (failpoint byte-budget cut) wedged the file:
+    /// later writes are dropped, as they would be after the real crash.
+    wedged: bool,
+    stats: JournalStats,
+}
+
+impl Journal {
+    /// Open (creating if absent) the journal at `path` for appending,
+    /// *without* replaying it — use [`Journal::recover`] on boot. Existing
+    /// bytes are preserved; appends go to the end.
+    pub fn open(path: impl Into<PathBuf>, sync_every: u64) -> io::Result<Journal> {
+        failpoint::check_io("journal.open")?;
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(&path)?;
+        let file_bytes = file.seek(SeekFrom::End(0))?;
+        Ok(Journal {
+            path,
+            file,
+            buffer: Vec::new(),
+            unsynced: 0,
+            sync_every: sync_every.max(1),
+            file_bytes,
+            wedged: false,
+            stats: JournalStats {
+                bytes: file_bytes,
+                ..JournalStats::default()
+            },
+        })
+    }
+
+    /// Replay the journal at `path` without modifying it: decode the clean
+    /// prefix, stop at the first bad checksum or short frame. A missing
+    /// file is an empty journal, not an error.
+    pub fn replay(path: &Path) -> io::Result<(Vec<JournalEntry>, ReplayReport)> {
+        failpoint::check_io("journal.open")?;
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(error) if error.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(error) => return Err(error),
+        };
+        Ok(Self::replay_bytes(&bytes))
+    }
+
+    /// [`Journal::replay`] over an in-memory image (the truncation
+    /// property tests drive this directly).
+    pub fn replay_bytes(bytes: &[u8]) -> (Vec<JournalEntry>, ReplayReport) {
+        let mut entries = Vec::new();
+        let mut report = ReplayReport::default();
+        let mut at = 0usize;
+        while let Some(len_bytes) = bytes.get(at..at + 4) {
+            let len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+            if len == 0 || len > MAX_PAYLOAD_BYTES as usize {
+                break;
+            }
+            let Some(payload) = bytes.get(at + 4..at + 4 + len) else {
+                break;
+            };
+            let Some(checksum_bytes) = bytes.get(at + 4 + len..at + 12 + len) else {
+                break;
+            };
+            let checksum = u64::from_le_bytes(checksum_bytes.try_into().expect("8 bytes"));
+            if fnv1a64(payload) != checksum {
+                break;
+            }
+            // The checksum held, so the payload is exactly what was
+            // appended; a payload that still fails to decode is treated as
+            // end-of-clean-prefix too (replay never errors).
+            let Some(entry) = decode_payload(payload) else {
+                break;
+            };
+            if matches!(entry, JournalEntry::Commit { .. }) {
+                report.commits += 1;
+            }
+            entries.push(entry);
+            report.records += 1;
+            at += 12 + len;
+        }
+        report.valid_bytes = at as u64;
+        report.torn_bytes = bytes.len() as u64 - at as u64;
+        (entries, report)
+    }
+
+    /// Open the journal at `path`, replay its clean prefix, and truncate
+    /// any torn tail so appends resume from a consistent point. Returns
+    /// the journal positioned at the end of the clean prefix plus the
+    /// replayed entries for the caller to apply.
+    pub fn recover(
+        path: impl Into<PathBuf>,
+        sync_every: u64,
+    ) -> io::Result<(Journal, Vec<JournalEntry>, ReplayReport)> {
+        let path = path.into();
+        let (entries, report) = Self::replay(&path)?;
+        let mut journal = Self::open(&path, sync_every)?;
+        if report.torn_bytes > 0 {
+            journal.file.set_len(report.valid_bytes)?;
+            journal.file.seek(SeekFrom::End(0))?;
+            journal.file_bytes = report.valid_bytes;
+            journal.stats.bytes = report.valid_bytes;
+        }
+        Ok((journal, entries, report))
+    }
+
+    /// Append one record (buffered; see the batching rules in the type
+    /// docs). Errors are also counted in [`JournalStats::write_errors`] so
+    /// a caller that chooses to keep serving still surfaces the degraded
+    /// durability.
+    pub fn append(&mut self, entry: &JournalEntry) -> io::Result<()> {
+        if let Err(error) = failpoint::check_io("journal.append") {
+            self.stats.write_errors += 1;
+            return Err(error);
+        }
+        let payload = encode_payload(entry);
+        self.buffer
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buffer.extend_from_slice(&payload);
+        self.buffer
+            .extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        self.stats.appended += 1;
+        self.stats.bytes = self.file_bytes + self.buffer.len() as u64;
+        self.unsynced += 1;
+        if self.unsynced >= self.sync_every {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Flush buffered frames to the file and `fsync` it: everything
+    /// appended so far is durable when this returns `Ok`. Failures are
+    /// counted ([`JournalStats::sync_errors`] / `write_errors`) and leave
+    /// the unflushed bytes buffered for the next attempt.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.flush_buffer()?;
+        if let Err(error) = failpoint::check_io("journal.sync") {
+            self.stats.sync_errors += 1;
+            return Err(error);
+        }
+        if let Err(error) = self.file.sync_data() {
+            self.stats.sync_errors += 1;
+            return Err(error);
+        }
+        self.stats.syncs += 1;
+        self.stats.synced = self.stats.appended;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Truncate the journal to empty — call only once a checkpoint
+    /// (snapshot export) covering every journaled record is durable.
+    pub fn rotate(&mut self) -> io::Result<()> {
+        self.buffer.clear();
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::End(0))?;
+        self.file.sync_data()?;
+        self.file_bytes = 0;
+        self.unsynced = 0;
+        self.wedged = false;
+        self.stats.rotations += 1;
+        self.stats.bytes = 0;
+        self.stats.synced = self.stats.appended;
+        Ok(())
+    }
+
+    /// Bytes currently journaled (including the unflushed buffer) — the
+    /// rotation-threshold input for auto-checkpointing.
+    pub fn len_bytes(&self) -> u64 {
+        self.stats.bytes
+    }
+
+    /// The journal file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Lifetime activity counters.
+    pub fn stats(&self) -> &JournalStats {
+        &self.stats
+    }
+
+    fn flush_buffer(&mut self) -> io::Result<()> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        if self.wedged {
+            // A simulated crash already cut this file; drop the bytes the
+            // "dead" process would never have written.
+            self.buffer.clear();
+            self.stats.write_errors += 1;
+            return Ok(());
+        }
+        if let Err(error) = failpoint::check_io("journal.write") {
+            self.stats.write_errors += 1;
+            return Err(error);
+        }
+        // A `journal.cut` failpoint budget simulates the crash tearing the
+        // write at an exact byte offset: the prefix reaches the file, the
+        // rest never happened.
+        let allowed = failpoint::write_allowance("journal.cut", self.buffer.len());
+        if allowed < self.buffer.len() {
+            let _ = self.file.write_all(&self.buffer[..allowed]);
+            self.file_bytes += allowed as u64;
+            self.buffer.clear();
+            self.wedged = true;
+            self.stats.write_errors += 1;
+            self.stats.bytes = self.file_bytes;
+            return Ok(());
+        }
+        self.file.write_all(&self.buffer)?;
+        self.file_bytes += self.buffer.len() as u64;
+        self.buffer.clear();
+        self.stats.bytes = self.file_bytes;
+        Ok(())
+    }
+}
+
+/// Write `bytes` to `path` atomically: temp file, `fsync`, rename. A
+/// crash at any instant leaves either the old file or the new one, never
+/// a half-written hybrid. (Threaded with the `snapshot.write` /
+/// `snapshot.rename` failpoints.)
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    failpoint::check_io("snapshot.write")?;
+    let tmp = path.with_extension("tmp");
+    let mut file = File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_data()?;
+    drop(file);
+    failpoint::check_io("snapshot.rename")?;
+    std::fs::rename(&tmp, path)
+}
+
+/// What booting a durable store recovered, for observability: did a
+/// snapshot load, and how much journal replayed on top of it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The checkpoint generation the store booted from.
+    pub generation: u64,
+    /// Whether a checkpoint snapshot was found and restored.
+    pub restored_snapshot: bool,
+    /// Observations carried by the restored snapshot.
+    pub snapshot_observations: u64,
+    /// Journal records replayed on top of the snapshot.
+    pub replayed_records: u64,
+    /// Commit markers among the replayed records.
+    pub replayed_commits: u64,
+    /// Bytes torn off the journal tail (lost to the crash — at most the
+    /// un-fsynced suffix).
+    pub torn_bytes: u64,
+}
+
+/// A checkpoint-generation directory: the crash-safe pairing of one
+/// snapshot file with the journal of observations made after it.
+///
+/// Layout under the directory:
+///
+/// | file | content |
+/// |---|---|
+/// | `CURRENT` | the live generation number `g` (written atomically) |
+/// | `snapshot-<g>.json` | the checkpoint snapshot (absent for generation 0) |
+/// | `journal-<g>.wal` | observations journaled since that checkpoint |
+///
+/// [`DurableDir::advance`] builds the next generation's pair completely
+/// (snapshot written + fsynced, fresh journal created) **before**
+/// atomically flipping `CURRENT` — so a crash at any point during a
+/// checkpoint boots from a consistent older or newer pair, never from a
+/// new snapshot with a stale journal (which would double-count every
+/// replayed observation).
+#[derive(Debug)]
+pub struct DurableDir {
+    dir: PathBuf,
+    generation: u64,
+}
+
+impl DurableDir {
+    /// Open (creating if absent) a durable store directory and read its
+    /// live generation (`0` for a fresh directory).
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<DurableDir> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let generation = match std::fs::read_to_string(dir.join("CURRENT")) {
+            Ok(text) => text.trim().parse::<u64>().map_err(|_| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("corrupt CURRENT pointer {text:?}"),
+                )
+            })?,
+            Err(error) if error.kind() == io::ErrorKind::NotFound => 0,
+            Err(error) => return Err(error),
+        };
+        Ok(DurableDir { dir, generation })
+    }
+
+    /// The live checkpoint generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Path of the live generation's snapshot (may not exist for
+    /// generation 0, which has no checkpoint yet).
+    pub fn snapshot_path(&self) -> PathBuf {
+        self.dir.join(format!("snapshot-{}.json", self.generation))
+    }
+
+    /// Path of the live generation's journal.
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join(format!("journal-{}.wal", self.generation))
+    }
+
+    /// Publish the next checkpoint generation: write `snapshot_json`
+    /// atomically, create a fresh empty journal, then flip `CURRENT`.
+    /// Returns the new generation's journal. On error the live generation
+    /// is unchanged (the half-built next generation is garbage a later
+    /// `advance` overwrites).
+    pub fn advance(&mut self, snapshot_json: &str, sync_every: u64) -> io::Result<Journal> {
+        let next = self.generation + 1;
+        write_atomic(
+            &self.dir.join(format!("snapshot-{next}.json")),
+            snapshot_json.as_bytes(),
+        )?;
+        let journal_path = self.dir.join(format!("journal-{next}.wal"));
+        // A crashed earlier attempt at this generation may have left a
+        // stale journal; the new generation starts empty.
+        match std::fs::remove_file(&journal_path) {
+            Ok(()) => {}
+            Err(error) if error.kind() == io::ErrorKind::NotFound => {}
+            Err(error) => return Err(error),
+        }
+        let journal = Journal::open(&journal_path, sync_every)?;
+        write_atomic(&self.dir.join("CURRENT"), next.to_string().as_bytes())?;
+        let previous = self.generation;
+        self.generation = next;
+        // The old pair is unreachable once CURRENT flipped; removal is
+        // best-effort cleanup, not correctness.
+        let _ = std::fs::remove_file(self.dir.join(format!("snapshot-{previous}.json")));
+        let _ = std::fs::remove_file(self.dir.join(format!("journal-{previous}.wal")));
+        Ok(journal)
+    }
+}
+
+impl JournalStats {
+    /// Fold another stats block into this one (used to keep lifetime
+    /// totals across journal rotations, where each generation starts a
+    /// fresh [`Journal`]).
+    pub fn accumulate(&mut self, other: &JournalStats) {
+        self.appended += other.appended;
+        self.synced += other.synced;
+        self.syncs += other.syncs;
+        self.write_errors += other.write_errors;
+        self.sync_errors += other.sync_errors;
+        self.rotations += other.rotations;
+        self.bytes = other.bytes;
+    }
+}
+
+fn push_string(out: &mut Vec<u8>, text: &str) {
+    out.extend_from_slice(&(text.len() as u32).to_le_bytes());
+    out.extend_from_slice(text.as_bytes());
+}
+
+fn encode_payload(entry: &JournalEntry) -> Vec<u8> {
+    let mut out = Vec::new();
+    match entry {
+        JournalEntry::Parts {
+            domain,
+            hostname,
+            script,
+            method,
+            tracking,
+        } => {
+            out.push(KIND_PARTS);
+            push_string(&mut out, domain);
+            push_string(&mut out, hostname);
+            push_string(&mut out, script);
+            push_string(&mut out, method);
+            out.push(u8::from(*tracking));
+        }
+        JournalEntry::Url {
+            url,
+            source_hostname,
+            resource_type,
+            script,
+            method,
+        } => {
+            out.push(KIND_URL);
+            push_string(&mut out, url);
+            push_string(&mut out, source_hostname);
+            push_string(&mut out, resource_type.option_name());
+            push_string(&mut out, script);
+            push_string(&mut out, method);
+        }
+        JournalEntry::Commit { version } => {
+            out.push(KIND_COMMIT);
+            out.extend_from_slice(&version.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decode one checksum-verified payload; `None` for anything that does
+/// not parse exactly (replay treats it as the end of the clean prefix).
+fn decode_payload(payload: &[u8]) -> Option<JournalEntry> {
+    let mut reader = crate::frames::FrameReader::new(payload);
+    let kind = reader.u8().ok()?;
+    let entry = match kind {
+        KIND_PARTS => {
+            let domain = reader.string().ok()?.to_string();
+            let hostname = reader.string().ok()?.to_string();
+            let script = reader.string().ok()?.to_string();
+            let method = reader.string().ok()?.to_string();
+            let tracking = match reader.u8().ok()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+            JournalEntry::Parts {
+                domain,
+                hostname,
+                script,
+                method,
+                tracking,
+            }
+        }
+        KIND_URL => {
+            let url = reader.string().ok()?.to_string();
+            let source_hostname = reader.string().ok()?.to_string();
+            let type_name = reader.string().ok()?;
+            let resource_type = ResourceType::ALL
+                .into_iter()
+                .find(|kind| kind.option_name() == type_name)?;
+            let script = reader.string().ok()?.to_string();
+            let method = reader.string().ok()?.to_string();
+            JournalEntry::Url {
+                url,
+                source_hostname,
+                resource_type,
+                script,
+                method,
+            }
+        }
+        KIND_COMMIT => JournalEntry::Commit {
+            version: reader.u64().ok()?,
+        },
+        _ => return None,
+    };
+    reader.finish().ok()?;
+    Some(entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock")
+            .as_nanos();
+        std::env::temp_dir().join(format!(
+            "trackersift-journal-{tag}-{}-{nanos}.wal",
+            std::process::id()
+        ))
+    }
+
+    fn parts(n: u64) -> JournalEntry {
+        JournalEntry::Parts {
+            domain: format!("d{n}.com"),
+            hostname: format!("h{n}.d{n}.com"),
+            script: format!("https://pub.com/s{n}.js"),
+            method: "send".to_string(),
+            tracking: n % 2 == 0,
+        }
+    }
+
+    #[test]
+    fn round_trips_every_record_kind() {
+        let path = temp_path("roundtrip");
+        let entries = vec![
+            parts(1),
+            JournalEntry::Url {
+                url: "https://t.example/p.gif".into(),
+                source_hostname: "pub.com".into(),
+                resource_type: ResourceType::Image,
+                script: "https://pub.com/a.js".into(),
+                method: "beacon".into(),
+            },
+            JournalEntry::Commit { version: 7 },
+        ];
+        {
+            let mut journal = Journal::open(&path, 1000).expect("open");
+            for entry in &entries {
+                journal.append(entry).expect("append");
+            }
+            journal.sync().expect("sync");
+            assert_eq!(journal.stats().appended, 3);
+            assert_eq!(journal.stats().synced, 3);
+        }
+        let (replayed, report) = Journal::replay(&path).expect("replay");
+        assert_eq!(replayed, entries);
+        assert_eq!(report.records, 3);
+        assert_eq!(report.commits, 1);
+        assert_eq!(report.torn_bytes, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_stops_at_a_torn_tail_and_recover_truncates_it() {
+        let path = temp_path("torn");
+        {
+            let mut journal = Journal::open(&path, 1).expect("open");
+            for n in 0..5 {
+                journal.append(&parts(n)).expect("append");
+            }
+            journal.sync().expect("sync");
+        }
+        let full = std::fs::read(&path).expect("read journal");
+        // Tear the last frame: flip a byte inside its checksum.
+        let mut torn = full.clone();
+        let last = torn.len() - 1;
+        torn[last] ^= 0xFF;
+        std::fs::write(&path, &torn).expect("write torn journal");
+
+        let (entries, report) = Journal::replay(&path).expect("replay");
+        assert_eq!(entries.len(), 4, "the torn record is dropped");
+        assert!(report.torn_bytes > 0);
+
+        let (mut journal, recovered, report) = Journal::recover(&path, 1).expect("recover");
+        assert_eq!(recovered.len(), 4);
+        assert_eq!(report.valid_bytes, journal.len_bytes());
+        // Appends after recovery extend the clean prefix.
+        journal.append(&parts(9)).expect("append");
+        journal.sync().expect("sync");
+        drop(journal);
+        let (entries, report) = Journal::replay(&path).expect("replay");
+        assert_eq!(entries.len(), 5);
+        assert_eq!(report.torn_bytes, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn every_byte_prefix_replays_to_a_clean_record_prefix() {
+        let path = temp_path("prefix");
+        let mut journal = Journal::open(&path, 1000).expect("open");
+        let entries: Vec<JournalEntry> = (0..4).map(parts).collect();
+        for entry in &entries {
+            journal.append(entry).expect("append");
+        }
+        journal.append(&JournalEntry::Commit { version: 1 }).ok();
+        journal.sync().expect("sync");
+        drop(journal);
+        let bytes = std::fs::read(&path).expect("read");
+        for cut in 0..=bytes.len() {
+            let (replayed, report) = Journal::replay_bytes(&bytes[..cut]);
+            assert!(replayed.len() <= 5);
+            // The replayed records are exactly a prefix of what was
+            // appended — never reordered, never corrupted.
+            for (at, entry) in replayed.iter().enumerate() {
+                if at < 4 {
+                    assert_eq!(entry, &entries[at], "cut at {cut}");
+                } else {
+                    assert_eq!(entry, &JournalEntry::Commit { version: 1 });
+                }
+            }
+            assert_eq!(report.valid_bytes + report.torn_bytes, cut as u64);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rotation_empties_the_file() {
+        let path = temp_path("rotate");
+        let mut journal = Journal::open(&path, 1000).expect("open");
+        journal.append(&parts(1)).expect("append");
+        journal.sync().expect("sync");
+        assert!(journal.len_bytes() > 0);
+        journal.rotate().expect("rotate");
+        assert_eq!(journal.len_bytes(), 0);
+        assert_eq!(journal.stats().rotations, 1);
+        drop(journal);
+        let (entries, report) = Journal::replay(&path).expect("replay");
+        assert!(entries.is_empty());
+        assert_eq!(report.valid_bytes, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn durable_dir_advances_generations_atomically() {
+        let dir = temp_path("ddir").with_extension("d");
+        let mut store = DurableDir::open(&dir).expect("open");
+        assert_eq!(store.generation(), 0);
+        assert_eq!(store.journal_path(), dir.join("journal-0.wal"));
+        let mut journal = store.advance("{\"snapshot\":1}", 4).expect("advance");
+        assert_eq!(store.generation(), 1);
+        journal.append(&parts(1)).expect("append");
+        journal.sync().expect("sync");
+        drop(journal);
+        // A fresh open (a reboot) sees the flipped generation and its pair.
+        let reopened = DurableDir::open(&dir).expect("reopen");
+        assert_eq!(reopened.generation(), 1);
+        let snapshot = std::fs::read_to_string(reopened.snapshot_path()).expect("snapshot");
+        assert_eq!(snapshot, "{\"snapshot\":1}");
+        let (entries, report) = Journal::replay(&reopened.journal_path()).expect("replay");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(report.torn_bytes, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_and_oversized_length_prefixes_read_as_torn() {
+        let (entries, report) = Journal::replay_bytes(&[0, 0, 0, 0, 1, 2, 3]);
+        assert!(entries.is_empty());
+        assert_eq!(report.torn_bytes, 7);
+        let huge = (MAX_PAYLOAD_BYTES + 1).to_le_bytes();
+        let (entries, _) = Journal::replay_bytes(&huge);
+        assert!(entries.is_empty());
+    }
+}

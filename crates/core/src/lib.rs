@@ -29,6 +29,8 @@
 //! | flattened verdict tables (shared read representation) | [`table`] |
 //! | concurrent serving (lock-free readers + atomic publish) | [`concurrent`] |
 //! | trained-state persistence (versioned) | [`snapshot`] |
+//! | crash durability (write-ahead journal + checkpoints) | [`journal`] |
+//! | deterministic fault injection (feature-gated) | [`failpoint`] |
 //!
 //! ## Execution model
 //!
@@ -89,9 +91,11 @@ pub mod breakage;
 pub mod callstack;
 pub mod concurrent;
 pub mod decision;
+pub mod failpoint;
 pub mod frames;
 pub mod hierarchy;
 pub mod intern;
+pub mod journal;
 pub mod label;
 pub mod memo;
 pub mod metrics;
@@ -117,6 +121,7 @@ pub use hierarchy::{
     ClassCounts, Granularity, HierarchicalClassifier, HierarchyResult, LevelResult, ResourceEntry,
 };
 pub use intern::{FrozenKeys, KeyInterner, KeyResolver, ResourceKey};
+pub use journal::{DurableDir, Journal, JournalEntry, JournalStats, RecoveryReport, ReplayReport};
 pub use label::{LabelStats, LabeledFrame, LabeledRequest, Labeler};
 pub use memo::{CacheStats, LabelCache};
 pub use metrics::{headline, table1, table2, HeadlineSummary, Table1Row, Table2Row};

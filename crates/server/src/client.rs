@@ -3,16 +3,21 @@
 //! `bench_server` all drive the server with, so the wire framing is
 //! parsed in exactly one place on the client side too.
 //!
-//! This is a *testing and benchmarking* utility, not a production client:
-//! transport failures and malformed responses panic with context instead
-//! of returning errors, because in every intended caller a broken
-//! response IS the test failure.
+//! [`Client`] is a *testing and benchmarking* utility, not a production
+//! client: transport failures and malformed responses panic with context
+//! instead of returning errors, because in every intended caller a broken
+//! response IS the test failure. For callers that need to survive a
+//! flaky or overloaded server, [`RetryingClient`] wraps the same wire
+//! framing in per-request timeouts and jittered exponential-backoff
+//! retries that honor the server's `Retry-After` shed hint, bounded by a
+//! lifetime retry budget so a dying server is never hammered forever.
 
 use crate::wire::{self, BinaryRecord};
 use crawler::json::Value;
 use std::collections::HashMap;
-use std::io::{Read, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::thread;
 use std::time::Duration;
 use trackersift::Decision;
 
@@ -48,6 +53,18 @@ impl KeyTable {
     }
 }
 
+/// One fully read response from the non-panicking request path.
+#[derive(Debug)]
+pub struct RawResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// The server's `Retry-After` hint in seconds, present on shed
+    /// (`503`) responses.
+    pub retry_after: Option<u32>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
 /// A keep-alive HTTP/1.1 client connection.
 #[derive(Debug)]
 pub struct Client {
@@ -69,6 +86,24 @@ impl Client {
         // Nagle + delayed-ACK interaction adds ~40ms to every request.
         stream.set_nodelay(true).expect("set client nodelay");
         Client { stream }
+    }
+
+    /// Connect with a bounded connect timeout, returning errors instead of
+    /// panicking — the entry point for callers that must survive a server
+    /// that is down or refusing connections.
+    pub fn try_connect(addr: SocketAddr, connect_timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect_timeout(&addr, connect_timeout)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Bound every subsequent read *and* write on this connection (`None`
+    /// blocks forever). A request that exceeds the bound fails with
+    /// `WouldBlock`/`TimedOut` instead of hanging its caller.
+    pub fn set_request_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
     }
 
     /// Issue one request and read the full response; returns
@@ -218,7 +253,38 @@ impl Client {
         Some((status, body))
     }
 
+    /// The non-panicking twin of [`Client::request_bytes`]: issue one
+    /// request, read the full response (including the `Retry-After` shed
+    /// hint), and surface transport or framing problems as errors.
+    pub fn try_request_bytes(
+        &mut self,
+        method: &str,
+        target: &str,
+        content_type: Option<&str>,
+        body: &[u8],
+    ) -> io::Result<RawResponse> {
+        let content_type = content_type
+            .map(|value| format!("Content-Type: {value}\r\n"))
+            .unwrap_or_default();
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: verdicts\r\n{content_type}Content-Length: {}\r\n\r\n",
+            body.len()
+        );
+        let mut request = head.into_bytes();
+        request.extend_from_slice(body);
+        self.stream.write_all(&request)?;
+        self.try_read_response()
+    }
+
     fn read_response(&mut self) -> (u16, Vec<u8>) {
+        match self.try_read_response() {
+            Ok(response) => (response.status, response.body),
+            Err(error) => panic!("read verdict-server response: {error}"),
+        }
+    }
+
+    fn try_read_response(&mut self) -> io::Result<RawResponse> {
+        let malformed = |detail: String| io::Error::new(io::ErrorKind::InvalidData, detail);
         let mut raw = Vec::new();
         let mut chunk = [0u8; 4096];
         // Read the head.
@@ -226,34 +292,256 @@ impl Client {
             if let Some(end) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
                 break end;
             }
-            let n = self.stream.read(&mut chunk).expect("read response head");
-            assert!(
-                n > 0,
-                "server closed mid-response: {:?}",
-                String::from_utf8_lossy(&raw)
-            );
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(malformed(format!(
+                    "server closed mid-response: {:?}",
+                    String::from_utf8_lossy(&raw)
+                )));
+            }
             raw.extend_from_slice(&chunk[..n]);
         };
-        let head = String::from_utf8(raw[..head_end].to_vec()).expect("utf-8 response head");
+        let head = std::str::from_utf8(&raw[..head_end])
+            .map_err(|_| malformed("non-utf-8 response head".to_string()))?;
         let status: u16 = head
             .strip_prefix("HTTP/1.1 ")
             .and_then(|rest| rest.get(..3))
             .and_then(|code| code.parse().ok())
-            .unwrap_or_else(|| panic!("malformed status line in {head:?}"));
-        let content_length: usize = head
-            .lines()
-            .find_map(|line| {
-                let (name, value) = line.split_once(':')?;
-                name.eq_ignore_ascii_case("content-length")
-                    .then(|| value.trim().parse().expect("numeric content-length"))
-            })
-            .expect("content-length header");
+            .ok_or_else(|| malformed(format!("malformed status line in {head:?}")))?;
+        let mut content_length: Option<usize> = None;
+        let mut retry_after: Option<u32> = None;
+        for line in head.lines() {
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = Some(
+                    value
+                        .trim()
+                        .parse()
+                        .map_err(|_| malformed(format!("bad content-length {value:?}")))?,
+                );
+            } else if name.eq_ignore_ascii_case("retry-after") {
+                retry_after = value.trim().parse().ok();
+            }
+        }
+        let content_length =
+            content_length.ok_or_else(|| malformed("missing content-length".to_string()))?;
         let mut body = raw[head_end + 4..].to_vec();
         while body.len() < content_length {
-            let n = self.stream.read(&mut chunk).expect("read response body");
-            assert!(n > 0, "server closed mid-body");
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(malformed("server closed mid-body".to_string()));
+            }
             body.extend_from_slice(&chunk[..n]);
         }
-        (status, body)
+        Ok(RawResponse {
+            status,
+            retry_after,
+            body,
+        })
+    }
+}
+
+/// Retry and timeout policy for a [`RetryingClient`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Bound on establishing a TCP connection.
+    pub connect_timeout: Duration,
+    /// Bound on each individual request/response exchange.
+    pub request_timeout: Duration,
+    /// Attempts per request (first try included). `1` disables retries.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent attempt.
+    pub base_backoff: Duration,
+    /// Cap on any single backoff sleep — also caps an honored
+    /// `Retry-After` hint, so a server asking for minutes cannot stall a
+    /// test-scale caller.
+    pub max_backoff: Duration,
+    /// Lifetime retry budget across all requests of this client. Once
+    /// spent, every request gets exactly one attempt — the client-side
+    /// brake against retry storms amplifying an overload.
+    pub retry_budget: u32,
+    /// Seed for the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            connect_timeout: Duration::from_secs(1),
+            request_timeout: Duration::from_secs(10),
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            retry_budget: 64,
+            seed: 0x5eed_5eed_5eed_5eed,
+        }
+    }
+}
+
+/// A self-healing client: reconnects on transport errors, retries failed
+/// exchanges and shed (`503`) responses with jittered exponential backoff
+/// (honoring the server's `Retry-After` hint), and gives up cleanly when
+/// its [`RetryPolicy::retry_budget`] runs out.
+#[derive(Debug)]
+pub struct RetryingClient {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    conn: Option<Client>,
+    /// xorshift64 state for backoff jitter.
+    jitter: u64,
+    budget_left: u32,
+    retries_spent: u64,
+}
+
+impl RetryingClient {
+    /// A client for `addr`; nothing connects until the first request.
+    pub fn new(addr: SocketAddr, policy: RetryPolicy) -> RetryingClient {
+        RetryingClient {
+            addr,
+            jitter: policy.seed | 1,
+            budget_left: policy.retry_budget,
+            retries_spent: 0,
+            policy,
+            conn: None,
+        }
+    }
+
+    /// Total retries this client has performed (across all requests).
+    pub fn retries_spent(&self) -> u64 {
+        self.retries_spent
+    }
+
+    /// Issue one request, retrying per the policy. Returns the final
+    /// response — which may still be a `503` if the budget or attempt
+    /// limit ran out while the server was shedding — or the final
+    /// transport error.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        content_type: Option<&str>,
+        body: &[u8],
+    ) -> io::Result<RawResponse> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let result = self.attempt_once(method, target, content_type, body);
+            let retry_hint = match &result {
+                // Only a shed response is worth retrying among successful
+                // exchanges: other statuses (200, 4xx) are final answers.
+                Ok(response) if response.status == 503 => Some(
+                    response
+                        .retry_after
+                        .map(|s| Duration::from_secs(u64::from(s))),
+                ),
+                Ok(_) => None,
+                Err(_) => {
+                    // The connection state is unknown after a transport
+                    // error; rebuild it on the next attempt.
+                    self.conn = None;
+                    Some(None)
+                }
+            };
+            let Some(hint) = retry_hint else {
+                return result;
+            };
+            if attempt >= self.policy.max_attempts || self.budget_left == 0 {
+                return result;
+            }
+            self.budget_left -= 1;
+            self.retries_spent += 1;
+            thread::sleep(self.backoff(attempt, hint));
+        }
+    }
+
+    fn attempt_once(
+        &mut self,
+        method: &str,
+        target: &str,
+        content_type: Option<&str>,
+        body: &[u8],
+    ) -> io::Result<RawResponse> {
+        if self.conn.is_none() {
+            let mut client = Client::try_connect(self.addr, self.policy.connect_timeout)?;
+            client.set_request_timeout(Some(self.policy.request_timeout))?;
+            self.conn = Some(client);
+        }
+        let conn = self.conn.as_mut().expect("connection just established");
+        conn.try_request_bytes(method, target, content_type, body)
+    }
+
+    /// The sleep before retry number `attempt`: exponential from
+    /// `base_backoff` with up-to-50% deterministic jitter, overridden by
+    /// the server's `Retry-After` when given — both capped at
+    /// `max_backoff`.
+    fn backoff(&mut self, attempt: u32, hint: Option<Duration>) -> Duration {
+        if let Some(hint) = hint {
+            return hint.min(self.policy.max_backoff);
+        }
+        let exp = self
+            .policy
+            .base_backoff
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.policy.max_backoff);
+        self.jitter ^= self.jitter << 13;
+        self.jitter ^= self.jitter >> 7;
+        self.jitter ^= self.jitter << 17;
+        let jitter_micros = if exp.as_micros() > 1 {
+            self.jitter % (exp.as_micros() as u64 / 2 + 1)
+        } else {
+            0
+        };
+        exp + Duration::from_micros(jitter_micros)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_jittered_and_capped() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().expect("addr");
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+            ..RetryPolicy::default()
+        };
+        let mut client = RetryingClient::new(addr, policy);
+        let first = client.backoff(1, None);
+        assert!(first >= Duration::from_millis(10) && first <= Duration::from_millis(15));
+        let second = client.backoff(2, None);
+        assert!(second >= Duration::from_millis(20) && second <= Duration::from_millis(30));
+        // Attempt 40 would be 2^39 × base without the cap.
+        let late = client.backoff(40, None);
+        assert!(late <= Duration::from_millis(150));
+        // A Retry-After hint wins but is still capped.
+        assert_eq!(
+            client.backoff(1, Some(Duration::from_secs(3600))),
+            Duration::from_millis(100)
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_stops_retrying_against_a_dead_server() {
+        // Nothing listens on port 1, so every attempt fails to connect.
+        let addr: SocketAddr = "127.0.0.1:1".parse().expect("addr");
+        let policy = RetryPolicy {
+            connect_timeout: Duration::from_millis(50),
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            max_attempts: 3,
+            retry_budget: 3,
+            ..RetryPolicy::default()
+        };
+        let mut client = RetryingClient::new(addr, policy);
+        assert!(client.request("GET", "/healthz", None, b"").is_err());
+        assert_eq!(client.retries_spent(), 2, "max_attempts bounds one request");
+        assert!(client.request("GET", "/healthz", None, b"").is_err());
+        assert_eq!(client.retries_spent(), 3, "lifetime budget caps the rest");
+        assert!(client.request("GET", "/healthz", None, b"").is_err());
+        assert_eq!(client.retries_spent(), 3, "budget spent: single attempts");
     }
 }

@@ -128,6 +128,8 @@ pub struct HttpResponse {
     pub body: Vec<u8>,
     /// Force `Connection: close` regardless of the request's preference.
     pub close: bool,
+    /// Emit a `Retry-After: <seconds>` header (load-shedding responses).
+    pub retry_after: Option<u32>,
 }
 
 impl HttpResponse {
@@ -139,6 +141,7 @@ impl HttpResponse {
             content_type: "application/json",
             body: body.into_bytes(),
             close: false,
+            retry_after: None,
         }
     }
 
@@ -150,6 +153,7 @@ impl HttpResponse {
             content_type: "text/plain",
             body: body.as_bytes().to_vec(),
             close: false,
+            retry_after: None,
         }
     }
 
@@ -161,6 +165,7 @@ impl HttpResponse {
             content_type,
             body,
             close: false,
+            retry_after: None,
         }
     }
 
@@ -178,6 +183,31 @@ impl HttpResponse {
             content_type: "application/json",
             body: body.into_bytes(),
             close: status >= 400,
+            retry_after: None,
+        }
+    }
+
+    /// A `503 Service Unavailable` load-shed response with a `Retry-After`
+    /// hint in seconds — the typed overload signal of the admission
+    /// controller. Shed responses keep the connection open when `close` is
+    /// `false`: a polite client backs off and reuses the connection rather
+    /// than paying a reconnect against an already-loaded server.
+    pub fn shed(retry_after: u32, detail: &str, close: bool) -> Self {
+        let body = crawler::json::object(vec![
+            ("error", crawler::json::Value::String(detail.to_string())),
+            (
+                "retry_after",
+                crawler::json::Value::number_u64(u64::from(retry_after)),
+            ),
+        ])
+        .render();
+        HttpResponse {
+            status: 503,
+            reason: "Service Unavailable",
+            content_type: "application/json",
+            body: body.into_bytes(),
+            close,
+            retry_after: Some(retry_after),
         }
     }
 
@@ -186,12 +216,17 @@ impl HttpResponse {
     /// open afterwards.
     pub fn render_into(&self, out: &mut Vec<u8>, request_keep_alive: bool) -> bool {
         let keep_alive = request_keep_alive && !self.close;
+        let retry_after = match self.retry_after {
+            Some(seconds) => format!("Retry-After: {seconds}\r\n"),
+            None => String::new(),
+        };
         let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
             self.status,
             self.reason,
             self.content_type,
             self.body.len(),
+            retry_after,
             if keep_alive { "keep-alive" } else { "close" },
         );
         out.extend_from_slice(head.as_bytes());

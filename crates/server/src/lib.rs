@@ -48,6 +48,27 @@
 //! (the table was restored from a snapshot since the handshake) gets
 //! `409 Conflict`, never a silently wrong verdict.
 //!
+//! # Crash-only serving
+//!
+//! The server is built to be killed, not shut down:
+//!
+//! * **Durability** ([`DurabilityConfig`]): observations are written to a
+//!   checksummed write-ahead journal *before* they mutate trainer state,
+//!   commit markers are fsynced before the fold they cover, and boot
+//!   replays snapshot + journal (tolerating a torn tail). `kill -9` loses
+//!   at most the un-fsynced journal tail; a clean [`VerdictServer::shutdown`]
+//!   merely syncs that tail — it deliberately restarts into the same
+//!   state a crash would.
+//! * **Self-healing workers**: a panic in a worker's event loop costs the
+//!   connection that triggered it, never the worker — the loop is
+//!   respawned (counted as `restarts` in `GET /v1/stats`) and its
+//!   admission budget is released by connection destructors during the
+//!   unwind.
+//! * **Overload shedding**: bounded budgets on live connections and
+//!   in-flight requests; work over budget is refused early with
+//!   `503` + `Retry-After` (a binary shed frame on the binary protocol)
+//!   instead of queueing into collapse.
+//!
 //! # Example
 //!
 //! ```
@@ -90,6 +111,8 @@ use http::{HttpRequest, HttpResponse, RequestParser};
 use poller::Poller;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
@@ -97,8 +120,8 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 use trackersift::frames::{self, PROTO_VERSION};
 use trackersift::{
-    CommitStats, DecisionRequest, KeyedRequest, ObserveOutcome, PrebuiltDecision, ServiceStats,
-    SifterReader, SifterSnapshot, SifterWriter, VerdictTable,
+    CommitStats, DecisionRequest, JournalStats, KeyedRequest, ObserveOutcome, PrebuiltDecision,
+    RecoveryReport, ServiceStats, SifterReader, SifterSnapshot, SifterWriter, VerdictTable,
 };
 use wire::{BinaryKeys, BinaryRecord, DecisionMessage, ObservationMessage};
 
@@ -128,6 +151,26 @@ pub struct ServerConfig {
     /// Idle timeout: a connection that makes no read/write progress for
     /// this long is closed, so a stalled client releases its slot.
     pub read_timeout: Duration,
+    /// Admission budget on concurrent connections across the whole pool.
+    /// A fresh accept over this budget is answered with a best-effort
+    /// `503` + `Retry-After` and closed instead of being multiplexed.
+    pub max_connections: usize,
+    /// Admission budget on in-flight requests (parsed but not yet fully
+    /// flushed) across the pool. A request admitted over this budget gets
+    /// `503` + `Retry-After` (JSON or a binary shed frame, matching the
+    /// request's protocol) but keeps its connection.
+    pub max_inflight: usize,
+    /// The `Retry-After` hint (seconds) attached to every shed response.
+    pub retry_after: u32,
+    /// Upper bound on the graceful drain at shutdown: requests already on
+    /// the wire get this long to finish and flush before the workers give
+    /// up and close.
+    pub drain_timeout: Duration,
+    /// Crash durability. `Some` attaches a write-ahead observation journal
+    /// (see [`trackersift::journal`]) to the writer before serving starts:
+    /// the boot replays the previous generation's snapshot + journal, and
+    /// every observation is journaled before it mutates trainer state.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServerConfig {
@@ -137,6 +180,11 @@ impl Default for ServerConfig {
             workers: 4,
             max_body_bytes: 4 * 1024 * 1024,
             read_timeout: Duration::from_secs(5),
+            max_connections: 1024,
+            max_inflight: 256,
+            retry_after: 1,
+            drain_timeout: Duration::from_secs(2),
+            durability: None,
         }
     }
 }
@@ -148,6 +196,39 @@ impl ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             ..ServerConfig::default()
+        }
+    }
+}
+
+/// Where and how the server journals observations for crash recovery.
+///
+/// The directory holds LevelDB-style generations — a `CURRENT` pointer
+/// file, `snapshot-<g>.json`, `journal-<g>.wal` — managed by
+/// [`trackersift::DurableDir`]. A `kill -9` at any byte boundary loses at
+/// most the journal tail that was never fsynced.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// The generation directory (created if missing).
+    pub dir: PathBuf,
+    /// fsync cadence: flush + sync the journal after this many appended
+    /// records (commit markers always sync immediately). `1` = sync every
+    /// record (maximum durability, minimum throughput).
+    pub sync_every: u64,
+    /// Rotate the journal into a fresh snapshot generation at the first
+    /// commit after the journal file exceeds this many bytes (`0` = never
+    /// auto-checkpoint). Rotation happens only at commit boundaries so an
+    /// auto-checkpoint never publishes uncommitted observations.
+    pub checkpoint_bytes: u64,
+}
+
+impl DurabilityConfig {
+    /// Durability in `dir` with the default cadence: sync every 64
+    /// records, checkpoint past 8 MiB of journal.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            sync_every: 64,
+            checkpoint_bytes: 8 * 1024 * 1024,
         }
     }
 }
@@ -165,6 +246,32 @@ struct ServingCounters {
     /// `accept(2)` failures this worker absorbed (each one feeds the
     /// exponential backoff).
     accept_failures: AtomicU64,
+    /// Times this worker's event loop panicked and was respawned.
+    restarts: AtomicU64,
+    /// Connections refused at accept because the pool was over its
+    /// connection budget.
+    shed_connections: AtomicU64,
+    /// Requests answered `503` because the pool was over its in-flight
+    /// budget.
+    shed_requests: AtomicU64,
+}
+
+/// Pool-wide live gauges behind the admission decisions. Updated by every
+/// worker; released exactly in [`Conn`]'s `Drop` so a panicking worker's
+/// unwinding connections never leak budget.
+#[derive(Debug, Default)]
+struct Gauges {
+    /// Connections currently multiplexed across all workers.
+    active_connections: AtomicU64,
+    /// Requests parsed but not yet fully flushed, across all workers.
+    inflight: AtomicU64,
+}
+
+/// What `GET /v1/stats` learns from the admin thread in one round-trip.
+struct AdminStats {
+    service: ServiceStats,
+    journal: Option<JournalStats>,
+    generation: Option<u64>,
 }
 
 /// Work routed to the admin thread (the single [`SifterWriter`] owner).
@@ -173,7 +280,7 @@ enum AdminMsg {
     Commit(Sender<(CommitStats, u64)>),
     Export(Sender<String>),
     Import(Box<SifterSnapshot>, Sender<Result<(u64, u64, u64), String>>),
-    Stats(Sender<ServiceStats>),
+    Stats(Sender<AdminStats>),
 }
 
 /// A running verdict server; dropping (or [`VerdictServer::shutdown`])
@@ -184,13 +291,29 @@ pub struct VerdictServer {
     stop: Arc<AtomicBool>,
     workers: Vec<JoinHandle<()>>,
     admin: Option<JoinHandle<()>>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl VerdictServer {
     /// Bind the listener, spawn the worker pool (one cloned
     /// [`SifterReader`] each) and the admin thread (sole owner of the
     /// [`SifterWriter`]), and start serving.
-    pub fn start(writer: SifterWriter, config: ServerConfig) -> io::Result<VerdictServer> {
+    ///
+    /// With [`ServerConfig::durability`] set, the writer first recovers
+    /// from the configured generation directory (snapshot + journal
+    /// replay, torn tail tolerated) **before** the listener accepts
+    /// anything, so the first served verdict already reflects every
+    /// fsynced observation of the previous life; the report of what was
+    /// recovered is kept on the handle ([`VerdictServer::recovery`]).
+    pub fn start(mut writer: SifterWriter, config: ServerConfig) -> io::Result<VerdictServer> {
+        let recovery = match &config.durability {
+            Some(durability) => Some(writer.open_durable(&durability.dir, durability.sync_every)?),
+            None => None,
+        };
+        let checkpoint_bytes = config
+            .durability
+            .as_ref()
+            .map_or(0, |durability| durability.checkpoint_bytes);
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -201,11 +324,13 @@ impl VerdictServer {
                 .map(|_| ServingCounters::default())
                 .collect(),
         );
+        let gauges = Arc::new(Gauges::default());
+        let recovery_shared: Arc<Option<RecoveryReport>> = Arc::new(recovery.clone());
         let reader = writer.reader();
         let (admin_tx, admin_rx) = mpsc::channel();
         let admin = thread::Builder::new()
             .name("verdict-admin".to_string())
-            .spawn(move || admin_loop(writer, admin_rx))?;
+            .spawn(move || admin_loop(writer, admin_rx, checkpoint_bytes))?;
 
         // Build the handle before spawning workers so a mid-startup
         // failure (fd exhaustion on try_clone, spawn refusal) tears down
@@ -216,6 +341,7 @@ impl VerdictServer {
             stop,
             workers: Vec::with_capacity(worker_count),
             admin: Some(admin),
+            recovery,
         };
         let spawned = (|| -> io::Result<()> {
             for index in 0..worker_count {
@@ -225,9 +351,15 @@ impl VerdictServer {
                     admin: admin_tx.clone(),
                     stop: Arc::clone(&server.stop),
                     counters: Arc::clone(&counters),
+                    gauges: Arc::clone(&gauges),
+                    recovery: Arc::clone(&recovery_shared),
                     index,
                     max_body_bytes: config.max_body_bytes,
                     read_timeout: config.read_timeout,
+                    max_connections: config.max_connections,
+                    max_inflight: config.max_inflight,
+                    retry_after: config.retry_after,
+                    drain_timeout: config.drain_timeout,
                 };
                 server.workers.push(
                     thread::Builder::new()
@@ -256,7 +388,18 @@ impl VerdictServer {
         self.addr
     }
 
-    /// Stop accepting, wake the workers, and join every thread.
+    /// What boot recovery replayed from the durability directory, when
+    /// [`ServerConfig::durability`] was set (`None` otherwise).
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Stop accepting, drain gracefully, and join every thread: requests
+    /// already on the wire finish and flush (bounded by
+    /// [`ServerConfig::drain_timeout`]), idle connections close, and the
+    /// admin thread syncs the journal tail on its way out. Deliberately
+    /// **no** checkpoint on shutdown: a clean stop restarts into exactly
+    /// the state a crash at the same instant would (crash-only design).
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
@@ -280,9 +423,24 @@ impl Drop for VerdictServer {
     }
 }
 
+/// Rotate the journal into a fresh snapshot generation once it outgrows
+/// `checkpoint_bytes`. Called only right after a commit, so the fold the
+/// checkpoint performs is a no-op and never publishes uncommitted state;
+/// a failed rotation is absorbed (the old generation keeps working and
+/// the error shows up in the journal counters at the next attempt).
+fn maybe_checkpoint(writer: &mut SifterWriter, checkpoint_bytes: u64) {
+    if checkpoint_bytes == 0 {
+        return;
+    }
+    let journal_bytes = writer.journal_stats().map_or(0, |stats| stats.bytes);
+    if journal_bytes >= checkpoint_bytes {
+        let _ = writer.checkpoint();
+    }
+}
+
 /// The admin thread: applies every mutation through the single writer, so
 /// commits and snapshot swaps are serialised and published atomically.
-fn admin_loop(mut writer: SifterWriter, rx: mpsc::Receiver<AdminMsg>) {
+fn admin_loop(mut writer: SifterWriter, rx: mpsc::Receiver<AdminMsg>, checkpoint_bytes: u64) {
     while let Ok(message) = rx.recv() {
         match message {
             AdminMsg::Observe(observations, reply) => {
@@ -327,6 +485,7 @@ fn admin_loop(mut writer: SifterWriter, rx: mpsc::Receiver<AdminMsg>) {
             AdminMsg::Commit(reply) => {
                 let stats = writer.commit();
                 let _ = reply.send((stats, writer.published_version()));
+                maybe_checkpoint(&mut writer, checkpoint_bytes);
             }
             AdminMsg::Export(reply) => {
                 let _ = reply.send(writer.snapshot().to_json_string());
@@ -334,21 +493,38 @@ fn admin_loop(mut writer: SifterWriter, rx: mpsc::Receiver<AdminMsg>) {
             AdminMsg::Import(snapshot, reply) => {
                 let result = writer
                     .restore_snapshot(&snapshot)
-                    .map(|dropped_pending| {
-                        (
+                    .map_err(|error| error.to_string())
+                    .and_then(|dropped_pending| {
+                        // A restored state is not durable until it is
+                        // checkpointed into its own generation — the old
+                        // journal belongs to the pre-restore state. Only
+                        // report success once that checkpoint lands.
+                        if writer.durable_generation().is_some() {
+                            writer.checkpoint().map_err(|error| {
+                                format!("snapshot restored but not checkpointed: {error}")
+                            })?;
+                        }
+                        Ok((
                             writer.published_version(),
                             writer.sifter().observed(),
                             dropped_pending,
-                        )
-                    })
-                    .map_err(|error| error.to_string());
+                        ))
+                    });
                 let _ = reply.send(result);
             }
             AdminMsg::Stats(reply) => {
-                let _ = reply.send(writer.service_stats());
+                let _ = reply.send(AdminStats {
+                    service: writer.service_stats(),
+                    journal: writer.journal_stats(),
+                    generation: writer.durable_generation(),
+                });
             }
         }
     }
+    // Clean shutdown = crash with a flushed tail: sync the journal, never
+    // checkpoint, so pending-vs-committed state survives a restart
+    // identically either way.
+    let _ = writer.sync_journal();
 }
 
 /// One multiplexed connection of a worker's event loop.
@@ -366,11 +542,38 @@ struct Conn {
     close_after_flush: bool,
     /// The peer closed or errored; drop once the outbound data is gone.
     dead: bool,
+    /// Pool-wide admission gauges this connection holds budget in.
+    gauges: Arc<Gauges>,
+    /// In-flight admissions charged to this connection: requests whose
+    /// responses are not yet fully on the wire.
+    inflight_held: u64,
 }
 
 impl Conn {
+    fn new(stream: TcpStream, gauges: Arc<Gauges>) -> Conn {
+        gauges.active_connections.fetch_add(1, Ordering::Relaxed);
+        Conn {
+            stream,
+            parser: RequestParser::new(),
+            out: Vec::new(),
+            out_at: 0,
+            last_activity: Instant::now(),
+            close_after_flush: false,
+            dead: false,
+            gauges,
+            inflight_held: 0,
+        }
+    }
+
     fn pending_out(&self) -> bool {
         self.out_at < self.out.len()
+    }
+
+    /// Charge one admitted request to the in-flight gauge; released when
+    /// the output buffer fully drains (or in `Drop`).
+    fn hold_inflight(&mut self) {
+        self.gauges.inflight.fetch_add(1, Ordering::Relaxed);
+        self.inflight_held += 1;
     }
 
     /// Flush as much of `out` as the socket accepts right now.
@@ -395,11 +598,33 @@ impl Conn {
         }
         self.out.clear();
         self.out_at = 0;
+        if self.inflight_held > 0 {
+            self.gauges
+                .inflight
+                .fetch_sub(self.inflight_held, Ordering::Relaxed);
+            self.inflight_held = 0;
+        }
     }
 
     /// Whether the event loop should retire this connection.
     fn finished(&self) -> bool {
         self.dead || (self.close_after_flush && !self.pending_out())
+    }
+}
+
+impl Drop for Conn {
+    /// Gauge release lives in `Drop`, not the event loop, so the budget
+    /// stays exact on every exit path — including a worker panic
+    /// unwinding its connection list.
+    fn drop(&mut self) {
+        self.gauges
+            .active_connections
+            .fetch_sub(1, Ordering::Relaxed);
+        if self.inflight_held > 0 {
+            self.gauges
+                .inflight
+                .fetch_sub(self.inflight_held, Ordering::Relaxed);
+        }
     }
 }
 
@@ -461,16 +686,44 @@ struct Worker {
     admin: Sender<AdminMsg>,
     stop: Arc<AtomicBool>,
     counters: Arc<Vec<ServingCounters>>,
+    gauges: Arc<Gauges>,
+    recovery: Arc<Option<RecoveryReport>>,
     index: usize,
     max_body_bytes: usize,
     read_timeout: Duration,
+    max_connections: usize,
+    max_inflight: usize,
+    retry_after: u32,
+    drain_timeout: Duration,
 }
 
 /// Upper bound on one poll wait, so the stop flag is observed promptly.
 const POLL_SLICE: Duration = Duration::from_millis(50);
 
 impl Worker {
+    /// Self-healing wrapper around the event loop: a panic anywhere in it
+    /// (a poisoned request, an injected `worker.request` fault) unwinds
+    /// this worker's connections — their admission budget releases in
+    /// [`Conn`]'s `Drop` — gets counted, and the loop respawns with a
+    /// fresh poll set. One bad request costs its connection, never a
+    /// worker slot.
     fn run(self) {
+        loop {
+            match panic::catch_unwind(AssertUnwindSafe(|| self.event_loop())) {
+                Ok(()) => return,
+                Err(_) => {
+                    self.counters[self.index]
+                        .restarts
+                        .fetch_add(1, Ordering::Relaxed);
+                    if self.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn event_loop(&self) {
         let mut conns: Vec<Conn> = Vec::new();
         let mut poller = Poller::new();
         let mut backoff = AcceptBackoff::new(0x9e37_79b9_7f4a_7c15 ^ (self.index as u64 + 1));
@@ -525,6 +778,46 @@ impl Worker {
             }
             conns.retain(|conn| !conn.finished());
         }
+        self.drain(&mut conns, &mut poller, &mut read_buf);
+    }
+
+    /// Graceful drain after the stop flag: connections with a response
+    /// still queued or a request mid-parse get up to `drain_timeout` to
+    /// finish and flush; idle keep-alive connections close immediately.
+    /// Bounded so a wedged peer cannot hold shutdown hostage.
+    fn drain(&self, conns: &mut Vec<Conn>, poller: &mut Poller, read_buf: &mut [u8]) {
+        let deadline = Instant::now() + self.drain_timeout;
+        conns.retain(|conn| !conn.dead && (conn.pending_out() || conn.parser.mid_request()));
+        while !conns.is_empty() {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            poller.clear();
+            let slots: Vec<usize> = conns
+                .iter()
+                .map(|conn| {
+                    poller.register(&conn.stream, conn.parser.mid_request(), conn.pending_out())
+                })
+                .collect();
+            let budget = deadline.saturating_duration_since(now).min(POLL_SLICE);
+            if poller.wait(budget.as_millis() as i32).is_err() {
+                thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            for (slot, conn) in slots.into_iter().zip(conns.iter_mut()) {
+                if poller.writable(slot) && conn.pending_out() {
+                    conn.flush();
+                }
+                if !conn.dead && conn.parser.mid_request() && poller.readable(slot) {
+                    self.service_readable(conn, read_buf);
+                }
+            }
+            // Whatever finished its request and flushed is done; dropping
+            // it closes the socket.
+            conns.retain(|conn| !conn.dead && (conn.pending_out() || conn.parser.mid_request()));
+        }
+        conns.clear();
     }
 
     /// Drain the accept queue (the listener is level-triggered and shared
@@ -533,21 +826,31 @@ impl Worker {
     fn accept_pending(&self, conns: &mut Vec<Conn>, backoff: &mut AcceptBackoff) {
         loop {
             match self.listener.accept() {
-                Ok((stream, _)) => {
+                Ok((mut stream, _)) => {
                     backoff.succeeded();
+                    // Admission control: over the pool-wide connection
+                    // budget, the socket gets a best-effort 503 +
+                    // Retry-After and is closed without ever joining the
+                    // poll set — shedding stays O(1) no matter how hard
+                    // the overload is.
+                    if self.gauges.active_connections.load(Ordering::Relaxed)
+                        >= self.max_connections as u64
+                    {
+                        self.counters[self.index]
+                            .shed_connections
+                            .fetch_add(1, Ordering::Relaxed);
+                        let mut out = Vec::new();
+                        HttpResponse::shed(self.retry_after, "connection budget exhausted", true)
+                            .render_into(&mut out, false);
+                        let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+                        let _ = stream.write_all(&out);
+                        continue;
+                    }
                     if stream.set_nonblocking(true).is_err() {
                         continue;
                     }
                     let _ = stream.set_nodelay(true);
-                    conns.push(Conn {
-                        stream,
-                        parser: RequestParser::new(),
-                        out: Vec::new(),
-                        out_at: 0,
-                        last_activity: Instant::now(),
-                        close_after_flush: false,
-                        dead: false,
-                    });
+                    conns.push(Conn::new(stream, Arc::clone(&self.gauges)));
                 }
                 Err(error) if error.kind() == io::ErrorKind::WouldBlock => return,
                 Err(error) if error.kind() == io::ErrorKind::Interrupted => continue,
@@ -601,8 +904,26 @@ impl Worker {
                     self.counters[self.index]
                         .requests
                         .fetch_add(1, Ordering::Relaxed);
+                    // Deterministic chaos hook: with the `failpoints`
+                    // feature a `worker.request` panic fault detonates
+                    // here, exercising the catch_unwind respawn path.
+                    trackersift::failpoint::maybe_panic("worker.request");
                     let keep_alive = request.keep_alive();
-                    let response = self.route(&request);
+                    // Admission control: over the in-flight budget the
+                    // request is answered 503 + Retry-After in its own
+                    // protocol (binary requests get a binary shed frame)
+                    // without losing the connection.
+                    let response = if self.gauges.inflight.load(Ordering::Relaxed)
+                        >= self.max_inflight as u64
+                    {
+                        self.counters[self.index]
+                            .shed_requests
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.shed_response(&request)
+                    } else {
+                        conn.hold_inflight();
+                        self.route(&request)
+                    };
                     if response.status >= 400 {
                         self.counters[self.index]
                             .errors
@@ -663,6 +984,25 @@ impl Worker {
                 &format!("{} does not support {}", request.target, request.method),
             ),
             _ => HttpResponse::error(404, "Not Found", &format!("no route {}", request.target)),
+        }
+    }
+
+    /// The `503` for a request shed by the in-flight budget, in the
+    /// protocol the request spoke: a binary shed frame for binary
+    /// requests, the JSON `{"error", "retry_after"}` body otherwise. Both
+    /// carry the `Retry-After` header and keep the connection alive.
+    fn shed_response(&self, request: &HttpRequest) -> HttpResponse {
+        if request.header("content-type") == Some(wire::BINARY_CONTENT_TYPE) {
+            let mut response = HttpResponse::bytes(
+                wire::BINARY_CONTENT_TYPE,
+                wire::encode_binary_shed(self.retry_after),
+            );
+            response.status = 503;
+            response.reason = "Service Unavailable";
+            response.retry_after = Some(self.retry_after);
+            response
+        } else {
+            HttpResponse::shed(self.retry_after, "in-flight budget exhausted", false)
         }
     }
 
@@ -890,11 +1230,20 @@ impl Worker {
         let Some(stats) = self.admin_call(AdminMsg::Stats) else {
             return Self::admin_unavailable();
         };
-        let mut value = wire::service_stats_to_json(&stats);
+        let mut value = wire::service_stats_to_json(&stats.service);
+        let mut worker_restarts = 0u64;
+        let mut shed_connections = 0u64;
+        let mut shed_requests = 0u64;
         let workers: Vec<Value> = self
             .counters
             .iter()
             .map(|counters| {
+                let restarts = counters.restarts.load(Ordering::Relaxed);
+                let conns_shed = counters.shed_connections.load(Ordering::Relaxed);
+                let requests_shed = counters.shed_requests.load(Ordering::Relaxed);
+                worker_restarts += restarts;
+                shed_connections += conns_shed;
+                shed_requests += requests_shed;
                 object(vec![
                     (
                         "requests",
@@ -912,11 +1261,76 @@ impl Worker {
                         "accept_failures",
                         Value::number_u64(counters.accept_failures.load(Ordering::Relaxed)),
                     ),
+                    ("restarts", Value::number_u64(restarts)),
+                    ("shed_connections", Value::number_u64(conns_shed)),
+                    ("shed_requests", Value::number_u64(requests_shed)),
                 ])
             })
             .collect();
         if let Value::Object(fields) = &mut value {
             fields.push(("workers".to_string(), Value::Array(workers)));
+            fields.push((
+                "admission".to_string(),
+                object(vec![
+                    (
+                        "active_connections",
+                        Value::number_u64(self.gauges.active_connections.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "inflight",
+                        Value::number_u64(self.gauges.inflight.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "max_connections",
+                        Value::number_u64(self.max_connections as u64),
+                    ),
+                    ("max_inflight", Value::number_u64(self.max_inflight as u64)),
+                    ("worker_restarts", Value::number_u64(worker_restarts)),
+                    ("shed_connections", Value::number_u64(shed_connections)),
+                    ("shed_requests", Value::number_u64(shed_requests)),
+                ]),
+            ));
+            if let Some(generation) = stats.generation {
+                let journal = stats.journal.unwrap_or_default();
+                let mut durability = vec![
+                    ("generation", Value::number_u64(generation)),
+                    (
+                        "journal",
+                        object(vec![
+                            ("appended", Value::number_u64(journal.appended)),
+                            ("synced", Value::number_u64(journal.synced)),
+                            ("syncs", Value::number_u64(journal.syncs)),
+                            ("write_errors", Value::number_u64(journal.write_errors)),
+                            ("sync_errors", Value::number_u64(journal.sync_errors)),
+                            ("rotations", Value::number_u64(journal.rotations)),
+                            ("bytes", Value::number_u64(journal.bytes)),
+                        ]),
+                    ),
+                ];
+                if let Some(recovery) = &*self.recovery {
+                    durability.push((
+                        "recovery",
+                        object(vec![
+                            ("generation", Value::number_u64(recovery.generation)),
+                            ("restored_snapshot", Value::Bool(recovery.restored_snapshot)),
+                            (
+                                "snapshot_observations",
+                                Value::number_u64(recovery.snapshot_observations),
+                            ),
+                            (
+                                "replayed_records",
+                                Value::number_u64(recovery.replayed_records),
+                            ),
+                            (
+                                "replayed_commits",
+                                Value::number_u64(recovery.replayed_commits),
+                            ),
+                            ("torn_bytes", Value::number_u64(recovery.torn_bytes)),
+                        ]),
+                    ));
+                }
+                fields.push(("durability".to_string(), object(durability)));
+            }
         }
         HttpResponse::json(value.render())
     }

@@ -134,6 +134,9 @@ impl Poller {
     /// (milliseconds; `0` returns immediately) elapses. Returns how many
     /// slots have events. A signal interruption counts as "nothing ready".
     pub fn wait(&mut self, timeout_ms: i32) -> io::Result<usize> {
+        // The `poller.wait` failpoint injects poll(2) failures (the worker
+        // event loop must nap + rebuild, never wedge or spin).
+        trackersift::failpoint::check_io("poller.wait")?;
         #[cfg(unix)]
         {
             if self.fds.is_empty() {

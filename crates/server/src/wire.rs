@@ -479,6 +479,39 @@ pub fn decode_binary_batch_response(body: &[u8]) -> Result<(u64, Vec<Decision>),
     Ok((version, decisions))
 }
 
+/// Kind byte of a binary load-shed frame (the body of a binary-protocol
+/// `503`): deliberately outside the decision-action code space so a
+/// client that skips the status check still cannot mistake it for a
+/// verdict.
+pub const KIND_SHED: u8 = 0xFF;
+
+/// Encode the binary load-shed frame: `u8 proto, u8 KIND_SHED,
+/// u32 retry-after seconds` — the binary-protocol twin of the JSON
+/// `{"error": …, "retry_after": n}` body, sent with `503` + `Retry-After`.
+pub fn encode_binary_shed(retry_after: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(6);
+    out.push(PROTO_VERSION);
+    out.push(KIND_SHED);
+    out.extend_from_slice(&retry_after.to_le_bytes());
+    out
+}
+
+/// Decode a binary load-shed frame into its retry-after hint (seconds).
+pub fn decode_binary_shed(body: &[u8]) -> Result<u32, FrameError> {
+    let mut reader = FrameReader::new(body);
+    let proto = reader.u8()?;
+    if proto != PROTO_VERSION {
+        return Err(FrameError(format!("unsupported protocol version {proto}")));
+    }
+    let kind = reader.u8()?;
+    if kind != KIND_SHED {
+        return Err(FrameError(format!("not a shed frame (kind {kind})")));
+    }
+    let retry_after = reader.u32()?;
+    reader.finish()?;
+    Ok(retry_after)
+}
+
 /// Encode the `GET /v1/keys` handshake reply: the key-id table of the
 /// serving verdict table. `keys[i]` is the string whose interned id is
 /// `i`; the epoch scopes every id's validity (a restore bumps it).
@@ -824,5 +857,22 @@ mod tests {
         let (version, decisions) = decode_binary_batch_response(&batch).expect("batch decodes");
         assert_eq!(version, 11);
         assert_eq!(decisions, vec![fixed, Decision::Surrogate(Arc::new(plan))]);
+    }
+
+    #[test]
+    fn shed_frames_round_trip_and_reject_noise() {
+        let frame = encode_binary_shed(7);
+        assert_eq!(frame.len(), 6);
+        assert_eq!(decode_binary_shed(&frame).expect("shed decodes"), 7);
+        // Every truncation is rejected, as is a non-shed kind byte.
+        for len in 0..frame.len() {
+            assert!(decode_binary_shed(&frame[..len]).is_err());
+        }
+        let mut wrong_kind = frame.clone();
+        wrong_kind[1] = KIND_SINGLE;
+        assert!(decode_binary_shed(&wrong_kind).is_err());
+        let mut trailing = frame;
+        trailing.push(0);
+        assert!(decode_binary_shed(&trailing).is_err());
     }
 }

@@ -7,11 +7,11 @@ use crawler::json::Value;
 use proptest::prelude::*;
 use std::time::Duration;
 use trackersift::{Decision, DecisionRequest, Sifter};
-use trackersift_server::client::Client;
+use trackersift_server::client::{Client, RetryPolicy, RetryingClient};
 use trackersift_server::wire::{
     self, BinaryKeys, BinaryRecord, DecisionMessage, ObservationMessage,
 };
-use trackersift_server::{ServerConfig, VerdictServer};
+use trackersift_server::{DurabilityConfig, ServerConfig, VerdictServer};
 
 /// The fixed training set behind the golden fixtures: one pure tracking
 /// domain, one pure functional domain, and one mixed chain ending in a
@@ -69,7 +69,10 @@ fn start_server(sifter: Sifter) -> VerdictServer {
         writer,
         ServerConfig {
             workers: 2,
-            read_timeout: Duration::from_secs(2),
+            // Generous idle timeout: the 512-connection test round-trips
+            // sequentially, so the earliest connection legitimately idles
+            // for the whole sweep on a slow single-core runner.
+            read_timeout: Duration::from_secs(30),
             ..ServerConfig::ephemeral()
         },
     )
@@ -496,6 +499,330 @@ fn many_keep_alive_connections_without_thread_per_connection() {
     assert_eq!(status, 200);
     drop(clients);
     server.shutdown();
+}
+
+/// Over the connection budget, a fresh socket gets a best-effort `503` +
+/// `Retry-After` and is closed — it never joins the poll set.
+#[test]
+fn overload_sheds_connections_with_retry_after() {
+    use std::io::Read;
+    let (writer, _reader) = trained_sifter().into_concurrent();
+    let server = VerdictServer::start(
+        writer,
+        ServerConfig {
+            workers: 1,
+            max_connections: 2,
+            retry_after: 3,
+            read_timeout: Duration::from_secs(5),
+            ..ServerConfig::ephemeral()
+        },
+    )
+    .expect("start verdict server");
+
+    // Fill the budget with two live connections (the round-trips prove
+    // they are accepted and registered, not just queued in the backlog).
+    let mut held: Vec<Client> = (0..2)
+        .map(|_| Client::connect(server.local_addr()))
+        .collect();
+    for client in &mut held {
+        let (status, _) = client.request("GET", "/healthz", None);
+        assert_eq!(status, 200);
+    }
+
+    // The third connection is shed at accept: the 503 arrives without the
+    // client sending a single byte.
+    let mut extra = std::net::TcpStream::connect(server.local_addr()).expect("connect over budget");
+    extra
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    let mut reply = String::new();
+    extra
+        .read_to_string(&mut reply)
+        .expect("read shed response until close");
+    assert!(
+        reply.starts_with("HTTP/1.1 503 Service Unavailable"),
+        "expected connection shed, got {reply:?}"
+    );
+    assert!(reply.contains("Retry-After: 3"), "missing hint: {reply:?}");
+    assert!(
+        reply.contains(r#""retry_after":3"#),
+        "missing body hint: {reply:?}"
+    );
+
+    // Releasing budget restores admission — once the worker has reaped
+    // the closed sockets (it learns of the EOFs a poll cycle later).
+    drop(held);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut fresh = Client::connect(server.local_addr());
+        let (status, _) = fresh.request("GET", "/healthz", None);
+        if status == 200 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "connection budget never released after the holders closed"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    server.shutdown();
+}
+
+/// Over the in-flight budget, a request is answered `503` in its own
+/// protocol — JSON body or binary shed frame — and the connection stays
+/// usable; a `RetryingClient` honors the hint and gives up within budget.
+#[test]
+fn overload_sheds_requests_but_keeps_the_connection() {
+    let (writer, _reader) = trained_sifter().into_concurrent();
+    let server = VerdictServer::start(
+        writer,
+        ServerConfig {
+            workers: 1,
+            // A zero budget sheds every request — the deterministic way to
+            // exercise the shed path without a load generator.
+            max_inflight: 0,
+            retry_after: 2,
+            ..ServerConfig::ephemeral()
+        },
+    )
+    .expect("start verdict server");
+    let mut client = Client::connect(server.local_addr());
+
+    let query = r#"{"domain":"ads.com","hostname":"px.ads.com","script":"https://pub.com/a.js","method":"send"}"#;
+    let (status, body) = client.request("POST", "/v1/decisions", Some(query));
+    assert_eq!(status, 503);
+    assert!(body.contains(r#""retry_after":2"#), "shed body: {body}");
+
+    // Same connection, next request: still alive, still shedding.
+    let (status, _) = client.request("GET", "/healthz", None);
+    assert_eq!(status, 503);
+
+    // The binary protocol sheds with a binary frame, not a JSON body.
+    let record = BinaryRecord {
+        keys: BinaryKeys::Strings {
+            domain: "ads.com",
+            hostname: "px.ads.com",
+            script: "https://pub.com/a.js",
+            method: "send",
+        },
+        context: None,
+    };
+    let frame = wire::encode_binary_single(0, &record);
+    let (status, body) = client.request_bytes(
+        "POST",
+        "/v1/decisions",
+        Some(wire::BINARY_CONTENT_TYPE),
+        &frame,
+    );
+    assert_eq!(status, 503);
+    assert_eq!(
+        wire::decode_binary_shed(&body).expect("binary shed frame"),
+        2
+    );
+
+    // A retrying client backs off per the Retry-After hint (capped by its
+    // policy), then hands back the final shed response instead of storming.
+    let mut retrying = RetryingClient::new(
+        server.local_addr(),
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(5),
+            ..RetryPolicy::default()
+        },
+    );
+    let response = retrying
+        .request("GET", "/healthz", None, b"")
+        .expect("transport stayed healthy");
+    assert_eq!(response.status, 503);
+    assert_eq!(response.retry_after, Some(2));
+    assert_eq!(retrying.retries_spent(), 2, "retried up to max_attempts");
+    server.shutdown();
+}
+
+/// Shutdown is graceful: a request already on the wire when the stop flag
+/// lands is parsed to completion, served, and flushed before the
+/// connection closes.
+#[test]
+fn graceful_shutdown_drains_inflight_requests() {
+    use std::io::{Read, Write};
+    let server = start_server(trained_sifter());
+    let addr = server.local_addr();
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+
+    // Send the head and half the body, so the request is mid-parse…
+    let body = r#"{"domain":"ads.com","hostname":"px.ads.com","script":"https://pub.com/a.js","method":"send"}"#;
+    let head = format!(
+        "POST /v1/decisions HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("send head");
+    stream
+        .write_all(&body.as_bytes()[..20])
+        .expect("send partial body");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // …start the shutdown with the request still incomplete…
+    let shutdown = std::thread::spawn(move || server.shutdown());
+    std::thread::sleep(Duration::from_millis(150));
+
+    // …and finish it during the drain window. The full response must
+    // still come back before the socket closes.
+    stream
+        .write_all(&body.as_bytes()[20..])
+        .expect("send the rest during drain");
+    let mut reply = String::new();
+    stream
+        .read_to_string(&mut reply)
+        .expect("read the drained response until close");
+    assert!(
+        reply.starts_with("HTTP/1.1 200 OK"),
+        "expected the in-flight request to be served, got {reply:?}"
+    );
+    assert!(reply.contains(r#""action":"block""#), "got {reply:?}");
+    shutdown.join().expect("shutdown thread");
+}
+
+/// `GET /v1/stats` exposes the admission budgets, live gauges, and
+/// self-healing counters alongside the per-worker serving counters.
+#[test]
+fn stats_exposes_admission_budgets_and_worker_health() {
+    let server = start_server(trained_sifter());
+    let mut client = Client::connect(server.local_addr());
+    let (status, body) = client.request("GET", "/v1/stats", None);
+    assert_eq!(status, 200);
+    let stats = Value::parse(&body).expect("stats json");
+    let admission = stats.field("admission").expect("admission object");
+    let field = |name: &str| {
+        admission
+            .field(name)
+            .and_then(|value| value.as_u64())
+            .unwrap_or_else(|error| panic!("admission.{name}: {error}"))
+    };
+    assert_eq!(field("max_connections"), 1024);
+    assert_eq!(field("max_inflight"), 256);
+    assert_eq!(field("active_connections"), 1, "this client is connected");
+    assert_eq!(field("worker_restarts"), 0);
+    assert_eq!(field("shed_connections"), 0);
+    assert_eq!(field("shed_requests"), 0);
+    let workers = stats
+        .field("workers")
+        .and_then(|workers| workers.as_array())
+        .expect("workers array");
+    for worker in workers {
+        assert_eq!(
+            worker
+                .field("restarts")
+                .and_then(|v| v.as_u64())
+                .expect("worker restarts"),
+            0,
+            "healthy workers report zero restarts"
+        );
+    }
+    // No durability configured → no durability section.
+    assert!(stats.field("durability").is_err());
+    server.shutdown();
+}
+
+/// The crash-recovery loop over the wire: observations committed against a
+/// durable server survive a full stop/start cycle on the same directory,
+/// and the reboot's recovery report is visible in `/v1/stats`.
+#[test]
+fn durable_server_recovers_observations_after_restart() {
+    let dir = std::env::temp_dir().join(format!(
+        "trackersift-server-durable-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock")
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let config = |dir: &std::path::Path| ServerConfig {
+        workers: 1,
+        durability: Some(DurabilityConfig::new(dir)),
+        ..ServerConfig::ephemeral()
+    };
+
+    // First life: an untrained server learns one domain over the wire.
+    let (writer, _reader) = Sifter::builder().build_concurrent();
+    let server = VerdictServer::start(writer, config(&dir)).expect("first boot");
+    assert_eq!(
+        server.recovery().expect("durable boot").replayed_records,
+        0,
+        "nothing to recover on a fresh directory"
+    );
+    let mut client = Client::connect(server.local_addr());
+    let observations: Vec<String> = (0..5)
+        .map(|_| {
+            ObservationMessage::Parts {
+                domain: "ads.com".into(),
+                hostname: "px.ads.com".into(),
+                script: "https://pub.com/a.js".into(),
+                method: "send".into(),
+                tracking: true,
+            }
+            .to_json_value()
+            .render()
+        })
+        .collect();
+    let body = format!(r#"{{"observations":[{}]}}"#, observations.join(","));
+    let (status, _) = client.request("POST", "/v1/observations", Some(&body));
+    assert_eq!(status, 200);
+    let (status, _) = client.request("POST", "/v1/commit", None);
+    assert_eq!(status, 200);
+    drop(client);
+    server.shutdown();
+
+    // Second life: a *fresh, untrained* writer on the same directory. The
+    // journal replay must hand back the learned verdict before the first
+    // request is served.
+    let (writer, _reader) = Sifter::builder().build_concurrent();
+    let server = VerdictServer::start(writer, config(&dir)).expect("second boot");
+    let report = server.recovery().expect("durable boot");
+    assert_eq!(report.replayed_commits, 1);
+    assert_eq!(report.replayed_records, 6, "5 observations + 1 marker");
+    let mut client = Client::connect(server.local_addr());
+    let query = r#"{"domain":"ads.com","hostname":"px.ads.com","script":"https://pub.com/a.js","method":"send"}"#;
+    let (status, decision) = client.request("POST", "/v1/decisions", Some(query));
+    assert_eq!(status, 200);
+    assert!(
+        decision.contains(r#""action":"block""#),
+        "recovered verdict: {decision}"
+    );
+
+    // The durability section of /v1/stats tells the same recovery story.
+    let (status, body) = client.request("GET", "/v1/stats", None);
+    assert_eq!(status, 200);
+    let stats = Value::parse(&body).expect("stats json");
+    let durability = stats.field("durability").expect("durability object");
+    assert_eq!(
+        durability
+            .field("generation")
+            .and_then(|v| v.as_u64())
+            .expect("generation"),
+        0
+    );
+    let recovery = durability.field("recovery").expect("recovery object");
+    assert_eq!(
+        recovery
+            .field("replayed_records")
+            .and_then(|v| v.as_u64())
+            .expect("replayed_records"),
+        6
+    );
+    assert_eq!(
+        recovery
+            .field("torn_bytes")
+            .and_then(|v| v.as_u64())
+            .expect("torn_bytes"),
+        0
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Deterministic observation tuples from a splitmix-style stream.

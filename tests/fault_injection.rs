@@ -1,0 +1,439 @@
+//! The deterministic fault-injection harness for crash-only serving.
+//!
+//! Two tiers share this file:
+//!
+//! * **Always-on** tests that need no special build: the byte-level
+//!   torn-tail property (a journal truncated at *every* byte offset
+//!   replays to a clean prefix of the original entries) and a real
+//!   `SIGKILL` crash test that murders a committing writer process and
+//!   proves every fsynced commit survives the reboot.
+//! * **`--features failpoints`** tests that thread injected faults
+//!   (I/O errors, short writes, byte-budget cuts, panics) through the
+//!   journal, snapshot, poller, and worker code paths via
+//!   `trackersift::failpoint`.
+//!
+//! The failpoint registry is process-global, so every test here
+//! serialises on one lock rather than racing other tests' injected
+//! faults.
+
+use proptest::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use trackersift::{Journal, JournalEntry, Sifter};
+
+/// Serialises the tests in this file: injected faults are process-global,
+/// and the prefix/SIGKILL tests write real journals that a concurrently
+/// injected cut would corrupt.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn chaos_lock() -> std::sync::MutexGuard<'static, ()> {
+    CHAOS_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock")
+        .as_nanos();
+    std::env::temp_dir().join(format!(
+        "trackersift-chaos-{tag}-{}-{nanos}",
+        std::process::id()
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Torn-tail property: replaying any byte prefix of a journal yields a clean
+// prefix of the appended entries — never an error, never a phantom record.
+// ---------------------------------------------------------------------------
+
+fn arb_entry() -> impl Strategy<Value = JournalEntry> {
+    prop_oneof![
+        (
+            "[a-z]{1,8}\\.com",
+            "[a-z]{1,8}",
+            "[a-z]{1,12}",
+            "[a-z]{1,6}",
+            0u8..2,
+        )
+            .prop_map(|(domain, host, script, method, tracking)| {
+                JournalEntry::Parts {
+                    domain,
+                    hostname: host,
+                    script,
+                    method,
+                    tracking: tracking == 1,
+                }
+            }),
+        (
+            "[a-z]{1,10}",
+            "[a-z]{1,8}\\.com",
+            "[a-z]{1,12}",
+            "[a-z]{1,6}"
+        )
+            .prop_map(|(path, source, script, method)| JournalEntry::Url {
+                url: format!("https://t.example/{path}"),
+                source_hostname: source,
+                resource_type: filterlist::ResourceType::Script,
+                script,
+                method,
+            }),
+        (0u64..10_000).prop_map(|version| JournalEntry::Commit { version }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_byte_prefix_replays_to_a_clean_prefix(
+        entries in prop::collection::vec(arb_entry(), 1..12)
+    ) {
+        let _guard = chaos_lock();
+        let dir = temp_dir("prefix");
+        fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("journal.wal");
+        {
+            // Written through the real encoder so the bytes under test are
+            // the production frame format, not a test reimplementation.
+            let mut journal = Journal::open(&path, 1).expect("open journal");
+            for entry in &entries {
+                journal.append(entry).expect("append");
+            }
+            journal.sync().expect("sync");
+        }
+        let bytes = fs::read(&path).expect("read journal bytes");
+        let (full, full_report) = Journal::replay_bytes(&bytes);
+        prop_assert_eq!(&full, &entries);
+        prop_assert_eq!(full_report.torn_bytes, 0);
+        prop_assert_eq!(full_report.valid_bytes, bytes.len() as u64);
+
+        let mut decoded_so_far = 0usize;
+        for len in 0..=bytes.len() {
+            let (prefix, report) = Journal::replay_bytes(&bytes[..len]);
+            // Monotone in the prefix length, bounded by the full set, and
+            // always byte-for-byte the entries that were appended.
+            prop_assert!(prefix.len() >= decoded_so_far);
+            prop_assert!(prefix.len() <= entries.len());
+            prop_assert_eq!(prefix.as_slice(), &entries[..prefix.len()]);
+            prop_assert_eq!(report.valid_bytes + report.torn_bytes, len as u64);
+            decoded_so_far = prefix.len();
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SIGKILL mid-commit: a real child process trains through a durable writer,
+// advertises each completed (fsynced) commit, and is then killed without
+// warning. The reboot must recover at least everything advertised.
+// ---------------------------------------------------------------------------
+
+/// Observations per commit round in the SIGKILL child.
+const SIGKILL_BATCH: u64 = 8;
+
+/// The child half of the SIGKILL test: an infinite observe/commit loop that
+/// only runs when re-executed by the parent with `CHAOS_SIGKILL_DIR` set
+/// (a no-op pass in a normal test run).
+#[test]
+fn sigkill_child_writer() {
+    let Ok(dir) = std::env::var("CHAOS_SIGKILL_DIR") else {
+        return;
+    };
+    let (mut writer, _reader) = Sifter::builder().build_concurrent();
+    // A huge batch threshold: nothing is synced except by commit markers,
+    // so the recovery guarantee under test is exactly the commit fsync.
+    writer
+        .open_durable(&dir, u64::MAX)
+        .expect("child opens durable dir");
+    let progress_path = PathBuf::from(&dir).join("progress");
+    let mut committed = 0u64;
+    loop {
+        for i in 0..SIGKILL_BATCH {
+            let script = format!("https://pub.com/gen-{committed}-{i}.js");
+            writer.observe_parts("ads.com", "px.ads.com", &script, "send", true);
+        }
+        writer.commit();
+        committed += 1;
+        // Advertised only after commit() returned, i.e. after the commit
+        // marker's fsync completed — the exact durability promise.
+        fs::write(&progress_path, committed.to_string()).expect("write progress");
+    }
+}
+
+#[test]
+fn sigkill_mid_commit_preserves_every_advertised_commit() {
+    let _guard = chaos_lock();
+    let dir = temp_dir("sigkill");
+    fs::create_dir_all(&dir).expect("mkdir");
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut child = std::process::Command::new(exe)
+        .args(["sigkill_child_writer", "--exact", "--test-threads=1"])
+        .env("CHAOS_SIGKILL_DIR", &dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn child writer");
+
+    // Let it get a few commits out, then pull the plug mid-flight.
+    let progress_path = dir.join("progress");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let advertised = fs::read_to_string(&progress_path)
+            .ok()
+            .and_then(|text| text.trim().parse::<u64>().ok())
+            .unwrap_or(0);
+        if advertised >= 3 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "child writer never reached 3 commits"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().expect("SIGKILL the child writer");
+    let _ = child.wait();
+
+    let advertised: u64 = fs::read_to_string(&progress_path)
+        .expect("progress file")
+        .trim()
+        .parse()
+        .expect("progress is a number");
+
+    // Reboot on the same directory: every advertised commit (and all of
+    // its observations) must be there; a torn tail past the last fsync is
+    // legal and silently discarded.
+    let (mut writer, reader) = Sifter::builder().build_concurrent();
+    let report = writer
+        .open_durable(&dir, 64)
+        .expect("recover after SIGKILL");
+    assert!(
+        report.replayed_commits >= advertised,
+        "recovered {} commits, child advertised {advertised}",
+        report.replayed_commits
+    );
+    assert!(
+        writer.sifter().observed() >= advertised * SIGKILL_BATCH,
+        "recovered {} observations, child advertised {}",
+        writer.sifter().observed(),
+        advertised * SIGKILL_BATCH
+    );
+    // The recovered state serves: the domain the child trained is blocked.
+    let pin = reader.pin();
+    let request = trackersift::DecisionRequest::new(
+        "ads.com",
+        "px.ads.com",
+        "https://pub.com/gen-0-0.js",
+        "send",
+    );
+    assert!(matches!(
+        pin.table().decide(&request),
+        trackersift::Decision::Block(_)
+    ));
+    drop(pin);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Injected faults (cfg-gated: `cargo test --features failpoints`).
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "failpoints")]
+mod chaos {
+    use super::*;
+    use std::io::ErrorKind;
+    use trackersift::failpoint::{self, Action};
+    use trackersift_server::client::Client;
+    use trackersift_server::{ServerConfig, VerdictServer};
+
+    fn serving_config() -> ServerConfig {
+        ServerConfig {
+            workers: 1,
+            read_timeout: Duration::from_secs(2),
+            ..ServerConfig::ephemeral()
+        }
+    }
+
+    fn trained_writer() -> trackersift::SifterWriter {
+        let (mut writer, _reader) = Sifter::builder().build_concurrent();
+        for _ in 0..5 {
+            writer.observe_parts(
+                "ads.com",
+                "px.ads.com",
+                "https://pub.com/a.js",
+                "send",
+                true,
+            );
+        }
+        writer.commit();
+        writer
+    }
+
+    #[test]
+    fn torn_journal_tail_recovers_to_the_last_synced_commit() {
+        let _guard = chaos_lock();
+        failpoint::clear_all();
+        let dir = temp_dir("torn");
+        fs::create_dir_all(&dir).expect("mkdir");
+        {
+            let (mut writer, _reader) = Sifter::builder().build_concurrent();
+            writer.open_durable(&dir, 1).expect("open durable");
+            for _ in 0..5 {
+                writer.observe_parts(
+                    "ads.com",
+                    "px.ads.com",
+                    "https://pub.com/a.js",
+                    "send",
+                    true,
+                );
+            }
+            writer.commit();
+            // Cut the write path after 7 more bytes: mid-frame, exactly as
+            // a power cut would land. Everything after the budget silently
+            // vanishes, like writes of a process that is already dead.
+            failpoint::set("journal.cut", Action::cut_after(7));
+            for _ in 0..5 {
+                writer.observe_parts(
+                    "cdn.com",
+                    "a.cdn.com",
+                    "https://pub.com/ui.js",
+                    "load",
+                    false,
+                );
+            }
+            writer.commit();
+            failpoint::clear_all();
+        }
+        let (mut writer, _reader) = Sifter::builder().build_concurrent();
+        let report = writer.open_durable(&dir, 1).expect("recover torn journal");
+        assert!(report.torn_bytes > 0, "the cut left a torn tail");
+        assert_eq!(report.replayed_commits, 1, "only the synced commit");
+        assert_eq!(report.replayed_records, 6, "5 observations + 1 marker");
+        assert_eq!(writer.sifter().observed(), 5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_failure_degrades_durability_but_not_serving() {
+        let _guard = chaos_lock();
+        failpoint::clear_all();
+        let dir = temp_dir("fsync");
+        fs::create_dir_all(&dir).expect("mkdir");
+        let (mut writer, reader) = Sifter::builder().build_concurrent();
+        writer.open_durable(&dir, 1).expect("open durable");
+        failpoint::set("journal.sync", Action::io_error(ErrorKind::Other, Some(2)));
+        writer.observe_parts(
+            "ads.com",
+            "px.ads.com",
+            "https://pub.com/a.js",
+            "send",
+            true,
+        );
+        writer.commit();
+        failpoint::clear_all();
+        // Serving continued right through the failed fsync…
+        assert_eq!(writer.published_version(), 1);
+        assert_eq!(reader.version(), 1);
+        // …and the degradation is counted, not swallowed.
+        let stats = writer.journal_stats().expect("durable writer has stats");
+        assert!(stats.sync_errors >= 1, "sync failures surface in stats");
+        // With the fault gone, durability recovers on the next sync.
+        writer.sync_journal().expect("a later sync succeeds");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_poll_failures_never_wedge_the_event_loop() {
+        let _guard = chaos_lock();
+        failpoint::clear_all();
+        let server =
+            VerdictServer::start(trained_writer(), serving_config()).expect("start server");
+        // An EINTR-storm-alike: the next three poll(2) calls fail outright.
+        failpoint::set("poller.wait", Action::io_error(ErrorKind::Other, Some(3)));
+        let mut client = Client::connect(server.local_addr());
+        let (status, _) = client.request("GET", "/healthz", None);
+        assert_eq!(status, 200, "the worker napped through the fault storm");
+        failpoint::clear_all();
+        server.shutdown();
+    }
+
+    #[test]
+    fn panicking_request_respawns_the_worker_and_keeps_serving() {
+        let _guard = chaos_lock();
+        failpoint::clear_all();
+        let server =
+            VerdictServer::start(trained_writer(), serving_config()).expect("start server");
+        failpoint::set("worker.request", Action::panic(Some(1)));
+        // The poisoned request costs exactly its own connection: the
+        // worker unwinds, the socket closes with no response.
+        let mut victim = Client::connect(server.local_addr());
+        let poisoned = victim.send_raw(b"GET /healthz HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+        assert!(poisoned.is_none(), "the panicking request gets no response");
+
+        // The pool self-heals: a fresh connection is served normally…
+        let mut client = Client::connect(server.local_addr());
+        let (status, _) = client.request("GET", "/healthz", None);
+        assert_eq!(status, 200);
+        // …and the respawn is visible in the stats.
+        let (status, body) = client.request("GET", "/v1/stats", None);
+        assert_eq!(status, 200);
+        let stats = crawler::json::Value::parse(&body).expect("stats json");
+        let restarts = stats
+            .field("admission")
+            .and_then(|admission| admission.field("worker_restarts"))
+            .and_then(|restarts| restarts.as_u64())
+            .expect("admission.worker_restarts");
+        assert_eq!(restarts, 1);
+        failpoint::clear_all();
+        server.shutdown();
+    }
+
+    #[test]
+    fn failed_checkpoint_keeps_the_previous_generation_serving() {
+        let _guard = chaos_lock();
+        failpoint::clear_all();
+        let dir = temp_dir("checkpoint-fail");
+        fs::create_dir_all(&dir).expect("mkdir");
+        {
+            let (mut writer, _reader) = Sifter::builder().build_concurrent();
+            writer.open_durable(&dir, 1).expect("open durable");
+            writer.observe_parts(
+                "ads.com",
+                "px.ads.com",
+                "https://pub.com/a.js",
+                "send",
+                true,
+            );
+            writer.commit();
+            assert_eq!(writer.checkpoint().expect("healthy checkpoint"), 1);
+            writer.observe_parts(
+                "hub.com",
+                "w.hub.com",
+                "https://pub.com/m.js",
+                "track",
+                true,
+            );
+            writer.commit();
+            // The next snapshot write dies; the rotation must not happen.
+            failpoint::set(
+                "snapshot.write",
+                Action::io_error(ErrorKind::Other, Some(1)),
+            );
+            assert!(writer.checkpoint().is_err());
+            failpoint::clear_all();
+            assert_eq!(writer.durable_generation(), Some(1), "generation unchanged");
+        }
+        // Reboot: generation 1's snapshot + journal still carry everything.
+        let (mut writer, _reader) = Sifter::builder().build_concurrent();
+        let report = writer.open_durable(&dir, 1).expect("recover");
+        assert_eq!(report.generation, 1);
+        assert!(report.restored_snapshot);
+        assert_eq!(report.replayed_commits, 1, "the post-checkpoint commit");
+        assert_eq!(writer.sifter().observed(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
