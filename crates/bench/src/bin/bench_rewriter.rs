@@ -1,0 +1,145 @@
+//! URL-rewriter throughput benchmark: the token-hash prescreen on clean
+//! URLs (the overwhelmingly common case — no allocation, `None`), the
+//! strip path on identifier-laden URLs, the redirect-unwrap path, and a
+//! realistic corpus workload. Writes a machine-readable
+//! `BENCH_rewriter.json` so successive PRs accumulate a perf trajectory.
+//!
+//! The non-matching rate is the one that gates deployment: every request a
+//! proxy serves pays the prescreen, and only the small rewritten fraction
+//! pays an allocation. The run asserts the prescreen clears 1M URLs/s.
+//!
+//! Scale can be overridden through the environment:
+//!
+//! * `TRACKERSIFT_BENCH_URLS` — synthetic URLs per workload (default 100,000);
+//! * `TRACKERSIFT_BENCH_ITERS` — passes over each workload (default 5);
+//! * `TRACKERSIFT_BENCH_SITES` — corpus size for the realistic workload
+//!   (default 300);
+//! * `TRACKERSIFT_BENCH_OUT` — output path (default `BENCH_rewriter.json`).
+
+use rewriter::{RewriterBuilder, UrlRewriter};
+use std::time::Instant;
+use trackersift_bench::env_usize;
+use websim::{CorpusGenerator, CorpusProfile};
+
+/// Time `iters` passes of `rewrite` over `urls`; returns (urls/sec, number
+/// rewritten in one pass).
+fn time_pass(rewriter: &UrlRewriter, urls: &[String], iters: usize) -> (f64, usize) {
+    let mut rewritten = 0usize;
+    let start = Instant::now();
+    for _ in 0..iters {
+        rewritten = urls
+            .iter()
+            .filter(|url| rewriter.rewrite(url).is_some())
+            .count();
+    }
+    let rate = (urls.len() * iters) as f64 / start.elapsed().as_secs_f64();
+    (rate, rewritten)
+}
+
+fn main() {
+    let count = env_usize("TRACKERSIFT_BENCH_URLS", 100_000).max(1);
+    let iters = env_usize("TRACKERSIFT_BENCH_ITERS", 5).max(1);
+    let sites = env_usize("TRACKERSIFT_BENCH_SITES", 300);
+    let out_path = std::env::var("TRACKERSIFT_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_rewriter.json".to_string());
+
+    eprintln!("bench_rewriter: {count} URLs x {iters} iters per workload …");
+    let rewriter = RewriterBuilder::new().default_rules().build();
+
+    // Clean URLs: realistic shapes, none of them matching a rule. The
+    // prescreen must reject these without allocating.
+    let clean: Vec<String> = (0..count)
+        .map(|i| {
+            format!(
+                "https://cdn{}.example{}.com/assets/app-{i}.js?v={}&page={}&region=eu",
+                i % 7,
+                i % 23,
+                i % 100,
+                i % 13,
+            )
+        })
+        .collect();
+    let (clean_rate, clean_hits) = time_pass(&rewriter, &clean, iters);
+    assert_eq!(clean_hits, 0, "clean workload must not rewrite");
+    assert!(
+        clean_rate >= 1_000_000.0,
+        "non-matching prescreen below 1M URLs/s: {clean_rate:.0}"
+    );
+
+    // Identifier-laden URLs: every one strips at least one parameter.
+    let tracked: Vec<String> = (0..count)
+        .map(|i| {
+            format!(
+                "https://shop{}.example.com/p?sku={i}&utm_source=mail{}&gclid=CjwK{i}&q=x",
+                i % 11,
+                i % 5,
+            )
+        })
+        .collect();
+    let (strip_rate, strip_hits) = time_pass(&rewriter, &tracked, iters);
+    assert_eq!(strip_hits, tracked.len(), "tracked workload must rewrite");
+
+    // Redirect wrappers: unwrap + strip through the fixpoint loop.
+    let wrapped: Vec<String> = (0..count)
+        .map(|i| {
+            format!(
+                "https://out.example/r?url=https%3A%2F%2Fdest{}.example%2Fp%3Fid%3D{i}%26fbclid%3DIwAR{i}",
+                i % 9,
+            )
+        })
+        .collect();
+    let (unwrap_rate, unwrap_hits) = time_pass(&rewriter, &wrapped, iters);
+    assert_eq!(unwrap_hits, wrapped.len(), "wrapped workload must rewrite");
+
+    // Realistic mix: every URL the synthetic corpus' scripts plan, where
+    // only the decorated tracking endpoints match.
+    let corpus = CorpusGenerator::generate(&CorpusProfile::paper().with_sites(sites), 2021);
+    let mut planned = Vec::new();
+    for site in &corpus.websites {
+        for script in &site.scripts {
+            for (_, request) in script.planned_requests() {
+                planned.push(request.url.clone());
+            }
+        }
+    }
+    let (corpus_rate, corpus_hits) = time_pass(&rewriter, &planned, iters);
+    let corpus_share = corpus_hits as f64 / planned.len().max(1) as f64;
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"rewriter\",\n",
+            "  \"urls\": {count},\n",
+            "  \"iterations\": {iters},\n",
+            "  \"non_matching_urls_per_sec\": {clean_rate:.2},\n",
+            "  \"strip_urls_per_sec\": {strip_rate:.2},\n",
+            "  \"unwrap_urls_per_sec\": {unwrap_rate:.2},\n",
+            "  \"corpus_sites\": {sites},\n",
+            "  \"corpus_urls\": {corpus_urls},\n",
+            "  \"corpus_urls_per_sec\": {corpus_rate:.2},\n",
+            "  \"corpus_rewritten_share\": {corpus_share:.4}\n",
+            "}}\n"
+        ),
+        count = count,
+        iters = iters,
+        clean_rate = clean_rate,
+        strip_rate = strip_rate,
+        unwrap_rate = unwrap_rate,
+        sites = sites,
+        corpus_urls = planned.len(),
+        corpus_rate = corpus_rate,
+        corpus_share = corpus_share,
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    println!("{json}");
+    eprintln!(
+        "bench_rewriter: clean {:.2}M/s, strip {:.2}M/s, unwrap {:.2}M/s, corpus {:.2}M/s \
+         ({:.1}% rewritten)",
+        clean_rate / 1e6,
+        strip_rate / 1e6,
+        unwrap_rate / 1e6,
+        corpus_rate / 1e6,
+        corpus_share * 100.0,
+    );
+    eprintln!("bench_rewriter: wrote {out_path}");
+}

@@ -7,6 +7,10 @@
 //!
 //! * `single` — JSON `POST /v1/decisions`, one decision per round trip;
 //! * `batch` — JSON `POST /v1/decisions:batch`, many decisions per request;
+//! * `rewrite` — JSON singles carrying full URL context against a
+//!   rewriter-armed table, so a slice of the responses are per-request
+//!   `rewrite` bodies encoded at serve time (the one decision shape that
+//!   cannot be preformatted at commit);
 //! * `binary` — the length-prefixed binary protocol with id-form keys
 //!   (after the `GET /v1/keys` handshake), pipelined: each client keeps a
 //!   window of requests in flight on one connection, which is what the
@@ -44,7 +48,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::thread;
 use std::time::{Duration, Instant};
-use trackersift::{Sifter, Study, StudyConfig};
+use trackersift::{Decision, RewriterBuilder, Sifter, Study, StudyConfig};
 use trackersift_bench::env_usize;
 use trackersift_server::client::Client;
 use trackersift_server::wire::{self, BinaryKeys, BinaryRecord, DecisionMessage};
@@ -293,12 +297,20 @@ fn main() {
         seed: 2021,
         ..StudyConfig::default()
     });
+    // The rewriter is inert for keys-only queries (no URL context), so
+    // arming it here leaves the single/batch/binary modes untouched while
+    // giving the `rewrite` mode its Decision::Rewrite arm. Training holds
+    // back the last 10% of the traffic as a live slice: rewrite decisions
+    // only arise where the hierarchy walk falls off below a mixed node,
+    // which fully-observed keys never do.
+    let split = study.requests.len() * 9 / 10;
     let mut sifter = Sifter::builder()
         .thresholds(study.config.thresholds)
+        .rewriter(RewriterBuilder::new().default_rules().build())
         .build();
-    sifter.observe_all(&study.requests);
+    sifter.observe_all(&study.requests[..split]);
     sifter.commit();
-    let (writer, _reader) = sifter.into_concurrent();
+    let (writer, reader) = sifter.into_concurrent();
     let server = VerdictServer::start(
         writer,
         ServerConfig {
@@ -355,6 +367,43 @@ fn main() {
         &batch_bodies,
     );
     let batch_served = batch_lat.len();
+
+    // Rewrite mode: the same sampled requests, now carrying their full URL
+    // context. Identifier-decorated URLs on mixed resources come back as
+    // per-request rewrite bodies (encoded at serve time); the rest take
+    // the usual preformatted path, so the measured rate is the blended
+    // cost of serving with URL context on every query.
+    let live = &study.requests[split..];
+    let url_messages: Vec<DecisionMessage> = live
+        .iter()
+        .step_by((live.len() / 512).max(1))
+        .map(|request| {
+            DecisionMessage::new(
+                &request.domain,
+                &request.hostname,
+                &request.initiator_script,
+                &request.initiator_method,
+            )
+            .with_url(&request.url, &request.site_domain, request.resource_type)
+        })
+        .collect();
+    let rewrite_share = url_messages
+        .iter()
+        .filter(|message| matches!(reader.decide(&message.as_request()), Decision::Rewrite(_)))
+        .count() as f64
+        / url_messages.len().max(1) as f64;
+    let rewrite_bodies: Vec<String> = url_messages
+        .iter()
+        .map(|message| message.to_json_value().render())
+        .collect();
+    let (rewrite_elapsed, rewrite_lat) = drive(
+        addr,
+        clients,
+        single_requests,
+        "/v1/decisions",
+        &rewrite_bodies,
+    );
+    let rewrite_served = rewrite_lat.len();
 
     // Binary protocol: complete the key handshake once, then drive
     // id-form fixed-width frames with a pipelined in-flight window.
@@ -476,6 +525,13 @@ fn main() {
     "p50_ms": {batch_p50:.4},
     "p99_ms": {batch_p99:.4}
   }},
+  "rewrite": {{
+    "requests": {rewrite_served},
+    "rewrite_share": {rewrite_share:.4},
+    "requests_per_sec": {rewrite_rps:.2},
+    "p50_ms": {rewrite_p50:.4},
+    "p99_ms": {rewrite_p99:.4}
+  }},
   "binary": {{
     "requests": {binary_served},
     "pipeline": {pipeline},
@@ -514,6 +570,9 @@ fn main() {
         batch_dps = (batch_served * batch_size) as f64 / batch_elapsed.as_secs_f64(),
         batch_p50 = percentile(&batch_lat, 0.50),
         batch_p99 = percentile(&batch_lat, 0.99),
+        rewrite_rps = rewrite_served as f64 / rewrite_elapsed.as_secs_f64(),
+        rewrite_p50 = percentile(&rewrite_lat, 0.50),
+        rewrite_p99 = percentile(&rewrite_lat, 0.99),
         binary_rps = binary_served as f64 / binary_elapsed.as_secs_f64(),
         binary_p50 = percentile(&binary_lat, 0.50),
         binary_p99 = percentile(&binary_lat, 0.99),

@@ -9,8 +9,8 @@ fn main() {
         breakage.rows.len()
     );
     println!(
-        "{:<28} {:<34} {:<8} {}",
-        "Website", "Mixed script(s) blocked", "Breakage", "Broken features"
+        "{:<28} {:<34} {:<8} Broken features",
+        "Website", "Mixed script(s) blocked", "Breakage"
     );
     for row in &breakage.rows {
         println!(

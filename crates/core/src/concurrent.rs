@@ -516,6 +516,9 @@ impl SifterWriter {
         if let Some(engine) = self.sifter.engine_arc() {
             builder = builder.shared_engine(engine);
         }
+        if let Some(rewriter) = self.sifter.rewriter_arc() {
+            builder = builder.shared_rewriter(rewriter);
+        }
         let restored = builder.restore(snapshot)?;
         let dropped_pending = self.sifter.pending();
         // The restored sifter has committed exactly once; place that commit

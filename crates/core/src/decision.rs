@@ -29,9 +29,17 @@
 //! |---|---|
 //! | tracking (any granularity) | [`Decision::Block`] |
 //! | functional (any granularity) | [`Decision::Allow`] |
-//! | mixed at script / method level | [`Decision::Surrogate`] with the script's plan |
-//! | mixed at domain / hostname level | filter-list backstop |
+//! | mixed at script / method level | [`Decision::Surrogate`] with the script's plan, else rewrite, else backstop |
+//! | mixed at domain / hostname level | [`Decision::Rewrite`] when the URL carries identifiers, else backstop |
 //! | unknown | filter-list backstop |
+//!
+//! [`Decision::Rewrite`] is the enforcement arm for *hierarchy-mixed*
+//! requests whose URL actually carries tracking identifiers (`utm_*`,
+//! `gclid`, redirect wrappers): a configured
+//! [`UrlRewriter`](rewriter::UrlRewriter) strips them and the blocker loads
+//! the cleaned URL instead. Precedence is Allow < Rewrite < Surrogate <
+//! Block: a rewrite only fires where block/allow/surrogate cannot settle
+//! the request more decisively.
 //!
 //! The filter-list backstop blocks when the engine labels the request URL
 //! tracking, allows when it labels it functional, and yields
@@ -47,6 +55,7 @@ use crate::service::{Verdict, VerdictRequest};
 use crate::surrogate::SurrogateScript;
 use crate::table::{verdict_walk, verdict_walk_keyed, ClassTable};
 use filterlist::{FilterEngine, RequestLabel, ResourceType};
+use rewriter::{RewrittenUrl, UrlRewriter};
 use std::fmt;
 use std::sync::Arc;
 
@@ -264,6 +273,34 @@ pub enum Decision {
     Allow(DecisionSource),
     /// Block the request outright.
     Block(DecisionSource),
+    /// The request is hierarchy-mixed and its URL carries tracking
+    /// identifiers: load this rewritten URL instead of the original. The
+    /// payload is shared (`Arc`) so cloning the decision is a pointer
+    /// bump.
+    ///
+    /// ```
+    /// use trackersift::{Decision, DecisionRequest, Sifter};
+    /// use rewriter::RewriterBuilder;
+    /// use filterlist::ResourceType;
+    ///
+    /// let mut sifter = Sifter::builder()
+    ///     .rewriter(RewriterBuilder::new().default_rules().build())
+    ///     .build();
+    /// // Train hub.com to a *mixed* verdict at domain level.
+    /// sifter.observe_parts("hub.com", "w.hub.com", "s.js", "m", true);
+    /// sifter.observe_parts("hub.com", "w.hub.com", "s.js", "m", false);
+    /// sifter.commit();
+    ///
+    /// let request = DecisionRequest::new("hub.com", "new.hub.com", "s2.js", "m")
+    ///     .with_url("https://new.hub.com/api?id=7&gclid=abc", "pub.com", ResourceType::Xhr);
+    /// match sifter.decide(&request) {
+    ///     Decision::Rewrite(rewritten) => {
+    ///         assert_eq!(rewritten.url(), "https://new.hub.com/api?id=7");
+    ///     }
+    ///     other => panic!("expected a rewrite, got {other}"),
+    /// }
+    /// ```
+    Rewrite(Arc<RewrittenUrl>),
     /// The request is settled at a mixed script: serve this surrogate in
     /// place of the script (functional methods kept, tracking methods
     /// stubbed, mixed methods guarded). The plan is shared (`Arc`) with
@@ -277,16 +314,20 @@ pub enum Decision {
 
 impl Decision {
     /// `true` when the blocker should not deliver the original resource
-    /// (blocked outright or replaced by a surrogate).
+    /// (blocked outright, replaced by a surrogate, or redirected to a
+    /// rewritten URL).
     pub fn is_enforcing(&self) -> bool {
-        matches!(self, Decision::Block(_) | Decision::Surrogate(_))
+        matches!(
+            self,
+            Decision::Block(_) | Decision::Surrogate(_) | Decision::Rewrite(_)
+        )
     }
 
     /// The source that settled an allow/block, if this is one.
     pub fn source(&self) -> Option<DecisionSource> {
         match self {
             Decision::Allow(source) | Decision::Block(source) => Some(*source),
-            Decision::Surrogate(_) | Decision::Observe => None,
+            Decision::Surrogate(_) | Decision::Rewrite(_) | Decision::Observe => None,
         }
     }
 
@@ -294,6 +335,14 @@ impl Decision {
     pub fn surrogate(&self) -> Option<&SurrogateScript> {
         match self {
             Decision::Surrogate(script) => Some(script.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// The rewritten URL, when the decision carries one.
+    pub fn rewrite(&self) -> Option<&RewrittenUrl> {
+        match self {
+            Decision::Rewrite(rewritten) => Some(rewritten.as_ref()),
             _ => None,
         }
     }
@@ -314,6 +363,7 @@ impl fmt::Display for Decision {
                     script.guarded()
                 )
             }
+            Decision::Rewrite(rewritten) => write!(f, "rewrite to {}", rewritten.url()),
             Decision::Observe => f.write_str("observe"),
         }
     }
@@ -329,6 +379,7 @@ pub(crate) fn decide<K, P>(
     keys: &K,
     classes: &ClassTable,
     engine: Option<&FilterEngine>,
+    rewriter: Option<&UrlRewriter>,
     plan_for: P,
     request: &DecisionRequest<'_>,
 ) -> Decision
@@ -343,6 +394,7 @@ where
     match policy_of(
         verdict_walk(keys, classes, &request.verdict_request()),
         || keys.key(request.script).and_then(plan_for),
+        || rewrite_of(rewriter, request.url),
         || {
             filter_backstop(
                 engine,
@@ -353,6 +405,7 @@ where
         },
     ) {
         Resolved::Fixed(decision) => decision,
+        Resolved::Rewrite(rewritten) => Decision::Rewrite(rewritten),
         Resolved::Surrogate(plan) => Decision::Surrogate(plan),
     }
 }
@@ -363,8 +416,11 @@ where
 /// an `Arc<SurrogateScript>` on the decode path, a preformatted response
 /// frame on the serving hot path.
 pub(crate) enum Resolved<T> {
-    /// A decision carrying no payload (never [`Decision::Surrogate`]).
+    /// A decision carrying no payload (never [`Decision::Surrogate`] or
+    /// [`Decision::Rewrite`]).
     Fixed(Decision),
+    /// Load this rewritten URL instead of the original.
+    Rewrite(Arc<RewrittenUrl>),
     /// Serve the surrogate this plan stands for.
     Surrogate(T),
 }
@@ -372,10 +428,16 @@ pub(crate) enum Resolved<T> {
 /// The one decision policy over a hierarchy verdict, shared by the string
 /// path ([`decide`]) and the keyed path ([`decide_keyed_with`]) so they
 /// cannot drift: tracking → block, functional → allow, mixed at
-/// script/method with a plan → surrogate, everything else → backstop.
+/// script/method with a plan → surrogate, hierarchy-mixed with a URL that
+/// rewrites → rewrite, everything else → backstop.
+///
+/// `rewrite` is only consulted for *mixed* verdicts — an unknown resource
+/// has produced no evidence of mixed behaviour, so it goes straight to the
+/// backstop (which may still block it outright).
 pub(crate) fn policy_of<T>(
     verdict: Verdict,
     plan: impl FnOnce() -> Option<T>,
+    rewrite: impl FnOnce() -> Option<Arc<RewrittenUrl>>,
     backstop: impl FnOnce() -> Decision,
 ) -> Resolved<T> {
     match verdict {
@@ -392,13 +454,19 @@ pub(crate) fn policy_of<T>(
             granularity: Granularity::Script | Granularity::Method,
         } => match plan() {
             Some(plan) => Resolved::Surrogate(plan),
-            None => Resolved::Fixed(backstop()),
+            None => match rewrite() {
+                Some(rewritten) => Resolved::Rewrite(rewritten),
+                None => Resolved::Fixed(backstop()),
+            },
         },
         Verdict::Decided {
             classification: Classification::Mixed,
             granularity: Granularity::Domain | Granularity::Hostname,
-        }
-        | Verdict::Unknown => Resolved::Fixed(backstop()),
+        } => match rewrite() {
+            Some(rewritten) => Resolved::Rewrite(rewritten),
+            None => Resolved::Fixed(backstop()),
+        },
+        Verdict::Unknown => Resolved::Fixed(backstop()),
     }
 }
 
@@ -410,6 +478,7 @@ pub(crate) fn decide_keyed_with<K, T, P>(
     keys: &K,
     classes: &ClassTable,
     engine: Option<&FilterEngine>,
+    rewriter: Option<&UrlRewriter>,
     plan_for: P,
     request: &KeyedRequest<'_>,
 ) -> Resolved<T>
@@ -420,6 +489,7 @@ where
     policy_of(
         verdict_walk_keyed(keys, classes, request),
         || request.script.and_then(plan_for),
+        || rewrite_of(rewriter, request.url),
         || {
             filter_backstop(
                 engine,
@@ -429,6 +499,17 @@ where
             )
         },
     )
+}
+
+/// The rewrite arm's evidence test: a configured rewriter, a carried URL,
+/// and the URL actually changing. `None` (the common case) costs no
+/// allocation — the rewriter's token-hash prescreen rejects clean URLs
+/// before parsing anything.
+fn rewrite_of(rewriter: Option<&UrlRewriter>, url: Option<&str>) -> Option<Arc<RewrittenUrl>> {
+    match (rewriter, url) {
+        (Some(rewriter), Some(url)) => rewriter.rewrite(url).map(Arc::new),
+        _ => None,
+    }
 }
 
 /// Borrowed hostname of a page URL (`scheme://[user@]host[:port]/…`);
@@ -623,6 +704,87 @@ mod tests {
         );
     }
 
+    /// `trained()` plus a default-rules URL rewriter.
+    fn trained_with_rewriter() -> Sifter {
+        let snapshot = trained().snapshot();
+        Sifter::builder()
+            .filter_lists(&[(ListKind::EasyList, "||blocked.example^\n")])
+            .rewriter(rewriter::RewriterBuilder::new().default_rules().build())
+            .restore(&snapshot)
+            .expect("snapshot round-trips")
+    }
+
+    #[test]
+    fn mixed_requests_with_identifier_urls_are_rewritten() {
+        let sifter = trained_with_rewriter();
+        // Known-mixed domain, never-seen hostname: mixed at domain level.
+        let keys = DecisionRequest::new("hub.com", "new.hub.com", "s.js", "m");
+        let tracking_url = keys.with_url(
+            "https://new.hub.com/x?id=1&utm_source=feed&gclid=z",
+            "pub.com",
+            ResourceType::Xhr,
+        );
+        match sifter.decide(&tracking_url) {
+            Decision::Rewrite(rewritten) => {
+                assert_eq!(rewritten.url(), "https://new.hub.com/x?id=1");
+            }
+            other => panic!("expected rewrite, got {other}"),
+        }
+        // Same hierarchy position, clean URL: falls through to the backstop.
+        let clean_url = keys.with_url("https://new.hub.com/x?id=1", "pub.com", ResourceType::Xhr);
+        assert_eq!(
+            sifter.decide(&clean_url),
+            Decision::Allow(DecisionSource::FilterList)
+        );
+        assert!(sifter.decide(&tracking_url).is_enforcing());
+    }
+
+    #[test]
+    fn surrogates_take_precedence_over_rewrites_for_mixed_scripts() {
+        let sifter = trained_with_rewriter();
+        let request = DecisionRequest::new(
+            "hub.com",
+            "w.hub.com",
+            "https://pub.com/mixed.js",
+            "dispatch",
+        )
+        .with_url(
+            "https://w.hub.com/beacon?gclid=abc",
+            "pub.com",
+            ResourceType::Script,
+        );
+        // The mixed script has a surrogate plan; the identifier-carrying
+        // URL must not demote it to a rewrite.
+        assert!(sifter.decide(&request).surrogate().is_some());
+    }
+
+    #[test]
+    fn settled_verdicts_are_never_rewritten() {
+        let sifter = trained_with_rewriter();
+        // Tracking domain with an identifier URL: still a block.
+        let request = DecisionRequest::new("ads.com", "px.ads.com", "https://pub.com/a.js", "send")
+            .with_url(
+                "https://px.ads.com/p?gclid=abc",
+                "pub.com",
+                ResourceType::Image,
+            );
+        assert_eq!(
+            sifter.decide(&request),
+            Decision::Block(DecisionSource::Hierarchy(Granularity::Domain))
+        );
+        // Unknown resource with an identifier URL: backstop, not rewrite —
+        // there is no mixed evidence to justify modifying the request.
+        let unknown = DecisionRequest::new("zzz.com", "a.zzz.com", "s.js", "m").with_url(
+            "https://a.zzz.com/x?utm_source=feed",
+            "pub.com",
+            ResourceType::Xhr,
+        );
+        assert_eq!(
+            sifter.decide(&unknown),
+            Decision::Allow(DecisionSource::FilterList)
+        );
+    }
+
     #[test]
     fn decisions_without_an_engine_observe_instead_of_guessing() {
         let mut sifter = Sifter::builder().build();
@@ -657,6 +819,8 @@ mod tests {
             "dispatch",
         ));
         assert!(surrogate.to_string().starts_with("surrogate for"));
+        let rewrite = Decision::Rewrite(Arc::new(RewrittenUrl::new("https://a.example/x?id=1")));
+        assert_eq!(rewrite.to_string(), "rewrite to https://a.example/x?id=1");
     }
 
     #[test]

@@ -11,11 +11,13 @@
 //!   served (field order fixed, so equal decisions render to byte-identical
 //!   JSON). The decoders ([`decision_from_value`] / [`surrogate_from_value`])
 //!   are their inverses.
-//! * **Binary**: a compact length-prefixed framing. Every non-surrogate
-//!   decision is one of [`FIXED_COMBOS`] fixed `(action, source)` pairs —
-//!   a two-byte code — and a surrogate decision carries a length-prefixed
-//!   payload ([`encode_surrogate_payload`]) holding the full plan. All
-//!   integers are little-endian.
+//! * **Binary**: a compact length-prefixed framing. Every fixed decision
+//!   is one of [`FIXED_COMBOS`] fixed `(action, source)` pairs — a
+//!   two-byte code — while a surrogate decision carries a length-prefixed
+//!   payload ([`encode_surrogate_payload`]) holding the full plan and a
+//!   rewrite decision carries a length-prefixed payload
+//!   ([`encode_rewrite_payload`]) holding the rewritten URL. All integers
+//!   are little-endian.
 //!
 //! # Binary frame layout
 //!
@@ -24,11 +26,11 @@
 //! | offset | field |
 //! |---|---|
 //! | 0 | protocol version (`1`) |
-//! | 1 | action code (`0` observe, `1` allow, `2` block, `3` surrogate) |
+//! | 1 | action code (`0` observe, `1` allow, `2` block, `3` surrogate, `4` rewrite) |
 //! | 2 | source code (`0` none, `1..=4` hierarchy granularity, `5` filter list) |
 //! | 3 | table version, `u64` LE |
-//! | 11 | surrogate payload length, `u32` LE (`0` unless action is surrogate) |
-//! | 15 | surrogate payload bytes |
+//! | 11 | payload length, `u32` LE (`0` unless action is surrogate or rewrite) |
+//! | 15 | payload bytes |
 //!
 //! Batch response body: `proto u8`, `version u64`, `count u32`, then one
 //! 6-byte record header (`action u8`, `source u8`, `payload_len u32`) plus
@@ -38,11 +40,15 @@
 //! then per method `name (u32 len + bytes)`, `action u8` (`0` keep, `1`
 //! stub, `2` guard) and for guards `caller count u32` + `u32`-prefixed
 //! caller strings, then `suppressed u64`, `preserved u64`.
+//!
+//! Rewrite payload: the rewritten URL as one `u32`-length-prefixed UTF-8
+//! string (mirroring the surrogate frame layout with a single field).
 
 use crate::decision::{Decision, DecisionSource};
 use crate::hierarchy::Granularity;
 use crate::surrogate::{MethodAction, SurrogateScript};
 use crawler::json::{object, JsonError, Value};
+use rewriter::RewrittenUrl;
 use std::sync::Arc;
 
 /// The binary protocol version this build speaks.
@@ -62,14 +68,18 @@ pub const ACTION_ALLOW: u8 = 1;
 pub const ACTION_BLOCK: u8 = 2;
 /// Action code: replace the script with the surrogate in the payload.
 pub const ACTION_SURROGATE: u8 = 3;
+/// Action code: load the rewritten URL in the payload instead of the
+/// original request URL.
+pub const ACTION_REWRITE: u8 = 4;
 
 /// Source code for decisions that carry no source (observe / surrogate).
 pub const SOURCE_NONE: u8 = 0;
 /// Source code for the filter-list backstop.
 pub const SOURCE_FILTER_LIST: u8 = 5;
 
-/// Number of fixed (non-surrogate) `(action, source)` combinations:
+/// Number of fixed (payload-free) `(action, source)` combinations:
 /// observe, plus allow/block × (4 hierarchy granularities + filter list).
+/// Surrogate and rewrite decisions carry payloads and are not fixed.
 pub const FIXED_COMBOS: usize = 11;
 
 fn source_code(source: DecisionSource) -> u8 {
@@ -91,24 +101,27 @@ fn source_of_code(code: u8) -> Option<DecisionSource> {
 }
 
 /// The `(action, source)` code pair of a decision. Surrogates report
-/// [`ACTION_SURROGATE`] with [`SOURCE_NONE`].
+/// [`ACTION_SURROGATE`] and rewrites [`ACTION_REWRITE`], both with
+/// [`SOURCE_NONE`].
 pub fn codes_of(decision: &Decision) -> (u8, u8) {
     match decision {
         Decision::Observe => (ACTION_OBSERVE, SOURCE_NONE),
         Decision::Allow(source) => (ACTION_ALLOW, source_code(*source)),
         Decision::Block(source) => (ACTION_BLOCK, source_code(*source)),
         Decision::Surrogate(_) => (ACTION_SURROGATE, SOURCE_NONE),
+        Decision::Rewrite(_) => (ACTION_REWRITE, SOURCE_NONE),
     }
 }
 
-/// The dense index of a non-surrogate decision into the preformatted
-/// response tables (`0..FIXED_COMBOS`); `None` for surrogates.
+/// The dense index of a fixed decision into the preformatted response
+/// tables (`0..FIXED_COMBOS`); `None` for the payload-carrying decisions
+/// (surrogate, rewrite).
 pub fn fixed_index(decision: &Decision) -> Option<usize> {
     match decision {
         Decision::Observe => Some(0),
         Decision::Allow(source) => Some(source_code(*source) as usize),
         Decision::Block(source) => Some(5 + source_code(*source) as usize),
-        Decision::Surrogate(_) => None,
+        Decision::Surrogate(_) | Decision::Rewrite(_) => None,
     }
 }
 
@@ -194,6 +207,15 @@ pub fn surrogate_value(script: &SurrogateScript) -> Value {
     ])
 }
 
+/// Encode a rewrite payload as its canonical JSON object
+/// (`{"action":"rewrite","url":…}`).
+pub fn rewrite_value(rewritten: &RewrittenUrl) -> Value {
+    object(vec![
+        ("action", Value::String("rewrite".to_string())),
+        ("url", Value::String(rewritten.url().to_string())),
+    ])
+}
+
 /// Encode a decision as its canonical JSON object. The encoding is
 /// canonical (field order fixed), so equal decisions render to
 /// byte-identical JSON — the property the preformatted response tables and
@@ -214,6 +236,7 @@ pub fn decision_value(decision: &Decision) -> Value {
             ("action", Value::String("surrogate".to_string())),
             ("surrogate", surrogate_value(script)),
         ]),
+        Decision::Rewrite(rewritten) => rewrite_value(rewritten),
         Decision::Observe => object(vec![("action", Value::String("observe".to_string()))]),
     }
 }
@@ -288,6 +311,9 @@ pub fn decision_from_value(value: &Value) -> Result<Decision, JsonError> {
         "surrogate" => Ok(Decision::Surrogate(Arc::new(surrogate_from_value(
             value.field("surrogate")?,
         )?))),
+        "rewrite" => Ok(Decision::Rewrite(Arc::new(RewrittenUrl::new(
+            value.field("url")?.as_str()?,
+        )))),
         "observe" => Ok(Decision::Observe),
         other => err(format!("unknown decision action {other:?}")),
     }
@@ -448,6 +474,22 @@ impl<'a> FrameReader<'a> {
     }
 }
 
+/// Encode a rewritten URL as the binary payload of a rewrite decision
+/// frame: one `u32`-length-prefixed UTF-8 string.
+pub fn encode_rewrite_payload(rewritten: &RewrittenUrl) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + rewritten.url().len());
+    put_bytes(&mut out, rewritten.url().as_bytes());
+    out
+}
+
+/// Decode the binary payload of a rewrite decision frame.
+pub fn decode_rewrite_payload(bytes: &[u8]) -> Result<RewrittenUrl, FrameError> {
+    let mut reader = FrameReader::new(bytes);
+    let url = reader.string()?.to_string();
+    reader.finish()?;
+    Ok(RewrittenUrl::new(url))
+}
+
 /// Decode the binary payload of a surrogate decision frame.
 pub fn decode_surrogate_payload(bytes: &[u8]) -> Result<SurrogateScript, FrameError> {
     let mut reader = FrameReader::new(bytes);
@@ -486,10 +528,11 @@ pub fn decode_surrogate_payload(bytes: &[u8]) -> Result<SurrogateScript, FrameEr
 }
 
 /// Build the full single-decision binary response body for a fixed
-/// (non-surrogate) decision: 15 bytes, payload length zero.
+/// (payload-free) decision: 15 bytes, payload length zero.
 pub fn encode_fixed_single(decision: &Decision, version: u64) -> [u8; SINGLE_HEADER_LEN] {
     let (action, source) = codes_of(decision);
     debug_assert_ne!(action, ACTION_SURROGATE, "fixed frames carry no payload");
+    debug_assert_ne!(action, ACTION_REWRITE, "fixed frames carry no payload");
     let mut out = [0u8; SINGLE_HEADER_LEN];
     out[0] = PROTO_VERSION;
     out[1] = action;
@@ -511,6 +554,18 @@ pub fn encode_surrogate_single_header(version: u64, payload_len: u32) -> [u8; SI
     out
 }
 
+/// Write the 15-byte single-decision header for a rewrite response; the
+/// caller appends the (preformatted) payload bytes.
+pub fn encode_rewrite_single_header(version: u64, payload_len: u32) -> [u8; SINGLE_HEADER_LEN] {
+    let mut out = [0u8; SINGLE_HEADER_LEN];
+    out[0] = PROTO_VERSION;
+    out[1] = ACTION_REWRITE;
+    out[2] = SOURCE_NONE;
+    out[3..11].copy_from_slice(&version.to_le_bytes());
+    out[11..15].copy_from_slice(&payload_len.to_le_bytes());
+    out
+}
+
 /// Build one batch record header (`action`, `source`, `payload_len`).
 pub fn encode_record_header(action: u8, source: u8, payload_len: u32) -> [u8; RECORD_HEADER_LEN] {
     let mut out = [0u8; RECORD_HEADER_LEN];
@@ -521,9 +576,9 @@ pub fn encode_record_header(action: u8, source: u8, payload_len: u32) -> [u8; RE
 }
 
 /// Decode one `(action, source, payload)` triple into a [`Decision`]; the
-/// payload must be empty unless the action is surrogate.
+/// payload must be empty unless the action is surrogate or rewrite.
 pub fn decode_decision(action: u8, source: u8, payload: &[u8]) -> Result<Decision, FrameError> {
-    if action != ACTION_SURROGATE && !payload.is_empty() {
+    if action != ACTION_SURROGATE && action != ACTION_REWRITE && !payload.is_empty() {
         return Err(FrameError(format!(
             "action {action} carries an unexpected {}-byte payload",
             payload.len()
@@ -538,6 +593,9 @@ pub fn decode_decision(action: u8, source: u8, payload: &[u8]) -> Result<Decisio
             .map(Decision::Block)
             .ok_or_else(|| FrameError(format!("unknown source code {source}"))),
         ACTION_SURROGATE => Ok(Decision::Surrogate(Arc::new(decode_surrogate_payload(
+            payload,
+        )?))),
+        ACTION_REWRITE => Ok(Decision::Rewrite(Arc::new(decode_rewrite_payload(
             payload,
         )?))),
         other => Err(FrameError(format!("unknown action code {other}"))),
@@ -566,9 +624,14 @@ mod tests {
         }
     }
 
+    fn sample_rewrite() -> RewrittenUrl {
+        RewrittenUrl::new("https://news.example/story?p=1")
+    }
+
     fn all_decisions() -> Vec<Decision> {
         let mut decisions: Vec<Decision> = (0..FIXED_COMBOS).map(fixed_decision).collect();
         decisions.push(Decision::Surrogate(Arc::new(sample_surrogate())));
+        decisions.push(Decision::Rewrite(Arc::new(sample_rewrite())));
         decisions
     }
 
@@ -579,6 +642,10 @@ mod tests {
         }
         assert_eq!(
             fixed_index(&Decision::Surrogate(Arc::new(sample_surrogate()))),
+            None
+        );
+        assert_eq!(
+            fixed_index(&Decision::Rewrite(Arc::new(sample_rewrite()))),
             None
         );
     }
@@ -614,6 +681,7 @@ mod tests {
             let (action, source) = codes_of(&decision);
             let payload = match &decision {
                 Decision::Surrogate(script) => encode_surrogate_payload(script),
+                Decision::Rewrite(rewritten) => encode_rewrite_payload(rewritten),
                 _ => Vec::new(),
             };
             let back = decode_decision(action, source, &payload).unwrap();
@@ -628,6 +696,22 @@ mod tests {
         assert!(decode_decision(ACTION_ALLOW, 6, &[]).is_err());
         assert!(decode_decision(ACTION_ALLOW, 1, &[1, 2, 3]).is_err());
         assert!(decode_decision(ACTION_SURROGATE, 0, &[1]).is_err());
+        // Rewrite frames must carry a complete, exactly-sized payload.
+        assert!(decode_decision(ACTION_REWRITE, 0, &[]).is_err());
+        assert!(decode_decision(ACTION_REWRITE, 0, &[255, 255, 255, 255]).is_err());
+        let mut padded = encode_rewrite_payload(&sample_rewrite());
+        padded.push(0);
+        assert!(decode_decision(ACTION_REWRITE, 0, &padded).is_err());
+    }
+
+    #[test]
+    fn rewrite_payloads_round_trip_binary() {
+        let rewritten = sample_rewrite();
+        let payload = encode_rewrite_payload(&rewritten);
+        assert_eq!(decode_rewrite_payload(&payload).unwrap(), rewritten);
+        for cut in 0..payload.len() {
+            assert!(decode_rewrite_payload(&payload[..cut]).is_err());
+        }
     }
 
     #[test]
@@ -654,6 +738,12 @@ mod tests {
         assert_eq!(u32::from_le_bytes(frame[11..15].try_into().unwrap()), 0);
         let header = encode_surrogate_single_header(7, 42);
         assert_eq!(header[1], ACTION_SURROGATE);
+        assert_eq!(u32::from_le_bytes(header[11..15].try_into().unwrap()), 42);
+        let header = encode_rewrite_single_header(7, 42);
+        assert_eq!(header[0], PROTO_VERSION);
+        assert_eq!(header[1], ACTION_REWRITE);
+        assert_eq!(header[2], SOURCE_NONE);
+        assert_eq!(u64::from_le_bytes(header[3..11].try_into().unwrap()), 7);
         assert_eq!(u32::from_le_bytes(header[11..15].try_into().unwrap()), 42);
         let record = encode_record_header(ACTION_ALLOW, SOURCE_FILTER_LIST, 3);
         assert_eq!(record, [ACTION_ALLOW, SOURCE_FILTER_LIST, 3, 0, 0, 0]);

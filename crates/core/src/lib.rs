@@ -131,6 +131,7 @@ pub use pipeline::{
 };
 pub use ratio::{Classification, Counts, Thresholds};
 pub use report::RatioHistogram;
+pub use rewriter::{RewriterBuilder, RewrittenUrl, UrlRewriter};
 pub use sensitivity::{SensitivityPoint, SensitivitySweep};
 pub use service::{
     CommitStats, IngestStats, ObserveOutcome, ServiceStats, Sifter, SifterBuilder, Verdict,

@@ -75,6 +75,7 @@ use filterlist::{
     registrable_domain, FilterEngine, FilterRequest, ListKind, ParsedUrl, RequestLabel,
     ResourceType,
 };
+use rewriter::UrlRewriter;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -329,6 +330,7 @@ struct LevelEntry {
 pub struct SifterBuilder {
     thresholds: Thresholds,
     engine: Option<Arc<FilterEngine>>,
+    rewriter: Option<Arc<UrlRewriter>>,
 }
 
 impl SifterBuilder {
@@ -365,11 +367,29 @@ impl SifterBuilder {
         self
     }
 
+    /// Use a compiled [`UrlRewriter`] as the rewrite arm of
+    /// [`Sifter::decide`]: mixed requests whose URLs carry identifier
+    /// parameters are answered with [`Decision::Rewrite`] instead of the
+    /// filter-list backstop. See [`crate::decision`] for where rewrites sit
+    /// in the policy (Allow < Rewrite < Surrogate < Block).
+    pub fn rewriter(mut self, rewriter: UrlRewriter) -> Self {
+        self.rewriter = Some(Arc::new(rewriter));
+        self
+    }
+
+    /// Share an already-compiled rewriter (no copy) across sifter rebuilds,
+    /// mirroring [`SifterBuilder::shared_engine`].
+    pub fn shared_rewriter(mut self, rewriter: Arc<UrlRewriter>) -> Self {
+        self.rewriter = Some(rewriter);
+        self
+    }
+
     /// Produce an empty sifter (no pre-trained state).
     pub fn build(self) -> Sifter {
         Sifter {
             thresholds: self.thresholds,
             engine: self.engine,
+            rewriter: self.rewriter,
             interner: KeyInterner::new(),
             domain_counts: KeyMap::default(),
             host_meta: KeyMap::default(),
@@ -429,7 +449,8 @@ impl SifterBuilder {
     /// Produce a sifter pre-trained from a [`SifterSnapshot`] (the state a
     /// previous process exported with [`Sifter::snapshot`]). The snapshot's
     /// thresholds take precedence over [`SifterBuilder::thresholds`]; a
-    /// configured filter engine is kept. All restored observations are
+    /// configured filter engine and rewriter are kept. All restored
+    /// observations are
     /// committed, so the returned sifter serves verdicts immediately.
     pub fn restore(self, snapshot: &SifterSnapshot) -> Result<Sifter, SnapshotError> {
         if !snapshot.threshold.is_finite() || snapshot.threshold <= 0.0 {
@@ -455,6 +476,7 @@ impl SifterBuilder {
 pub struct Sifter {
     thresholds: Thresholds,
     engine: Option<Arc<FilterEngine>>,
+    rewriter: Option<Arc<UrlRewriter>>,
     interner: KeyInterner,
 
     // -- raw accumulated observations (updated by `observe`) --
@@ -619,6 +641,11 @@ impl Sifter {
     /// The shared filter engine, if one was configured.
     pub(crate) fn engine_arc(&self) -> Option<Arc<FilterEngine>> {
         self.engine.clone()
+    }
+
+    /// The shared URL rewriter, if one was configured.
+    pub(crate) fn rewriter_arc(&self) -> Option<Arc<UrlRewriter>> {
+        self.rewriter.clone()
     }
 
     /// Number of committed member resources at a granularity.
@@ -1036,6 +1063,7 @@ impl Sifter {
             &self.interner,
             &self.classes,
             self.engine.as_deref(),
+            self.rewriter.as_deref(),
             |script| self.surrogate_plans.get(&script).cloned(),
             request,
         )
@@ -1120,6 +1148,7 @@ impl Sifter {
             self.committed_requests,
             self.residue_requests,
             self.engine.clone(),
+            self.rewriter.clone(),
             Arc::new(self.surrogate_plans.clone()),
             Arc::new(self.surrogate_frames.clone()),
         )

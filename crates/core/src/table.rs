@@ -34,6 +34,7 @@ use crate::surrogate::SurrogateScript;
 use crawler::json::{object, Value};
 use filterlist::tokens::TokenHashBuilder;
 use filterlist::FilterEngine;
+use rewriter::{RewrittenUrl, UrlRewriter};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -370,17 +371,21 @@ impl PrebuiltResponses {
     }
 }
 
-/// What the preformatted serving path answers with: either an index into
-/// the fixed prebuilt bodies, or borrowed surrogate frames. Produced by
-/// [`VerdictTable::decide_prebuilt`]; both arms are a `memcpy` away from a
-/// complete response body.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// What the preformatted serving path answers with: an index into the
+/// fixed prebuilt bodies, borrowed surrogate frames, or a rewritten URL.
+/// Produced by [`VerdictTable::decide_prebuilt`]; the fixed and surrogate
+/// arms are a `memcpy` away from a complete response body, while rewrite
+/// payloads are inherently per-request (the rewritten URL depends on the
+/// request URL) and are encoded at serve time.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PrebuiltDecision<'a> {
-    /// A non-surrogate decision: index the fixed tables of
+    /// A non-payload decision: index the fixed tables of
     /// [`PrebuiltResponses`] with this.
     Fixed(usize),
     /// A surrogate decision: the preformatted frames of the script's plan.
     Surrogate(&'a SurrogateFrames),
+    /// A rewrite decision: the rewritten request URL.
+    Rewrite(Arc<RewrittenUrl>),
 }
 
 /// An immutable point-in-time verdict table: the committed [`ClassTable`]
@@ -408,6 +413,10 @@ pub struct VerdictTable {
     /// the sifter that exported the table (engines never change after
     /// build, so every published table carries the same `Arc`).
     engine: Option<Arc<FilterEngine>>,
+    /// The URL rewriter for mixed requests whose URLs carry identifier
+    /// parameters; like the engine, immutable after build and shared by
+    /// `Arc` with the exporting sifter.
+    url_rewriter: Option<Arc<UrlRewriter>>,
     /// Surrogate plans for every committed mixed script, maintained
     /// incrementally by the sifter's commits and shared here so concurrent
     /// readers serve [`Decision::Surrogate`] without touching the writer.
@@ -425,6 +434,7 @@ impl VerdictTable {
         committed: u64,
         residue: u64,
         engine: Option<Arc<FilterEngine>>,
+        url_rewriter: Option<Arc<UrlRewriter>>,
         surrogates: Arc<SurrogatePlans>,
         frames: Arc<SurrogateFrameMap>,
     ) -> Self {
@@ -436,6 +446,7 @@ impl VerdictTable {
             residue,
             keys_epoch: 0,
             engine,
+            url_rewriter,
             surrogates,
             prebuilt: PrebuiltResponses::build(version, frames),
         }
@@ -470,6 +481,7 @@ impl VerdictTable {
             self.keys.as_ref(),
             &self.classes,
             self.engine.as_deref(),
+            self.url_rewriter.as_deref(),
             |script| self.surrogates.get(&script).cloned(),
             request,
         )
@@ -511,10 +523,12 @@ impl VerdictTable {
             self.keys.as_ref(),
             &self.classes,
             self.engine.as_deref(),
+            self.url_rewriter.as_deref(),
             |script| self.surrogates.get(&script).cloned(),
             request,
         ) {
             Resolved::Fixed(decision) => decision,
+            Resolved::Rewrite(rewritten) => Decision::Rewrite(rewritten),
             Resolved::Surrogate(plan) => Decision::Surrogate(plan),
         }
     }
@@ -529,12 +543,14 @@ impl VerdictTable {
             self.keys.as_ref(),
             &self.classes,
             self.engine.as_deref(),
+            self.url_rewriter.as_deref(),
             |script| self.prebuilt.surrogates.get(&script),
             request,
         ) {
             Resolved::Fixed(decision) => PrebuiltDecision::Fixed(
                 frames::fixed_index(&decision).expect("policy fixed decisions are the 11 combos"),
             ),
+            Resolved::Rewrite(rewritten) => PrebuiltDecision::Rewrite(rewritten),
             Resolved::Surrogate(frames) => PrebuiltDecision::Surrogate(frames),
         }
     }
@@ -601,6 +617,7 @@ mod tests {
         use filterlist::ListKind;
         let mut sifter = crate::service::Sifter::builder()
             .filter_lists(&[(ListKind::EasyList, "||blocked.example^\n")])
+            .rewriter(rewriter::RewriterBuilder::new().default_rules().build())
             .build();
         for _ in 0..5 {
             sifter.observe_parts(
@@ -657,6 +674,13 @@ mod tests {
                 "dispatch",
             ),
             DecisionRequest::new("hub.com", "w.hub.com", "https://pub.com/mixed.js", "novel"),
+            // Mixed below the trained hierarchy, URL carrying identifiers:
+            // the rewrite arm.
+            DecisionRequest::new("hub.com", "new.hub.com", "s2.js", "m").with_url(
+                "https://new.hub.com/api?id=7&gclid=abc&utm_source=mail",
+                "pub.com",
+                filterlist::ResourceType::Xhr,
+            ),
             DecisionRequest::new("zzz.com", "a.zzz.com", "s.js", "m"),
             DecisionRequest::new("zzz.com", "a.zzz.com", "s.js", "m").with_url(
                 "https://px.blocked.example/p.gif",
@@ -675,6 +699,7 @@ mod tests {
     fn keyed_decisions_match_string_decisions() {
         let table = trained_table();
         let mut surrogates = 0;
+        let mut rewrites = 0;
         for request in probe_requests() {
             let keyed = table.resolve(&request);
             let decision = table.decide(&request);
@@ -682,8 +707,12 @@ mod tests {
             if decision.surrogate().is_some() {
                 surrogates += 1;
             }
+            if decision.rewrite().is_some() {
+                rewrites += 1;
+            }
         }
         assert!(surrogates > 0, "fixture must exercise the surrogate arm");
+        assert!(rewrites > 0, "fixture must exercise the rewrite arm");
     }
 
     #[test]
@@ -717,6 +746,11 @@ mod tests {
                     let plan = decision.surrogate().expect("prebuilt surrogate arm");
                     assert_eq!(sf.binary.as_ref(), frames::encode_surrogate_payload(plan));
                     sf.json.to_string()
+                }
+                PrebuiltDecision::Rewrite(rewritten) => {
+                    let expected = decision.rewrite().expect("prebuilt rewrite arm");
+                    assert_eq!(rewritten.as_ref(), expected, "for {request:?}");
+                    frames::rewrite_value(&rewritten).render()
                 }
             };
             assert_eq!(

@@ -65,6 +65,11 @@ impl MatchOutcome {
 pub struct FilterEngine {
     blocking: RuleIndex,
     exceptions: RuleIndex,
+    /// `$removeparam=` modifier rules. These never *block* (a global
+    /// `*$removeparam=gclid` must not label the whole web as tracking), so
+    /// they live outside the blocking index and are consumed by the URL
+    /// rewriter as a rule source.
+    removeparam: Vec<FilterRule>,
     stats: Vec<(ListKind, ParseStats)>,
 }
 
@@ -80,10 +85,14 @@ const _: () = {
 impl FilterEngine {
     /// Build an engine from already-parsed rules.
     pub fn from_rules(rules: Vec<FilterRule>) -> Self {
-        let (exceptions, blocking): (Vec<_>, Vec<_>) = rules.into_iter().partition(|r| r.exception);
+        let (removeparam, rest): (Vec<_>, Vec<_>) = rules
+            .into_iter()
+            .partition(|r| !r.options.removeparam.is_empty());
+        let (exceptions, blocking): (Vec<_>, Vec<_>) = rest.into_iter().partition(|r| r.exception);
         FilterEngine {
             blocking: RuleIndex::build(blocking),
             exceptions: RuleIndex::build(exceptions),
+            removeparam,
             stats: Vec::new(),
         }
     }
@@ -115,9 +124,13 @@ impl FilterEngine {
     /// existing engine. The new rules are appended and filed incrementally —
     /// existing rules are neither cloned nor re-indexed.
     pub fn extend_with_rules(&mut self, extra: Vec<FilterRule>) {
-        let (exceptions, blocking): (Vec<_>, Vec<_>) = extra.into_iter().partition(|r| r.exception);
+        let (removeparam, rest): (Vec<_>, Vec<_>) = extra
+            .into_iter()
+            .partition(|r| !r.options.removeparam.is_empty());
+        let (exceptions, blocking): (Vec<_>, Vec<_>) = rest.into_iter().partition(|r| r.exception);
         self.blocking.extend(blocking);
         self.exceptions.extend(exceptions);
+        self.removeparam.extend(removeparam);
     }
 
     /// Total number of rules (blocking + exception).
@@ -149,6 +162,17 @@ impl FilterEngine {
     /// Iterate the exception (`@@`) rules in insertion order.
     pub fn exception_rules(&self) -> impl Iterator<Item = &FilterRule> {
         self.exceptions.rules()
+    }
+
+    /// The `$removeparam=` modifier rules, in list order — the rule source a
+    /// URL rewriter consumes (they take no part in [`FilterEngine::label`]).
+    pub fn removeparam_rules(&self) -> &[FilterRule] {
+        &self.removeparam
+    }
+
+    /// Number of `$removeparam=` modifier rules.
+    pub fn removeparam_rule_count(&self) -> usize {
+        self.removeparam.len()
     }
 
     /// Evaluate a request, returning the full outcome.
@@ -389,6 +413,33 @@ mod tests {
                 "extended engine and linear scan disagree for {url}"
             );
         }
+    }
+
+    #[test]
+    fn removeparam_rules_are_modifiers_not_blockers() {
+        let e = engine("*$removeparam=gclid\n||shop.example^$removeparam=utm_*\n||tracker.io^\n");
+        assert_eq!(e.removeparam_rule_count(), 2);
+        assert_eq!(e.blocking_rule_count(), 1);
+        // A global removeparam rule must not label arbitrary requests.
+        let r = req(
+            "https://images.shop.com/logo.png?gclid=abc",
+            "shop.com",
+            ResourceType::Image,
+        );
+        assert_eq!(e.label(&r), RequestLabel::Functional);
+        assert_eq!(
+            e.removeparam_rules()[0].options.removeparam,
+            vec!["gclid".to_string()]
+        );
+    }
+
+    #[test]
+    fn extend_with_rules_files_removeparam_separately() {
+        let mut e = engine("||tracker.io^\n");
+        let extra = crate::parser::parse_list("*$removeparam=fbclid\n", ListKind::Custom);
+        e.extend_with_rules(extra.rules);
+        assert_eq!(e.removeparam_rule_count(), 1);
+        assert_eq!(e.blocking_rule_count(), 1);
     }
 
     #[test]

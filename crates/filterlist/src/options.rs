@@ -51,6 +51,13 @@ pub struct RuleOptions {
     /// blocking; rules carrying them are kept but never match network
     /// requests of other types.
     pub popup: bool,
+    /// `$removeparam=` entries: query parameters a rewriter should strip
+    /// from matching URLs instead of blocking the request. A trailing `*`
+    /// marks a prefix rule (`utm_*`). Rules carrying this option are
+    /// *modifiers*, not blockers — the engine files them separately (see
+    /// [`crate::engine::FilterEngine::removeparam_rules`]) and they never
+    /// label a request as tracking.
+    pub removeparam: Vec<String>,
     /// Number of unknown / unsupported options encountered while parsing.
     /// A rule with unsupported options is dropped by the parser, mirroring
     /// how blockers skip rules they cannot honour safely.
@@ -125,6 +132,19 @@ impl RuleOptions {
                             domain: domain.to_ascii_lowercase(),
                             negated,
                         });
+                    }
+                }
+                _ if lower.starts_with("removeparam=") => {
+                    let value = &name[name.find('=').map(|i| i + 1).unwrap_or(0)..];
+                    let value = value.trim();
+                    if value.is_empty() || negated {
+                        // Bare `$removeparam` (strip the whole query) and
+                        // negated entries use regex-era syntax we do not
+                        // implement; dropping the rule is safer than
+                        // stripping the wrong parameters.
+                        out.unsupported += 1;
+                    } else {
+                        out.removeparam.push(value.to_ascii_lowercase());
                     }
                 }
                 // Options we recognise but deliberately treat as "no-op for
@@ -243,6 +263,22 @@ mod tests {
         assert!(!o.domains[0].negated);
         assert!(o.domains[1].negated);
         assert_eq!(o.domains[2].domain, "news.org");
+    }
+
+    #[test]
+    fn parses_removeparam_entries() {
+        let o = RuleOptions::parse("removeparam=utm_source");
+        assert_eq!(o.removeparam, vec!["utm_source".to_string()]);
+        assert!(!o.has_unsupported());
+        let multi = RuleOptions::parse("removeparam=gclid,removeparam=FBCLID,removeparam=utm_*");
+        assert_eq!(multi.removeparam, vec!["gclid", "fbclid", "utm_*"]);
+    }
+
+    #[test]
+    fn bare_or_negated_removeparam_is_unsupported() {
+        assert!(RuleOptions::parse("removeparam").has_unsupported());
+        assert!(RuleOptions::parse("removeparam=").has_unsupported());
+        assert!(RuleOptions::parse("~removeparam=utm_source").has_unsupported());
     }
 
     #[test]

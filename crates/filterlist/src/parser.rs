@@ -76,10 +76,13 @@ pub fn parse_rule(line: &str, list: ListKind, line_no: usize) -> Option<FilterRu
             let candidate = &body[idx + 1..];
             // Heuristic used by real parsers: an options section contains
             // only option-ish characters.
+            // `*` appears in `$removeparam=utm_*` prefix entries; the
+            // curated lists carry no `$`-suffixed pattern text containing
+            // it, so admitting it here cannot reclassify a pattern.
             let looks_like_options = !candidate.is_empty()
                 && candidate
                     .chars()
-                    .all(|c| c.is_ascii_alphanumeric() || ",~=|-_.".contains(c));
+                    .all(|c| c.is_ascii_alphanumeric() || ",~=|-_.*".contains(c));
             if looks_like_options {
                 (&body[..idx], candidate)
             } else {
@@ -100,8 +103,11 @@ pub fn parse_rule(line: &str, list: ListKind, line_no: usize) -> Option<FilterRu
     let pattern = Pattern::compile(pattern_trimmed, options.match_case);
     // A rule that matches every URL and has no constraining options would
     // label the whole web as tracking; real lists never ship such a rule and
-    // we refuse it here.
+    // we refuse it here. Removeparam rules are exempt: `*$removeparam=gclid`
+    // is the canonical global strip rule, and as a modifier it labels
+    // nothing — the engine keeps it out of the blocking index entirely.
     if pattern.is_match_all()
+        && options.removeparam.is_empty()
         && options.include_types.is_empty()
         && options.domains.is_empty()
         && options.party == crate::options::PartyConstraint::Any
@@ -185,6 +191,22 @@ mod tests {
     fn drops_match_all_rules() {
         assert!(parse_rule("*", ListKind::EasyList, 1).is_none());
         assert!(parse_rule("*$script", ListKind::EasyList, 1).is_some());
+    }
+
+    #[test]
+    fn global_removeparam_rules_parse() {
+        let r = parse_rule("*$removeparam=gclid", ListKind::EasyPrivacy, 1).unwrap();
+        assert_eq!(r.options.removeparam, vec!["gclid".to_string()]);
+        let prefix = parse_rule("*$removeparam=utm_*", ListKind::EasyPrivacy, 2).unwrap();
+        assert_eq!(prefix.options.removeparam, vec!["utm_*".to_string()]);
+        let scoped = parse_rule(
+            "||shop.example^$removeparam=mc_eid,domain=news.example",
+            ListKind::Custom,
+            3,
+        )
+        .unwrap();
+        assert_eq!(scoped.options.removeparam, vec!["mc_eid".to_string()]);
+        assert_eq!(scoped.options.domains.len(), 1);
     }
 
     #[test]

@@ -1067,6 +1067,11 @@ impl Worker {
                     out.extend_from_slice(prebuilt.json_fragment(index).as_bytes())
                 }
                 PrebuiltDecision::Surrogate(sf) => out.extend_from_slice(sf.json.as_bytes()),
+                // Rewrite bodies depend on the request URL, so they are the
+                // one decision encoded at serve time.
+                PrebuiltDecision::Rewrite(rewritten) => {
+                    out.extend_from_slice(frames::rewrite_value(&rewritten).render().as_bytes())
+                }
             }
         }
         out.extend_from_slice(b"]}");
@@ -1123,6 +1128,15 @@ impl Worker {
                             sf.binary.len() as u32,
                         ));
                         out.extend_from_slice(&sf.binary);
+                    }
+                    PrebuiltDecision::Rewrite(rewritten) => {
+                        let payload = frames::encode_rewrite_payload(&rewritten);
+                        out.extend_from_slice(&frames::encode_record_header(
+                            frames::ACTION_REWRITE,
+                            frames::SOURCE_NONE,
+                            payload.len() as u32,
+                        ));
+                        out.extend_from_slice(&payload);
                     }
                 }
             }
@@ -1392,6 +1406,17 @@ fn json_single_body(table: &VerdictTable, request: &KeyedRequest<'_>) -> Vec<u8>
             out.push(b'}');
             out
         }
+        PrebuiltDecision::Rewrite(rewritten) => {
+            // The rewritten URL is request-dependent; splice the freshly
+            // rendered decision object after the prebuilt version prefix.
+            let fragment = frames::rewrite_value(&rewritten).render();
+            let prefix = prebuilt.json_single_prefix().as_bytes();
+            let mut out = Vec::with_capacity(prefix.len() + fragment.len() + 1);
+            out.extend_from_slice(prefix);
+            out.extend_from_slice(fragment.as_bytes());
+            out.push(b'}');
+            out
+        }
     }
 }
 
@@ -1405,6 +1430,15 @@ fn binary_single_body(table: &VerdictTable, request: &KeyedRequest<'_>) -> Vec<u
             let mut out = Vec::with_capacity(header.len() + sf.binary.len());
             out.extend_from_slice(&header);
             out.extend_from_slice(&sf.binary);
+            out
+        }
+        PrebuiltDecision::Rewrite(rewritten) => {
+            let payload = frames::encode_rewrite_payload(&rewritten);
+            let header =
+                frames::encode_rewrite_single_header(table.version(), payload.len() as u32);
+            let mut out = Vec::with_capacity(header.len() + payload.len());
+            out.extend_from_slice(&header);
+            out.extend_from_slice(&payload);
             out
         }
     }

@@ -699,6 +699,9 @@ mod tests {
                 suppressed_tracking_requests: 12,
                 preserved_functional_requests: 9,
             })),
+            Decision::Rewrite(Arc::new(trackersift::RewrittenUrl::new(
+                "https://shop.example/p?id=7",
+            ))),
         ];
         for decision in decisions {
             let text = decision_to_json(&decision).render();
@@ -842,10 +845,19 @@ mod tests {
         assert_eq!(version, 3);
         assert_eq!(decision, Decision::Surrogate(Arc::new(plan.clone())));
 
-        // A batch mixing a fixed decision and a surrogate.
+        let rewritten = trackersift::RewrittenUrl::new("https://shop.example/p?id=7");
+        let rewrite_payload = frames::encode_rewrite_payload(&rewritten);
+        let mut body =
+            frames::encode_rewrite_single_header(5, rewrite_payload.len() as u32).to_vec();
+        body.extend_from_slice(&rewrite_payload);
+        let (version, decision) = decode_binary_single_response(&body).expect("rewrite decodes");
+        assert_eq!(version, 5);
+        assert_eq!(decision, Decision::Rewrite(Arc::new(rewritten.clone())));
+
+        // A batch mixing a fixed decision, a surrogate, and a rewrite.
         let mut batch = vec![PROTO_VERSION];
         batch.extend_from_slice(&11u64.to_le_bytes());
-        batch.extend_from_slice(&2u32.to_le_bytes());
+        batch.extend_from_slice(&3u32.to_le_bytes());
         let (action, source) = frames::codes_of(&fixed);
         batch.extend_from_slice(&frames::encode_record_header(action, source, 0));
         batch.extend_from_slice(&frames::encode_record_header(
@@ -854,9 +866,22 @@ mod tests {
             payload.len() as u32,
         ));
         batch.extend_from_slice(&payload);
+        batch.extend_from_slice(&frames::encode_record_header(
+            frames::ACTION_REWRITE,
+            frames::SOURCE_NONE,
+            rewrite_payload.len() as u32,
+        ));
+        batch.extend_from_slice(&rewrite_payload);
         let (version, decisions) = decode_binary_batch_response(&batch).expect("batch decodes");
         assert_eq!(version, 11);
-        assert_eq!(decisions, vec![fixed, Decision::Surrogate(Arc::new(plan))]);
+        assert_eq!(
+            decisions,
+            vec![
+                fixed,
+                Decision::Surrogate(Arc::new(plan)),
+                Decision::Rewrite(Arc::new(rewritten)),
+            ]
+        );
     }
 
     #[test]

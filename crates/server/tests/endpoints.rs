@@ -156,6 +156,80 @@ fn decision_endpoint_golden_fixtures() {
 }
 
 #[test]
+fn rewrite_decision_golden_fixtures() {
+    // The trained state restored into a rewriter-enabled sifter: mixed
+    // requests whose URLs carry identifier parameters are rewritten.
+    let snapshot = trained_sifter().snapshot();
+    let sifter = Sifter::builder()
+        .rewriter(trackersift::RewriterBuilder::new().default_rules().build())
+        .restore(&snapshot)
+        .expect("restore with rewriter");
+    let server = start_server(sifter);
+    let mut client = Client::connect(server.local_addr());
+
+    // Mixed domain, never-seen hostname, URL with gclid + utm_*: rewrite.
+    let message = DecisionMessage::new("hub.com", "z.hub.com", "s2.js", "m").with_url(
+        "https://z.hub.com/api?id=7&gclid=abc&utm_source=mail",
+        "pub.com",
+        filterlist::ResourceType::Xhr,
+    );
+    let (status, body) = client.request(
+        "POST",
+        "/v1/decisions",
+        Some(&message.to_json_value().render()),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        body,
+        r#"{"version":1,"decision":{"action":"rewrite","url":"https://z.hub.com/api?id=7"}}"#
+    );
+
+    // The binary codec serves the same rewrite (string-form record; the
+    // epoch only gates id-form requests).
+    let record = BinaryRecord::from_message(&message);
+    let (version, decision) = client.decide_binary_single(0, &record);
+    assert_eq!(version, 1);
+    match decision {
+        Decision::Rewrite(rewritten) => {
+            assert_eq!(rewritten.url(), "https://z.hub.com/api?id=7")
+        }
+        other => panic!("expected a rewrite over the binary codec, got {other}"),
+    }
+
+    // A clean URL at the same hierarchy position falls through (no engine
+    // configured, so the backstop observes).
+    let clean = DecisionMessage::new("hub.com", "z.hub.com", "s2.js", "m").with_url(
+        "https://z.hub.com/api?id=7",
+        "pub.com",
+        filterlist::ResourceType::Xhr,
+    );
+    let (_, body) = client.request(
+        "POST",
+        "/v1/decisions",
+        Some(&clean.to_json_value().render()),
+    );
+    assert_eq!(body, r#"{"version":1,"decision":{"action":"observe"}}"#);
+
+    // Batch path: rewrite fragments splice between fixed fragments.
+    let batch = format!(
+        r#"{{"requests":[{},{}]}}"#,
+        r#"{"domain":"ads.com","hostname":"px.ads.com","script":"https://pub.com/a.js","method":"send"}"#,
+        message.to_json_value().render()
+    );
+    let (status, body) = client.request("POST", "/v1/decisions:batch", Some(&batch));
+    assert_eq!(status, 200);
+    assert_eq!(
+        body,
+        concat!(
+            r#"{"version":1,"decisions":["#,
+            r#"{"action":"block","source":"hierarchy","granularity":"Domain"},"#,
+            r#"{"action":"rewrite","url":"https://z.hub.com/api?id=7"}]}"#
+        )
+    );
+    server.shutdown();
+}
+
+#[test]
 fn batch_decisions_share_one_pinned_version() {
     let server = start_server(trained_sifter());
     let mut client = Client::connect(server.local_addr());
@@ -876,13 +950,22 @@ proptest! {
         }
         trained.commit();
         let snapshot = trained.snapshot();
-        let local = Sifter::builder().restore(&snapshot).expect("restore locally");
+        // Both sides carry the same default rewriter, so the decision space
+        // the probes sweep includes `rewrite` (URL-context probes against
+        // mixed resources).
+        let local = Sifter::builder()
+            .rewriter(trackersift::RewriterBuilder::new().default_rules().build())
+            .restore(&snapshot)
+            .expect("restore locally");
 
         // Server side: one shared server (kept alive across proptest
-        // cases; each case transfers its own state via PUT /v1/snapshot).
+        // cases; each case transfers its own state via PUT /v1/snapshot —
+        // the rewriter is serving configuration, kept across restores).
         static SERVER: std::sync::OnceLock<VerdictServer> = std::sync::OnceLock::new();
         let server = SERVER.get_or_init(|| {
-            let (writer, _reader) = Sifter::builder().build_concurrent();
+            let (writer, _reader) = Sifter::builder()
+                .rewriter(trackersift::RewriterBuilder::new().default_rules().build())
+                .build_concurrent();
             VerdictServer::start(
                 writer,
                 ServerConfig {
@@ -904,12 +987,25 @@ proptest! {
             for host in 0..3u64 {
                 for script in 0..4u64 {
                     for method in 0..3u64 {
-                        let message = DecisionMessage::new(
+                        let mut message = DecisionMessage::new(
                             &format!("d{domain}.com"),
                             &format!("h{host}.d{domain}.com"),
                             &format!("https://pub.com/s{script}.js"),
                             &format!("m{method}"),
                         );
+                        // Every other probe carries a URL with identifier
+                        // parameters, so mixed tuples land in the rewrite
+                        // arm and the sweep covers all five actions.
+                        if (domain + host + script + method) % 2 == 1 {
+                            message = message.with_url(
+                                &format!(
+                                    "https://h{host}.d{domain}.com/t?id={script}&fbclid=f{}&utm_medium=wire",
+                                    seed % 7
+                                ),
+                                "pub.com",
+                                filterlist::ResourceType::Xhr,
+                            );
+                        }
                         let (status, body) = client.request(
                             "POST",
                             "/v1/decisions",
@@ -918,12 +1014,7 @@ proptest! {
                         prop_assert_eq!(status, 200);
                         let reply = Value::parse(&body).expect("decision reply is json");
                         let served = reply.field("decision").expect("decision field");
-                        let expected = local.decide(&DecisionRequest::new(
-                            &message.domain,
-                            &message.hostname,
-                            &message.script,
-                            &message.method,
-                        ));
+                        let expected = local.decide(&message.as_request());
                         // Byte-identical: the served JSON re-renders to the
                         // canonical encoding of the local decision...
                         prop_assert_eq!(
@@ -936,20 +1027,13 @@ proptest! {
 
                         // The binary codec agrees too, in both key forms.
                         // String form first:
-                        let by_name = BinaryRecord {
-                            keys: BinaryKeys::Strings {
-                                domain: &message.domain,
-                                hostname: &message.hostname,
-                                script: &message.script,
-                                method: &message.method,
-                            },
-                            context: None,
-                        };
+                        let by_name = BinaryRecord::from_message(&message);
                         let (_, decoded) = client.decide_binary_single(keys.epoch, &by_name);
                         prop_assert_eq!(&decoded, &expected);
-                        // ...then id form, with uninterned strings mapped
-                        // to an id the table never issued (same semantics
-                        // as an unknown string).
+                        // ...then id form (same URL context), with
+                        // uninterned strings mapped to an id the table
+                        // never issued (same semantics as an unknown
+                        // string).
                         let by_id = BinaryRecord {
                             keys: BinaryKeys::Ids {
                                 domain: keys.id_of(&message.domain).unwrap_or(u32::MAX),
@@ -957,7 +1041,7 @@ proptest! {
                                 script: keys.id_of(&message.script).unwrap_or(u32::MAX),
                                 method: keys.id_of(&message.method).unwrap_or(u32::MAX),
                             },
-                            context: None,
+                            context: by_name.context,
                         };
                         let (_, decoded) = client.decide_binary_single(keys.epoch, &by_id);
                         prop_assert_eq!(&decoded, &expected);

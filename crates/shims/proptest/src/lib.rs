@@ -506,6 +506,9 @@ macro_rules! __proptest_impl {
                             $crate::Strategy::new_value(&strategy, &mut rng)
                         };
                     )+
+                    // `mut` is only needed when the body mutates captured
+                    // state; same-crate expansions see the lint, so allow it.
+                    #[allow(unused_mut)]
                     let mut run_case = || $body;
                     let () = run_case();
                 }

@@ -368,7 +368,7 @@ pub fn tracking_endpoint_url<R: Rng + ?Sized>(
 ) -> (String, ResourceType) {
     let variant = rng.gen_range(0..10);
     let id: u32 = rng.gen_range(1000..999_999);
-    match variant {
+    let (mut url, resource_type) = match variant {
         0 => (
             format!("https://{hostname}/collect?v=1&tid=UA-{id}&cid={id}"),
             ResourceType::Xhr,
@@ -409,7 +409,23 @@ pub fn tracking_endpoint_url<R: Rng + ?Sized>(
             format!("https://{hostname}/adrequest?zone={id}"),
             ResourceType::Xhr,
         ),
+    };
+    // Real tracking endpoints decorate their queries with the campaign and
+    // click identifiers URL rewriters strip (`utm_*`, `gclid`, `fbclid`) and
+    // occasionally carry the true destination as a percent-encoded redirect
+    // wrapper (`&url=`). Appended after the filter-matching path+query, so
+    // the list-labeling guarantees above are untouched.
+    match rng.gen_range(0..8) {
+        0 => {
+            let campaign = rng.gen_range(1..99);
+            url.push_str(&format!("&utm_source=partner{campaign}&utm_campaign=c{id}"));
+        }
+        1 => url.push_str(&format!("&gclid=CjwK{id}")),
+        2 => url.push_str(&format!("&fbclid=IwAR{id}")),
+        3 => url.push_str(&format!("&url=https%3A%2F%2F{hostname}%2Fnext%2Fpage-{id}")),
+        _ => {}
     }
+    (url, resource_type)
 }
 
 /// Build a functional endpoint URL on `hostname`.
@@ -621,6 +637,34 @@ mod tests {
         assert!(
             tracking_hits as f64 > n as f64 * 0.85,
             "only {tracking_hits}/{n} tracking endpoints matched the lists"
+        );
+    }
+
+    #[test]
+    fn tracking_endpoints_carry_identifier_params_and_redirect_wrappers() {
+        // A slice of tracking endpoints must exhibit the decorations URL
+        // rewriters act on: campaign/click identifiers and percent-encoded
+        // redirect wrappers.
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 300;
+        let mut identifiers = 0;
+        let mut wrappers = 0;
+        for _ in 0..n {
+            let (url, _) = tracking_endpoint_url("i0.somecontenthub42.com", &mut rng);
+            if url.contains("&utm_") || url.contains("&gclid=") || url.contains("&fbclid=") {
+                identifiers += 1;
+            }
+            if url.contains("&url=https%3A%2F%2F") {
+                wrappers += 1;
+            }
+        }
+        assert!(
+            identifiers > n / 10,
+            "only {identifiers}/{n} carried identifiers"
+        );
+        assert!(
+            wrappers > n / 20,
+            "only {wrappers}/{n} carried redirect wrappers"
         );
     }
 

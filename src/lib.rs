@@ -32,6 +32,9 @@ pub use websim;
 /// The instrumented browser simulator and crawl database.
 pub use crawler;
 
+/// The rule-driven URL rewriter behind `Decision::Rewrite`.
+pub use rewriter;
+
 /// TrackerSift itself: labeling, hierarchical classification, sensitivity,
 /// call-stack analysis, surrogates, breakage.
 pub use trackersift;
@@ -42,7 +45,8 @@ pub use trackersift_server;
 /// Commonly used items, re-exported for the examples and tests.
 pub mod prelude {
     pub use crawler::{ClusterConfig, CrawlCluster, CrawlDatabase, LoadOptions, PageLoadSimulator};
-    pub use filterlist::{FilterEngine, FilterRequest, RequestLabel, ResourceType};
+    pub use filterlist::{FilterEngine, FilterRequest, ListKind, RequestLabel, ResourceType};
+    pub use rewriter::{RewriterBuilder, RewrittenUrl, UrlRewriter};
     pub use trackersift::{
         Breakage, Classification, CommitStats, Decision, DecisionRequest, DecisionSource,
         Granularity, HierarchicalClassifier, IngestStats, KeyInterner, Labeler, ObserveOutcome,
