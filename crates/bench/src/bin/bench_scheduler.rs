@@ -1,0 +1,136 @@
+//! Continuous re-crawl benchmark: throughput and drift of the scheduler
+//! loop over an evolving websim web, written as a machine-readable
+//! `BENCH_scheduler.json` so successive PRs accumulate a trajectory.
+//!
+//! One tick = mutate the ecosystem, probe verdict retention across the
+//! rotations, re-crawl every site through the serving writer, commit, and
+//! count the commit's per-key class changes as drift. The benchmark runs
+//! the same seeded churny scenario twice — once with fingerprint-keyed
+//! scripts, once URL-keyed — so the headline retention split (fingerprints
+//! survive CDN rotation, URLs do not) is re-measured on every run.
+//!
+//! Reported: ticks/sec, observations/sec, drift events/sec, and the
+//! fingerprint vs URL retention rates.
+//!
+//! Scale can be overridden through the environment:
+//!
+//! * `TRACKERSIFT_BENCH_SCHED_SITES` — websites per corpus (default 200);
+//! * `TRACKERSIFT_BENCH_SCHED_EPOCHS` — crawl epochs per run (default 20);
+//! * `TRACKERSIFT_BENCH_OUT` — output path (default `BENCH_scheduler.json`).
+
+use scheduler::{Scheduler, SchedulerConfig, ScriptKeying};
+use std::time::Instant;
+use trackersift_bench::env_usize;
+use trackersift_server::{SchedulerDriver, SchedulerStats};
+use websim::MutationConfig;
+
+const SEED: u64 = 2021;
+
+struct RunResult {
+    stats: SchedulerStats,
+    observations: u64,
+    seconds: f64,
+}
+
+/// Tick one seeded churny scheduler to `epochs` and time the whole loop.
+fn run(keying: ScriptKeying, sites: usize, epochs: usize) -> RunResult {
+    let mut scheduler = Scheduler::new(
+        SchedulerConfig::new(SEED)
+            .with_sites(sites)
+            .with_mutation(MutationConfig::churny())
+            .with_keying(keying),
+    );
+    let (mut writer, _reader) = scheduler.sifter_pair();
+    let start = Instant::now();
+    let mut observations = 0u64;
+    for _ in 0..epochs {
+        observations += scheduler.tick(&mut writer).observations;
+    }
+    RunResult {
+        stats: scheduler.stats(),
+        observations,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn retention(stats: &SchedulerStats) -> f64 {
+    if stats.retention_probes == 0 {
+        return 0.0;
+    }
+    stats.retention_hits as f64 / stats.retention_probes as f64
+}
+
+fn main() {
+    let sites = env_usize("TRACKERSIFT_BENCH_SCHED_SITES", 200);
+    let epochs = env_usize("TRACKERSIFT_BENCH_SCHED_EPOCHS", 20);
+    let out_path = std::env::var("TRACKERSIFT_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_scheduler.json".to_string());
+
+    eprintln!(
+        "bench_scheduler: {sites} sites x {epochs} epochs, seed {SEED} \
+         (override with TRACKERSIFT_BENCH_SCHED_SITES / TRACKERSIFT_BENCH_SCHED_EPOCHS)"
+    );
+
+    let fingerprint = run(ScriptKeying::Fingerprint, sites, epochs);
+    let url = run(ScriptKeying::Url, sites, epochs);
+
+    let ticks_per_sec = epochs as f64 / fingerprint.seconds;
+    let observations_per_sec = fingerprint.observations as f64 / fingerprint.seconds;
+    let drift_per_sec = fingerprint.stats.drift_events as f64 / fingerprint.seconds;
+    let fingerprint_retention = retention(&fingerprint.stats);
+    let url_retention = retention(&url.stats);
+
+    // The acceptance split the scheduler exists to demonstrate: under churn
+    // that rotates >30% of tracker scripts across CDNs, fingerprint-keyed
+    // verdicts survive while URL-keyed verdicts are orphaned.
+    assert!(
+        fingerprint.stats.retention_probes >= 20,
+        "churny run must probe retention, got {:?}",
+        fingerprint.stats
+    );
+    assert!(
+        fingerprint_retention >= 0.9,
+        "fingerprint retention regressed below 90%: {fingerprint_retention:.3}"
+    );
+    assert!(
+        url_retention <= 0.1,
+        "URL keying unexpectedly retained verdicts: {url_retention:.3}"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"scheduler\",\n",
+            "  \"sites\": {sites},\n",
+            "  \"epochs\": {epochs},\n",
+            "  \"ticks_per_sec\": {ticks_per_sec:.2},\n",
+            "  \"observations_per_sec\": {observations_per_sec:.2},\n",
+            "  \"drift_events_per_sec\": {drift_per_sec:.2},\n",
+            "  \"drift_events\": {drift_events},\n",
+            "  \"rotated_cdn_scripts\": {rotated},\n",
+            "  \"retention_probes\": {probes},\n",
+            "  \"fingerprint_retention_rate\": {fingerprint_retention:.4},\n",
+            "  \"url_retention_rate\": {url_retention:.4}\n",
+            "}}\n"
+        ),
+        sites = sites,
+        epochs = epochs,
+        ticks_per_sec = ticks_per_sec,
+        observations_per_sec = observations_per_sec,
+        drift_per_sec = drift_per_sec,
+        drift_events = fingerprint.stats.drift_events,
+        rotated = fingerprint.stats.rotated_cdn_scripts,
+        probes = fingerprint.stats.retention_probes,
+        fingerprint_retention = fingerprint_retention,
+        url_retention = url_retention,
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    println!("{json}");
+    eprintln!(
+        "bench_scheduler: {ticks_per_sec:.1} ticks/s, {drift_per_sec:.0} drift events/s, \
+         retention fingerprint {:.1}% vs url {:.1}%",
+        fingerprint_retention * 100.0,
+        url_retention * 100.0,
+    );
+    eprintln!("bench_scheduler: wrote {out_path}");
+}

@@ -56,9 +56,10 @@
 use crate::decision::{Decision, DecisionRequest};
 use crate::journal::{DurableDir, Journal, JournalEntry, JournalStats, RecoveryReport};
 use crate::label::LabeledRequest;
+use crate::revision::VerdictRevision;
 use crate::service::{CommitStats, ObserveOutcome, ServiceStats, Sifter, Verdict, VerdictRequest};
 use crate::snapshot::{SifterSnapshot, SnapshotError};
-use crate::table::VerdictTable;
+use crate::table::{ClassTable, VerdictTable};
 use filterlist::ResourceType;
 use std::io;
 use std::path::PathBuf;
@@ -154,6 +155,7 @@ impl Sifter {
     /// readers serve from the first instant.
     pub fn into_concurrent(mut self) -> (SifterWriter, SifterReader) {
         let table = Arc::new(self.verdict_table());
+        let prev_classes = table.classes().clone();
         let shared = Arc::new(Shared::new(table));
         let reader = SifterReader::register(Arc::clone(&shared));
         (
@@ -163,6 +165,9 @@ impl Sifter {
                 version_floor: 0,
                 keys_epoch: 0,
                 durable: None,
+                prev_classes,
+                revisions: Vec::new(),
+                revision_capacity: DEFAULT_REVISION_CAPACITY,
             },
             reader,
         )
@@ -209,7 +214,20 @@ pub struct SifterWriter {
     /// Write-ahead durability, attached by [`SifterWriter::open_durable`];
     /// `None` for an in-memory writer (no behaviour change, no I/O).
     durable: Option<Durable>,
+    /// The class arrays of the last published table — what the next publish
+    /// diffs against to record a [`VerdictRevision`].
+    prev_classes: ClassTable,
+    /// The bounded revision ring, ascending by published version. A
+    /// snapshot (`Arc` clones) is attached to every published table.
+    revisions: Vec<Arc<VerdictRevision>>,
+    /// Ring bound: the oldest revision is dropped once the ring exceeds it.
+    revision_capacity: usize,
 }
+
+/// How many per-commit revisions a writer retains by default. Bounds the
+/// drift history `GET /v1/revisions` can serve; tune with
+/// [`SifterWriter::set_revision_capacity`].
+pub const DEFAULT_REVISION_CAPACITY: usize = 64;
 
 impl SifterWriter {
     /// Ingest one labeled request (buffered until the next
@@ -314,7 +332,7 @@ impl SifterWriter {
             }
         }
         let stats = self.sifter.commit();
-        self.publish_current();
+        self.publish_current(true);
         stats
     }
 
@@ -403,7 +421,7 @@ impl SifterWriter {
             }
         }
         if report.replayed_records > 0 {
-            self.publish_current();
+            self.publish_current(true);
         }
         self.durable = Some(Durable {
             dir,
@@ -471,12 +489,52 @@ impl SifterWriter {
 
     /// Export the current committed state (version rebased onto the floor)
     /// and publish it to every reader in one atomic swap.
-    fn publish_current(&mut self) {
+    ///
+    /// With `record_revision` set, the per-key class changes since the last
+    /// publish are recorded as one [`VerdictRevision`] in the bounded ring
+    /// (every commit records one, even when nothing changed, so ring
+    /// versions stay contiguous and any two are diffable). The restore path
+    /// publishes *without* recording: a snapshot swap is a new world, not a
+    /// drift event, so the ring is cleared instead. Journal recovery
+    /// ([`SifterWriter::open_durable`]) publishes once after the whole
+    /// replay, collapsing the replayed commits into a single revision.
+    fn publish_current(&mut self, record_revision: bool) {
         let floor = self.version_floor;
         let mut table = self.sifter.verdict_table();
         table.set_version(floor + table.version());
         table.set_keys_epoch(self.keys_epoch);
+        if record_revision {
+            let changes = table
+                .classes()
+                .changes_since(&self.prev_classes, table.keys());
+            if self.revisions.len() >= self.revision_capacity {
+                let excess = self.revisions.len() + 1 - self.revision_capacity;
+                self.revisions.drain(..excess);
+            }
+            self.revisions
+                .push(Arc::new(VerdictRevision::new(table.version(), changes)));
+        }
+        self.prev_classes = table.classes().clone();
+        table.set_revisions(self.revisions.clone());
         self.shared.publish(Arc::new(table));
+    }
+
+    /// The bounded ring of per-commit revisions, ascending by version —
+    /// the same snapshot the published table carries.
+    pub fn revisions(&self) -> &[Arc<VerdictRevision>] {
+        &self.revisions
+    }
+
+    /// Bound the revision ring to `capacity` entries (clamped to at least
+    /// one; the default is [`DEFAULT_REVISION_CAPACITY`]), dropping the
+    /// oldest revisions if the ring already exceeds it. Takes effect on the
+    /// next publish for the table snapshot readers see.
+    pub fn set_revision_capacity(&mut self, capacity: usize) {
+        self.revision_capacity = capacity.max(1);
+        if self.revisions.len() > self.revision_capacity {
+            let excess = self.revisions.len() - self.revision_capacity;
+            self.revisions.drain(..excess);
+        }
     }
 
     /// The version of the table the readers currently serve
@@ -528,7 +586,11 @@ impl SifterWriter {
         // client cached against the old table by bumping the epoch.
         self.keys_epoch = self.version_floor + restored.commits();
         self.sifter = restored;
-        self.publish_current();
+        // A restored snapshot is a new world, not drift from the previous
+        // one: drop the ring (its key ids belong to the old epoch anyway)
+        // and publish without recording a revision.
+        self.revisions.clear();
+        self.publish_current(false);
         Ok(dropped_pending)
     }
 

@@ -43,9 +43,24 @@
 //!
 //! Rewrite payload: the rewritten URL as one `u32`-length-prefixed UTF-8
 //! string (mirroring the surrogate frame layout with a single field).
+//!
+//! # Revision frames
+//!
+//! The drift endpoints (`GET /v1/revisions` and `GET /v1/revisions?diff=`)
+//! share the same canonical-encoding discipline. A binary revision body is
+//! `proto u8`, kind byte ([`REVISION_KIND_LIST`] or [`REVISION_KIND_DIFF`]),
+//! then for a list `table version u64` + `revision count u32` + per revision
+//! `version u64`, `change count u32` and its changes; for a diff `from u64`,
+//! `to u64`, `change count u32` and the net changes. One change is
+//! `granularity code u8` (the [`Granularity`] index), `old class code u8`,
+//! `new class code u8` (`0` absent, `1` tracking, `2` functional, `3`
+//! mixed) and the `u32`-length-prefixed key string; decoders reject codes
+//! that encode no transition (identical old/new, or both absent).
 
 use crate::decision::{Decision, DecisionSource};
 use crate::hierarchy::Granularity;
+use crate::ratio::Classification;
+use crate::revision::{ChangeKind, RevisionChange, RevisionDiff, VerdictRevision};
 use crate::surrogate::{MethodAction, SurrogateScript};
 use crawler::json::{object, JsonError, Value};
 use rewriter::RewrittenUrl;
@@ -602,6 +617,281 @@ pub fn decode_decision(action: u8, source: u8, payload: &[u8]) -> Result<Decisio
     }
 }
 
+// ---------------------------------------------------------------------
+// Revision encoding (drift over the wire)
+// ---------------------------------------------------------------------
+
+/// Frame kind byte of a binary revision-list response body.
+pub const REVISION_KIND_LIST: u8 = 0x10;
+/// Frame kind byte of a binary revision-diff response body.
+pub const REVISION_KIND_DIFF: u8 = 0x11;
+
+fn classification_name(class: Classification) -> &'static str {
+    match class {
+        Classification::Tracking => "tracking",
+        Classification::Functional => "functional",
+        Classification::Mixed => "mixed",
+    }
+}
+
+fn classification_of_name(name: &str) -> Result<Classification, JsonError> {
+    match name {
+        "tracking" => Ok(Classification::Tracking),
+        "functional" => Ok(Classification::Functional),
+        "mixed" => Ok(Classification::Mixed),
+        other => err(format!("unknown classification {other:?}")),
+    }
+}
+
+fn class_code(class: Option<Classification>) -> u8 {
+    match class {
+        None => 0,
+        Some(Classification::Tracking) => 1,
+        Some(Classification::Functional) => 2,
+        Some(Classification::Mixed) => 3,
+    }
+}
+
+fn class_of_code(code: u8) -> Result<Option<Classification>, FrameError> {
+    match code {
+        0 => Ok(None),
+        1 => Ok(Some(Classification::Tracking)),
+        2 => Ok(Some(Classification::Functional)),
+        3 => Ok(Some(Classification::Mixed)),
+        other => Err(FrameError(format!("unknown classification code {other}"))),
+    }
+}
+
+/// Encode one revision change as its canonical JSON object: additions as
+/// `{"granularity":…,"key":…,"added":…}`, removals with `"removed"`, and
+/// classification flips with `"from"` / `"to"`.
+pub fn change_value(change: &RevisionChange) -> Value {
+    let mut fields = vec![
+        (
+            "granularity",
+            Value::String(change.granularity.name().to_string()),
+        ),
+        ("key", Value::String(change.key.to_string())),
+    ];
+    match change.kind {
+        ChangeKind::Added(class) => fields.push((
+            "added",
+            Value::String(classification_name(class).to_string()),
+        )),
+        ChangeKind::Removed(class) => fields.push((
+            "removed",
+            Value::String(classification_name(class).to_string()),
+        )),
+        ChangeKind::Flipped(old, new) => {
+            fields.push(("from", Value::String(classification_name(old).to_string())));
+            fields.push(("to", Value::String(classification_name(new).to_string())));
+        }
+    }
+    object(fields)
+}
+
+/// Decode one revision change from its canonical JSON object.
+pub fn change_from_value(value: &Value) -> Result<RevisionChange, JsonError> {
+    let name = value.field("granularity")?.as_str()?;
+    let granularity = Granularity::ALL
+        .into_iter()
+        .find(|granularity| granularity.name() == name)
+        .ok_or_else(|| JsonError(format!("unknown granularity {name:?}")))?;
+    let key = value.field("key")?.as_str()?.to_string();
+    let kind = if let Ok(class) = value.field("added") {
+        ChangeKind::Added(classification_of_name(class.as_str()?)?)
+    } else if let Ok(class) = value.field("removed") {
+        ChangeKind::Removed(classification_of_name(class.as_str()?)?)
+    } else {
+        let old = classification_of_name(value.field("from")?.as_str()?)?;
+        let new = classification_of_name(value.field("to")?.as_str()?)?;
+        match ChangeKind::of(Some(old), Some(new)) {
+            Some(kind) => kind,
+            None => return err(format!("identity flip {old} -> {new}")),
+        }
+    };
+    Ok(RevisionChange::new(granularity, key, kind))
+}
+
+/// Encode the published revision ring as the canonical JSON body of
+/// `GET /v1/revisions`: the current table version plus every ring entry
+/// with its changes, field order fixed.
+pub fn revision_list_value(version: u64, ring: &[Arc<VerdictRevision>]) -> Value {
+    object(vec![
+        ("version", Value::number_u64(version)),
+        (
+            "revisions",
+            Value::Array(
+                ring.iter()
+                    .map(|revision| {
+                        object(vec![
+                            ("version", Value::number_u64(revision.version())),
+                            (
+                                "changes",
+                                Value::Array(revision.changes().iter().map(change_value).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decode a revision-list JSON body back into `(table version, ring)`.
+pub fn revision_list_from_value(value: &Value) -> Result<(u64, Vec<VerdictRevision>), JsonError> {
+    let version = value.field("version")?.as_u64()?;
+    let revisions = value
+        .field("revisions")?
+        .as_array()?
+        .iter()
+        .map(|row| {
+            let changes = row
+                .field("changes")?
+                .as_array()?
+                .iter()
+                .map(change_from_value)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(VerdictRevision::new(
+                row.field("version")?.as_u64()?,
+                changes,
+            ))
+        })
+        .collect::<Result<Vec<_>, JsonError>>()?;
+    Ok((version, revisions))
+}
+
+/// Encode a revision diff as the canonical JSON body of
+/// `GET /v1/revisions?diff=a..b`.
+pub fn revision_diff_value(diff: &RevisionDiff) -> Value {
+    object(vec![
+        ("from", Value::number_u64(diff.from)),
+        ("to", Value::number_u64(diff.to)),
+        (
+            "changes",
+            Value::Array(diff.changes.iter().map(change_value).collect()),
+        ),
+    ])
+}
+
+/// Decode a revision-diff JSON body.
+pub fn revision_diff_from_value(value: &Value) -> Result<RevisionDiff, JsonError> {
+    Ok(RevisionDiff {
+        from: value.field("from")?.as_u64()?,
+        to: value.field("to")?.as_u64()?,
+        changes: value
+            .field("changes")?
+            .as_array()?
+            .iter()
+            .map(change_from_value)
+            .collect::<Result<Vec<_>, _>>()?,
+    })
+}
+
+fn put_change(out: &mut Vec<u8>, change: &RevisionChange) {
+    out.push(change.granularity.index() as u8);
+    out.push(class_code(change.kind.old_class()));
+    out.push(class_code(change.kind.new_class()));
+    put_bytes(out, change.key.as_bytes());
+}
+
+fn read_change(reader: &mut FrameReader<'_>) -> Result<RevisionChange, FrameError> {
+    let granularity_code = reader.u8()? as usize;
+    let granularity = *Granularity::ALL
+        .get(granularity_code)
+        .ok_or_else(|| FrameError(format!("unknown granularity code {granularity_code}")))?;
+    let old = class_of_code(reader.u8()?)?;
+    let new = class_of_code(reader.u8()?)?;
+    let key = reader.string()?.to_string();
+    let kind = ChangeKind::of(old, new)
+        .ok_or_else(|| FrameError("change encodes no transition".into()))?;
+    Ok(RevisionChange::new(granularity, key, kind))
+}
+
+fn expect_revision_header(reader: &mut FrameReader<'_>, kind: u8) -> Result<(), FrameError> {
+    let proto = reader.u8()?;
+    if proto != PROTO_VERSION {
+        return Err(FrameError(format!("unsupported protocol version {proto}")));
+    }
+    let got = reader.u8()?;
+    if got != kind {
+        return Err(FrameError(format!(
+            "frame kind {got:#04x}, expected {kind:#04x}"
+        )));
+    }
+    Ok(())
+}
+
+/// Encode the revision ring as the binary body of `GET /v1/revisions`
+/// (layout in the [module docs](self)).
+pub fn encode_revision_list(version: u64, ring: &[Arc<VerdictRevision>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(14 + ring.len() * 16);
+    out.push(PROTO_VERSION);
+    out.push(REVISION_KIND_LIST);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&(ring.len() as u32).to_le_bytes());
+    for revision in ring {
+        out.extend_from_slice(&revision.version().to_le_bytes());
+        out.extend_from_slice(&(revision.changes().len() as u32).to_le_bytes());
+        for change in revision.changes() {
+            put_change(&mut out, change);
+        }
+    }
+    out
+}
+
+/// Decode a binary revision-list body back into `(table version, ring)`.
+pub fn decode_revision_list(bytes: &[u8]) -> Result<(u64, Vec<VerdictRevision>), FrameError> {
+    let mut reader = FrameReader::new(bytes);
+    expect_revision_header(&mut reader, REVISION_KIND_LIST)?;
+    let version = reader.u64()?;
+    let count = reader.u32()? as usize;
+    // Hostile counts cannot force huge allocations: every revision record
+    // needs at least 12 bytes and every change at least 7.
+    let mut revisions = Vec::with_capacity(count.min(reader.remaining() / 12));
+    for _ in 0..count {
+        let revision_version = reader.u64()?;
+        let change_count = reader.u32()? as usize;
+        let mut changes = Vec::with_capacity(change_count.min(reader.remaining() / 7));
+        for _ in 0..change_count {
+            changes.push(read_change(&mut reader)?);
+        }
+        revisions.push(VerdictRevision::new(revision_version, changes));
+    }
+    reader.finish()?;
+    Ok((version, revisions))
+}
+
+/// Encode a revision diff as the binary body of
+/// `GET /v1/revisions?diff=a..b` (layout in the [module docs](self)).
+pub fn encode_revision_diff(diff: &RevisionDiff) -> Vec<u8> {
+    let mut out = Vec::with_capacity(22 + diff.changes.len() * 16);
+    out.push(PROTO_VERSION);
+    out.push(REVISION_KIND_DIFF);
+    out.extend_from_slice(&diff.from.to_le_bytes());
+    out.extend_from_slice(&diff.to.to_le_bytes());
+    out.extend_from_slice(&(diff.changes.len() as u32).to_le_bytes());
+    for change in &diff.changes {
+        put_change(&mut out, change);
+    }
+    out
+}
+
+/// Decode a binary revision-diff body.
+pub fn decode_revision_diff(bytes: &[u8]) -> Result<RevisionDiff, FrameError> {
+    let mut reader = FrameReader::new(bytes);
+    expect_revision_header(&mut reader, REVISION_KIND_DIFF)?;
+    let from = reader.u64()?;
+    let to = reader.u64()?;
+    let count = reader.u32()? as usize;
+    let mut changes = Vec::with_capacity(count.min(reader.remaining() / 7));
+    for _ in 0..count {
+        changes.push(read_change(&mut reader)?);
+    }
+    reader.finish()?;
+    Ok(RevisionDiff { from, to, changes })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -747,5 +1037,122 @@ mod tests {
         assert_eq!(u32::from_le_bytes(header[11..15].try_into().unwrap()), 42);
         let record = encode_record_header(ACTION_ALLOW, SOURCE_FILTER_LIST, 3);
         assert_eq!(record, [ACTION_ALLOW, SOURCE_FILTER_LIST, 3, 0, 0, 0]);
+    }
+
+    fn sample_ring() -> Vec<Arc<VerdictRevision>> {
+        use Classification::*;
+        vec![
+            Arc::new(VerdictRevision::new(
+                3,
+                vec![
+                    RevisionChange::new(
+                        Granularity::Domain,
+                        "ads.com",
+                        ChangeKind::Added(Tracking),
+                    ),
+                    RevisionChange::new(
+                        Granularity::Script,
+                        "https://cdn.pub.com/app.js",
+                        ChangeKind::Flipped(Mixed, Functional),
+                    ),
+                ],
+            )),
+            Arc::new(VerdictRevision::new(4, vec![])),
+            Arc::new(VerdictRevision::new(
+                5,
+                vec![RevisionChange::new(
+                    Granularity::Hostname,
+                    "pixel.ads.com",
+                    ChangeKind::Removed(Mixed),
+                )],
+            )),
+        ]
+    }
+
+    #[test]
+    fn revision_json_round_trips_canonically() {
+        let ring = sample_ring();
+        let text = revision_list_value(5, &ring).render();
+        let (version, back) =
+            revision_list_from_value(&Value::parse(&text).unwrap()).expect("list parses");
+        assert_eq!(version, 5);
+        assert_eq!(back, ring.iter().map(|r| (**r).clone()).collect::<Vec<_>>());
+        assert_eq!(revision_list_value(5, &sample_ring()).render(), text);
+
+        let diff = crate::revision::diff_revisions(&ring, 2, 5).unwrap();
+        let text = revision_diff_value(&diff).render();
+        let back = revision_diff_from_value(&Value::parse(&text).unwrap()).expect("diff parses");
+        assert_eq!(back, diff);
+        assert_eq!(revision_diff_value(&back).render(), text);
+    }
+
+    #[test]
+    fn hostile_revision_json_is_rejected() {
+        for hostile in [
+            r#"{"granularity":"Domain","key":"a.com","added":"sneaky"}"#,
+            r#"{"granularity":"Planet","key":"a.com","added":"mixed"}"#,
+            r#"{"granularity":"Domain","key":"a.com","from":"mixed","to":"mixed"}"#,
+            r#"{"granularity":"Domain","key":"a.com"}"#,
+        ] {
+            let value = Value::parse(hostile).unwrap();
+            assert!(change_from_value(&value).is_err(), "accepted {hostile}");
+        }
+    }
+
+    #[test]
+    fn revision_frames_round_trip_binary() {
+        let ring = sample_ring();
+        let payload = encode_revision_list(5, &ring);
+        let (version, back) = decode_revision_list(&payload).expect("list decodes");
+        assert_eq!(version, 5);
+        assert_eq!(back, ring.iter().map(|r| (**r).clone()).collect::<Vec<_>>());
+        for cut in 0..payload.len() {
+            assert!(decode_revision_list(&payload[..cut]).is_err());
+        }
+        let mut padded = payload.clone();
+        padded.push(0);
+        assert!(decode_revision_list(&padded).is_err());
+
+        let diff = crate::revision::diff_revisions(&ring, 2, 5).unwrap();
+        let payload = encode_revision_diff(&diff);
+        assert_eq!(decode_revision_diff(&payload).unwrap(), diff);
+        for cut in 0..payload.len() {
+            assert!(decode_revision_diff(&payload[..cut]).is_err());
+        }
+        let mut padded = payload.clone();
+        padded.push(0);
+        assert!(decode_revision_diff(&padded).is_err());
+    }
+
+    #[test]
+    fn hostile_revision_frames_are_rejected() {
+        let ring = sample_ring();
+        let list = encode_revision_list(5, &ring);
+        let diff = encode_revision_diff(&crate::revision::diff_revisions(&ring, 2, 5).unwrap());
+
+        // Wrong protocol version.
+        let mut bad = list.clone();
+        bad[0] = 9;
+        assert!(decode_revision_list(&bad).is_err());
+        // Swapped kind bytes: a list body is not a diff body and vice versa.
+        assert!(decode_revision_diff(&list).is_err());
+        assert!(decode_revision_list(&diff).is_err());
+
+        // One hand-built diff frame per hostile change shape.
+        let hostile_changes: [[u8; 3]; 4] = [
+            [7, 0, 1], // granularity code out of range
+            [0, 4, 1], // old class code out of range
+            [0, 1, 1], // identity transition
+            [0, 0, 0], // absent -> absent encodes no transition
+        ];
+        for change in hostile_changes {
+            let mut frame = vec![PROTO_VERSION, REVISION_KIND_DIFF];
+            frame.extend_from_slice(&2u64.to_le_bytes());
+            frame.extend_from_slice(&5u64.to_le_bytes());
+            frame.extend_from_slice(&1u32.to_le_bytes());
+            frame.extend_from_slice(&change);
+            put_bytes(&mut frame, b"a.com");
+            assert!(decode_revision_diff(&frame).is_err(), "accepted {change:?}");
+        }
     }
 }

@@ -134,6 +134,13 @@ impl FrozenKeys {
             .enumerate()
             .map(|(i, s)| (ResourceKey(i as u32), s.as_ref()))
     }
+
+    /// The string of a dense key id, shared (refcount bump, no copy), or
+    /// `None` for ids the snapshot never assigned. This is how revision
+    /// diffs resolve changed class-table slots back to key strings.
+    pub fn shared_string_for_id(&self, id: u32) -> Option<Arc<str>> {
+        self.strings.get(id as usize).cloned()
+    }
 }
 
 impl KeyResolver for FrozenKeys {

@@ -28,6 +28,7 @@
 //! | enforcement decisions (allow / block / surrogate / observe) | [`decision`] |
 //! | flattened verdict tables (shared read representation) | [`table`] |
 //! | concurrent serving (lock-free readers + atomic publish) | [`concurrent`] |
+//! | per-commit verdict revisions + drift diffs | [`revision`] |
 //! | trained-state persistence (versioned) | [`snapshot`] |
 //! | crash durability (write-ahead journal + checkpoints) | [`journal`] |
 //! | deterministic fault injection (feature-gated) | [`failpoint`] |
@@ -102,6 +103,7 @@ pub mod metrics;
 pub mod pipeline;
 pub mod ratio;
 pub mod report;
+pub mod revision;
 pub mod sensitivity;
 pub mod service;
 pub mod snapshot;
@@ -131,6 +133,10 @@ pub use pipeline::{
 };
 pub use ratio::{Classification, Counts, Thresholds};
 pub use report::RatioHistogram;
+pub use revision::{
+    compose, diff_revisions, ChangeKind, RevisionChange, RevisionDiff, RevisionRangeError,
+    VerdictRevision,
+};
 pub use rewriter::{RewriterBuilder, RewrittenUrl, UrlRewriter};
 pub use sensitivity::{SensitivityPoint, SensitivitySweep};
 pub use service::{

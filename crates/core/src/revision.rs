@@ -1,0 +1,460 @@
+//! Verdict revisions: per-commit drift records over the published state.
+//!
+//! A one-shot study classifies once and stops; a serving deployment watches
+//! the web *change under it* — trackers rotate CDNs, lists catch up, mixed
+//! hosts tip over a threshold — and operators need to see exactly what each
+//! commit changed. This module is that record:
+//!
+//! * [`RevisionChange`] — one per-key class transition at one granularity:
+//!   the key entered the level ([`ChangeKind::Added`]), left it
+//!   ([`ChangeKind::Removed`]), or flipped classification
+//!   ([`ChangeKind::Flipped`] with old → new).
+//! * [`VerdictRevision`] — every change one commit made, stamped with the
+//!   published table version it produced. The concurrent writer records one
+//!   revision per publish (even an empty one), so version chains stay
+//!   contiguous, and keeps a bounded ring of them attached to the published
+//!   [`VerdictTable`](crate::table::VerdictTable).
+//! * [`compose`] / [`diff_revisions`] — the diff algebra: transitions
+//!   compose by chaining old → new per `(granularity, key)` and dropping
+//!   identities, so the drift between *any* two ring versions is the fold
+//!   of the revisions between them. Composition is associative —
+//!   `diff(a,c) == compose(diff(a,b), diff(b,c))` — which the property
+//!   tests pin against an independent model.
+//!
+//! Changes are kept in one canonical order (granularity coarsest-first,
+//! then key string) so two runs from the same seed produce byte-identical
+//! revision rings and wire encodings.
+
+use crate::hierarchy::Granularity;
+use crate::ratio::Classification;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// How one key's committed classification changed between two states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangeKind {
+    /// The key became a member of the level (was absent before).
+    Added(Classification),
+    /// The key left the level (carrying its last classification).
+    Removed(Classification),
+    /// The key stayed a member but flipped classification (old, new).
+    Flipped(Classification, Classification),
+}
+
+impl ChangeKind {
+    /// The transition from `old` to `new`, or `None` when nothing changed.
+    pub fn of(old: Option<Classification>, new: Option<Classification>) -> Option<ChangeKind> {
+        match (old, new) {
+            (None, Some(class)) => Some(ChangeKind::Added(class)),
+            (Some(class), None) => Some(ChangeKind::Removed(class)),
+            (Some(a), Some(b)) if a != b => Some(ChangeKind::Flipped(a, b)),
+            _ => None,
+        }
+    }
+
+    /// The classification before the change (`None` for additions).
+    pub fn old_class(&self) -> Option<Classification> {
+        match self {
+            ChangeKind::Added(_) => None,
+            ChangeKind::Removed(class) => Some(*class),
+            ChangeKind::Flipped(old, _) => Some(*old),
+        }
+    }
+
+    /// The classification after the change (`None` for removals).
+    pub fn new_class(&self) -> Option<Classification> {
+        match self {
+            ChangeKind::Added(class) => Some(*class),
+            ChangeKind::Removed(_) => None,
+            ChangeKind::Flipped(_, new) => Some(*new),
+        }
+    }
+}
+
+impl fmt::Display for ChangeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChangeKind::Added(class) => write!(f, "added as {class}"),
+            ChangeKind::Removed(class) => write!(f, "removed (was {class})"),
+            ChangeKind::Flipped(old, new) => write!(f, "flipped {old} -> {new}"),
+        }
+    }
+}
+
+/// One per-key class transition recorded by a commit (or produced by
+/// composing several commits' transitions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RevisionChange {
+    /// The hierarchy level the key changed at.
+    pub granularity: Granularity,
+    /// The resource key string (domain, hostname, script URL, or composed
+    /// `script :: method` label). Shared, not copied, with the frozen key
+    /// table it was resolved from.
+    pub key: Arc<str>,
+    /// What happened to the key's classification.
+    pub kind: ChangeKind,
+}
+
+impl RevisionChange {
+    /// A change from explicit parts.
+    pub fn new(granularity: Granularity, key: impl Into<Arc<str>>, kind: ChangeKind) -> Self {
+        RevisionChange {
+            granularity,
+            key: key.into(),
+            kind,
+        }
+    }
+}
+
+/// Order changes canonically: granularity coarsest-first, then key string.
+pub(crate) fn sort_changes(changes: &mut [RevisionChange]) {
+    changes.sort_by(|a, b| {
+        (a.granularity.index(), a.key.as_ref()).cmp(&(b.granularity.index(), b.key.as_ref()))
+    });
+}
+
+/// Every per-key class change one commit made, stamped with the published
+/// table version that commit produced.
+///
+/// The concurrent writer records one revision per publish — including
+/// commits that changed nothing — so the ring's versions are contiguous
+/// and any two of them are diffable. Changes are held in canonical
+/// (granularity, key) order.
+///
+/// ```
+/// use trackersift::{ChangeKind, Classification, Granularity, RevisionChange, VerdictRevision};
+///
+/// let revision = VerdictRevision::new(
+///     7,
+///     vec![RevisionChange::new(
+///         Granularity::Domain,
+///         "ads.com",
+///         ChangeKind::Added(Classification::Tracking),
+///     )],
+/// );
+/// assert_eq!(revision.version(), 7);
+/// assert_eq!(revision.changes().len(), 1);
+/// assert_eq!(
+///     revision.changes()[0].kind.new_class(),
+///     Some(Classification::Tracking)
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerdictRevision {
+    version: u64,
+    changes: Vec<RevisionChange>,
+}
+
+impl VerdictRevision {
+    /// A revision from explicit parts; changes are sorted into the
+    /// canonical (granularity, key) order.
+    pub fn new(version: u64, mut changes: Vec<RevisionChange>) -> Self {
+        sort_changes(&mut changes);
+        VerdictRevision { version, changes }
+    }
+
+    /// The published table version this revision's commit produced.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The per-key transitions, in canonical order.
+    pub fn changes(&self) -> &[RevisionChange] {
+        &self.changes
+    }
+
+    /// `true` when the commit changed no classifications.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+}
+
+/// The net drift between two revisions of the ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RevisionDiff {
+    /// The baseline version (exclusive): state *after* this version.
+    pub from: u64,
+    /// The target version (inclusive).
+    pub to: u64,
+    /// Net per-key transitions from `from` to `to`, canonical order,
+    /// identities dropped.
+    pub changes: Vec<RevisionChange>,
+}
+
+/// Why a requested revision diff could not be answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RevisionRangeError {
+    /// `from > to`: the range is backwards (a client bug — HTTP 400).
+    Inverted {
+        /// Requested baseline version.
+        from: u64,
+        /// Requested target version.
+        to: u64,
+    },
+    /// The range is not fully covered by the bounded revision ring (the
+    /// revisions fell off the ring or were never produced — HTTP 404).
+    Unknown {
+        /// Requested baseline version.
+        from: u64,
+        /// Requested target version.
+        to: u64,
+    },
+}
+
+impl fmt::Display for RevisionRangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RevisionRangeError::Inverted { from, to } => {
+                write!(f, "inverted revision range {from}..{to}")
+            }
+            RevisionRangeError::Unknown { from, to } => {
+                write!(f, "revision range {from}..{to} is not in the revision ring")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RevisionRangeError {}
+
+/// Net transition accumulator keyed by (granularity index, key string);
+/// `BTreeMap` so collection comes out in canonical order for free.
+type NetMap = BTreeMap<(usize, Arc<str>), (Option<Classification>, Option<Classification>)>;
+
+fn fold_changes(net: &mut NetMap, changes: &[RevisionChange]) {
+    for change in changes {
+        let slot = (change.granularity.index(), Arc::clone(&change.key));
+        match net.get_mut(&slot) {
+            Some((_, new)) => *new = change.kind.new_class(),
+            None => {
+                net.insert(slot, (change.kind.old_class(), change.kind.new_class()));
+            }
+        }
+    }
+}
+
+fn collect_net(net: NetMap) -> Vec<RevisionChange> {
+    net.into_iter()
+        .filter_map(|((granularity, key), (old, new))| {
+            ChangeKind::of(old, new).map(|kind| RevisionChange {
+                granularity: Granularity::ALL[granularity],
+                key,
+                kind,
+            })
+        })
+        .collect()
+}
+
+/// Compose two change sets applied in sequence into their net effect:
+/// per `(granularity, key)`, chain old → new and drop transitions that
+/// cancel out. Composition is associative, which is what makes any two
+/// ring versions diffable by folding the revisions between them.
+pub fn compose(first: &[RevisionChange], second: &[RevisionChange]) -> Vec<RevisionChange> {
+    let mut net = NetMap::new();
+    fold_changes(&mut net, first);
+    fold_changes(&mut net, second);
+    collect_net(net)
+}
+
+/// The net drift from version `from` (exclusive) to version `to`
+/// (inclusive), folded over a contiguous ascending revision ring.
+///
+/// `from == to` yields an empty diff as long as `from` is a version the
+/// ring can anchor (between one-before-oldest and newest). A backwards
+/// range is [`RevisionRangeError::Inverted`]; a range not fully covered by
+/// the ring is [`RevisionRangeError::Unknown`].
+pub fn diff_revisions(
+    ring: &[Arc<VerdictRevision>],
+    from: u64,
+    to: u64,
+) -> Result<RevisionDiff, RevisionRangeError> {
+    if from > to {
+        return Err(RevisionRangeError::Inverted { from, to });
+    }
+    let (Some(oldest), Some(newest)) = (ring.first(), ring.last()) else {
+        return Err(RevisionRangeError::Unknown { from, to });
+    };
+    // `from` is a baseline: the state *after* version `from`. The oldest
+    // baseline the ring can reconstruct is one before its oldest revision.
+    let floor = oldest.version().saturating_sub(1);
+    if from < floor || to > newest.version() {
+        return Err(RevisionRangeError::Unknown { from, to });
+    }
+    let mut net = NetMap::new();
+    for revision in ring {
+        if revision.version() > from && revision.version() <= to {
+            fold_changes(&mut net, revision.changes());
+        }
+    }
+    Ok(RevisionDiff {
+        from,
+        to,
+        changes: collect_net(net),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn change(granularity: Granularity, key: &str, kind: ChangeKind) -> RevisionChange {
+        RevisionChange::new(granularity, key, kind)
+    }
+
+    #[test]
+    fn change_kind_models_every_transition() {
+        use Classification::*;
+        assert_eq!(ChangeKind::of(None, None), None);
+        assert_eq!(ChangeKind::of(Some(Mixed), Some(Mixed)), None);
+        assert_eq!(
+            ChangeKind::of(None, Some(Tracking)),
+            Some(ChangeKind::Added(Tracking))
+        );
+        assert_eq!(
+            ChangeKind::of(Some(Functional), None),
+            Some(ChangeKind::Removed(Functional))
+        );
+        assert_eq!(
+            ChangeKind::of(Some(Mixed), Some(Tracking)),
+            Some(ChangeKind::Flipped(Mixed, Tracking))
+        );
+        let flipped = ChangeKind::Flipped(Mixed, Tracking);
+        assert_eq!(flipped.old_class(), Some(Mixed));
+        assert_eq!(flipped.new_class(), Some(Tracking));
+    }
+
+    #[test]
+    fn revisions_sort_changes_canonically() {
+        use Classification::*;
+        let revision = VerdictRevision::new(
+            1,
+            vec![
+                change(Granularity::Script, "z.js", ChangeKind::Added(Mixed)),
+                change(Granularity::Domain, "b.com", ChangeKind::Added(Tracking)),
+                change(Granularity::Domain, "a.com", ChangeKind::Added(Functional)),
+            ],
+        );
+        let order: Vec<(usize, &str)> = revision
+            .changes()
+            .iter()
+            .map(|c| (c.granularity.index(), c.key.as_ref()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![(0, "a.com"), (0, "b.com"), (2, "z.js")],
+            "coarsest granularity first, then key order"
+        );
+    }
+
+    #[test]
+    fn compose_chains_and_cancels() {
+        use Classification::*;
+        let first = vec![
+            change(Granularity::Domain, "a.com", ChangeKind::Added(Tracking)),
+            change(
+                Granularity::Domain,
+                "b.com",
+                ChangeKind::Flipped(Mixed, Tracking),
+            ),
+        ];
+        let second = vec![
+            change(
+                Granularity::Domain,
+                "a.com",
+                ChangeKind::Flipped(Tracking, Mixed),
+            ),
+            change(
+                Granularity::Domain,
+                "b.com",
+                ChangeKind::Flipped(Tracking, Mixed),
+            ),
+            change(Granularity::Hostname, "h.c.com", ChangeKind::Added(Mixed)),
+        ];
+        let net = compose(&first, &second);
+        assert_eq!(
+            net,
+            vec![
+                change(Granularity::Domain, "a.com", ChangeKind::Added(Mixed)),
+                change(Granularity::Hostname, "h.c.com", ChangeKind::Added(Mixed)),
+            ],
+            "a.com chains None->Tracking->Mixed, b.com cancels Mixed->Tracking->Mixed"
+        );
+    }
+
+    fn ring(revisions: Vec<VerdictRevision>) -> Vec<Arc<VerdictRevision>> {
+        revisions.into_iter().map(Arc::new).collect()
+    }
+
+    #[test]
+    fn diff_folds_the_requested_span() {
+        use Classification::*;
+        let ring = ring(vec![
+            VerdictRevision::new(
+                3,
+                vec![change(
+                    Granularity::Domain,
+                    "a.com",
+                    ChangeKind::Added(Tracking),
+                )],
+            ),
+            VerdictRevision::new(4, vec![]),
+            VerdictRevision::new(
+                5,
+                vec![change(
+                    Granularity::Domain,
+                    "a.com",
+                    ChangeKind::Flipped(Tracking, Mixed),
+                )],
+            ),
+        ]);
+        let full = diff_revisions(&ring, 2, 5).expect("full span");
+        assert_eq!(
+            full.changes,
+            vec![change(
+                Granularity::Domain,
+                "a.com",
+                ChangeKind::Added(Mixed)
+            )]
+        );
+        let tail = diff_revisions(&ring, 4, 5).expect("tail span");
+        assert_eq!(
+            tail.changes,
+            vec![change(
+                Granularity::Domain,
+                "a.com",
+                ChangeKind::Flipped(Tracking, Mixed)
+            )]
+        );
+        let empty = diff_revisions(&ring, 4, 4).expect("empty span");
+        assert!(empty.changes.is_empty());
+    }
+
+    #[test]
+    fn diff_rejects_hostile_ranges_typed() {
+        let ring = ring(vec![VerdictRevision::new(3, vec![]), {
+            VerdictRevision::new(4, vec![])
+        }]);
+        assert_eq!(
+            diff_revisions(&ring, 4, 3),
+            Err(RevisionRangeError::Inverted { from: 4, to: 3 })
+        );
+        assert_eq!(
+            diff_revisions(&ring, 1, 4),
+            Err(RevisionRangeError::Unknown { from: 1, to: 4 }),
+            "baseline 1 fell off the ring (floor is 2)"
+        );
+        assert_eq!(
+            diff_revisions(&ring, 3, 9),
+            Err(RevisionRangeError::Unknown { from: 3, to: 9 }),
+            "target 9 was never produced"
+        );
+        assert_eq!(
+            diff_revisions(&[], 0, 0),
+            Err(RevisionRangeError::Unknown { from: 0, to: 0 }),
+            "an empty ring anchors nothing"
+        );
+        // The floor baseline itself is diffable.
+        assert!(diff_revisions(&ring, 2, 4).is_ok());
+        assert!(diff_revisions(&ring, 2, 2).is_ok());
+    }
+}

@@ -29,6 +29,7 @@ use crate::frames::{self, SurrogateFrames, FIXED_COMBOS, SINGLE_HEADER_LEN};
 use crate::hierarchy::Granularity;
 use crate::intern::{FrozenKeys, KeyResolver, ResourceKey};
 use crate::ratio::Classification;
+use crate::revision::{self, ChangeKind, RevisionChange, VerdictRevision};
 use crate::service::{Verdict, VerdictRequest};
 use crate::surrogate::SurrogateScript;
 use crawler::json::{object, Value};
@@ -114,6 +115,37 @@ impl ClassTable {
             .iter()
             .filter(|&&code| code != ABSENT)
             .count()
+    }
+
+    /// Every per-key class transition from `old` to `self`, resolved to key
+    /// strings through `keys` (the frozen view `self` was committed
+    /// against; ids are append-only stable within an epoch, so it resolves
+    /// every id `old` knew too). Canonical (granularity, key) order —
+    /// this is what one [`VerdictRevision`](crate::revision::VerdictRevision)
+    /// records per commit.
+    pub(crate) fn changes_since(&self, old: &ClassTable, keys: &FrozenKeys) -> Vec<RevisionChange> {
+        let mut changes = Vec::new();
+        for granularity in Granularity::ALL {
+            let before = &old.levels[granularity.index()];
+            let after = &self.levels[granularity.index()];
+            for index in 0..before.len().max(after.len()) {
+                let from = classification_of(before.get(index).copied().unwrap_or(ABSENT));
+                let to = classification_of(after.get(index).copied().unwrap_or(ABSENT));
+                let Some(kind) = ChangeKind::of(from, to) else {
+                    continue;
+                };
+                let Some(key) = keys.shared_string_for_id(index as u32) else {
+                    continue;
+                };
+                changes.push(RevisionChange {
+                    granularity,
+                    key,
+                    kind,
+                });
+            }
+        }
+        revision::sort_changes(&mut changes);
+        changes
     }
 }
 
@@ -421,6 +453,10 @@ pub struct VerdictTable {
     /// incrementally by the sifter's commits and shared here so concurrent
     /// readers serve [`Decision::Surrogate`] without touching the writer.
     surrogates: Arc<SurrogatePlans>,
+    /// The writer's bounded revision ring as of this publish, ascending by
+    /// version (`Arc` per revision: publishing clones pointers, not change
+    /// lists). Empty for tables exported outside a concurrent writer.
+    revisions: Vec<Arc<VerdictRevision>>,
     /// Preformatted response bodies (version baked), rebuilt per table.
     prebuilt: PrebuiltResponses,
 }
@@ -448,6 +484,7 @@ impl VerdictTable {
             engine,
             url_rewriter,
             surrogates,
+            revisions: Vec::new(),
             prebuilt: PrebuiltResponses::build(version, frames),
         }
     }
@@ -465,6 +502,26 @@ impl VerdictTable {
     /// the epoch counter).
     pub(crate) fn set_keys_epoch(&mut self, epoch: u64) {
         self.keys_epoch = epoch;
+    }
+
+    /// Attach the writer's revision-ring snapshot (used by the concurrent
+    /// writer at publish time, so `GET /v1/revisions` serves lock-free from
+    /// the pinned table).
+    pub(crate) fn set_revisions(&mut self, revisions: Vec<Arc<VerdictRevision>>) {
+        self.revisions = revisions;
+    }
+
+    /// This table's committed class arrays (what the writer diffs between
+    /// publishes to record a revision).
+    pub(crate) fn classes(&self) -> &ClassTable {
+        &self.classes
+    }
+
+    /// The bounded ring of per-commit verdict revisions as of this publish,
+    /// ascending by version. Diff any two covered versions with
+    /// [`diff_revisions`](crate::revision::diff_revisions).
+    pub fn revisions(&self) -> &[Arc<VerdictRevision>] {
+        &self.revisions
     }
 
     /// Answer one verdict query against this table's frozen state.

@@ -15,11 +15,13 @@
 use crate::wire::{self, BinaryRecord};
 use crawler::json::Value;
 use std::collections::HashMap;
+use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::thread;
 use std::time::Duration;
-use trackersift::Decision;
+use trackersift::frames;
+use trackersift::{Decision, RevisionDiff, VerdictRevision};
 
 /// The client half of the `GET /v1/keys` interning handshake: the server's
 /// key strings mapped back to their dense `u32` ids, scoped by the epoch
@@ -51,6 +53,59 @@ impl KeyTable {
     pub fn is_empty(&self) -> bool {
         self.ids.is_empty()
     }
+}
+
+/// Why a typed revision fetch ([`Client::fetch_revisions`],
+/// [`Client::fetch_revision_diff`]) failed. Unlike the panicking decision
+/// helpers, the revision helpers return errors: drift consumers poll
+/// revision ranges that legitimately fall out of the bounded ring (`404`)
+/// or get inverted by operator typos (`400`), and both deserve a typed
+/// answer instead of a panic.
+#[derive(Debug)]
+pub enum RevisionFetchError {
+    /// The server answered with a non-200 status; the body detail is kept.
+    Status(u16, String),
+    /// The exchange failed at the transport layer.
+    Transport(io::Error),
+    /// The `200` body did not parse as the expected canonical shape.
+    Malformed(String),
+}
+
+impl fmt::Display for RevisionFetchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RevisionFetchError::Status(status, detail) => {
+                write!(f, "server answered {status}: {detail}")
+            }
+            RevisionFetchError::Transport(error) => write!(f, "transport failed: {error}"),
+            RevisionFetchError::Malformed(detail) => {
+                write!(f, "malformed revision body: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RevisionFetchError {}
+
+/// Parse the `200` JSON body of `GET /v1/revisions` into the table
+/// version and the revision ring.
+pub fn parse_revision_list(body: &[u8]) -> Result<(u64, Vec<VerdictRevision>), RevisionFetchError> {
+    let value = parse_json_body(body)?;
+    frames::revision_list_from_value(&value)
+        .map_err(|error| RevisionFetchError::Malformed(error.to_string()))
+}
+
+/// Parse the `200` JSON body of `GET /v1/revisions?diff=a..b`.
+pub fn parse_revision_diff(body: &[u8]) -> Result<RevisionDiff, RevisionFetchError> {
+    let value = parse_json_body(body)?;
+    frames::revision_diff_from_value(&value)
+        .map_err(|error| RevisionFetchError::Malformed(error.to_string()))
+}
+
+fn parse_json_body(body: &[u8]) -> Result<Value, RevisionFetchError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| RevisionFetchError::Malformed("body is not utf-8".to_string()))?;
+    Value::parse(text).map_err(|error| RevisionFetchError::Malformed(error.to_string()))
 }
 
 /// One fully read response from the non-panicking request path.
@@ -176,6 +231,88 @@ impl Client {
             version,
             ids,
         }
+    }
+
+    /// Fetch the published revision ring (`GET /v1/revisions`); returns
+    /// the table version and the ring, oldest first.
+    pub fn fetch_revisions(&mut self) -> Result<(u64, Vec<VerdictRevision>), RevisionFetchError> {
+        let response = self
+            .try_request_bytes("GET", "/v1/revisions", None, b"")
+            .map_err(RevisionFetchError::Transport)?;
+        if response.status != 200 {
+            return Err(RevisionFetchError::Status(
+                response.status,
+                String::from_utf8_lossy(&response.body).into_owned(),
+            ));
+        }
+        parse_revision_list(&response.body)
+    }
+
+    /// Fetch the drift between two published versions
+    /// (`GET /v1/revisions?diff=from..to`). An inverted range surfaces as
+    /// [`RevisionFetchError::Status`] with `400`, a range outside the
+    /// bounded ring as `404`.
+    pub fn fetch_revision_diff(
+        &mut self,
+        from: u64,
+        to: u64,
+    ) -> Result<RevisionDiff, RevisionFetchError> {
+        let target = format!("/v1/revisions?diff={from}..{to}");
+        let response = self
+            .try_request_bytes("GET", &target, None, b"")
+            .map_err(RevisionFetchError::Transport)?;
+        if response.status != 200 {
+            return Err(RevisionFetchError::Status(
+                response.status,
+                String::from_utf8_lossy(&response.body).into_owned(),
+            ));
+        }
+        parse_revision_diff(&response.body)
+    }
+
+    /// [`Client::fetch_revisions`] over the binary framing: the request
+    /// carries `Accept: application/x-trackersift-verdict` and the reply
+    /// decodes with [`frames::decode_revision_list`].
+    pub fn fetch_revisions_binary(
+        &mut self,
+    ) -> Result<(u64, Vec<VerdictRevision>), RevisionFetchError> {
+        let response = self.get_binary("/v1/revisions")?;
+        frames::decode_revision_list(&response.body)
+            .map_err(|error| RevisionFetchError::Malformed(error.to_string()))
+    }
+
+    /// [`Client::fetch_revision_diff`] over the binary framing.
+    pub fn fetch_revision_diff_binary(
+        &mut self,
+        from: u64,
+        to: u64,
+    ) -> Result<RevisionDiff, RevisionFetchError> {
+        let target = format!("/v1/revisions?diff={from}..{to}");
+        let response = self.get_binary(&target)?;
+        frames::decode_revision_diff(&response.body)
+            .map_err(|error| RevisionFetchError::Malformed(error.to_string()))
+    }
+
+    /// Issue a `GET` asking for the binary representation and insist on a
+    /// 200.
+    fn get_binary(&mut self, target: &str) -> Result<RawResponse, RevisionFetchError> {
+        let head = format!(
+            "GET {target} HTTP/1.1\r\nHost: verdicts\r\nAccept: {}\r\nContent-Length: 0\r\n\r\n",
+            wire::BINARY_CONTENT_TYPE
+        );
+        self.stream
+            .write_all(head.as_bytes())
+            .map_err(RevisionFetchError::Transport)?;
+        let response = self
+            .try_read_response()
+            .map_err(RevisionFetchError::Transport)?;
+        if response.status != 200 {
+            return Err(RevisionFetchError::Status(
+                response.status,
+                String::from_utf8_lossy(&response.body).into_owned(),
+            ));
+        }
+        Ok(response)
     }
 
     /// Post one binary decision record and decode the reply; returns
@@ -500,6 +637,85 @@ impl RetryingClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use trackersift::{ChangeKind, Classification, Granularity, RevisionChange};
+
+    /// Golden fixture: the canonical `GET /v1/revisions` body for a ring
+    /// of two revisions (an add, then a flip + a removal).
+    const REVISION_LIST_FIXTURE: &str = concat!(
+        r#"{"version":3,"revisions":["#,
+        r#"{"version":2,"changes":[{"granularity":"Script","key":"https://cdn.t.io/a.js","added":"tracking"}]},"#,
+        r#"{"version":3,"changes":[{"granularity":"Domain","key":"t.io","from":"mixed","to":"tracking"},"#,
+        r#"{"granularity":"Hostname","key":"px.t.io","removed":"functional"}]}"#,
+        r#"]}"#
+    );
+
+    /// Golden fixture: the canonical `GET /v1/revisions?diff=1..3` body.
+    const REVISION_DIFF_FIXTURE: &str = concat!(
+        r#"{"from":1,"to":3,"changes":["#,
+        r#"{"granularity":"Domain","key":"t.io","from":"mixed","to":"tracking"},"#,
+        r#"{"granularity":"Script","key":"https://cdn.t.io/a.js","added":"tracking"}"#,
+        r#"]}"#
+    );
+
+    #[test]
+    fn revision_list_fixture_parses() {
+        let (version, ring) =
+            parse_revision_list(REVISION_LIST_FIXTURE.as_bytes()).expect("fixture parses");
+        assert_eq!(version, 3);
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring[0].version(), 2);
+        assert_eq!(
+            ring[0].changes(),
+            &[RevisionChange::new(
+                Granularity::Script,
+                "https://cdn.t.io/a.js",
+                ChangeKind::Added(Classification::Tracking),
+            )]
+        );
+        assert_eq!(ring[1].version(), 3);
+        assert_eq!(ring[1].changes().len(), 2);
+        // Round trip: re-rendering the parsed ring is byte-identical.
+        let shared: Vec<_> = ring.into_iter().map(std::sync::Arc::new).collect();
+        assert_eq!(
+            frames::revision_list_value(3, &shared).render(),
+            REVISION_LIST_FIXTURE
+        );
+    }
+
+    #[test]
+    fn revision_diff_fixture_parses() {
+        let diff = parse_revision_diff(REVISION_DIFF_FIXTURE.as_bytes()).expect("fixture parses");
+        assert_eq!((diff.from, diff.to), (1, 3));
+        assert_eq!(diff.changes.len(), 2);
+        assert_eq!(
+            diff.changes[0].kind,
+            ChangeKind::Flipped(Classification::Mixed, Classification::Tracking)
+        );
+        assert_eq!(
+            frames::revision_diff_value(&diff).render(),
+            REVISION_DIFF_FIXTURE
+        );
+    }
+
+    #[test]
+    fn malformed_revision_bodies_are_typed_errors() {
+        let cases: [&[u8]; 4] = [
+            b"\xff\xfe not utf-8",
+            b"{\"version\":3",
+            br#"{"version":3,"revisions":[{"version":1,"changes":[{"granularity":"Planet","key":"x","added":"tracking"}]}]}"#,
+            br#"{"revisions":[]}"#,
+        ];
+        for body in cases {
+            assert!(matches!(
+                parse_revision_list(body),
+                Err(RevisionFetchError::Malformed(_))
+            ));
+        }
+        assert!(matches!(
+            parse_revision_diff(br#"{"from":2,"to":1,"changes":"what"}"#),
+            Err(RevisionFetchError::Malformed(_))
+        ));
+    }
 
     #[test]
     fn backoff_grows_exponentially_jittered_and_capped() {

@@ -37,6 +37,8 @@
 //! | `POST /v1/commit` | fold observations in + publish atomically |
 //! | `GET /v1/snapshot` | export the trained state (versioned JSON) |
 //! | `PUT /v1/snapshot` | validate + restore a snapshot, publish atomically |
+//! | `GET /v1/revisions` | the published revision ring; `?diff=a..b` folds a drift diff |
+//! | `POST /v1/tick` | advance the attached re-crawl scheduler one epoch |
 //! | `GET /v1/stats` | [`ServiceStats`] + per-worker serving counters |
 //! | `GET /healthz` | liveness probe |
 //!
@@ -47,6 +49,22 @@
 //! `u32` key ids per record instead of four strings; a stale key epoch
 //! (the table was restored from a snapshot since the handshake) gets
 //! `409 Conflict`, never a silently wrong verdict.
+//!
+//! # Continuous operation
+//!
+//! A server started with [`VerdictServer::start_with_scheduler`] carries a
+//! [`SchedulerDriver`] on its admin thread: `POST /v1/tick` advances the
+//! simulated web one epoch, re-crawls it through the writer, and commits —
+//! serialised with every other writer mutation, so a tick and a snapshot
+//! restore can never interleave. Every commit records a
+//! [`VerdictRevision`](trackersift::VerdictRevision) in the published
+//! table's bounded ring; `GET /v1/revisions` lists the ring and
+//! `GET /v1/revisions?diff=a..b` folds the drift between two versions into
+//! one net change set (inverted ranges are a `400`, ranges outside the
+//! ring a `404`). Because `GET` carries no request body, the binary
+//! protocol is negotiated with `Accept:` [`wire::BINARY_CONTENT_TYPE`] on
+//! these endpoints. Scheduler gauges (epoch, churn counts, fingerprint
+//! retention) appear under `"scheduler"` in `GET /v1/stats`.
 //!
 //! # Crash-only serving
 //!
@@ -120,8 +138,9 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 use trackersift::frames::{self, PROTO_VERSION};
 use trackersift::{
-    CommitStats, DecisionRequest, JournalStats, KeyedRequest, ObserveOutcome, PrebuiltDecision,
-    RecoveryReport, ServiceStats, SifterReader, SifterSnapshot, SifterWriter, VerdictTable,
+    diff_revisions, CommitStats, DecisionRequest, JournalStats, KeyedRequest, ObserveOutcome,
+    PrebuiltDecision, RecoveryReport, RevisionRangeError, ServiceStats, SifterReader,
+    SifterSnapshot, SifterWriter, VerdictTable,
 };
 use wire::{BinaryKeys, BinaryRecord, DecisionMessage, ObservationMessage};
 
@@ -267,11 +286,64 @@ struct Gauges {
     inflight: AtomicU64,
 }
 
+/// What one scheduler tick did; the body of the `POST /v1/tick` reply.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickSummary {
+    /// The crawl epoch the tick completed (the seed crawl is epoch 0).
+    pub epoch: u64,
+    /// Observations the tick's re-crawl fed through the writer.
+    pub observations: u64,
+    /// Per-key class changes recorded by the tick's commit.
+    pub drift_events: u64,
+    /// The table version the tick published.
+    pub version: u64,
+}
+
+/// Cumulative gauges of an attached scheduler, rendered under
+/// `"scheduler"` in `GET /v1/stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Last crawl epoch completed.
+    pub epoch: u64,
+    /// Ticks run so far.
+    pub ticks: u64,
+    /// Tracking scripts whose origin URL hopped to a fresh CDN subdomain.
+    pub rotated_cdn_scripts: u64,
+    /// Scripts whose tracking endpoints re-drew their paths.
+    pub rotated_paths: u64,
+    /// New invisible tracking pixels that appeared on pages.
+    pub emerged_pixels: u64,
+    /// Per-key class changes across every commit the scheduler drove.
+    pub drift_events: u64,
+    /// Rotated scripts probed for verdict retention.
+    pub retention_probes: u64,
+    /// Probes whose script-level verdict survived the rotation.
+    pub retention_hits: u64,
+}
+
+/// A continuous re-crawl loop the server drives from its admin thread.
+///
+/// The server owns the *when* (a tick per `POST /v1/tick`, serialised with
+/// every other writer mutation) and the driver owns the *what*: evolve the
+/// simulated web one epoch, re-crawl it through the writer, commit. The
+/// concrete implementation lives in the `scheduler` crate, which depends
+/// on this one — the trait is defined here so the server never needs to.
+pub trait SchedulerDriver: Send {
+    /// Advance one epoch against the writer and commit the observations.
+    fn tick(&mut self, writer: &mut SifterWriter) -> TickSummary;
+
+    /// Cumulative gauges for the `"scheduler"` section of `GET /v1/stats`.
+    fn stats(&self) -> SchedulerStats;
+}
+
 /// What `GET /v1/stats` learns from the admin thread in one round-trip.
 struct AdminStats {
     service: ServiceStats,
     journal: Option<JournalStats>,
     generation: Option<u64>,
+    /// Scheduler gauges plus the duration of the last tick in
+    /// microseconds, when a scheduler is attached.
+    scheduler: Option<(SchedulerStats, u64)>,
 }
 
 /// Work routed to the admin thread (the single [`SifterWriter`] owner).
@@ -280,6 +352,8 @@ enum AdminMsg {
     Commit(Sender<(CommitStats, u64)>),
     Export(Sender<String>),
     Import(Box<SifterSnapshot>, Sender<Result<(u64, u64, u64), String>>),
+    /// Run one scheduler tick; `None` when no scheduler is attached.
+    Tick(Sender<Option<TickSummary>>),
     Stats(Sender<AdminStats>),
 }
 
@@ -305,7 +379,27 @@ impl VerdictServer {
     /// anything, so the first served verdict already reflects every
     /// fsynced observation of the previous life; the report of what was
     /// recovered is kept on the handle ([`VerdictServer::recovery`]).
-    pub fn start(mut writer: SifterWriter, config: ServerConfig) -> io::Result<VerdictServer> {
+    pub fn start(writer: SifterWriter, config: ServerConfig) -> io::Result<VerdictServer> {
+        VerdictServer::start_inner(writer, config, None)
+    }
+
+    /// [`VerdictServer::start`] with a re-crawl scheduler attached: the
+    /// driver lives on the admin thread next to the writer, `POST
+    /// /v1/tick` advances it one epoch per call, and `GET /v1/stats`
+    /// gains a `"scheduler"` section.
+    pub fn start_with_scheduler(
+        writer: SifterWriter,
+        config: ServerConfig,
+        scheduler: Box<dyn SchedulerDriver>,
+    ) -> io::Result<VerdictServer> {
+        VerdictServer::start_inner(writer, config, Some(scheduler))
+    }
+
+    fn start_inner(
+        mut writer: SifterWriter,
+        config: ServerConfig,
+        scheduler: Option<Box<dyn SchedulerDriver>>,
+    ) -> io::Result<VerdictServer> {
         let recovery = match &config.durability {
             Some(durability) => Some(writer.open_durable(&durability.dir, durability.sync_every)?),
             None => None,
@@ -330,7 +424,7 @@ impl VerdictServer {
         let (admin_tx, admin_rx) = mpsc::channel();
         let admin = thread::Builder::new()
             .name("verdict-admin".to_string())
-            .spawn(move || admin_loop(writer, admin_rx, checkpoint_bytes))?;
+            .spawn(move || admin_loop(writer, admin_rx, checkpoint_bytes, scheduler))?;
 
         // Build the handle before spawning workers so a mid-startup
         // failure (fd exhaustion on try_clone, spawn refusal) tears down
@@ -440,7 +534,13 @@ fn maybe_checkpoint(writer: &mut SifterWriter, checkpoint_bytes: u64) {
 
 /// The admin thread: applies every mutation through the single writer, so
 /// commits and snapshot swaps are serialised and published atomically.
-fn admin_loop(mut writer: SifterWriter, rx: mpsc::Receiver<AdminMsg>, checkpoint_bytes: u64) {
+fn admin_loop(
+    mut writer: SifterWriter,
+    rx: mpsc::Receiver<AdminMsg>,
+    checkpoint_bytes: u64,
+    mut scheduler: Option<Box<dyn SchedulerDriver>>,
+) {
+    let mut last_tick_micros = 0u64;
     while let Ok(message) = rx.recv() {
         match message {
             AdminMsg::Observe(observations, reply) => {
@@ -512,11 +612,27 @@ fn admin_loop(mut writer: SifterWriter, rx: mpsc::Receiver<AdminMsg>, checkpoint
                     });
                 let _ = reply.send(result);
             }
+            AdminMsg::Tick(reply) => {
+                let summary = scheduler.as_mut().map(|driver| {
+                    let started = Instant::now();
+                    let summary = driver.tick(&mut writer);
+                    last_tick_micros = started.elapsed().as_micros() as u64;
+                    summary
+                });
+                let ticked = summary.is_some();
+                let _ = reply.send(summary);
+                if ticked {
+                    maybe_checkpoint(&mut writer, checkpoint_bytes);
+                }
+            }
             AdminMsg::Stats(reply) => {
                 let _ = reply.send(AdminStats {
                     service: writer.service_stats(),
                     journal: writer.journal_stats(),
                     generation: writer.durable_generation(),
+                    scheduler: scheduler
+                        .as_ref()
+                        .map(|driver| (driver.stats(), last_tick_micros)),
                 });
             }
         }
@@ -967,7 +1083,16 @@ impl Worker {
             ("POST", "/v1/commit") => self.commit(),
             ("GET", "/v1/snapshot") => self.export_snapshot(),
             ("PUT", "/v1/snapshot") => self.import_snapshot(request),
+            // The revisions target carries its query verbatim, so the
+            // match is a prefix guard instead of an exact string.
+            ("GET", target) if is_revisions_target(target) => self.revisions(request),
+            ("POST", "/v1/tick") => self.tick(),
             ("GET", "/v1/stats") => self.stats(),
+            (_, target) if is_revisions_target(target) => HttpResponse::error(
+                405,
+                "Method Not Allowed",
+                &format!("{} does not support {}", request.target, request.method),
+            ),
             (
                 _,
                 "/healthz"
@@ -977,6 +1102,7 @@ impl Worker {
                 | "/v1/observations"
                 | "/v1/commit"
                 | "/v1/snapshot"
+                | "/v1/tick"
                 | "/v1/stats",
             ) => HttpResponse::error(
                 405,
@@ -1205,6 +1331,61 @@ impl Worker {
         }
     }
 
+    /// `POST /v1/tick`: run one scheduler tick on the admin thread. A
+    /// server with no scheduler attached answers `400`.
+    fn tick(&self) -> HttpResponse {
+        match self.admin_call(AdminMsg::Tick) {
+            Some(Some(summary)) => HttpResponse::json(
+                object(vec![
+                    ("epoch", Value::number_u64(summary.epoch)),
+                    ("observations", Value::number_u64(summary.observations)),
+                    ("drift_events", Value::number_u64(summary.drift_events)),
+                    ("version", Value::number_u64(summary.version)),
+                ])
+                .render(),
+            ),
+            Some(None) => HttpResponse::error(400, "Bad Request", "no scheduler attached"),
+            None => Self::admin_unavailable(),
+        }
+    }
+
+    /// `GET /v1/revisions`: the pinned table's revision ring, or — with
+    /// `?diff=a..b` — the drift between two published versions folded into
+    /// one net change set. JSON by default; since a `GET` carries no body
+    /// to set a `Content-Type` on, `Accept:` [`wire::BINARY_CONTENT_TYPE`]
+    /// selects the binary frames. An inverted range is a `400`, a range
+    /// the bounded ring no longer covers a `404`.
+    fn revisions(&self, request: &HttpRequest) -> HttpResponse {
+        let binary = request.header("accept") == Some(wire::BINARY_CONTENT_TYPE);
+        let range = match parse_revisions_query(&request.target) {
+            Ok(range) => range,
+            Err(detail) => return HttpResponse::error(400, "Bad Request", &detail),
+        };
+        let pin = self.reader.pin();
+        let table = pin.table();
+        let ring = table.revisions();
+        match range {
+            None if binary => HttpResponse::bytes(
+                wire::BINARY_CONTENT_TYPE,
+                frames::encode_revision_list(table.version(), ring),
+            ),
+            None => HttpResponse::json(frames::revision_list_value(table.version(), ring).render()),
+            Some((from, to)) => match diff_revisions(ring, from, to) {
+                Ok(diff) if binary => HttpResponse::bytes(
+                    wire::BINARY_CONTENT_TYPE,
+                    frames::encode_revision_diff(&diff),
+                ),
+                Ok(diff) => HttpResponse::json(frames::revision_diff_value(&diff).render()),
+                Err(error @ RevisionRangeError::Inverted { .. }) => {
+                    HttpResponse::error(400, "Bad Request", &error.to_string())
+                }
+                Err(error @ RevisionRangeError::Unknown { .. }) => {
+                    HttpResponse::error(404, "Not Found", &error.to_string())
+                }
+            },
+        }
+    }
+
     fn export_snapshot(&self) -> HttpResponse {
         match self.admin_call(AdminMsg::Export) {
             Some(snapshot) => HttpResponse::json(snapshot),
@@ -1345,6 +1526,33 @@ impl Worker {
                 }
                 fields.push(("durability".to_string(), object(durability)));
             }
+            if let Some((scheduler, last_tick_micros)) = &stats.scheduler {
+                fields.push((
+                    "scheduler".to_string(),
+                    object(vec![
+                        ("epoch", Value::number_u64(scheduler.epoch)),
+                        ("ticks", Value::number_u64(scheduler.ticks)),
+                        ("last_tick_micros", Value::number_u64(*last_tick_micros)),
+                        (
+                            "rotated_cdn_scripts",
+                            Value::number_u64(scheduler.rotated_cdn_scripts),
+                        ),
+                        ("rotated_paths", Value::number_u64(scheduler.rotated_paths)),
+                        (
+                            "emerged_pixels",
+                            Value::number_u64(scheduler.emerged_pixels),
+                        ),
+                        ("drift_events", Value::number_u64(scheduler.drift_events)),
+                        (
+                            "retention",
+                            object(vec![
+                                ("probes", Value::number_u64(scheduler.retention_probes)),
+                                ("hits", Value::number_u64(scheduler.retention_hits)),
+                            ]),
+                        ),
+                    ]),
+                ));
+            }
         }
         HttpResponse::json(value.render())
     }
@@ -1359,6 +1567,48 @@ impl Worker {
     fn admin_unavailable() -> HttpResponse {
         HttpResponse::error(500, "Internal Server Error", "admin thread unavailable")
     }
+}
+
+/// Whether a request target addresses `/v1/revisions` (with or without a
+/// query string).
+fn is_revisions_target(target: &str) -> bool {
+    target == "/v1/revisions" || target.starts_with("/v1/revisions?")
+}
+
+/// Parse the query of a `/v1/revisions` target: no query lists the ring,
+/// `?diff=a..b` selects a drift diff, anything else is a client error
+/// (the `400` detail string).
+fn parse_revisions_query(target: &str) -> Result<Option<(u64, u64)>, String> {
+    let query = match target.strip_prefix("/v1/revisions") {
+        Some("") => return Ok(None),
+        Some(rest) => rest
+            .strip_prefix('?')
+            .ok_or_else(|| format!("bad target {target:?}"))?,
+        None => return Err(format!("bad target {target:?}")),
+    };
+    let mut range = None;
+    for pair in query.split('&') {
+        let Some((key, value)) = pair.split_once('=') else {
+            return Err(format!("malformed query parameter {pair:?}"));
+        };
+        if key != "diff" {
+            return Err(format!("unknown query parameter {key:?}"));
+        }
+        if range.is_some() {
+            return Err("duplicate diff parameter".to_string());
+        }
+        let Some((from, to)) = value.split_once("..") else {
+            return Err(format!("diff range {value:?} is not of the form a..b"));
+        };
+        let from: u64 = from
+            .parse()
+            .map_err(|_| format!("bad revision version {from:?}"))?;
+        let to: u64 = to
+            .parse()
+            .map_err(|_| format!("bad revision version {to:?}"))?;
+        range = Some((from, to));
+    }
+    Ok(Some(range.ok_or_else(|| "empty query string".to_string())?))
 }
 
 /// Resolve one binary record into the keyed query the table serves.

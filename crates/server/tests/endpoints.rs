@@ -899,6 +899,292 @@ fn durable_server_recovers_observations_after_restart() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A minimal in-test scheduler: each tick learns one fresh tracking chain
+/// and commits, so version and drift advance deterministically without
+/// pulling the real `scheduler` crate into this crate's dev-dependencies.
+struct CountingScheduler {
+    ticks: u64,
+}
+
+impl trackersift_server::SchedulerDriver for CountingScheduler {
+    fn tick(&mut self, writer: &mut trackersift::SifterWriter) -> trackersift_server::TickSummary {
+        let epoch = self.ticks;
+        self.ticks += 1;
+        for _ in 0..5 {
+            writer.observe_parts(
+                &format!("t{epoch}.com"),
+                &format!("px.t{epoch}.com"),
+                &format!("https://pub.com/t{epoch}.js"),
+                &format!("fire{epoch}"),
+                true,
+            );
+        }
+        writer.commit();
+        let version = writer.published_version();
+        let drift_events = writer
+            .revisions()
+            .last()
+            .map_or(0, |revision| revision.changes().len() as u64);
+        trackersift_server::TickSummary {
+            epoch,
+            observations: 5,
+            drift_events,
+            version,
+        }
+    }
+
+    fn stats(&self) -> trackersift_server::SchedulerStats {
+        trackersift_server::SchedulerStats {
+            epoch: self.ticks.saturating_sub(1),
+            ticks: self.ticks,
+            rotated_cdn_scripts: 5,
+            rotated_paths: 2,
+            emerged_pixels: 1,
+            drift_events: 4 * self.ticks,
+            retention_probes: 4,
+            retention_hits: 3,
+        }
+    }
+}
+
+/// `GET /v1/revisions` serves the writer's revision ring — and its drift
+/// diffs — byte-identical to the in-process encodings, in both the JSON
+/// and the `Accept`-negotiated binary framing.
+#[test]
+fn revisions_endpoint_matches_in_process_ring() {
+    use trackersift::frames;
+
+    // The in-process twin: same training, then the same observations the
+    // wire side will ingest.
+    let (mut local, _local_reader) = trained_sifter().into_concurrent();
+    for _ in 0..5 {
+        local.observe_parts(
+            "new.com",
+            "px.new.com",
+            "https://pub.com/n.js",
+            "fire",
+            true,
+        );
+    }
+    local.commit();
+
+    let server = start_server(trained_sifter());
+    let mut client = Client::connect(server.local_addr());
+
+    // Training happened before the concurrent split, so the ring starts
+    // empty at version 1.
+    let (status, body) = client.request("GET", "/v1/revisions", None);
+    assert_eq!(status, 200);
+    assert_eq!(body, r#"{"version":1,"revisions":[]}"#);
+
+    // Ingest the same chain over the wire and commit.
+    let observations: Vec<String> = (0..5)
+        .map(|_| {
+            ObservationMessage::Parts {
+                domain: "new.com".into(),
+                hostname: "px.new.com".into(),
+                script: "https://pub.com/n.js".into(),
+                method: "fire".into(),
+                tracking: true,
+            }
+            .to_json_value()
+            .render()
+        })
+        .collect();
+    let body = format!(r#"{{"observations":[{}]}}"#, observations.join(","));
+    let (status, _) = client.request("POST", "/v1/observations", Some(&body));
+    assert_eq!(status, 200);
+    let (status, _) = client.request("POST", "/v1/commit", None);
+    assert_eq!(status, 200);
+
+    // The served ring equals the in-process encoding byte for byte.
+    let (status, body) = client.request("GET", "/v1/revisions", None);
+    assert_eq!(status, 200);
+    let expected =
+        frames::revision_list_value(local.published_version(), local.revisions()).render();
+    assert_eq!(body, expected);
+    assert!(
+        body.contains(r#""key":"new.com","added":"tracking""#),
+        "{body}"
+    );
+
+    // The drift diff folds the same changes the local ring folds.
+    let local_diff = trackersift::diff_revisions(local.revisions(), 1, 2).expect("local diff");
+    let (status, body) = client.request("GET", "/v1/revisions?diff=1..2", None);
+    assert_eq!(status, 200);
+    assert_eq!(body, frames::revision_diff_value(&local_diff).render());
+
+    // An empty range is legal and empty.
+    let (status, body) = client.request("GET", "/v1/revisions?diff=2..2", None);
+    assert_eq!(status, 200);
+    assert_eq!(body, r#"{"from":2,"to":2,"changes":[]}"#);
+
+    // The binary framing carries the same ring and diff.
+    let (version, revisions) = client.fetch_revisions_binary().expect("binary ring");
+    assert_eq!(version, local.published_version());
+    let shared: Vec<_> = revisions.into_iter().map(std::sync::Arc::new).collect();
+    assert_eq!(
+        frames::encode_revision_list(version, &shared),
+        frames::encode_revision_list(local.published_version(), local.revisions())
+    );
+    let diff = client
+        .fetch_revision_diff_binary(1, 2)
+        .expect("binary diff");
+    assert_eq!(diff, local_diff);
+
+    // The typed client fetch agrees with the raw body.
+    let (version, revisions) = client.fetch_revisions().expect("typed fetch");
+    assert_eq!(version, 2);
+    assert_eq!(revisions.len(), 1);
+    assert_eq!(revisions[0].version(), 2);
+
+    server.shutdown();
+}
+
+/// Hostile revision queries get typed 4xx answers: inverted ranges 400,
+/// ranges outside the bounded ring 404, garbage query strings 400 — and
+/// the method table still answers 405 for non-GET.
+#[test]
+fn revisions_endpoint_rejects_hostile_ranges() {
+    let server = start_server(trained_sifter());
+
+    // Commit once over the wire so the ring holds version 2.
+    let mut client = Client::connect(server.local_addr());
+    let body = format!(
+        r#"{{"observations":[{}]}}"#,
+        ObservationMessage::Parts {
+            domain: "new.com".into(),
+            hostname: "px.new.com".into(),
+            script: "https://pub.com/n.js".into(),
+            method: "fire".into(),
+            tracking: true,
+        }
+        .to_json_value()
+        .render()
+    );
+    client.request("POST", "/v1/observations", Some(&body));
+    client.request("POST", "/v1/commit", None);
+
+    // Errors close the connection, so each case reconnects.
+    let cases: [(&str, u16, &str); 7] = [
+        ("/v1/revisions?diff=2..1", 400, "inverted revision range"),
+        ("/v1/revisions?diff=0..9", 404, "not in the revision ring"),
+        ("/v1/revisions?diff=5..9", 404, "not in the revision ring"),
+        ("/v1/revisions?diff=abc", 400, "not of the form a..b"),
+        ("/v1/revisions?diff=1..2&diff=1..2", 400, "duplicate"),
+        (
+            "/v1/revisions?granularity=Script",
+            400,
+            "unknown query parameter",
+        ),
+        ("/v1/revisions?", 400, "malformed query parameter"),
+    ];
+    for (target, expected_status, needle) in cases {
+        let mut client = Client::connect(server.local_addr());
+        let (status, body) = client.request("GET", target, None);
+        assert_eq!(status, expected_status, "{target}: {body}");
+        assert!(body.contains(needle), "{target}: {body}");
+    }
+
+    // The typed client surfaces the same statuses.
+    let mut client = Client::connect(server.local_addr());
+    match client.fetch_revision_diff(2, 1) {
+        Err(trackersift_server::client::RevisionFetchError::Status(400, detail)) => {
+            assert!(detail.contains("inverted"), "{detail}")
+        }
+        other => panic!("expected a 400, got {other:?}"),
+    }
+
+    // Non-GET methods on the revisions target — query string included —
+    // are 405, not 404.
+    for target in ["/v1/revisions", "/v1/revisions?diff=1..2"] {
+        let mut client = Client::connect(server.local_addr());
+        let (status, body) = client.request("DELETE", target, None);
+        assert_eq!(status, 405, "{target}: {body}");
+    }
+    server.shutdown();
+}
+
+/// `POST /v1/tick` drives an attached `SchedulerDriver` on the admin
+/// thread, `GET /v1/stats` grows a `scheduler` section, and a server
+/// without a scheduler answers 400.
+#[test]
+fn tick_endpoint_drives_the_attached_scheduler() {
+    let (writer, _reader) = trained_sifter().into_concurrent();
+    let server = VerdictServer::start_with_scheduler(
+        writer,
+        ServerConfig {
+            workers: 2,
+            read_timeout: Duration::from_secs(30),
+            ..ServerConfig::ephemeral()
+        },
+        Box::new(CountingScheduler { ticks: 0 }),
+    )
+    .expect("start verdict server with scheduler");
+    let mut client = Client::connect(server.local_addr());
+
+    // Each tick commits one fresh pure-tracking chain: the hierarchy
+    // decides it at domain granularity, so exactly one class flips.
+    let (status, body) = client.request("POST", "/v1/tick", None);
+    assert_eq!(status, 200);
+    assert_eq!(
+        body,
+        r#"{"epoch":0,"observations":5,"drift_events":1,"version":2}"#
+    );
+    let (status, body) = client.request("POST", "/v1/tick", None);
+    assert_eq!(status, 200);
+    assert_eq!(
+        body,
+        r#"{"epoch":1,"observations":5,"drift_events":1,"version":3}"#
+    );
+
+    // The tick's drift is now diffable over the wire.
+    let (status, body) = client.request("GET", "/v1/revisions?diff=2..3", None);
+    assert_eq!(status, 200);
+    assert!(
+        body.contains(r#""key":"t1.com","added":"tracking""#),
+        "{body}"
+    );
+
+    // The stats section reports the driver's cumulative gauges plus the
+    // measured tick duration.
+    let (status, body) = client.request("GET", "/v1/stats", None);
+    assert_eq!(status, 200);
+    let stats = Value::parse(&body).expect("stats json");
+    let scheduler = stats.field("scheduler").expect("scheduler section");
+    let field = |name: &str| {
+        scheduler
+            .field(name)
+            .and_then(|value| value.as_u64())
+            .unwrap_or_else(|error| panic!("scheduler.{name}: {error}"))
+    };
+    assert_eq!(field("epoch"), 1);
+    assert_eq!(field("ticks"), 2);
+    assert_eq!(field("rotated_cdn_scripts"), 5);
+    assert_eq!(field("rotated_paths"), 2);
+    assert_eq!(field("emerged_pixels"), 1);
+    assert_eq!(field("drift_events"), 8);
+    let retention = scheduler.field("retention").expect("retention object");
+    assert_eq!(retention.field("probes").unwrap().as_u64().unwrap(), 4);
+    assert_eq!(retention.field("hits").unwrap().as_u64().unwrap(), 3);
+    // The duration gauge is measured, not golden — it just has to exist.
+    let _ = field("last_tick_micros");
+
+    // A scheduler-less server refuses the tick with a typed 400 and no
+    // scheduler stats section.
+    let plain = start_server(trained_sifter());
+    let mut client = Client::connect(plain.local_addr());
+    let (status, body) = client.request("POST", "/v1/tick", None);
+    assert_eq!(status, 400);
+    assert!(body.contains("no scheduler attached"), "{body}");
+    let mut client = Client::connect(plain.local_addr());
+    let (_, body) = client.request("GET", "/v1/stats", None);
+    let stats = Value::parse(&body).expect("stats json");
+    assert!(stats.field("scheduler").is_err());
+    plain.shutdown();
+    server.shutdown();
+}
+
 /// Deterministic observation tuples from a splitmix-style stream.
 fn observations(count: usize, mut seed: u64) -> Vec<(String, String, String, String, bool)> {
     let mut next = move || {

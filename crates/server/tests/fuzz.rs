@@ -160,6 +160,37 @@ fn handcrafted_malformed_requests_get_4xx_not_a_wedge() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
+    /// Random query strings on `GET /v1/revisions`: every request is
+    /// answered with a typed status — 200 only when the garbage happens to
+    /// spell a valid `diff=a..b` inside the ring, a 4xx otherwise — and
+    /// the pool keeps serving afterwards. The character class is biased
+    /// toward the real query grammar (`diff`, digits, `..`, `&`, `=`) so a
+    /// meaningful fraction of cases lands near the parser's edges instead
+    /// of failing at the first byte.
+    #[test]
+    fn revision_query_garbage_gets_typed_answers(
+        query in "[dif=&.0-9a-z%_]{0,24}",
+    ) {
+        static SERVER: std::sync::OnceLock<VerdictServer> = std::sync::OnceLock::new();
+        let server = SERVER.get_or_init(start_server);
+        let mut client = Client::connect(server.local_addr());
+        let target = format!("/v1/revisions?{query}");
+        let (status, body) = client.request("GET", &target, None);
+        prop_assert!(
+            status == 200 || status == 400 || status == 404,
+            "{target} -> {status}: {body}"
+        );
+        if status == 200 {
+            // Whatever parsed must be a well-formed revision body.
+            prop_assert!(body.starts_with("{\"from\":") || body.starts_with("{\"version\":"), "{body}");
+        } else {
+            prop_assert!(body.contains("error"), "{target} -> {body}");
+        }
+        let mut probe = Client::connect(server.local_addr());
+        let (status, body) = probe.request("GET", "/healthz", None);
+        prop_assert_eq!((status, body.as_str()), (200, "ok"));
+    }
+
     /// Random bytes, random truncations of a valid request, and random
     /// header garbage: every connection gets an answer (or a clean close)
     /// and the pool keeps serving afterwards.

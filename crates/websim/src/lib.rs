@@ -30,16 +30,20 @@
 pub mod distributions;
 pub mod ecosystem;
 pub mod filter_rules;
+pub mod fingerprint;
 pub mod generator;
 pub mod model;
+pub mod mutator;
 pub mod names;
 pub mod profiles;
 pub mod scripts;
 
 pub use ecosystem::{Ecosystem, HostRole, Service, ServiceKind};
+pub use fingerprint::{fingerprint_key, script_fingerprint};
 pub use generator::{CorpusGenerator, CorpusStats};
 pub use model::{
     Feature, FeatureImportance, PageScript, PlannedRequest, Purpose, ScriptArchetype,
     ScriptMethodSpec, ScriptOrigin, WebCorpus, Website,
 };
+pub use mutator::{EcosystemMutator, MutationConfig, MutationReport, ScriptRotation};
 pub use profiles::{CorpusProfile, EcosystemCounts};

@@ -42,11 +42,15 @@ pub use trackersift;
 /// The HTTP/1.1 verdict server over lock-free reader handles.
 pub use trackersift_server;
 
+/// The continuous re-crawl loop over an evolving websim web.
+pub use scheduler;
+
 /// Commonly used items, re-exported for the examples and tests.
 pub mod prelude {
     pub use crawler::{ClusterConfig, CrawlCluster, CrawlDatabase, LoadOptions, PageLoadSimulator};
     pub use filterlist::{FilterEngine, FilterRequest, ListKind, RequestLabel, ResourceType};
     pub use rewriter::{RewriterBuilder, RewrittenUrl, UrlRewriter};
+    pub use scheduler::{Scheduler, SchedulerConfig, ScriptKeying};
     pub use trackersift::{
         Breakage, Classification, CommitStats, Decision, DecisionRequest, DecisionSource,
         Granularity, HierarchicalClassifier, IngestStats, KeyInterner, Labeler, ObserveOutcome,
@@ -54,6 +58,11 @@ pub mod prelude {
         SifterReader, SifterSnapshot, SifterWriter, SnapshotError, Stage, StageTimings, Study,
         StudyConfig, Thresholds, Verdict, VerdictRequest, VerdictTable,
     };
-    pub use trackersift_server::{ServerConfig, VerdictServer};
-    pub use websim::{CorpusGenerator, CorpusProfile, Purpose, ScriptArchetype, WebCorpus};
+    pub use trackersift_server::{
+        SchedulerDriver, SchedulerStats, ServerConfig, TickSummary, VerdictServer,
+    };
+    pub use websim::{
+        CorpusGenerator, CorpusProfile, EcosystemMutator, MutationConfig, Purpose, ScriptArchetype,
+        WebCorpus,
+    };
 }
