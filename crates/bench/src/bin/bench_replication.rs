@@ -1,0 +1,257 @@
+//! Replication benchmark: how much cheaper a delta snapshot is than a
+//! full bootstrap, and how fast a follower catches up, written as a
+//! machine-readable `BENCH_replication.json`.
+//!
+//! Two sections:
+//!
+//! * **catch-up** at 1/2/4 shards — the trained state is partitioned by
+//!   registrable-domain hash, each shard's table exports a full bootstrap
+//!   envelope and (after one more commit of live drift) a single-epoch
+//!   delta via `VerdictTable::delta_since`; a `FollowerState` per shard
+//!   decodes and applies both. Reported per configuration: encoded bytes
+//!   (binary and JSON) and apply latency, sequential and critical-path
+//!   (shards replicate independently, so a fleet's wall-clock is the
+//!   slowest shard). The headline assertion: single-epoch delta bytes are
+//!   **under 10% of the full-snapshot bytes** in every configuration.
+//! * **wire** — one real `VerdictServer` primary and a `ReplicaClient`
+//!   doing its bootstrap sync and a drift sync over loopback HTTP, so the
+//!   JSON carries at least one end-to-end number (connect + fetch +
+//!   parse + apply).
+//!
+//! Scale can be overridden through the environment:
+//!
+//! * `TRACKERSIFT_BENCH_SITES` — number of websites (default 800);
+//! * `TRACKERSIFT_BENCH_OUT` — output path (default
+//!   `BENCH_replication.json`).
+
+use std::time::{Duration, Instant};
+use trackersift::{frames, FollowerState, ShardedWriter, Sifter, SifterReader, Study, StudyConfig};
+use trackersift_bench::env_usize;
+use trackersift_server::client::{ReplicaClient, RetryPolicy};
+use trackersift_server::{ServerConfig, VerdictServer};
+use websim::CorpusProfile;
+
+fn ms(duration: Duration) -> f64 {
+    duration.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let sites = env_usize("TRACKERSIFT_BENCH_SITES", 800);
+    let out_path = std::env::var("TRACKERSIFT_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_replication.json".to_string());
+
+    eprintln!("bench_replication: {sites} sites …");
+    let study = Study::run(StudyConfig {
+        profile: CorpusProfile::paper().with_sites(sites),
+        seed: 2021,
+        ..StudyConfig::default()
+    });
+    let requests = &study.requests;
+    // Train on 98%; the last 2% replays as one epoch of live drift — an
+    // epoch is one re-crawl slice, small next to the accumulated history.
+    let split = requests.len() * 98 / 100;
+    let (historical, live) = requests.split_at(split);
+
+    // ------------------------------------------------------------------
+    // catch-up at 1/2/4 shards
+    // ------------------------------------------------------------------
+    let mut rows = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let mut sharded = ShardedWriter::build(shards, |_| {
+            Sifter::builder()
+                .thresholds(study.config.thresholds)
+                .build()
+        });
+        sharded.observe_all(historical);
+        sharded.commit();
+        let readers: Vec<SifterReader> = (0..shards)
+            .map(|shard| sharded.shard(shard).reader())
+            .collect();
+
+        // Full bootstrap: every shard's complete committed state.
+        let mut full_bin = 0usize;
+        let mut full_json = 0usize;
+        let mut followers: Vec<FollowerState> = Vec::new();
+        let mut bootstrap_times: Vec<Duration> = Vec::new();
+        let mut encoded_fulls: Vec<Vec<u8>> = Vec::new();
+        for reader in &readers {
+            let pin = reader.pin();
+            let full = pin.table().full_snapshot_delta();
+            let bytes = frames::encode_delta_snapshot(&full);
+            full_json += frames::delta_snapshot_value(&full).render().len();
+            full_bin += bytes.len();
+            encoded_fulls.push(bytes);
+        }
+        for bytes in &encoded_fulls {
+            let mut follower = FollowerState::new(None, None);
+            let start = Instant::now();
+            let decoded = frames::decode_delta_snapshot(bytes).expect("decode full");
+            follower.apply(&decoded).expect("apply full");
+            let table = follower.table();
+            bootstrap_times.push(start.elapsed());
+            assert!(table.version() >= 1, "bootstrap produced an empty table");
+            followers.push(follower);
+        }
+        let versions_before = sharded.versions();
+
+        // One epoch of drift: a single commit over the live slice.
+        sharded.observe_all(live);
+        sharded.commit();
+
+        let mut delta_bin = 0usize;
+        let mut delta_json = 0usize;
+        let mut delta_changes = 0usize;
+        let mut delta_times: Vec<Duration> = Vec::new();
+        for (shard, reader) in readers.iter().enumerate() {
+            let pin = reader.pin();
+            let delta = pin
+                .table()
+                .delta_since(versions_before[shard])
+                .expect("single-epoch delta stays inside the ring");
+            delta_changes += delta.changes.len();
+            let bytes = frames::encode_delta_snapshot(&delta);
+            delta_json += frames::delta_snapshot_value(&delta).render().len();
+            delta_bin += bytes.len();
+            let follower = &mut followers[shard];
+            let start = Instant::now();
+            let decoded = frames::decode_delta_snapshot(&bytes).expect("decode delta");
+            follower.apply(&decoded).expect("apply delta");
+            let table = follower.table();
+            delta_times.push(start.elapsed());
+            assert_eq!(
+                table.version(),
+                sharded.versions()[shard],
+                "follower did not land on the primary shard's version"
+            );
+        }
+
+        let ratio = delta_bin as f64 / full_bin.max(1) as f64;
+        // The protocol's reason to exist: tracking one epoch of drift
+        // must cost a small fraction of re-shipping the world.
+        assert!(
+            ratio < 0.10,
+            "single-epoch delta ({delta_bin} B) is not under 10% of a full \
+             bootstrap ({full_bin} B) at {shards} shard(s)"
+        );
+        let bootstrap_total: Duration = bootstrap_times.iter().sum();
+        let bootstrap_critical = bootstrap_times.iter().max().copied().unwrap_or_default();
+        let delta_total: Duration = delta_times.iter().sum();
+        let delta_critical = delta_times.iter().max().copied().unwrap_or_default();
+        eprintln!(
+            "bench_replication: {shards} shard(s): full {full_bin} B, delta {delta_bin} B \
+             ({:.1}% of full), bootstrap {:.3}ms, delta catch-up {:.3}ms (critical path)",
+            ratio * 1e2,
+            ms(bootstrap_critical),
+            ms(delta_critical),
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"shards\": {shards}, ",
+                "\"full_bytes_binary\": {full_bin}, \"full_bytes_json\": {full_json}, ",
+                "\"delta_bytes_binary\": {delta_bin}, \"delta_bytes_json\": {delta_json}, ",
+                "\"delta_changes\": {delta_changes}, ",
+                "\"delta_to_full_ratio\": {ratio:.4}, ",
+                "\"bootstrap_ms_total\": {bootstrap_total:.3}, ",
+                "\"bootstrap_ms_critical_path\": {bootstrap_critical:.3}, ",
+                "\"delta_catchup_ms_total\": {delta_total:.3}, ",
+                "\"delta_catchup_ms_critical_path\": {delta_critical:.3}}}"
+            ),
+            shards = shards,
+            full_bin = full_bin,
+            full_json = full_json,
+            delta_bin = delta_bin,
+            delta_json = delta_json,
+            delta_changes = delta_changes,
+            ratio = ratio,
+            bootstrap_total = ms(bootstrap_total),
+            bootstrap_critical = ms(bootstrap_critical),
+            delta_total = ms(delta_total),
+            delta_critical = ms(delta_critical),
+        ));
+    }
+    let rows_json = rows.join(",\n");
+
+    // ------------------------------------------------------------------
+    // wire: end-to-end bootstrap + drift sync over loopback HTTP
+    // ------------------------------------------------------------------
+    let mut sifter = Sifter::builder()
+        .thresholds(study.config.thresholds)
+        .build();
+    sifter.observe_all(historical);
+    sifter.commit();
+    let (writer, _reader) = sifter.into_concurrent();
+    let server = VerdictServer::start(
+        writer,
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::ephemeral()
+        },
+    )
+    .expect("primary server");
+    let mut replica = ReplicaClient::new(server.local_addr(), RetryPolicy::default(), None, None);
+    let start = Instant::now();
+    let bootstrap = replica.sync().expect("bootstrap sync");
+    let wire_bootstrap = start.elapsed();
+    assert!(bootstrap.full, "first sync must ship the full state");
+    // Drive one epoch of drift the way a production primary receives it:
+    // over HTTP, through POST /v1/observations and /v1/commit.
+    {
+        use trackersift_server::client::Client;
+        let mut client = Client::connect(server.local_addr());
+        let observations: Vec<String> = live
+            .iter()
+            .take(500)
+            .map(|request| {
+                format!(
+                    r#"{{"domain":{:?},"hostname":{:?},"script":{:?},"method":{:?},"tracking":{}}}"#,
+                    request.domain,
+                    request.hostname,
+                    request.initiator_script,
+                    request.initiator_method,
+                    request.is_tracking()
+                )
+            })
+            .collect();
+        let body = format!(r#"{{"observations":[{}]}}"#, observations.join(","));
+        let (status, _) = client.request("POST", "/v1/observations", Some(&body));
+        assert_eq!(status, 200);
+        let (status, _) = client.request("POST", "/v1/commit", None);
+        assert_eq!(status, 200);
+    }
+    let start = Instant::now();
+    let drift = replica.sync().expect("drift sync");
+    let wire_delta = start.elapsed();
+    assert!(!drift.full, "drift sync must travel as a delta");
+    server.shutdown();
+    eprintln!(
+        "bench_replication: wire bootstrap {:.3}ms, wire delta sync {:.3}ms ({} changes)",
+        ms(wire_bootstrap),
+        ms(wire_delta),
+        drift.changes,
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"replication\",\n",
+            "  \"sites\": {sites},\n",
+            "  \"labeled_requests\": {requests},\n",
+            "  \"drift_requests\": {drift_requests},\n",
+            "  \"delta_under_10_percent_of_full\": true,\n",
+            "  \"catch_up\": [\n{rows}\n  ],\n",
+            "  \"wire\": {{\"bootstrap_ms\": {wire_bootstrap:.3}, ",
+            "\"delta_sync_ms\": {wire_delta:.3}, \"delta_changes\": {wire_changes}}}\n",
+            "}}\n"
+        ),
+        sites = sites,
+        requests = requests.len(),
+        drift_requests = live.len(),
+        rows = rows_json,
+        wire_bootstrap = ms(wire_bootstrap),
+        wire_delta = ms(wire_delta),
+        wire_changes = drift.changes,
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    println!("{json}");
+    eprintln!("bench_replication: wrote {out_path}");
+}

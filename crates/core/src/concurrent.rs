@@ -54,12 +54,13 @@
 //! intended mode — and the fallback never runs).
 
 use crate::decision::{Decision, DecisionRequest};
+use crate::intern::FrozenKeys;
 use crate::journal::{DurableDir, Journal, JournalEntry, JournalStats, RecoveryReport};
 use crate::label::LabeledRequest;
 use crate::revision::VerdictRevision;
 use crate::service::{CommitStats, ObserveOutcome, ServiceStats, Sifter, Verdict, VerdictRequest};
 use crate::snapshot::{SifterSnapshot, SnapshotError};
-use crate::table::{ClassTable, VerdictTable};
+use crate::table::{ClassTable, SurrogatePlans, VerdictTable};
 use filterlist::ResourceType;
 use std::io;
 use std::path::PathBuf;
@@ -156,6 +157,7 @@ impl Sifter {
     pub fn into_concurrent(mut self) -> (SifterWriter, SifterReader) {
         let table = Arc::new(self.verdict_table());
         let prev_classes = table.classes().clone();
+        let prev_plans = Arc::clone(table.surrogate_plans());
         let shared = Arc::new(Shared::new(table));
         let reader = SifterReader::register(Arc::clone(&shared));
         (
@@ -166,11 +168,64 @@ impl Sifter {
                 keys_epoch: 0,
                 durable: None,
                 prev_classes,
+                prev_plans,
                 revisions: Vec::new(),
                 revision_capacity: DEFAULT_REVISION_CAPACITY,
             },
             reader,
         )
+    }
+}
+
+/// A standalone publication handle over the same hazard-pointer machinery
+/// the [`SifterWriter`] uses: swap complete [`VerdictTable`]s in, mint
+/// lock-free [`SifterReader`]s out.
+///
+/// This is the primitive a **replica** builds on: a follower that
+/// reconstructs tables from a primary's delta snapshots (rather than from
+/// local commits) still publishes them atomically to any number of serving
+/// threads, with identical pin/reclaim semantics.
+///
+/// ```
+/// use std::sync::Arc;
+/// use trackersift::concurrent::TablePublisher;
+/// use trackersift::{Sifter, VerdictRequest};
+///
+/// let mut sifter = Sifter::builder().build();
+/// sifter.observe_parts("ads.com", "px.ads.com", "https://pub.com/a.js", "send", true);
+/// sifter.commit();
+///
+/// let (publisher, reader) = TablePublisher::new(Arc::new(sifter.verdict_table()));
+/// let query = VerdictRequest::new("ads.com", "px.ads.com", "https://pub.com/a.js", "send");
+/// assert!(reader.verdict(&query).should_block());
+///
+/// sifter.observe_parts("ads.com", "px.ads.com", "https://pub.com/a.js", "send", false);
+/// sifter.commit();
+/// publisher.publish(Arc::new(sifter.verdict_table())); // readers swap atomically
+/// assert_eq!(reader.version(), 2);
+/// ```
+#[derive(Debug)]
+pub struct TablePublisher {
+    shared: Arc<Shared>,
+}
+
+impl TablePublisher {
+    /// Publish `table` as the initial state and mint the first reader.
+    pub fn new(table: Arc<VerdictTable>) -> (TablePublisher, SifterReader) {
+        let shared = Arc::new(Shared::new(table));
+        let reader = SifterReader::register(Arc::clone(&shared));
+        (TablePublisher { shared }, reader)
+    }
+
+    /// Atomically swap `table` in as the current state; readers pinned to
+    /// the previous table finish on it, fresh pins see the new one.
+    pub fn publish(&self, table: Arc<VerdictTable>) {
+        self.shared.publish(table);
+    }
+
+    /// Mint another reader handle (equivalent to cloning any existing one).
+    pub fn reader(&self) -> SifterReader {
+        SifterReader::register(Arc::clone(&self.shared))
     }
 }
 
@@ -217,6 +272,12 @@ pub struct SifterWriter {
     /// The class arrays of the last published table — what the next publish
     /// diffs against to record a [`VerdictRevision`].
     prev_classes: ClassTable,
+    /// The surrogate-plan map of the last published table — diffed by
+    /// `Arc` identity at the next publish to record which plans the commit
+    /// rebuilt ([`VerdictRevision::plans_touched`]). Pointer identity is a
+    /// superset of payload changes: the sifter re-`Arc`s exactly the plans
+    /// its commit rebuilt and shares the rest.
+    prev_plans: Arc<SurrogatePlans>,
     /// The bounded revision ring, ascending by published version. A
     /// snapshot (`Arc` clones) is attached to every published table.
     revisions: Vec<Arc<VerdictRevision>>,
@@ -228,6 +289,62 @@ pub struct SifterWriter {
 /// drift history `GET /v1/revisions` can serve; tune with
 /// [`SifterWriter::set_revision_capacity`].
 pub const DEFAULT_REVISION_CAPACITY: usize = 64;
+
+/// The script keys whose surrogate plan differs between two published plan
+/// maps, by `Arc` identity — exactly the plans the intervening commit
+/// rebuilt (the sifter shares untouched plans pointer-for-pointer).
+/// Resolved to sorted key strings through the table's frozen keys.
+fn plans_touched_between(
+    old: &SurrogatePlans,
+    new: &SurrogatePlans,
+    keys: &FrozenKeys,
+) -> Vec<Arc<str>> {
+    let mut touched = Vec::new();
+    for (key, plan) in new {
+        let same = old
+            .get(key)
+            .is_some_and(|previous| Arc::ptr_eq(previous, plan));
+        if !same {
+            if let Some(string) = keys.shared_string_for_id(key.index() as u32) {
+                touched.push(string);
+            }
+        }
+    }
+    for key in old.keys() {
+        if !new.contains_key(key) {
+            if let Some(string) = keys.shared_string_for_id(key.index() as u32) {
+                touched.push(string);
+            }
+        }
+    }
+    touched.sort();
+    touched
+}
+
+/// Append `revision` to a bounded ring, overriding an existing entry with
+/// the same (newest) version and ignoring stale out-of-order versions —
+/// the one install path both live publishes and journal recovery use, so
+/// persisted ring records and recomputed ones cannot double up.
+fn install_revision(
+    ring: &mut Vec<Arc<VerdictRevision>>,
+    revision: Arc<VerdictRevision>,
+    capacity: usize,
+) {
+    match ring.last() {
+        Some(last) if last.version() == revision.version() => {
+            let slot = ring.last_mut().expect("ring has a last entry");
+            *slot = revision;
+            return;
+        }
+        Some(last) if last.version() > revision.version() => return,
+        _ => {}
+    }
+    if ring.len() >= capacity {
+        let excess = ring.len() + 1 - capacity;
+        ring.drain(..excess);
+    }
+    ring.push(revision);
+}
 
 impl SifterWriter {
     /// Ingest one labeled request (buffered until the next
@@ -333,6 +450,18 @@ impl SifterWriter {
         }
         let stats = self.sifter.commit();
         self.publish_current(true);
+        // Persist the ring entry the publish just recorded, so a restarted
+        // primary rebuilds its pre-crash diff history instead of collapsing
+        // it. Derivable from the fold, so a torn tail here only costs the
+        // persisted copy — recovery recomputes the same revision.
+        if self.durable.is_some() {
+            if let Some(revision) = self.revisions.last() {
+                let entry = JournalEntry::Revision {
+                    revision: (**revision).clone(),
+                };
+                self.journal_record(entry);
+            }
+        }
         stats
     }
 
@@ -388,6 +517,18 @@ impl SifterWriter {
         report.replayed_records = replay.records;
         report.replayed_commits = replay.commits;
         report.torn_bytes = replay.torn_bytes;
+        // Rebuild the revision ring alongside the state: persisted ring
+        // records install directly (checkpoint seeds + per-commit records),
+        // and every replayed commit marker *recomputes* its revision from
+        // the replayed fold — so a torn-off revision record costs nothing,
+        // and `?diff=` spans from before the crash still answer.
+        let mut ring: Vec<Arc<VerdictRevision>> = Vec::new();
+        let mut prev_classes = self.prev_classes.clone();
+        let mut prev_plans = Arc::clone(&self.prev_plans);
+        // The published version the journal says the recovered state has;
+        // used to rebase the version floor so versions (and the ring) stay
+        // continuous across the restart instead of resetting.
+        let mut journal_version: Option<u64> = None;
         for entry in entries {
             match entry {
                 JournalEntry::Parts {
@@ -415,13 +556,42 @@ impl SifterWriter {
                         &method,
                     );
                 }
-                JournalEntry::Commit { .. } => {
+                JournalEntry::Commit { version } => {
                     self.sifter.commit();
+                    let table = self.sifter.verdict_table();
+                    let changes = table.classes().changes_since(&prev_classes, table.keys());
+                    let plans_touched =
+                        plans_touched_between(&prev_plans, table.surrogate_plans(), table.keys());
+                    prev_classes = table.classes().clone();
+                    prev_plans = Arc::clone(table.surrogate_plans());
+                    install_revision(
+                        &mut ring,
+                        Arc::new(VerdictRevision::with_plans(version, changes, plans_touched)),
+                        self.revision_capacity,
+                    );
+                    journal_version = Some(version);
+                }
+                JournalEntry::Revision { revision } => {
+                    journal_version = Some(journal_version.unwrap_or(0).max(revision.version()));
+                    install_revision(&mut ring, Arc::new(revision), self.revision_capacity);
                 }
             }
         }
         if report.replayed_records > 0 {
-            self.publish_current(true);
+            self.revisions = ring;
+            // Rebase the floor so the recovered state publishes at the
+            // version the journal recorded for it — continuous with the
+            // pre-crash numbering the ring entries carry.
+            if let Some(version) = journal_version {
+                self.version_floor = version.saturating_sub(self.sifter.commits());
+                if report.restored_snapshot {
+                    // The interner was rebuilt from the snapshot, so ids may
+                    // differ from the pre-crash epoch; stamp the epoch with
+                    // the (rebased) version the restore published at.
+                    self.keys_epoch = self.version_floor + 1;
+                }
+            }
+            self.publish_current(false);
         }
         self.durable = Some(Durable {
             dir,
@@ -457,6 +627,15 @@ impl SifterWriter {
         durable.base_stats.accumulate(durable.journal.stats());
         durable.base_stats.rotations += 1;
         durable.journal = fresh;
+        // Seed the fresh generation with the current revision ring, so a
+        // boot from this generation still answers `?diff=` spans that
+        // predate the checkpoint (the snapshot alone carries no history).
+        for revision in &self.revisions {
+            let _ = durable.journal.append(&JournalEntry::Revision {
+                revision: (**revision).clone(),
+            });
+        }
+        let _ = durable.journal.sync();
         Ok(durable.dir.generation())
     }
 
@@ -507,14 +686,20 @@ impl SifterWriter {
             let changes = table
                 .classes()
                 .changes_since(&self.prev_classes, table.keys());
-            if self.revisions.len() >= self.revision_capacity {
-                let excess = self.revisions.len() + 1 - self.revision_capacity;
-                self.revisions.drain(..excess);
-            }
-            self.revisions
-                .push(Arc::new(VerdictRevision::new(table.version(), changes)));
+            let plans_touched =
+                plans_touched_between(&self.prev_plans, table.surrogate_plans(), table.keys());
+            install_revision(
+                &mut self.revisions,
+                Arc::new(VerdictRevision::with_plans(
+                    table.version(),
+                    changes,
+                    plans_touched,
+                )),
+                self.revision_capacity,
+            );
         }
         self.prev_classes = table.classes().clone();
+        self.prev_plans = Arc::clone(table.surrogate_plans());
         table.set_revisions(self.revisions.clone());
         self.shared.publish(Arc::new(table));
     }
@@ -1068,12 +1253,15 @@ mod tests {
                 true,
             );
             let stats = writer.journal_stats().expect("journal stats");
-            assert_eq!(stats.appended, 3, "2 observations + 1 commit marker");
-            assert_eq!(stats.synced, 3);
+            assert_eq!(
+                stats.appended, 4,
+                "2 observations + 1 commit marker + 1 ring record"
+            );
+            assert_eq!(stats.synced, 4);
         }
         let (mut writer, reader) = Sifter::builder().build_concurrent();
         let report = writer.open_durable(&dir, 1).expect("recover");
-        assert_eq!(report.replayed_records, 3);
+        assert_eq!(report.replayed_records, 4);
         assert_eq!(report.replayed_commits, 1);
         assert_eq!(report.torn_bytes, 0);
         // The committed observation serves again; the uncommitted one is
@@ -1102,15 +1290,111 @@ mod tests {
             assert_eq!(writer.durable_generation(), Some(1));
             let stats = writer.journal_stats().expect("journal stats");
             assert_eq!(stats.rotations, 1);
-            assert_eq!(stats.bytes, 0, "fresh generation journal is empty");
+            assert!(
+                stats.bytes > 0,
+                "fresh generation journal holds the seeded revision ring"
+            );
         }
         let (mut writer, reader) = Sifter::builder().build_concurrent();
         let report = writer.open_durable(&dir, 4).expect("reboot");
         assert!(report.restored_snapshot);
         assert_eq!(report.snapshot_observations, 1);
-        assert_eq!(report.replayed_records, 0);
+        assert_eq!(
+            report.replayed_records, 1,
+            "the seeded ring record replays; no observations do"
+        );
         assert!(reader.verdict(&block_query()).should_block());
         assert_eq!(writer.sifter().pending(), 0);
+        // The ring survived the checkpoint + restart: versions stay
+        // continuous and the pre-crash span still answers.
+        assert_eq!(writer.published_version(), 1);
+        assert_eq!(writer.revisions().len(), 1);
+        assert_eq!(writer.revisions()[0].version(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_rebuilds_the_revision_ring_with_continuous_versions() {
+        let dir = temp_dir("ring");
+        {
+            let (mut writer, _reader) = Sifter::builder().build_concurrent();
+            writer.open_durable(&dir, 1).expect("open durable");
+            for i in 0..3 {
+                writer.observe_parts(
+                    &format!("d{i}.com"),
+                    &format!("h.d{i}.com"),
+                    "https://pub.com/s.js",
+                    "m",
+                    true,
+                );
+                writer.commit();
+            }
+            assert_eq!(writer.published_version(), 3);
+            assert_eq!(writer.revisions().len(), 3);
+            // The process "crashes" here: drop without shutdown.
+        }
+        let (mut writer, _reader) = Sifter::builder().build_concurrent();
+        writer.open_durable(&dir, 1).expect("recover");
+        assert_eq!(
+            writer.published_version(),
+            3,
+            "versions continue the pre-crash numbering"
+        );
+        let versions: Vec<u64> = writer.revisions().iter().map(|r| r.version()).collect();
+        assert_eq!(
+            versions,
+            vec![1, 2, 3],
+            "the ring is rebuilt, not collapsed"
+        );
+        let diff = crate::revision::diff_revisions(writer.revisions(), 0, 3).expect("full span");
+        assert_eq!(
+            diff.changes.len(),
+            3,
+            "one pure-tracking domain added per commit across the span"
+        );
+        // New commits keep extending the same numbering.
+        writer.observe_parts("d9.com", "h.d9.com", "https://pub.com/s.js", "m", true);
+        writer.commit();
+        assert_eq!(writer.published_version(), 4);
+        assert_eq!(writer.revisions().last().expect("ring entry").version(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_seeds_the_ring_into_the_next_generation() {
+        let dir = temp_dir("ring-checkpoint");
+        {
+            let (mut writer, _reader) = Sifter::builder().build_concurrent();
+            writer.open_durable(&dir, 1).expect("open durable");
+            for i in 0..2 {
+                writer.observe_parts(
+                    &format!("d{i}.com"),
+                    &format!("h.d{i}.com"),
+                    "https://pub.com/s.js",
+                    "m",
+                    true,
+                );
+                writer.commit();
+            }
+            writer.checkpoint().expect("checkpoint");
+            // One more commit after the checkpoint, then crash.
+            writer.observe_parts("d2.com", "h.d2.com", "https://pub.com/s.js", "m", true);
+            writer.commit();
+        }
+        let (mut writer, _reader) = Sifter::builder().build_concurrent();
+        let report = writer.open_durable(&dir, 1).expect("recover");
+        assert!(report.restored_snapshot);
+        assert_eq!(writer.published_version(), 3);
+        let versions: Vec<u64> = writer.revisions().iter().map(|r| r.version()).collect();
+        assert_eq!(
+            versions,
+            vec![1, 2, 3],
+            "pre-checkpoint ring entries survive via the seeded records"
+        );
+        assert!(
+            crate::revision::diff_revisions(writer.revisions(), 0, 3).is_ok(),
+            "a span predating the checkpoint still answers"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

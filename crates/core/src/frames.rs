@@ -56,8 +56,17 @@
 //! `new class code u8` (`0` absent, `1` tracking, `2` functional, `3`
 //! mixed) and the `u32`-length-prefixed key string; decoders reject codes
 //! that encode no transition (identical old/new, or both absent).
+//!
+//! # Delta-snapshot frames
+//!
+//! The replication endpoint (`GET /v1/snapshot?since=v`) ships
+//! [`DeltaSnapshot`]s in both encodings — [`delta_snapshot_value`] /
+//! [`encode_delta_snapshot`] and their decoders — reusing the change and
+//! surrogate-plan codecs above, so the bytes a replica applies are decoded
+//! by the exact inverses of what the primary rendered.
 
 use crate::decision::{Decision, DecisionSource};
+use crate::follower::DeltaSnapshot;
 use crate::hierarchy::Granularity;
 use crate::ratio::Classification;
 use crate::revision::{ChangeKind, RevisionChange, RevisionDiff, VerdictRevision};
@@ -892,6 +901,182 @@ pub fn decode_revision_diff(bytes: &[u8]) -> Result<RevisionDiff, FrameError> {
     Ok(RevisionDiff { from, to, changes })
 }
 
+// ---------------------------------------------------------------------
+// Delta-snapshot encoding (replica state transfer)
+// ---------------------------------------------------------------------
+
+/// Frame kind byte of a binary delta-snapshot body (`?since=` hit).
+pub const SNAPSHOT_KIND_DELTA: u8 = 0x12;
+/// Frame kind byte of a binary full-snapshot body (bootstrap / `410 Gone`).
+pub const SNAPSHOT_KIND_FULL: u8 = 0x13;
+
+/// The `format` discriminator of a JSON delta-snapshot envelope.
+pub const DELTA_FORMAT: &str = "trackersift.delta";
+
+/// Encode a [`DeltaSnapshot`] as its canonical JSON envelope: a `kind`
+/// discriminator (`"delta"` carries `from`, `"full"` does not), the target
+/// `to` version with its `committed` / `residue` counters, the net
+/// changes, and one `{script, plan}` row per touched surrogate plan
+/// (`plan` is `null` when the script no longer has one).
+pub fn delta_snapshot_value(snapshot: &DeltaSnapshot) -> Value {
+    let mut fields = vec![("format", Value::String(DELTA_FORMAT.to_string()))];
+    match snapshot.since {
+        Some(from) => {
+            fields.push(("kind", Value::String("delta".to_string())));
+            fields.push(("from", Value::number_u64(from)));
+        }
+        None => fields.push(("kind", Value::String("full".to_string()))),
+    }
+    fields.push(("to", Value::number_u64(snapshot.to)));
+    fields.push(("committed", Value::number_u64(snapshot.committed)));
+    fields.push(("residue", Value::number_u64(snapshot.residue)));
+    fields.push((
+        "changes",
+        Value::Array(snapshot.changes.iter().map(change_value).collect()),
+    ));
+    fields.push((
+        "plans",
+        Value::Array(
+            snapshot
+                .plans
+                .iter()
+                .map(|(script, plan)| {
+                    object(vec![
+                        ("script", Value::String(script.to_string())),
+                        (
+                            "plan",
+                            match plan {
+                                Some(plan) => surrogate_value(plan),
+                                None => Value::Null,
+                            },
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    object(fields)
+}
+
+/// Decode a JSON delta-snapshot envelope.
+pub fn delta_snapshot_from_value(value: &Value) -> Result<DeltaSnapshot, JsonError> {
+    let format = value.field("format")?.as_str()?;
+    if format != DELTA_FORMAT {
+        return err(format!("unknown snapshot format {format:?}"));
+    }
+    let since = match value.field("kind")?.as_str()? {
+        "delta" => Some(value.field("from")?.as_u64()?),
+        "full" => None,
+        other => return err(format!("unknown snapshot kind {other:?}")),
+    };
+    let changes = value
+        .field("changes")?
+        .as_array()?
+        .iter()
+        .map(change_from_value)
+        .collect::<Result<Vec<_>, _>>()?;
+    let plans = value
+        .field("plans")?
+        .as_array()?
+        .iter()
+        .map(|row| {
+            let script: Arc<str> = row.field("script")?.as_str()?.into();
+            let plan = match row.field("plan")? {
+                Value::Null => None,
+                plan => Some(Arc::new(surrogate_from_value(plan)?)),
+            };
+            Ok((script, plan))
+        })
+        .collect::<Result<Vec<_>, JsonError>>()?;
+    Ok(DeltaSnapshot {
+        since,
+        to: value.field("to")?.as_u64()?,
+        committed: value.field("committed")?.as_u64()?,
+        residue: value.field("residue")?.as_u64()?,
+        changes,
+        plans,
+    })
+}
+
+/// Encode a [`DeltaSnapshot`] as its binary body: `proto u8`, kind byte
+/// ([`SNAPSHOT_KIND_DELTA`] carries `from u64`, [`SNAPSHOT_KIND_FULL`]
+/// does not), `to u64`, `committed u64`, `residue u64`, `change count u32`
+/// + changes, `plan count u32` + per plan the `u32`-prefixed script key,
+///   a presence byte, and (when present) the `u32`-length-prefixed
+///   surrogate payload ([`encode_surrogate_payload`]).
+pub fn encode_delta_snapshot(snapshot: &DeltaSnapshot) -> Vec<u8> {
+    let mut out = Vec::with_capacity(40 + snapshot.changes.len() * 16);
+    out.push(PROTO_VERSION);
+    match snapshot.since {
+        Some(from) => {
+            out.push(SNAPSHOT_KIND_DELTA);
+            out.extend_from_slice(&from.to_le_bytes());
+        }
+        None => out.push(SNAPSHOT_KIND_FULL),
+    }
+    out.extend_from_slice(&snapshot.to.to_le_bytes());
+    out.extend_from_slice(&snapshot.committed.to_le_bytes());
+    out.extend_from_slice(&snapshot.residue.to_le_bytes());
+    out.extend_from_slice(&(snapshot.changes.len() as u32).to_le_bytes());
+    for change in &snapshot.changes {
+        put_change(&mut out, change);
+    }
+    out.extend_from_slice(&(snapshot.plans.len() as u32).to_le_bytes());
+    for (script, plan) in &snapshot.plans {
+        put_bytes(&mut out, script.as_bytes());
+        match plan {
+            Some(plan) => {
+                out.push(1);
+                put_bytes(&mut out, &encode_surrogate_payload(plan));
+            }
+            None => out.push(0),
+        }
+    }
+    out
+}
+
+/// Decode a binary delta-snapshot body.
+pub fn decode_delta_snapshot(bytes: &[u8]) -> Result<DeltaSnapshot, FrameError> {
+    let mut reader = FrameReader::new(bytes);
+    let proto = reader.u8()?;
+    if proto != PROTO_VERSION {
+        return Err(FrameError(format!("unsupported protocol version {proto}")));
+    }
+    let since = match reader.u8()? {
+        SNAPSHOT_KIND_DELTA => Some(reader.u64()?),
+        SNAPSHOT_KIND_FULL => None,
+        other => return Err(FrameError(format!("unknown snapshot kind {other:#04x}"))),
+    };
+    let to = reader.u64()?;
+    let committed = reader.u64()?;
+    let residue = reader.u64()?;
+    let change_count = reader.u32()? as usize;
+    let mut changes = Vec::with_capacity(change_count.min(reader.remaining() / 7));
+    for _ in 0..change_count {
+        changes.push(read_change(&mut reader)?);
+    }
+    let plan_count = reader.u32()? as usize;
+    let mut plans = Vec::with_capacity(plan_count.min(reader.remaining() / 9));
+    for _ in 0..plan_count {
+        let script: Arc<str> = reader.string()?.into();
+        let plan = match reader.u8()? {
+            0 => None,
+            1 => Some(Arc::new(decode_surrogate_payload(reader.bytes()?)?)),
+            other => return Err(FrameError(format!("unknown plan presence byte {other}"))),
+        };
+        plans.push((script, plan));
+    }
+    reader.finish()?;
+    Ok(DeltaSnapshot {
+        since,
+        to,
+        committed,
+        residue,
+        changes,
+        plans,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1122,6 +1307,90 @@ mod tests {
         let mut padded = payload.clone();
         padded.push(0);
         assert!(decode_revision_diff(&padded).is_err());
+    }
+
+    fn sample_snapshots() -> Vec<DeltaSnapshot> {
+        use Classification::*;
+        let changes = vec![
+            RevisionChange::new(Granularity::Domain, "ads.com", ChangeKind::Added(Tracking)),
+            RevisionChange::new(
+                Granularity::Method,
+                "https://pub.com/mixed.js :: track",
+                ChangeKind::Flipped(Mixed, Tracking),
+            ),
+        ];
+        vec![
+            DeltaSnapshot {
+                since: Some(3),
+                to: 5,
+                committed: 120,
+                residue: 7,
+                changes: changes.clone(),
+                plans: vec![
+                    (
+                        "https://pub.com/mixed.js".into(),
+                        Some(Arc::new(sample_surrogate())),
+                    ),
+                    ("https://pub.com/stale.js".into(), None),
+                ],
+            },
+            DeltaSnapshot {
+                since: None,
+                to: 5,
+                committed: 120,
+                residue: 7,
+                changes,
+                plans: vec![(
+                    "https://pub.com/mixed.js".into(),
+                    Some(Arc::new(sample_surrogate())),
+                )],
+            },
+        ]
+    }
+
+    #[test]
+    fn delta_snapshots_round_trip_both_encodings() {
+        for snapshot in sample_snapshots() {
+            let text = delta_snapshot_value(&snapshot).render();
+            let back = delta_snapshot_from_value(&Value::parse(&text).unwrap()).expect("json");
+            assert_eq!(back, snapshot);
+            assert_eq!(delta_snapshot_value(&back).render(), text);
+
+            let payload = encode_delta_snapshot(&snapshot);
+            assert_eq!(decode_delta_snapshot(&payload).unwrap(), snapshot);
+            for cut in 0..payload.len() {
+                assert!(decode_delta_snapshot(&payload[..cut]).is_err());
+            }
+            let mut padded = payload.clone();
+            padded.push(0);
+            assert!(decode_delta_snapshot(&padded).is_err());
+        }
+    }
+
+    #[test]
+    fn hostile_delta_snapshots_are_rejected() {
+        let snapshot = &sample_snapshots()[0];
+        let mut bad = encode_delta_snapshot(snapshot);
+        bad[0] = 9; // protocol version
+        assert!(decode_delta_snapshot(&bad).is_err());
+        let mut bad = encode_delta_snapshot(snapshot);
+        bad[1] = 0x7f; // kind byte
+        assert!(decode_delta_snapshot(&bad).is_err());
+        // A revision-diff body is not a snapshot body.
+        let ring = sample_ring();
+        let diff = encode_revision_diff(&crate::revision::diff_revisions(&ring, 2, 5).unwrap());
+        assert!(decode_delta_snapshot(&diff).is_err());
+        for hostile in [
+            r#"{"format":"other","kind":"full","to":1,"committed":0,"residue":0,"changes":[],"plans":[]}"#,
+            r#"{"format":"trackersift.delta","kind":"half","to":1,"committed":0,"residue":0,"changes":[],"plans":[]}"#,
+            r#"{"format":"trackersift.delta","kind":"delta","to":1,"committed":0,"residue":0,"changes":[],"plans":[]}"#,
+        ] {
+            let value = Value::parse(hostile).unwrap();
+            assert!(
+                delta_snapshot_from_value(&value).is_err(),
+                "accepted {hostile}"
+            );
+        }
     }
 
     #[test]

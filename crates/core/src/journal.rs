@@ -29,6 +29,7 @@
 //! | `1` | [`JournalEntry::Parts`] | 4 strings + `u8` tracking flag |
 //! | `2` | [`JournalEntry::Url`] | url, source hostname, resource-type option name, script, method |
 //! | `3` | [`JournalEntry::Commit`] | `u64` published version |
+//! | `4` | [`JournalEntry::Revision`] | `u64` version + per-key class changes + touched plan keys |
 //!
 //! # Torn-write recovery
 //!
@@ -44,6 +45,9 @@
 //! property by replaying journals truncated at *every* byte offset.
 
 use crate::failpoint;
+use crate::hierarchy::Granularity;
+use crate::ratio::Classification;
+use crate::revision::{ChangeKind, RevisionChange, VerdictRevision};
 use filterlist::tokens::fnv1a64;
 use filterlist::ResourceType;
 use std::fs::{File, OpenOptions};
@@ -57,6 +61,27 @@ const MAX_PAYLOAD_BYTES: u32 = 16 * 1024 * 1024;
 const KIND_PARTS: u8 = 1;
 const KIND_URL: u8 = 2;
 const KIND_COMMIT: u8 = 3;
+const KIND_REVISION: u8 = 4;
+
+/// Wire code of an optional classification (`0` = absent / not a member).
+fn class_code(class: Option<Classification>) -> u8 {
+    match class {
+        None => 0,
+        Some(Classification::Tracking) => 1,
+        Some(Classification::Functional) => 2,
+        Some(Classification::Mixed) => 3,
+    }
+}
+
+fn class_of_code(code: u8) -> Option<Option<Classification>> {
+    match code {
+        0 => Some(None),
+        1 => Some(Some(Classification::Tracking)),
+        2 => Some(Some(Classification::Functional)),
+        3 => Some(Some(Classification::Mixed)),
+        _ => None,
+    }
+}
 
 /// One replayed journal record, in append order.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,6 +121,16 @@ pub enum JournalEntry {
     Commit {
         /// The published table version this commit produced.
         version: u64,
+    },
+    /// A revision-ring entry: the per-key class changes (and touched
+    /// surrogate plans) one commit produced. Written after each commit's
+    /// fold, and re-seeded into a fresh generation's journal by
+    /// [`SifterWriter::checkpoint`](crate::concurrent::SifterWriter::checkpoint),
+    /// so a restarted primary still answers `?diff=` spans from before the
+    /// crash instead of collapsing its history to one recovery revision.
+    Revision {
+        /// The recorded revision, exactly as the ring held it.
+        revision: VerdictRevision,
     },
 }
 
@@ -551,6 +586,21 @@ fn encode_payload(entry: &JournalEntry) -> Vec<u8> {
             out.push(KIND_COMMIT);
             out.extend_from_slice(&version.to_le_bytes());
         }
+        JournalEntry::Revision { revision } => {
+            out.push(KIND_REVISION);
+            out.extend_from_slice(&revision.version().to_le_bytes());
+            out.extend_from_slice(&(revision.changes().len() as u32).to_le_bytes());
+            for change in revision.changes() {
+                out.push(change.granularity.index() as u8);
+                out.push(class_code(change.kind.old_class()));
+                out.push(class_code(change.kind.new_class()));
+                push_string(&mut out, &change.key);
+            }
+            out.extend_from_slice(&(revision.plans_touched().len() as u32).to_le_bytes());
+            for script in revision.plans_touched() {
+                push_string(&mut out, script);
+            }
+        }
     }
     out
 }
@@ -599,6 +649,27 @@ fn decode_payload(payload: &[u8]) -> Option<JournalEntry> {
         KIND_COMMIT => JournalEntry::Commit {
             version: reader.u64().ok()?,
         },
+        KIND_REVISION => {
+            let version = reader.u64().ok()?;
+            let change_count = reader.u32().ok()?;
+            let mut changes = Vec::new();
+            for _ in 0..change_count {
+                let granularity = *Granularity::ALL.get(reader.u8().ok()? as usize)?;
+                let old = class_of_code(reader.u8().ok()?)?;
+                let new = class_of_code(reader.u8().ok()?)?;
+                let kind = ChangeKind::of(old, new)?;
+                let key = reader.string().ok()?.to_string();
+                changes.push(RevisionChange::new(granularity, key, kind));
+            }
+            let plan_count = reader.u32().ok()?;
+            let mut plans_touched: Vec<std::sync::Arc<str>> = Vec::new();
+            for _ in 0..plan_count {
+                plans_touched.push(std::sync::Arc::from(reader.string().ok()?));
+            }
+            JournalEntry::Revision {
+                revision: VerdictRevision::with_plans(version, changes, plans_touched),
+            }
+        }
         _ => return None,
     };
     reader.finish().ok()?;
@@ -643,6 +714,29 @@ mod tests {
                 method: "beacon".into(),
             },
             JournalEntry::Commit { version: 7 },
+            JournalEntry::Revision {
+                revision: VerdictRevision::with_plans(
+                    7,
+                    vec![
+                        RevisionChange::new(
+                            Granularity::Domain,
+                            "d1.com",
+                            ChangeKind::Added(Classification::Mixed),
+                        ),
+                        RevisionChange::new(
+                            Granularity::Script,
+                            "https://pub.com/s1.js",
+                            ChangeKind::Flipped(Classification::Tracking, Classification::Mixed),
+                        ),
+                        RevisionChange::new(
+                            Granularity::Method,
+                            "https://pub.com/s1.js :: send",
+                            ChangeKind::Removed(Classification::Functional),
+                        ),
+                    ],
+                    vec![std::sync::Arc::from("https://pub.com/s1.js")],
+                ),
+            },
         ];
         {
             let mut journal = Journal::open(&path, 1000).expect("open");
@@ -650,12 +744,12 @@ mod tests {
                 journal.append(entry).expect("append");
             }
             journal.sync().expect("sync");
-            assert_eq!(journal.stats().appended, 3);
-            assert_eq!(journal.stats().synced, 3);
+            assert_eq!(journal.stats().appended, 4);
+            assert_eq!(journal.stats().synced, 4);
         }
         let (replayed, report) = Journal::replay(&path).expect("replay");
         assert_eq!(replayed, entries);
-        assert_eq!(report.records, 3);
+        assert_eq!(report.records, 4);
         assert_eq!(report.commits, 1);
         assert_eq!(report.torn_bytes, 0);
         std::fs::remove_file(&path).ok();

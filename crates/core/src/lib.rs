@@ -93,6 +93,7 @@ pub mod callstack;
 pub mod concurrent;
 pub mod decision;
 pub mod failpoint;
+pub mod follower;
 pub mod frames;
 pub mod hierarchy;
 pub mod intern;
@@ -106,6 +107,7 @@ pub mod report;
 pub mod revision;
 pub mod sensitivity;
 pub mod service;
+pub mod shard;
 pub mod snapshot;
 pub mod stage;
 pub mod surrogate;
@@ -116,8 +118,9 @@ mod testutil;
 
 pub use breakage::{analyze_breakage, Breakage, BreakageRow, BreakageStudy};
 pub use callstack::{analyze_mixed_methods, CallGraph, CallGraphNode, CallStackAnalysis};
-pub use concurrent::{PinnedTable, SifterReader, SifterWriter};
+pub use concurrent::{PinnedTable, SifterReader, SifterWriter, TablePublisher};
 pub use decision::{Decision, DecisionRequest, DecisionSource, KeyedRequest};
+pub use follower::{ApplyError, DeltaSnapshot, FollowerState};
 pub use frames::{FrameError, FrameReader, SurrogateFrames};
 pub use hierarchy::{
     ClassCounts, Granularity, HierarchicalClassifier, HierarchyResult, LevelResult, ResourceEntry,
@@ -134,8 +137,8 @@ pub use pipeline::{
 pub use ratio::{Classification, Counts, Thresholds};
 pub use report::RatioHistogram;
 pub use revision::{
-    compose, diff_revisions, ChangeKind, RevisionChange, RevisionDiff, RevisionRangeError,
-    VerdictRevision,
+    compose, diff_revisions, plans_touched_in_span, ChangeKind, RevisionChange, RevisionDiff,
+    RevisionRangeError, VerdictRevision,
 };
 pub use rewriter::{RewriterBuilder, RewrittenUrl, UrlRewriter};
 pub use sensitivity::{SensitivityPoint, SensitivitySweep};
@@ -143,6 +146,7 @@ pub use service::{
     CommitStats, IngestStats, ObserveOutcome, ServiceStats, Sifter, SifterBuilder, Verdict,
     VerdictRequest,
 };
+pub use shard::{shard_index, ShardedReader, ShardedWriter};
 pub use snapshot::{SifterSnapshot, SnapshotError};
 pub use stage::{Stage, StageRunner, StageTiming, StageTimings};
 pub use surrogate::{generate_surrogates, MethodAction, SurrogateScript};

@@ -144,14 +144,35 @@ pub(crate) fn sort_changes(changes: &mut [RevisionChange]) {
 pub struct VerdictRevision {
     version: u64,
     changes: Vec<RevisionChange>,
+    /// Script keys whose surrogate plan was rebuilt by this commit.
+    /// Plans embed per-method counts, so they can change *without* any
+    /// class transition; delta snapshots use this set to know which
+    /// plans to re-ship. Sorted, deduplicated.
+    plans_touched: Vec<Arc<str>>,
 }
 
 impl VerdictRevision {
     /// A revision from explicit parts; changes are sorted into the
     /// canonical (granularity, key) order.
-    pub fn new(version: u64, mut changes: Vec<RevisionChange>) -> Self {
+    pub fn new(version: u64, changes: Vec<RevisionChange>) -> Self {
+        VerdictRevision::with_plans(version, changes, Vec::new())
+    }
+
+    /// A revision that also records which scripts' surrogate plans the
+    /// commit rebuilt (see [`VerdictRevision::plans_touched`]).
+    pub fn with_plans(
+        version: u64,
+        mut changes: Vec<RevisionChange>,
+        mut plans_touched: Vec<Arc<str>>,
+    ) -> Self {
         sort_changes(&mut changes);
-        VerdictRevision { version, changes }
+        plans_touched.sort();
+        plans_touched.dedup();
+        VerdictRevision {
+            version,
+            changes,
+            plans_touched,
+        }
     }
 
     /// The published table version this revision's commit produced.
@@ -162,6 +183,13 @@ impl VerdictRevision {
     /// The per-key transitions, in canonical order.
     pub fn changes(&self) -> &[RevisionChange] {
         &self.changes
+    }
+
+    /// Script keys whose surrogate plan this commit rebuilt or removed,
+    /// sorted. A superset of the script-level class changes: plans embed
+    /// per-method request counts, which drift without class flips.
+    pub fn plans_touched(&self) -> &[Arc<str>] {
+        &self.plans_touched
     }
 
     /// `true` when the commit changed no classifications.
@@ -291,6 +319,21 @@ pub fn diff_revisions(
         to,
         changes: collect_net(net),
     })
+}
+
+/// The union of [`VerdictRevision::plans_touched`] over the span
+/// `from` (exclusive) to `to` (inclusive), sorted and deduplicated.
+/// Callers validate the span with [`diff_revisions`] first; an
+/// uncovered span simply unions whatever the ring still holds.
+pub fn plans_touched_in_span(ring: &[Arc<VerdictRevision>], from: u64, to: u64) -> Vec<Arc<str>> {
+    let mut touched: Vec<Arc<str>> = ring
+        .iter()
+        .filter(|revision| revision.version() > from && revision.version() <= to)
+        .flat_map(|revision| revision.plans_touched().iter().cloned())
+        .collect();
+    touched.sort();
+    touched.dedup();
+    touched
 }
 
 #[cfg(test)]

@@ -1,0 +1,423 @@
+//! Sharded verdict writers: N independent commit loops behind one façade.
+//!
+//! A single [`SifterWriter`](crate::concurrent::SifterWriter) serialises
+//! every commit through one fold, so commit throughput flatlines no matter
+//! how many cores ingest observations. The TrackerSift hierarchy offers a
+//! natural partition key: every observation is attributed to exactly one
+//! **registrable domain**, and the domain → hostname → script → method walk
+//! descends strictly inside that domain. Splitting the verdict table by
+//! domain hash therefore yields N sifters whose commits are independent —
+//! the parameter-server shape (sharded writers, one read façade) the
+//! scale-out roadmap calls for.
+//!
+//! * [`ShardedWriter`] routes each observation to `shard_of(domain)` and
+//!   commits every shard (together or independently).
+//! * [`ShardedReader`] composes the shards' lock-free readers:
+//!   [`ShardedReader::decide`] pins only the owning shard, and
+//!   [`ShardedReader::decide_batch`] pins **each shard once per batch**, so
+//!   a batch costs `O(shards)` pin pairs, not `O(requests)`.
+//!
+//! # Byte-identity with the unsharded path
+//!
+//! Routing is a pure function of the registrable domain
+//! ([`shard_index`]: FNV-1a 64 of the domain, mod N), so every key of one
+//! domain — its hostnames, and the scripts/methods observed under them —
+//! lands in the same shard, and that shard's verdict walk sees exactly the
+//! observations the unsharded sifter would attribute to that domain.
+//! Decisions are therefore byte-identical to a single writer fed the same
+//! stream, with one documented caveat: a script observed under hostnames of
+//! **multiple registrable domains** has its script-level class aggregated
+//! across domains by a single sifter, but per-partition by the shards. The
+//! [`ShardedWriter::cross_partition_scripts`] diagnostic counts exactly
+//! those scripts; when it is zero (scripts stay domain-scoped, the common
+//! case for first-party scripts), the equivalence is exact — the property
+//! test interleaves observes and commits at every shard count to pin it.
+
+use crate::concurrent::{SifterReader, SifterWriter};
+use crate::decision::{Decision, DecisionRequest};
+use crate::hierarchy::Granularity;
+use crate::label::LabeledRequest;
+use crate::service::{CommitStats, ObserveOutcome, Sifter, Verdict, VerdictRequest};
+use filterlist::tokens::fnv1a64;
+use filterlist::{registrable_domain, ParsedUrl, ResourceType};
+use std::collections::HashMap;
+
+/// The stateless routing function: which of `shards` partitions owns
+/// `domain`. FNV-1a 64 over the domain string, mod the shard count — the
+/// same hash the filter index and journal checksums already use, so routing
+/// is deterministic across processes and releases.
+pub fn shard_index(domain: &str, shards: usize) -> usize {
+    debug_assert!(shards > 0, "a sharded writer has at least one shard");
+    (fnv1a64(domain.as_bytes()) % shards as u64) as usize
+}
+
+/// N independent [`SifterWriter`] commit loops behind one ingestion façade,
+/// partitioned by registrable-domain hash.
+///
+/// Build one writer per shard from identically configured sifters (share
+/// the filter engine and rewriter by `Arc` via
+/// [`SifterBuilder::shared_engine`](crate::service::SifterBuilder) so the
+/// shards don't recompile them), then route observations through this
+/// façade. `new` with a single sifter degenerates to the unsharded path.
+///
+/// ```
+/// use trackersift::shard::ShardedWriter;
+/// use trackersift::{DecisionRequest, Sifter};
+///
+/// let mut writer = ShardedWriter::build(4, |_| Sifter::builder().build());
+/// writer.observe_parts("ads.com", "px.ads.com", "https://pub.com/a.js", "send", true);
+/// writer.observe_parts("cdn.com", "a.cdn.com", "https://pub.com/ui.js", "load", false);
+/// writer.commit(); // commits every shard; each fold is independent
+///
+/// let reader = writer.reader();
+/// let request = DecisionRequest::new("ads.com", "px.ads.com", "https://pub.com/a.js", "send");
+/// assert!(reader.decide(&request).is_enforcing());
+/// ```
+#[derive(Debug)]
+pub struct ShardedWriter {
+    shards: Vec<SifterWriter>,
+}
+
+impl ShardedWriter {
+    /// Split each sifter into a shard's writer. Panics on an empty vector
+    /// (a sharded writer has at least one shard).
+    pub fn new(sifters: Vec<Sifter>) -> Self {
+        assert!(
+            !sifters.is_empty(),
+            "a sharded writer needs at least one shard"
+        );
+        ShardedWriter {
+            shards: sifters
+                .into_iter()
+                .map(|sifter| sifter.into_concurrent().0)
+                .collect(),
+        }
+    }
+
+    /// Build `shards` shards, constructing each sifter with `make` (called
+    /// with the shard index). Configure every shard identically — same
+    /// thresholds, same shared engine/rewriter — or the shards' answers
+    /// will legitimately differ.
+    pub fn build(shards: usize, make: impl FnMut(usize) -> Sifter) -> Self {
+        ShardedWriter::new((0..shards.max(1)).map(make).collect())
+    }
+
+    /// Number of partitions.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `domain` (see [`shard_index`]).
+    pub fn shard_of(&self, domain: &str) -> usize {
+        shard_index(domain, self.shards.len())
+    }
+
+    /// Ingest one labeled request into its domain's shard.
+    pub fn observe(&mut self, request: &LabeledRequest) {
+        let shard = self.shard_of(&request.domain);
+        self.shards[shard].observe(request);
+    }
+
+    /// Ingest a batch of labeled requests, each into its domain's shard.
+    pub fn observe_all<'a>(&mut self, requests: impl IntoIterator<Item = &'a LabeledRequest>) {
+        for request in requests {
+            self.observe(request);
+        }
+    }
+
+    /// Ingest one observation by its four attribution keys and label; see
+    /// [`SifterWriter::observe_parts`].
+    pub fn observe_parts(
+        &mut self,
+        domain: &str,
+        hostname: &str,
+        script: &str,
+        method: &str,
+        tracking: bool,
+    ) {
+        let shard = self.shard_of(domain);
+        self.shards[shard].observe_parts(domain, hostname, script, method, tracking);
+    }
+
+    /// Label and ingest one raw request URL; see
+    /// [`SifterWriter::observe_url`]. The router derives the same
+    /// registrable domain the shard's labeling path will (URL hostname →
+    /// registrable domain), so the observation lands where its keys live;
+    /// unparseable URLs route deterministically to shard 0, which counts
+    /// the rejection.
+    pub fn observe_url(
+        &mut self,
+        url: &str,
+        source_hostname: &str,
+        resource_type: ResourceType,
+        initiator_script: &str,
+        initiator_method: &str,
+    ) -> ObserveOutcome {
+        let shard = match ParsedUrl::parse(url) {
+            Some(parsed) => self.shard_of(&registrable_domain(&parsed.hostname)),
+            None => 0,
+        };
+        self.shards[shard].observe_url(
+            url,
+            source_hostname,
+            resource_type,
+            initiator_script,
+            initiator_method,
+        )
+    }
+
+    /// Commit every shard (each fold covers only that shard's dirty slice)
+    /// and publish each shard's table atomically. Returns the per-shard
+    /// commit stats, in shard order.
+    pub fn commit(&mut self) -> Vec<CommitStats> {
+        self.shards.iter_mut().map(|shard| shard.commit()).collect()
+    }
+
+    /// Commit one shard independently — the per-shard commit loop a
+    /// deployment runs when shards are folded on their own cadences.
+    pub fn commit_shard(&mut self, shard: usize) -> CommitStats {
+        self.shards[shard].commit()
+    }
+
+    /// Total observations buffered across shards, pending the next commit.
+    pub fn pending(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|shard| shard.sifter().pending())
+            .sum()
+    }
+
+    /// Per-shard published table versions, in shard order.
+    pub fn versions(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|shard| shard.published_version())
+            .collect()
+    }
+
+    /// Per-shard commit counts, in shard order.
+    pub fn commits(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|shard| shard.sifter().commits())
+            .collect()
+    }
+
+    /// Borrow one shard's writer (stats, snapshots, revision rings).
+    pub fn shard(&self, shard: usize) -> &SifterWriter {
+        &self.shards[shard]
+    }
+
+    /// Mutably borrow one shard's writer (durability, capacity tuning).
+    pub fn shard_mut(&mut self, shard: usize) -> &mut SifterWriter {
+        &mut self.shards[shard]
+    }
+
+    /// A composing reader over every shard's lock-free reader.
+    pub fn reader(&self) -> ShardedReader {
+        ShardedReader {
+            shards: self.shards.iter().map(|shard| shard.reader()).collect(),
+        }
+    }
+
+    /// Disassemble the façade into its per-shard writers, in shard order —
+    /// the deployment shape where each shard's commit loop runs on its own
+    /// thread. Readers minted before the split stay valid; route
+    /// observations with [`shard_index`] over the same shard count.
+    pub fn into_writers(self) -> Vec<SifterWriter> {
+        self.shards
+    }
+
+    /// The partition-invariant diagnostic: how many committed scripts are
+    /// members of **more than one** shard. A single sifter aggregates such
+    /// a script's class across all its domains; the shards classify it per
+    /// partition — so a non-zero count marks the keys where sharded answers
+    /// may legitimately diverge from the unsharded path. Computed on demand
+    /// from committed members; no hot-path state.
+    pub fn cross_partition_scripts(&self) -> usize {
+        if self.shards.len() < 2 {
+            return 0;
+        }
+        let mut seen: HashMap<String, u32> = HashMap::new();
+        for shard in &self.shards {
+            let hierarchy = shard.sifter().hierarchy();
+            for level in &hierarchy.levels {
+                if level.granularity != Granularity::Script {
+                    continue;
+                }
+                for resource in &level.resources {
+                    *seen.entry(resource.key.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        seen.values().filter(|&&shards| shards > 1).count()
+    }
+}
+
+/// The composing read façade over a [`ShardedWriter`]'s shards: routes
+/// per-key, pins per-shard, and stays byte-identical to the unsharded
+/// reader for domain-scoped traffic (see the [module docs](self)).
+///
+/// `Clone + Send + Sync` like the underlying readers: clone one per serving
+/// thread.
+#[derive(Debug, Clone)]
+pub struct ShardedReader {
+    shards: Vec<SifterReader>,
+}
+
+impl ShardedReader {
+    /// Number of partitions.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `domain` (see [`shard_index`]).
+    pub fn shard_of(&self, domain: &str) -> usize {
+        shard_index(domain, self.shards.len())
+    }
+
+    /// Answer one verdict query from the owning shard's published table.
+    pub fn verdict(&self, request: &VerdictRequest<'_>) -> Verdict {
+        self.shards[self.shard_of(request.domain)].verdict(request)
+    }
+
+    /// Answer one enforcement decision from the owning shard's published
+    /// table — one pin, on that shard only.
+    pub fn decide(&self, request: &DecisionRequest<'_>) -> Decision {
+        self.shards[self.shard_of(request.domain)].decide(request)
+    }
+
+    /// Serve a batch of verdicts (one output per input, in order), pinning
+    /// **each shard once** for the whole batch: every answer routed to a
+    /// shard reflects exactly one committed state of that shard.
+    pub fn verdict_batch(&self, requests: &[VerdictRequest<'_>]) -> Vec<Verdict> {
+        let pins: Vec<_> = self.shards.iter().map(|shard| shard.pin()).collect();
+        requests
+            .iter()
+            .map(|request| pins[self.shard_of(request.domain)].verdict(request))
+            .collect()
+    }
+
+    /// Serve a batch of decisions (one output per input, in order), pinning
+    /// each shard once per batch — the sharded analogue of
+    /// [`SifterReader::decide_batch`].
+    pub fn decide_batch(&self, requests: &[DecisionRequest<'_>]) -> Vec<Decision> {
+        let pins: Vec<_> = self.shards.iter().map(|shard| shard.pin()).collect();
+        requests
+            .iter()
+            .map(|request| pins[self.shard_of(request.domain)].decide(request))
+            .collect()
+    }
+
+    /// Per-shard published table versions, in shard order.
+    pub fn versions(&self) -> Vec<u64> {
+        self.shards.iter().map(|shard| shard.version()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(n: u64) -> (String, String, String, String, bool) {
+        // A deterministic mixed workload: several domains, two hostnames
+        // each, scripts scoped to their domain (the partition invariant).
+        let domain = format!("site{}.com", n % 7);
+        let hostname = format!("h{}.site{}.com", n % 2, n % 7);
+        let script = format!("https://site{}.com/s{}.js", n % 7, n % 3);
+        let method = format!("m{}", n % 4);
+        let tracking = (n % 3) == 0;
+        (domain, hostname, script, method, tracking)
+    }
+
+    #[test]
+    fn routing_is_stable_and_covers_every_shard_eventually() {
+        let writer = ShardedWriter::build(4, |_| Sifter::builder().build());
+        let mut hit = [false; 4];
+        for n in 0..64 {
+            let domain = format!("d{n}.com");
+            let shard = writer.shard_of(&domain);
+            assert_eq!(
+                shard,
+                writer.shard_of(&domain),
+                "routing is a pure function"
+            );
+            assert_eq!(shard, shard_index(&domain, 4));
+            hit[shard] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "64 domains spread over 4 shards");
+    }
+
+    #[test]
+    fn sharded_decisions_match_the_single_writer_byte_for_byte() {
+        for shards in [1usize, 2, 3, 4] {
+            let mut single = Sifter::builder().build();
+            let mut sharded = ShardedWriter::build(shards, |_| Sifter::builder().build());
+            for n in 0..200 {
+                let (domain, hostname, script, method, tracking) = feed(n);
+                single.observe_parts(&domain, &hostname, &script, &method, tracking);
+                sharded.observe_parts(&domain, &hostname, &script, &method, tracking);
+                if n % 50 == 49 {
+                    single.commit();
+                    sharded.commit();
+                }
+            }
+            single.commit();
+            sharded.commit();
+            assert_eq!(sharded.cross_partition_scripts(), 0);
+            let reader = sharded.reader();
+            let mut requests = Vec::new();
+            for n in 0..200 {
+                let (domain, hostname, script, method, _) = feed(n);
+                requests.push((domain, hostname, script, method));
+            }
+            let decisions = reader.decide_batch(
+                &requests
+                    .iter()
+                    .map(|(d, h, s, m)| DecisionRequest::new(d, h, s, m))
+                    .collect::<Vec<_>>(),
+            );
+            for ((domain, hostname, script, method), decision) in requests.iter().zip(decisions) {
+                let request = DecisionRequest::new(domain, hostname, script, method);
+                assert_eq!(
+                    single.decide(&request),
+                    decision,
+                    "shards={shards} for {request:?}"
+                );
+                assert_eq!(single.decide(&request), reader.decide(&request));
+            }
+        }
+    }
+
+    #[test]
+    fn cross_partition_scripts_are_counted() {
+        let mut sharded = ShardedWriter::build(4, |_| Sifter::builder().build());
+        // One script observed under many domains: it lands in however many
+        // partitions its domains hash to.
+        let mut partitions = std::collections::HashSet::new();
+        for n in 0..6 {
+            let domain = format!("d{n}.com");
+            partitions.insert(sharded.shard_of(&domain));
+            // Mixed domain so the hostname (and the script under it)
+            // becomes a committed member.
+            sharded.observe_parts(
+                &domain,
+                &format!("h.d{n}.com"),
+                "https://cdn.com/s.js",
+                "m",
+                true,
+            );
+            sharded.observe_parts(
+                &domain,
+                &format!("h.d{n}.com"),
+                "https://cdn.com/s.js",
+                "m",
+                false,
+            );
+        }
+        sharded.commit();
+        if partitions.len() > 1 {
+            assert_eq!(sharded.cross_partition_scripts(), 1);
+        }
+    }
+}

@@ -517,6 +517,19 @@ impl VerdictTable {
         &self.classes
     }
 
+    /// The shared surrogate-plan map this table serves from (what delta
+    /// snapshots resolve touched plan keys against).
+    pub(crate) fn surrogate_plans(&self) -> &Arc<SurrogatePlans> {
+        &self.surrogates
+    }
+
+    /// The committed surrogate plan of a script URL, if this table carries
+    /// one — the string-keyed lookup delta-snapshot assembly uses.
+    pub fn surrogate_plan(&self, script: &str) -> Option<Arc<SurrogateScript>> {
+        let key = self.keys.key(script)?;
+        self.surrogates.get(&key).cloned()
+    }
+
     /// The bounded ring of per-commit verdict revisions as of this publish,
     /// ascending by version. Diff any two covered versions with
     /// [`diff_revisions`](crate::revision::diff_revisions).

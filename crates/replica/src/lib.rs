@@ -1,0 +1,334 @@
+//! A read-only replica of a verdict primary: the follower loop, wired to
+//! a serving [`VerdictServer`].
+//!
+//! [`start`] composes three existing pieces into one deployable unit:
+//!
+//! 1. a [`ReplicaClient`] that bootstraps from the primary's full
+//!    snapshot and then polls `GET /v1/snapshot?since=<local version>`
+//!    for deltas (re-bootstrapping whenever the primary answers
+//!    `410 Gone` because the baseline aged out of its revision ring),
+//! 2. a [`TablePublisher`] that atomically publishes each applied state
+//!    as a fresh [`VerdictTable`](trackersift::VerdictTable) to lock-free
+//!    reader handles, and
+//! 3. a [`VerdictServer`] in replica mode
+//!    ([`VerdictServer::start_replica`]): decisions, keys, and stats are
+//!    served from the published tables; every mutating endpoint answers
+//!    `409 Conflict` pointing at the primary.
+//!
+//! The consistency contract is inherited from
+//! [`FollowerState`](trackersift::FollowerState): every table a replica
+//! ever serves equals **some exact committed primary version** — a
+//! replica can lag, it can never interpolate.
+//!
+//! ```no_run
+//! use trackersift_replica::{start, ReplicaConfig};
+//!
+//! let replica = start(ReplicaConfig::new("127.0.0.1:8377")).unwrap();
+//! println!(
+//!     "replica of {} serving on {} at version {}",
+//!     replica.status().upstream(),
+//!     replica.local_addr(),
+//!     replica.status().applied_version(),
+//! );
+//! replica.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use filterlist::FilterEngine;
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+use trackersift::{TablePublisher, UrlRewriter};
+use trackersift_server::client::{ReplicaClient, RetryPolicy};
+use trackersift_server::{ReplicaStatus, ServerConfig, VerdictServer};
+
+/// Configuration of one replica: which primary to follow, how often, and
+/// how to serve the result.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// The primary's address (`host:port`).
+    pub upstream: String,
+    /// Delay between delta polls once bootstrapped.
+    pub poll_interval: Duration,
+    /// Retry behaviour of the sync fetches (shed responses and transport
+    /// drops back off under this policy; `410 Gone` is never retried —
+    /// its body already carries the re-bootstrap snapshot).
+    pub policy: RetryPolicy,
+    /// The serving side: where the replica listens, worker count, limits.
+    pub server: ServerConfig,
+}
+
+impl ReplicaConfig {
+    /// Follow the primary at `upstream`, serving on an ephemeral
+    /// localhost port with default limits and a 1 s poll interval.
+    pub fn new(upstream: impl Into<String>) -> Self {
+        ReplicaConfig {
+            upstream: upstream.into(),
+            poll_interval: Duration::from_secs(1),
+            policy: RetryPolicy::default(),
+            server: ServerConfig::ephemeral(),
+        }
+    }
+}
+
+/// A running replica: a serving [`VerdictServer`] plus the sync thread
+/// keeping it fresh. Dropping (or [`ReplicaServer::shutdown`]) stops
+/// both.
+#[derive(Debug)]
+pub struct ReplicaServer {
+    server: Option<VerdictServer>,
+    status: Arc<ReplicaStatus>,
+    stop: Arc<AtomicBool>,
+    sync: Option<JoinHandle<()>>,
+}
+
+impl ReplicaServer {
+    /// The replica's own bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server
+            .as_ref()
+            .expect("server lives until shutdown")
+            .local_addr()
+    }
+
+    /// The live sync gauges (shared with the serving workers' stats
+    /// rendering).
+    pub fn status(&self) -> &ReplicaStatus {
+        &self.status
+    }
+
+    /// Stop the sync loop, then the serving workers, and join both.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(sync) = self.sync.take() {
+            let _ = sync.join();
+        }
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+    }
+}
+
+impl Drop for ReplicaServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// [`start`] with a locally attached filter engine and URL rewriter.
+///
+/// Engines and rewriters are configuration, not replicated state: the
+/// delta protocol ships verdicts and surrogate plans, and each replica
+/// re-attaches its own enforcement plumbing. Pass the same engine and
+/// rules the primary serves with for byte-identical engine-sourced
+/// decisions.
+pub fn start_with_enforcement(
+    config: ReplicaConfig,
+    engine: Option<Arc<FilterEngine>>,
+    rewriter: Option<Arc<UrlRewriter>>,
+) -> io::Result<ReplicaServer> {
+    let upstream = resolve(&config.upstream)?;
+    let mut client = ReplicaClient::new(upstream, config.policy.clone(), engine, rewriter);
+    // The bootstrap is part of startup: a replica that cannot reach its
+    // primary refuses to serve rather than serving an empty table as if
+    // it were a committed state.
+    let report = client
+        .sync()
+        .map_err(|error| io::Error::other(error.to_string()))?;
+    let status = Arc::new(ReplicaStatus::new(config.upstream.clone()));
+    status.record_sync(report.to, report.to, report.full);
+    let (publisher, reader) = TablePublisher::new(Arc::new(client.table()));
+    let server = VerdictServer::start_replica(reader, Arc::clone(&status), config.server)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let sync = {
+        let stop = Arc::clone(&stop);
+        let status = Arc::clone(&status);
+        let poll_interval = config.poll_interval;
+        thread::Builder::new()
+            .name("replica-sync".to_string())
+            .spawn(move || {
+                sync_loop(client, publisher, status, stop, poll_interval);
+            })?
+    };
+    Ok(ReplicaServer {
+        server: Some(server),
+        status,
+        stop,
+        sync: Some(sync),
+    })
+}
+
+/// Start a replica of `config.upstream`: bootstrap synchronously (an
+/// unreachable primary fails startup), then serve while a background
+/// thread polls deltas every [`ReplicaConfig::poll_interval`] and
+/// publishes each applied version atomically.
+pub fn start(config: ReplicaConfig) -> io::Result<ReplicaServer> {
+    start_with_enforcement(config, None, None)
+}
+
+/// The follower loop: poll, apply, publish. Publishes only when the
+/// applied version moved (or a re-bootstrap rebuilt the local id space),
+/// so an idle primary costs one small HTTP exchange per interval and no
+/// table churn.
+fn sync_loop(
+    mut client: ReplicaClient,
+    publisher: TablePublisher,
+    status: Arc<ReplicaStatus>,
+    stop: Arc<AtomicBool>,
+    poll_interval: Duration,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        sleep_observing(&stop, poll_interval);
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match client.sync() {
+            Ok(report) => {
+                if report.to != report.from || report.full {
+                    publisher.publish(Arc::new(client.table()));
+                }
+                status.record_sync(report.to, report.to, report.full);
+            }
+            Err(_) => status.record_error(),
+        }
+    }
+}
+
+/// Sleep `total` in bounded slices so the stop flag is observed promptly.
+fn sleep_observing(stop: &AtomicBool, total: Duration) {
+    const SLICE: Duration = Duration::from_millis(25);
+    let mut left = total;
+    while !left.is_zero() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let nap = left.min(SLICE);
+        thread::sleep(nap);
+        left = left.saturating_sub(nap);
+    }
+}
+
+/// Resolve `host:port` to the first address it names.
+fn resolve(upstream: &str) -> io::Result<SocketAddr> {
+    upstream
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "upstream resolves to nothing"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use trackersift::Sifter;
+
+    fn http(addr: SocketAddr, method: &str, target: &str, body: Option<&str>) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let body = body.unwrap_or("");
+        write!(
+            stream,
+            "{method} {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len(),
+        )
+        .expect("write request");
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).expect("read reply");
+        let status: u16 = reply
+            .split_whitespace()
+            .nth(1)
+            .expect("status code")
+            .parse()
+            .expect("numeric status");
+        let split = reply.find("\r\n\r\n").expect("header terminator");
+        (status, reply[split + 4..].to_string())
+    }
+
+    #[test]
+    fn a_replica_bootstraps_serves_and_refuses_writes() {
+        let (writer, _reader) = Sifter::builder().build_concurrent();
+        let primary = VerdictServer::start(
+            writer,
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::ephemeral()
+            },
+        )
+        .expect("primary");
+        let body = concat!(
+            r#"{"observations":[{"domain":"ads.com","hostname":"px.ads.com","#,
+            r#""script":"https://pub.com/a.js","method":"send","tracking":true}]}"#,
+        );
+        let (status, _) = http(primary.local_addr(), "POST", "/v1/observations", Some(body));
+        assert_eq!(status, 200);
+        let (status, _) = http(primary.local_addr(), "POST", "/v1/commit", None);
+        assert_eq!(status, 200);
+
+        let mut config = ReplicaConfig::new(primary.local_addr().to_string());
+        config.server.workers = 1;
+        config.poll_interval = Duration::from_millis(25);
+        let replica = start(config).expect("replica starts");
+        assert_eq!(replica.status().applied_version(), 1);
+
+        // The replica serves the primary's verdict...
+        let query = concat!(
+            r#"{"domain":"ads.com","hostname":"px.ads.com","#,
+            r#""script":"https://pub.com/a.js","method":"send"}"#,
+        );
+        let (status, decision) = http(replica.local_addr(), "POST", "/v1/decisions", Some(query));
+        assert_eq!(status, 200);
+        assert!(decision.contains(r#""action":"block""#), "got {decision}");
+
+        // ...refuses mutations with a typed conflict...
+        let (status, detail) = http(replica.local_addr(), "POST", "/v1/observations", Some(body));
+        assert_eq!(status, 409, "mutation must conflict: {detail}");
+
+        // ...and reports its role in stats.
+        let (status, stats) = http(replica.local_addr(), "GET", "/v1/stats", None);
+        assert_eq!(status, 200);
+        assert!(stats.contains(r#""role":"replica""#), "got {stats}");
+
+        // A second commit on the primary flows through the poll loop.
+        let body2 = concat!(
+            r#"{"observations":[{"domain":"cdn.net","hostname":"a.cdn.net","#,
+            r#""script":"https://pub.com/b.js","method":"load","tracking":false}]}"#,
+        );
+        let (status, _) = http(
+            primary.local_addr(),
+            "POST",
+            "/v1/observations",
+            Some(body2),
+        );
+        assert_eq!(status, 200);
+        let (status, _) = http(primary.local_addr(), "POST", "/v1/commit", None);
+        assert_eq!(status, 200);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while replica.status().applied_version() < 2 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "replica never caught up: {}",
+                replica.status().applied_version()
+            );
+            thread::sleep(Duration::from_millis(10));
+        }
+        let query2 = concat!(
+            r#"{"domain":"cdn.net","hostname":"a.cdn.net","#,
+            r#""script":"https://pub.com/b.js","method":"load"}"#,
+        );
+        let (status, decision) = http(replica.local_addr(), "POST", "/v1/decisions", Some(query2));
+        assert_eq!(status, 200);
+        assert!(decision.contains(r#""action":"allow""#), "got {decision}");
+
+        replica.shutdown();
+        primary.shutdown();
+    }
+}

@@ -14,14 +14,19 @@
 
 use crate::wire::{self, BinaryRecord};
 use crawler::json::Value;
+use filterlist::FilterEngine;
 use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 use trackersift::frames;
-use trackersift::{Decision, RevisionDiff, VerdictRevision};
+use trackersift::{
+    ApplyError, Decision, DeltaSnapshot, FollowerState, RevisionDiff, UrlRewriter, VerdictRevision,
+    VerdictTable,
+};
 
 /// The client half of the `GET /v1/keys` interning handshake: the server's
 /// key strings mapped back to their dense `u32` ids, scoped by the epoch
@@ -99,6 +104,15 @@ pub fn parse_revision_list(body: &[u8]) -> Result<(u64, Vec<VerdictRevision>), R
 pub fn parse_revision_diff(body: &[u8]) -> Result<RevisionDiff, RevisionFetchError> {
     let value = parse_json_body(body)?;
     frames::revision_diff_from_value(&value)
+        .map_err(|error| RevisionFetchError::Malformed(error.to_string()))
+}
+
+/// Parse a `GET /v1/snapshot?since=v` JSON body. The `200` delta and the
+/// `410 Gone` full envelope share one canonical shape, so one parser
+/// covers both; [`DeltaSnapshot::is_full`] tells them apart.
+pub fn parse_delta_snapshot(body: &[u8]) -> Result<DeltaSnapshot, RevisionFetchError> {
+    let value = parse_json_body(body)?;
+    frames::delta_snapshot_from_value(&value)
         .map_err(|error| RevisionFetchError::Malformed(error.to_string()))
 }
 
@@ -291,6 +305,56 @@ impl Client {
         let response = self.get_binary(&target)?;
         frames::decode_revision_diff(&response.body)
             .map_err(|error| RevisionFetchError::Malformed(error.to_string()))
+    }
+
+    /// Fetch the dirty cells since published version `since`
+    /// (`GET /v1/snapshot?since=v`). Both a `200` (delta) and a
+    /// `410 Gone` (the baseline aged out of the bounded ring; the body is
+    /// a full snapshot envelope) parse into a [`DeltaSnapshot`] and
+    /// return `Ok` — [`DeltaSnapshot::is_full`] tells which arrived, and
+    /// a full one means the follower must re-bootstrap. Any other status
+    /// is a [`RevisionFetchError::Status`].
+    pub fn fetch_snapshot_since(
+        &mut self,
+        since: u64,
+    ) -> Result<DeltaSnapshot, RevisionFetchError> {
+        let target = format!("/v1/snapshot?since={since}");
+        let response = self
+            .try_request_bytes("GET", &target, None, b"")
+            .map_err(RevisionFetchError::Transport)?;
+        match response.status {
+            200 | 410 => parse_delta_snapshot(&response.body),
+            status => Err(RevisionFetchError::Status(
+                status,
+                String::from_utf8_lossy(&response.body).into_owned(),
+            )),
+        }
+    }
+
+    /// [`Client::fetch_snapshot_since`] over the binary framing.
+    pub fn fetch_snapshot_since_binary(
+        &mut self,
+        since: u64,
+    ) -> Result<DeltaSnapshot, RevisionFetchError> {
+        let target = format!("/v1/snapshot?since={since}");
+        let head = format!(
+            "GET {target} HTTP/1.1\r\nHost: verdicts\r\nAccept: {}\r\nContent-Length: 0\r\n\r\n",
+            wire::BINARY_CONTENT_TYPE
+        );
+        self.stream
+            .write_all(head.as_bytes())
+            .map_err(RevisionFetchError::Transport)?;
+        let response = self
+            .try_read_response()
+            .map_err(RevisionFetchError::Transport)?;
+        match response.status {
+            200 | 410 => frames::decode_delta_snapshot(&response.body)
+                .map_err(|error| RevisionFetchError::Malformed(error.to_string())),
+            status => Err(RevisionFetchError::Status(
+                status,
+                String::from_utf8_lossy(&response.body).into_owned(),
+            )),
+        }
     }
 
     /// Issue a `GET` asking for the binary representation and insist on a
@@ -631,6 +695,159 @@ impl RetryingClient {
             0
         };
         exp + Duration::from_micros(jitter_micros)
+    }
+}
+
+/// Why one [`ReplicaClient::sync`] round failed.
+#[derive(Debug)]
+pub enum SyncError {
+    /// The snapshot fetch failed: transport, a non-`200`/`410` status, or
+    /// a malformed body.
+    Fetch(RevisionFetchError),
+    /// The fetched delta did not chain onto the local version — the
+    /// follower state is untouched; the next round re-fetches from the
+    /// actual local version.
+    Apply(ApplyError),
+}
+
+impl fmt::Display for SyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncError::Fetch(error) => write!(f, "snapshot fetch failed: {error}"),
+            SyncError::Apply(error) => write!(f, "snapshot apply failed: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for SyncError {}
+
+/// What one [`ReplicaClient::sync`] round did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncReport {
+    /// The local version before the round.
+    pub from: u64,
+    /// The committed primary version held after applying.
+    pub to: u64,
+    /// Whether the round applied a full (re)bootstrap envelope — either
+    /// the very first sync or a `410 Gone` after falling behind the ring.
+    pub full: bool,
+    /// Per-key class transitions the round applied.
+    pub changes: u64,
+}
+
+/// The follower loop in client form: bootstrap from a primary's full
+/// snapshot, then poll `GET /v1/snapshot?since=<local version>` and apply
+/// each delta into a local [`FollowerState`].
+///
+/// Every fetch goes through a [`RetryingClient`], so shed (`503`)
+/// responses and transport drops back off and retry under the configured
+/// [`RetryPolicy`]. A `410 Gone` is **not** retried — its body already
+/// carries the full snapshot the follower needs, so the same round trip
+/// that reported the aged-out baseline also re-bootstraps.
+///
+/// [`ReplicaClient::table`] materializes the applied state as a
+/// [`VerdictTable`] at the primary's exact committed version — a replica
+/// never serves a torn or interpolated state.
+///
+/// ```
+/// use trackersift::Sifter;
+/// use trackersift_server::client::{Client, ReplicaClient, RetryPolicy};
+/// use trackersift_server::{ServerConfig, VerdictServer};
+///
+/// // A primary that has learned one tracking chain.
+/// let (writer, _reader) = Sifter::builder().build_concurrent();
+/// let config = ServerConfig { workers: 1, ..ServerConfig::ephemeral() };
+/// let server = VerdictServer::start(writer, config).unwrap();
+/// let mut client = Client::connect(server.local_addr());
+/// let body = concat!(
+///     r#"{"observations":[{"domain":"ads.com","hostname":"px.ads.com","#,
+///     r#""script":"https://pub.com/a.js","method":"send","tracking":true}]}"#,
+/// );
+/// client.request("POST", "/v1/observations", Some(body));
+/// client.request("POST", "/v1/commit", None);
+///
+/// // A follower syncs: the first round bootstraps (full snapshot), later
+/// // rounds apply deltas.
+/// let mut replica = ReplicaClient::new(server.local_addr(), RetryPolicy::default(), None, None);
+/// let report = replica.sync().unwrap();
+/// assert_eq!(report.to, replica.version());
+/// assert_eq!(replica.table().version(), report.to);
+/// server.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct ReplicaClient {
+    http: RetryingClient,
+    state: FollowerState,
+}
+
+impl ReplicaClient {
+    /// A follower of the primary at `addr`. The filter engine and URL
+    /// rewriter are attached locally (they are not shipped over the
+    /// wire); pass the same ones the primary serves with for identical
+    /// engine-sourced decisions.
+    pub fn new(
+        addr: SocketAddr,
+        policy: RetryPolicy,
+        engine: Option<Arc<FilterEngine>>,
+        rewriter: Option<Arc<UrlRewriter>>,
+    ) -> ReplicaClient {
+        ReplicaClient {
+            http: RetryingClient::new(addr, policy),
+            state: FollowerState::new(engine, rewriter),
+        }
+    }
+
+    /// The committed primary version this follower currently holds.
+    pub fn version(&self) -> u64 {
+        self.state.version()
+    }
+
+    /// Full-snapshot applications so far (the first sync plus every
+    /// `410`-triggered re-bootstrap).
+    pub fn bootstraps(&self) -> u64 {
+        self.state.bootstraps()
+    }
+
+    /// One poll round: fetch the delta since the local version and apply
+    /// it. Returns what changed; on [`SyncError::Apply`] the local state
+    /// is untouched and the next round self-corrects by fetching from the
+    /// still-current local version.
+    pub fn sync(&mut self) -> Result<SyncReport, SyncError> {
+        let from = self.state.version();
+        let target = format!("/v1/snapshot?since={from}");
+        let response = self
+            .http
+            .request("GET", &target, None, b"")
+            .map_err(|error| SyncError::Fetch(RevisionFetchError::Transport(error)))?;
+        let delta = match response.status {
+            200 | 410 => parse_delta_snapshot(&response.body).map_err(SyncError::Fetch)?,
+            status => {
+                return Err(SyncError::Fetch(RevisionFetchError::Status(
+                    status,
+                    String::from_utf8_lossy(&response.body).into_owned(),
+                )))
+            }
+        };
+        let full = delta.is_full();
+        let changes = delta.changes.len() as u64;
+        self.state.apply(&delta).map_err(SyncError::Apply)?;
+        Ok(SyncReport {
+            from,
+            to: self.state.version(),
+            full,
+            changes,
+        })
+    }
+
+    /// Materialize the applied state as a [`VerdictTable`] at the exact
+    /// committed primary version last synced.
+    pub fn table(&mut self) -> VerdictTable {
+        self.state.table()
+    }
+
+    /// Total retries the underlying [`RetryingClient`] has spent.
+    pub fn retries_spent(&self) -> u64 {
+        self.http.retries_spent()
     }
 }
 

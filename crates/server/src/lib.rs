@@ -36,6 +36,7 @@
 //! | `POST /v1/observations` | buffer observations into the writer |
 //! | `POST /v1/commit` | fold observations in + publish atomically |
 //! | `GET /v1/snapshot` | export the trained state (versioned JSON) |
+//! | `GET /v1/snapshot?since=v` | delta snapshot for replicas: dirty cells since version `v` (JSON or binary) |
 //! | `PUT /v1/snapshot` | validate + restore a snapshot, publish atomically |
 //! | `GET /v1/revisions` | the published revision ring; `?diff=a..b` folds a drift diff |
 //! | `POST /v1/tick` | advance the attached re-crawl scheduler one epoch |
@@ -65,6 +66,21 @@
 //! protocol is negotiated with `Accept:` [`wire::BINARY_CONTENT_TYPE`] on
 //! these endpoints. Scheduler gauges (epoch, churn counts, fingerprint
 //! retention) appear under `"scheduler"` in `GET /v1/stats`.
+//!
+//! # Replication
+//!
+//! `GET /v1/snapshot?since=v` serves the **delta-snapshot protocol**: the
+//! net class transitions and touched surrogate plans between committed
+//! version `v` and the pinned table's version, assembled worker-side from
+//! the revision ring the table already carries (no writer round-trip).
+//! When `v` has aged out of the bounded ring the server answers `410
+//! Gone` whose body is a *full* snapshot envelope in the same shape —
+//! the typed re-bootstrap signal a follower applies directly. A server
+//! started with [`VerdictServer::start_replica`] serves decisions from a
+//! table published by an external follower loop (see the
+//! `trackersift-replica` crate): every mutating endpoint answers `409
+//! Conflict`, and `GET /v1/stats` gains a `"replication"` section with
+//! the upstream address and version lag.
 //!
 //! # Crash-only serving
 //!
@@ -138,9 +154,9 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 use trackersift::frames::{self, PROTO_VERSION};
 use trackersift::{
-    diff_revisions, CommitStats, DecisionRequest, JournalStats, KeyedRequest, ObserveOutcome,
-    PrebuiltDecision, RecoveryReport, RevisionRangeError, ServiceStats, SifterReader,
-    SifterSnapshot, SifterWriter, VerdictTable,
+    diff_revisions, CommitStats, DecisionRequest, DeltaSnapshot, JournalStats, KeyedRequest,
+    ObserveOutcome, PrebuiltDecision, RecoveryReport, RevisionRangeError, ServiceStats,
+    SifterReader, SifterSnapshot, SifterWriter, VerdictTable,
 };
 use wire::{BinaryKeys, BinaryRecord, DecisionMessage, ObservationMessage};
 
@@ -273,6 +289,89 @@ struct ServingCounters {
     /// Requests answered `503` because the pool was over its in-flight
     /// budget.
     shed_requests: AtomicU64,
+    /// Delta snapshots served by `GET /v1/snapshot?since=` (200s).
+    snapshot_deltas: AtomicU64,
+    /// Full snapshot envelopes served as `410 Gone` bodies (the
+    /// re-bootstrap signal).
+    snapshot_fulls: AtomicU64,
+}
+
+/// Live gauges of a replica's follower loop, shared between the sync
+/// thread (writer side) and the serving workers (the `"replication"`
+/// section of `GET /v1/stats`). All counters are lock-free.
+#[derive(Debug)]
+pub struct ReplicaStatus {
+    upstream: String,
+    upstream_version: AtomicU64,
+    applied_version: AtomicU64,
+    polls: AtomicU64,
+    deltas_applied: AtomicU64,
+    bootstraps: AtomicU64,
+    sync_errors: AtomicU64,
+}
+
+impl ReplicaStatus {
+    /// Fresh gauges for a follower of `upstream` (`host:port`).
+    pub fn new(upstream: impl Into<String>) -> Self {
+        ReplicaStatus {
+            upstream: upstream.into(),
+            upstream_version: AtomicU64::new(0),
+            applied_version: AtomicU64::new(0),
+            polls: AtomicU64::new(0),
+            deltas_applied: AtomicU64::new(0),
+            bootstraps: AtomicU64::new(0),
+            sync_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// The primary this replica follows.
+    pub fn upstream(&self) -> &str {
+        &self.upstream
+    }
+
+    /// Record one completed sync poll: the version the upstream advertised
+    /// and what was applied locally.
+    pub fn record_sync(&self, upstream_version: u64, applied_version: u64, full: bool) {
+        self.polls.fetch_add(1, Ordering::Relaxed);
+        self.upstream_version
+            .store(upstream_version, Ordering::Relaxed);
+        self.applied_version
+            .store(applied_version, Ordering::Relaxed);
+        if full {
+            self.bootstraps.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.deltas_applied.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one failed sync poll (transport or apply error).
+    pub fn record_error(&self) {
+        self.polls.fetch_add(1, Ordering::Relaxed);
+        self.sync_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The committed primary version this replica last applied.
+    pub fn applied_version(&self) -> u64 {
+        self.applied_version.load(Ordering::Relaxed)
+    }
+
+    /// How many versions the replica trails the last-seen upstream
+    /// version (0 when caught up).
+    pub fn lag(&self) -> u64 {
+        self.upstream_version
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.applied_version.load(Ordering::Relaxed))
+    }
+
+    /// Full-snapshot (re)bootstraps performed, including the first.
+    pub fn bootstraps(&self) -> u64 {
+        self.bootstraps.load(Ordering::Relaxed)
+    }
+
+    /// Failed sync polls.
+    pub fn sync_errors(&self) -> u64 {
+        self.sync_errors.load(Ordering::Relaxed)
+    }
 }
 
 /// Pool-wide live gauges behind the admission decisions. Updated by every
@@ -344,6 +443,10 @@ struct AdminStats {
     /// Scheduler gauges plus the duration of the last tick in
     /// microseconds, when a scheduler is attached.
     scheduler: Option<(SchedulerStats, u64)>,
+    /// Per-commit-loop `(published version, commits)` pairs — one entry
+    /// per verdict shard the admin thread drives (one today; the sharded
+    /// commit fan-out of `trackersift::shard` stays in-process for now).
+    shards: Vec<(u64, u64)>,
 }
 
 /// Work routed to the admin thread (the single [`SifterWriter`] owner).
@@ -395,6 +498,57 @@ impl VerdictServer {
         VerdictServer::start_inner(writer, config, Some(scheduler))
     }
 
+    /// Start a **read-only replica server**: the worker pool serves
+    /// decisions, keys, revisions, and delta snapshots from `reader`'s
+    /// published tables (kept fresh by an external follower loop — see the
+    /// `trackersift-replica` crate), every mutating endpoint answers
+    /// `409 Conflict` pointing at the primary, and `GET /v1/stats` renders
+    /// the `status` gauges under `"replication"`. No admin thread is
+    /// spawned: a replica has no writer to own.
+    pub fn start_replica(
+        reader: SifterReader,
+        status: Arc<ReplicaStatus>,
+        config: ServerConfig,
+    ) -> io::Result<VerdictServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let worker_count = config.workers.max(1);
+        let counters: Arc<Vec<ServingCounters>> = Arc::new(
+            (0..worker_count)
+                .map(|_| ServingCounters::default())
+                .collect(),
+        );
+        // The channel exists only to satisfy the worker shape; with the
+        // receiver dropped here, any (impossible) admin call fails closed.
+        let (admin_tx, _) = mpsc::channel();
+        let mut server = VerdictServer {
+            addr,
+            stop: Arc::new(AtomicBool::new(false)),
+            workers: Vec::with_capacity(worker_count),
+            admin: None,
+            recovery: None,
+        };
+        let spawned = spawn_workers(
+            &mut server,
+            &listener,
+            &reader,
+            &admin_tx,
+            &counters,
+            &Arc::new(Gauges::default()),
+            &Arc::new(None),
+            &config,
+            Some(status),
+        );
+        match spawned {
+            Ok(()) => Ok(server),
+            Err(error) => {
+                server.stop_and_join();
+                Err(error)
+            }
+        }
+    }
+
     fn start_inner(
         mut writer: SifterWriter,
         config: ServerConfig,
@@ -437,32 +591,17 @@ impl VerdictServer {
             admin: Some(admin),
             recovery,
         };
-        let spawned = (|| -> io::Result<()> {
-            for index in 0..worker_count {
-                let worker = Worker {
-                    listener: listener.try_clone()?,
-                    reader: reader.clone(),
-                    admin: admin_tx.clone(),
-                    stop: Arc::clone(&server.stop),
-                    counters: Arc::clone(&counters),
-                    gauges: Arc::clone(&gauges),
-                    recovery: Arc::clone(&recovery_shared),
-                    index,
-                    max_body_bytes: config.max_body_bytes,
-                    read_timeout: config.read_timeout,
-                    max_connections: config.max_connections,
-                    max_inflight: config.max_inflight,
-                    retry_after: config.retry_after,
-                    drain_timeout: config.drain_timeout,
-                };
-                server.workers.push(
-                    thread::Builder::new()
-                        .name(format!("verdict-worker-{index}"))
-                        .spawn(move || worker.run())?,
-                );
-            }
-            Ok(())
-        })();
+        let spawned = spawn_workers(
+            &mut server,
+            &listener,
+            &reader,
+            &admin_tx,
+            &counters,
+            &gauges,
+            &recovery_shared,
+            &config,
+            None,
+        );
         // The workers hold the only remaining admin senders: when they
         // exit, the admin loop's receiver disconnects and the admin thread
         // exits. (Dropped before any join, or the admin would never see
@@ -515,6 +654,49 @@ impl Drop for VerdictServer {
     fn drop(&mut self) {
         self.stop_and_join();
     }
+}
+
+/// Spawn the worker pool onto `server.workers` — the shared tail of both
+/// [`VerdictServer::start`] (primary, `replica: None`) and
+/// [`VerdictServer::start_replica`]. Built before any join logic runs so a
+/// mid-startup failure tears down whatever already started.
+#[allow(clippy::too_many_arguments)]
+fn spawn_workers(
+    server: &mut VerdictServer,
+    listener: &TcpListener,
+    reader: &SifterReader,
+    admin_tx: &Sender<AdminMsg>,
+    counters: &Arc<Vec<ServingCounters>>,
+    gauges: &Arc<Gauges>,
+    recovery_shared: &Arc<Option<RecoveryReport>>,
+    config: &ServerConfig,
+    replica: Option<Arc<ReplicaStatus>>,
+) -> io::Result<()> {
+    for index in 0..config.workers.max(1) {
+        let worker = Worker {
+            listener: listener.try_clone()?,
+            reader: reader.clone(),
+            admin: admin_tx.clone(),
+            stop: Arc::clone(&server.stop),
+            counters: Arc::clone(counters),
+            gauges: Arc::clone(gauges),
+            recovery: Arc::clone(recovery_shared),
+            replica: replica.clone(),
+            index,
+            max_body_bytes: config.max_body_bytes,
+            read_timeout: config.read_timeout,
+            max_connections: config.max_connections,
+            max_inflight: config.max_inflight,
+            retry_after: config.retry_after,
+            drain_timeout: config.drain_timeout,
+        };
+        server.workers.push(
+            thread::Builder::new()
+                .name(format!("verdict-worker-{index}"))
+                .spawn(move || worker.run())?,
+        );
+    }
+    Ok(())
 }
 
 /// Rotate the journal into a fresh snapshot generation once it outgrows
@@ -633,6 +815,7 @@ fn admin_loop(
                     scheduler: scheduler
                         .as_ref()
                         .map(|driver| (driver.stats(), last_tick_micros)),
+                    shards: vec![(writer.published_version(), writer.sifter().commits())],
                 });
             }
         }
@@ -804,6 +987,9 @@ struct Worker {
     counters: Arc<Vec<ServingCounters>>,
     gauges: Arc<Gauges>,
     recovery: Arc<Option<RecoveryReport>>,
+    /// `Some` on a read-only replica server: mutating endpoints answer
+    /// `409` and the stats body renders these gauges.
+    replica: Option<Arc<ReplicaStatus>>,
     index: usize,
     max_body_bytes: usize,
     read_timeout: Duration,
@@ -1071,6 +1257,25 @@ impl Worker {
     }
 
     fn route(&self, request: &HttpRequest) -> HttpResponse {
+        // A replica owns no writer: every mutating endpoint is refused
+        // with a typed conflict before any routing happens, so the
+        // read-only guarantee cannot rot as routes are added.
+        if self.replica.is_some() {
+            let mutating = matches!(
+                (request.method.as_str(), request.target.as_str()),
+                ("POST", "/v1/observations" | "/v1/commit" | "/v1/tick")
+                    | ("PUT", "/v1/snapshot")
+                    | ("GET", "/v1/snapshot")
+            );
+            if mutating {
+                return HttpResponse::error(
+                    409,
+                    "Conflict",
+                    "read-only replica: apply mutations on the primary \
+                     (delta snapshots stay available via /v1/snapshot?since=)",
+                );
+            }
+        }
         let binary = request.header("content-type") == Some(wire::BINARY_CONTENT_TYPE);
         match (request.method.as_str(), request.target.as_str()) {
             ("GET", "/healthz") => HttpResponse::text("ok"),
@@ -1083,16 +1288,23 @@ impl Worker {
             ("POST", "/v1/commit") => self.commit(),
             ("GET", "/v1/snapshot") => self.export_snapshot(),
             ("PUT", "/v1/snapshot") => self.import_snapshot(request),
-            // The revisions target carries its query verbatim, so the
-            // match is a prefix guard instead of an exact string.
+            // The snapshot and revisions targets carry their queries
+            // verbatim, so these matches are prefix guards instead of
+            // exact strings (the exact arms above win for bare targets).
+            ("GET", target) if is_snapshot_target(target) => self.delta_snapshot(request),
             ("GET", target) if is_revisions_target(target) => self.revisions(request),
             ("POST", "/v1/tick") => self.tick(),
-            ("GET", "/v1/stats") => self.stats(),
-            (_, target) if is_revisions_target(target) => HttpResponse::error(
-                405,
-                "Method Not Allowed",
-                &format!("{} does not support {}", request.target, request.method),
-            ),
+            ("GET", "/v1/stats") => match &self.replica {
+                Some(status) => self.replica_stats(status),
+                None => self.stats(),
+            },
+            (_, target) if is_revisions_target(target) || is_snapshot_target(target) => {
+                HttpResponse::error(
+                    405,
+                    "Method Not Allowed",
+                    &format!("{} does not support {}", request.target, request.method),
+                )
+            }
             (
                 _,
                 "/healthz"
@@ -1386,6 +1598,54 @@ impl Worker {
         }
     }
 
+    /// `GET /v1/snapshot?since=v`: the dirty cells between published
+    /// version `v` and the pinned table's current version, assembled from
+    /// the revision ring, plus every surrogate plan the span touched. JSON
+    /// by default, binary frames via `Accept:`
+    /// [`wire::BINARY_CONTENT_TYPE`]. When `v` has aged out of the bounded
+    /// ring the answer is `410 Gone` whose body is a *full* snapshot
+    /// envelope — the typed re-bootstrap signal — so a lagging follower
+    /// recovers in the same round trip that told it the diff is gone.
+    fn delta_snapshot(&self, request: &HttpRequest) -> HttpResponse {
+        let binary = request.header("accept") == Some(wire::BINARY_CONTENT_TYPE);
+        let since = match parse_snapshot_query(&request.target) {
+            Ok(since) => since,
+            Err(detail) => return HttpResponse::error(400, "Bad Request", &detail),
+        };
+        let pin = self.reader.pin();
+        let table = pin.table();
+        let encode = |delta: &DeltaSnapshot| {
+            if binary {
+                HttpResponse::bytes(
+                    wire::BINARY_CONTENT_TYPE,
+                    frames::encode_delta_snapshot(delta),
+                )
+            } else {
+                HttpResponse::json(frames::delta_snapshot_value(delta).render())
+            }
+        };
+        match table.delta_since(since) {
+            Ok(delta) => {
+                self.counters[self.index]
+                    .snapshot_deltas
+                    .fetch_add(1, Ordering::Relaxed);
+                encode(&delta)
+            }
+            Err(RevisionRangeError::Unknown { .. }) => {
+                self.counters[self.index]
+                    .snapshot_fulls
+                    .fetch_add(1, Ordering::Relaxed);
+                let mut response = encode(&table.full_snapshot_delta());
+                response.status = 410;
+                response.reason = "Gone";
+                response
+            }
+            Err(error @ RevisionRangeError::Inverted { .. }) => {
+                HttpResponse::error(400, "Bad Request", &error.to_string())
+            }
+        }
+    }
+
     fn export_snapshot(&self) -> HttpResponse {
         match self.admin_call(AdminMsg::Export) {
             Some(snapshot) => HttpResponse::json(snapshot),
@@ -1429,6 +1689,8 @@ impl Worker {
         let mut worker_restarts = 0u64;
         let mut shed_connections = 0u64;
         let mut shed_requests = 0u64;
+        let mut snapshot_deltas = 0u64;
+        let mut snapshot_fulls = 0u64;
         let workers: Vec<Value> = self
             .counters
             .iter()
@@ -1439,6 +1701,8 @@ impl Worker {
                 worker_restarts += restarts;
                 shed_connections += conns_shed;
                 shed_requests += requests_shed;
+                snapshot_deltas += counters.snapshot_deltas.load(Ordering::Relaxed);
+                snapshot_fulls += counters.snapshot_fulls.load(Ordering::Relaxed);
                 object(vec![
                     (
                         "requests",
@@ -1553,7 +1817,160 @@ impl Worker {
                     ]),
                 ));
             }
+            fields.push((
+                "shards".to_string(),
+                object(vec![
+                    ("count", Value::number_u64(stats.shards.len() as u64)),
+                    (
+                        "writers",
+                        Value::Array(
+                            stats
+                                .shards
+                                .iter()
+                                .map(|(version, commits)| {
+                                    object(vec![
+                                        ("version", Value::number_u64(*version)),
+                                        ("commits", Value::number_u64(*commits)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+            let pin = self.reader.pin();
+            let ring = pin.table().revisions();
+            fields.push((
+                "replication".to_string(),
+                object(vec![
+                    ("role", Value::String("primary".to_string())),
+                    (
+                        "ring",
+                        object(vec![
+                            ("len", Value::number_u64(ring.len() as u64)),
+                            (
+                                "oldest",
+                                Value::number_u64(
+                                    ring.first().map_or(0, |revision| revision.version()),
+                                ),
+                            ),
+                            (
+                                "newest",
+                                Value::number_u64(
+                                    ring.last().map_or(0, |revision| revision.version()),
+                                ),
+                            ),
+                        ]),
+                    ),
+                    (
+                        "snapshots",
+                        object(vec![
+                            ("deltas", Value::number_u64(snapshot_deltas)),
+                            ("fulls", Value::number_u64(snapshot_fulls)),
+                        ]),
+                    ),
+                ]),
+            ));
         }
+        HttpResponse::json(value.render())
+    }
+
+    /// The replica flavour of `GET /v1/stats`: no admin thread exists, so
+    /// the body is assembled from the pinned table, the worker counters,
+    /// and the follower's [`ReplicaStatus`] gauges. The `"replication"`
+    /// section carries `role: "replica"` plus the sync-loop counters.
+    fn replica_stats(&self, status: &ReplicaStatus) -> HttpResponse {
+        let pin = self.reader.pin();
+        let table = pin.table();
+        let mut worker_restarts = 0u64;
+        let mut shed_connections = 0u64;
+        let mut shed_requests = 0u64;
+        let workers: Vec<Value> = self
+            .counters
+            .iter()
+            .map(|counters| {
+                let restarts = counters.restarts.load(Ordering::Relaxed);
+                let conns_shed = counters.shed_connections.load(Ordering::Relaxed);
+                let requests_shed = counters.shed_requests.load(Ordering::Relaxed);
+                worker_restarts += restarts;
+                shed_connections += conns_shed;
+                shed_requests += requests_shed;
+                object(vec![
+                    (
+                        "requests",
+                        Value::number_u64(counters.requests.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "decisions",
+                        Value::number_u64(counters.decisions.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "errors",
+                        Value::number_u64(counters.errors.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "accept_failures",
+                        Value::number_u64(counters.accept_failures.load(Ordering::Relaxed)),
+                    ),
+                    ("restarts", Value::number_u64(restarts)),
+                    ("shed_connections", Value::number_u64(conns_shed)),
+                    ("shed_requests", Value::number_u64(requests_shed)),
+                ])
+            })
+            .collect();
+        let value = object(vec![
+            ("version", Value::number_u64(table.version())),
+            ("committed", Value::number_u64(table.committed())),
+            ("residue", Value::number_u64(table.unattributed())),
+            ("workers", Value::Array(workers)),
+            (
+                "admission",
+                object(vec![
+                    (
+                        "active_connections",
+                        Value::number_u64(self.gauges.active_connections.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "inflight",
+                        Value::number_u64(self.gauges.inflight.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "max_connections",
+                        Value::number_u64(self.max_connections as u64),
+                    ),
+                    ("max_inflight", Value::number_u64(self.max_inflight as u64)),
+                    ("worker_restarts", Value::number_u64(worker_restarts)),
+                    ("shed_connections", Value::number_u64(shed_connections)),
+                    ("shed_requests", Value::number_u64(shed_requests)),
+                ]),
+            ),
+            (
+                "replication",
+                object(vec![
+                    ("role", Value::String("replica".to_string())),
+                    ("upstream", Value::String(status.upstream().to_string())),
+                    (
+                        "upstream_version",
+                        Value::number_u64(status.upstream_version.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "applied_version",
+                        Value::number_u64(status.applied_version()),
+                    ),
+                    ("lag", Value::number_u64(status.lag())),
+                    (
+                        "polls",
+                        Value::number_u64(status.polls.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "deltas_applied",
+                        Value::number_u64(status.deltas_applied.load(Ordering::Relaxed)),
+                    ),
+                    ("bootstraps", Value::number_u64(status.bootstraps())),
+                    ("sync_errors", Value::number_u64(status.sync_errors())),
+                ]),
+            ),
+        ]);
         HttpResponse::json(value.render())
     }
 
@@ -1573,6 +1990,40 @@ impl Worker {
 /// query string).
 fn is_revisions_target(target: &str) -> bool {
     target == "/v1/revisions" || target.starts_with("/v1/revisions?")
+}
+
+/// Whether a request target addresses `/v1/snapshot` *with* a query
+/// string. The bare target keeps its exact-match routes (`GET` full JSON
+/// export, `PUT` import); only the queried form reaches the delta handler.
+fn is_snapshot_target(target: &str) -> bool {
+    target.starts_with("/v1/snapshot?")
+}
+
+/// Parse the query of a `/v1/snapshot?since=v` target into the baseline
+/// version. The bare target never reaches this (exact-match routes win),
+/// so a missing or malformed `since` is a client error.
+fn parse_snapshot_query(target: &str) -> Result<u64, String> {
+    let query = target
+        .strip_prefix("/v1/snapshot?")
+        .ok_or_else(|| format!("bad target {target:?}"))?;
+    let mut since = None;
+    for pair in query.split('&') {
+        let Some((key, value)) = pair.split_once('=') else {
+            return Err(format!("malformed query parameter {pair:?}"));
+        };
+        if key != "since" {
+            return Err(format!("unknown query parameter {key:?}"));
+        }
+        if since.is_some() {
+            return Err("duplicate since parameter".to_string());
+        }
+        since = Some(
+            value
+                .parse()
+                .map_err(|_| format!("bad snapshot version {value:?}"))?,
+        );
+    }
+    since.ok_or_else(|| "empty query string".to_string())
 }
 
 /// Parse the query of a `/v1/revisions` target: no query lists the ring,

@@ -858,7 +858,10 @@ fn durable_server_recovers_observations_after_restart() {
     let server = VerdictServer::start(writer, config(&dir)).expect("second boot");
     let report = server.recovery().expect("durable boot");
     assert_eq!(report.replayed_commits, 1);
-    assert_eq!(report.replayed_records, 6, "5 observations + 1 marker");
+    assert_eq!(
+        report.replayed_records, 7,
+        "5 observations + 1 marker + 1 revision"
+    );
     let mut client = Client::connect(server.local_addr());
     let query = r#"{"domain":"ads.com","hostname":"px.ads.com","script":"https://pub.com/a.js","method":"send"}"#;
     let (status, decision) = client.request("POST", "/v1/decisions", Some(query));
@@ -886,7 +889,7 @@ fn durable_server_recovers_observations_after_restart() {
             .field("replayed_records")
             .and_then(|v| v.as_u64())
             .expect("replayed_records"),
-        6
+        7
     );
     assert_eq!(
         recovery
@@ -1338,4 +1341,62 @@ proptest! {
         // The shared server is intentionally left running for later cases;
         // the test process tears it down on exit.
     }
+}
+
+#[test]
+fn delta_snapshot_endpoint_contract() {
+    let server = start_server(trained_sifter());
+    let mut client = Client::connect(server.local_addr());
+
+    // A server whose table was trained before `into_concurrent` has an
+    // empty revision ring: any `?since=` span is unanswerable, and the
+    // typed fallback is `410 Gone` carrying a *full* snapshot.
+    let (status, body) = client.request("GET", "/v1/snapshot?since=0", None);
+    assert_eq!(status, 410);
+    assert!(body.contains(r#""kind":"full""#), "{body}");
+
+    // One observed + committed epoch puts version 2 in the ring, so the
+    // span 1 -> 2 is servable as a delta.
+    let (status, _) = client.request(
+        "POST",
+        "/v1/observations",
+        Some(
+            r#"{"observations":[{"domain":"new.com","hostname":"p.new.com","script":"https://new.com/n.js","method":"emit","tracking":true}]}"#,
+        ),
+    );
+    assert_eq!(status, 200);
+    let (status, _) = client.request("POST", "/v1/commit", None);
+    assert_eq!(status, 200);
+    let (status, body) = client.request("GET", "/v1/snapshot?since=1", None);
+    assert_eq!(status, 200);
+    assert!(body.contains(r#""kind":"delta""#), "{body}");
+    assert!(body.contains(r#""from":1"#), "{body}");
+    assert!(body.contains(r#""to":2"#), "{body}");
+
+    // The typed client accepts both 200 (delta) and 410 (full) as data, in
+    // JSON and binary framing alike.
+    let delta = client.fetch_snapshot_since(1).expect("JSON delta");
+    assert_eq!(delta.since, Some(1));
+    assert_eq!(delta.to, 2);
+    let binary = client.fetch_snapshot_since_binary(1).expect("binary delta");
+    assert_eq!(binary.since, Some(1));
+    assert_eq!(binary.changes.len(), delta.changes.len());
+    let full = client.fetch_snapshot_since(0).expect("aged span -> full");
+    assert_eq!(full.since, None);
+    assert_eq!(full.to, 2);
+
+    // An inverted span (a follower from the future) is a client error,
+    // and so is a malformed query. Errors close the connection.
+    let mut client = Client::connect(server.local_addr());
+    let (status, body) = client.request("GET", "/v1/snapshot?since=99", None);
+    assert_eq!(status, 400);
+    assert!(body.contains("inverted"), "{body}");
+    let mut client = Client::connect(server.local_addr());
+    let (status, _) = client.request("GET", "/v1/snapshot?since=abc", None);
+    assert_eq!(status, 400);
+    let mut client = Client::connect(server.local_addr());
+    let (status, _) = client.request("GET", "/v1/snapshot?bogus=1", None);
+    assert_eq!(status, 400);
+
+    server.shutdown();
 }

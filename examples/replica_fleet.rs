@@ -1,0 +1,167 @@
+//! A primary plus a two-replica fleet over loopback: the replicas
+//! bootstrap from the primary's full snapshot, track its commits through
+//! delta snapshots, and — the consistency contract — answer every query
+//! **byte-identically** to the primary once they hold the same version.
+//!
+//! ```sh
+//! cargo run --release --example replica_fleet
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+use trackersift_suite::prelude::*;
+use trackersift_suite::trackersift_replica::{start, ReplicaConfig, ReplicaServer};
+
+/// Issue one HTTP/1.1 request and return (status code, body bytes).
+fn http(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("read reply");
+    let text = String::from_utf8_lossy(&reply);
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let split = reply
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("header terminator");
+    (status, reply[split + 4..].to_vec())
+}
+
+/// Wait until `replica` has applied `version` (bounded).
+fn await_version(replica: &ReplicaServer, version: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while replica.status().applied_version() < version {
+        assert!(
+            Instant::now() < deadline,
+            "replica stuck at version {}",
+            replica.status().applied_version()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn main() {
+    // 1. A primary trained on a synthetic study.
+    let study = Study::run(StudyConfig {
+        profile: CorpusProfile::small().with_sites(200),
+        seed: 23,
+        ..StudyConfig::default()
+    });
+    let mut sifter = Sifter::builder()
+        .thresholds(study.config.thresholds)
+        .build();
+    sifter.observe_all(&study.requests);
+    sifter.commit();
+    let (writer, _reader) = sifter.into_concurrent();
+    let primary = VerdictServer::start(writer, ServerConfig::ephemeral()).expect("primary");
+    println!("primary on http://{}", primary.local_addr());
+
+    // 2. Two replicas bootstrap from it (full snapshot, then delta polls).
+    let fleet: Vec<ReplicaServer> = (0..2)
+        .map(|i| {
+            let mut config = ReplicaConfig::new(primary.local_addr().to_string());
+            config.poll_interval = Duration::from_millis(25);
+            let replica = start(config).expect("replica bootstrap");
+            println!(
+                "replica {i} on http://{} at version {}",
+                replica.local_addr(),
+                replica.status().applied_version()
+            );
+            replica
+        })
+        .collect();
+
+    // 3. Byte-identity at the same version: every fleet member answers a
+    //    sample of corpus queries with exactly the primary's bytes.
+    let sample: Vec<String> = study
+        .requests
+        .iter()
+        .step_by(study.requests.len() / 25 + 1)
+        .map(|request| {
+            format!(
+                r#"{{"domain":{:?},"hostname":{:?},"script":{:?},"method":{:?}}}"#,
+                request.domain,
+                request.hostname,
+                request.initiator_script,
+                request.initiator_method
+            )
+        })
+        .collect();
+    let mut checked = 0usize;
+    for query in &sample {
+        let (status, primary_body) = http(primary.local_addr(), "POST", "/v1/decisions", query);
+        assert_eq!(status, 200);
+        for replica in &fleet {
+            let (status, replica_body) = http(replica.local_addr(), "POST", "/v1/decisions", query);
+            assert_eq!(status, 200);
+            assert_eq!(
+                primary_body, replica_body,
+                "fleet answer diverged for {query}"
+            );
+        }
+        checked += 1;
+    }
+    println!("byte-identical on {checked} sampled queries across the fleet");
+
+    // 4. Drift: a fresh commit on the primary flows to every replica as a
+    //    small delta, and the fleet converges on the new verdict.
+    let observation = r#"{"observations":[
+        {"domain":"freshtracker.com","hostname":"px.freshtracker.com",
+         "script":"https://pub.com/app.js","method":"beacon","tracking":true}
+    ]}"#;
+    let (status, _) = http(
+        primary.local_addr(),
+        "POST",
+        "/v1/observations",
+        observation,
+    );
+    assert_eq!(status, 200);
+    let (status, commit) = http(primary.local_addr(), "POST", "/v1/commit", "");
+    assert_eq!(status, 200);
+    println!("primary commit -> {}", String::from_utf8_lossy(&commit));
+    for replica in &fleet {
+        await_version(replica, 2);
+    }
+    let query = r#"{"domain":"freshtracker.com","hostname":"px.freshtracker.com","script":"https://pub.com/app.js","method":"beacon"}"#;
+    let (_, primary_body) = http(primary.local_addr(), "POST", "/v1/decisions", query);
+    for (i, replica) in fleet.iter().enumerate() {
+        let (_, replica_body) = http(replica.local_addr(), "POST", "/v1/decisions", query);
+        assert_eq!(
+            primary_body, replica_body,
+            "replica {i} diverged after drift"
+        );
+        println!(
+            "replica {i} caught up: version {}, bootstraps {}, lag {}",
+            replica.status().applied_version(),
+            replica.status().bootstraps(),
+            replica.status().lag()
+        );
+    }
+
+    // 5. Replicas are read-only: mutations conflict, pointing at the
+    //    primary.
+    let (status, detail) = http(fleet[0].local_addr(), "POST", "/v1/commit", "");
+    assert_eq!(status, 409);
+    println!(
+        "replica refuses mutation: 409 {}",
+        String::from_utf8_lossy(&detail)
+    );
+
+    for replica in fleet {
+        replica.shutdown();
+    }
+    primary.shutdown();
+    println!("fleet drained and shut down cleanly.");
+}

@@ -5,6 +5,15 @@
 //! ```sh
 //! cargo run --release --example verdict_server
 //! ```
+//!
+//! With `--replica-of <host:port>` the process instead joins a fleet as a
+//! **read-only replica** of an already-running primary: it bootstraps
+//! from the primary's full snapshot, serves decisions from the followed
+//! state, and keeps polling delta snapshots until killed.
+//!
+//! ```sh
+//! cargo run --release --example verdict_server -- --replica-of 127.0.0.1:8377
+//! ```
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -30,7 +39,38 @@ fn http(addr: SocketAddr, method: &str, target: &str, body: &str) -> (String, St
     (status, body)
 }
 
+/// `--replica-of` mode: follow a primary until killed, reporting the
+/// replication gauges once per second.
+fn run_replica(upstream: &str) -> ! {
+    let replica = trackersift_suite::trackersift_replica::start(ReplicaConfig::new(upstream))
+        .expect("replica bootstrap (is the primary running?)");
+    println!(
+        "Replica of {} serving on http://{}",
+        replica.status().upstream(),
+        replica.local_addr()
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(1));
+        let status = replica.status();
+        println!(
+            "  applied version {} (lag {}, bootstraps {}, sync errors {})",
+            status.applied_version(),
+            status.lag(),
+            status.bootstraps(),
+            status.sync_errors()
+        );
+    }
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(position) = args.iter().position(|arg| arg == "--replica-of") {
+        let upstream = args
+            .get(position + 1)
+            .expect("--replica-of needs a host:port argument");
+        run_replica(upstream);
+    }
+
     // 1. Train on a synthetic study and split into the concurrent pair.
     let study = Study::run(StudyConfig {
         profile: CorpusProfile::small().with_sites(300),

@@ -42,6 +42,9 @@ pub use trackersift;
 /// The HTTP/1.1 verdict server over lock-free reader handles.
 pub use trackersift_server;
 
+/// The read-only replica fleet driver (delta-snapshot follower loop).
+pub use trackersift_replica;
+
 /// The continuous re-crawl loop over an evolving websim web.
 pub use scheduler;
 
@@ -52,14 +55,16 @@ pub mod prelude {
     pub use rewriter::{RewriterBuilder, RewrittenUrl, UrlRewriter};
     pub use scheduler::{Scheduler, SchedulerConfig, ScriptKeying};
     pub use trackersift::{
-        Breakage, Classification, CommitStats, Decision, DecisionRequest, DecisionSource,
-        Granularity, HierarchicalClassifier, IngestStats, KeyInterner, Labeler, ObserveOutcome,
-        RatioHistogram, ResourceKey, SensitivitySweep, ServiceStats, Sifter, SifterBuilder,
+        shard_index, Breakage, Classification, CommitStats, Decision, DecisionRequest,
+        DecisionSource, DeltaSnapshot, FollowerState, Granularity, HierarchicalClassifier,
+        IngestStats, KeyInterner, Labeler, ObserveOutcome, RatioHistogram, ResourceKey,
+        SensitivitySweep, ServiceStats, ShardedReader, ShardedWriter, Sifter, SifterBuilder,
         SifterReader, SifterSnapshot, SifterWriter, SnapshotError, Stage, StageTimings, Study,
         StudyConfig, Thresholds, Verdict, VerdictRequest, VerdictTable,
     };
+    pub use trackersift_replica::{ReplicaConfig, ReplicaServer};
     pub use trackersift_server::{
-        SchedulerDriver, SchedulerStats, ServerConfig, TickSummary, VerdictServer,
+        ReplicaStatus, SchedulerDriver, SchedulerStats, ServerConfig, TickSummary, VerdictServer,
     };
     pub use websim::{
         CorpusGenerator, CorpusProfile, EcosystemMutator, MutationConfig, Purpose, ScriptArchetype,

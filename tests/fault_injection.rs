@@ -312,7 +312,10 @@ mod chaos {
         let report = writer.open_durable(&dir, 1).expect("recover torn journal");
         assert!(report.torn_bytes > 0, "the cut left a torn tail");
         assert_eq!(report.replayed_commits, 1, "only the synced commit");
-        assert_eq!(report.replayed_records, 6, "5 observations + 1 marker");
+        assert_eq!(
+            report.replayed_records, 7,
+            "5 observations + 1 marker + 1 revision"
+        );
         assert_eq!(writer.sifter().observed(), 5);
         let _ = fs::remove_dir_all(&dir);
     }

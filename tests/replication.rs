@@ -1,0 +1,297 @@
+//! Property-based tests for the sharded writers and the delta-snapshot
+//! replication protocol (PR 10):
+//!
+//! * a [`ShardedReader`] answers **byte-identically** to the single-writer
+//!   sifter after any interleaving of observations and commits, as long as
+//!   the workload respects the partition invariant (scripts scoped to
+//!   their domain);
+//! * a follower that bootstraps from a full snapshot and then replays
+//!   deltas reproduces the primary's [`VerdictTable`] at **every**
+//!   advertised version — including across a primary restart (the
+//!   durability journal re-seeds the revision ring) and across ring-aged
+//!   spans, where the protocol's answer is a full re-bootstrap (the HTTP
+//!   `410 Gone` contract).
+
+use proptest::prelude::*;
+use trackersift_suite::prelude::*;
+use trackersift_suite::trackersift::{frames, ApplyError};
+
+/// One synthetic observation, index-encoded so the strategies stay tiny.
+/// The script URL is derived from the domain — the partition invariant
+/// under which sharded answers are exact, not approximate.
+type Obs = (u8, u8, u8, u8, u8);
+
+fn parts(observation: Obs) -> (String, String, String, String, bool) {
+    let (domain, hostname, script, method, tracking) = observation;
+    let domain_name = format!("site{}.com", domain % 12);
+    (
+        domain_name.clone(),
+        format!("h{}.{domain_name}", hostname % 2),
+        format!("https://{domain_name}/s{}.js", script % 3),
+        format!("m{}", method % 4),
+        tracking == 1,
+    )
+}
+
+/// A workload: epochs of observations, each epoch ending in one commit.
+fn arb_epochs() -> impl Strategy<Value = Vec<Vec<Obs>>> {
+    prop::collection::vec(
+        prop::collection::vec((0u8..12, 0u8..2, 0u8..3, 0u8..4, 0u8..2), 1..32),
+        1..6,
+    )
+}
+
+/// Every distinct (domain, hostname, script, method) tuple in a workload,
+/// as owned strings — the probe set for byte-identity checks.
+fn probes(epochs: &[Vec<Obs>]) -> Vec<(String, String, String, String)> {
+    let mut seen = std::collections::BTreeSet::new();
+    for epoch in epochs {
+        for &observation in epoch {
+            let (domain, hostname, script, method, _) = parts(observation);
+            seen.insert((domain, hostname, script, method));
+        }
+    }
+    seen.into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tentpole invariant: for domain-scoped workloads the sharded façade
+    /// is indistinguishable from the single writer — same `Decision`, same
+    /// `Verdict`, same rendered wire bytes — after interleaved commits.
+    #[test]
+    fn sharded_reader_is_byte_identical_to_the_single_writer(
+        epochs in arb_epochs(),
+        shards in 1usize..5,
+    ) {
+        let mut single = Sifter::builder().build();
+        let mut sharded = ShardedWriter::build(shards, |_| Sifter::builder().build());
+        for epoch in &epochs {
+            for &observation in epoch {
+                let (domain, hostname, script, method, tracking) = parts(observation);
+                single.observe_parts(&domain, &hostname, &script, &method, tracking);
+                sharded.observe_parts(&domain, &hostname, &script, &method, tracking);
+            }
+            single.commit();
+            sharded.commit();
+        }
+        prop_assert_eq!(sharded.cross_partition_scripts(), 0);
+        let reader = sharded.reader();
+        let requests = probes(&epochs);
+        let batch: Vec<DecisionRequest<'_>> = requests
+            .iter()
+            .map(|(d, h, s, m)| DecisionRequest::new(d, h, s, m))
+            .collect();
+        let decisions = reader.decide_batch(&batch);
+        for (request, sharded_decision) in batch.iter().zip(&decisions) {
+            let single_decision = single.decide(request);
+            prop_assert_eq!(&single_decision, sharded_decision, "{:?}", request);
+            // Byte identity, not just enum equality: the rendered wire
+            // payloads agree too.
+            prop_assert_eq!(
+                frames::decision_value(&single_decision).render(),
+                frames::decision_value(sharded_decision).render()
+            );
+            let verdict_request = VerdictRequest::new(
+                request.domain,
+                request.hostname,
+                request.script,
+                request.method,
+            );
+            prop_assert_eq!(
+                single.verdict(&verdict_request),
+                reader.verdict(&verdict_request)
+            );
+        }
+    }
+}
+
+/// Assert the follower's table reproduces the primary's current table:
+/// same version, same committed count, and byte-identical rendered
+/// decisions over the whole probe set.
+fn assert_tables_agree(
+    primary: &VerdictTable,
+    follower: &VerdictTable,
+    requests: &[(String, String, String, String)],
+) {
+    assert_eq!(primary.version(), follower.version());
+    assert_eq!(primary.committed(), follower.committed());
+    for (domain, hostname, script, method) in requests {
+        let request = DecisionRequest::new(domain, hostname, script, method);
+        let ours = follower.decide(&request);
+        let theirs = primary.decide(&request);
+        assert_eq!(
+            theirs,
+            ours,
+            "at version {}: {:?}",
+            primary.version(),
+            request
+        );
+        assert_eq!(
+            frames::decision_value(&theirs).render(),
+            frames::decision_value(&ours).render()
+        );
+    }
+}
+
+/// One follower sync against the primary's published table: try the delta
+/// first; a ring-aged span (the server's `410 Gone`) falls back to the
+/// full snapshot exactly like `ReplicaClient`. Every envelope round-trips
+/// through the binary codec, so the test covers the wire encoding too.
+/// Returns `true` when the sync was a full re-bootstrap.
+fn sync_follower(follower: &mut FollowerState, primary: &VerdictTable) -> Result<bool, ApplyError> {
+    let (snapshot, full) = match primary.delta_since(follower.version()) {
+        Ok(delta) => (delta, false),
+        Err(_) => (primary.full_snapshot_delta(), true),
+    };
+    let bytes = frames::encode_delta_snapshot(&snapshot);
+    let decoded = frames::decode_delta_snapshot(&bytes).expect("binary codec round-trip");
+    follower.apply(&decoded)?;
+    Ok(full)
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock")
+        .as_nanos();
+    std::env::temp_dir().join(format!(
+        "trackersift-replication-{tag}-{}-{nanos}",
+        std::process::id()
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tentpole invariant: bootstrap + delta replay reproduces the
+    /// primary's table at every advertised version, for any workload, any
+    /// sync cadence (skipped epochs produce multi-commit deltas), any
+    /// restart point (the journal re-seeds the ring across the restart),
+    /// and any ring capacity (aged-out spans re-bootstrap via the full
+    /// snapshot and still land exactly).
+    #[test]
+    fn replica_reproduces_every_advertised_version(
+        epochs in arb_epochs(),
+        syncs in prop::collection::vec(0u8..2, 5..6),
+        restart_after in 0usize..5,
+        ring_capacity in 1usize..5,
+    ) {
+        let dir = temp_dir("proptest");
+        let requests = probes(&epochs);
+        let (mut writer, mut reader) = Sifter::builder().build_concurrent();
+        writer.set_revision_capacity(ring_capacity);
+        writer.open_durable(&dir, 1).expect("open durable");
+
+        let mut follower = FollowerState::new(None, None);
+        let mut full_syncs = 0usize;
+        {
+            let pin = reader.pin();
+            let full = sync_follower(&mut follower, pin.table()).expect("bootstrap");
+            prop_assert!(full, "an empty-ring primary always serves a full snapshot");
+            full_syncs += 1;
+            assert_tables_agree(pin.table(), &follower.table(), &requests);
+        }
+
+        for (index, epoch) in epochs.iter().enumerate() {
+            for &observation in epoch {
+                let (domain, hostname, script, method, tracking) = parts(observation);
+                writer.observe_parts(&domain, &hostname, &script, &method, tracking);
+            }
+            writer.commit();
+
+            if index == restart_after {
+                // Primary restart: drop the writer, recover a fresh one
+                // from the durable dir. Versions stay continuous and the
+                // journal's persisted revision records re-seed the ring,
+                // so a follower inside the retained span keeps syncing
+                // with deltas as if nothing happened.
+                let version_before = reader.pin().table().version();
+                drop(writer);
+                drop(reader);
+                let pair = Sifter::builder().build_concurrent();
+                writer = pair.0;
+                reader = pair.1;
+                writer.set_revision_capacity(ring_capacity);
+                writer.open_durable(&dir, 1).expect("recover durable");
+                prop_assert_eq!(
+                    reader.pin().table().version(),
+                    version_before,
+                    "recovery rebased onto the journal's version numbering"
+                );
+            }
+
+            // The follower only polls on some epochs — skipped epochs make
+            // the next delta span several commits, and with a small ring
+            // capacity, spans that aged out of the ring.
+            if syncs[index % syncs.len()] == 1 || index + 1 == epochs.len() {
+                let pin = reader.pin();
+                if sync_follower(&mut follower, pin.table()).expect("sync") {
+                    full_syncs += 1;
+                }
+                assert_tables_agree(pin.table(), &follower.table(), &requests);
+            }
+        }
+
+        // The follower ends byte-identical to the primary's final table.
+        let pin = reader.pin();
+        prop_assert_eq!(follower.version(), pin.table().version());
+        prop_assert!(full_syncs >= 1);
+        drop(pin);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The ring-aged contract, deterministically: a follower that sleeps
+/// through more commits than the ring retains cannot be served a delta —
+/// `delta_since` refuses, the full snapshot re-bootstraps it (epoch bump
+/// and all), and the result is still exact.
+#[test]
+fn aged_out_follower_rebootstraps_from_the_full_snapshot() {
+    let (mut writer, reader) = Sifter::builder().build_concurrent();
+    writer.set_revision_capacity(2);
+    writer.observe_parts(
+        "ads.com",
+        "px.ads.com",
+        "https://ads.com/a.js",
+        "send",
+        true,
+    );
+    writer.commit();
+
+    let mut follower = FollowerState::new(None, None);
+    follower
+        .apply(&reader.pin().table().full_snapshot_delta())
+        .expect("bootstrap");
+    assert_eq!(follower.version(), 1);
+
+    // Five more commits against a capacity-2 ring: version 1 ages out.
+    for n in 0..5 {
+        let domain = format!("d{n}.com");
+        writer.observe_parts(
+            &domain,
+            &format!("h.{domain}"),
+            &format!("https://{domain}/s.js"),
+            "send",
+            n % 2 == 0,
+        );
+        writer.commit();
+    }
+    let pin = reader.pin();
+    assert!(
+        pin.table().delta_since(follower.version()).is_err(),
+        "a span older than the ring must refuse the delta"
+    );
+    let bootstraps_before = follower.bootstraps();
+    follower
+        .apply(&pin.table().full_snapshot_delta())
+        .expect("full re-bootstrap");
+    assert_eq!(follower.bootstraps(), bootstraps_before + 1);
+    assert_eq!(follower.version(), pin.table().version());
+    let request = DecisionRequest::new("d4.com", "h.d4.com", "https://d4.com/s.js", "send");
+    assert_eq!(
+        follower.table().decide(&request),
+        pin.table().decide(&request)
+    );
+}
